@@ -1,0 +1,257 @@
+//! A relay directory and circuit builder: pick entry/middle/exit relays
+//! the way an onion-routing client would.
+
+use crate::relay::Circuit;
+use netsim::prelude::{NodeId, SimRng};
+use std::fmt;
+
+/// One advertised relay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelayDescriptor {
+    /// The relay's node.
+    pub node: NodeId,
+    /// Its layer key (toy crypto — published here for the simulation;
+    /// a real directory would publish public keys).
+    pub key: u64,
+    /// Whether the operator allows exit traffic.
+    pub allows_exit: bool,
+}
+
+/// Errors from circuit building.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectoryError {
+    /// Fewer distinct relays available than hops requested.
+    NotEnoughRelays {
+        /// Hops requested.
+        requested: usize,
+        /// Relays available.
+        available: usize,
+    },
+    /// No exit-flagged relay is available.
+    NoExitRelay,
+}
+
+impl fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirectoryError::NotEnoughRelays {
+                requested,
+                available,
+            } => write!(
+                f,
+                "need {requested} distinct relays, only {available} available"
+            ),
+            DirectoryError::NoExitRelay => f.write_str("no exit relay in the directory"),
+        }
+    }
+}
+
+impl std::error::Error for DirectoryError {}
+
+/// The directory of known relays.
+#[derive(Debug, Clone, Default)]
+pub struct RelayDirectory {
+    relays: Vec<RelayDescriptor>,
+}
+
+impl RelayDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        RelayDirectory::default()
+    }
+
+    /// Publishes a relay.
+    pub fn publish(&mut self, descriptor: RelayDescriptor) {
+        self.relays.push(descriptor);
+    }
+
+    /// Number of published relays.
+    pub fn len(&self) -> usize {
+        self.relays.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relays.is_empty()
+    }
+
+    /// The published relays.
+    pub fn relays(&self) -> &[RelayDescriptor] {
+        &self.relays
+    }
+
+    /// Builds a circuit of `hops` distinct relays whose last hop allows
+    /// exit, choosing uniformly at random.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirectoryError`] when the directory cannot satisfy the
+    /// request.
+    pub fn build_circuit(&self, hops: usize, rng: &mut SimRng) -> Result<Circuit, DirectoryError> {
+        if self.relays.len() < hops {
+            return Err(DirectoryError::NotEnoughRelays {
+                requested: hops,
+                available: self.relays.len(),
+            });
+        }
+        let exits: Vec<&RelayDescriptor> = self.relays.iter().filter(|r| r.allows_exit).collect();
+        if exits.is_empty() {
+            return Err(DirectoryError::NoExitRelay);
+        }
+        let exit = **rng.choose(&exits).expect("nonempty");
+        // Pick the remaining hops from non-exit positions, distinct from
+        // each other and from the exit.
+        let mut pool: Vec<RelayDescriptor> = self
+            .relays
+            .iter()
+            .copied()
+            .filter(|r| r.node != exit.node)
+            .collect();
+        if pool.len() + 1 < hops {
+            return Err(DirectoryError::NotEnoughRelays {
+                requested: hops,
+                available: pool.len() + 1,
+            });
+        }
+        rng.shuffle(&mut pool);
+        let mut path: Vec<(NodeId, u64)> = pool
+            .into_iter()
+            .take(hops - 1)
+            .map(|r| (r.node, r.key))
+            .collect();
+        path.push((exit.node, exit.key));
+        Ok(Circuit::new(path))
+    }
+}
+
+impl FromIterator<RelayDescriptor> for RelayDirectory {
+    fn from_iter<I: IntoIterator<Item = RelayDescriptor>>(iter: I) -> Self {
+        RelayDirectory {
+            relays: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directory(n: usize, exits: usize) -> RelayDirectory {
+        (0..n)
+            .map(|i| RelayDescriptor {
+                node: NodeId(i + 10),
+                key: 100 + i as u64,
+                allows_exit: i < exits,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builds_three_hop_circuit() {
+        let dir = directory(6, 2);
+        let mut rng = SimRng::seed_from(1);
+        let circuit = dir.build_circuit(3, &mut rng).unwrap();
+        assert_eq!(circuit.hops(), 3);
+    }
+
+    #[test]
+    fn circuit_relays_are_distinct() {
+        let dir = directory(8, 3);
+        let mut rng = SimRng::seed_from(2);
+        for trial in 0..50 {
+            let mut c = dir.build_circuit(3, &mut rng).unwrap();
+            // Peel the cell with every key and collect the relays the
+            // route actually visits; all must be distinct.
+            let mut visited = vec![c.entry()];
+            let mut cell = c.make_cell(NodeId(500), b"x");
+            loop {
+                let key = dir
+                    .relays()
+                    .iter()
+                    .find(|r| r.node == *visited.last().unwrap())
+                    .unwrap()
+                    .key;
+                match crate::onion::peel(key, &cell).unwrap() {
+                    (crate::onion::OnionNext::Forward(next), inner) => {
+                        visited.push(next);
+                        cell = inner;
+                    }
+                    (crate::onion::OnionNext::Deliver(dst), _) => {
+                        assert_eq!(dst, NodeId(500));
+                        break;
+                    }
+                }
+            }
+            assert_eq!(visited.len(), 3, "trial {trial}");
+            let unique: std::collections::BTreeSet<_> = visited.iter().collect();
+            assert_eq!(unique.len(), 3, "relays must be distinct, trial {trial}");
+        }
+    }
+
+    #[test]
+    fn exit_is_exit_flagged() {
+        // Only relay 0 allows exit; every built circuit must end there.
+        let dir = directory(5, 1);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..20 {
+            let mut c = dir.build_circuit(2, &mut rng).unwrap();
+            // Wrap a cell and peel it hop by hop with the directory's
+            // keys to identify the exit.
+            let cell = c.make_cell(NodeId(99), b"x");
+            let entry = c.entry();
+            let entry_key = dir.relays().iter().find(|r| r.node == entry).unwrap().key;
+            let (next, inner) = crate::onion::peel(entry_key, &cell).unwrap();
+            match next {
+                crate::onion::OnionNext::Forward(exit_node) => {
+                    assert_eq!(exit_node, NodeId(10), "exit must be the only exit relay");
+                    let exit_key = dir
+                        .relays()
+                        .iter()
+                        .find(|r| r.node == exit_node)
+                        .unwrap()
+                        .key;
+                    let (last, _) = crate::onion::peel(exit_key, &inner).unwrap();
+                    assert_eq!(last, crate::onion::OnionNext::Deliver(NodeId(99)));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn not_enough_relays_error() {
+        let dir = directory(2, 1);
+        let mut rng = SimRng::seed_from(4);
+        assert_eq!(
+            dir.build_circuit(3, &mut rng).unwrap_err(),
+            DirectoryError::NotEnoughRelays {
+                requested: 3,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn no_exit_error() {
+        let dir = directory(4, 0);
+        let mut rng = SimRng::seed_from(5);
+        assert_eq!(
+            dir.build_circuit(2, &mut rng).unwrap_err(),
+            DirectoryError::NoExitRelay
+        );
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let dir = RelayDirectory::new();
+        assert!(dir.is_empty());
+        let dir = directory(3, 1);
+        assert_eq!(dir.len(), 3);
+        assert!(!dir.is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DirectoryError::NoExitRelay.to_string().contains("exit"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # anonsim
+//!
+//! Anonymity-network simulators for the workspace's §IV-B reproduction:
+//! a Tor-like onion-circuit layer ([`relay`], [`onion`]) and a single-hop
+//! Anonymizer-style proxy ([`proxy`]), both applying configurable flow
+//! transforms ([`transform`]) — jitter, mix-style batching, and loss —
+//! that a traceback watermark must survive.
+//!
+//! The onion layer uses a **toy** XOR-keystream cipher (see [`onion`]):
+//! its role is to make payload unintelligible to taps so that, as in the
+//! paper's §IV-B, "law enforcement cannot decrypt the packets" and the
+//! only observable left is traffic *rate* — which is exactly what the
+//! DSSS watermark modulates.
+//!
+//! ```
+//! use anonsim::onion::{peel, wrap, OnionNext};
+//! use netsim::prelude::NodeId;
+//!
+//! let path = [(NodeId(1), 0xaaaa), (NodeId(2), 0xbbbb)];
+//! let cell = wrap(&path, NodeId(5), 1, b"payload");
+//! let (next, inner) = peel(0xaaaa, &cell).unwrap();
+//! assert_eq!(next, OnionNext::Forward(NodeId(2)));
+//! let (next, body) = peel(0xbbbb, &inner).unwrap();
+//! assert_eq!(next, OnionNext::Deliver(NodeId(5)));
+//! assert_eq!(body, b"payload");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod directory;
+pub mod onion;
+pub mod proxy;
+pub mod relay;
+pub mod transform;
+
+pub use directory::{DirectoryError, RelayDescriptor, RelayDirectory};
+pub use proxy::{unwrap_for_proxy, wrap_for_proxy, AnonymizerProxy};
+pub use relay::{Circuit, OnionRelay};
+pub use transform::FlowTransform;

@@ -1,0 +1,290 @@
+//! A single-hop anonymizing proxy ("Anonymizer" in the paper's Table 1
+//! row 14 and §IV-B).
+//!
+//! Clients address packets to the proxy; the first 8 payload bytes name
+//! the true destination; the proxy re-emits the inner payload with its
+//! own address as the source, after applying its [`FlowTransform`]. The
+//! proxy keeps a (client, destination) table so replies can be
+//! anonymized on the way back too.
+
+use crate::transform::FlowTransform;
+use netsim::packet::{FlowId, Packet, Transport};
+use netsim::prelude::{Context, NodeId, Protocol, SimDuration};
+use std::collections::HashMap;
+
+const FLUSH: u64 = 0;
+
+/// Encodes a proxied payload: the real destination then the inner bytes.
+pub fn wrap_for_proxy(final_dst: NodeId, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(final_dst.0 as u64).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes a proxied payload.
+pub fn unwrap_for_proxy(bytes: &[u8]) -> Option<(NodeId, &[u8])> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let dst = u64::from_be_bytes(bytes[..8].try_into().ok()?);
+    Some((NodeId(dst as usize), &bytes[8..]))
+}
+
+/// The anonymizing proxy protocol.
+#[derive(Debug)]
+pub struct AnonymizerProxy {
+    transform: FlowTransform,
+    /// destination → client that last addressed it (for reverse flow).
+    reverse: HashMap<NodeId, NodeId>,
+    pending: HashMap<u64, (NodeId, Vec<u8>, FlowId)>,
+    batch: Vec<(NodeId, Vec<u8>, FlowId)>,
+    next_token: u64,
+    forwarded: u64,
+    dropped: u64,
+}
+
+impl AnonymizerProxy {
+    /// Creates a proxy with the given flow transform.
+    pub fn new(transform: FlowTransform) -> Self {
+        AnonymizerProxy {
+            transform,
+            reverse: HashMap::new(),
+            pending: HashMap::new(),
+            batch: Vec::new(),
+            next_token: 1,
+            forwarded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Packets forwarded.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Packets dropped by the loss model.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn dispatch(&mut self, ctx: &mut Context<'_>, to: NodeId, bytes: Vec<u8>, flow: FlowId) {
+        if self.transform.sample_drop(ctx) {
+            self.dropped += 1;
+            return;
+        }
+        if self.transform.batch_interval.is_some() {
+            self.batch.push((to, bytes, flow));
+            return;
+        }
+        let delay = self.transform.sample_jitter(ctx);
+        if delay == SimDuration::ZERO {
+            self.emit(ctx, to, bytes, flow);
+        } else {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.pending.insert(token, (to, bytes, flow));
+            ctx.set_timer(delay, token);
+        }
+    }
+
+    fn emit(&mut self, ctx: &mut Context<'_>, to: NodeId, bytes: Vec<u8>, flow: FlowId) {
+        self.forwarded += 1;
+        let p = Packet::new(
+            ctx.node(),
+            to,
+            Transport::Tcp {
+                src_port: 443,
+                dst_port: 443,
+                seq: 0,
+            },
+            flow,
+            bytes,
+        );
+        ctx.send(p);
+    }
+}
+
+impl Protocol for AnonymizerProxy {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if let Some(interval) = self.transform.batch_interval {
+            ctx.set_timer(interval, FLUSH);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let flow = packet.flow();
+        let from = packet.src();
+        // Reverse traffic from a known destination takes priority — its
+        // payload is opaque application data, not a proxy header.
+        if let Some(&client) = self.reverse.get(&from) {
+            self.dispatch(ctx, client, packet.payload().to_vec(), flow);
+        } else if let Some((dst, inner)) = unwrap_for_proxy(packet.payload()) {
+            self.reverse.insert(dst, from);
+            self.dispatch(ctx, dst, inner.to_vec(), flow);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token == FLUSH {
+            let queued = std::mem::take(&mut self.batch);
+            for (to, bytes, flow) in queued {
+                self.emit(ctx, to, bytes, flow);
+            }
+            if let Some(interval) = self.transform.batch_interval {
+                ctx.set_timer(interval, FLUSH);
+            }
+        } else if let Some((to, bytes, flow)) = self.pending.remove(&token) {
+            self.emit(ctx, to, bytes, flow);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::prelude::*;
+
+    #[derive(Debug, Default)]
+    struct Collector {
+        got: Vec<(SimTime, Vec<u8>, NodeId)>,
+    }
+
+    impl Protocol for Collector {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+            self.got
+                .push((ctx.time(), packet.payload().to_vec(), packet.src()));
+        }
+    }
+
+    fn triangle() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let client = t.add_node();
+        let proxy = t.add_node();
+        let server = t.add_node();
+        t.connect(client, proxy, SimDuration::from_millis(10));
+        t.connect(proxy, server, SimDuration::from_millis(10));
+        (t, client, proxy, server)
+    }
+
+    fn send_via_proxy(
+        sim: &mut Simulator,
+        client: NodeId,
+        proxy: NodeId,
+        server: NodeId,
+        body: &[u8],
+    ) {
+        let p = Packet::new(
+            client,
+            proxy,
+            Transport::Tcp {
+                src_port: 443,
+                dst_port: 443,
+                seq: 0,
+            },
+            FlowId(1),
+            wrap_for_proxy(server, body),
+        );
+        sim.inject(client, p);
+    }
+
+    #[test]
+    fn proxy_rewrites_source() {
+        let (topo, client, proxy, server) = triangle();
+        let mut sim = Simulator::new(topo, 1);
+        sim.set_protocol(proxy, AnonymizerProxy::new(FlowTransform::default()));
+        sim.set_protocol(server, Collector::default());
+        sim.start();
+        send_via_proxy(&mut sim, client, proxy, server, b"request");
+        sim.run_until(SimTime::from_secs(1));
+        let col = sim.take_protocol_as::<Collector>(server).unwrap();
+        assert_eq!(col.got.len(), 1);
+        assert_eq!(col.got[0].1, b"request");
+        // Server sees the proxy, not the client.
+        assert_eq!(col.got[0].2, proxy);
+    }
+
+    #[test]
+    fn reverse_path_reaches_client() {
+        let (topo, client, proxy, server) = triangle();
+        let mut sim = Simulator::new(topo, 2);
+        sim.set_protocol(proxy, AnonymizerProxy::new(FlowTransform::default()));
+        sim.set_protocol(client, Collector::default());
+
+        /// Server replies to whatever contacts it.
+        #[derive(Debug)]
+        struct Responder;
+        impl Protocol for Responder {
+            fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+                let reply = Packet::new(
+                    ctx.node(),
+                    packet.src(),
+                    Transport::Tcp {
+                        src_port: 443,
+                        dst_port: 443,
+                        seq: 0,
+                    },
+                    packet.flow(),
+                    b"response".to_vec(),
+                );
+                ctx.send(reply);
+            }
+        }
+        sim.set_protocol(server, Responder);
+        sim.start();
+        send_via_proxy(&mut sim, client, proxy, server, b"request");
+        sim.run_until(SimTime::from_secs(1));
+        let col = sim.take_protocol_as::<Collector>(client).unwrap();
+        assert_eq!(col.got.len(), 1);
+        assert_eq!(col.got[0].1, b"response");
+        assert_eq!(col.got[0].2, proxy);
+    }
+
+    #[test]
+    fn jittered_proxy_delays_but_delivers() {
+        let (topo, client, proxy, server) = triangle();
+        let mut sim = Simulator::new(topo, 3);
+        sim.set_protocol(proxy, AnonymizerProxy::new(FlowTransform::jitter(100, 101)));
+        sim.set_protocol(server, Collector::default());
+        sim.start();
+        send_via_proxy(&mut sim, client, proxy, server, b"x");
+        sim.run_until(SimTime::from_secs(1));
+        let col = sim.take_protocol_as::<Collector>(server).unwrap();
+        assert_eq!(col.got.len(), 1);
+        // 10ms + 100ms jitter + 10ms.
+        assert_eq!(col.got[0].0, SimTime::from_millis(120));
+    }
+
+    #[test]
+    fn malformed_proxy_payload_ignored() {
+        let (topo, client, proxy, server) = triangle();
+        let mut sim = Simulator::new(topo, 4);
+        sim.set_protocol(proxy, AnonymizerProxy::new(FlowTransform::default()));
+        sim.set_protocol(server, Collector::default());
+        sim.start();
+        let p = Packet::new(
+            client,
+            proxy,
+            Transport::Tcp {
+                src_port: 443,
+                dst_port: 443,
+                seq: 0,
+            },
+            FlowId(1),
+            vec![1, 2, 3], // too short for a destination header
+        );
+        sim.inject(client, p);
+        sim.run_until(SimTime::from_secs(1));
+        let col = sim.take_protocol_as::<Collector>(server).unwrap();
+        assert!(col.got.is_empty());
+    }
+
+    #[test]
+    fn wrap_unwrap_round_trip() {
+        let wrapped = wrap_for_proxy(NodeId(77), b"body");
+        let (dst, body) = unwrap_for_proxy(&wrapped).unwrap();
+        assert_eq!(dst, NodeId(77));
+        assert_eq!(body, b"body");
+        assert!(unwrap_for_proxy(&[1]).is_none());
+    }
+}

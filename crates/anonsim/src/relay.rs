@@ -1,0 +1,481 @@
+//! Onion relays and circuits.
+
+use crate::onion::{peel, OnionNext};
+use crate::transform::FlowTransform;
+use netsim::packet::{FlowId, Packet, Transport};
+use netsim::prelude::{Context, NodeId, Protocol, SimDuration};
+use std::collections::HashMap;
+
+const FLUSH: u64 = 0;
+
+/// An onion relay: peels one layer of each received cell, applies its
+/// [`FlowTransform`], and forwards (or delivers plaintext at the exit).
+#[derive(Debug)]
+pub struct OnionRelay {
+    key: u64,
+    transform: FlowTransform,
+    /// Jitter-deferred sends keyed by timer token.
+    pending: HashMap<u64, (NodeId, Vec<u8>, FlowId)>,
+    /// Batch queue (when batching).
+    batch: Vec<(NodeId, Vec<u8>, FlowId)>,
+    next_token: u64,
+    relayed: u64,
+    dropped: u64,
+}
+
+impl OnionRelay {
+    /// Creates a relay holding `key` with the given transform.
+    pub fn new(key: u64, transform: FlowTransform) -> Self {
+        OnionRelay {
+            key,
+            transform,
+            pending: HashMap::new(),
+            batch: Vec::new(),
+            next_token: 1,
+            relayed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Cells relayed or delivered.
+    pub fn relayed(&self) -> u64 {
+        self.relayed
+    }
+
+    /// Cells dropped by the loss model.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn dispatch(&mut self, ctx: &mut Context<'_>, to: NodeId, bytes: Vec<u8>, flow: FlowId) {
+        if self.transform.sample_drop(ctx) {
+            self.dropped += 1;
+            return;
+        }
+        if self.transform.batch_interval.is_some() {
+            self.batch.push((to, bytes, flow));
+            return;
+        }
+        let delay = self.transform.sample_jitter(ctx);
+        if delay == SimDuration::ZERO {
+            self.emit(ctx, to, bytes, flow);
+        } else {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.pending.insert(token, (to, bytes, flow));
+            ctx.set_timer(delay, token);
+        }
+    }
+
+    fn emit(&mut self, ctx: &mut Context<'_>, to: NodeId, bytes: Vec<u8>, flow: FlowId) {
+        self.relayed += 1;
+        let p = Packet::new(
+            ctx.node(),
+            to,
+            Transport::Tcp {
+                src_port: 9001,
+                dst_port: 9001,
+                seq: 0,
+            },
+            flow,
+            bytes,
+        );
+        ctx.send(p);
+    }
+}
+
+impl Protocol for OnionRelay {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if let Some(interval) = self.transform.batch_interval {
+            ctx.set_timer(interval, FLUSH);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let flow = packet.flow();
+        match peel(self.key, packet.payload()) {
+            Some((OnionNext::Forward(next), inner)) => {
+                self.dispatch(ctx, next, inner, flow);
+            }
+            Some((OnionNext::Deliver(dst), payload)) => {
+                // Exit: hand the plaintext to the final destination as an
+                // ordinary packet (source now reads as the exit relay —
+                // that is the anonymity).
+                self.dispatch(ctx, dst, payload, flow);
+            }
+            None => {
+                // Not for us / garbled — drop silently.
+                self.dropped += 1;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token == FLUSH {
+            let queued = std::mem::take(&mut self.batch);
+            for (to, bytes, flow) in queued {
+                self.emit(ctx, to, bytes, flow);
+            }
+            if let Some(interval) = self.transform.batch_interval {
+                ctx.set_timer(interval, FLUSH);
+            }
+        } else if let Some((to, bytes, flow)) = self.pending.remove(&token) {
+            self.emit(ctx, to, bytes, flow);
+        }
+    }
+}
+
+/// A client-side description of a circuit: the relay path with keys.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    path: Vec<(NodeId, u64)>,
+    nonce_counter: u64,
+    pad_payload_to: Option<usize>,
+}
+
+impl Circuit {
+    /// Creates a circuit through `path` (relay node, relay key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is empty.
+    pub fn new(path: Vec<(NodeId, u64)>) -> Self {
+        assert!(!path.is_empty(), "circuit needs at least one relay");
+        Circuit {
+            path,
+            nonce_counter: 0,
+            pad_payload_to: None,
+        }
+    }
+
+    /// Enables fixed-size cells: every payload is length-prefixed and
+    /// padded to `size` bytes before wrapping, so cells of one circuit
+    /// are indistinguishable by size (the classic size-correlation
+    /// countermeasure).
+    #[must_use]
+    pub fn with_fixed_cell_payload(mut self, size: usize) -> Self {
+        self.pad_payload_to = Some(size);
+        self
+    }
+
+    /// The entry relay the client talks to.
+    pub fn entry(&self) -> NodeId {
+        self.path[0].0
+    }
+
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Wraps a payload for delivery to `final_dst` through this circuit,
+    /// returning the cell to send to [`Circuit::entry`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in fixed-cell mode when the payload exceeds the cell
+    /// payload size.
+    pub fn make_cell(&mut self, final_dst: NodeId, payload: &[u8]) -> Vec<u8> {
+        self.nonce_counter += 1;
+        match self.pad_payload_to {
+            None => crate::onion::wrap(&self.path, final_dst, self.nonce_counter, payload),
+            Some(size) => {
+                assert!(
+                    payload.len() + 4 <= size,
+                    "payload {} exceeds fixed cell payload {}",
+                    payload.len(),
+                    size
+                );
+                let mut padded = Vec::with_capacity(size);
+                padded.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+                padded.extend_from_slice(payload);
+                padded.resize(size, 0);
+                crate::onion::wrap(&self.path, final_dst, self.nonce_counter, &padded)
+            }
+        }
+    }
+}
+
+/// Recovers the original payload from a fixed-size cell payload produced
+/// by [`Circuit::with_fixed_cell_payload`].
+///
+/// Returns `None` on malformed input.
+pub fn unpad_fixed_cell(padded: &[u8]) -> Option<&[u8]> {
+    if padded.len() < 4 {
+        return None;
+    }
+    let len = u32::from_be_bytes(padded[..4].try_into().ok()?) as usize;
+    padded.get(4..4 + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::prelude::*;
+
+    #[derive(Debug, Default)]
+    struct Collector {
+        got: Vec<(SimTime, Vec<u8>, NodeId)>,
+    }
+
+    impl Protocol for Collector {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+            self.got
+                .push((ctx.time(), packet.payload().to_vec(), packet.src()));
+        }
+    }
+
+    fn chain_topology(n: usize) -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let nodes = t.add_nodes(n);
+        for w in nodes.windows(2) {
+            t.connect(w[0], w[1], SimDuration::from_millis(10));
+        }
+        (t, nodes)
+    }
+
+    #[test]
+    fn three_hop_circuit_delivers_plaintext() {
+        // client(0) - r1(1) - r2(2) - r3(3) - server(4)
+        let (topo, n) = chain_topology(5);
+        let mut sim = Simulator::new(topo, 1);
+        sim.set_protocol(n[1], OnionRelay::new(11, FlowTransform::default()));
+        sim.set_protocol(n[2], OnionRelay::new(22, FlowTransform::default()));
+        sim.set_protocol(n[3], OnionRelay::new(33, FlowTransform::default()));
+        sim.set_protocol(n[4], Collector::default());
+        sim.start();
+
+        let mut circuit = Circuit::new(vec![(n[1], 11), (n[2], 22), (n[3], 33)]);
+        assert_eq!(circuit.entry(), n[1]);
+        assert_eq!(circuit.hops(), 3);
+        let cell = circuit.make_cell(n[4], b"GET /index");
+        let p = Packet::new(
+            n[0],
+            n[1],
+            Transport::Tcp {
+                src_port: 9001,
+                dst_port: 9001,
+                seq: 0,
+            },
+            FlowId(5),
+            cell,
+        );
+        sim.inject(n[0], p);
+        sim.run_until(SimTime::from_secs(2));
+
+        let server = sim.take_protocol_as::<Collector>(n[4]).unwrap();
+        assert_eq!(server.got.len(), 1);
+        assert_eq!(server.got[0].1, b"GET /index");
+        // The server sees the exit relay as the packet source, not the
+        // client.
+        assert_eq!(server.got[0].2, n[3]);
+    }
+
+    #[test]
+    fn tap_between_relays_sees_only_ciphertext() {
+        let (topo, n) = chain_topology(4);
+        let mut sim = Simulator::new(topo, 2);
+        let tap = sim.add_tap(Tap::new(
+            TapPoint::Link(LinkId(1)), // between relay 1 and relay 2
+            CaptureScope::FullContent,
+            CaptureFilter::any(),
+        ));
+        sim.set_protocol(n[1], OnionRelay::new(1, FlowTransform::default()));
+        sim.set_protocol(n[2], OnionRelay::new(2, FlowTransform::default()));
+        sim.set_protocol(n[3], Collector::default());
+        sim.start();
+        let mut circuit = Circuit::new(vec![(n[1], 1), (n[2], 2)]);
+        let secret = b"SECRET-PAYLOAD";
+        let cell = circuit.make_cell(n[3], secret);
+        let p = Packet::new(
+            n[0],
+            n[1],
+            Transport::Tcp {
+                src_port: 9001,
+                dst_port: 9001,
+                seq: 0,
+            },
+            FlowId(1),
+            cell,
+        );
+        sim.inject(n[0], p);
+        sim.run_until(SimTime::from_secs(2));
+        // Even a full-content tap between relays cannot read the payload.
+        let records = sim.tap(tap).records();
+        assert!(!records.is_empty());
+        for r in records {
+            if let CaptureRecord::Full { packet, .. } = r {
+                assert!(!packet
+                    .payload()
+                    .windows(secret.len())
+                    .any(|w| w == secret.as_slice()));
+            }
+        }
+    }
+
+    #[test]
+    fn batching_relay_quantizes_departures() {
+        let (topo, n) = chain_topology(3);
+        let mut sim = Simulator::new(topo, 3);
+        sim.set_protocol(
+            n[1],
+            OnionRelay::new(7, FlowTransform::batching(SimDuration::from_millis(100))),
+        );
+        sim.set_protocol(n[2], Collector::default());
+        sim.start();
+        // Send three cells in quick succession.
+        let mut circuit = Circuit::new(vec![(n[1], 7)]);
+        for i in 0..3 {
+            let cell = circuit.make_cell(n[2], &[i as u8]);
+            let p = Packet::new(
+                n[0],
+                n[1],
+                Transport::Tcp {
+                    src_port: 9001,
+                    dst_port: 9001,
+                    seq: 0,
+                },
+                FlowId(1),
+                cell,
+            );
+            sim.inject(n[0], p);
+        }
+        sim.run_until(SimTime::from_secs(1));
+        let col = sim.take_protocol_as::<Collector>(n[2]).unwrap();
+        assert_eq!(col.got.len(), 3);
+        // All three delivered in the same flush → identical arrival time.
+        assert_eq!(col.got[0].0, col.got[1].0);
+        assert_eq!(col.got[1].0, col.got[2].0);
+    }
+
+    #[test]
+    fn jitter_relay_preserves_count() {
+        let (topo, n) = chain_topology(3);
+        let mut sim = Simulator::new(topo, 4);
+        sim.set_protocol(n[1], OnionRelay::new(7, FlowTransform::jitter(5, 50)));
+        sim.set_protocol(n[2], Collector::default());
+        sim.start();
+        let mut circuit = Circuit::new(vec![(n[1], 7)]);
+        for i in 0..10u8 {
+            let cell = circuit.make_cell(n[2], &[i]);
+            let p = Packet::new(
+                n[0],
+                n[1],
+                Transport::Tcp {
+                    src_port: 9001,
+                    dst_port: 9001,
+                    seq: 0,
+                },
+                FlowId(1),
+                cell,
+            );
+            sim.inject(n[0], p);
+        }
+        sim.run_until(SimTime::from_secs(2));
+        let col = sim.take_protocol_as::<Collector>(n[2]).unwrap();
+        assert_eq!(col.got.len(), 10);
+    }
+
+    #[test]
+    fn lossy_relay_drops() {
+        let (topo, n) = chain_topology(3);
+        let mut sim = Simulator::new(topo, 5);
+        let transform = FlowTransform {
+            drop_prob: 1.0,
+            ..FlowTransform::default()
+        };
+        sim.set_protocol(n[1], OnionRelay::new(7, transform));
+        sim.set_protocol(n[2], Collector::default());
+        sim.start();
+        let mut circuit = Circuit::new(vec![(n[1], 7)]);
+        let cell = circuit.make_cell(n[2], b"x");
+        let p = Packet::new(
+            n[0],
+            n[1],
+            Transport::Tcp {
+                src_port: 9001,
+                dst_port: 9001,
+                seq: 0,
+            },
+            FlowId(1),
+            cell,
+        );
+        sim.inject(n[0], p);
+        sim.run_until(SimTime::from_secs(1));
+        let col = sim.take_protocol_as::<Collector>(n[2]).unwrap();
+        assert!(col.got.is_empty());
+        // dropped counter was incremented on the relay — retrieve it.
+    }
+
+    #[test]
+    fn garbled_cell_is_dropped_not_crashed() {
+        let (topo, n) = chain_topology(3);
+        let mut sim = Simulator::new(topo, 6);
+        sim.set_protocol(n[1], OnionRelay::new(7, FlowTransform::default()));
+        sim.set_protocol(n[2], Collector::default());
+        sim.start();
+        let p = Packet::new(
+            n[0],
+            n[1],
+            Transport::Tcp {
+                src_port: 9001,
+                dst_port: 9001,
+                seq: 0,
+            },
+            FlowId(1),
+            vec![0xff; 40],
+        );
+        sim.inject(n[0], p);
+        sim.run_until(SimTime::from_secs(1));
+        let relay = sim.take_protocol_as::<OnionRelay>(n[1]).unwrap();
+        // The garbage decodes (or fails) without reaching the collector
+        // as the original garbage.
+        assert!(relay.dropped() + relay.relayed() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one relay")]
+    fn empty_circuit_panics() {
+        Circuit::new(vec![]);
+    }
+}
+
+#[cfg(test)]
+mod padding_tests {
+    use super::*;
+    use netsim::prelude::NodeId;
+
+    #[test]
+    fn fixed_cells_have_uniform_size() {
+        let mut circuit =
+            Circuit::new(vec![(NodeId(1), 7), (NodeId(2), 8)]).with_fixed_cell_payload(512);
+        let sizes: Vec<usize> = [0usize, 1, 100, 500]
+            .iter()
+            .map(|&n| circuit.make_cell(NodeId(9), &vec![0xab; n]).len())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn padding_round_trips_through_peel() {
+        let mut circuit = Circuit::new(vec![(NodeId(1), 7)]).with_fixed_cell_payload(256);
+        let cell = circuit.make_cell(NodeId(9), b"hello");
+        let (next, padded) = crate::onion::peel(7, &cell).unwrap();
+        assert_eq!(next, crate::onion::OnionNext::Deliver(NodeId(9)));
+        assert_eq!(unpad_fixed_cell(&padded), Some(&b"hello"[..]));
+        assert_eq!(padded.len(), 256);
+    }
+
+    #[test]
+    fn unpad_rejects_malformed() {
+        assert_eq!(unpad_fixed_cell(&[1, 2]), None);
+        assert_eq!(unpad_fixed_cell(&[0, 0, 0, 10, 1]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds fixed cell payload")]
+    fn oversize_payload_panics() {
+        let mut circuit = Circuit::new(vec![(NodeId(1), 7)]).with_fixed_cell_payload(16);
+        circuit.make_cell(NodeId(9), &[0; 64]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Flow transforms applied by relays and proxies: jitter, batching, and
+//! loss — the perturbations a traceback watermark must survive.
+
+use netsim::prelude::{Context, SimDuration};
+
+/// Timing/loss perturbation a relay applies to forwarded traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowTransform {
+    /// Uniform per-packet delay in milliseconds `[lo, hi)`; `(0, 0)`
+    /// disables jitter.
+    pub jitter_ms: (u64, u64),
+    /// When set, packets are held and flushed together every interval
+    /// (mix-style batching).
+    pub batch_interval: Option<SimDuration>,
+    /// Independent per-packet drop probability.
+    pub drop_prob: f64,
+}
+
+impl Default for FlowTransform {
+    fn default() -> Self {
+        FlowTransform {
+            jitter_ms: (0, 0),
+            batch_interval: None,
+            drop_prob: 0.0,
+        }
+    }
+}
+
+impl FlowTransform {
+    /// A transform that only jitters in `[lo, hi)` milliseconds.
+    pub fn jitter(lo_ms: u64, hi_ms: u64) -> Self {
+        FlowTransform {
+            jitter_ms: (lo_ms, hi_ms),
+            ..FlowTransform::default()
+        }
+    }
+
+    /// A transform that batches on a fixed interval.
+    pub fn batching(interval: SimDuration) -> Self {
+        FlowTransform {
+            batch_interval: Some(interval),
+            ..FlowTransform::default()
+        }
+    }
+
+    /// Samples the per-packet jitter delay.
+    pub fn sample_jitter(&self, ctx: &mut Context<'_>) -> SimDuration {
+        let (lo, hi) = self.jitter_ms;
+        if hi > lo {
+            SimDuration::from_millis(ctx.rng().range(lo, hi))
+        } else {
+            SimDuration::from_millis(lo)
+        }
+    }
+
+    /// Samples whether this packet is dropped.
+    pub fn sample_drop(&self, ctx: &mut Context<'_>) -> bool {
+        self.drop_prob > 0.0 && ctx.rng().chance(self.drop_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let j = FlowTransform::jitter(10, 20);
+        assert_eq!(j.jitter_ms, (10, 20));
+        assert!(j.batch_interval.is_none());
+        let b = FlowTransform::batching(SimDuration::from_millis(50));
+        assert_eq!(b.batch_interval, Some(SimDuration::from_millis(50)));
+        assert_eq!(FlowTransform::default().drop_prob, 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Regenerates experiment **E-IV-A**: the feasibility of the OneSwarm
+//! timing attack (paper §IV-A), measured as source/proxy classification
+//! quality across overlay sizes and delay regimes.
+//!
+//! Run with: `cargo run -p bench --bin oneswarm_attack` (use `--release`
+//! for the larger sweeps).
+
+use p2psim::experiment::{run_experiment, ExperimentConfig};
+use p2psim::peer::DelayModel;
+
+fn main() {
+    println!("E-IV-A — OneSwarm timing-attack feasibility (paper §IV-A)\n");
+
+    // Sweep 1: overlay size.
+    println!("sweep 1: overlay size (trust degree 3, delays 150–300 ms, 5 probes/target)");
+    println!(
+        "{:<8} {:>8} {:>10} {:>10} {:>10}",
+        "peers", "targets", "precision", "recall", "accuracy"
+    );
+    bench::rule(52);
+    for peers in [32usize, 64, 128, 256] {
+        let cfg = ExperimentConfig {
+            peers,
+            targets: (peers / 4).min(24),
+            sources: peers / 8,
+            seed: 0xa11ce ^ peers as u64,
+            ..ExperimentConfig::default()
+        };
+        let r = run_experiment(&cfg);
+        println!(
+            "{:<8} {:>8} {:>10} {:>10} {:>10}",
+            peers,
+            cfg.targets,
+            bench::pct(r.metrics.precision()),
+            bench::pct(r.metrics.recall()),
+            bench::pct(r.metrics.accuracy()),
+        );
+    }
+
+    // Sweep 2: the delay gap that makes the attack work. As the source
+    // delay band approaches the forward+source band, separation decays.
+    println!("\nsweep 2: per-hop delay band (64 peers, 16 targets)");
+    println!(
+        "{:<22} {:>12} {:>10} {:>10}",
+        "delay band (ms)", "threshold", "accuracy", "mean FP"
+    );
+    bench::rule(58);
+    for (lo, hi) in [
+        (50u64, 100u64),
+        (150, 300),
+        (300, 600),
+        (500, 1000),
+        // Wide bands: the delay *floor* no longer dominates the band
+        // width, proxy and source response distributions overlap, and
+        // false positives appear — the attack's breaking point.
+        (10, 200),
+        (5, 400),
+    ] {
+        let cfg = ExperimentConfig {
+            delays: DelayModel {
+                source_delay_ms: (lo, hi),
+                forward_delay_ms: (lo, hi),
+            },
+            seed: 0xfeed ^ hi,
+            ..ExperimentConfig::default()
+        };
+        let r = run_experiment(&cfg);
+        let fp = r
+            .outcomes
+            .iter()
+            .filter(|o| !o.is_source && o.classified_source)
+            .count();
+        println!(
+            "{:<22} {:>12} {:>10} {:>10}",
+            format!("[{lo}, {hi})"),
+            format!("{:.0} ms", r.threshold_ms),
+            bench::pct(r.metrics.accuracy()),
+            fp,
+        );
+    }
+
+    // Sweep 3: probes per target (more probes tighten the min-delay
+    // estimate).
+    println!("\nsweep 3: probes per target (64 peers)");
+    println!("{:<8} {:>10}", "probes", "accuracy");
+    bench::rule(20);
+    for probes in [1usize, 2, 5, 10] {
+        let cfg = ExperimentConfig {
+            probes,
+            seed: 0xbead ^ probes as u64,
+            ..ExperimentConfig::default()
+        };
+        let r = run_experiment(&cfg);
+        println!("{:<8} {:>10}", probes, bench::pct(r.metrics.accuracy()));
+    }
+
+    println!(
+        "\nShape check (paper §IV-A): response-delay timing separates sources from\n\
+         proxies with high accuracy using only protocol-visible traffic — workable\n\
+         without warrant/court order/subpoena."
+    );
+}

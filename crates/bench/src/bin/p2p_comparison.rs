@@ -1,0 +1,40 @@
+//! Regenerates the Table 1 row-9 vs row-10 ablation: identification
+//! effort and reach on "normal P2P software" vs an anonymous overlay.
+//! Both are lawful without process; the contrast is operational.
+//!
+//! Run with: `cargo run -p bench --bin p2p_comparison --release`
+
+use p2psim::gnutella_experiment::{run_comparison, ComparisonConfig};
+
+fn main() {
+    println!("P2P ablation — normal (row 9) vs anonymous (row 10) overlays\n");
+    println!(
+        "{:<8} {:>8} | {:>14} {:>9} | {:>16} {:>9}",
+        "peers", "sources", "gnutella found", "queries", "oneswarm found", "probes"
+    );
+    bench::rule(76);
+    for peers in [32usize, 64, 128] {
+        let cfg = ComparisonConfig {
+            peers,
+            sources: peers / 8,
+            seed: 0x90a7 ^ peers as u64,
+            ..ComparisonConfig::default()
+        };
+        let r = run_comparison(&cfg);
+        println!(
+            "{:<8} {:>8} | {:>14} {:>9} | {:>16} {:>9}",
+            peers,
+            r.true_sources,
+            format!("{}/{}", r.gnutella_identified, r.true_sources),
+            r.gnutella_queries,
+            format!("{} (neighbors only)", r.oneswarm_identified),
+            r.oneswarm_probes,
+        );
+    }
+    println!(
+        "\nShape check: on normal P2P one flooded query openly enumerates the sources\n\
+         (query hits name their senders); on the anonymous overlay the investigator\n\
+         must run the timing attack and can only ever classify its direct neighbors.\n\
+         Both collections are lawful without process (Table 1 rows 9-10)."
+    );
+}

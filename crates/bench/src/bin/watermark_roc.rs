@@ -1,0 +1,58 @@
+//! Detector calibration tables: null/signal statistic spreads and ROC
+//! operating points for the DSSS despreader — the quantitative basis for
+//! choosing the sigma threshold used in E-IV-B.
+//!
+//! Run with: `cargo run -p bench --bin watermark_roc --release`
+
+use watermark::pn::PnCode;
+use watermark::roc::{auc, null_statistics, roc_curve, signal_statistics};
+
+fn main() {
+    println!("watermark detector calibration (ours; supports E-IV-B threshold choice)\n");
+
+    // Null spread vs code length: σ ≈ 1/√N.
+    println!("null-statistic spread vs code length (noise σ=30 on mean rate 100):");
+    println!(
+        "{:<12} {:>12} {:>14}",
+        "code length", "measured σ", "1/√N predicted"
+    );
+    bench::rule(40);
+    for degree in [6u32, 8, 10] {
+        let code = PnCode::m_sequence(degree, 1);
+        let stats = null_statistics(&code, 2, 100.0, 30.0, 400, degree as u64);
+        let mean = stats.iter().sum::<f64>() / stats.len() as f64;
+        let sigma =
+            (stats.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / stats.len() as f64).sqrt();
+        println!(
+            "{:<12} {:>12.4} {:>14.4}",
+            code.len(),
+            sigma,
+            1.0 / (code.len() as f64).sqrt()
+        );
+    }
+
+    // ROC vs noise.
+    println!("\nROC (code length 255, rates 120/40) vs observation noise:");
+    println!("{:<10} {:>8} {:>22}", "noise σ", "AUC", "TPR at FPR≈1%");
+    bench::rule(42);
+    let code = PnCode::m_sequence(8, 1);
+    for (i, noise) in [20.0f64, 60.0, 150.0, 400.0].iter().enumerate() {
+        let null = null_statistics(&code, 2, 100.0, *noise, 400, 10 + i as u64);
+        let signal = signal_statistics(&code, 2, 120.0, 40.0, *noise, 400, 20 + i as u64);
+        let thresholds: Vec<f64> = (0..100).map(|k| k as f64 / 100.0).collect();
+        let roc = roc_curve(&null, &signal, &thresholds);
+        let a = auc(&roc);
+        let tpr_at_1pct = roc
+            .iter()
+            .filter(|p| p.fpr <= 0.01)
+            .map(|p| p.tpr)
+            .fold(0.0f64, f64::max);
+        println!("{:<10} {:>8.4} {:>22.2}", noise, a, tpr_at_1pct);
+    }
+
+    println!(
+        "\nReading: at the experiment's operating point (noise well below the 80-pps\n\
+         modulation swing) the detector is near-perfect; the 4σ threshold used in\n\
+         E-IV-B buys a ≈6e-5 theoretical false-positive rate per (suspect, offset)."
+    );
+}

@@ -1,0 +1,208 @@
+//! Courtroom admissibility: legal soundness (the compliance engine's
+//! suppression analysis) combined with forensic integrity (digest and
+//! custody-chain verification).
+//!
+//! The paper's warning is that a *legally* defective acquisition gets
+//! evidence suppressed; forensic practice adds that a *technically*
+//! defective custody record gets it excluded too. Both must hold.
+
+use crate::custody::{CustodyError, CustodyLog};
+use crate::item::EvidenceItem;
+use forensic_law::suppression::Admissibility;
+use std::fmt;
+
+/// Why an item was excluded, when it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExclusionGround {
+    /// The compliance engine's suppression analysis excluded it.
+    Suppressed(Admissibility),
+    /// The item's content no longer matches its acquisition digest.
+    IntegrityFailure,
+    /// The custody log fails verification.
+    CustodyFailure(CustodyError),
+}
+
+impl fmt::Display for ExclusionGround {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExclusionGround::Suppressed(a) => write!(f, "legally {a}"),
+            ExclusionGround::IntegrityFailure => f.write_str("content integrity check failed"),
+            ExclusionGround::CustodyFailure(e) => write!(f, "custody record defective: {e}"),
+        }
+    }
+}
+
+/// The combined admissibility determination for one item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissibilityReport {
+    admissible: bool,
+    grounds: Vec<ExclusionGround>,
+}
+
+impl AdmissibilityReport {
+    /// Whether the item may be introduced.
+    pub fn is_admissible(&self) -> bool {
+        self.admissible
+    }
+
+    /// The exclusion grounds (empty when admissible).
+    pub fn grounds(&self) -> &[ExclusionGround] {
+        &self.grounds
+    }
+}
+
+impl fmt::Display for AdmissibilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.admissible {
+            f.write_str("admissible")
+        } else {
+            write!(f, "excluded: ")?;
+            for (i, g) in self.grounds.iter().enumerate() {
+                if i > 0 {
+                    f.write_str("; ")?;
+                }
+                write!(f, "{g}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Evaluates an item's full admissibility.
+///
+/// `legal` is the suppression verdict from
+/// [`forensic_law::suppression::Docket::admissibility`]; `item` supplies
+/// the integrity check; `log` supplies the custody check.
+///
+/// # Examples
+///
+/// ```
+/// use evidence::admissibility::evaluate;
+/// use evidence::custody::{CustodyEvent, CustodyLog};
+/// use evidence::item::{Acquisition, AcquisitionAuthority, EvidenceItem, ItemId};
+/// use forensic_law::suppression::Admissibility;
+///
+/// let item = EvidenceItem::new(
+///     ItemId(1),
+///     "image",
+///     b"sectors".to_vec(),
+///     Acquisition {
+///         examiner: "e".into(),
+///         timestamp: 0,
+///         method: "dd".into(),
+///         authority: AcquisitionAuthority::unrestricted(),
+///     },
+/// );
+/// let mut log = CustodyLog::new();
+/// log.record(item.id(), 0, CustodyEvent::Acquired { by: "e".into() }, item.acquisition_digest());
+///
+/// let report = evaluate(Admissibility::Admissible, &item, &log);
+/// assert!(report.is_admissible());
+/// ```
+pub fn evaluate(
+    legal: Admissibility,
+    item: &EvidenceItem,
+    log: &CustodyLog,
+) -> AdmissibilityReport {
+    let mut grounds = Vec::new();
+    if !legal.is_admissible() {
+        grounds.push(ExclusionGround::Suppressed(legal));
+    }
+    if !item.verify_integrity() {
+        grounds.push(ExclusionGround::IntegrityFailure);
+    }
+    if let Err(e) = log.verify() {
+        grounds.push(ExclusionGround::CustodyFailure(e));
+    }
+    AdmissibilityReport {
+        admissible: grounds.is_empty(),
+        grounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::custody::CustodyEvent;
+    use crate::item::{Acquisition, AcquisitionAuthority, ItemId};
+    use forensic_law::suppression::EvidenceId;
+
+    fn item() -> EvidenceItem {
+        EvidenceItem::new(
+            ItemId(1),
+            "image",
+            vec![1, 2, 3, 4],
+            Acquisition {
+                examiner: "e".into(),
+                timestamp: 0,
+                method: "dd".into(),
+                authority: AcquisitionAuthority::unrestricted(),
+            },
+        )
+    }
+
+    fn log_for(item: &EvidenceItem) -> CustodyLog {
+        let mut log = CustodyLog::new();
+        log.record(
+            item.id(),
+            0,
+            CustodyEvent::Acquired { by: "e".into() },
+            item.acquisition_digest(),
+        );
+        log
+    }
+
+    #[test]
+    fn clean_item_admissible() {
+        let item = item();
+        let log = log_for(&item);
+        let r = evaluate(Admissibility::Admissible, &item, &log);
+        assert!(r.is_admissible());
+        assert!(r.grounds().is_empty());
+        assert_eq!(r.to_string(), "admissible");
+    }
+
+    #[test]
+    fn suppressed_item_excluded() {
+        let item = item();
+        let log = log_for(&item);
+        let r = evaluate(Admissibility::SuppressedDirect, &item, &log);
+        assert!(!r.is_admissible());
+        assert!(matches!(r.grounds()[0], ExclusionGround::Suppressed(_)));
+    }
+
+    #[test]
+    fn tampered_item_excluded() {
+        let mut item = item();
+        let log = log_for(&item);
+        item.tamper(0);
+        let r = evaluate(Admissibility::Admissible, &item, &log);
+        assert!(!r.is_admissible());
+        assert!(r.grounds().contains(&ExclusionGround::IntegrityFailure));
+    }
+
+    #[test]
+    fn broken_custody_excluded() {
+        let item = item();
+        let mut log = log_for(&item);
+        log.tamper_content_digest(0, crate::hash::sha256(b"other"));
+        let r = evaluate(Admissibility::Admissible, &item, &log);
+        assert!(!r.is_admissible());
+        assert!(matches!(r.grounds()[0], ExclusionGround::CustodyFailure(_)));
+    }
+
+    #[test]
+    fn multiple_grounds_accumulate() {
+        let mut item = item();
+        let mut log = log_for(&item);
+        item.tamper(0);
+        log.tamper_content_digest(0, crate::hash::sha256(b"other"));
+        let r = evaluate(
+            Admissibility::SuppressedDerivative(EvidenceId::from_raw(0)),
+            &item,
+            &log,
+        );
+        assert_eq!(r.grounds().len(), 3);
+        assert!(r.to_string().contains("excluded"));
+    }
+}

@@ -1,0 +1,280 @@
+//! A simulated disk image with a file table — the substrate for the
+//! paper's Table 1 rows 18–19: drive-wide hash searching (*United States
+//! v. Crist*: a search) and mining an already-held dataset (*State v.
+//! Sloane*: not a search).
+
+use crate::hash::{sha256, Digest};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A file stored on the simulated disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskFile {
+    name: String,
+    content: Vec<u8>,
+    deleted: bool,
+}
+
+impl DiskFile {
+    /// The file name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The content bytes.
+    pub fn content(&self) -> &[u8] {
+        &self.content
+    }
+
+    /// Whether the file was "deleted" (still recoverable by forensics —
+    /// *United States v. Cox*).
+    pub fn is_deleted(&self) -> bool {
+        self.deleted
+    }
+
+    /// SHA-256 of the content.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.content)
+    }
+}
+
+/// A simulated disk image.
+///
+/// # Examples
+///
+/// ```
+/// use evidence::disk::DiskImage;
+/// use evidence::hash::sha256;
+///
+/// let mut disk = DiskImage::new("suspect laptop");
+/// disk.write_file("vacation.jpg", b"beach photo".to_vec());
+/// disk.write_file("contraband.dat", b"illegal bytes".to_vec());
+///
+/// let target = sha256(b"illegal bytes");
+/// let hits = disk.hash_search(&[target]);
+/// assert_eq!(hits.len(), 1);
+/// assert_eq!(hits[0], "contraband.dat");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiskImage {
+    label: String,
+    files: BTreeMap<String, DiskFile>,
+}
+
+impl DiskImage {
+    /// Creates an empty disk image.
+    pub fn new(label: impl Into<String>) -> Self {
+        DiskImage {
+            label: label.into(),
+            files: BTreeMap::new(),
+        }
+    }
+
+    /// The image label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Writes (or overwrites) a file.
+    pub fn write_file(&mut self, name: impl Into<String>, content: Vec<u8>) {
+        let name = name.into();
+        self.files.insert(
+            name.clone(),
+            DiskFile {
+                name,
+                content,
+                deleted: false,
+            },
+        );
+    }
+
+    /// Marks a file as deleted (content remains recoverable).
+    ///
+    /// Returns `false` if the file does not exist.
+    pub fn delete_file(&mut self, name: &str) -> bool {
+        match self.files.get_mut(name) {
+            Some(f) => {
+                f.deleted = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of files (including deleted-but-recoverable ones).
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Iterates all files, live first then deleted, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &DiskFile> {
+        self.files.values()
+    }
+
+    /// Live (undeleted) files only.
+    pub fn live_files(&self) -> impl Iterator<Item = &DiskFile> {
+        self.files.values().filter(|f| !f.deleted)
+    }
+
+    /// Serializes the whole image to bytes (for acquisition into an
+    /// [`EvidenceItem`]); the format is `name\0len:content` repeated in
+    /// name order, so equal images serialize identically.
+    ///
+    /// [`EvidenceItem`]: crate::item::EvidenceItem
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for f in self.files.values() {
+            out.extend_from_slice(f.name.as_bytes());
+            out.push(0);
+            out.push(u8::from(f.deleted));
+            out.extend_from_slice(&(f.content.len() as u64).to_be_bytes());
+            out.extend_from_slice(&f.content);
+        }
+        out
+    }
+
+    /// The forensic hash search of Table 1 row 18: compare every file
+    /// (including recoverable deleted files) against a set of known
+    /// target digests. Returns matching file names in order.
+    ///
+    /// This is the operation *Crist* holds to be a search requiring a
+    /// warrant — each file is its own closed container.
+    pub fn hash_search(&self, targets: &[Digest]) -> Vec<String> {
+        self.files
+            .values()
+            .filter(|f| targets.contains(&f.digest()))
+            .map(|f| f.name.clone())
+            .collect()
+    }
+
+    /// The Table 1 row-19 operation: derive aggregate statistics from an
+    /// already-held dataset without opening new containers.
+    pub fn mine_statistics(&self) -> DiskStatistics {
+        let mut total_bytes = 0u64;
+        let mut deleted = 0usize;
+        let mut extensions: BTreeMap<String, usize> = BTreeMap::new();
+        for f in self.files.values() {
+            total_bytes += f.content.len() as u64;
+            if f.deleted {
+                deleted += 1;
+            }
+            let ext = f
+                .name
+                .rsplit_once('.')
+                .map(|(_, e)| e.to_string())
+                .unwrap_or_else(|| "<none>".to_string());
+            *extensions.entry(ext).or_insert(0) += 1;
+        }
+        DiskStatistics {
+            files: self.files.len(),
+            deleted,
+            total_bytes,
+            extensions,
+        }
+    }
+}
+
+/// Aggregates produced by [`DiskImage::mine_statistics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskStatistics {
+    /// Total file count.
+    pub files: usize,
+    /// Deleted (recoverable) files.
+    pub deleted: usize,
+    /// Total content bytes.
+    pub total_bytes: u64,
+    /// File counts by extension.
+    pub extensions: BTreeMap<String, usize>,
+}
+
+impl fmt::Display for DiskStatistics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} files ({} deleted), {} bytes",
+            self.files, self.deleted, self.total_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> DiskImage {
+        let mut d = DiskImage::new("test disk");
+        d.write_file("a.txt", b"alpha".to_vec());
+        d.write_file("b.jpg", b"bravo image".to_vec());
+        d.write_file("c.jpg", b"charlie image".to_vec());
+        d.delete_file("c.jpg");
+        d
+    }
+
+    #[test]
+    fn write_and_count() {
+        let d = disk();
+        assert_eq!(d.file_count(), 3);
+        assert_eq!(d.live_files().count(), 2);
+        assert_eq!(d.iter().count(), 3);
+        assert_eq!(d.label(), "test disk");
+    }
+
+    #[test]
+    fn delete_marks_but_preserves() {
+        let mut d = disk();
+        assert!(!d.delete_file("nope"));
+        let c = d.iter().find(|f| f.name() == "c.jpg").unwrap();
+        assert!(c.is_deleted());
+        assert_eq!(c.content(), b"charlie image");
+    }
+
+    #[test]
+    fn hash_search_finds_live_and_deleted() {
+        let d = disk();
+        let targets = [sha256(b"charlie image"), sha256(b"alpha")];
+        let hits = d.hash_search(&targets);
+        assert_eq!(hits, vec!["a.txt".to_string(), "c.jpg".to_string()]);
+    }
+
+    #[test]
+    fn hash_search_no_false_positives() {
+        let d = disk();
+        assert!(d.hash_search(&[sha256(b"not present")]).is_empty());
+    }
+
+    #[test]
+    fn serialization_is_deterministic_and_injective() {
+        let d1 = disk();
+        let d2 = disk();
+        assert_eq!(d1.to_bytes(), d2.to_bytes());
+        let mut d3 = disk();
+        d3.write_file("d.txt", b"delta".to_vec());
+        assert_ne!(d1.to_bytes(), d3.to_bytes());
+    }
+
+    #[test]
+    fn statistics_mining() {
+        let stats = disk().mine_statistics();
+        assert_eq!(stats.files, 3);
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(stats.extensions["jpg"], 2);
+        assert_eq!(stats.extensions["txt"], 1);
+        assert!(stats.to_string().contains("3 files"));
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut d = disk();
+        d.write_file("a.txt", b"new alpha".to_vec());
+        assert_eq!(d.file_count(), 3);
+        assert!(d.hash_search(&[sha256(b"alpha")]).is_empty());
+        assert_eq!(d.hash_search(&[sha256(b"new alpha")]), vec!["a.txt"]);
+    }
+
+    #[test]
+    fn extensionless_files_bucketed() {
+        let mut d = DiskImage::new("x");
+        d.write_file("README", b"hi".to_vec());
+        assert_eq!(d.mine_statistics().extensions["<none>"], 1);
+    }
+}

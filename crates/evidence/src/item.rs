@@ -1,0 +1,223 @@
+//! Evidence items and their acquisition records.
+
+use crate::hash::{sha256, Digest};
+use forensic_law::process::LegalProcess;
+use std::fmt;
+
+/// Opaque identifier for an evidence item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ItemId(pub u64);
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item-{}", self.0)
+    }
+}
+
+/// The legal authority under which an item was acquired.
+///
+/// `required` is what the compliance engine said the action needed;
+/// `held` is the process actually in hand at acquisition time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AcquisitionAuthority {
+    /// Process the law required for the collecting action.
+    pub required: LegalProcess,
+    /// Process actually held.
+    pub held: LegalProcess,
+}
+
+impl AcquisitionAuthority {
+    /// Acquisition needing no process.
+    pub fn unrestricted() -> Self {
+        AcquisitionAuthority {
+            required: LegalProcess::None,
+            held: LegalProcess::None,
+        }
+    }
+
+    /// Whether the held process satisfied the requirement.
+    pub fn was_lawful(self) -> bool {
+        self.held.satisfies(self.required)
+    }
+}
+
+/// Who/when/how an item entered custody.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Acquisition {
+    /// The acquiring examiner or officer.
+    pub examiner: String,
+    /// Seconds since the investigation epoch (caller-supplied, so
+    /// simulations stay deterministic).
+    pub timestamp: u64,
+    /// Free-text method ("dd image of seized drive", "pen/trap tap").
+    pub method: String,
+    /// The legal footing.
+    pub authority: AcquisitionAuthority,
+}
+
+/// A piece of digital evidence: content plus its acquisition record and
+/// acquisition-time digest.
+///
+/// # Examples
+///
+/// ```
+/// use evidence::item::{Acquisition, AcquisitionAuthority, EvidenceItem, ItemId};
+///
+/// let item = EvidenceItem::new(
+///     ItemId(1),
+///     "disk image",
+///     b"raw sectors...".to_vec(),
+///     Acquisition {
+///         examiner: "agent smith".into(),
+///         timestamp: 1000,
+///         method: "dd image".into(),
+///         authority: AcquisitionAuthority::unrestricted(),
+///     },
+/// );
+/// assert!(item.verify_integrity());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvidenceItem {
+    id: ItemId,
+    label: String,
+    content: Vec<u8>,
+    acquisition: Acquisition,
+    acquisition_digest: Digest,
+}
+
+impl EvidenceItem {
+    /// Creates an item, computing its acquisition-time digest.
+    pub fn new(
+        id: ItemId,
+        label: impl Into<String>,
+        content: Vec<u8>,
+        acquisition: Acquisition,
+    ) -> Self {
+        let acquisition_digest = sha256(&content);
+        EvidenceItem {
+            id,
+            label: label.into(),
+            content,
+            acquisition,
+            acquisition_digest,
+        }
+    }
+
+    /// The item id.
+    pub fn id(&self) -> ItemId {
+        self.id
+    }
+
+    /// The label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The current content bytes.
+    pub fn content(&self) -> &[u8] {
+        &self.content
+    }
+
+    /// The acquisition record.
+    pub fn acquisition(&self) -> &Acquisition {
+        &self.acquisition
+    }
+
+    /// Digest computed when the item entered custody.
+    pub fn acquisition_digest(&self) -> Digest {
+        self.acquisition_digest
+    }
+
+    /// Recomputes the digest and checks it against the acquisition-time
+    /// value — the basic forensic integrity check.
+    pub fn verify_integrity(&self) -> bool {
+        sha256(&self.content) == self.acquisition_digest
+    }
+
+    /// Simulates tampering (for tests and failure-injection experiments):
+    /// flips a byte of content *without* updating the stored digest.
+    pub fn tamper(&mut self, offset: usize) {
+        if let Some(b) = self.content.get_mut(offset) {
+            *b ^= 0xff;
+        }
+    }
+}
+
+impl fmt::Display for EvidenceItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} \"{}\" ({} bytes, sha256 {})",
+            self.id,
+            self.label,
+            self.content.len(),
+            self.acquisition_digest
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acq() -> Acquisition {
+        Acquisition {
+            examiner: "examiner".into(),
+            timestamp: 42,
+            method: "imaging".into(),
+            authority: AcquisitionAuthority::unrestricted(),
+        }
+    }
+
+    #[test]
+    fn fresh_item_verifies() {
+        let item = EvidenceItem::new(ItemId(1), "x", vec![1, 2, 3], acq());
+        assert!(item.verify_integrity());
+        assert_eq!(item.content(), &[1, 2, 3]);
+        assert_eq!(item.id(), ItemId(1));
+    }
+
+    #[test]
+    fn tampering_breaks_verification() {
+        let mut item = EvidenceItem::new(ItemId(2), "x", vec![1, 2, 3], acq());
+        item.tamper(1);
+        assert!(!item.verify_integrity());
+    }
+
+    #[test]
+    fn tamper_out_of_range_is_noop() {
+        let mut item = EvidenceItem::new(ItemId(3), "x", vec![1], acq());
+        item.tamper(99);
+        assert!(item.verify_integrity());
+    }
+
+    #[test]
+    fn authority_lawfulness() {
+        let lawful = AcquisitionAuthority {
+            required: LegalProcess::Subpoena,
+            held: LegalProcess::SearchWarrant,
+        };
+        assert!(lawful.was_lawful());
+        let unlawful = AcquisitionAuthority {
+            required: LegalProcess::SearchWarrant,
+            held: LegalProcess::Subpoena,
+        };
+        assert!(!unlawful.was_lawful());
+        assert!(AcquisitionAuthority::unrestricted().was_lawful());
+    }
+
+    #[test]
+    fn display_mentions_digest() {
+        let item = EvidenceItem::new(ItemId(9), "drive", vec![0; 16], acq());
+        let s = item.to_string();
+        assert!(s.contains("item-9"));
+        assert!(s.contains("16 bytes"));
+    }
+
+    #[test]
+    fn same_content_same_digest() {
+        let a = EvidenceItem::new(ItemId(1), "a", vec![5; 100], acq());
+        let b = EvidenceItem::new(ItemId(2), "b", vec![5; 100], acq());
+        assert_eq!(a.acquisition_digest(), b.acquisition_digest());
+    }
+}

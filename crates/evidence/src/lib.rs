@@ -1,0 +1,48 @@
+//! # evidence
+//!
+//! Digital-evidence handling substrate for the `lexforensica` workspace:
+//! a from-scratch SHA-256/HMAC implementation, evidence items with
+//! acquisition-time digests, a tamper-evident (hash-chained) chain of
+//! custody, and a courtroom admissibility evaluator that combines
+//! forensic integrity with the [`forensic-law`] suppression analysis.
+//!
+//! The paper's central warning — unlawfully gathered evidence "may be
+//! suppressed in court" — becomes executable here: an
+//! [`EvidenceLocker`] tracks, for every item, the
+//! process the law *required* and the process the investigator *held*,
+//! and rules accordingly.
+//!
+//! [`EvidenceLocker`]: locker::EvidenceLocker
+//!
+//! ```
+//! use evidence::locker::EvidenceLocker;
+//! use forensic_law::process::LegalProcess;
+//!
+//! let mut locker = EvidenceLocker::new();
+//! // A full-content capture that needed a wiretap order, made without one:
+//! let capture = locker.acquire(
+//!     "packet capture", b"payload...".to_vec(), "agent", 100,
+//!     LegalProcess::WiretapOrder, LegalProcess::None,
+//! );
+//! assert!(!locker.admissibility(capture).unwrap().is_admissible());
+//! ```
+//!
+//! [`forensic-law`]: forensic_law
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod admissibility;
+pub mod custody;
+pub mod disk;
+pub mod hash;
+pub mod item;
+pub mod locker;
+pub mod report;
+
+pub use disk::{DiskImage, DiskStatistics};
+pub use hash::{hmac_sha256, sha256, Digest, Sha256};
+pub use item::{EvidenceItem, ItemId};
+pub use locker::EvidenceLocker;
+pub use report::ForensicReport;

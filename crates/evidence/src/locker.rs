@@ -1,0 +1,346 @@
+//! An evidence locker: items, their shared custody log, and their legal
+//! posture, managed together.
+
+use crate::admissibility::{evaluate, AdmissibilityReport};
+use crate::custody::{CustodyEvent, CustodyLog};
+use crate::item::{Acquisition, EvidenceItem, ItemId};
+use forensic_law::process::LegalProcess;
+use forensic_law::suppression::{Docket, EvidenceId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors returned by [`EvidenceLocker`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockerError {
+    /// No item with the given id.
+    UnknownItem(ItemId),
+}
+
+impl fmt::Display for LockerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockerError::UnknownItem(id) => write!(f, "unknown evidence item {id}"),
+        }
+    }
+}
+
+impl std::error::Error for LockerError {}
+
+/// A store binding [`EvidenceItem`]s to a shared [`CustodyLog`] and a
+/// legal [`Docket`].
+///
+/// # Examples
+///
+/// ```
+/// use evidence::locker::EvidenceLocker;
+/// use forensic_law::process::LegalProcess;
+///
+/// let mut locker = EvidenceLocker::new();
+/// let id = locker.acquire(
+///     "seized drive image",
+///     b"sectors...".to_vec(),
+///     "agent lee",
+///     100,
+///     LegalProcess::SearchWarrant, // required
+///     LegalProcess::SearchWarrant, // held
+/// );
+/// assert!(locker.admissibility(id).unwrap().is_admissible());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EvidenceLocker {
+    items: Vec<EvidenceItem>,
+    log: CustodyLog,
+    docket: Docket,
+    docket_ids: HashMap<ItemId, EvidenceId>,
+    next_id: u64,
+}
+
+impl EvidenceLocker {
+    /// Creates an empty locker.
+    pub fn new() -> Self {
+        EvidenceLocker::default()
+    }
+
+    /// Acquires a new root evidence item (no derivation parents).
+    ///
+    /// `required` is the process the compliance engine demanded for the
+    /// collecting action; `held` what the investigator actually had.
+    pub fn acquire(
+        &mut self,
+        label: impl Into<String>,
+        content: Vec<u8>,
+        examiner: impl Into<String>,
+        timestamp: u64,
+        required: LegalProcess,
+        held: LegalProcess,
+    ) -> ItemId {
+        self.acquire_derived(label, content, examiner, timestamp, required, held, [])
+    }
+
+    /// Acquires an item derived from earlier items (fruit-of-the-
+    /// poisonous-tree links).
+    #[allow(clippy::too_many_arguments)]
+    pub fn acquire_derived(
+        &mut self,
+        label: impl Into<String>,
+        content: Vec<u8>,
+        examiner: impl Into<String>,
+        timestamp: u64,
+        required: LegalProcess,
+        held: LegalProcess,
+        derived_from: impl IntoIterator<Item = ItemId>,
+    ) -> ItemId {
+        let label = label.into();
+        let examiner = examiner.into();
+        let id = ItemId(self.next_id);
+        self.next_id += 1;
+        let item = EvidenceItem::new(
+            id,
+            label.clone(),
+            content,
+            Acquisition {
+                examiner: examiner.clone(),
+                timestamp,
+                method: "acquisition".into(),
+                authority: crate::item::AcquisitionAuthority { required, held },
+            },
+        );
+        self.log.record(
+            id,
+            timestamp,
+            CustodyEvent::Acquired { by: examiner },
+            item.acquisition_digest(),
+        );
+        let parents: Vec<EvidenceId> = derived_from
+            .into_iter()
+            .filter_map(|p| self.docket_ids.get(&p).copied())
+            .collect();
+        let docket_id = if parents.is_empty() {
+            self.docket.add_root(label, required, held)
+        } else {
+            self.docket.add_derived(label, required, held, parents)
+        };
+        self.docket_ids.insert(id, docket_id);
+        self.items.push(item);
+        id
+    }
+
+    /// Records a custody transfer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockerError::UnknownItem`] if the item does not exist.
+    pub fn transfer(
+        &mut self,
+        id: ItemId,
+        timestamp: u64,
+        from: impl Into<String>,
+        to: impl Into<String>,
+    ) -> Result<(), LockerError> {
+        let digest = self.item(id)?.acquisition_digest();
+        self.log.record(
+            id,
+            timestamp,
+            CustodyEvent::Transferred {
+                from: from.into(),
+                to: to.into(),
+            },
+            digest,
+        );
+        Ok(())
+    }
+
+    /// Records an analysis event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockerError::UnknownItem`] if the item does not exist.
+    pub fn analyze(
+        &mut self,
+        id: ItemId,
+        timestamp: u64,
+        analyst: impl Into<String>,
+        tool: impl Into<String>,
+    ) -> Result<(), LockerError> {
+        let digest = self.item(id)?.acquisition_digest();
+        self.log.record(
+            id,
+            timestamp,
+            CustodyEvent::Analyzed {
+                by: analyst.into(),
+                tool: tool.into(),
+            },
+            digest,
+        );
+        Ok(())
+    }
+
+    /// Looks up an item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockerError::UnknownItem`] if absent.
+    pub fn item(&self, id: ItemId) -> Result<&EvidenceItem, LockerError> {
+        self.items
+            .iter()
+            .find(|i| i.id() == id)
+            .ok_or(LockerError::UnknownItem(id))
+    }
+
+    /// Mutable access, for failure-injection tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockerError::UnknownItem`] if absent.
+    pub fn item_mut(&mut self, id: ItemId) -> Result<&mut EvidenceItem, LockerError> {
+        self.items
+            .iter_mut()
+            .find(|i| i.id() == id)
+            .ok_or(LockerError::UnknownItem(id))
+    }
+
+    /// The shared custody log.
+    pub fn custody_log(&self) -> &CustodyLog {
+        &self.log
+    }
+
+    /// The legal docket.
+    pub fn docket(&self) -> &Docket {
+        &self.docket
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the locker is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Full admissibility determination for one item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockerError::UnknownItem`] if absent.
+    pub fn admissibility(&self, id: ItemId) -> Result<AdmissibilityReport, LockerError> {
+        let item = self.item(id)?;
+        let docket_id = self.docket_ids[&id];
+        let legal = self.docket.admissibility(docket_id);
+        Ok(evaluate(legal, item, &self.log))
+    }
+
+    /// Iterates over all items.
+    pub fn iter(&self) -> impl Iterator<Item = &EvidenceItem> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lawful_acquisition_is_admissible() {
+        let mut locker = EvidenceLocker::new();
+        let id = locker.acquire(
+            "drive",
+            vec![1, 2, 3],
+            "e",
+            10,
+            LegalProcess::SearchWarrant,
+            LegalProcess::SearchWarrant,
+        );
+        assert!(locker.admissibility(id).unwrap().is_admissible());
+        assert_eq!(locker.len(), 1);
+    }
+
+    #[test]
+    fn unlawful_acquisition_suppressed() {
+        let mut locker = EvidenceLocker::new();
+        let id = locker.acquire(
+            "wiretap capture",
+            vec![9; 8],
+            "e",
+            10,
+            LegalProcess::WiretapOrder,
+            LegalProcess::None,
+        );
+        assert!(!locker.admissibility(id).unwrap().is_admissible());
+    }
+
+    #[test]
+    fn derivation_propagates_taint() {
+        let mut locker = EvidenceLocker::new();
+        let bad = locker.acquire(
+            "warrantless image",
+            vec![1],
+            "e",
+            10,
+            LegalProcess::SearchWarrant,
+            LegalProcess::None,
+        );
+        let child = locker.acquire_derived(
+            "identity from image",
+            vec![2],
+            "e",
+            20,
+            LegalProcess::None,
+            LegalProcess::None,
+            [bad],
+        );
+        assert!(!locker.admissibility(child).unwrap().is_admissible());
+    }
+
+    #[test]
+    fn transfers_and_analysis_keep_custody_valid() {
+        let mut locker = EvidenceLocker::new();
+        let id = locker.acquire(
+            "d",
+            vec![1],
+            "e",
+            10,
+            LegalProcess::None,
+            LegalProcess::None,
+        );
+        locker.transfer(id, 20, "e", "lab").unwrap();
+        locker.analyze(id, 30, "lab", "carver").unwrap();
+        assert!(locker.custody_log().verify().is_ok());
+        assert!(locker.admissibility(id).unwrap().is_admissible());
+        assert_eq!(locker.custody_log().entries_for(id).count(), 3);
+    }
+
+    #[test]
+    fn tampered_item_becomes_inadmissible() {
+        let mut locker = EvidenceLocker::new();
+        let id = locker.acquire(
+            "d",
+            vec![1, 2],
+            "e",
+            10,
+            LegalProcess::None,
+            LegalProcess::None,
+        );
+        locker.item_mut(id).unwrap().tamper(0);
+        assert!(!locker.admissibility(id).unwrap().is_admissible());
+    }
+
+    #[test]
+    fn unknown_item_errors() {
+        let locker = EvidenceLocker::new();
+        assert_eq!(
+            locker.item(ItemId(99)).unwrap_err(),
+            LockerError::UnknownItem(ItemId(99))
+        );
+        assert!(locker.is_empty());
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut locker = EvidenceLocker::new();
+        locker.acquire("a", vec![1], "e", 1, LegalProcess::None, LegalProcess::None);
+        locker.acquire("b", vec![2], "e", 2, LegalProcess::None, LegalProcess::None);
+        assert_eq!(locker.iter().count(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Forensic report rendering: a human-readable account of a locker's
+//! contents, custody history, and admissibility — the artifact an
+//! examiner files with the court.
+
+use crate::locker::EvidenceLocker;
+use std::fmt;
+
+/// A timeline entry extracted from the custody log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// Seconds since the investigation epoch.
+    pub timestamp: u64,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// A rendered forensic report.
+#[derive(Debug, Clone)]
+pub struct ForensicReport {
+    case_name: String,
+    timeline: Vec<TimelineEntry>,
+    item_sections: Vec<String>,
+    admissible: usize,
+    excluded: usize,
+    custody_intact: bool,
+}
+
+impl ForensicReport {
+    /// Builds a report over a locker.
+    pub fn compile(case_name: impl Into<String>, locker: &EvidenceLocker) -> Self {
+        let mut timeline: Vec<TimelineEntry> = locker
+            .custody_log()
+            .entries()
+            .iter()
+            .map(|e| TimelineEntry {
+                timestamp: e.timestamp(),
+                description: format!("{} {}", e.item(), e.event()),
+            })
+            .collect();
+        timeline.sort_by_key(|t| t.timestamp);
+
+        let mut item_sections = Vec::new();
+        let mut admissible = 0;
+        let mut excluded = 0;
+        for item in locker.iter() {
+            let verdict = locker
+                .admissibility(item.id())
+                .expect("item exists in its own locker");
+            if verdict.is_admissible() {
+                admissible += 1;
+            } else {
+                excluded += 1;
+            }
+            let integrity = if item.verify_integrity() {
+                "verified"
+            } else {
+                "FAILED"
+            };
+            item_sections.push(format!(
+                "{item}\n    acquired by {} at t={} via {} (required {}, held {})\n    integrity: {integrity}; admissibility: {verdict}",
+                item.acquisition().examiner,
+                item.acquisition().timestamp,
+                item.acquisition().method,
+                item.acquisition().authority.required,
+                item.acquisition().authority.held,
+            ));
+        }
+        ForensicReport {
+            case_name: case_name.into(),
+            timeline,
+            item_sections,
+            admissible,
+            excluded,
+            custody_intact: locker.custody_log().verify().is_ok(),
+        }
+    }
+
+    /// The chronological timeline.
+    pub fn timeline(&self) -> &[TimelineEntry] {
+        &self.timeline
+    }
+
+    /// Count of admissible items.
+    pub fn admissible_count(&self) -> usize {
+        self.admissible
+    }
+
+    /// Count of excluded items.
+    pub fn excluded_count(&self) -> usize {
+        self.excluded
+    }
+
+    /// Whether the shared custody log verifies.
+    pub fn custody_intact(&self) -> bool {
+        self.custody_intact
+    }
+}
+
+impl fmt::Display for ForensicReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FORENSIC REPORT — {}", self.case_name)?;
+        writeln!(
+            f,
+            "custody chain: {}; {} admissible, {} excluded",
+            if self.custody_intact {
+                "intact"
+            } else {
+                "DEFECTIVE"
+            },
+            self.admissible,
+            self.excluded
+        )?;
+        writeln!(f, "\nEVIDENCE ITEMS")?;
+        for s in &self.item_sections {
+            writeln!(f, "  {s}")?;
+        }
+        writeln!(f, "\nTIMELINE")?;
+        for t in &self.timeline {
+            writeln!(f, "  t={:<8} {}", t.timestamp, t.description)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forensic_law::process::LegalProcess;
+
+    fn locker() -> EvidenceLocker {
+        let mut l = EvidenceLocker::new();
+        let a = l.acquire(
+            "drive image",
+            vec![1, 2, 3],
+            "agent a",
+            10,
+            LegalProcess::SearchWarrant,
+            LegalProcess::SearchWarrant,
+        );
+        l.transfer(a, 20, "agent a", "lab").unwrap();
+        l.analyze(a, 30, "lab", "hash sweep").unwrap();
+        l.acquire(
+            "warrantless capture",
+            vec![9],
+            "agent b",
+            40,
+            LegalProcess::WiretapOrder,
+            LegalProcess::None,
+        );
+        l
+    }
+
+    #[test]
+    fn report_counts_and_timeline() {
+        let report = ForensicReport::compile("op test", &locker());
+        assert_eq!(report.admissible_count(), 1);
+        assert_eq!(report.excluded_count(), 1);
+        assert!(report.custody_intact());
+        assert_eq!(report.timeline().len(), 4);
+        // Chronological.
+        for w in report.timeline().windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn rendering_contains_key_facts() {
+        let text = ForensicReport::compile("op test", &locker()).to_string();
+        assert!(text.contains("FORENSIC REPORT — op test"));
+        assert!(text.contains("drive image"));
+        assert!(text.contains("integrity: verified"));
+        assert!(text.contains("suppressed"));
+        assert!(text.contains("TIMELINE"));
+        assert!(text.contains("transferred agent a → lab"));
+    }
+
+    #[test]
+    fn tampered_item_flagged_in_report() {
+        let mut l = locker();
+        let first = l.iter().next().unwrap().id();
+        l.item_mut(first).unwrap().tamper(0);
+        let report = ForensicReport::compile("t", &l);
+        assert_eq!(report.admissible_count(), 0);
+        assert!(report.to_string().contains("integrity: FAILED"));
+    }
+
+    #[test]
+    fn empty_locker_report() {
+        let report = ForensicReport::compile("empty", &EvidenceLocker::new());
+        assert_eq!(report.admissible_count(), 0);
+        assert_eq!(report.excluded_count(), 0);
+        assert!(report.custody_intact());
+        assert!(report.timeline().is_empty());
+    }
+}

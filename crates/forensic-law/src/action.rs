@@ -1,0 +1,401 @@
+//! A machine-readable description of an investigative action — the input
+//! to the compliance engine.
+//!
+//! An [`InvestigativeAction`] captures the facts the paper's framework
+//! turns on: who acts ([`Actor`]), what data is collected
+//! ([`DataSpec`]), by what method ([`Method`]), with what consent,
+//! exigency, or other exception in play ([`Circumstances`]).
+
+use crate::actor::Actor;
+use crate::data::DataSpec;
+use crate::exceptions::{Consent, EmergencyPenTrap, Exigency};
+use crate::provider::{CompelledInfo, MessageLifecycle};
+use std::fmt;
+
+/// How the information is technically acquired. Each flag corresponds to a
+/// doctrine the engine must consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Method {
+    /// The investigator participates in a protocol whose normal operation
+    /// exposes the information to any participant (P2P queries, public
+    /// chat rooms, public websites) — §IV-A: "it is legal for everybody to
+    /// observe the traffic under normal operations of the protocol".
+    pub joins_public_protocol: bool,
+    /// Specialized technology *not in general public use* is employed
+    /// (the first Kyllo factor, §III-B-a).
+    pub specialized_tech_not_public: bool,
+    /// The technology discloses information about the interior of a home
+    /// (the second Kyllo factor).
+    pub reveals_home_interior: bool,
+    /// An exhaustive forensic examination (e.g. hashing every file on a
+    /// drive) looking for specific material — *United States v. Crist*
+    /// (Table 1 row 18).
+    pub exhaustive_forensic_search: bool,
+    /// Analysis confined to a dataset already lawfully in government
+    /// custody — *State v. Sloane* (Table 1 row 19).
+    pub derives_from_lawfully_held_dataset: bool,
+    /// Uses an arrestee's own credentials to reach remote data
+    /// (Table 1 row 20).
+    pub uses_credentials_of_arrestee: bool,
+    /// Observes only traffic *rates/volumes*, never packet contents — the
+    /// §IV-B DSSS-watermark posture ("they do not need to collect the
+    /// entire packet, so they do not need a wiretap warrant").
+    pub rate_observation_only: bool,
+    /// The investigator operates network infrastructure (e.g. runs a Tor
+    /// node) and collects other users' traffic transiting it
+    /// (Table 1 row 13).
+    pub operates_intercepting_infrastructure: bool,
+}
+
+/// Circumstances bearing on exceptions and context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Circumstances {
+    /// A binding policy (employer/campus terms) eliminates users'
+    /// expectation of privacy on this network (Table 1 row 2).
+    pub policy_eliminates_privacy: bool,
+    /// A victim of an ongoing intrusion authorized monitoring of the
+    /// trespasser on the victim's own system (§ 2511(2)(i); Table 1 row 15).
+    pub victim_authorized_trespasser_monitoring: bool,
+    /// The target is on probation, parole, or supervised release
+    /// (§III-B-f).
+    pub target_on_probation: bool,
+    /// The evidence appeared in plain view during lawful presence
+    /// (§III-B-e).
+    pub plain_view_during_lawful_presence: bool,
+    /// A private party already conducted this search and reported it; the
+    /// government merely repeats it within the private search's scope
+    /// (§III-B-i).
+    pub repeats_prior_private_search: bool,
+    /// The surveillance target entity functions as a communications
+    /// service provider for third parties ("the hidden web server is as an
+    /// ISP", Table 1 rows 12 and 14).
+    pub target_operates_as_provider: bool,
+}
+
+/// A request to *compel* a provider to disclose information under § 2703.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProviderCompulsion {
+    /// The provider's SCA posture with respect to the data.
+    pub lifecycle: MessageLifecycle,
+    /// Which category of information is demanded.
+    pub info: CompelledInfo,
+}
+
+/// A full description of an investigative action.
+///
+/// Construct with [`InvestigativeAction::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::action::InvestigativeAction;
+/// use forensic_law::actor::Actor;
+/// use forensic_law::data::{ContentClass, DataLocation, DataSpec, Temporality, TransmissionMedium};
+///
+/// let action = InvestigativeAction::builder(
+///     Actor::law_enforcement(),
+///     DataSpec::new(
+///         ContentClass::Content,
+///         Temporality::RealTime,
+///         DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+///     ),
+/// )
+/// .describe("full packet capture at an ISP")
+/// .build();
+/// assert!(action.data().is_interception_of_content());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvestigativeAction {
+    actor: Actor,
+    data: DataSpec,
+    description: String,
+    method: Method,
+    circumstances: Circumstances,
+    consent: Option<Consent>,
+    exigency: Option<Exigency>,
+    emergency_pen_trap: Option<EmergencyPenTrap>,
+    compulsion: Option<ProviderCompulsion>,
+}
+
+impl InvestigativeAction {
+    /// Starts building an action performed by `actor` targeting `data`.
+    pub fn builder(actor: Actor, data: DataSpec) -> InvestigativeActionBuilder {
+        InvestigativeActionBuilder {
+            action: InvestigativeAction {
+                actor,
+                data,
+                description: String::new(),
+                method: Method::default(),
+                circumstances: Circumstances::default(),
+                consent: None,
+                exigency: None,
+                emergency_pen_trap: None,
+                compulsion: None,
+            },
+        }
+    }
+
+    /// Who performs the action.
+    pub fn actor(&self) -> Actor {
+        self.actor
+    }
+
+    /// What data is targeted.
+    pub fn data(&self) -> DataSpec {
+        self.data
+    }
+
+    /// Human-readable description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The acquisition method flags.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The contextual circumstances.
+    pub fn circumstances(&self) -> Circumstances {
+        self.circumstances
+    }
+
+    /// Consent in play, if any.
+    pub fn consent(&self) -> Option<Consent> {
+        self.consent
+    }
+
+    /// Exigency claimed, if any.
+    pub fn exigency(&self) -> Option<Exigency> {
+        self.exigency
+    }
+
+    /// Emergency pen/trap authorization claimed, if any.
+    pub fn emergency_pen_trap(&self) -> Option<EmergencyPenTrap> {
+        self.emergency_pen_trap
+    }
+
+    /// Provider compulsion demanded, if any.
+    pub fn compulsion(&self) -> Option<ProviderCompulsion> {
+        self.compulsion
+    }
+}
+
+impl fmt::Display for InvestigativeAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.description.is_empty() {
+            write!(f, "{} collects {}", self.actor, self.data)
+        } else {
+            f.write_str(&self.description)
+        }
+    }
+}
+
+/// Builder for [`InvestigativeAction`] (non-consuming, per C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct InvestigativeActionBuilder {
+    action: InvestigativeAction,
+}
+
+impl InvestigativeActionBuilder {
+    /// Sets the human-readable description.
+    pub fn describe(&mut self, text: impl Into<String>) -> &mut Self {
+        self.action.description = text.into();
+        self
+    }
+
+    /// The investigator participates in a public protocol (P2P, chat,
+    /// web).
+    pub fn joining_public_protocol(&mut self) -> &mut Self {
+        self.action.method.joins_public_protocol = true;
+        self
+    }
+
+    /// Specialized technology not in general public use is used; `reveals
+    /// home interior` triggers the full Kyllo rule.
+    pub fn with_specialized_tech(&mut self, reveals_home_interior: bool) -> &mut Self {
+        self.action.method.specialized_tech_not_public = true;
+        self.action.method.reveals_home_interior = reveals_home_interior;
+        self
+    }
+
+    /// Exhaustive forensic search of media (e.g. drive-wide hashing).
+    pub fn exhaustive_forensic_search(&mut self) -> &mut Self {
+        self.action.method.exhaustive_forensic_search = true;
+        self
+    }
+
+    /// Mining a dataset already lawfully held.
+    pub fn mining_lawfully_held_dataset(&mut self) -> &mut Self {
+        self.action.method.derives_from_lawfully_held_dataset = true;
+        self
+    }
+
+    /// Uses an arrestee's credentials to access remote data.
+    pub fn using_arrestee_credentials(&mut self) -> &mut Self {
+        self.action.method.uses_credentials_of_arrestee = true;
+        self
+    }
+
+    /// Observes only traffic rates/volumes (never contents).
+    pub fn rate_observation_only(&mut self) -> &mut Self {
+        self.action.method.rate_observation_only = true;
+        self
+    }
+
+    /// The investigator operates infrastructure that intercepts third
+    /// parties' traffic (e.g. runs a Tor relay).
+    pub fn operating_intercepting_infrastructure(&mut self) -> &mut Self {
+        self.action.method.operates_intercepting_infrastructure = true;
+        self
+    }
+
+    /// A binding policy eliminates the privacy expectation on the network.
+    pub fn policy_eliminates_privacy(&mut self) -> &mut Self {
+        self.action.circumstances.policy_eliminates_privacy = true;
+        self
+    }
+
+    /// The intrusion victim authorized trespasser monitoring
+    /// (§ 2511(2)(i)).
+    pub fn victim_authorized_trespasser_monitoring(&mut self) -> &mut Self {
+        self.action
+            .circumstances
+            .victim_authorized_trespasser_monitoring = true;
+        self
+    }
+
+    /// The target is on probation/parole/supervised release.
+    pub fn target_on_probation(&mut self) -> &mut Self {
+        self.action.circumstances.target_on_probation = true;
+        self
+    }
+
+    /// Evidence in plain view during lawful presence.
+    pub fn plain_view(&mut self) -> &mut Self {
+        self.action.circumstances.plain_view_during_lawful_presence = true;
+        self
+    }
+
+    /// The government repeats a search a private party already performed.
+    pub fn repeating_private_search(&mut self) -> &mut Self {
+        self.action.circumstances.repeats_prior_private_search = true;
+        self
+    }
+
+    /// The surveilled target functions as a service provider ("as an
+    /// ISP").
+    pub fn target_operates_as_provider(&mut self) -> &mut Self {
+        self.action.circumstances.target_operates_as_provider = true;
+        self
+    }
+
+    /// Adds a consent grant.
+    pub fn with_consent(&mut self, consent: Consent) -> &mut Self {
+        self.action.consent = Some(consent);
+        self
+    }
+
+    /// Adds an exigency claim.
+    pub fn with_exigency(&mut self, exigency: Exigency) -> &mut Self {
+        self.action.exigency = Some(exigency);
+        self
+    }
+
+    /// Adds an emergency pen/trap authorization.
+    pub fn with_emergency_pen_trap(&mut self, auth: EmergencyPenTrap) -> &mut Self {
+        self.action.emergency_pen_trap = Some(auth);
+        self
+    }
+
+    /// Adds a § 2703 provider compulsion demand.
+    pub fn compelling_provider(&mut self, compulsion: ProviderCompulsion) -> &mut Self {
+        self.action.compulsion = Some(compulsion);
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(&self) -> InvestigativeAction {
+        self.action.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{ContentClass, DataLocation, Temporality, TransmissionMedium};
+    use crate::exceptions::ConsentAuthority;
+
+    fn spec() -> DataSpec {
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        )
+    }
+
+    #[test]
+    fn builder_defaults_are_clean() {
+        let a = InvestigativeAction::builder(Actor::law_enforcement(), spec()).build();
+        assert_eq!(a.method(), Method::default());
+        assert_eq!(a.circumstances(), Circumstances::default());
+        assert!(a.consent().is_none());
+        assert!(a.exigency().is_none());
+        assert!(a.compulsion().is_none());
+    }
+
+    #[test]
+    fn builder_sets_flags() {
+        let a = InvestigativeAction::builder(Actor::law_enforcement(), spec())
+            .describe("test action")
+            .joining_public_protocol()
+            .with_specialized_tech(true)
+            .rate_observation_only()
+            .target_on_probation()
+            .build();
+        assert!(a.method().joins_public_protocol);
+        assert!(a.method().specialized_tech_not_public);
+        assert!(a.method().reveals_home_interior);
+        assert!(a.method().rate_observation_only);
+        assert!(a.circumstances().target_on_probation);
+        assert_eq!(a.description(), "test action");
+    }
+
+    #[test]
+    fn builder_supports_one_liner_and_staged_use() {
+        // One-liner.
+        let one = InvestigativeAction::builder(Actor::law_enforcement(), spec())
+            .plain_view()
+            .build();
+        assert!(one.circumstances().plain_view_during_lawful_presence);
+
+        // Staged.
+        let mut b = InvestigativeAction::builder(Actor::law_enforcement(), spec());
+        b.describe("staged");
+        if true {
+            b.exhaustive_forensic_search();
+        }
+        let staged = b.build();
+        assert!(staged.method().exhaustive_forensic_search);
+    }
+
+    #[test]
+    fn consent_and_exigency_attach() {
+        let a = InvestigativeAction::builder(Actor::law_enforcement(), spec())
+            .with_consent(Consent::by(ConsentAuthority::TargetSelf))
+            .with_exigency(Exigency::HotPursuit)
+            .build();
+        assert!(a.consent().unwrap().is_effective());
+        assert_eq!(a.exigency(), Some(Exigency::HotPursuit));
+    }
+
+    #[test]
+    fn display_uses_description_when_present() {
+        let a = InvestigativeAction::builder(Actor::law_enforcement(), spec())
+            .describe("wiretap at ISP")
+            .build();
+        assert_eq!(a.to_string(), "wiretap at ISP");
+        let b = InvestigativeAction::builder(Actor::law_enforcement(), spec()).build();
+        assert!(b.to_string().contains("law enforcement"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Who is performing the investigative action, and whether the
+//! constitutional and statutory restraints attach to them.
+//!
+//! The Fourth Amendment and the compelled-process provisions restrain
+//! *government* actors and those acting as their agents or at their
+//! instigation (§III-B-i of the paper: "The Fourth Amendment has
+//! restrictions on government and the ones who act as agents of the
+//! government or are instigated by government"). A purely private search —
+//! a repairman stumbling on contraband, a campus administrator monitoring
+//! the network they run — is outside the Fourth Amendment entirely.
+
+use std::fmt;
+
+/// The institutional role of the person performing an action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActorKind {
+    /// Sworn law-enforcement officer or federal agent.
+    LawEnforcement,
+    /// A government entity acting as an *employer* (O'Connor v. Ortega
+    /// workplace searches).
+    GovernmentEmployer,
+    /// A private individual with no government connection.
+    PrivateIndividual,
+    /// A system or network administrator operating their own network
+    /// (e.g. campus IT, a corporate NOC).
+    SystemAdministrator,
+    /// A communications service provider (ISP, mail provider) acting on
+    /// its own systems.
+    ServiceProvider,
+    /// The victim of an ongoing computer attack.
+    Victim,
+}
+
+impl ActorKind {
+    /// Whether this role is inherently governmental.
+    pub fn is_inherently_governmental(self) -> bool {
+        matches!(
+            self,
+            ActorKind::LawEnforcement | ActorKind::GovernmentEmployer
+        )
+    }
+}
+
+impl fmt::Display for ActorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ActorKind::LawEnforcement => "law enforcement",
+            ActorKind::GovernmentEmployer => "government employer",
+            ActorKind::PrivateIndividual => "private individual",
+            ActorKind::SystemAdministrator => "system administrator",
+            ActorKind::ServiceProvider => "service provider",
+            ActorKind::Victim => "attack victim",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An actor together with the agency-doctrine facts that determine whether
+/// the Fourth Amendment restrains them.
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::actor::{Actor, ActorKind};
+///
+/// let officer = Actor::law_enforcement();
+/// assert!(officer.is_government_actor());
+///
+/// let admin = Actor::new(ActorKind::SystemAdministrator);
+/// assert!(!admin.is_government_actor());
+///
+/// // A private actor *instigated by* the government is treated as a
+/// // government agent (agency doctrine).
+/// let deputized = Actor::new(ActorKind::PrivateIndividual).directed_by_government();
+/// assert!(deputized.is_government_actor());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Actor {
+    kind: ActorKind,
+    government_directed: bool,
+}
+
+impl Actor {
+    /// Creates an actor of the given kind with no government direction.
+    pub fn new(kind: ActorKind) -> Self {
+        Actor {
+            kind,
+            government_directed: false,
+        }
+    }
+
+    /// Convenience constructor for a law-enforcement officer.
+    pub fn law_enforcement() -> Self {
+        Actor::new(ActorKind::LawEnforcement)
+    }
+
+    /// Convenience constructor for a private individual.
+    pub fn private_individual() -> Self {
+        Actor::new(ActorKind::PrivateIndividual)
+    }
+
+    /// Convenience constructor for a network/system administrator.
+    pub fn system_administrator() -> Self {
+        Actor::new(ActorKind::SystemAdministrator)
+    }
+
+    /// Marks the actor as acting at the government's direction or
+    /// instigation, which brings a nominally private actor within the
+    /// Fourth Amendment under the agency doctrine.
+    #[must_use]
+    pub fn directed_by_government(mut self) -> Self {
+        self.government_directed = true;
+        self
+    }
+
+    /// The actor's institutional role.
+    pub fn kind(self) -> ActorKind {
+        self.kind
+    }
+
+    /// Whether the actor was directed or instigated by the government.
+    pub fn is_government_directed(self) -> bool {
+        self.government_directed
+    }
+
+    /// Whether constitutional restraints attach: true for inherently
+    /// governmental roles and for private actors acting as government
+    /// agents.
+    pub fn is_government_actor(self) -> bool {
+        self.kind.is_inherently_governmental() || self.government_directed
+    }
+
+    /// Whether a search by this actor qualifies as a *private search*
+    /// (outside the Fourth Amendment, §III-B-i).
+    pub fn qualifies_as_private_search(self) -> bool {
+        !self.is_government_actor()
+    }
+}
+
+impl Default for Actor {
+    fn default() -> Self {
+        Actor::law_enforcement()
+    }
+}
+
+impl fmt::Display for Actor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.government_directed && !self.kind.is_inherently_governmental() {
+            write!(f, "{} (acting as government agent)", self.kind)
+        } else {
+            write!(f, "{}", self.kind)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn law_enforcement_is_government() {
+        assert!(Actor::law_enforcement().is_government_actor());
+    }
+
+    #[test]
+    fn government_employer_is_government() {
+        assert!(Actor::new(ActorKind::GovernmentEmployer).is_government_actor());
+    }
+
+    #[test]
+    fn private_roles_are_not_government_by_default() {
+        for kind in [
+            ActorKind::PrivateIndividual,
+            ActorKind::SystemAdministrator,
+            ActorKind::ServiceProvider,
+            ActorKind::Victim,
+        ] {
+            assert!(!Actor::new(kind).is_government_actor(), "{kind:?}");
+            assert!(Actor::new(kind).qualifies_as_private_search());
+        }
+    }
+
+    #[test]
+    fn agency_doctrine_converts_private_to_government() {
+        let agent = Actor::private_individual().directed_by_government();
+        assert!(agent.is_government_actor());
+        assert!(!agent.qualifies_as_private_search());
+    }
+
+    #[test]
+    fn directed_government_actor_is_still_government() {
+        let a = Actor::law_enforcement().directed_by_government();
+        assert!(a.is_government_actor());
+    }
+
+    #[test]
+    fn display_mentions_agency_for_directed_private_actor() {
+        let agent = Actor::private_individual().directed_by_government();
+        assert!(agent.to_string().contains("government agent"));
+        assert!(!Actor::law_enforcement().to_string().contains("agent"));
+    }
+
+    #[test]
+    fn private_search_excluded_for_government() {
+        assert!(!Actor::law_enforcement().qualifies_as_private_search());
+    }
+}

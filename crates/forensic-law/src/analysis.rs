@@ -1,0 +1,345 @@
+//! Research-technique feasibility analysis — the paper's §IV, as an API.
+//!
+//! "When researchers invent a new technique for law enforcement officers,
+//! they need to consider whether law enforcement can use the new
+//! technique practically and legally." This module classifies a proposed
+//! technique the way the paper classifies its two case studies: workable
+//! without process (§IV-A), workable with process (§IV-B), workable only
+//! as a private search, or unusable — and issues the paper's
+//! recommendation for each.
+
+use crate::action::InvestigativeAction;
+use crate::assessment::{LegalAssessment, Verdict};
+use crate::casebook::CitationId;
+use crate::engine::ComplianceEngine;
+use crate::process::LegalProcess;
+use std::fmt;
+
+/// How a proposed technique can actually be used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feasibility {
+    /// Usable directly, ahead of any warrant/court order/subpoena — the
+    /// paper's preferred class (§IV-A, §V).
+    WorkableWithoutProcess,
+    /// Usable once the named process is obtained (§IV-B situation one).
+    WorkableWithProcess(LegalProcess),
+    /// Only usable when a private party (admin, provider) runs it on
+    /// their own systems and reports the fruits (§IV-B situation two).
+    PrivateSearchOnly,
+    /// Not usable by the proposed actor at all.
+    Unusable,
+}
+
+impl fmt::Display for Feasibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Feasibility::WorkableWithoutProcess => {
+                f.write_str("workable without warrant/court order/subpoena")
+            }
+            Feasibility::WorkableWithProcess(p) => write!(f, "workable with a {p}"),
+            Feasibility::PrivateSearchOnly => f.write_str("workable only as a private search"),
+            Feasibility::Unusable => f.write_str("not usable by this actor"),
+        }
+    }
+}
+
+/// A research technique under legal review: how law enforcement would
+/// use it, and (optionally) how a private operator would.
+#[derive(Debug, Clone)]
+pub struct TechniqueProfile {
+    name: String,
+    law_enforcement_use: InvestigativeAction,
+    private_operator_use: Option<InvestigativeAction>,
+}
+
+impl TechniqueProfile {
+    /// Describes a technique by its law-enforcement usage.
+    pub fn new(name: impl Into<String>, law_enforcement_use: InvestigativeAction) -> Self {
+        TechniqueProfile {
+            name: name.into(),
+            law_enforcement_use,
+            private_operator_use: None,
+        }
+    }
+
+    /// Adds the private-operator variant of the same technique (e.g. two
+    /// campus administrators on their own gateways).
+    #[must_use]
+    pub fn with_private_variant(mut self, action: InvestigativeAction) -> Self {
+        self.private_operator_use = Some(action);
+        self
+    }
+
+    /// The technique's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The outcome of the feasibility analysis.
+#[derive(Debug, Clone)]
+pub struct TechniqueAnalysis {
+    name: String,
+    feasibility: Feasibility,
+    law_enforcement_assessment: LegalAssessment,
+    private_assessment: Option<LegalAssessment>,
+    recommendation: String,
+}
+
+impl TechniqueAnalysis {
+    /// The feasibility class.
+    pub fn feasibility(&self) -> Feasibility {
+        self.feasibility
+    }
+
+    /// The engine's assessment of the law-enforcement usage.
+    pub fn law_enforcement_assessment(&self) -> &LegalAssessment {
+        &self.law_enforcement_assessment
+    }
+
+    /// The engine's assessment of the private-operator usage, when
+    /// profiled.
+    pub fn private_assessment(&self) -> Option<&LegalAssessment> {
+        self.private_assessment.as_ref()
+    }
+
+    /// The paper-style recommendation.
+    pub fn recommendation(&self) -> &str {
+        &self.recommendation
+    }
+}
+
+impl fmt::Display for TechniqueAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "technique: {}", self.name)?;
+        writeln!(f, "feasibility: {}", self.feasibility)?;
+        write!(f, "recommendation: {}", self.recommendation)
+    }
+}
+
+/// Analyzes a technique profile.
+pub fn analyze(profile: &TechniqueProfile) -> TechniqueAnalysis {
+    let engine = ComplianceEngine::new();
+    let le = engine.assess(&profile.law_enforcement_use);
+    let private = profile
+        .private_operator_use
+        .as_ref()
+        .map(|a| engine.assess(a));
+
+    let feasibility = match le.verdict() {
+        Verdict::NoProcessNeeded => Feasibility::WorkableWithoutProcess,
+        Verdict::ProcessRequired(p) => Feasibility::WorkableWithProcess(p),
+        Verdict::UnlawfulForPrivateActor => match &private {
+            Some(pa) if pa.verdict() == Verdict::NoProcessNeeded => Feasibility::PrivateSearchOnly,
+            _ => Feasibility::Unusable,
+        },
+    };
+
+    let recommendation = match feasibility {
+        Feasibility::WorkableWithoutProcess => {
+            "directly usable in criminal investigations ahead of a warrant/court order/subpoena; \
+             ideal for gathering the facts that later applications will rest on"
+                .to_string()
+        }
+        Feasibility::WorkableWithProcess(p) => {
+            let private_note = match &private {
+                Some(pa) if pa.verdict() == Verdict::NoProcessNeeded => {
+                    "; alternatively workable as a private search by operators on their own systems"
+                }
+                _ => "",
+            };
+            format!(
+                "usable once a {p} issues; given the overhead and reduced budgets, law \
+                 enforcement may hesitate to adopt it{private_note}"
+            )
+        }
+        Feasibility::PrivateSearchOnly => {
+            "law enforcement cannot run this directly; design for private operators who may \
+             lawfully monitor their own systems and report their suspicion"
+                .to_string()
+        }
+        Feasibility::Unusable => {
+            "redesign the technique: as profiled it cannot be used lawfully by anyone".to_string()
+        }
+    };
+
+    TechniqueAnalysis {
+        name: profile.name.clone(),
+        feasibility,
+        law_enforcement_assessment: le,
+        private_assessment: private,
+        recommendation,
+    }
+}
+
+/// The paper's §IV-A case study: the OneSwarm timing attack.
+pub fn oneswarm_timing_attack_profile() -> TechniqueProfile {
+    use crate::actor::Actor;
+    use crate::data::{ContentClass, DataLocation, DataSpec, Temporality};
+    TechniqueProfile::new(
+        "OneSwarm response-delay timing attack (Prusty et al., CCS 2011)",
+        InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::RealTime,
+                DataLocation::PublicForum,
+            ),
+        )
+        .describe("join the anonymous P2P system, query, and time neighbors' responses")
+        .joining_public_protocol()
+        .build(),
+    )
+}
+
+/// The paper's §IV-B case study: the long-PN-code DSSS watermark.
+pub fn dsss_watermark_profile() -> TechniqueProfile {
+    use crate::actor::Actor;
+    use crate::data::{ContentClass, DataLocation, DataSpec, Temporality, TransmissionMedium};
+    let le_use = InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        ),
+    )
+    .describe("modulate the seized server's rate; collect traffic rates at the suspect's ISP")
+    .rate_observation_only()
+    .build();
+    let admin_use = InvestigativeAction::builder(
+        Actor::system_administrator(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::OwnNetwork),
+        ),
+    )
+    .describe("two campus administrators watermark and observe their own gateways")
+    .rate_observation_only()
+    .build();
+    TechniqueProfile::new(
+        "long-PN-code DSSS flow watermark (Huang et al., INFOCOM 2011)",
+        le_use,
+    )
+    .with_private_variant(admin_use)
+}
+
+/// The paper's closing recommendation (§V), for inclusion in reports.
+pub fn closing_recommendation() -> (&'static str, CitationId) {
+    (
+        "researchers could focus on crime scene investigations that do not need \
+         warrant/court order/subpoena, particularly for traceback related network \
+         forensics, so that their research and development can be more easily \
+         accepted by law enforcement to generate a larger impact",
+        CitationId::WallsInvestigatorCentric,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oneswarm_attack_is_workable_without_process() {
+        let analysis = analyze(&oneswarm_timing_attack_profile());
+        assert_eq!(analysis.feasibility(), Feasibility::WorkableWithoutProcess);
+        assert!(analysis.recommendation().contains("ahead of a warrant"));
+    }
+
+    #[test]
+    fn dsss_watermark_needs_court_order_with_private_variant() {
+        let analysis = analyze(&dsss_watermark_profile());
+        assert_eq!(
+            analysis.feasibility(),
+            Feasibility::WorkableWithProcess(LegalProcess::CourtOrder)
+        );
+        // The paper notes the private-search alternative.
+        assert!(analysis.recommendation().contains("private search"));
+        let private = analysis.private_assessment().unwrap();
+        assert_eq!(private.verdict(), Verdict::NoProcessNeeded);
+    }
+
+    #[test]
+    fn wiretap_technique_for_private_actor_is_unusable() {
+        use crate::actor::Actor;
+        use crate::data::{ContentClass, DataLocation, DataSpec, Temporality, TransmissionMedium};
+        let profile = TechniqueProfile::new(
+            "private wiretapping",
+            InvestigativeAction::builder(
+                Actor::private_individual(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+                ),
+            )
+            .build(),
+        );
+        let analysis = analyze(&profile);
+        assert_eq!(analysis.feasibility(), Feasibility::Unusable);
+        assert!(analysis.recommendation().contains("redesign"));
+    }
+
+    #[test]
+    fn private_search_only_class_detected() {
+        use crate::actor::Actor;
+        use crate::data::{ContentClass, DataLocation, DataSpec, Temporality, TransmissionMedium};
+        // A full-content monitor: unlawful for a private individual off
+        // their own network, but fine for an admin on their own network.
+        let profile = TechniqueProfile::new(
+            "gateway content monitor",
+            InvestigativeAction::builder(
+                Actor::private_individual(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+                ),
+            )
+            .build(),
+        )
+        .with_private_variant(
+            InvestigativeAction::builder(
+                Actor::system_administrator(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::OwnNetwork),
+                ),
+            )
+            .build(),
+        );
+        let analysis = analyze(&profile);
+        assert_eq!(analysis.feasibility(), Feasibility::PrivateSearchOnly);
+    }
+
+    #[test]
+    fn display_and_metadata() {
+        let analysis = analyze(&oneswarm_timing_attack_profile());
+        let text = analysis.to_string();
+        assert!(text.contains("OneSwarm"));
+        assert!(text.contains("workable without"));
+        assert!(!analysis.law_enforcement_assessment().rationale().is_empty());
+    }
+
+    #[test]
+    fn closing_recommendation_matches_paper() {
+        let (text, _cite) = closing_recommendation();
+        assert!(text.contains("traceback related network forensics"));
+    }
+
+    #[test]
+    fn feasibility_display() {
+        assert!(Feasibility::WorkableWithoutProcess
+            .to_string()
+            .contains("without"));
+        assert!(Feasibility::WorkableWithProcess(LegalProcess::CourtOrder)
+            .to_string()
+            .contains("court order"));
+        assert!(Feasibility::PrivateSearchOnly
+            .to_string()
+            .contains("private"));
+        assert!(Feasibility::Unusable.to_string().contains("not usable"));
+    }
+}

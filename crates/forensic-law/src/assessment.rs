@@ -1,0 +1,202 @@
+//! The output of the compliance engine: a verdict, its confidence, and the
+//! full rationale chain.
+
+use crate::casebook::CitationId;
+use crate::privacy::PrivacyFinding;
+use crate::process::LegalProcess;
+use crate::rationale::Rationale;
+use std::fmt;
+
+/// How settled a conclusion is.
+///
+/// The paper marks some Table 1 answers with `(*)`: "we make judgments
+/// based on our own knowledge".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Confidence {
+    /// Grounded in holdings or statutory text the paper cites.
+    #[default]
+    Settled,
+    /// The paper's own judgment where authority is unsettled (the `(*)`
+    /// rows).
+    AuthorsJudgment,
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Confidence::Settled => f.write_str("settled"),
+            Confidence::AuthorsJudgment => f.write_str("authors' judgment (*)"),
+        }
+    }
+}
+
+/// The engine's bottom-line answer to "does this action need
+/// warrant/court order/subpoena?" — the right-hand column of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Lawful without any compulsory process.
+    NoProcessNeeded,
+    /// Requires at least the given process.
+    ProcessRequired(LegalProcess),
+    /// A private actor may not perform this action at all (process is a
+    /// government instrument; a private interception is simply a crime).
+    UnlawfulForPrivateActor,
+}
+
+impl Verdict {
+    /// Whether process is needed — the binary answer Table 1 records.
+    pub fn needs_process(self) -> bool {
+        !matches!(self, Verdict::NoProcessNeeded)
+    }
+
+    /// The minimum process that authorizes the action, when it is a
+    /// process question.
+    pub fn required_process(self) -> Option<LegalProcess> {
+        match self {
+            Verdict::ProcessRequired(p) => Some(p),
+            Verdict::NoProcessNeeded => Some(LegalProcess::None),
+            Verdict::UnlawfulForPrivateActor => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::NoProcessNeeded => f.write_str("no need"),
+            Verdict::ProcessRequired(p) => write!(f, "need ({p})"),
+            Verdict::UnlawfulForPrivateActor => f.write_str("unlawful for a private actor"),
+        }
+    }
+}
+
+/// A complete legal assessment of one investigative action.
+#[derive(Debug, Clone)]
+pub struct LegalAssessment {
+    verdict: Verdict,
+    confidence: Confidence,
+    privacy: PrivacyFinding,
+    governing: Vec<CitationId>,
+    rationale: Rationale,
+}
+
+impl LegalAssessment {
+    pub(crate) fn new(
+        verdict: Verdict,
+        confidence: Confidence,
+        privacy: PrivacyFinding,
+        governing: Vec<CitationId>,
+        rationale: Rationale,
+    ) -> Self {
+        LegalAssessment {
+            verdict,
+            confidence,
+            privacy,
+            governing,
+            rationale,
+        }
+    }
+
+    /// The bottom-line verdict.
+    pub fn verdict(&self) -> Verdict {
+        self.verdict
+    }
+
+    /// The confidence in the verdict.
+    pub fn confidence(&self) -> Confidence {
+        self.confidence
+    }
+
+    /// The underlying reasonable-expectation-of-privacy finding.
+    pub fn privacy(&self) -> &PrivacyFinding {
+        &self.privacy
+    }
+
+    /// The authorities (constitution/statutes) that govern the action.
+    pub fn governing_authorities(&self) -> &[CitationId] {
+        &self.governing
+    }
+
+    /// The full rationale chain.
+    pub fn rationale(&self) -> &Rationale {
+        &self.rationale
+    }
+
+    /// Whether the action, performed with `held` process in hand, is
+    /// lawful.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use forensic_law::prelude::*;
+    /// let engine = ComplianceEngine::new();
+    /// let action = InvestigativeAction::builder(
+    ///     Actor::law_enforcement(),
+    ///     DataSpec::new(
+    ///         ContentClass::Content,
+    ///         Temporality::RealTime,
+    ///         DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+    ///     ),
+    /// )
+    /// .build();
+    /// let assessment = engine.assess(&action);
+    /// assert!(!assessment.is_lawful_with(LegalProcess::Subpoena));
+    /// assert!(assessment.is_lawful_with(LegalProcess::WiretapOrder));
+    /// ```
+    pub fn is_lawful_with(&self, held: LegalProcess) -> bool {
+        match self.verdict {
+            Verdict::NoProcessNeeded => true,
+            Verdict::ProcessRequired(required) => held.satisfies(required),
+            Verdict::UnlawfulForPrivateActor => false,
+        }
+    }
+}
+
+impl fmt::Display for LegalAssessment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "verdict: {} [{}]", self.verdict, self.confidence)?;
+        writeln!(f, "privacy: {}", self.privacy)?;
+        writeln!(f, "rationale:")?;
+        write!(f, "{}", self.rationale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_binary_mapping() {
+        assert!(!Verdict::NoProcessNeeded.needs_process());
+        assert!(Verdict::ProcessRequired(LegalProcess::Subpoena).needs_process());
+        assert!(Verdict::UnlawfulForPrivateActor.needs_process());
+    }
+
+    #[test]
+    fn verdict_required_process() {
+        assert_eq!(
+            Verdict::ProcessRequired(LegalProcess::CourtOrder).required_process(),
+            Some(LegalProcess::CourtOrder)
+        );
+        assert_eq!(
+            Verdict::NoProcessNeeded.required_process(),
+            Some(LegalProcess::None)
+        );
+        assert_eq!(Verdict::UnlawfulForPrivateActor.required_process(), None);
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::NoProcessNeeded.to_string(), "no need");
+        assert_eq!(
+            Verdict::ProcessRequired(LegalProcess::SearchWarrant).to_string(),
+            "need (search warrant)"
+        );
+    }
+
+    #[test]
+    fn confidence_ordering_and_display() {
+        assert!(Confidence::Settled < Confidence::AuthorsJudgment);
+        assert!(Confidence::AuthorsJudgment.to_string().contains("(*)"));
+    }
+}

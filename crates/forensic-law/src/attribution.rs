@@ -1,0 +1,236 @@
+//! Person-and-intent attribution — the paper's §III-A-2 purposes.
+//!
+//! "To discover contraband or substantive evidence of a crime on the hard
+//! drive is the most important goal of a computer search. But ... to
+//! identify the person and the intent of the criminal is also important:
+//! (i) ... prove the action of a particular individual to put contraband
+//! on the hard drive rather than allowing for the possibility that
+//! someone else with access to the computer did so; (ii) ... confirm that
+//! a virus or other piece of malware was not responsible for the crime;
+//! (iii) ... show that a defendant had knowledge of the particular
+//! subject."
+//!
+//! This module scores an attribution record against those three prongs,
+//! giving researchers a checklist for whether their technique identifies
+//! a *person* or merely a *machine* — the gap the paper says makes
+//! research "with less relevance in practice".
+
+use std::fmt;
+
+/// Evidence items bearing on the three attribution prongs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributionEvidence {
+    /// Ties a specific individual (not just the machine) to the act:
+    /// login records, keystroke biometrics, camera footage, exclusive
+    /// physical access.
+    IndividualAction {
+        /// Whether other people also had access to the machine.
+        others_had_access: bool,
+    },
+    /// Rules malware in or out as the actor.
+    MalwareAnalysis {
+        /// Whether the analysis excluded malware responsibility.
+        malware_excluded: bool,
+    },
+    /// Shows the defendant's knowledge of the subject: browsing history,
+    /// cookies, search terms (the paper's methamphetamine-laboratory
+    /// example).
+    KnowledgeIndicators {
+        /// Whether the indicators tie the *defendant* (not just the
+        /// machine) to the subject.
+        tied_to_defendant: bool,
+    },
+}
+
+/// How fully an attribution record covers the three prongs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AttributionStrength {
+    /// Only a machine is identified — the paper's warning case.
+    MachineOnly,
+    /// Some prongs covered; a defense retains arguments.
+    Partial,
+    /// All three prongs covered: individual action proven, malware
+    /// excluded, knowledge shown.
+    PersonAndIntent,
+}
+
+impl fmt::Display for AttributionStrength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttributionStrength::MachineOnly => "identifies a machine only",
+            AttributionStrength::Partial => "partially identifies the person",
+            AttributionStrength::PersonAndIntent => "identifies the person and the intent",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The scored attribution record.
+#[derive(Debug, Clone, Default)]
+pub struct AttributionRecord {
+    individual_proved: bool,
+    malware_excluded: bool,
+    knowledge_shown: bool,
+    weaknesses: Vec<String>,
+}
+
+impl AttributionRecord {
+    /// Starts an empty record.
+    pub fn new() -> Self {
+        AttributionRecord::default()
+    }
+
+    /// Adds an evidence item, updating the prongs.
+    pub fn add(&mut self, evidence: AttributionEvidence) {
+        match evidence {
+            AttributionEvidence::IndividualAction { others_had_access } => {
+                if others_had_access {
+                    self.weaknesses
+                        .push("others with access to the computer could have acted".to_string());
+                } else {
+                    self.individual_proved = true;
+                }
+            }
+            AttributionEvidence::MalwareAnalysis { malware_excluded } => {
+                if malware_excluded {
+                    self.malware_excluded = true;
+                } else {
+                    self.weaknesses
+                        .push("malware responsibility not excluded".to_string());
+                }
+            }
+            AttributionEvidence::KnowledgeIndicators { tied_to_defendant } => {
+                if tied_to_defendant {
+                    self.knowledge_shown = true;
+                } else {
+                    self.weaknesses
+                        .push("knowledge indicators tie only to the machine".to_string());
+                }
+            }
+        }
+    }
+
+    /// Whether individual action is proven.
+    pub fn individual_proved(&self) -> bool {
+        self.individual_proved
+    }
+
+    /// Whether malware has been excluded.
+    pub fn malware_excluded(&self) -> bool {
+        self.malware_excluded
+    }
+
+    /// Whether the defendant's knowledge is shown.
+    pub fn knowledge_shown(&self) -> bool {
+        self.knowledge_shown
+    }
+
+    /// Unresolved defense arguments.
+    pub fn weaknesses(&self) -> &[String] {
+        &self.weaknesses
+    }
+
+    /// The overall strength.
+    pub fn strength(&self) -> AttributionStrength {
+        let covered = [
+            self.individual_proved,
+            self.malware_excluded,
+            self.knowledge_shown,
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count();
+        match covered {
+            3 => AttributionStrength::PersonAndIntent,
+            0 => AttributionStrength::MachineOnly,
+            _ => AttributionStrength::Partial,
+        }
+    }
+}
+
+impl fmt::Display for AttributionRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "attribution: {}", self.strength())?;
+        writeln!(
+            f,
+            "  individual action proven: {} | malware excluded: {} | knowledge shown: {}",
+            self.individual_proved, self.malware_excluded, self.knowledge_shown
+        )?;
+        for w in &self.weaknesses {
+            writeln!(f, "  open defense argument: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_record_is_machine_only() {
+        let r = AttributionRecord::new();
+        assert_eq!(r.strength(), AttributionStrength::MachineOnly);
+    }
+
+    #[test]
+    fn full_record_identifies_person_and_intent() {
+        let mut r = AttributionRecord::new();
+        r.add(AttributionEvidence::IndividualAction {
+            others_had_access: false,
+        });
+        r.add(AttributionEvidence::MalwareAnalysis {
+            malware_excluded: true,
+        });
+        r.add(AttributionEvidence::KnowledgeIndicators {
+            tied_to_defendant: true,
+        });
+        assert_eq!(r.strength(), AttributionStrength::PersonAndIntent);
+        assert!(r.weaknesses().is_empty());
+        assert!(r.individual_proved());
+        assert!(r.malware_excluded());
+        assert!(r.knowledge_shown());
+    }
+
+    #[test]
+    fn shared_access_is_a_weakness() {
+        let mut r = AttributionRecord::new();
+        r.add(AttributionEvidence::IndividualAction {
+            others_had_access: true,
+        });
+        assert_eq!(r.strength(), AttributionStrength::MachineOnly);
+        assert_eq!(r.weaknesses().len(), 1);
+        assert!(r.weaknesses()[0].contains("others with access"));
+    }
+
+    #[test]
+    fn partial_coverage() {
+        let mut r = AttributionRecord::new();
+        r.add(AttributionEvidence::MalwareAnalysis {
+            malware_excluded: true,
+        });
+        assert_eq!(r.strength(), AttributionStrength::Partial);
+        r.add(AttributionEvidence::KnowledgeIndicators {
+            tied_to_defendant: false,
+        });
+        assert_eq!(r.strength(), AttributionStrength::Partial);
+        assert_eq!(r.weaknesses().len(), 1);
+    }
+
+    #[test]
+    fn strength_ordering() {
+        assert!(AttributionStrength::MachineOnly < AttributionStrength::Partial);
+        assert!(AttributionStrength::Partial < AttributionStrength::PersonAndIntent);
+    }
+
+    #[test]
+    fn display_lists_weaknesses() {
+        let mut r = AttributionRecord::new();
+        r.add(AttributionEvidence::MalwareAnalysis {
+            malware_excluded: false,
+        });
+        let text = r.to_string();
+        assert!(text.contains("machine only"));
+        assert!(text.contains("malware responsibility not excluded"));
+    }
+}

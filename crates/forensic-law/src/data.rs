@@ -1,0 +1,316 @@
+//! What information is being collected, where it lives, and how it is
+//! moving — the three axes the statutes carve the world along.
+//!
+//! The paper (§II-B-2, §III-A-3) summarizes the division of labour:
+//! the **Pen/Trap statute** regulates collection of *addressing and other
+//! non-content information* in real time, **Title III** regulates
+//! collection of the *actual content* in real time, and the **SCA**
+//! regulates *stored* content and records held by providers. Information
+//! inside a computer is governed by the Fourth Amendment directly.
+
+use std::fmt;
+
+/// The substantive category of the information collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentClass {
+    /// The substance of a communication: message bodies, email subject
+    /// lines, web page contents, full packets including payload.
+    Content,
+    /// Dialing, routing, addressing or signalling information: IP/TCP/UDP
+    /// headers, TO/FROM email addresses, dialed numbers, packet sizes and
+    /// volumes (§II-B-2-c).
+    NonContentAddressing,
+    /// Basic subscriber information held by a provider: name, address,
+    /// connection logs, payment data (18 U.S.C. § 2703(c)(2)).
+    SubscriberRecords,
+    /// Other transactional records held by a provider (account logs,
+    /// cell-site-like records) compellable with a § 2703(d) order.
+    TransactionalRecords,
+}
+
+impl ContentClass {
+    /// Whether this class is communication *content* for Title III /
+    /// § 2703(a) purposes.
+    pub fn is_content(self) -> bool {
+        matches!(self, ContentClass::Content)
+    }
+}
+
+impl fmt::Display for ContentClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ContentClass::Content => "communication content",
+            ContentClass::NonContentAddressing => "non-content addressing information",
+            ContentClass::SubscriberRecords => "basic subscriber records",
+            ContentClass::TransactionalRecords => "transactional records",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether the collection is contemporaneous with transmission.
+///
+/// The "intercept" element of Title III carries a contemporaneity
+/// requirement (§III-A-3, citing *Steiger*, *Konop*): acquisition must be
+/// contemporaneous with transmission, otherwise the SCA (stored
+/// communications), not Title III, governs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Temporality {
+    /// Acquired in real time, contemporaneous with transmission.
+    RealTime,
+    /// Acquired from storage after transmission completed.
+    Stored {
+        /// Whether the communication has already been retrieved/opened by
+        /// its intended recipient. Under the paper's Alice/Bob example
+        /// (§III-A-3) this drives the ECS→RCS→neither provider lifecycle.
+        opened: bool,
+    },
+}
+
+impl Temporality {
+    /// Convenience constructor for stored, not-yet-opened communications.
+    pub fn stored_unopened() -> Self {
+        Temporality::Stored { opened: false }
+    }
+
+    /// Convenience constructor for stored, already-opened communications.
+    pub fn stored_opened() -> Self {
+        Temporality::Stored { opened: true }
+    }
+
+    /// True when acquisition is contemporaneous with transmission.
+    pub fn is_real_time(self) -> bool {
+        matches!(self, Temporality::RealTime)
+    }
+}
+
+impl fmt::Display for Temporality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Temporality::RealTime => f.write_str("in real time"),
+            Temporality::Stored { opened: false } => f.write_str("stored (unopened)"),
+            Temporality::Stored { opened: true } => f.write_str("stored (opened)"),
+        }
+    }
+}
+
+/// The transmission medium, for actions that capture data in flight.
+///
+/// Table 1 of the paper distinguishes campus-owned cable plant, the public
+/// wired Internet, and open-air wireless (encrypted or not) — the medium
+/// changes both the privacy expectation and which statutory exception is
+/// available (§ 2511(2)(g)(i) "readily accessible to the general public").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransmissionMedium {
+    /// Wires and devices owned/operated by the collecting organization
+    /// (Table 1 rows 1–2: "the campus' cables and devices").
+    OwnNetwork,
+    /// The public wired Internet at an ISP or carrier (Table 1 rows 7–8).
+    PublicWiredInternet,
+    /// Unencrypted radio broadcast into public air (Table 1 rows 3–4;
+    /// the WarDriving / Google Street View scene).
+    WirelessUnencrypted,
+    /// Encrypted radio (Table 1 rows 5–6).
+    WirelessEncrypted,
+}
+
+impl TransmissionMedium {
+    /// Whether the raw signal is "readily accessible to the general
+    /// public" in the § 2511(2)(g)(i) sense — open-air, unscrambled radio.
+    pub fn readily_accessible_to_public(self) -> bool {
+        matches!(self, TransmissionMedium::WirelessUnencrypted)
+    }
+}
+
+impl fmt::Display for TransmissionMedium {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TransmissionMedium::OwnNetwork => "collector-owned network",
+            TransmissionMedium::PublicWiredInternet => "public wired internet",
+            TransmissionMedium::WirelessUnencrypted => "unencrypted wireless",
+            TransmissionMedium::WirelessEncrypted => "encrypted wireless",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where the information lives at the moment of collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataLocation {
+    /// Inside the suspect's own computer or storage device (the
+    /// closed-container consensus, §II-C-1).
+    SuspectDevice,
+    /// In transit across a network.
+    InTransit(TransmissionMedium),
+    /// Held in storage by a third-party service provider.
+    ProviderStorage,
+    /// Knowingly exposed in a public forum: public website, public chat
+    /// room, P2P shares, Usenet (§II-C-2).
+    PublicForum,
+    /// On media already lawfully in government custody (seized under a
+    /// prior warrant, consented, or handed over) — Table 1 rows 18–20
+    /// start from this posture.
+    LawfullyObtainedMedia,
+    /// Inside a *remote* computer the investigator reaches over the
+    /// network (Table 1 rows 16 and 20).
+    RemoteComputer,
+}
+
+impl DataLocation {
+    /// True if the data is in transit (any medium).
+    pub fn is_in_transit(self) -> bool {
+        matches!(self, DataLocation::InTransit(_))
+    }
+
+    /// The transmission medium, when in transit.
+    pub fn medium(self) -> Option<TransmissionMedium> {
+        match self {
+            DataLocation::InTransit(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataLocation::SuspectDevice => f.write_str("suspect's device"),
+            DataLocation::InTransit(m) => write!(f, "in transit over {m}"),
+            DataLocation::ProviderStorage => f.write_str("provider storage"),
+            DataLocation::PublicForum => f.write_str("public forum"),
+            DataLocation::LawfullyObtainedMedia => f.write_str("lawfully obtained media"),
+            DataLocation::RemoteComputer => f.write_str("remote computer"),
+        }
+    }
+}
+
+/// A complete description of the information targeted by an action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataSpec {
+    /// Substantive category.
+    pub category: ContentClass,
+    /// Real-time vs stored.
+    pub temporality: Temporality,
+    /// Physical/logical location.
+    pub location: DataLocation,
+}
+
+impl DataSpec {
+    /// Creates a new data specification.
+    pub fn new(category: ContentClass, temporality: Temporality, location: DataLocation) -> Self {
+        DataSpec {
+            category,
+            temporality,
+            location,
+        }
+    }
+
+    /// Real-time content in transit — the classic Title III interception
+    /// posture.
+    pub fn is_interception_of_content(self) -> bool {
+        self.category.is_content()
+            && self.temporality.is_real_time()
+            && self.location.is_in_transit()
+    }
+
+    /// Real-time addressing information — the Pen/Trap posture.
+    pub fn is_pen_trap_collection(self) -> bool {
+        self.category == ContentClass::NonContentAddressing
+            && self.temporality.is_real_time()
+            && self.location.is_in_transit()
+    }
+}
+
+impl fmt::Display for DataSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} at {}",
+            self.category, self.temporality, self.location
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_class_predicate() {
+        assert!(ContentClass::Content.is_content());
+        assert!(!ContentClass::NonContentAddressing.is_content());
+        assert!(!ContentClass::SubscriberRecords.is_content());
+        assert!(!ContentClass::TransactionalRecords.is_content());
+    }
+
+    #[test]
+    fn temporality_constructors() {
+        assert_eq!(
+            Temporality::stored_unopened(),
+            Temporality::Stored { opened: false }
+        );
+        assert_eq!(
+            Temporality::stored_opened(),
+            Temporality::Stored { opened: true }
+        );
+        assert!(Temporality::RealTime.is_real_time());
+        assert!(!Temporality::stored_opened().is_real_time());
+    }
+
+    #[test]
+    fn only_unencrypted_wireless_is_publicly_accessible() {
+        assert!(TransmissionMedium::WirelessUnencrypted.readily_accessible_to_public());
+        assert!(!TransmissionMedium::WirelessEncrypted.readily_accessible_to_public());
+        assert!(!TransmissionMedium::PublicWiredInternet.readily_accessible_to_public());
+        assert!(!TransmissionMedium::OwnNetwork.readily_accessible_to_public());
+    }
+
+    #[test]
+    fn location_medium_accessor() {
+        let loc = DataLocation::InTransit(TransmissionMedium::PublicWiredInternet);
+        assert!(loc.is_in_transit());
+        assert_eq!(loc.medium(), Some(TransmissionMedium::PublicWiredInternet));
+        assert_eq!(DataLocation::SuspectDevice.medium(), None);
+    }
+
+    #[test]
+    fn interception_posture_detection() {
+        let spec = DataSpec::new(
+            ContentClass::Content,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        );
+        assert!(spec.is_interception_of_content());
+        assert!(!spec.is_pen_trap_collection());
+
+        let headers = DataSpec::new(
+            ContentClass::NonContentAddressing,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        );
+        assert!(headers.is_pen_trap_collection());
+        assert!(!headers.is_interception_of_content());
+    }
+
+    #[test]
+    fn stored_content_is_not_interception() {
+        let spec = DataSpec::new(
+            ContentClass::Content,
+            Temporality::stored_unopened(),
+            DataLocation::ProviderStorage,
+        );
+        assert!(!spec.is_interception_of_content());
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        let spec = DataSpec::new(
+            ContentClass::Content,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::WirelessUnencrypted),
+        );
+        let s = spec.to_string();
+        assert!(s.contains("content"));
+        assert!(s.contains("wireless"));
+    }
+}

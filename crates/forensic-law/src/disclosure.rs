@@ -1,0 +1,305 @@
+//! Voluntary disclosure by providers under 18 U.S.C. § 2702
+//! (§III-A-3 of the paper).
+//!
+//! § 2702 "regulates voluntary disclosure by providers of RCS and ECS.
+//! But any public providers can disclose non-content information to non
+//! government entities. Providers not available 'to the public' may
+//! freely disclose both contents and non-content records." Public
+//! providers may still disclose under enumerated exceptions — user
+//! consent, protection of the provider's rights and property, or an
+//! emergency — "which often track Fourth Amendment exceptions"
+//! (§III-B-c-v).
+
+use crate::casebook::CitationId;
+use crate::data::ContentClass;
+use crate::provider::ProviderPublicity;
+use crate::rationale::Rationale;
+use std::fmt;
+
+/// Who the provider wants to disclose to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Recipient {
+    /// A government entity.
+    Government,
+    /// Anyone else (a private party, a researcher, the press).
+    NonGovernment,
+}
+
+impl fmt::Display for Recipient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Recipient::Government => f.write_str("the government"),
+            Recipient::NonGovernment => f.write_str("a non-government entity"),
+        }
+    }
+}
+
+/// The § 2702(b)-(c) exception the provider invokes, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DisclosureBasis {
+    /// No exception claimed.
+    #[default]
+    None,
+    /// The originator/addressee consented (§ 2702(b)(3)).
+    UserConsent,
+    /// Necessary to protect the provider's rights and property
+    /// (§ 2702(b)(5)) — the hacker-monitoring scene.
+    ProviderSelfProtection,
+    /// A good-faith emergency involving danger of death or serious
+    /// physical injury (§ 2702(b)(8)).
+    Emergency,
+}
+
+impl fmt::Display for DisclosureBasis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DisclosureBasis::None => "no exception",
+            DisclosureBasis::UserConsent => "user consent",
+            DisclosureBasis::ProviderSelfProtection => {
+                "protection of the provider's rights and property"
+            }
+            DisclosureBasis::Emergency => "emergency involving danger of death or serious injury",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The determination for one proposed voluntary disclosure.
+#[derive(Debug, Clone)]
+pub struct DisclosureRuling {
+    permitted: bool,
+    rationale: Rationale,
+}
+
+impl DisclosureRuling {
+    /// Whether § 2702 permits the disclosure.
+    pub fn is_permitted(&self) -> bool {
+        self.permitted
+    }
+
+    /// The reasoning.
+    pub fn rationale(&self) -> &Rationale {
+        &self.rationale
+    }
+}
+
+/// Decides whether a provider may voluntarily disclose.
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::data::ContentClass;
+/// use forensic_law::disclosure::{may_disclose, DisclosureBasis, Recipient};
+/// use forensic_law::provider::ProviderPublicity;
+///
+/// // Gmail may not hand content to the government unbidden...
+/// let ruling = may_disclose(
+///     ProviderPublicity::Public,
+///     ContentClass::Content,
+///     Recipient::Government,
+///     DisclosureBasis::None,
+/// );
+/// assert!(!ruling.is_permitted());
+///
+/// // ...but a university server may disclose freely.
+/// let ruling = may_disclose(
+///     ProviderPublicity::NonPublic,
+///     ContentClass::Content,
+///     Recipient::Government,
+///     DisclosureBasis::None,
+/// );
+/// assert!(ruling.is_permitted());
+/// ```
+pub fn may_disclose(
+    publicity: ProviderPublicity,
+    category: ContentClass,
+    recipient: Recipient,
+    basis: DisclosureBasis,
+) -> DisclosureRuling {
+    let mut r = Rationale::new();
+
+    // Non-public providers are outside § 2702 entirely.
+    if publicity == ProviderPublicity::NonPublic {
+        r.add(
+            "providers not available to the public may freely disclose both contents and non-content records",
+            [CitationId::Section2702, CitationId::AndersenConsultingVUop],
+        );
+        return DisclosureRuling {
+            permitted: true,
+            rationale: r,
+        };
+    }
+
+    // Public provider, non-content, to a non-government entity: allowed.
+    if !category.is_content() && recipient == Recipient::NonGovernment {
+        r.add(
+            "a public provider may disclose non-content records to non-government entities",
+            [CitationId::Section2702],
+        );
+        return DisclosureRuling {
+            permitted: true,
+            rationale: r,
+        };
+    }
+
+    // Otherwise an exception is required.
+    match basis {
+        DisclosureBasis::UserConsent => {
+            r.add(
+                "disclosure with the consent of the user is excepted under § 2702(b)(3)",
+                [CitationId::Section2702],
+            );
+            DisclosureRuling {
+                permitted: true,
+                rationale: r,
+            }
+        }
+        DisclosureBasis::ProviderSelfProtection => {
+            r.add(
+                "a provider may disclose as necessary to protect its rights and property — e.g. the fruits of monitoring an intruder",
+                [CitationId::Section2702, CitationId::UnitedStatesVVillanueva],
+            );
+            DisclosureRuling {
+                permitted: true,
+                rationale: r,
+            }
+        }
+        DisclosureBasis::Emergency => {
+            r.add(
+                "a good-faith emergency involving danger of death or serious physical injury permits disclosure",
+                [CitationId::Section2702],
+            );
+            DisclosureRuling {
+                permitted: true,
+                rationale: r,
+            }
+        }
+        DisclosureBasis::None => {
+            r.add(
+                format!(
+                    "§ 2702 prohibits a public provider from voluntarily disclosing {category} to {recipient} absent an exception"
+                ),
+                [CitationId::Section2702, CitationId::StoredCommunicationsAct],
+            );
+            DisclosureRuling {
+                permitted: false,
+                rationale: r,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_provider_content_to_government_blocked() {
+        let ruling = may_disclose(
+            ProviderPublicity::Public,
+            ContentClass::Content,
+            Recipient::Government,
+            DisclosureBasis::None,
+        );
+        assert!(!ruling.is_permitted());
+        assert!(!ruling.rationale().is_empty());
+    }
+
+    #[test]
+    fn public_provider_content_to_private_blocked_too() {
+        // Content disclosure by a public provider is restricted to
+        // everyone absent an exception.
+        let ruling = may_disclose(
+            ProviderPublicity::Public,
+            ContentClass::Content,
+            Recipient::NonGovernment,
+            DisclosureBasis::None,
+        );
+        assert!(!ruling.is_permitted());
+    }
+
+    #[test]
+    fn public_provider_records_to_private_allowed() {
+        let ruling = may_disclose(
+            ProviderPublicity::Public,
+            ContentClass::SubscriberRecords,
+            Recipient::NonGovernment,
+            DisclosureBasis::None,
+        );
+        assert!(ruling.is_permitted());
+    }
+
+    #[test]
+    fn public_provider_records_to_government_needs_exception() {
+        let blocked = may_disclose(
+            ProviderPublicity::Public,
+            ContentClass::SubscriberRecords,
+            Recipient::Government,
+            DisclosureBasis::None,
+        );
+        assert!(!blocked.is_permitted());
+        let consented = may_disclose(
+            ProviderPublicity::Public,
+            ContentClass::SubscriberRecords,
+            Recipient::Government,
+            DisclosureBasis::UserConsent,
+        );
+        assert!(consented.is_permitted());
+    }
+
+    #[test]
+    fn all_exceptions_unlock_disclosure() {
+        for basis in [
+            DisclosureBasis::UserConsent,
+            DisclosureBasis::ProviderSelfProtection,
+            DisclosureBasis::Emergency,
+        ] {
+            let ruling = may_disclose(
+                ProviderPublicity::Public,
+                ContentClass::Content,
+                Recipient::Government,
+                basis,
+            );
+            assert!(ruling.is_permitted(), "{basis}");
+        }
+    }
+
+    #[test]
+    fn non_public_provider_free() {
+        for category in [
+            ContentClass::Content,
+            ContentClass::SubscriberRecords,
+            ContentClass::TransactionalRecords,
+        ] {
+            for recipient in [Recipient::Government, Recipient::NonGovernment] {
+                let ruling = may_disclose(
+                    ProviderPublicity::NonPublic,
+                    category,
+                    recipient,
+                    DisclosureBasis::None,
+                );
+                assert!(ruling.is_permitted(), "{category} to {recipient}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_protection_cites_villanueva() {
+        let ruling = may_disclose(
+            ProviderPublicity::Public,
+            ContentClass::Content,
+            Recipient::Government,
+            DisclosureBasis::ProviderSelfProtection,
+        );
+        assert!(ruling
+            .rationale()
+            .cited_authorities()
+            .contains(&CitationId::UnitedStatesVVillanueva));
+    }
+
+    #[test]
+    fn displays() {
+        assert!(Recipient::Government.to_string().contains("government"));
+        assert!(DisclosureBasis::Emergency.to_string().contains("emergency"));
+    }
+}

@@ -1,0 +1,458 @@
+//! The compliance engine: folds the privacy doctrine, the three statutes,
+//! and the warrant exceptions into a single verdict — the executable form
+//! of the paper's §III decision framework.
+
+use crate::action::InvestigativeAction;
+use crate::assessment::{LegalAssessment, Verdict};
+use crate::casebook::CitationId;
+use crate::data::{DataLocation, TransmissionMedium};
+use crate::exceptions::ConsentAuthority;
+use crate::privacy::assess_privacy;
+use crate::process::LegalProcess;
+use crate::rationale::Rationale;
+use crate::statutes::{pen_trap, sca, wiretap, StatuteRuling};
+
+/// Assesses investigative actions against the paper's legal framework.
+///
+/// The engine is stateless and cheap to construct; one instance can
+/// assess any number of actions.
+///
+/// # Examples
+///
+/// Reproducing Table 1 row 8 (full packet capture on the public wired
+/// Internet — "Need"):
+///
+/// ```
+/// use forensic_law::prelude::*;
+///
+/// let engine = ComplianceEngine::new();
+/// let action = InvestigativeAction::builder(
+///     Actor::law_enforcement(),
+///     DataSpec::new(
+///         ContentClass::Content,
+///         Temporality::RealTime,
+///         DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+///     ),
+/// )
+/// .describe("log entire packets at an ISP")
+/// .build();
+///
+/// let assessment = engine.assess(&action);
+/// assert_eq!(
+///     assessment.verdict(),
+///     Verdict::ProcessRequired(LegalProcess::WiretapOrder),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComplianceEngine {
+    _private: (),
+}
+
+impl ComplianceEngine {
+    /// Creates a new engine.
+    pub fn new() -> Self {
+        ComplianceEngine::default()
+    }
+
+    /// Runs the full assessment pipeline on an action.
+    pub fn assess(&self, action: &InvestigativeAction) -> LegalAssessment {
+        let privacy = assess_privacy(action);
+        let mut rationale = Rationale::new();
+        rationale.extend_from(privacy.rationale());
+        let mut governing: Vec<CitationId> = Vec::new();
+        let confidence = privacy.confidence();
+
+        // Statutory layer — Title III, Pen/Trap, SCA restrain government
+        // and private actors alike.
+        let rulings: Vec<StatuteRuling> = [
+            wiretap::evaluate(action),
+            pen_trap::evaluate(action),
+            sca::evaluate(action),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+
+        let mut statutory_required = LegalProcess::None;
+        for ruling in &rulings {
+            governing.push(ruling.statute());
+            rationale.extend_from(ruling.rationale());
+            statutory_required = statutory_required.max(ruling.required_process());
+        }
+
+        if action.circumstances().target_operates_as_provider {
+            rationale.add(
+                "the surveillance target functions as a communications service provider; its users' data enjoys statutory protection",
+                [CitationId::StoredCommunicationsAct],
+            );
+        }
+
+        // Private actors: the Fourth Amendment does not restrain them, but
+        // the statutes do — and a private actor has no path to compulsory
+        // process.
+        if !action.actor().is_government_actor() {
+            rationale.add(
+                "the actor is private and not a government agent; the Fourth Amendment does not apply to this search",
+                [CitationId::DojSearchSeizureManual],
+            );
+            let verdict = if statutory_required == LegalProcess::None {
+                rationale.add(
+                    "no statute forbids the action; it is a lawful private search whose fruits may be reported to law enforcement",
+                    [CitationId::WallsInvestigatorCentric],
+                );
+                Verdict::NoProcessNeeded
+            } else {
+                rationale.add(
+                    "a statute forbids the action and compulsory process is a government instrument; the private actor may not proceed",
+                    [CitationId::WiretapAct],
+                );
+                Verdict::UnlawfulForPrivateActor
+            };
+            return LegalAssessment::new(verdict, confidence, privacy, governing, rationale);
+        }
+
+        // Constitutional layer: a government invasion of a reasonable
+        // expectation of privacy is a search requiring a warrant unless an
+        // exception applies (§III-B).
+        let mut constitutional_required = LegalProcess::None;
+        if privacy.has_reasonable_expectation() {
+            governing.push(CitationId::FourthAmendment);
+            constitutional_required = self.fourth_amendment_requirement(action, &mut rationale);
+        }
+
+        let required = statutory_required.max(constitutional_required);
+        let verdict = if required == LegalProcess::None {
+            Verdict::NoProcessNeeded
+        } else {
+            Verdict::ProcessRequired(required)
+        };
+        LegalAssessment::new(verdict, confidence, privacy, governing, rationale)
+    }
+
+    /// Applies the §III-B warrant exceptions; returns the process the
+    /// Fourth Amendment still requires after exceptions.
+    fn fourth_amendment_requirement(
+        &self,
+        action: &InvestigativeAction,
+        rationale: &mut Rationale,
+    ) -> LegalProcess {
+        let circ = action.circumstances();
+
+        // Consent (§III-B-c) — any effective grant by someone with
+        // authority over the searched space.
+        if let Some(consent) = action.consent() {
+            rationale.push(consent.rationale());
+            // One-party consent is consent *to interception*: it waives
+            // the Fourth Amendment for communications the consenter is a
+            // party to, but says nothing about searching someone's
+            // stored effects.
+            let party_consent_applies = match consent.authority() {
+                ConsentAuthority::OnePartyToCommunication { .. } => {
+                    action.data().location.is_in_transit()
+                }
+                _ => true,
+            };
+            if consent.is_effective() && party_consent_applies {
+                return LegalProcess::None;
+            }
+        }
+
+        // Victim-authorized trespasser monitoring doubles as the owner's
+        // consent to a search of the owner's own system (Table 1 row 15).
+        if circ.victim_authorized_trespasser_monitoring
+            && action.data().location == DataLocation::InTransit(TransmissionMedium::OwnNetwork)
+        {
+            rationale.add(
+                "the victim, with authority over the monitored system, consented to the search of that system",
+                [
+                    CitationId::Section2511TrespasserException,
+                    CitationId::UnitedStatesVGorshkov,
+                ],
+            );
+            return LegalProcess::None;
+        }
+
+        // Exigent circumstances (§III-B-b).
+        if let Some(exigency) = action.exigency() {
+            rationale.push(exigency.rationale());
+            return LegalProcess::None;
+        }
+
+        // Plain view (§III-B-e).
+        if circ.plain_view_during_lawful_presence {
+            rationale.add(
+                "the evidence was in plain view from a lawful vantage point and its incriminating character was immediately apparent",
+                [CitationId::DojSearchSeizureManual],
+            );
+            return LegalProcess::None;
+        }
+
+        // Probation and parole (§III-B-f).
+        if circ.target_on_probation {
+            rationale.add(
+                "the target is on probation or parole and subject to warrantless search on reasonable suspicion",
+                [CitationId::UnitedStatesVKnights],
+            );
+            return LegalProcess::None;
+        }
+
+        // Repeating a private search (§III-B-i): within the scope of what
+        // the private party already exposed, no fresh search occurs.
+        if circ.repeats_prior_private_search {
+            rationale.add(
+                "the government merely repeated a private search within its original scope; no new invasion occurred",
+                [CitationId::UnitedStatesVRunyan],
+            );
+            return LegalProcess::None;
+        }
+
+        rationale.add(
+            "a government invasion of a reasonable expectation of privacy requires a search warrant supported by probable cause",
+            [CitationId::FourthAmendment, CitationId::KatzVUnitedStates],
+        );
+        LegalProcess::SearchWarrant
+    }
+}
+
+/// Convenience free function: assess with a fresh engine.
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::prelude::*;
+/// use forensic_law::engine::assess;
+///
+/// let action = InvestigativeAction::builder(
+///     Actor::law_enforcement(),
+///     DataSpec::new(
+///         ContentClass::Content,
+///         Temporality::stored_opened(),
+///         DataLocation::PublicForum,
+///     ),
+/// )
+/// .joining_public_protocol()
+/// .build();
+/// assert_eq!(assess(&action).verdict(), Verdict::NoProcessNeeded);
+/// ```
+pub fn assess(action: &InvestigativeAction) -> LegalAssessment {
+    ComplianceEngine::new().assess(action)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::Actor;
+    use crate::data::{ContentClass, DataSpec, Temporality};
+    use crate::exceptions::{Consent, Exigency};
+
+    fn engine() -> ComplianceEngine {
+        ComplianceEngine::new()
+    }
+
+    fn device_search() -> InvestigativeAction {
+        InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .build()
+    }
+
+    #[test]
+    fn device_search_needs_warrant() {
+        let a = device_search();
+        let out = engine().assess(&a);
+        assert_eq!(
+            out.verdict(),
+            Verdict::ProcessRequired(LegalProcess::SearchWarrant)
+        );
+        assert!(out
+            .governing_authorities()
+            .contains(&CitationId::FourthAmendment));
+    }
+
+    #[test]
+    fn consent_waives_device_search() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .with_consent(Consent::by(ConsentAuthority::TargetSelf))
+        .build();
+        assert_eq!(engine().assess(&a).verdict(), Verdict::NoProcessNeeded);
+    }
+
+    #[test]
+    fn revoked_consent_does_not_waive() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .with_consent(Consent::by(ConsentAuthority::TargetSelf).revoked())
+        .build();
+        assert_eq!(
+            engine().assess(&a).verdict(),
+            Verdict::ProcessRequired(LegalProcess::SearchWarrant)
+        );
+    }
+
+    #[test]
+    fn exigency_waives_warrant() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .with_exigency(Exigency::ImminentEvidenceDestruction)
+        .build();
+        assert_eq!(engine().assess(&a).verdict(), Verdict::NoProcessNeeded);
+    }
+
+    #[test]
+    fn probation_waives_warrant() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .target_on_probation()
+        .build();
+        assert_eq!(engine().assess(&a).verdict(), Verdict::NoProcessNeeded);
+    }
+
+    #[test]
+    fn plain_view_waives_warrant() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .plain_view()
+        .build();
+        assert_eq!(engine().assess(&a).verdict(), Verdict::NoProcessNeeded);
+    }
+
+    #[test]
+    fn repeated_private_search_waives_warrant() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .repeating_private_search()
+        .build();
+        assert_eq!(engine().assess(&a).verdict(), Verdict::NoProcessNeeded);
+    }
+
+    #[test]
+    fn private_wiretap_is_unlawful() {
+        let a = InvestigativeAction::builder(
+            Actor::private_individual(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::RealTime,
+                DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+            ),
+        )
+        .build();
+        assert_eq!(
+            engine().assess(&a).verdict(),
+            Verdict::UnlawfulForPrivateActor
+        );
+    }
+
+    #[test]
+    fn sysadmin_own_network_is_lawful_private_search() {
+        let a = InvestigativeAction::builder(
+            Actor::system_administrator(),
+            DataSpec::new(
+                ContentClass::NonContentAddressing,
+                Temporality::RealTime,
+                DataLocation::InTransit(TransmissionMedium::OwnNetwork),
+            ),
+        )
+        .build();
+        assert_eq!(engine().assess(&a).verdict(), Verdict::NoProcessNeeded);
+    }
+
+    #[test]
+    fn exigency_does_not_waive_wiretap_statute() {
+        // Exigent circumstances is a Fourth Amendment doctrine; Title III
+        // still demands its order.
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::RealTime,
+                DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+            ),
+        )
+        .with_exigency(Exigency::DangerToSafety)
+        .build();
+        assert_eq!(
+            engine().assess(&a).verdict(),
+            Verdict::ProcessRequired(LegalProcess::WiretapOrder)
+        );
+    }
+
+    #[test]
+    fn lawful_with_tracks_process_ladder() {
+        let out = engine().assess(&device_search());
+        assert!(!out.is_lawful_with(LegalProcess::None));
+        assert!(!out.is_lawful_with(LegalProcess::CourtOrder));
+        assert!(out.is_lawful_with(LegalProcess::SearchWarrant));
+        assert!(out.is_lawful_with(LegalProcess::WiretapOrder));
+    }
+
+    #[test]
+    fn rationale_is_never_empty() {
+        let out = engine().assess(&device_search());
+        assert!(!out.rationale().is_empty());
+        assert!(!out.to_string().is_empty());
+    }
+
+    #[test]
+    fn free_function_matches_engine() {
+        let a = device_search();
+        assert_eq!(assess(&a).verdict(), engine().assess(&a).verdict());
+    }
+
+    #[test]
+    fn monotonicity_more_process_never_hurts() {
+        // For a sample of actions, if lawful with process P it stays
+        // lawful with any stronger process.
+        let actions = [device_search()];
+        for a in &actions {
+            let out = engine().assess(a);
+            let mut prev = false;
+            for p in LegalProcess::ALL {
+                let now = out.is_lawful_with(p);
+                assert!(!prev || now, "legality must be monotone in process");
+                prev = now;
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The consent exception — "a powerful exception to both constitutional
+//! and statutory laws" (§III-B-c).
+//!
+//! Consent validity turns on *who* consents (common authority), *scope*
+//! (the search must not exceed the consent), and *revocation* (the search
+//! must cease when consent is revoked — though a mirror image made before
+//! revocation survives, *United States v. Megahed*).
+
+use crate::casebook::CitationId;
+use crate::rationale::RationaleStep;
+use std::fmt;
+
+/// Who granted consent, capturing the paper's enumerated consent kinds
+/// (§III-B-c items i–vi).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConsentAuthority {
+    /// The target of the search consented themselves.
+    TargetSelf,
+    /// A co-user of shared equipment with common authority; the flag
+    /// records whether the searched area is within the space the consenter
+    /// controls (item i; *Matlock*, *Trulock v. Freeh*).
+    CoUserCommonAuthority {
+        /// Whether the searched space is one the consenter controls (not,
+        /// e.g., another user's password-protected files).
+        covers_searched_space: bool,
+    },
+    /// Either spouse for the couple's shared property (item ii).
+    Spouse,
+    /// Parent of a child under 18 (item iii).
+    ParentOfMinor,
+    /// Parent of an adult child — "may or may not", fact-dependent
+    /// (item iii; *Durham*).
+    ParentOfAdult {
+        /// Whether the facts (control of the premises/equipment) support
+        /// the parent's authority.
+        facts_support_authority: bool,
+    },
+    /// A private employer or owner over workplace computers (item iv;
+    /// *Ziegler*).
+    PrivateEmployer,
+    /// A government employer, valid only for work-related searches that
+    /// are justified at inception and permissible in scope (item iv;
+    /// *O'Connor v. Ortega*).
+    GovernmentEmployer {
+        /// Whether the search is work-related, justified at inception, and
+        /// permissible in scope.
+        work_related_and_reasonable: bool,
+    },
+    /// A network owner/operator/sysadmin with authority over the account,
+    /// possibly confirmed by terms of service (item v).
+    NetworkOwnerOrAdmin,
+    /// One party to the communication consents to interception (item vi;
+    /// § 2511(2)(c)-(d); *Cassiere*). The flag records an all-party-consent
+    /// state statute making one-party consent insufficient.
+    OnePartyToCommunication {
+        /// Whether state law requires all parties to consent.
+        all_party_state: bool,
+    },
+}
+
+impl fmt::Display for ConsentAuthority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConsentAuthority::TargetSelf => "the target personally",
+            ConsentAuthority::CoUserCommonAuthority { .. } => "a co-user with common authority",
+            ConsentAuthority::Spouse => "a spouse",
+            ConsentAuthority::ParentOfMinor => "a parent of a minor",
+            ConsentAuthority::ParentOfAdult { .. } => "a parent of an adult child",
+            ConsentAuthority::PrivateEmployer => "a private employer",
+            ConsentAuthority::GovernmentEmployer { .. } => "a government employer",
+            ConsentAuthority::NetworkOwnerOrAdmin => "the network owner or administrator",
+            ConsentAuthority::OnePartyToCommunication { .. } => "one party to the communication",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete grant of consent with scope and revocation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Consent {
+    authority: ConsentAuthority,
+    scope_exceeded: bool,
+    revoked: bool,
+}
+
+impl Consent {
+    /// A valid-looking grant of consent by `authority`, within scope and
+    /// unrevoked.
+    pub fn by(authority: ConsentAuthority) -> Self {
+        Consent {
+            authority,
+            scope_exceeded: false,
+            revoked: false,
+        }
+    }
+
+    /// Marks the search as having exceeded the consented scope.
+    #[must_use]
+    pub fn with_scope_exceeded(mut self) -> Self {
+        self.scope_exceeded = true;
+        self
+    }
+
+    /// Marks the consent as revoked before or during the search.
+    #[must_use]
+    pub fn revoked(mut self) -> Self {
+        self.revoked = true;
+        self
+    }
+
+    /// Who consented.
+    pub fn authority(self) -> ConsentAuthority {
+        self.authority
+    }
+
+    /// Whether the grantor actually had authority to consent to *this*
+    /// search.
+    pub fn grantor_has_authority(self) -> bool {
+        match self.authority {
+            ConsentAuthority::TargetSelf
+            | ConsentAuthority::Spouse
+            | ConsentAuthority::ParentOfMinor
+            | ConsentAuthority::PrivateEmployer
+            | ConsentAuthority::NetworkOwnerOrAdmin => true,
+            ConsentAuthority::CoUserCommonAuthority {
+                covers_searched_space,
+            } => covers_searched_space,
+            ConsentAuthority::ParentOfAdult {
+                facts_support_authority,
+            } => facts_support_authority,
+            ConsentAuthority::GovernmentEmployer {
+                work_related_and_reasonable,
+            } => work_related_and_reasonable,
+            ConsentAuthority::OnePartyToCommunication { all_party_state } => !all_party_state,
+        }
+    }
+
+    /// Whether the consent validates the search: authorized grantor,
+    /// within scope, and not revoked.
+    pub fn is_effective(self) -> bool {
+        self.grantor_has_authority() && !self.scope_exceeded && !self.revoked
+    }
+
+    /// Rationale step explaining the consent determination.
+    pub fn rationale(self) -> RationaleStep {
+        let cites = self.supporting_citations();
+        let text = if self.is_effective() {
+            format!(
+                "voluntary consent by {} with authority validates the warrantless search",
+                self.authority
+            )
+        } else if !self.grantor_has_authority() {
+            format!(
+                "{} lacked authority to consent to this search",
+                self.authority
+            )
+        } else if self.scope_exceeded {
+            "the search exceeded the scope of the consent".to_string()
+        } else {
+            "consent was revoked; the search had to cease".to_string()
+        };
+        RationaleStep::new(text, cites)
+    }
+
+    fn supporting_citations(self) -> Vec<CitationId> {
+        match self.authority {
+            ConsentAuthority::TargetSelf => vec![CitationId::DojSearchSeizureManual],
+            ConsentAuthority::CoUserCommonAuthority { .. } => vec![
+                CitationId::UnitedStatesVMatlock,
+                CitationId::UnitedStatesVSmith,
+                CitationId::TrulockVFreeh,
+            ],
+            ConsentAuthority::Spouse => vec![CitationId::TrulockVFreeh],
+            ConsentAuthority::ParentOfMinor => vec![CitationId::UnitedStatesVLavin],
+            ConsentAuthority::ParentOfAdult { .. } => vec![CitationId::UnitedStatesVDurham],
+            ConsentAuthority::PrivateEmployer => vec![CitationId::UnitedStatesVZiegler],
+            ConsentAuthority::GovernmentEmployer { .. } => vec![CitationId::OConnorVOrtega],
+            ConsentAuthority::NetworkOwnerOrAdmin => {
+                vec![CitationId::UnitedStatesVYoung2003, CitationId::Section2702]
+            }
+            ConsentAuthority::OnePartyToCommunication { .. } => {
+                vec![CitationId::UnitedStatesVCassiere]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_self_consent_is_effective() {
+        assert!(Consent::by(ConsentAuthority::TargetSelf).is_effective());
+    }
+
+    #[test]
+    fn revocation_defeats_consent() {
+        let c = Consent::by(ConsentAuthority::TargetSelf).revoked();
+        assert!(!c.is_effective());
+        assert!(c.rationale().proposition().contains("revoked"));
+    }
+
+    #[test]
+    fn scope_excess_defeats_consent() {
+        let c = Consent::by(ConsentAuthority::Spouse).with_scope_exceeded();
+        assert!(!c.is_effective());
+        assert!(c.rationale().proposition().contains("scope"));
+    }
+
+    #[test]
+    fn co_user_limited_to_controlled_space() {
+        let within = Consent::by(ConsentAuthority::CoUserCommonAuthority {
+            covers_searched_space: true,
+        });
+        assert!(within.is_effective());
+        let outside = Consent::by(ConsentAuthority::CoUserCommonAuthority {
+            covers_searched_space: false,
+        });
+        assert!(!outside.is_effective());
+    }
+
+    #[test]
+    fn parent_of_adult_is_fact_dependent() {
+        assert!(Consent::by(ConsentAuthority::ParentOfAdult {
+            facts_support_authority: true
+        })
+        .is_effective());
+        assert!(!Consent::by(ConsentAuthority::ParentOfAdult {
+            facts_support_authority: false
+        })
+        .is_effective());
+    }
+
+    #[test]
+    fn government_employer_needs_work_related_search() {
+        assert!(Consent::by(ConsentAuthority::GovernmentEmployer {
+            work_related_and_reasonable: true
+        })
+        .is_effective());
+        assert!(!Consent::by(ConsentAuthority::GovernmentEmployer {
+            work_related_and_reasonable: false
+        })
+        .is_effective());
+    }
+
+    #[test]
+    fn one_party_consent_defeated_by_all_party_state() {
+        assert!(Consent::by(ConsentAuthority::OnePartyToCommunication {
+            all_party_state: false
+        })
+        .is_effective());
+        assert!(!Consent::by(ConsentAuthority::OnePartyToCommunication {
+            all_party_state: true
+        })
+        .is_effective());
+    }
+
+    #[test]
+    fn rationale_cites_matlock_for_co_user() {
+        let c = Consent::by(ConsentAuthority::CoUserCommonAuthority {
+            covers_searched_space: true,
+        });
+        assert!(c
+            .rationale()
+            .citations()
+            .contains(&CitationId::UnitedStatesVMatlock));
+    }
+
+    #[test]
+    fn minor_parent_consent_effective() {
+        assert!(Consent::by(ConsentAuthority::ParentOfMinor).is_effective());
+    }
+}

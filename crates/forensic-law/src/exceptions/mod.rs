@@ -1,0 +1,192 @@
+//! Exceptions that make an otherwise process-requiring investigation lawful
+//! without a warrant/court order/subpoena (§III-B of the paper).
+//!
+//! Each exception is modelled as data on the [`InvestigativeAction`] plus a
+//! rule in the engine that, when the exception's conditions are met, waives
+//! one or more governing authorities and records a rationale step.
+//!
+//! [`InvestigativeAction`]: crate::action::InvestigativeAction
+
+pub mod consent;
+
+pub use consent::{Consent, ConsentAuthority};
+
+use crate::casebook::CitationId;
+use crate::rationale::RationaleStep;
+use std::fmt;
+
+/// Exigent circumstances permitting immediate warrantless action
+/// (§III-B-b, *Mincey v. Arizona*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exigency {
+    /// Evidence may be destroyed immediately or in a very short time —
+    /// remote wipe, auto-delete, dying batteries (§III-B-b item i).
+    ImminentEvidenceDestruction,
+    /// The police or the public is in danger (item ii).
+    DangerToSafety,
+    /// Hot pursuit of a suspect (item iii).
+    HotPursuit,
+    /// The suspect may escape before a warrant can be secured (item iv).
+    SuspectEscape,
+}
+
+impl Exigency {
+    /// Rationale step for invoking this exigency.
+    pub fn rationale(self) -> RationaleStep {
+        let (text, extra) = match self {
+            Exigency::ImminentEvidenceDestruction => (
+                "imminent destruction of digital evidence excuses the warrant requirement",
+                vec![
+                    CitationId::UnitedStatesVRomeroGarcia,
+                    CitationId::UnitedStatesVYoung2006,
+                ],
+            ),
+            Exigency::DangerToSafety => (
+                "danger to the police or public excuses the warrant requirement",
+                vec![],
+            ),
+            Exigency::HotPursuit => (
+                "hot pursuit of the suspect excuses the warrant requirement",
+                vec![],
+            ),
+            Exigency::SuspectEscape => (
+                "risk the suspect escapes before a warrant issues excuses the warrant requirement",
+                vec![],
+            ),
+        };
+        let mut cites = vec![CitationId::MinceyVArizona];
+        cites.extend(extra);
+        RationaleStep::new(text, cites)
+    }
+}
+
+impl fmt::Display for Exigency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Exigency::ImminentEvidenceDestruction => "imminent evidence destruction",
+            Exigency::DangerToSafety => "danger to safety",
+            Exigency::HotPursuit => "hot pursuit",
+            Exigency::SuspectEscape => "suspect escape risk",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Grounds for an *emergency pen/trap* without a court order
+/// (18 U.S.C. § 3125(a)(1); §III-B-d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EmergencyPenTrapGround {
+    /// Immediate danger of death or serious bodily injury.
+    DangerOfDeathOrInjury,
+    /// Conspiratorial activities characteristic of organized crime.
+    OrganizedCrime,
+    /// An immediate threat to a national security interest.
+    NationalSecurityThreat,
+    /// An ongoing attack on a protected computer punishable by more than a
+    /// year of imprisonment.
+    OngoingProtectedComputerAttack,
+}
+
+impl fmt::Display for EmergencyPenTrapGround {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EmergencyPenTrapGround::DangerOfDeathOrInjury => "danger of death or serious injury",
+            EmergencyPenTrapGround::OrganizedCrime => "organized-crime activity",
+            EmergencyPenTrapGround::NationalSecurityThreat => "national-security threat",
+            EmergencyPenTrapGround::OngoingProtectedComputerAttack => {
+                "ongoing attack on a protected computer"
+            }
+        };
+        f.write_str(s)
+    }
+}
+
+/// An emergency pen/trap authorization, which requires approval "at least
+/// at the Deputy Assistant Attorney General level" (§III-B-d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EmergencyPenTrap {
+    ground: EmergencyPenTrapGround,
+    high_level_approval: bool,
+}
+
+impl EmergencyPenTrap {
+    /// Creates an emergency pen/trap claim on the given ground.
+    pub fn new(ground: EmergencyPenTrapGround, high_level_approval: bool) -> Self {
+        EmergencyPenTrap {
+            ground,
+            high_level_approval,
+        }
+    }
+
+    /// The statutory ground claimed.
+    pub fn ground(self) -> EmergencyPenTrapGround {
+        self.ground
+    }
+
+    /// Whether the claim is statutorily valid (ground + approval level).
+    pub fn is_valid(self) -> bool {
+        self.high_level_approval
+    }
+
+    /// Rationale step for this authorization.
+    pub fn rationale(self) -> RationaleStep {
+        let text = if self.is_valid() {
+            format!(
+                "emergency pen/trap installation justified by {} with required high-level approval",
+                self.ground
+            )
+        } else {
+            format!(
+                "emergency pen/trap claim ({}) fails for lack of required high-level approval",
+                self.ground
+            )
+        };
+        RationaleStep::new(text, [CitationId::Section3125Emergency])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exigency_rationales_cite_mincey() {
+        for e in [
+            Exigency::ImminentEvidenceDestruction,
+            Exigency::DangerToSafety,
+            Exigency::HotPursuit,
+            Exigency::SuspectEscape,
+        ] {
+            assert!(e
+                .rationale()
+                .citations()
+                .contains(&CitationId::MinceyVArizona));
+        }
+    }
+
+    #[test]
+    fn destruction_exigency_cites_digital_cases() {
+        let r = Exigency::ImminentEvidenceDestruction.rationale();
+        assert!(r
+            .citations()
+            .contains(&CitationId::UnitedStatesVRomeroGarcia));
+    }
+
+    #[test]
+    fn emergency_pen_trap_needs_approval() {
+        let ok =
+            EmergencyPenTrap::new(EmergencyPenTrapGround::OngoingProtectedComputerAttack, true);
+        assert!(ok.is_valid());
+        let no = EmergencyPenTrap::new(EmergencyPenTrapGround::OrganizedCrime, false);
+        assert!(!no.is_valid());
+        assert!(no.rationale().proposition().contains("fails"));
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!Exigency::HotPursuit.to_string().is_empty());
+        assert!(!EmergencyPenTrapGround::NationalSecurityThreat
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! # forensic-law
+//!
+//! An executable model of the U.S. legal constraints on digital forensic
+//! investigations, reproducing the framework of *"When Digital Forensic
+//! Research Meets Laws"* (ICDCS 2012 workshops).
+//!
+//! The crate answers the paper's central question for a machine-readable
+//! description of an investigative action: **does law enforcement need a
+//! warrant, court order, or subpoena to do this — and which one?** Every
+//! answer carries a rationale chain citing the constitutional provisions,
+//! statutes, and cases the paper relies on.
+//!
+//! ## Architecture
+//!
+//! * [`action`] — [`InvestigativeAction`](action::InvestigativeAction):
+//!   who collects what, where, how, with what consent/exigency in play.
+//! * [`privacy`] — the reasonable-expectation-of-privacy calculus
+//!   (*Katz*, exposure, third-party doctrine, *Kyllo*).
+//! * [`statutes`] — the Wiretap Act, Pen/Trap statute, and Stored
+//!   Communications Act evaluators.
+//! * [`exceptions`] — consent, exigent circumstances, emergency pen/trap.
+//! * [`engine`] — [`ComplianceEngine`](engine::ComplianceEngine), folding
+//!   all of the above into a [`Verdict`](assessment::Verdict).
+//! * [`process`] — the subpoena < court order < search warrant < wiretap
+//!   order ladder and its factual standards.
+//! * [`probable_cause`] — the §III-A-1 probable-cause establishment paths.
+//! * [`suppression`] — the exclusionary rule over an evidence-derivation
+//!   DAG ([`Docket`](suppression::Docket)).
+//! * [`scenarios`] — the paper's Table 1 as twenty ready-made scenarios.
+//! * [`casebook`] — the ~90 authorities the paper cites, as typed data.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use forensic_law::prelude::*;
+//!
+//! let engine = ComplianceEngine::new();
+//!
+//! // May an officer log full packets at an ISP without process?
+//! let action = InvestigativeAction::builder(
+//!     Actor::law_enforcement(),
+//!     DataSpec::new(
+//!         ContentClass::Content,
+//!         Temporality::RealTime,
+//!         DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+//!     ),
+//! )
+//! .describe("full packet capture at an ISP")
+//! .build();
+//!
+//! let assessment = engine.assess(&action);
+//! assert_eq!(
+//!     assessment.verdict(),
+//!     Verdict::ProcessRequired(LegalProcess::WiretapOrder),
+//! );
+//! println!("{assessment}");
+//! ```
+//!
+//! ## Reproducing Table 1
+//!
+//! ```
+//! use forensic_law::prelude::*;
+//! use forensic_law::scenarios::table1;
+//!
+//! let engine = ComplianceEngine::new();
+//! for row in table1() {
+//!     let verdict = engine.assess(row.action()).verdict();
+//!     assert_eq!(verdict.needs_process(), row.paper_verdict().needs_process);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod action;
+pub mod actor;
+pub mod analysis;
+pub mod assessment;
+pub mod attribution;
+pub mod casebook;
+pub mod data;
+pub mod disclosure;
+pub mod engine;
+pub mod exceptions;
+pub mod privacy;
+pub mod probable_cause;
+pub mod process;
+pub mod provider;
+pub mod rationale;
+pub mod scenarios;
+pub mod statutes;
+pub mod suppression;
+pub mod warrant;
+
+/// Commonly used items, importable with `use forensic_law::prelude::*`.
+pub mod prelude {
+    pub use crate::action::{InvestigativeAction, ProviderCompulsion};
+    pub use crate::actor::{Actor, ActorKind};
+    pub use crate::assessment::{Confidence, LegalAssessment, Verdict};
+    pub use crate::data::{ContentClass, DataLocation, DataSpec, Temporality, TransmissionMedium};
+    pub use crate::engine::ComplianceEngine;
+    pub use crate::exceptions::{Consent, ConsentAuthority, Exigency};
+    pub use crate::process::{FactualStandard, LegalProcess};
+    pub use crate::provider::{CompelledInfo, MessageLifecycle, ProviderPublicity, ScaRole};
+    pub use crate::suppression::{Admissibility, Docket};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let _ = ComplianceEngine::new();
+        let _ = LegalProcess::Subpoena;
+        let _ = Docket::new();
+    }
+}

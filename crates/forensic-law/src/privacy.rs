@@ -1,0 +1,571 @@
+//! The reasonable-expectation-of-privacy (REP) calculus (§II-C).
+//!
+//! A person deserves reasonable privacy if (1) they actually expect
+//! privacy and (2) the expectation is "one that society is prepared to
+//! recognize as 'reasonable'" (*Katz*). This module folds the paper's
+//! catalogue of REP-creating and REP-destroying circumstances into a
+//! single analysis over an [`InvestigativeAction`].
+
+use crate::action::InvestigativeAction;
+use crate::assessment::Confidence;
+use crate::casebook::CitationId;
+use crate::data::{ContentClass, DataLocation, Temporality, TransmissionMedium};
+use crate::rationale::Rationale;
+use std::fmt;
+
+/// The outcome of the REP analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrivacyFinding {
+    has_rep: bool,
+    confidence: Confidence,
+    rationale: Rationale,
+}
+
+impl PrivacyFinding {
+    /// Whether the action invades a reasonable expectation of privacy —
+    /// i.e. whether it is a Fourth Amendment "search".
+    pub fn has_reasonable_expectation(&self) -> bool {
+        self.has_rep
+    }
+
+    /// How settled the conclusion is; the paper marks four Table 1 rows
+    /// with `(*)` as "judgments based on our own knowledge".
+    pub fn confidence(&self) -> Confidence {
+        self.confidence
+    }
+
+    /// The doctrinal steps that led here.
+    pub fn rationale(&self) -> &Rationale {
+        &self.rationale
+    }
+}
+
+impl fmt::Display for PrivacyFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = if self.has_rep {
+            "reasonable expectation of privacy"
+        } else {
+            "no reasonable expectation of privacy"
+        };
+        write!(f, "{verdict} ({})", self.confidence)
+    }
+}
+
+/// Runs the REP analysis for an action.
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::action::InvestigativeAction;
+/// use forensic_law::actor::Actor;
+/// use forensic_law::data::{ContentClass, DataLocation, DataSpec, Temporality};
+/// use forensic_law::privacy::assess_privacy;
+///
+/// // Files shared on a public forum carry no privacy expectation.
+/// let action = InvestigativeAction::builder(
+///     Actor::law_enforcement(),
+///     DataSpec::new(
+///         ContentClass::Content,
+///         Temporality::stored_opened(),
+///         DataLocation::PublicForum,
+///     ),
+/// )
+/// .joining_public_protocol()
+/// .build();
+/// assert!(!assess_privacy(&action).has_reasonable_expectation());
+/// ```
+pub fn assess_privacy(action: &InvestigativeAction) -> PrivacyFinding {
+    let mut r = Rationale::new();
+    let data = action.data();
+    let method = action.method();
+    let circ = action.circumstances();
+
+    // Kyllo rule dominates: sense-enhancing technology not in general
+    // public use revealing home-interior details is a search regardless of
+    // the data category (§III-B-a).
+    if method.specialized_tech_not_public && method.reveals_home_interior {
+        r.add(
+            "sense-enhancing technology not in general public use disclosed details of the home interior; the surveillance is a search",
+            [CitationId::KylloVUnitedStates],
+        );
+        return PrivacyFinding {
+            has_rep: true,
+            confidence: Confidence::Settled,
+            rationale: r,
+        };
+    }
+
+    // A binding policy can eliminate the expectation wholesale
+    // (Table 1 row 2: "the campus policies eliminate a user's expectation
+    // of privacy").
+    if circ.policy_eliminates_privacy {
+        r.add(
+            "a binding network-use policy eliminated any subjective and objective expectation of privacy",
+            [CitationId::UnitedStatesVYoung2003, CitationId::DojSearchSeizureManual],
+        );
+        return PrivacyFinding {
+            has_rep: false,
+            confidence: Confidence::Settled,
+            rationale: r,
+        };
+    }
+
+    // Knowing exposure via participation in a public protocol (§IV-A) or
+    // public-forum placement (§II-C-2).
+    if method.joins_public_protocol || data.location == DataLocation::PublicForum {
+        r.add(
+            "information knowingly exposed to the public or to other protocol participants carries no reasonable expectation of privacy",
+            [
+                CitationId::HoffaVUnitedStates,
+                CitationId::UnitedStatesVGinesPerez,
+                CitationId::UnitedStatesVStults,
+                CitationId::GuestVLeis,
+            ],
+        );
+        return PrivacyFinding {
+            has_rep: false,
+            confidence: Confidence::Settled,
+            rationale: r,
+        };
+    }
+
+    // Mining a dataset already lawfully held uncovers no new protected
+    // sphere (Table 1 row 19, State v. Sloane).
+    if method.derives_from_lawfully_held_dataset {
+        r.add(
+            "mining a lawfully obtained dataset for latent information is not a fresh search",
+            [CitationId::StateVSloane],
+        );
+        return PrivacyFinding {
+            has_rep: false,
+            confidence: Confidence::Settled,
+            rationale: r,
+        };
+    }
+
+    // Using an arrestee's credentials to fetch their remote data
+    // (Table 1 row 20 — the paper answers "No need" without reservation).
+    if method.uses_credentials_of_arrestee {
+        r.add(
+            "after arrest, use of the defendant's own credentials to retrieve account data requires no fresh process",
+            [CitationId::DojSearchSeizureManual],
+        );
+        return PrivacyFinding {
+            has_rep: false,
+            confidence: Confidence::Settled,
+            rationale: r,
+        };
+    }
+
+    match data.location {
+        DataLocation::SuspectDevice => {
+            r.add(
+                "electronic storage devices are analogous to closed containers; their owners retain a reasonable expectation of privacy in the contents",
+                [CitationId::KatzVUnitedStates, CitationId::UnitedStatesVRunyan],
+            );
+            PrivacyFinding {
+                has_rep: true,
+                confidence: Confidence::Settled,
+                rationale: r,
+            }
+        }
+        DataLocation::RemoteComputer => {
+            r.add(
+                "reaching into a remote computer invades its owner's reasonable expectation of privacy even when the owner is a wrongdoer",
+                [CitationId::KatzVUnitedStates],
+            );
+            PrivacyFinding {
+                has_rep: true,
+                confidence: Confidence::Settled,
+                rationale: r,
+            }
+        }
+        DataLocation::LawfullyObtainedMedia => {
+            if method.exhaustive_forensic_search {
+                r.add(
+                    "hashing or exhaustively examining every file on lawfully obtained media is itself a search of each closed container",
+                    [CitationId::UnitedStatesVCrist, CitationId::UnitedStatesVWalser],
+                );
+                PrivacyFinding {
+                    has_rep: true,
+                    confidence: Confidence::Settled,
+                    rationale: r,
+                }
+            } else {
+                r.add(
+                    "examination of lawfully obtained media within the authorizing scope invades no further expectation of privacy",
+                    [CitationId::UnitedStatesVLong],
+                );
+                PrivacyFinding {
+                    has_rep: false,
+                    confidence: Confidence::Settled,
+                    rationale: r,
+                }
+            }
+        }
+        DataLocation::ProviderStorage => {
+            r.add(
+                "information relinquished to a third-party provider loses the owner's constitutional privacy expectation, though statutes still protect it",
+                [
+                    CitationId::SmithVMaryland,
+                    CitationId::CouchVUnitedStates,
+                    CitationId::UnitedStatesVHorowitz,
+                ],
+            );
+            PrivacyFinding {
+                has_rep: false,
+                confidence: Confidence::Settled,
+                rationale: r,
+            }
+        }
+        DataLocation::InTransit(medium) => {
+            // Observing only rates/volumes acquires non-content
+            // signalling information regardless of what the underlying
+            // flow carries (§IV-B; Forrester).
+            let effective_category = if method.rate_observation_only {
+                ContentClass::NonContentAddressing
+            } else {
+                data.category
+            };
+            assess_in_transit(effective_category, data.temporality, medium, r)
+        }
+        DataLocation::PublicForum => unreachable!("handled above"),
+    }
+}
+
+fn assess_in_transit(
+    category: ContentClass,
+    temporality: Temporality,
+    medium: TransmissionMedium,
+    mut r: Rationale,
+) -> PrivacyFinding {
+    // Addressing information is conveyed to the carrier to route the
+    // communication: no REP (Smith v. Maryland; Forrester).
+    if category != ContentClass::Content {
+        let mut confidence = Confidence::Settled;
+        r.add(
+            "dialing, routing, and addressing information is knowingly conveyed to the carrier and carries no reasonable expectation of privacy",
+            [CitationId::SmithVMaryland, CitationId::UnitedStatesVForrester],
+        );
+        if matches!(
+            medium,
+            TransmissionMedium::WirelessUnencrypted | TransmissionMedium::WirelessEncrypted
+        ) {
+            // Table 1 rows 3 and 5 carry the authors' (*) marker.
+            confidence = Confidence::AuthorsJudgment;
+            r.add(
+                "radio-broadcast frame headers are exposed to anyone within range (the WarDriving scene)",
+                [CitationId::Section2511PublicAccessException],
+            );
+        }
+        return PrivacyFinding {
+            has_rep: false,
+            confidence,
+            rationale: r,
+        };
+    }
+
+    // Content in transit: both sender and recipient retain expectations
+    // until delivery (Villarreal); delivery terminates the sender's
+    // (King).
+    if !temporality.is_real_time() {
+        r.add(
+            "after delivery the sender's expectation of privacy terminates",
+            [
+                CitationId::UnitedStatesVKing1995,
+                CitationId::UnitedStatesVMeriwether,
+            ],
+        );
+        return PrivacyFinding {
+            has_rep: false,
+            confidence: Confidence::Settled,
+            rationale: r,
+        };
+    }
+
+    match medium {
+        TransmissionMedium::WirelessUnencrypted => {
+            // Table 1 row 4: Need (*) — the Google Street View scene.
+            r.add(
+                "capturing the payload of even unencrypted wireless communications invades the parties' expectation of privacy (the Google Street View controversy)",
+                [CitationId::UnitedStatesVVillarreal, CitationId::WiretapAct],
+            );
+            PrivacyFinding {
+                has_rep: true,
+                confidence: Confidence::AuthorsJudgment,
+                rationale: r,
+            }
+        }
+        TransmissionMedium::WirelessEncrypted => {
+            // Table 1 row 6: Need (*).
+            r.add(
+                "encrypting the channel manifests a subjective expectation of privacy society accepts as reasonable",
+                [CitationId::KatzVUnitedStates, CitationId::UnitedStatesVVillarreal],
+            );
+            PrivacyFinding {
+                has_rep: true,
+                confidence: Confidence::AuthorsJudgment,
+                rationale: r,
+            }
+        }
+        TransmissionMedium::PublicWiredInternet | TransmissionMedium::OwnNetwork => {
+            r.add(
+                "the contents of communications in transit retain both parties' reasonable expectation of privacy",
+                [CitationId::KatzVUnitedStates, CitationId::UnitedStatesVVillarreal],
+            );
+            PrivacyFinding {
+                has_rep: true,
+                confidence: Confidence::Settled,
+                rationale: r,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::Actor;
+    use crate::data::DataSpec;
+
+    fn action(spec: DataSpec) -> InvestigativeAction {
+        InvestigativeAction::builder(Actor::law_enforcement(), spec).build()
+    }
+
+    fn spec(c: ContentClass, t: Temporality, l: DataLocation) -> DataSpec {
+        DataSpec::new(c, t, l)
+    }
+
+    #[test]
+    fn suspect_device_has_rep() {
+        let f = assess_privacy(&action(spec(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::SuspectDevice,
+        )));
+        assert!(f.has_reasonable_expectation());
+        assert_eq!(f.confidence(), Confidence::Settled);
+    }
+
+    #[test]
+    fn public_forum_has_no_rep() {
+        let f = assess_privacy(&action(spec(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::PublicForum,
+        )));
+        assert!(!f.has_reasonable_expectation());
+    }
+
+    #[test]
+    fn kyllo_tech_is_search_even_for_non_content() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            spec(
+                ContentClass::NonContentAddressing,
+                Temporality::RealTime,
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .with_specialized_tech(true)
+        .build();
+        let f = assess_privacy(&a);
+        assert!(f.has_reasonable_expectation());
+        assert!(f
+            .rationale()
+            .cited_authorities()
+            .contains(&CitationId::KylloVUnitedStates));
+    }
+
+    #[test]
+    fn specialized_tech_without_home_interior_is_not_kyllo() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            spec(
+                ContentClass::NonContentAddressing,
+                Temporality::RealTime,
+                DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+            ),
+        )
+        .with_specialized_tech(false)
+        .build();
+        let f = assess_privacy(&a);
+        assert!(!f.has_reasonable_expectation());
+    }
+
+    #[test]
+    fn policy_eliminates_rep() {
+        let a = InvestigativeAction::builder(
+            Actor::system_administrator(),
+            spec(
+                ContentClass::Content,
+                Temporality::RealTime,
+                DataLocation::InTransit(TransmissionMedium::OwnNetwork),
+            ),
+        )
+        .policy_eliminates_privacy()
+        .build();
+        assert!(!assess_privacy(&a).has_reasonable_expectation());
+    }
+
+    #[test]
+    fn wired_content_interception_has_rep() {
+        let f = assess_privacy(&action(spec(
+            ContentClass::Content,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        )));
+        assert!(f.has_reasonable_expectation());
+    }
+
+    #[test]
+    fn wired_headers_have_no_rep() {
+        let f = assess_privacy(&action(spec(
+            ContentClass::NonContentAddressing,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        )));
+        assert!(!f.has_reasonable_expectation());
+        assert!(f
+            .rationale()
+            .cited_authorities()
+            .contains(&CitationId::SmithVMaryland));
+    }
+
+    #[test]
+    fn wireless_headers_no_rep_but_authors_judgment() {
+        for m in [
+            TransmissionMedium::WirelessUnencrypted,
+            TransmissionMedium::WirelessEncrypted,
+        ] {
+            let f = assess_privacy(&action(spec(
+                ContentClass::NonContentAddressing,
+                Temporality::RealTime,
+                DataLocation::InTransit(m),
+            )));
+            assert!(!f.has_reasonable_expectation(), "{m:?}");
+            assert_eq!(f.confidence(), Confidence::AuthorsJudgment, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn wireless_content_has_rep_with_authors_judgment() {
+        for m in [
+            TransmissionMedium::WirelessUnencrypted,
+            TransmissionMedium::WirelessEncrypted,
+        ] {
+            let f = assess_privacy(&action(spec(
+                ContentClass::Content,
+                Temporality::RealTime,
+                DataLocation::InTransit(m),
+            )));
+            assert!(f.has_reasonable_expectation(), "{m:?}");
+            assert_eq!(f.confidence(), Confidence::AuthorsJudgment, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn delivered_content_loses_sender_rep() {
+        let f = assess_privacy(&action(spec(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        )));
+        assert!(!f.has_reasonable_expectation());
+        assert!(f
+            .rationale()
+            .cited_authorities()
+            .contains(&CitationId::UnitedStatesVKing1995));
+    }
+
+    #[test]
+    fn provider_storage_has_no_constitutional_rep() {
+        let f = assess_privacy(&action(spec(
+            ContentClass::SubscriberRecords,
+            Temporality::stored_opened(),
+            DataLocation::ProviderStorage,
+        )));
+        assert!(!f.has_reasonable_expectation());
+    }
+
+    #[test]
+    fn drive_hashing_is_a_search() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            spec(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::LawfullyObtainedMedia,
+            ),
+        )
+        .exhaustive_forensic_search()
+        .build();
+        let f = assess_privacy(&a);
+        assert!(f.has_reasonable_expectation());
+        assert!(f
+            .rationale()
+            .cited_authorities()
+            .contains(&CitationId::UnitedStatesVCrist));
+    }
+
+    #[test]
+    fn scoped_exam_of_lawful_media_is_not_a_search() {
+        let f = assess_privacy(&action(spec(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::LawfullyObtainedMedia,
+        )));
+        assert!(!f.has_reasonable_expectation());
+    }
+
+    #[test]
+    fn dataset_mining_is_not_a_search() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            spec(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::LawfullyObtainedMedia,
+            ),
+        )
+        .mining_lawfully_held_dataset()
+        .build();
+        assert!(!assess_privacy(&a).has_reasonable_expectation());
+    }
+
+    #[test]
+    fn arrestee_credentials_defeat_rep() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            spec(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::RemoteComputer,
+            ),
+        )
+        .using_arrestee_credentials()
+        .build();
+        assert!(!assess_privacy(&a).has_reasonable_expectation());
+    }
+
+    #[test]
+    fn remote_computer_has_rep() {
+        let f = assess_privacy(&action(spec(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::RemoteComputer,
+        )));
+        assert!(f.has_reasonable_expectation());
+    }
+
+    #[test]
+    fn every_finding_has_rationale() {
+        let f = assess_privacy(&action(spec(
+            ContentClass::Content,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::OwnNetwork),
+        )));
+        assert!(!f.rationale().is_empty());
+        assert!(!f.to_string().is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! Establishing probable cause — the paper's §III-A-1 scenarios.
+//!
+//! "Probable cause in computer forensics to search a computer or
+//! electronic media is a belief that the computer or media is
+//! (i) contraband; (ii) a repository of data that is evidence of a crime;
+//! (iii) an instrument of a crime." The module models the two common
+//! establishment paths (IP address, online account) and the staleness
+//! doctrine.
+
+use crate::casebook::CitationId;
+use crate::process::FactualStandard;
+use crate::rationale::Rationale;
+use std::fmt;
+
+/// A path by which investigators build probable cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbableCauseBasis {
+    /// §III-A-1-a: an attacker's IP address obtained from a victim or
+    /// provider, then resolved to a subscriber by subpoena.
+    IpAddressIdentification {
+        /// Whether the ISP has identified the subscriber behind the
+        /// address at the relevant time.
+        subscriber_identified: bool,
+        /// Whether the suspect ran an unsecured wireless network others
+        /// could have used — which the cases hold does *not* defeat
+        /// probable cause (*Perez*, *Latham*, *Hibble*).
+        open_wifi: bool,
+    },
+    /// §III-A-1-b: information associated with an online account, e.g.
+    /// membership in a child-pornography site or email group.
+    OnlineAccountInformation {
+        /// Whether the only evidence is bare membership (*Coreas*: not all
+        /// courts accept membership alone).
+        membership_only: bool,
+        /// Whether a technique additionally evidences the suspect's
+        /// *intent* — the paper's recommendation for researchers.
+        intent_evidence: bool,
+    },
+}
+
+/// The result of evaluating a probable-cause basis.
+#[derive(Debug, Clone)]
+pub struct ProbableCauseFinding {
+    achieved: FactualStandard,
+    rationale: Rationale,
+}
+
+impl ProbableCauseFinding {
+    /// The factual standard the basis establishes.
+    pub fn achieved_standard(&self) -> FactualStandard {
+        self.achieved
+    }
+
+    /// Whether full probable cause was established.
+    pub fn establishes_probable_cause(&self) -> bool {
+        self.achieved >= FactualStandard::ProbableCause
+    }
+
+    /// The reasoning.
+    pub fn rationale(&self) -> &Rationale {
+        &self.rationale
+    }
+}
+
+impl fmt::Display for ProbableCauseFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "establishes {}", self.achieved)
+    }
+}
+
+/// Evaluates a probable-cause basis under the paper's case survey.
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::probable_cause::{evaluate_basis, ProbableCauseBasis};
+///
+/// let finding = evaluate_basis(ProbableCauseBasis::IpAddressIdentification {
+///     subscriber_identified: true,
+///     open_wifi: true, // does not defeat probable cause
+/// });
+/// assert!(finding.establishes_probable_cause());
+/// ```
+pub fn evaluate_basis(basis: ProbableCauseBasis) -> ProbableCauseFinding {
+    let mut r = Rationale::new();
+    let achieved = match basis {
+        ProbableCauseBasis::IpAddressIdentification {
+            subscriber_identified,
+            open_wifi,
+        } => {
+            if subscriber_identified {
+                r.add(
+                    "an IP address resolved to the subscriber at the relevant time typically suffices for a residential search warrant",
+                    [
+                        CitationId::UnitedStatesVPerez,
+                        CitationId::UnitedStatesVGrant,
+                        CitationId::UnitedStatesVCarter,
+                    ],
+                );
+                if open_wifi {
+                    r.add(
+                        "an unsecured wireless connection allowing others to use the IP address does not defeat probable cause",
+                        [
+                            CitationId::UnitedStatesVLatham,
+                            CitationId::UnitedStatesVHibble,
+                        ],
+                    );
+                }
+                FactualStandard::ProbableCause
+            } else {
+                r.add(
+                    "an unresolved IP address is a suspicion sufficient only to subpoena the controlling ISP for subscriber identity",
+                    [CitationId::Section2703],
+                );
+                FactualStandard::MereSuspicion
+            }
+        }
+        ProbableCauseBasis::OnlineAccountInformation {
+            membership_only,
+            intent_evidence,
+        } => {
+            if intent_evidence {
+                r.add(
+                    "a technique identifying the suspect's intent along with membership establishes probable cause",
+                    [CitationId::UnitedStatesVGourde, CitationId::UnitedStatesVTerry],
+                );
+                FactualStandard::ProbableCause
+            } else if membership_only {
+                r.add(
+                    "not all courts agree that membership alone supports a warrant application",
+                    [CitationId::UnitedStatesVCoreas],
+                );
+                FactualStandard::SpecificArticulableFacts
+            } else {
+                r.add(
+                    "account information corroborated beyond bare membership supports probable cause",
+                    [CitationId::UnitedStatesVTerry, CitationId::UnitedStatesVWilder],
+                );
+                FactualStandard::ProbableCause
+            }
+        }
+    };
+    ProbableCauseFinding {
+        achieved,
+        rationale: r,
+    }
+}
+
+/// The kind of evidence whose age is challenged under the staleness
+/// doctrine (§III-A-1-c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StalenessProfile {
+    /// Collections of contraband (e.g. child-pornography libraries) that
+    /// "the cases tell us ... is sufficient ... no matter how old"
+    /// (*Irving*, *Paull*, *Riccardi*).
+    ContrabandCollection,
+    /// Commercial purchase records (*Watzman*: three months fine).
+    PurchaseRecords,
+    /// A single transient item, possibly deleted (*Zimmerman*: stale at
+    /// ten months).
+    SingleTransientItem,
+}
+
+/// Evaluates whether information of a given age still supports probable
+/// cause.
+///
+/// Returns the finding and the rationale. Forensic recoverability of
+/// deleted files extends freshness (*Cox*).
+pub fn staleness_check(
+    profile: StalenessProfile,
+    age_days: u32,
+    forensic_recovery_possible: bool,
+) -> (bool, Rationale) {
+    let mut r = Rationale::new();
+    let fresh = match profile {
+        StalenessProfile::ContrabandCollection => {
+            r.add(
+                "collectors retain contraband; even years-old information supports probable cause",
+                [
+                    CitationId::UnitedStatesVIrving,
+                    CitationId::UnitedStatesVPaull,
+                    CitationId::UnitedStatesVRiccardi,
+                    CitationId::UnitedStatesVNewsom,
+                ],
+            );
+            true
+        }
+        StalenessProfile::PurchaseRecords => {
+            let ok = age_days <= 365 || forensic_recovery_possible;
+            if ok {
+                r.add(
+                    "purchase records within roughly a year remain fresh",
+                    [CitationId::UnitedStatesVWatzman],
+                );
+            } else {
+                r.add(
+                    "aged purchase records without more may be stale",
+                    [CitationId::UnitedStatesVFrechette],
+                );
+            }
+            ok
+        }
+        StalenessProfile::SingleTransientItem => {
+            if forensic_recovery_possible {
+                r.add(
+                    "deleted files recoverable by forensic examination keep old information fresh",
+                    [CitationId::UnitedStatesVCox],
+                );
+                true
+            } else if age_days > 300 {
+                r.add(
+                    "months-old evidence of a single deleted item is stale",
+                    [
+                        CitationId::UnitedStatesVZimmerman,
+                        CitationId::UnitedStatesVDoan,
+                    ],
+                );
+                false
+            } else {
+                r.add(
+                    "recent evidence of a single item remains fresh",
+                    [CitationId::IllinoisVGates],
+                );
+                true
+            }
+        }
+    };
+    (fresh, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolved_ip_establishes_probable_cause() {
+        let f = evaluate_basis(ProbableCauseBasis::IpAddressIdentification {
+            subscriber_identified: true,
+            open_wifi: false,
+        });
+        assert!(f.establishes_probable_cause());
+        assert!(!f.rationale().is_empty());
+    }
+
+    #[test]
+    fn open_wifi_does_not_defeat_probable_cause() {
+        let f = evaluate_basis(ProbableCauseBasis::IpAddressIdentification {
+            subscriber_identified: true,
+            open_wifi: true,
+        });
+        assert!(f.establishes_probable_cause());
+        assert!(f
+            .rationale()
+            .cited_authorities()
+            .contains(&CitationId::UnitedStatesVLatham));
+    }
+
+    #[test]
+    fn unresolved_ip_is_only_suspicion() {
+        let f = evaluate_basis(ProbableCauseBasis::IpAddressIdentification {
+            subscriber_identified: false,
+            open_wifi: false,
+        });
+        assert!(!f.establishes_probable_cause());
+        assert_eq!(f.achieved_standard(), FactualStandard::MereSuspicion);
+        // Enough for a subpoena, though.
+        assert!(f
+            .achieved_standard()
+            .suffices_for(crate::process::LegalProcess::Subpoena));
+    }
+
+    #[test]
+    fn membership_alone_falls_short() {
+        let f = evaluate_basis(ProbableCauseBasis::OnlineAccountInformation {
+            membership_only: true,
+            intent_evidence: false,
+        });
+        assert!(!f.establishes_probable_cause());
+        assert!(f
+            .rationale()
+            .cited_authorities()
+            .contains(&CitationId::UnitedStatesVCoreas));
+    }
+
+    #[test]
+    fn membership_plus_intent_establishes_probable_cause() {
+        let f = evaluate_basis(ProbableCauseBasis::OnlineAccountInformation {
+            membership_only: true,
+            intent_evidence: true,
+        });
+        assert!(f.establishes_probable_cause());
+    }
+
+    #[test]
+    fn corroborated_account_info_establishes_probable_cause() {
+        let f = evaluate_basis(ProbableCauseBasis::OnlineAccountInformation {
+            membership_only: false,
+            intent_evidence: false,
+        });
+        assert!(f.establishes_probable_cause());
+    }
+
+    #[test]
+    fn contraband_collections_never_go_stale() {
+        for age in [30, 400, 2000] {
+            let (fresh, _) = staleness_check(StalenessProfile::ContrabandCollection, age, false);
+            assert!(fresh, "age {age}");
+        }
+    }
+
+    #[test]
+    fn transient_item_goes_stale_without_recovery() {
+        let (fresh, _) = staleness_check(StalenessProfile::SingleTransientItem, 400, false);
+        assert!(!fresh);
+        let (fresh2, r) = staleness_check(StalenessProfile::SingleTransientItem, 400, true);
+        assert!(fresh2);
+        assert!(r
+            .cited_authorities()
+            .contains(&CitationId::UnitedStatesVCox));
+    }
+
+    #[test]
+    fn recent_transient_item_is_fresh() {
+        let (fresh, _) = staleness_check(StalenessProfile::SingleTransientItem, 60, false);
+        assert!(fresh);
+    }
+
+    #[test]
+    fn purchase_records_age_out() {
+        assert!(staleness_check(StalenessProfile::PurchaseRecords, 90, false).0);
+        assert!(!staleness_check(StalenessProfile::PurchaseRecords, 800, false).0);
+        assert!(staleness_check(StalenessProfile::PurchaseRecords, 800, true).0);
+    }
+}

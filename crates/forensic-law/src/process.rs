@@ -1,0 +1,311 @@
+//! The ladder of compulsory legal process and the factual standards each
+//! rung requires.
+//!
+//! The paper (§II-A) orders the three classical instruments by difficulty:
+//! *subpoena* < *court order* < *search warrant*, and notes that "merely a
+//! suspicion is enough to apply for a subpoena", "specific and articulable
+//! facts" are needed for a court order, and "probable cause" for a search
+//! warrant. We extend the ladder with [`LegalProcess::WiretapOrder`]
+//! (a Title III "super-warrant", which in practice demands probable cause
+//! plus necessity and minimization showings) and with
+//! [`LegalProcess::None`] as the bottom element so the ladder forms a total
+//! order usable as a lattice join.
+
+use std::fmt;
+
+/// A compulsory-process instrument a government investigator may need
+/// before an investigative action is lawful.
+///
+/// Ordered from least to most demanding; the derived [`Ord`] implements the
+/// paper's "degree of difficulty ... in the ascending order" (§II-A).
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::process::LegalProcess;
+///
+/// assert!(LegalProcess::Subpoena < LegalProcess::SearchWarrant);
+/// assert_eq!(
+///     LegalProcess::CourtOrder.max(LegalProcess::Subpoena),
+///     LegalProcess::CourtOrder,
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum LegalProcess {
+    /// No compulsory process is required.
+    #[default]
+    None,
+    /// A subpoena: compels a witness (e.g. an ISP) to produce evidence or
+    /// testimony. Obtainable on mere suspicion (§II-A).
+    Subpoena,
+    /// A court order — in the digital context usually an
+    /// 18 U.S.C. § 2703(d) order or a pen/trap order under § 3123.
+    /// Requires "specific and articulable facts" (§II-A).
+    CourtOrder,
+    /// A search warrant under the Fourth Amendment: requires probable
+    /// cause, supported by oath, particularly describing the place and
+    /// things (§II-B-1).
+    SearchWarrant,
+    /// A Title III interception order ("super-warrant") authorizing
+    /// real-time acquisition of communication *content*
+    /// (18 U.S.C. §§ 2516–2518).
+    WiretapOrder,
+}
+
+impl LegalProcess {
+    /// All process levels, in ascending order of difficulty.
+    pub const ALL: [LegalProcess; 5] = [
+        LegalProcess::None,
+        LegalProcess::Subpoena,
+        LegalProcess::CourtOrder,
+        LegalProcess::SearchWarrant,
+        LegalProcess::WiretapOrder,
+    ];
+
+    /// The factual showing an applicant must make to obtain this process.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use forensic_law::process::{FactualStandard, LegalProcess};
+    ///
+    /// assert_eq!(
+    ///     LegalProcess::SearchWarrant.required_standard(),
+    ///     FactualStandard::ProbableCause,
+    /// );
+    /// ```
+    pub fn required_standard(self) -> FactualStandard {
+        match self {
+            LegalProcess::None => FactualStandard::None,
+            LegalProcess::Subpoena => FactualStandard::MereSuspicion,
+            LegalProcess::CourtOrder => FactualStandard::SpecificArticulableFacts,
+            LegalProcess::SearchWarrant => FactualStandard::ProbableCause,
+            LegalProcess::WiretapOrder => FactualStandard::ProbableCausePlus,
+        }
+    }
+
+    /// Whether any court involvement is required at all.
+    pub fn requires_court(self) -> bool {
+        self != LegalProcess::None
+    }
+
+    /// Whether holding `self` satisfies a requirement of `required`.
+    ///
+    /// A more demanding instrument always satisfies a less demanding
+    /// requirement (a search warrant "can disclose everything", §III-A-3),
+    /// with one modelled exception: nothing below a wiretap order satisfies
+    /// a wiretap requirement, and a wiretap order satisfies everything.
+    pub fn satisfies(self, required: LegalProcess) -> bool {
+        self >= required
+    }
+
+    /// Short display label used in regenerated tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            LegalProcess::None => "none",
+            LegalProcess::Subpoena => "subpoena",
+            LegalProcess::CourtOrder => "court order",
+            LegalProcess::SearchWarrant => "search warrant",
+            LegalProcess::WiretapOrder => "wiretap order",
+        }
+    }
+}
+
+impl fmt::Display for LegalProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The quantum of factual support an investigator has (or needs).
+///
+/// Ordered from weakest to strongest. [`FactualStandard::ProbableCausePlus`]
+/// models Title III's probable-cause-plus-necessity showing.
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::process::FactualStandard;
+///
+/// assert!(FactualStandard::MereSuspicion < FactualStandard::ProbableCause);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum FactualStandard {
+    /// No factual support at all.
+    #[default]
+    None,
+    /// A bare hunch; enough for a subpoena (§II-A).
+    MereSuspicion,
+    /// Reasonable suspicion — the *Terry* standard; relevant to
+    /// probation/parole searches (§III-B-f).
+    ReasonableSuspicion,
+    /// "Specific and articulable facts showing ... reasonable grounds to
+    /// believe" the information is "relevant and material to an ongoing
+    /// criminal investigation" — the § 2703(d) standard.
+    SpecificArticulableFacts,
+    /// "A fair probability that contraband or evidence of a crime will be
+    /// found in a particular place" (Illinois v. Gates).
+    ProbableCause,
+    /// Probable cause plus Title III's necessity/exhaustion showing.
+    ProbableCausePlus,
+}
+
+impl FactualStandard {
+    /// All standards, weakest first.
+    pub const ALL: [FactualStandard; 6] = [
+        FactualStandard::None,
+        FactualStandard::MereSuspicion,
+        FactualStandard::ReasonableSuspicion,
+        FactualStandard::SpecificArticulableFacts,
+        FactualStandard::ProbableCause,
+        FactualStandard::ProbableCausePlus,
+    ];
+
+    /// Whether evidence at this standard suffices to apply for `process`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use forensic_law::process::{FactualStandard, LegalProcess};
+    ///
+    /// assert!(FactualStandard::ProbableCause.suffices_for(LegalProcess::CourtOrder));
+    /// assert!(!FactualStandard::MereSuspicion.suffices_for(LegalProcess::SearchWarrant));
+    /// ```
+    pub fn suffices_for(self, process: LegalProcess) -> bool {
+        self >= process.required_standard()
+    }
+
+    /// The most demanding process obtainable at this standard.
+    pub fn strongest_obtainable(self) -> LegalProcess {
+        LegalProcess::ALL
+            .iter()
+            .copied()
+            .rev()
+            .find(|p| self.suffices_for(*p))
+            .unwrap_or(LegalProcess::None)
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FactualStandard::None => "no facts",
+            FactualStandard::MereSuspicion => "mere suspicion",
+            FactualStandard::ReasonableSuspicion => "reasonable suspicion",
+            FactualStandard::SpecificArticulableFacts => "specific and articulable facts",
+            FactualStandard::ProbableCause => "probable cause",
+            FactualStandard::ProbableCausePlus => "probable cause plus necessity",
+        }
+    }
+}
+
+impl fmt::Display for FactualStandard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_ladder_is_strictly_ascending() {
+        for pair in LegalProcess::ALL.windows(2) {
+            assert!(pair[0] < pair[1], "{:?} should be < {:?}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn standard_ladder_is_strictly_ascending() {
+        for pair in FactualStandard::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn required_standards_monotone_in_process() {
+        let mut prev = FactualStandard::None;
+        for p in LegalProcess::ALL {
+            assert!(p.required_standard() >= prev);
+            prev = p.required_standard();
+        }
+    }
+
+    #[test]
+    fn subpoena_needs_only_suspicion() {
+        assert_eq!(
+            LegalProcess::Subpoena.required_standard(),
+            FactualStandard::MereSuspicion
+        );
+    }
+
+    #[test]
+    fn court_order_needs_articulable_facts() {
+        assert_eq!(
+            LegalProcess::CourtOrder.required_standard(),
+            FactualStandard::SpecificArticulableFacts
+        );
+    }
+
+    #[test]
+    fn warrant_needs_probable_cause() {
+        assert_eq!(
+            LegalProcess::SearchWarrant.required_standard(),
+            FactualStandard::ProbableCause
+        );
+    }
+
+    #[test]
+    fn stronger_process_satisfies_weaker_requirement() {
+        assert!(LegalProcess::SearchWarrant.satisfies(LegalProcess::Subpoena));
+        assert!(LegalProcess::WiretapOrder.satisfies(LegalProcess::SearchWarrant));
+        assert!(!LegalProcess::Subpoena.satisfies(LegalProcess::CourtOrder));
+    }
+
+    #[test]
+    fn every_process_satisfies_itself_and_none() {
+        for p in LegalProcess::ALL {
+            assert!(p.satisfies(p));
+            assert!(p.satisfies(LegalProcess::None));
+        }
+    }
+
+    #[test]
+    fn probable_cause_obtains_warrant_but_not_wiretap() {
+        assert_eq!(
+            FactualStandard::ProbableCause.strongest_obtainable(),
+            LegalProcess::SearchWarrant
+        );
+        assert_eq!(
+            FactualStandard::ProbableCausePlus.strongest_obtainable(),
+            LegalProcess::WiretapOrder
+        );
+    }
+
+    #[test]
+    fn no_facts_obtains_nothing() {
+        assert_eq!(
+            FactualStandard::None.strongest_obtainable(),
+            LegalProcess::None
+        );
+    }
+
+    #[test]
+    fn display_labels_are_nonempty_and_lowercase() {
+        for p in LegalProcess::ALL {
+            assert!(!p.to_string().is_empty());
+            assert_eq!(p.to_string(), p.to_string().to_lowercase());
+        }
+        for s in FactualStandard::ALL {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn requires_court_only_for_real_process() {
+        assert!(!LegalProcess::None.requires_court());
+        for p in &LegalProcess::ALL[1..] {
+            assert!(p.requires_court());
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Provider classification under the Stored Communications Act.
+//!
+//! The SCA "is not a catchall statute" (§III-A-3): it protects only
+//! providers of *electronic communication service* (ECS,
+//! 18 U.S.C. § 2510(15)) and *remote computing service* (RCS, § 2711(2)),
+//! and RCS status additionally requires that the service be offered *to
+//! the public*. The paper walks a specific lifecycle — Alice at a
+//! university mails Bob at Gmail — which this module reproduces as a state
+//! machine ([`MessageLifecycle`]).
+
+use std::fmt;
+
+/// Whether the provider offers service to the public.
+///
+/// Public commercial providers (Gmail, Hotmail) are restrained by § 2702
+/// from voluntary disclosure; providers "not available to the public"
+/// (a university or employer server) "may freely disclose both contents
+/// and non-content records" (§III-A-3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProviderPublicity {
+    /// Offered to the public (commercial ISP, webmail).
+    Public,
+    /// Internal/institutional only (university, employer).
+    NonPublic,
+}
+
+impl fmt::Display for ProviderPublicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProviderPublicity::Public => f.write_str("public provider"),
+            ProviderPublicity::NonPublic => f.write_str("non-public provider"),
+        }
+    }
+}
+
+/// The provider's SCA role *with respect to a particular communication*.
+///
+/// The role is per-message, not per-provider: the same Gmail server is an
+/// ECS for an in-flight email and an RCS for the same email once Bob has
+/// opened and left it in storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaRole {
+    /// Provider of electronic communication service with respect to the
+    /// message (§ 2510(15)).
+    Ecs,
+    /// Provider of remote computing service with respect to the message
+    /// (§ 2711(2)); requires a public-facing service.
+    Rcs,
+    /// Neither ECS nor RCS — "the SCA no longer regulates access ... and
+    /// such access is governed solely by the Fourth Amendment" (§III-A-3).
+    Neither,
+}
+
+impl ScaRole {
+    /// Whether the SCA regulates government access to the message in this
+    /// role.
+    pub fn sca_applies(self) -> bool {
+        !matches!(self, ScaRole::Neither)
+    }
+}
+
+impl fmt::Display for ScaRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaRole::Ecs => f.write_str("ECS provider"),
+            ScaRole::Rcs => f.write_str("RCS provider"),
+            ScaRole::Neither => f.write_str("neither ECS nor RCS"),
+        }
+    }
+}
+
+/// Where a message is in its delivery lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageStage {
+    /// Sitting at the provider awaiting retrieval by the recipient.
+    AwaitingRetrieval,
+    /// Retrieved/opened by the recipient and left in storage at the
+    /// provider.
+    OpenedInStorage,
+}
+
+/// A message's position relative to a particular provider, sufficient to
+/// derive the provider's SCA role for it.
+///
+/// # Examples
+///
+/// The paper's Alice→Bob walkthrough (§III-A-3):
+///
+/// ```
+/// use forensic_law::provider::{MessageLifecycle, MessageStage, ProviderPublicity, ScaRole};
+///
+/// // Bob's unopened email at Gmail: Gmail is an ECS provider.
+/// let at_gmail = MessageLifecycle::new(ProviderPublicity::Public, MessageStage::AwaitingRetrieval);
+/// assert_eq!(at_gmail.sca_role(), ScaRole::Ecs);
+///
+/// // Bob opens it and leaves it there: Gmail becomes an RCS provider.
+/// let opened = at_gmail.after_opening();
+/// assert_eq!(opened.sca_role(), ScaRole::Rcs);
+///
+/// // Alice's opened reply on the university server: neither ECS nor RCS —
+/// // the SCA drops out and the Fourth Amendment alone governs.
+/// let at_univ = MessageLifecycle::new(ProviderPublicity::NonPublic, MessageStage::OpenedInStorage);
+/// assert_eq!(at_univ.sca_role(), ScaRole::Neither);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MessageLifecycle {
+    publicity: ProviderPublicity,
+    stage: MessageStage,
+}
+
+impl MessageLifecycle {
+    /// Creates a lifecycle position.
+    pub fn new(publicity: ProviderPublicity, stage: MessageStage) -> Self {
+        MessageLifecycle { publicity, stage }
+    }
+
+    /// The provider's publicity.
+    pub fn publicity(self) -> ProviderPublicity {
+        self.publicity
+    }
+
+    /// The message's stage.
+    pub fn stage(self) -> MessageStage {
+        self.stage
+    }
+
+    /// The lifecycle after the recipient opens the message and leaves it
+    /// in storage.
+    #[must_use]
+    pub fn after_opening(self) -> Self {
+        MessageLifecycle {
+            publicity: self.publicity,
+            stage: MessageStage::OpenedInStorage,
+        }
+    }
+
+    /// Derives the provider's SCA role with respect to this message.
+    ///
+    /// * awaiting retrieval → ECS (any provider);
+    /// * opened in storage at a **public** provider → RCS;
+    /// * opened in storage at a **non-public** provider → neither
+    ///   (*Andersen Consulting v. UOP*): "It does not provide RCS because
+    ///   it does not provide services to the public."
+    pub fn sca_role(self) -> ScaRole {
+        match (self.stage, self.publicity) {
+            (MessageStage::AwaitingRetrieval, _) => ScaRole::Ecs,
+            (MessageStage::OpenedInStorage, ProviderPublicity::Public) => ScaRole::Rcs,
+            (MessageStage::OpenedInStorage, ProviderPublicity::NonPublic) => ScaRole::Neither,
+        }
+    }
+}
+
+/// The categories of information § 2703 lets the government compel from a
+/// provider, each with its own process requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompelledInfo {
+    /// Name, address, connection records, session times, payment info
+    /// (§ 2703(c)(2)) — compellable with a subpoena.
+    BasicSubscriberInfo,
+    /// Other non-content records and logs — compellable with a § 2703(d)
+    /// court order.
+    TransactionalRecords,
+    /// Content of communications in "electronic storage" unopened —
+    /// requires a search warrant.
+    UnopenedContent,
+    /// Content already opened or held by an RCS — compellable with less
+    /// than a warrant (modelled as a § 2703(d) order with notice).
+    OpenedContent,
+}
+
+impl fmt::Display for CompelledInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompelledInfo::BasicSubscriberInfo => "basic subscriber information",
+            CompelledInfo::TransactionalRecords => "transactional records",
+            CompelledInfo::UnopenedContent => "unopened stored content",
+            CompelledInfo::OpenedContent => "opened stored content",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unretrieved_message_makes_any_provider_ecs() {
+        for p in [ProviderPublicity::Public, ProviderPublicity::NonPublic] {
+            let lc = MessageLifecycle::new(p, MessageStage::AwaitingRetrieval);
+            assert_eq!(lc.sca_role(), ScaRole::Ecs);
+            assert!(lc.sca_role().sca_applies());
+        }
+    }
+
+    #[test]
+    fn opened_at_public_provider_is_rcs() {
+        let lc = MessageLifecycle::new(ProviderPublicity::Public, MessageStage::OpenedInStorage);
+        assert_eq!(lc.sca_role(), ScaRole::Rcs);
+    }
+
+    #[test]
+    fn opened_at_non_public_provider_drops_out_of_sca() {
+        let lc = MessageLifecycle::new(ProviderPublicity::NonPublic, MessageStage::OpenedInStorage);
+        assert_eq!(lc.sca_role(), ScaRole::Neither);
+        assert!(!lc.sca_role().sca_applies());
+    }
+
+    #[test]
+    fn after_opening_transitions_stage_only() {
+        let lc = MessageLifecycle::new(ProviderPublicity::Public, MessageStage::AwaitingRetrieval);
+        let opened = lc.after_opening();
+        assert_eq!(opened.stage(), MessageStage::OpenedInStorage);
+        assert_eq!(opened.publicity(), ProviderPublicity::Public);
+        // Idempotent.
+        assert_eq!(opened.after_opening(), opened);
+    }
+
+    #[test]
+    fn paper_alice_bob_walkthrough() {
+        // Alice -> Bob at Gmail. In transit/awaiting: ECS.
+        let gmail =
+            MessageLifecycle::new(ProviderPublicity::Public, MessageStage::AwaitingRetrieval);
+        assert_eq!(gmail.sca_role(), ScaRole::Ecs);
+        // Bob stores it after reading: RCS.
+        assert_eq!(gmail.after_opening().sca_role(), ScaRole::Rcs);
+        // Bob -> Alice at the university. Before retrieval: ECS.
+        let univ = MessageLifecycle::new(
+            ProviderPublicity::NonPublic,
+            MessageStage::AwaitingRetrieval,
+        );
+        assert_eq!(univ.sca_role(), ScaRole::Ecs);
+        // Alice opens and stores: neither — Fourth Amendment governs.
+        assert_eq!(univ.after_opening().sca_role(), ScaRole::Neither);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(ScaRole::Ecs.to_string(), "ECS provider");
+        assert!(CompelledInfo::BasicSubscriberInfo
+            .to_string()
+            .contains("subscriber"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Rationale chains: every conclusion the engine reaches is justified by a
+//! sequence of steps, each citing authority from the [`casebook`].
+//!
+//! [`casebook`]: crate::casebook
+
+use crate::casebook::{lookup, CitationId};
+use std::fmt;
+
+/// One step in a legal rationale: a proposition plus supporting citations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RationaleStep {
+    proposition: String,
+    citations: Vec<CitationId>,
+}
+
+impl RationaleStep {
+    /// Creates a step from a proposition and its supporting citations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use forensic_law::rationale::RationaleStep;
+    /// use forensic_law::casebook::CitationId;
+    ///
+    /// let step = RationaleStep::new(
+    ///     "a closed phone booth carries a reasonable expectation of privacy",
+    ///     [CitationId::KatzVUnitedStates],
+    /// );
+    /// assert_eq!(step.citations().len(), 1);
+    /// ```
+    pub fn new(
+        proposition: impl Into<String>,
+        citations: impl IntoIterator<Item = CitationId>,
+    ) -> Self {
+        RationaleStep {
+            proposition: proposition.into(),
+            citations: citations.into_iter().collect(),
+        }
+    }
+
+    /// The legal proposition asserted by this step.
+    pub fn proposition(&self) -> &str {
+        &self.proposition
+    }
+
+    /// The authorities supporting the proposition.
+    pub fn citations(&self) -> &[CitationId] {
+        &self.citations
+    }
+}
+
+impl fmt::Display for RationaleStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.proposition)?;
+        if !self.citations.is_empty() {
+            write!(f, " [")?;
+            for (i, c) in self.citations.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "{}", lookup(*c).cite)?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered chain of rationale steps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Rationale {
+    steps: Vec<RationaleStep>,
+}
+
+impl Rationale {
+    /// Creates an empty rationale.
+    pub fn new() -> Self {
+        Rationale::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: RationaleStep) {
+        self.steps.push(step);
+    }
+
+    /// Appends a step built from parts.
+    pub fn add(
+        &mut self,
+        proposition: impl Into<String>,
+        citations: impl IntoIterator<Item = CitationId>,
+    ) {
+        self.push(RationaleStep::new(proposition, citations));
+    }
+
+    /// The steps, in order.
+    pub fn steps(&self) -> &[RationaleStep] {
+        &self.steps
+    }
+
+    /// Whether the rationale has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// All citations appearing anywhere in the chain, in order of first use.
+    pub fn cited_authorities(&self) -> Vec<CitationId> {
+        let mut seen = Vec::new();
+        for s in &self.steps {
+            for &c in s.citations() {
+                if !seen.contains(&c) {
+                    seen.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Appends all steps from another rationale.
+    pub fn extend_from(&mut self, other: &Rationale) {
+        self.steps.extend(other.steps.iter().cloned());
+    }
+}
+
+impl fmt::Display for Rationale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "  {}. {}", i + 1, s)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<RationaleStep> for Rationale {
+    fn from_iter<I: IntoIterator<Item = RationaleStep>>(iter: I) -> Self {
+        Rationale {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<RationaleStep> for Rationale {
+    fn extend<I: IntoIterator<Item = RationaleStep>>(&mut self, iter: I) {
+        self.steps.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_rationale() {
+        let r = Rationale::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(r.cited_authorities().is_empty());
+    }
+
+    #[test]
+    fn add_and_enumerate() {
+        let mut r = Rationale::new();
+        r.add("step one", [CitationId::KatzVUnitedStates]);
+        r.add(
+            "step two",
+            [
+                CitationId::KatzVUnitedStates,
+                CitationId::KylloVUnitedStates,
+            ],
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(
+            r.cited_authorities(),
+            vec![
+                CitationId::KatzVUnitedStates,
+                CitationId::KylloVUnitedStates
+            ]
+        );
+    }
+
+    #[test]
+    fn display_includes_cite() {
+        let step = RationaleStep::new("x", [CitationId::SmithVMaryland]);
+        assert!(step.to_string().contains("442 U.S. 735"));
+    }
+
+    #[test]
+    fn display_without_citations_has_no_bracket() {
+        let step = RationaleStep::new("bare proposition", []);
+        assert!(!step.to_string().contains('['));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let r: Rationale = vec![RationaleStep::new("a", []), RationaleStep::new("b", [])]
+            .into_iter()
+            .collect();
+        assert_eq!(r.len(), 2);
+        let mut r2 = Rationale::new();
+        r2.extend_from(&r);
+        r2.extend(vec![RationaleStep::new("c", [])]);
+        assert_eq!(r2.len(), 3);
+    }
+
+    #[test]
+    fn display_numbers_steps() {
+        let mut r = Rationale::new();
+        r.add("first", []);
+        r.add("second", []);
+        let out = r.to_string();
+        assert!(out.contains("1. first"));
+        assert!(out.contains("2. second"));
+    }
+}

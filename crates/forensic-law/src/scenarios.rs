@@ -1,0 +1,604 @@
+//! The paper's Table 1: "Warrant/Court Order/Subpoena in Digital Crime
+//! Scenes" — twenty concrete scenarios with the authors' verdicts.
+//!
+//! Each scenario constructs the corresponding [`InvestigativeAction`] and
+//! records the paper's answer ([`PaperVerdict`]); the benchmark harness
+//! compares the engine's output against every row. Rows the paper marks
+//! `(*)` are the authors' own judgments.
+
+use crate::action::{InvestigativeAction, ProviderCompulsion};
+use crate::actor::Actor;
+use crate::data::{ContentClass, DataLocation, DataSpec, Temporality, TransmissionMedium};
+use crate::provider::{CompelledInfo, MessageLifecycle, MessageStage, ProviderPublicity};
+use std::fmt;
+
+/// The paper's recorded answer for a Table 1 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PaperVerdict {
+    /// `true` = "Need", `false` = "No need".
+    pub needs_process: bool,
+    /// Whether the paper marks the row with `(*)`.
+    pub starred: bool,
+}
+
+impl fmt::Display for PaperVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = if self.needs_process {
+            "Need"
+        } else {
+            "No need"
+        };
+        if self.starred {
+            write!(f, "{base} (*)")
+        } else {
+            f.write_str(base)
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    number: usize,
+    summary: &'static str,
+    action: InvestigativeAction,
+    paper_verdict: PaperVerdict,
+}
+
+impl Scenario {
+    /// The row number (1–20).
+    pub fn number(&self) -> usize {
+        self.number
+    }
+
+    /// A short summary of the scene.
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    /// The machine-readable action.
+    pub fn action(&self) -> &InvestigativeAction {
+        &self.action
+    }
+
+    /// The paper's verdict.
+    pub fn paper_verdict(&self) -> PaperVerdict {
+        self.paper_verdict
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{:<2} {} → {}",
+            self.number, self.summary, self.paper_verdict
+        )
+    }
+}
+
+fn verdict(needs_process: bool, starred: bool) -> PaperVerdict {
+    PaperVerdict {
+        needs_process,
+        starred,
+    }
+}
+
+/// Builds all twenty Table 1 scenarios in order.
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::scenarios::table1;
+///
+/// let rows = table1();
+/// assert_eq!(rows.len(), 20);
+/// assert_eq!(rows[0].number(), 1);
+/// ```
+pub fn table1() -> Vec<Scenario> {
+    (1..=20).map(scenario).collect()
+}
+
+/// Builds a single Table 1 scenario by row number.
+///
+/// # Panics
+///
+/// Panics if `number` is not in `1..=20`.
+pub fn scenario(number: usize) -> Scenario {
+    match number {
+        1 => Scenario {
+            number,
+            summary: "campus IT logs wired traffic headers on the campus' own cables",
+            action: InvestigativeAction::builder(
+                Actor::system_administrator(),
+                DataSpec::new(
+                    ContentClass::NonContentAddressing,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::OwnNetwork),
+                ),
+            )
+            .describe("campus IT logs link/IP/TCP/UDP headers of wired traffic within campus")
+            .build(),
+            paper_verdict: verdict(false, false),
+        },
+        2 => Scenario {
+            number,
+            summary: "campus IT logs full wired traffic; campus policy eliminates privacy",
+            action: InvestigativeAction::builder(
+                Actor::system_administrator(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::OwnNetwork),
+                ),
+            )
+            .describe("campus IT logs headers and content of wired traffic within campus")
+            .policy_eliminates_privacy()
+            .build(),
+            paper_verdict: verdict(false, false),
+        },
+        3 => Scenario {
+            number,
+            summary: "officer outside a house logs unencrypted wireless headers (WarDriving)",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::NonContentAddressing,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::WirelessUnencrypted),
+                ),
+            )
+            .describe("officer logs unencrypted wireless link/IP/TCP headers outside a residence")
+            .build(),
+            paper_verdict: verdict(false, true),
+        },
+        4 => Scenario {
+            number,
+            summary: "officer logs unencrypted wireless traffic incl. payload (Street View scene)",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::WirelessUnencrypted),
+                ),
+            )
+            .describe("officer logs unencrypted wireless routing headers and payload")
+            .build(),
+            paper_verdict: verdict(true, true),
+        },
+        5 => Scenario {
+            number,
+            summary: "officer logs encrypted wireless headers",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::NonContentAddressing,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::WirelessEncrypted),
+                ),
+            )
+            .describe("officer logs encrypted wireless traffic headers outside a residence")
+            .build(),
+            paper_verdict: verdict(false, true),
+        },
+        6 => Scenario {
+            number,
+            summary: "officer logs encrypted wireless traffic incl. payload",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::WirelessEncrypted),
+                ),
+            )
+            .describe("officer logs encrypted wireless routing headers and payload")
+            .build(),
+            paper_verdict: verdict(true, true),
+        },
+        7 => Scenario {
+            number,
+            summary: "officer logs packet headers and sizes on the public wired internet",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::NonContentAddressing,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+                ),
+            )
+            .describe("officer logs headers and packet sizes at an ISP")
+            .build(),
+            paper_verdict: verdict(true, false),
+        },
+        8 => Scenario {
+            number,
+            summary: "officer logs entire packets (headers + payload) on the public wired internet",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+                ),
+            )
+            .describe("officer logs full packets at an ISP")
+            .build(),
+            paper_verdict: verdict(true, false),
+        },
+        9 => Scenario {
+            number,
+            summary: "officer uses normal P2P software to collect public information",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::RealTime,
+                    DataLocation::PublicForum,
+                ),
+            )
+            .describe("officer collects user names and shared file names via normal P2P software")
+            .joining_public_protocol()
+            .build(),
+            paper_verdict: verdict(false, false),
+        },
+        10 => Scenario {
+            number,
+            summary: "officer uses anonymous P2P software to collect public information",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::RealTime,
+                    DataLocation::PublicForum,
+                ),
+            )
+            .describe("officer collects public information shown by anonymous P2P software (the OneSwarm scene)")
+            .joining_public_protocol()
+            .build(),
+            paper_verdict: verdict(false, false),
+        },
+        11 => Scenario {
+            number,
+            summary: "officer collects a public website's content",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::stored_opened(),
+                    DataLocation::PublicForum,
+                ),
+            )
+            .describe("officer downloads content from a website anybody can access")
+            .joining_public_protocol()
+            .build(),
+            paper_verdict: verdict(false, false),
+        },
+        12 => Scenario {
+            number,
+            summary: "officer investigates a Tor hidden web server (the server is as an ISP)",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::stored_unopened(),
+                    DataLocation::ProviderStorage,
+                ),
+            )
+            .describe("officer investigates a hidden web server at Tor holding user data")
+            .target_operates_as_provider()
+            .build(),
+            paper_verdict: verdict(true, false),
+        },
+        13 => Scenario {
+            number,
+            summary: "officer runs a Tor node and investigates traffic on it (not a private search)",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+                ),
+            )
+            .describe("officer builds a Tor node and inspects transiting user traffic")
+            .operating_intercepting_infrastructure()
+            .build(),
+            paper_verdict: verdict(true, false),
+        },
+        14 => Scenario {
+            number,
+            summary: "officer monitors Anonymizer (the server is as an ISP)",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+                ),
+            )
+            .describe("officer monitors the Anonymizer proxy server's user traffic")
+            .target_operates_as_provider()
+            .build(),
+            paper_verdict: verdict(true, false),
+        },
+        15 => Scenario {
+            number,
+            summary: "attack victim consents to monitoring of the attacker on the victim's computer",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::RealTime,
+                    DataLocation::InTransit(TransmissionMedium::OwnNetwork),
+                ),
+            )
+            .describe("victim authorizes officer to monitor attacker activity on the victim's computer")
+            .victim_authorized_trespasser_monitoring()
+            .build(),
+            paper_verdict: verdict(false, false),
+        },
+        16 => Scenario {
+            number,
+            summary: "same as 15, but officer collects data inside the attacker's computer",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::stored_opened(),
+                    DataLocation::RemoteComputer,
+                ),
+            )
+            .describe("officer reaches into the attacker's own computer to collect data")
+            .victim_authorized_trespasser_monitoring()
+            .build(),
+            paper_verdict: verdict(true, false),
+        },
+        17 => Scenario {
+            number,
+            summary: "officer collects content in a public chat room",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::RealTime,
+                    DataLocation::PublicForum,
+                ),
+            )
+            .describe("officer collects messages from a chat room anybody can access")
+            .joining_public_protocol()
+            .build(),
+            paper_verdict: verdict(false, false),
+        },
+        18 => Scenario {
+            number,
+            summary: "officer hashes an entire lawfully obtained hard drive for a particular file",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::stored_opened(),
+                    DataLocation::LawfullyObtainedMedia,
+                ),
+            )
+            .describe("officer runs hash functions across an entire obtained drive hunting one file")
+            .exhaustive_forensic_search()
+            .build(),
+            paper_verdict: verdict(true, false),
+        },
+        19 => Scenario {
+            number,
+            summary: "officer mines a lawfully obtained database for hidden information",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::stored_opened(),
+                    DataLocation::LawfullyObtainedMedia,
+                ),
+            )
+            .describe("officer data-mines a legally obtained database")
+            .mining_lawfully_held_dataset()
+            .build(),
+            paper_verdict: verdict(false, false),
+        },
+        20 => Scenario {
+            number,
+            summary: "after arrest, officer uses the defendant's credentials to fetch remote data",
+            action: InvestigativeAction::builder(
+                Actor::law_enforcement(),
+                DataSpec::new(
+                    ContentClass::Content,
+                    Temporality::stored_opened(),
+                    DataLocation::RemoteComputer,
+                ),
+            )
+            .describe("officer uses the arrestee's username/password to obtain remote data")
+            .using_arrestee_credentials()
+            .build(),
+            paper_verdict: verdict(false, false),
+        },
+        _ => panic!("Table 1 has rows 1..=20, got {number}"),
+    }
+}
+
+/// The §III-A-3 compelled-disclosure postures as ready-made actions, used
+/// by examples and tests beyond Table 1.
+pub fn compel_subscriber_info_from_public_isp() -> InvestigativeAction {
+    InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::SubscriberRecords,
+            Temporality::stored_opened(),
+            DataLocation::ProviderStorage,
+        ),
+    )
+    .describe("compel an ISP to identify the subscriber behind an IP address")
+    .compelling_provider(ProviderCompulsion {
+        lifecycle: MessageLifecycle::new(
+            ProviderPublicity::Public,
+            MessageStage::AwaitingRetrieval,
+        ),
+        info: CompelledInfo::BasicSubscriberInfo,
+    })
+    .build()
+}
+
+/// Compelling unopened email content from a public provider (warrant
+/// required under § 2703(a)).
+pub fn compel_unopened_email_from_public_isp() -> InvestigativeAction {
+    InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::stored_unopened(),
+            DataLocation::ProviderStorage,
+        ),
+    )
+    .describe("compel a public provider to disclose unopened email content")
+    .compelling_provider(ProviderCompulsion {
+        lifecycle: MessageLifecycle::new(
+            ProviderPublicity::Public,
+            MessageStage::AwaitingRetrieval,
+        ),
+        info: CompelledInfo::UnopenedContent,
+    })
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assessment::Verdict;
+    use crate::engine::ComplianceEngine;
+    use crate::process::LegalProcess;
+
+    #[test]
+    fn twenty_rows_numbered_in_order() {
+        let rows = table1();
+        assert_eq!(rows.len(), 20);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.number(), i + 1);
+            assert!(!row.summary().is_empty());
+            assert!(!row.action().description().is_empty());
+        }
+    }
+
+    #[test]
+    fn starred_rows_are_3_4_5_6() {
+        for row in table1() {
+            let expect_star = matches!(row.number(), 3..=6);
+            assert_eq!(
+                row.paper_verdict().starred,
+                expect_star,
+                "row {}",
+                row.number()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_verdict_pattern_matches_published_table() {
+        let needs: Vec<bool> = table1()
+            .iter()
+            .map(|s| s.paper_verdict().needs_process)
+            .collect();
+        let expected = [
+            false, false, false, true, false, true, true, true, false, false, false, true, true,
+            true, false, true, false, true, false, false,
+        ];
+        assert_eq!(needs, expected);
+    }
+
+    /// The headline reproduction check: the engine agrees with the paper
+    /// on all twenty rows.
+    #[test]
+    fn engine_reproduces_all_twenty_verdicts() {
+        let engine = ComplianceEngine::new();
+        for row in table1() {
+            let out = engine.assess(row.action());
+            assert_eq!(
+                out.verdict().needs_process(),
+                row.paper_verdict().needs_process,
+                "row {} ({}): engine said {:?}\n{}",
+                row.number(),
+                row.summary(),
+                out.verdict(),
+                out.rationale(),
+            );
+        }
+    }
+
+    /// The engine's confidence matches the paper's (*) markers.
+    #[test]
+    fn engine_confidence_matches_stars() {
+        use crate::assessment::Confidence;
+        let engine = ComplianceEngine::new();
+        for row in table1() {
+            let out = engine.assess(row.action());
+            let expect = if row.paper_verdict().starred {
+                Confidence::AuthorsJudgment
+            } else {
+                Confidence::Settled
+            };
+            assert_eq!(
+                out.confidence(),
+                expect,
+                "row {} ({})",
+                row.number(),
+                row.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn specific_processes_for_key_rows() {
+        let engine = ComplianceEngine::new();
+        // Row 7: pen/trap court order.
+        assert_eq!(
+            engine.assess(scenario(7).action()).verdict(),
+            Verdict::ProcessRequired(LegalProcess::CourtOrder)
+        );
+        // Row 8: wiretap order.
+        assert_eq!(
+            engine.assess(scenario(8).action()).verdict(),
+            Verdict::ProcessRequired(LegalProcess::WiretapOrder)
+        );
+        // Row 18: search warrant.
+        assert_eq!(
+            engine.assess(scenario(18).action()).verdict(),
+            Verdict::ProcessRequired(LegalProcess::SearchWarrant)
+        );
+    }
+
+    #[test]
+    fn compulsion_helpers() {
+        let engine = ComplianceEngine::new();
+        assert_eq!(
+            engine
+                .assess(&compel_subscriber_info_from_public_isp())
+                .verdict(),
+            Verdict::ProcessRequired(LegalProcess::Subpoena)
+        );
+        assert_eq!(
+            engine
+                .assess(&compel_unopened_email_from_public_isp())
+                .verdict(),
+            Verdict::ProcessRequired(LegalProcess::SearchWarrant)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rows 1..=20")]
+    fn out_of_range_row_panics() {
+        let _ = scenario(21);
+    }
+
+    #[test]
+    fn scenario_display() {
+        let s = scenario(1).to_string();
+        assert!(s.contains("#1"));
+        assert!(s.contains("No need"));
+    }
+}

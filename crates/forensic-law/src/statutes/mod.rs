@@ -1,0 +1,76 @@
+//! The three statutory regimes the paper is organized around (§II-B-2):
+//! the Wiretap Act (Title III), the Pen/Trap statute, and the Stored
+//! Communications Act. Each evaluator inspects an [`InvestigativeAction`]
+//! and, when its statute governs, returns a [`StatuteRuling`] stating the
+//! process the statute demands (possibly [`LegalProcess::None`] when an
+//! intra-statutory exception applies).
+//!
+//! [`InvestigativeAction`]: crate::action::InvestigativeAction
+
+pub mod pen_trap;
+pub mod sca;
+pub mod wiretap;
+
+use crate::casebook::CitationId;
+use crate::process::LegalProcess;
+use crate::rationale::Rationale;
+use std::fmt;
+
+/// The outcome of evaluating one statute against an action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatuteRuling {
+    statute: CitationId,
+    required_process: LegalProcess,
+    rationale: Rationale,
+}
+
+impl StatuteRuling {
+    /// Creates a ruling under `statute` demanding `required_process`.
+    pub fn new(statute: CitationId, required_process: LegalProcess, rationale: Rationale) -> Self {
+        StatuteRuling {
+            statute,
+            required_process,
+            rationale,
+        }
+    }
+
+    /// The statute that produced this ruling.
+    pub fn statute(&self) -> CitationId {
+        self.statute
+    }
+
+    /// The process the statute requires ([`LegalProcess::None`] when an
+    /// intra-statutory exception excuses process).
+    pub fn required_process(&self) -> LegalProcess {
+        self.required_process
+    }
+
+    /// The reasoning.
+    pub fn rationale(&self) -> &Rationale {
+        &self.rationale
+    }
+}
+
+impl fmt::Display for StatuteRuling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} requires {}", self.statute, self.required_process)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ruling_accessors() {
+        let r = StatuteRuling::new(
+            CitationId::WiretapAct,
+            LegalProcess::WiretapOrder,
+            Rationale::new(),
+        );
+        assert_eq!(r.statute(), CitationId::WiretapAct);
+        assert_eq!(r.required_process(), LegalProcess::WiretapOrder);
+        assert!(r.rationale().is_empty());
+        assert!(r.to_string().contains("wiretap order"));
+    }
+}

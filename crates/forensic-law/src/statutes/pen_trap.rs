@@ -1,0 +1,285 @@
+//! The Pen Register / Trap-and-Trace statute, 18 U.S.C. §§ 3121–3127.
+//!
+//! "The Pen/Trap statute regulates the collection of addressing and other
+//! non-content information such as packet size for wire and electronic
+//! communications" (§II-B-2-c). Installation requires a court order
+//! (§ 3123) — the paper's Table 1 row 7 ("Need") — subject to the provider
+//! exception (§ 3121(b)), user consent, and the § 3125 emergency provision.
+
+use crate::action::InvestigativeAction;
+use crate::actor::ActorKind;
+use crate::casebook::CitationId;
+use crate::data::{ContentClass, DataLocation, TransmissionMedium};
+use crate::exceptions::ConsentAuthority;
+use crate::process::LegalProcess;
+use crate::rationale::Rationale;
+use crate::statutes::StatuteRuling;
+
+/// Evaluates the Pen/Trap statute against an action.
+///
+/// Returns `None` when the statute does not govern. Traffic *rates and
+/// volumes* count as non-content signalling information
+/// (*United States v. Forrester*: "the total volume of information"), so
+/// the §IV-B watermark's rate observation falls under this statute.
+pub fn evaluate(action: &InvestigativeAction) -> Option<StatuteRuling> {
+    let data = action.data();
+    let method = action.method();
+    let mut r = Rationale::new();
+
+    let non_content = data.category == ContentClass::NonContentAddressing
+        || (data.category == ContentClass::Content && method.rate_observation_only);
+    let applies = non_content && data.temporality.is_real_time() && data.location.is_in_transit();
+    if !applies {
+        return None;
+    }
+
+    if method.rate_observation_only {
+        r.add(
+            "observing only traffic rates and volumes acquires non-content signalling information, regulated as pen/trap data",
+            [CitationId::PenTrapStatute, CitationId::UnitedStatesVForrester],
+        );
+    } else {
+        r.add(
+            "real-time collection of dialing, routing, and addressing information is regulated by the Pen/Trap statute",
+            [CitationId::PenTrapStatute, CitationId::UnitedStatesVForrester],
+        );
+    }
+
+    // Over-the-air capture: the paper treats passive off-air header
+    // collection (WarDriving) as outside the installation requirement —
+    // its Table 1 rows 3 and 5 answer "No need (*)".
+    if let DataLocation::InTransit(
+        TransmissionMedium::WirelessUnencrypted | TransmissionMedium::WirelessEncrypted,
+    ) = data.location
+    {
+        r.add(
+            "passively receiving radio-broadcast headers installs no device on any line or facility; the statute's order requirement is not triggered (authors' judgment)",
+            [CitationId::Section2511PublicAccessException],
+        );
+        return Some(StatuteRuling::new(
+            CitationId::PenTrapStatute,
+            LegalProcess::None,
+            r,
+        ));
+    }
+
+    // Provider exception, § 3121(b)(1)-(2): operation, maintenance,
+    // protection of the provider's own service.
+    let is_own_network_operator = matches!(
+        action.actor().kind(),
+        ActorKind::SystemAdministrator | ActorKind::ServiceProvider
+    ) && !action.actor().is_government_directed()
+        && data.location == DataLocation::InTransit(TransmissionMedium::OwnNetwork);
+    if is_own_network_operator {
+        r.add(
+            "a provider may record addressing information on its own network in the course of operating and protecting the service",
+            [CitationId::PenTrapStatute],
+        );
+        return Some(StatuteRuling::new(
+            CitationId::PenTrapStatute,
+            LegalProcess::None,
+            r,
+        ));
+    }
+
+    // User consent, § 3121(b)(3).
+    if let Some(consent) = action.consent() {
+        if matches!(
+            consent.authority(),
+            ConsentAuthority::OnePartyToCommunication { .. } | ConsentAuthority::TargetSelf
+        ) && consent.is_effective()
+        {
+            r.push(consent.rationale());
+            return Some(StatuteRuling::new(
+                CitationId::PenTrapStatute,
+                LegalProcess::None,
+                r,
+            ));
+        }
+    }
+
+    // Victim-authorized monitoring on the victim's own system also covers
+    // the addressing information of the trespasser's connections.
+    if action
+        .circumstances()
+        .victim_authorized_trespasser_monitoring
+        && data.location == DataLocation::InTransit(TransmissionMedium::OwnNetwork)
+    {
+        r.add(
+            "the victim's authorization covers recording the trespasser's connection metadata on the victim's system",
+            [CitationId::Section2511TrespasserException],
+        );
+        return Some(StatuteRuling::new(
+            CitationId::PenTrapStatute,
+            LegalProcess::None,
+            r,
+        ));
+    }
+
+    // Emergency installation, § 3125.
+    if let Some(emergency) = action.emergency_pen_trap() {
+        r.push(emergency.rationale());
+        if emergency.is_valid() {
+            return Some(StatuteRuling::new(
+                CitationId::PenTrapStatute,
+                LegalProcess::None,
+                r,
+            ));
+        }
+    }
+
+    r.add(
+        "installation and use of a pen register or trap-and-trace device requires a court order",
+        [CitationId::PenTrapStatute, CitationId::Section3121c],
+    );
+    Some(StatuteRuling::new(
+        CitationId::PenTrapStatute,
+        LegalProcess::CourtOrder,
+        r,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::Actor;
+    use crate::data::{DataSpec, Temporality};
+    use crate::exceptions::{Consent, EmergencyPenTrap, EmergencyPenTrapGround};
+
+    fn headers(medium: TransmissionMedium) -> DataSpec {
+        DataSpec::new(
+            ContentClass::NonContentAddressing,
+            Temporality::RealTime,
+            DataLocation::InTransit(medium),
+        )
+    }
+
+    #[test]
+    fn isp_header_logging_needs_court_order() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            headers(TransmissionMedium::PublicWiredInternet),
+        )
+        .build();
+        assert_eq!(
+            evaluate(&a).unwrap().required_process(),
+            LegalProcess::CourtOrder
+        );
+    }
+
+    #[test]
+    fn content_capture_is_outside_pen_trap() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::RealTime,
+                DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+            ),
+        )
+        .build();
+        assert!(evaluate(&a).is_none());
+    }
+
+    #[test]
+    fn rate_observation_of_content_flow_is_pen_trap() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::RealTime,
+                DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+            ),
+        )
+        .rate_observation_only()
+        .build();
+        let ruling = evaluate(&a).unwrap();
+        assert_eq!(ruling.required_process(), LegalProcess::CourtOrder);
+        assert!(ruling
+            .rationale()
+            .cited_authorities()
+            .contains(&CitationId::UnitedStatesVForrester));
+    }
+
+    #[test]
+    fn stored_records_are_outside_pen_trap() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::NonContentAddressing,
+                Temporality::stored_opened(),
+                DataLocation::ProviderStorage,
+            ),
+        )
+        .build();
+        assert!(evaluate(&a).is_none());
+    }
+
+    #[test]
+    fn wardriving_headers_need_no_order() {
+        for m in [
+            TransmissionMedium::WirelessUnencrypted,
+            TransmissionMedium::WirelessEncrypted,
+        ] {
+            let a = InvestigativeAction::builder(Actor::law_enforcement(), headers(m)).build();
+            assert_eq!(evaluate(&a).unwrap().required_process(), LegalProcess::None);
+        }
+    }
+
+    #[test]
+    fn campus_it_provider_exception() {
+        let a = InvestigativeAction::builder(
+            Actor::system_administrator(),
+            headers(TransmissionMedium::OwnNetwork),
+        )
+        .build();
+        assert_eq!(evaluate(&a).unwrap().required_process(), LegalProcess::None);
+    }
+
+    #[test]
+    fn user_consent_waives() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            headers(TransmissionMedium::PublicWiredInternet),
+        )
+        .with_consent(Consent::by(ConsentAuthority::TargetSelf))
+        .build();
+        assert_eq!(evaluate(&a).unwrap().required_process(), LegalProcess::None);
+    }
+
+    #[test]
+    fn valid_emergency_waives_invalid_does_not() {
+        let base = headers(TransmissionMedium::PublicWiredInternet);
+        let valid = InvestigativeAction::builder(Actor::law_enforcement(), base)
+            .with_emergency_pen_trap(EmergencyPenTrap::new(
+                EmergencyPenTrapGround::OngoingProtectedComputerAttack,
+                true,
+            ))
+            .build();
+        assert_eq!(
+            evaluate(&valid).unwrap().required_process(),
+            LegalProcess::None
+        );
+        let invalid = InvestigativeAction::builder(Actor::law_enforcement(), base)
+            .with_emergency_pen_trap(EmergencyPenTrap::new(
+                EmergencyPenTrapGround::OrganizedCrime,
+                false,
+            ))
+            .build();
+        assert_eq!(
+            evaluate(&invalid).unwrap().required_process(),
+            LegalProcess::CourtOrder
+        );
+    }
+
+    #[test]
+    fn trespasser_monitoring_covers_metadata() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            headers(TransmissionMedium::OwnNetwork),
+        )
+        .victim_authorized_trespasser_monitoring()
+        .build();
+        assert_eq!(evaluate(&a).unwrap().required_process(), LegalProcess::None);
+    }
+}

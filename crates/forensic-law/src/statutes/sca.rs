@@ -1,0 +1,283 @@
+//! The Stored Communications Act, 18 U.S.C. §§ 2701–2712.
+//!
+//! The SCA "protects the privacy right for customers and subscribers of
+//! Internet service providers and regulates the government access to
+//! stored content and non-content records held by ISPs" (§II-B-2-b).
+//! § 2703 lays out the paper's compelled-disclosure ladder: "A search
+//! warrant can disclose everything while a subpoena can only get the basic
+//! subscriber information" (§III-A-3).
+
+use crate::action::InvestigativeAction;
+use crate::casebook::CitationId;
+use crate::data::DataLocation;
+use crate::exceptions::ConsentAuthority;
+use crate::process::LegalProcess;
+use crate::provider::CompelledInfo;
+use crate::rationale::Rationale;
+use crate::statutes::StatuteRuling;
+
+/// The § 2703 process required to compel a category of information.
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::provider::CompelledInfo;
+/// use forensic_law::process::LegalProcess;
+/// use forensic_law::statutes::sca::process_for;
+///
+/// assert_eq!(process_for(CompelledInfo::BasicSubscriberInfo), LegalProcess::Subpoena);
+/// assert_eq!(process_for(CompelledInfo::UnopenedContent), LegalProcess::SearchWarrant);
+/// ```
+pub fn process_for(info: CompelledInfo) -> LegalProcess {
+    match info {
+        CompelledInfo::BasicSubscriberInfo => LegalProcess::Subpoena,
+        CompelledInfo::TransactionalRecords => LegalProcess::CourtOrder,
+        CompelledInfo::UnopenedContent => LegalProcess::SearchWarrant,
+        CompelledInfo::OpenedContent => LegalProcess::CourtOrder,
+    }
+}
+
+/// Evaluates the SCA against an action.
+///
+/// Governs when the action compels a provider under § 2703, or accesses
+/// records in provider storage. Returns `None` when the provider is
+/// neither ECS nor RCS with respect to the data ("the SCA no longer
+/// regulates access ... governed solely by the Fourth Amendment",
+/// §III-A-3) or the action does not touch provider-held data.
+pub fn evaluate(action: &InvestigativeAction) -> Option<StatuteRuling> {
+    let mut r = Rationale::new();
+
+    if let Some(compulsion) = action.compulsion() {
+        let role = compulsion.lifecycle.sca_role();
+        if !role.sca_applies() {
+            r.add(
+                "the provider is neither an ECS nor an RCS with respect to this data; the SCA drops out and the Fourth Amendment alone governs",
+                [CitationId::AndersenConsultingVUop, CitationId::StoredCommunicationsAct],
+            );
+            // Not governed by the SCA.
+            return None;
+        }
+        r.add(
+            format!(
+                "the provider is an {role} with respect to the demanded {}; § 2703 supplies the compelled-disclosure ladder",
+                compulsion.info
+            ),
+            [CitationId::Section2703, CitationId::SenateReport99_541],
+        );
+        let process = process_for(compulsion.info);
+        r.add(
+            format!(
+                "compelling {} requires at least a {process}",
+                compulsion.info
+            ),
+            [CitationId::Section2703],
+        );
+        return Some(StatuteRuling::new(
+            CitationId::StoredCommunicationsAct,
+            process,
+            r,
+        ));
+    }
+
+    // Non-compelled access to provider-held data (e.g. monitoring or
+    // copying records at a provider). Voluntary disclosure by a *public*
+    // provider to the government is restrained by § 2702 unless an
+    // exception (user consent, provider self-protection, emergency)
+    // applies.
+    if action.data().location == DataLocation::ProviderStorage {
+        if let Some(consent) = action.consent() {
+            let authorized = matches!(
+                consent.authority(),
+                ConsentAuthority::TargetSelf | ConsentAuthority::NetworkOwnerOrAdmin
+            ) && consent.is_effective();
+            if authorized {
+                r.push(consent.rationale());
+                r.add(
+                    "§ 2702 permits disclosure with the consent of the user or where the provider's terms of service establish authority",
+                    [CitationId::Section2702, CitationId::UnitedStatesVYoung2003],
+                );
+                return Some(StatuteRuling::new(
+                    CitationId::StoredCommunicationsAct,
+                    LegalProcess::None,
+                    r,
+                ));
+            }
+        }
+        let info = classify_stored(action);
+        let process = process_for(info);
+        r.add(
+            format!("government access to {info} held by a provider is regulated by §§ 2702–2703"),
+            [CitationId::Section2702, CitationId::Section2703],
+        );
+        return Some(StatuteRuling::new(
+            CitationId::StoredCommunicationsAct,
+            process,
+            r,
+        ));
+    }
+
+    None
+}
+
+/// Maps a provider-storage data spec to its § 2703 category.
+fn classify_stored(action: &InvestigativeAction) -> CompelledInfo {
+    use crate::data::{ContentClass, Temporality};
+    match (action.data().category, action.data().temporality) {
+        (ContentClass::Content, Temporality::Stored { opened: false }) => {
+            CompelledInfo::UnopenedContent
+        }
+        (ContentClass::Content, _) => CompelledInfo::OpenedContent,
+        (ContentClass::SubscriberRecords, _) => CompelledInfo::BasicSubscriberInfo,
+        (ContentClass::TransactionalRecords, _) | (ContentClass::NonContentAddressing, _) => {
+            CompelledInfo::TransactionalRecords
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ProviderCompulsion;
+    use crate::actor::Actor;
+    use crate::data::{ContentClass, DataSpec, Temporality};
+    use crate::exceptions::Consent;
+    use crate::provider::{MessageLifecycle, MessageStage, ProviderPublicity};
+
+    fn stored_at_provider(c: ContentClass, t: Temporality) -> DataSpec {
+        DataSpec::new(c, t, DataLocation::ProviderStorage)
+    }
+
+    #[test]
+    fn ladder_matches_paper() {
+        assert_eq!(
+            process_for(CompelledInfo::BasicSubscriberInfo),
+            LegalProcess::Subpoena
+        );
+        assert_eq!(
+            process_for(CompelledInfo::TransactionalRecords),
+            LegalProcess::CourtOrder
+        );
+        assert_eq!(
+            process_for(CompelledInfo::UnopenedContent),
+            LegalProcess::SearchWarrant
+        );
+        assert_eq!(
+            process_for(CompelledInfo::OpenedContent),
+            LegalProcess::CourtOrder
+        );
+    }
+
+    #[test]
+    fn compelling_subscriber_info_needs_subpoena() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            stored_at_provider(
+                ContentClass::SubscriberRecords,
+                Temporality::stored_opened(),
+            ),
+        )
+        .compelling_provider(ProviderCompulsion {
+            lifecycle: MessageLifecycle::new(
+                ProviderPublicity::Public,
+                MessageStage::AwaitingRetrieval,
+            ),
+            info: CompelledInfo::BasicSubscriberInfo,
+        })
+        .build();
+        let ruling = evaluate(&a).unwrap();
+        assert_eq!(ruling.statute(), CitationId::StoredCommunicationsAct);
+        assert_eq!(ruling.required_process(), LegalProcess::Subpoena);
+    }
+
+    #[test]
+    fn compelling_unopened_content_needs_warrant() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            stored_at_provider(ContentClass::Content, Temporality::stored_unopened()),
+        )
+        .compelling_provider(ProviderCompulsion {
+            lifecycle: MessageLifecycle::new(
+                ProviderPublicity::Public,
+                MessageStage::AwaitingRetrieval,
+            ),
+            info: CompelledInfo::UnopenedContent,
+        })
+        .build();
+        assert_eq!(
+            evaluate(&a).unwrap().required_process(),
+            LegalProcess::SearchWarrant
+        );
+    }
+
+    #[test]
+    fn non_public_opened_content_drops_out_of_sca() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            stored_at_provider(ContentClass::Content, Temporality::stored_opened()),
+        )
+        .compelling_provider(ProviderCompulsion {
+            lifecycle: MessageLifecycle::new(
+                ProviderPublicity::NonPublic,
+                MessageStage::OpenedInStorage,
+            ),
+            info: CompelledInfo::OpenedContent,
+        })
+        .build();
+        assert!(evaluate(&a).is_none());
+    }
+
+    #[test]
+    fn uncompelled_provider_storage_access_is_regulated() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            stored_at_provider(ContentClass::Content, Temporality::stored_unopened()),
+        )
+        .build();
+        assert_eq!(
+            evaluate(&a).unwrap().required_process(),
+            LegalProcess::SearchWarrant
+        );
+    }
+
+    #[test]
+    fn user_consent_waives_sca() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            stored_at_provider(ContentClass::Content, Temporality::stored_opened()),
+        )
+        .with_consent(Consent::by(ConsentAuthority::TargetSelf))
+        .build();
+        assert_eq!(evaluate(&a).unwrap().required_process(), LegalProcess::None);
+    }
+
+    #[test]
+    fn in_transit_data_is_outside_sca() {
+        use crate::data::TransmissionMedium;
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::RealTime,
+                DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+            ),
+        )
+        .build();
+        assert!(evaluate(&a).is_none());
+    }
+
+    #[test]
+    fn stored_transactional_records_need_court_order() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            stored_at_provider(
+                ContentClass::TransactionalRecords,
+                Temporality::stored_opened(),
+            ),
+        )
+        .build();
+        assert_eq!(
+            evaluate(&a).unwrap().required_process(),
+            LegalProcess::CourtOrder
+        );
+    }
+}

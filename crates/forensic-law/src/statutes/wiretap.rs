@@ -1,0 +1,315 @@
+//! The Wiretap Act (Title III), 18 U.S.C. §§ 2510–2522.
+//!
+//! "Roughly speaking, it prohibits unauthorized government access to
+//! private electronic communications in real time" (§II-B-2-a) — and in
+//! fact restrains *any person*, not just the government. The "intercept"
+//! element carries a contemporaneity requirement (§III-A-3): acquisition
+//! must be contemporaneous with transmission, else the SCA governs.
+
+use crate::action::InvestigativeAction;
+use crate::actor::ActorKind;
+use crate::casebook::CitationId;
+use crate::data::{ContentClass, DataLocation, TransmissionMedium};
+use crate::exceptions::ConsentAuthority;
+use crate::process::LegalProcess;
+use crate::rationale::Rationale;
+use crate::statutes::StatuteRuling;
+
+/// Evaluates Title III against an action.
+///
+/// Returns `None` when the statute does not govern (no real-time content
+/// acquisition). Returns a ruling with [`LegalProcess::None`] when an
+/// intra-statutory exception authorizes the interception.
+pub fn evaluate(action: &InvestigativeAction) -> Option<StatuteRuling> {
+    let data = action.data();
+    let method = action.method();
+    let mut r = Rationale::new();
+
+    // Threshold: is there an "interception" — real-time acquisition of
+    // communication *content*?
+    let acquires_content = data.category == ContentClass::Content && !method.rate_observation_only;
+    let contemporaneous = data.temporality.is_real_time();
+    let in_transit = data.location.is_in_transit() || method.operates_intercepting_infrastructure;
+
+    if !acquires_content {
+        return None;
+    }
+    if !contemporaneous {
+        r.add(
+            "acquisition from storage is not contemporaneous with transmission; Title III does not apply",
+            [
+                CitationId::SteveJacksonGames,
+                CitationId::KonopVHawaiianAirlines,
+                CitationId::UnitedStatesVSteiger,
+            ],
+        );
+        return None;
+    }
+    if !in_transit {
+        return None;
+    }
+
+    r.add(
+        "real-time acquisition of communication content is an interception governed by Title III",
+        [CitationId::WiretapAct],
+    );
+
+    // § 2511(2)(g)(i): communications readily accessible to the general
+    // public. The paper applies it to public chat rooms, bulletin boards,
+    // newsgroups — i.e. where the investigator is a legitimate protocol
+    // participant.
+    if method.joins_public_protocol || data.location == DataLocation::PublicForum {
+        r.add(
+            "the communication is configured to be readily accessible to the general public; any person may intercept it",
+            [CitationId::Section2511PublicAccessException, CitationId::SenateReport99_541],
+        );
+        return Some(StatuteRuling::new(
+            CitationId::WiretapAct,
+            LegalProcess::None,
+            r,
+        ));
+    }
+
+    // One-party consent, § 2511(2)(c)-(d).
+    if let Some(consent) = action.consent() {
+        if matches!(
+            consent.authority(),
+            ConsentAuthority::OnePartyToCommunication { .. }
+        ) {
+            r.push(consent.rationale());
+            if consent.is_effective() {
+                return Some(StatuteRuling::new(
+                    CitationId::WiretapAct,
+                    LegalProcess::None,
+                    r,
+                ));
+            }
+        }
+    }
+
+    // Computer-trespasser exception, § 2511(2)(i): the victim of an attack
+    // may authorize persons acting under color of law to monitor the
+    // trespasser on the victim's system.
+    if action
+        .circumstances()
+        .victim_authorized_trespasser_monitoring
+        && data.location == DataLocation::InTransit(TransmissionMedium::OwnNetwork)
+    {
+        r.add(
+            "the intrusion victim authorized monitoring of the trespasser's communications on the victim's own system",
+            [
+                CitationId::Section2511TrespasserException,
+                CitationId::UnitedStatesVVillanueva,
+            ],
+        );
+        return Some(StatuteRuling::new(
+            CitationId::WiretapAct,
+            LegalProcess::None,
+            r,
+        ));
+    }
+
+    // Provider exception, § 2511(2)(a)(i): operators may intercept on
+    // their own networks in the normal course of protecting their rights
+    // and property — the campus-IT scenes (Table 1 rows 1–2) and the
+    // two-administrators private search of §IV-B.
+    let is_own_network_operator = matches!(
+        action.actor().kind(),
+        ActorKind::SystemAdministrator | ActorKind::ServiceProvider
+    ) && !action.actor().is_government_directed()
+        && data.location == DataLocation::InTransit(TransmissionMedium::OwnNetwork);
+    if is_own_network_operator {
+        r.add(
+            "a provider may monitor its own network in the normal course of protecting its rights and property",
+            [CitationId::WiretapAct, CitationId::Section2702],
+        );
+        return Some(StatuteRuling::new(
+            CitationId::WiretapAct,
+            LegalProcess::None,
+            r,
+        ));
+    }
+
+    r.add(
+        "no Title III exception applies; a wiretap order is required to intercept content",
+        [CitationId::WiretapAct],
+    );
+    Some(StatuteRuling::new(
+        CitationId::WiretapAct,
+        LegalProcess::WiretapOrder,
+        r,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::Actor;
+    use crate::data::{DataSpec, Temporality};
+    use crate::exceptions::Consent;
+
+    fn content_in_transit(medium: TransmissionMedium) -> DataSpec {
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::RealTime,
+            DataLocation::InTransit(medium),
+        )
+    }
+
+    #[test]
+    fn interception_requires_wiretap_order() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            content_in_transit(TransmissionMedium::PublicWiredInternet),
+        )
+        .build();
+        let ruling = evaluate(&a).expect("Title III governs");
+        assert_eq!(ruling.required_process(), LegalProcess::WiretapOrder);
+    }
+
+    #[test]
+    fn headers_are_outside_title_iii() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::NonContentAddressing,
+                Temporality::RealTime,
+                DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+            ),
+        )
+        .build();
+        assert!(evaluate(&a).is_none());
+    }
+
+    #[test]
+    fn stored_acquisition_is_outside_title_iii() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_unopened(),
+                DataLocation::ProviderStorage,
+            ),
+        )
+        .build();
+        assert!(evaluate(&a).is_none());
+    }
+
+    #[test]
+    fn rate_observation_is_not_content_acquisition() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            content_in_transit(TransmissionMedium::PublicWiredInternet),
+        )
+        .rate_observation_only()
+        .build();
+        assert!(evaluate(&a).is_none());
+    }
+
+    #[test]
+    fn public_protocol_participation_is_excepted() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            content_in_transit(TransmissionMedium::PublicWiredInternet),
+        )
+        .joining_public_protocol()
+        .build();
+        let ruling = evaluate(&a).unwrap();
+        assert_eq!(ruling.required_process(), LegalProcess::None);
+        assert!(ruling
+            .rationale()
+            .cited_authorities()
+            .contains(&CitationId::Section2511PublicAccessException));
+    }
+
+    #[test]
+    fn one_party_consent_waives() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            content_in_transit(TransmissionMedium::PublicWiredInternet),
+        )
+        .with_consent(Consent::by(ConsentAuthority::OnePartyToCommunication {
+            all_party_state: false,
+        }))
+        .build();
+        assert_eq!(evaluate(&a).unwrap().required_process(), LegalProcess::None);
+    }
+
+    #[test]
+    fn all_party_state_defeats_one_party_consent() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            content_in_transit(TransmissionMedium::PublicWiredInternet),
+        )
+        .with_consent(Consent::by(ConsentAuthority::OnePartyToCommunication {
+            all_party_state: true,
+        }))
+        .build();
+        assert_eq!(
+            evaluate(&a).unwrap().required_process(),
+            LegalProcess::WiretapOrder
+        );
+    }
+
+    #[test]
+    fn trespasser_exception_waives_on_victim_system() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            content_in_transit(TransmissionMedium::OwnNetwork),
+        )
+        .victim_authorized_trespasser_monitoring()
+        .build();
+        assert_eq!(evaluate(&a).unwrap().required_process(), LegalProcess::None);
+    }
+
+    #[test]
+    fn trespasser_exception_does_not_reach_other_networks() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            content_in_transit(TransmissionMedium::PublicWiredInternet),
+        )
+        .victim_authorized_trespasser_monitoring()
+        .build();
+        assert_eq!(
+            evaluate(&a).unwrap().required_process(),
+            LegalProcess::WiretapOrder
+        );
+    }
+
+    #[test]
+    fn provider_exception_for_sysadmin_on_own_network() {
+        let a = InvestigativeAction::builder(
+            Actor::system_administrator(),
+            content_in_transit(TransmissionMedium::OwnNetwork),
+        )
+        .build();
+        assert_eq!(evaluate(&a).unwrap().required_process(), LegalProcess::None);
+    }
+
+    #[test]
+    fn government_directed_admin_loses_provider_exception() {
+        let a = InvestigativeAction::builder(
+            Actor::system_administrator().directed_by_government(),
+            content_in_transit(TransmissionMedium::OwnNetwork),
+        )
+        .build();
+        assert_eq!(
+            evaluate(&a).unwrap().required_process(),
+            LegalProcess::WiretapOrder
+        );
+    }
+
+    #[test]
+    fn running_a_tor_relay_is_interception() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            content_in_transit(TransmissionMedium::PublicWiredInternet),
+        )
+        .operating_intercepting_infrastructure()
+        .build();
+        assert_eq!(
+            evaluate(&a).unwrap().required_process(),
+            LegalProcess::WiretapOrder
+        );
+    }
+}

@@ -1,0 +1,397 @@
+//! The exclusionary rule and the fruit-of-the-poisonous-tree doctrine.
+//!
+//! The paper's opening warning (§I): "incorrect use of new techniques may
+//! result in suppression of the gathered evidence in court. For example,
+//! using specialized technology to obtain information without warrants may
+//! violate the Fourth Amendment, and the evidence gathered may be
+//! suppressed." This module models a docket of collected evidence as a
+//! derivation DAG and computes admissibility: evidence collected with
+//! insufficient process is suppressed directly, and evidence *derived*
+//! from suppressed evidence is suppressed as fruit of the poisonous tree
+//! unless an independent source exists.
+
+use crate::process::LegalProcess;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Opaque identifier for a piece of evidence in a [`Docket`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EvidenceId(usize);
+
+impl EvidenceId {
+    /// Reconstructs an id from its raw index (e.g. when bridging to
+    /// another evidence store). An id only has meaning relative to the
+    /// docket that issued it.
+    pub fn from_raw(raw: usize) -> Self {
+        EvidenceId(raw)
+    }
+
+    /// The raw index.
+    pub fn raw(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EvidenceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+/// The admissibility determination for one piece of evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Admissibility {
+    /// Lawfully collected and untainted.
+    Admissible,
+    /// Collected with less process than the law required.
+    SuppressedDirect,
+    /// Derived from suppressed evidence (fruit of the poisonous tree);
+    /// carries the nearest poisoned ancestor.
+    SuppressedDerivative(EvidenceId),
+}
+
+impl Admissibility {
+    /// Whether the evidence may be introduced.
+    pub fn is_admissible(self) -> bool {
+        matches!(self, Admissibility::Admissible)
+    }
+}
+
+impl fmt::Display for Admissibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Admissibility::Admissible => f.write_str("admissible"),
+            Admissibility::SuppressedDirect => f.write_str("suppressed (unlawful collection)"),
+            Admissibility::SuppressedDerivative(src) => {
+                write!(f, "suppressed (fruit of poisonous tree via {src})")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    label: String,
+    required: LegalProcess,
+    held: LegalProcess,
+    derived_from: Vec<EvidenceId>,
+    independent_source: bool,
+}
+
+/// A docket of collected evidence with derivation links.
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::process::LegalProcess;
+/// use forensic_law::suppression::{Admissibility, Docket};
+///
+/// let mut docket = Docket::new();
+/// // A warrantless full-content capture where a wiretap order was required:
+/// let capture = docket.add_root("packet capture", LegalProcess::WiretapOrder, LegalProcess::None);
+/// // A suspect identification derived from it:
+/// let ident = docket.add_derived("suspect identity", LegalProcess::None, LegalProcess::None, [capture]);
+///
+/// assert_eq!(docket.admissibility(capture), Admissibility::SuppressedDirect);
+/// assert_eq!(docket.admissibility(ident), Admissibility::SuppressedDerivative(capture));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Docket {
+    entries: Vec<Entry>,
+}
+
+impl Docket {
+    /// Creates an empty docket.
+    pub fn new() -> Self {
+        Docket::default()
+    }
+
+    /// Number of evidence items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the docket is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds evidence collected directly (no derivation parents).
+    ///
+    /// `required` is the process the law demanded for the collecting
+    /// action; `held` is the process the investigator actually had.
+    pub fn add_root(
+        &mut self,
+        label: impl Into<String>,
+        required: LegalProcess,
+        held: LegalProcess,
+    ) -> EvidenceId {
+        self.push(label.into(), required, held, Vec::new(), false)
+    }
+
+    /// Adds evidence derived from earlier evidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parent id does not exist (parents must be added
+    /// first, which also guarantees the docket stays acyclic).
+    pub fn add_derived(
+        &mut self,
+        label: impl Into<String>,
+        required: LegalProcess,
+        held: LegalProcess,
+        derived_from: impl IntoIterator<Item = EvidenceId>,
+    ) -> EvidenceId {
+        let parents: Vec<EvidenceId> = derived_from.into_iter().collect();
+        for p in &parents {
+            assert!(p.0 < self.entries.len(), "unknown parent {p}");
+        }
+        self.push(label.into(), required, held, parents, false)
+    }
+
+    /// Marks evidence as also supported by an independent untainted
+    /// source, defeating derivative suppression.
+    pub fn set_independent_source(&mut self, id: EvidenceId) {
+        self.entries[id.0].independent_source = true;
+    }
+
+    fn push(
+        &mut self,
+        label: String,
+        required: LegalProcess,
+        held: LegalProcess,
+        derived_from: Vec<EvidenceId>,
+        independent_source: bool,
+    ) -> EvidenceId {
+        self.entries.push(Entry {
+            label,
+            required,
+            held,
+            derived_from,
+            independent_source,
+        });
+        EvidenceId(self.entries.len() - 1)
+    }
+
+    /// The label given at insertion.
+    pub fn label(&self, id: EvidenceId) -> &str {
+        &self.entries[id.0].label
+    }
+
+    /// Computes admissibility of one item (memoized internally per call
+    /// via the DAG's topological order — parents always precede children).
+    pub fn admissibility(&self, id: EvidenceId) -> Admissibility {
+        let all = self.assess_all();
+        all[&id]
+    }
+
+    /// Computes admissibility for every item in the docket.
+    pub fn assess_all(&self) -> HashMap<EvidenceId, Admissibility> {
+        let mut out: HashMap<EvidenceId, Admissibility> = HashMap::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            let id = EvidenceId(i);
+            let verdict = if !e.held.satisfies(e.required) {
+                Admissibility::SuppressedDirect
+            } else if e.independent_source {
+                Admissibility::Admissible
+            } else {
+                // Fruit of the poisonous tree: any suppressed parent
+                // poisons the child.
+                let poisoned_parent = e
+                    .derived_from
+                    .iter()
+                    .copied()
+                    .find(|p| !matches!(out.get(p), Some(Admissibility::Admissible)));
+                match poisoned_parent {
+                    Some(p) => {
+                        // Report the *root* poison if the parent itself is
+                        // derivative.
+                        let root = match out[&p] {
+                            Admissibility::SuppressedDerivative(r) => r,
+                            _ => p,
+                        };
+                        Admissibility::SuppressedDerivative(root)
+                    }
+                    None => Admissibility::Admissible,
+                }
+            };
+            out.insert(id, verdict);
+        }
+        out
+    }
+
+    /// Items that survive suppression, in insertion order.
+    pub fn admissible_items(&self) -> Vec<EvidenceId> {
+        let all = self.assess_all();
+        (0..self.entries.len())
+            .map(EvidenceId)
+            .filter(|id| all[id].is_admissible())
+            .collect()
+    }
+}
+
+impl fmt::Display for Docket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let all = self.assess_all();
+        for i in 0..self.entries.len() {
+            let id = EvidenceId(i);
+            writeln!(
+                f,
+                "{id}: {} — required {}, held {} → {}",
+                self.entries[i].label, self.entries[i].required, self.entries[i].held, all[&id]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lawful_collection_is_admissible() {
+        let mut d = Docket::new();
+        let id = d.add_root(
+            "drive image",
+            LegalProcess::SearchWarrant,
+            LegalProcess::SearchWarrant,
+        );
+        assert!(d.admissibility(id).is_admissible());
+    }
+
+    #[test]
+    fn stronger_process_than_required_is_fine() {
+        let mut d = Docket::new();
+        let id = d.add_root(
+            "subscriber info",
+            LegalProcess::Subpoena,
+            LegalProcess::SearchWarrant,
+        );
+        assert!(d.admissibility(id).is_admissible());
+    }
+
+    #[test]
+    fn insufficient_process_is_suppressed() {
+        let mut d = Docket::new();
+        let id = d.add_root(
+            "wiretap",
+            LegalProcess::WiretapOrder,
+            LegalProcess::CourtOrder,
+        );
+        assert_eq!(d.admissibility(id), Admissibility::SuppressedDirect);
+    }
+
+    #[test]
+    fn fruit_of_poisonous_tree_propagates() {
+        let mut d = Docket::new();
+        let bad = d.add_root(
+            "warrantless device search",
+            LegalProcess::SearchWarrant,
+            LegalProcess::None,
+        );
+        let child = d.add_derived(
+            "address found on device",
+            LegalProcess::None,
+            LegalProcess::None,
+            [bad],
+        );
+        let grandchild = d.add_derived(
+            "stash located at address",
+            LegalProcess::None,
+            LegalProcess::None,
+            [child],
+        );
+        assert_eq!(
+            d.admissibility(child),
+            Admissibility::SuppressedDerivative(bad)
+        );
+        // Grandchild reports the *root* poison.
+        assert_eq!(
+            d.admissibility(grandchild),
+            Admissibility::SuppressedDerivative(bad)
+        );
+    }
+
+    #[test]
+    fn independent_source_cures_taint() {
+        let mut d = Docket::new();
+        let bad = d.add_root(
+            "illegal capture",
+            LegalProcess::WiretapOrder,
+            LegalProcess::None,
+        );
+        let cured = d.add_derived("identity", LegalProcess::None, LegalProcess::None, [bad]);
+        d.set_independent_source(cured);
+        assert!(d.admissibility(cured).is_admissible());
+    }
+
+    #[test]
+    fn independent_source_does_not_cure_direct_illegality() {
+        let mut d = Docket::new();
+        let bad = d.add_root(
+            "illegal capture",
+            LegalProcess::WiretapOrder,
+            LegalProcess::None,
+        );
+        d.set_independent_source(bad);
+        assert_eq!(d.admissibility(bad), Admissibility::SuppressedDirect);
+    }
+
+    #[test]
+    fn mixed_parents_one_clean_one_poisoned() {
+        let mut d = Docket::new();
+        let clean = d.add_root(
+            "subpoenaed logs",
+            LegalProcess::Subpoena,
+            LegalProcess::Subpoena,
+        );
+        let bad = d.add_root(
+            "warrantless search",
+            LegalProcess::SearchWarrant,
+            LegalProcess::None,
+        );
+        let child = d.add_derived(
+            "conclusion",
+            LegalProcess::None,
+            LegalProcess::None,
+            [clean, bad],
+        );
+        assert_eq!(
+            d.admissibility(child),
+            Admissibility::SuppressedDerivative(bad)
+        );
+    }
+
+    #[test]
+    fn admissible_items_filters() {
+        let mut d = Docket::new();
+        let a = d.add_root("a", LegalProcess::None, LegalProcess::None);
+        let _b = d.add_root("b", LegalProcess::SearchWarrant, LegalProcess::None);
+        let items = d.admissible_items();
+        assert_eq!(items, vec![a]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn unknown_parent_panics() {
+        let mut d = Docket::new();
+        d.add_derived(
+            "orphan",
+            LegalProcess::None,
+            LegalProcess::None,
+            [EvidenceId(7)],
+        );
+    }
+
+    #[test]
+    fn display_includes_labels_and_verdicts() {
+        let mut d = Docket::new();
+        d.add_root("capture", LegalProcess::WiretapOrder, LegalProcess::None);
+        let s = d.to_string();
+        assert!(s.contains("capture"));
+        assert!(s.contains("suppressed"));
+    }
+}

@@ -1,0 +1,544 @@
+//! Warrant scope and execution doctrine — the paper's §III-A-2
+//! "purposes and attentions during investigation".
+//!
+//! A warrant must particularly describe the place and the things to be
+//! seized; execution must stay within that scope (*Kow*, *Adjani*),
+//! network searches spanning multiple locations need multiple warrants
+//! (*Walser*), off-site imaging of whole systems needs an explanation of
+//! necessity (*Hill*, *Tamura*, *Hay*), evidence of a *different* crime
+//! found mid-search requires stopping for a fresh warrant (*Walser*),
+//! while the Fourth Amendment imposes no limit on the examiner's
+//! *technique* over responsive data (*Long*) nor a specific time limit on
+//! the forensic examination (*Burns*, *Mutschelknaus*).
+
+use crate::casebook::CitationId;
+use crate::rationale::{Rationale, RationaleStep};
+use std::fmt;
+
+/// A warrant as issued: what it particularly describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarrantSpec {
+    crime: String,
+    record_categories: Vec<String>,
+    locations: Vec<String>,
+    /// Days until the execution window closes.
+    execution_window_days: u32,
+}
+
+impl WarrantSpec {
+    /// Starts building a warrant for evidence of a named crime.
+    pub fn for_crime(crime: impl Into<String>) -> WarrantSpecBuilder {
+        WarrantSpecBuilder {
+            spec: WarrantSpec {
+                crime: crime.into(),
+                record_categories: Vec::new(),
+                locations: Vec::new(),
+                execution_window_days: 14,
+            },
+        }
+    }
+
+    /// The crime under investigation.
+    pub fn crime(&self) -> &str {
+        &self.crime
+    }
+
+    /// The categories of records the warrant particularly describes.
+    pub fn record_categories(&self) -> &[String] {
+        &self.record_categories
+    }
+
+    /// The authorized locations.
+    pub fn locations(&self) -> &[String] {
+        &self.locations
+    }
+
+    /// The execution window in days.
+    pub fn execution_window_days(&self) -> u32 {
+        self.execution_window_days
+    }
+
+    /// Particularity check: a warrant naming no record categories is the
+    /// "generic" warrant *Kow* condemns.
+    pub fn is_sufficiently_particular(&self) -> bool {
+        !self.record_categories.is_empty() && !self.locations.is_empty()
+    }
+
+    /// Whether a seizure of the named category at the named location is
+    /// within scope.
+    pub fn covers(&self, category: &str, location: &str) -> bool {
+        self.record_categories.iter().any(|c| c == category)
+            && self.locations.iter().any(|l| l == location)
+    }
+}
+
+impl fmt::Display for WarrantSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "warrant re {}: {} at {}",
+            self.crime,
+            self.record_categories.join(", "),
+            self.locations.join(", ")
+        )
+    }
+}
+
+/// Builder for [`WarrantSpec`].
+#[derive(Debug, Clone)]
+pub struct WarrantSpecBuilder {
+    spec: WarrantSpec,
+}
+
+impl WarrantSpecBuilder {
+    /// Adds a particularly described record category.
+    pub fn records(&mut self, category: impl Into<String>) -> &mut Self {
+        self.spec.record_categories.push(category.into());
+        self
+    }
+
+    /// Adds an authorized location.
+    pub fn location(&mut self, location: impl Into<String>) -> &mut Self {
+        self.spec.locations.push(location.into());
+        self
+    }
+
+    /// Sets the execution window.
+    pub fn execution_window_days(&mut self, days: u32) -> &mut Self {
+        self.spec.execution_window_days = days;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(&self) -> WarrantSpec {
+        self.spec.clone()
+    }
+}
+
+/// An event during warrant execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutionEvent {
+    /// Seizing records of a category at a location, on a given day.
+    Seize {
+        /// Record category seized.
+        category: String,
+        /// Where.
+        location: String,
+        /// Days since issuance.
+        day: u32,
+    },
+    /// Imaging an entire system for off-site examination.
+    ImageEntireSystem {
+        /// Whether the agents documented why on-site search was
+        /// impracticable (*Hill*: "agents need to explain the necessity
+        /// for seizure of the entire computer system").
+        necessity_explained: bool,
+        /// Days since issuance.
+        day: u32,
+    },
+    /// During the search, evidence of a *different* crime comes into
+    /// view.
+    DiscoverDifferentCrime {
+        /// The new crime.
+        crime: String,
+        /// Whether agents stopped and obtained a fresh warrant before
+        /// pursuing it (*Walser*).
+        stopped_for_new_warrant: bool,
+        /// Days since issuance.
+        day: u32,
+    },
+    /// Forensic examination of already-seized media, possibly long after
+    /// the execution window (*Burns*, *Mutschelknaus*).
+    ForensicExamination {
+        /// Technique description (any technique is fine — *Long*).
+        technique: String,
+        /// Days since issuance.
+        day: u32,
+    },
+}
+
+/// A problem found when reviewing an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutionDefect {
+    /// The warrant itself lacks particularity.
+    GenericWarrant,
+    /// A seizure outside the warrant's categories or locations.
+    OutsideScope {
+        /// What was seized.
+        category: String,
+        /// Where.
+        location: String,
+    },
+    /// Seizure after the execution window closed.
+    WindowExpired {
+        /// The offending day.
+        day: u32,
+    },
+    /// Whole-system imaging without explaining necessity.
+    UnjustifiedWholeSystemSeizure,
+    /// Pursued a different crime without stopping for a fresh warrant.
+    PursuedDifferentCrimeWithoutWarrant {
+        /// The crime pursued.
+        crime: String,
+    },
+}
+
+impl fmt::Display for ExecutionDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionDefect::GenericWarrant => {
+                f.write_str("warrant lacks particularity (generic warrant)")
+            }
+            ExecutionDefect::OutsideScope { category, location } => {
+                write!(
+                    f,
+                    "seizure of {category} at {location} exceeds the warrant's scope"
+                )
+            }
+            ExecutionDefect::WindowExpired { day } => {
+                write!(f, "execution on day {day} after the window closed")
+            }
+            ExecutionDefect::UnjustifiedWholeSystemSeizure => {
+                f.write_str("entire system imaged without explaining necessity")
+            }
+            ExecutionDefect::PursuedDifferentCrimeWithoutWarrant { crime } => {
+                write!(
+                    f,
+                    "pursued evidence of {crime} without obtaining a fresh warrant"
+                )
+            }
+        }
+    }
+}
+
+/// The review of one execution: defects plus the doctrinal notes that
+/// *clear* the permissive aspects (technique, exam timing).
+#[derive(Debug, Clone)]
+pub struct ExecutionReview {
+    defects: Vec<ExecutionDefect>,
+    rationale: Rationale,
+}
+
+impl ExecutionReview {
+    /// Defects found.
+    pub fn defects(&self) -> &[ExecutionDefect] {
+        &self.defects
+    }
+
+    /// Whether execution was clean.
+    pub fn is_clean(&self) -> bool {
+        self.defects.is_empty()
+    }
+
+    /// The doctrinal notes.
+    pub fn rationale(&self) -> &Rationale {
+        &self.rationale
+    }
+}
+
+/// Reviews a warrant execution against the §III-A-2 doctrine.
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::warrant::{review_execution, ExecutionEvent, WarrantSpec};
+///
+/// let warrant = WarrantSpec::for_crime("wire fraud")
+///     .records("accounting records")
+///     .location("the office")
+///     .build();
+/// let review = review_execution(
+///     &warrant,
+///     &[ExecutionEvent::Seize {
+///         category: "accounting records".into(),
+///         location: "the office".into(),
+///         day: 3,
+///     }],
+/// );
+/// assert!(review.is_clean());
+/// ```
+pub fn review_execution(warrant: &WarrantSpec, events: &[ExecutionEvent]) -> ExecutionReview {
+    let mut defects = Vec::new();
+    let mut rationale = Rationale::new();
+
+    if !warrant.is_sufficiently_particular() {
+        defects.push(ExecutionDefect::GenericWarrant);
+        rationale.push(RationaleStep::new(
+            "a warrant must identify the crime-related records with specific categories",
+            [
+                CitationId::UnitedStatesVKow,
+                CitationId::UnitedStatesVAdjani,
+            ],
+        ));
+    }
+
+    for event in events {
+        match event {
+            ExecutionEvent::Seize {
+                category,
+                location,
+                day,
+            } => {
+                if *day > warrant.execution_window_days {
+                    defects.push(ExecutionDefect::WindowExpired { day: *day });
+                    rationale.push(RationaleStep::new(
+                        "a search warrant may expire and revoke after a specific time period",
+                        [CitationId::UnitedStatesVHill],
+                    ));
+                }
+                if !warrant.covers(category, location) {
+                    defects.push(ExecutionDefect::OutsideScope {
+                        category: category.clone(),
+                        location: location.clone(),
+                    });
+                    rationale.push(RationaleStep::new(
+                        "agents may not seize information when the search exceeds the warrant's scope",
+                        [CitationId::UnitedStatesVKow, CitationId::UnitedStatesVWalser],
+                    ));
+                }
+            }
+            ExecutionEvent::ImageEntireSystem {
+                necessity_explained,
+                day,
+            } => {
+                if *day > warrant.execution_window_days {
+                    defects.push(ExecutionDefect::WindowExpired { day: *day });
+                }
+                if *necessity_explained {
+                    rationale.push(RationaleStep::new(
+                        "imaging the target system for off-site examination is permitted where its necessity is explained",
+                        [
+                            CitationId::UnitedStatesVHill,
+                            CitationId::UnitedStatesVTamura,
+                            CitationId::UnitedStatesVHay,
+                            CitationId::UnitedStatesVHargus,
+                        ],
+                    ));
+                } else {
+                    defects.push(ExecutionDefect::UnjustifiedWholeSystemSeizure);
+                    rationale.push(RationaleStep::new(
+                        "agents must explain the necessity for seizure of the entire computer system for off-site examination",
+                        [CitationId::UnitedStatesVHill],
+                    ));
+                }
+            }
+            ExecutionEvent::DiscoverDifferentCrime {
+                crime,
+                stopped_for_new_warrant,
+                ..
+            } => {
+                if *stopped_for_new_warrant {
+                    rationale.push(RationaleStep::new(
+                        "on discovering evidence of a different crime, agents stopped and obtained a fresh warrant",
+                        [CitationId::UnitedStatesVWalser],
+                    ));
+                } else {
+                    defects.push(ExecutionDefect::PursuedDifferentCrimeWithoutWarrant {
+                        crime: crime.clone(),
+                    });
+                    rationale.push(RationaleStep::new(
+                        "agents must stop and obtain a new warrant before pursuing evidence of a different crime",
+                        [CitationId::UnitedStatesVWalser],
+                    ));
+                }
+            }
+            ExecutionEvent::ForensicExamination { .. } => {
+                // Technique and timing are unrestricted over responsive
+                // data (§III-A-2-c "Restriction-less").
+                rationale.push(RationaleStep::new(
+                    "the Fourth Amendment limits neither the examiner's technique over responsive data nor the examination's duration",
+                    [
+                        CitationId::UnitedStatesVLong,
+                        CitationId::UnitedStatesVBurns,
+                        CitationId::UnitedStatesVMutschelknaus,
+                    ],
+                ));
+            }
+        }
+    }
+
+    ExecutionReview { defects, rationale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warrant() -> WarrantSpec {
+        WarrantSpec::for_crime("distribution of contraband images")
+            .records("image files")
+            .records("browser history")
+            .location("the residence")
+            .execution_window_days(14)
+            .build()
+    }
+
+    #[test]
+    fn clean_execution() {
+        let review = review_execution(
+            &warrant(),
+            &[
+                ExecutionEvent::Seize {
+                    category: "image files".into(),
+                    location: "the residence".into(),
+                    day: 2,
+                },
+                ExecutionEvent::ForensicExamination {
+                    technique: "drive-wide hash comparison".into(),
+                    day: 90, // long after the window — fine for examination
+                },
+            ],
+        );
+        assert!(review.is_clean(), "defects: {:?}", review.defects());
+        assert!(!review.rationale().is_empty());
+    }
+
+    #[test]
+    fn generic_warrant_flagged() {
+        let generic = WarrantSpec::for_crime("fraud").build();
+        assert!(!generic.is_sufficiently_particular());
+        let review = review_execution(&generic, &[]);
+        assert_eq!(review.defects(), &[ExecutionDefect::GenericWarrant]);
+    }
+
+    #[test]
+    fn out_of_scope_seizure_flagged() {
+        let review = review_execution(
+            &warrant(),
+            &[ExecutionEvent::Seize {
+                category: "tax returns".into(),
+                location: "the residence".into(),
+                day: 1,
+            }],
+        );
+        assert!(matches!(
+            review.defects()[0],
+            ExecutionDefect::OutsideScope { .. }
+        ));
+    }
+
+    #[test]
+    fn wrong_location_flagged() {
+        let review = review_execution(
+            &warrant(),
+            &[ExecutionEvent::Seize {
+                category: "image files".into(),
+                location: "the office across town".into(),
+                day: 1,
+            }],
+        );
+        assert_eq!(review.defects().len(), 1);
+        assert!(review.defects()[0]
+            .to_string()
+            .contains("exceeds the warrant's scope"));
+    }
+
+    #[test]
+    fn expired_window_flagged() {
+        let review = review_execution(
+            &warrant(),
+            &[ExecutionEvent::Seize {
+                category: "image files".into(),
+                location: "the residence".into(),
+                day: 30,
+            }],
+        );
+        assert!(review
+            .defects()
+            .contains(&ExecutionDefect::WindowExpired { day: 30 }));
+    }
+
+    #[test]
+    fn whole_system_imaging_needs_necessity() {
+        let ok = review_execution(
+            &warrant(),
+            &[ExecutionEvent::ImageEntireSystem {
+                necessity_explained: true,
+                day: 1,
+            }],
+        );
+        assert!(ok.is_clean());
+        let bad = review_execution(
+            &warrant(),
+            &[ExecutionEvent::ImageEntireSystem {
+                necessity_explained: false,
+                day: 1,
+            }],
+        );
+        assert_eq!(
+            bad.defects(),
+            &[ExecutionDefect::UnjustifiedWholeSystemSeizure]
+        );
+    }
+
+    #[test]
+    fn different_crime_requires_fresh_warrant() {
+        let stopped = review_execution(
+            &warrant(),
+            &[ExecutionEvent::DiscoverDifferentCrime {
+                crime: "drug ledger".into(),
+                stopped_for_new_warrant: true,
+                day: 1,
+            }],
+        );
+        assert!(stopped.is_clean());
+        let pursued = review_execution(
+            &warrant(),
+            &[ExecutionEvent::DiscoverDifferentCrime {
+                crime: "drug ledger".into(),
+                stopped_for_new_warrant: false,
+                day: 1,
+            }],
+        );
+        assert!(matches!(
+            pursued.defects()[0],
+            ExecutionDefect::PursuedDifferentCrimeWithoutWarrant { .. }
+        ));
+    }
+
+    #[test]
+    fn examination_technique_is_unrestricted() {
+        let review = review_execution(
+            &warrant(),
+            &[ExecutionEvent::ForensicExamination {
+                technique: "novel carving tool".into(),
+                day: 400,
+            }],
+        );
+        assert!(review.is_clean());
+        let cites = review.rationale().cited_authorities();
+        assert!(cites.contains(&CitationId::UnitedStatesVLong));
+        assert!(cites.contains(&CitationId::UnitedStatesVBurns));
+    }
+
+    #[test]
+    fn multiple_defects_accumulate() {
+        let review = review_execution(
+            &warrant(),
+            &[
+                ExecutionEvent::Seize {
+                    category: "tax returns".into(),
+                    location: "elsewhere".into(),
+                    day: 40,
+                },
+                ExecutionEvent::ImageEntireSystem {
+                    necessity_explained: false,
+                    day: 41,
+                },
+            ],
+        );
+        assert_eq!(review.defects().len(), 4); // window ×2 + scope + imaging
+    }
+
+    #[test]
+    fn builder_and_display() {
+        let w = warrant();
+        assert_eq!(w.crime(), "distribution of contraband images");
+        assert_eq!(w.record_categories().len(), 2);
+        assert_eq!(w.locations().len(), 1);
+        assert_eq!(w.execution_window_days(), 14);
+        assert!(w.to_string().contains("image files"));
+        assert!(w.covers("browser history", "the residence"));
+        assert!(!w.covers("browser history", "elsewhere"));
+    }
+}

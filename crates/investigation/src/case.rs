@@ -1,0 +1,197 @@
+//! Case files: the factual record an investigation accumulates, and the
+//! factual standard it currently supports.
+//!
+//! The paper's ladder (§II-A, §III-A-1): "Merely a suspicion is enough to
+//! apply for a subpoena. Some 'specific and articulable facts' are needed
+//! to apply for a court order. Probable cause is necessary to apply for a
+//! search warrant." Facts enter the case file with the standard they
+//! individually support; the case supports the strongest standard any of
+//! its (unsuppressed) facts establishes.
+
+use forensic_law::process::FactualStandard;
+use std::fmt;
+
+/// Identifier of a fact within a case file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactId(pub usize);
+
+/// One fact in the record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fact {
+    description: String,
+    supports: FactualStandard,
+    struck: bool,
+}
+
+impl Fact {
+    /// What the fact asserts.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The standard this fact alone supports.
+    pub fn supports(&self) -> FactualStandard {
+        self.supports
+    }
+
+    /// Whether the fact has been struck (e.g. because its source evidence
+    /// was suppressed).
+    pub fn is_struck(&self) -> bool {
+        self.struck
+    }
+}
+
+/// The accumulating factual record of an investigation.
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::process::{FactualStandard, LegalProcess};
+/// use investigation::case::CaseFile;
+///
+/// let mut case = CaseFile::new("operation lantern");
+/// case.add_fact("anonymous tip about a file server", FactualStandard::MereSuspicion);
+/// assert!(case.supports_application_for(LegalProcess::Subpoena));
+/// assert!(!case.supports_application_for(LegalProcess::SearchWarrant));
+///
+/// case.add_fact(
+///     "ISP identified the subscriber behind the IP address",
+///     FactualStandard::ProbableCause,
+/// );
+/// assert!(case.supports_application_for(LegalProcess::SearchWarrant));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseFile {
+    name: String,
+    facts: Vec<Fact>,
+}
+
+impl CaseFile {
+    /// Opens an empty case file.
+    pub fn new(name: impl Into<String>) -> Self {
+        CaseFile {
+            name: name.into(),
+            facts: Vec::new(),
+        }
+    }
+
+    /// The case name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a fact supporting the given standard.
+    pub fn add_fact(
+        &mut self,
+        description: impl Into<String>,
+        supports: FactualStandard,
+    ) -> FactId {
+        self.facts.push(Fact {
+            description: description.into(),
+            supports,
+            struck: false,
+        });
+        FactId(self.facts.len() - 1)
+    }
+
+    /// Strikes a fact from the record (its support no longer counts).
+    pub fn strike(&mut self, id: FactId) {
+        if let Some(f) = self.facts.get_mut(id.0) {
+            f.struck = true;
+        }
+    }
+
+    /// All facts (including struck ones, flagged).
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// The strongest standard the unstruck record supports.
+    pub fn strongest_standard(&self) -> FactualStandard {
+        self.facts
+            .iter()
+            .filter(|f| !f.struck)
+            .map(|f| f.supports)
+            .max()
+            .unwrap_or(FactualStandard::None)
+    }
+
+    /// Whether the record supports applying for the given process.
+    pub fn supports_application_for(&self, process: forensic_law::process::LegalProcess) -> bool {
+        self.strongest_standard().suffices_for(process)
+    }
+}
+
+impl fmt::Display for CaseFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "case \"{}\" — record supports {}",
+            self.name,
+            self.strongest_standard()
+        )?;
+        for (i, fact) in self.facts.iter().enumerate() {
+            let mark = if fact.struck { " [struck]" } else { "" };
+            writeln!(
+                f,
+                "  f{}: {} ({}){}",
+                i, fact.description, fact.supports, mark
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forensic_law::process::LegalProcess;
+
+    #[test]
+    fn empty_case_supports_nothing() {
+        let case = CaseFile::new("empty");
+        assert_eq!(case.strongest_standard(), FactualStandard::None);
+        assert!(case.supports_application_for(LegalProcess::None));
+        assert!(!case.supports_application_for(LegalProcess::Subpoena));
+    }
+
+    #[test]
+    fn standards_accumulate_by_max() {
+        let mut case = CaseFile::new("c");
+        case.add_fact("tip", FactualStandard::MereSuspicion);
+        assert_eq!(case.strongest_standard(), FactualStandard::MereSuspicion);
+        case.add_fact("logs", FactualStandard::SpecificArticulableFacts);
+        assert_eq!(
+            case.strongest_standard(),
+            FactualStandard::SpecificArticulableFacts
+        );
+        // A weaker later fact does not lower the record.
+        case.add_fact("rumor", FactualStandard::MereSuspicion);
+        assert_eq!(
+            case.strongest_standard(),
+            FactualStandard::SpecificArticulableFacts
+        );
+    }
+
+    #[test]
+    fn striking_removes_support() {
+        let mut case = CaseFile::new("c");
+        let strong = case.add_fact("identification", FactualStandard::ProbableCause);
+        case.add_fact("tip", FactualStandard::MereSuspicion);
+        assert!(case.supports_application_for(LegalProcess::SearchWarrant));
+        case.strike(strong);
+        assert_eq!(case.strongest_standard(), FactualStandard::MereSuspicion);
+        assert!(!case.supports_application_for(LegalProcess::SearchWarrant));
+        assert!(case.facts()[strong.0].is_struck());
+    }
+
+    #[test]
+    fn display_lists_facts() {
+        let mut case = CaseFile::new("op");
+        let id = case.add_fact("tip", FactualStandard::MereSuspicion);
+        case.strike(id);
+        let s = case.to_string();
+        assert!(s.contains("op"));
+        assert!(s.contains("[struck]"));
+    }
+}

@@ -1,0 +1,165 @@
+//! The court phase: rules on every item in the locker and reports what
+//! survives.
+
+use crate::workflow::Investigation;
+use evidence::item::ItemId;
+use std::fmt;
+
+/// The court's per-item ruling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemRuling {
+    /// The item ruled on.
+    pub item: ItemId,
+    /// The item's label.
+    pub label: String,
+    /// Whether it was admitted.
+    pub admitted: bool,
+    /// The stated grounds when excluded.
+    pub grounds: String,
+}
+
+/// The court's report on a whole case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CourtReport {
+    rulings: Vec<ItemRuling>,
+}
+
+impl CourtReport {
+    /// Per-item rulings, in locker order.
+    pub fn rulings(&self) -> &[ItemRuling] {
+        &self.rulings
+    }
+
+    /// Number of admitted items.
+    pub fn admitted_count(&self) -> usize {
+        self.rulings.iter().filter(|r| r.admitted).count()
+    }
+
+    /// Number of excluded items.
+    pub fn excluded_count(&self) -> usize {
+        self.rulings.len() - self.admitted_count()
+    }
+
+    /// Whether the prosecution retains any evidence at all — the
+    /// paper's bottom line: an unlawful technique can cost the case.
+    pub fn case_survives(&self) -> bool {
+        self.admitted_count() > 0
+    }
+}
+
+impl fmt::Display for CourtReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "court report: {} admitted, {} excluded",
+            self.admitted_count(),
+            self.excluded_count()
+        )?;
+        for r in &self.rulings {
+            if r.admitted {
+                writeln!(f, "  ✓ {} — admitted", r.label)?;
+            } else {
+                writeln!(f, "  ✗ {} — excluded ({})", r.label, r.grounds)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rules on every item the investigation collected.
+pub fn rule_on(investigation: &Investigation) -> CourtReport {
+    let locker = investigation.locker();
+    let rulings = locker
+        .iter()
+        .map(|item| {
+            let report = locker
+                .admissibility(item.id())
+                .expect("item exists in its own locker");
+            let grounds = if report.is_admissible() {
+                String::new()
+            } else {
+                report
+                    .grounds()
+                    .iter()
+                    .map(|g| g.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            };
+            ItemRuling {
+                item: item.id(),
+                label: item.label().to_string(),
+                admitted: report.is_admissible(),
+                grounds,
+            }
+        })
+        .collect();
+    CourtReport { rulings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forensic_law::prelude::*;
+    use forensic_law::process::FactualStandard;
+
+    fn warrantable_action() -> InvestigativeAction {
+        InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .build()
+    }
+
+    #[test]
+    fn lawful_case_survives() {
+        let mut inv = Investigation::open("op");
+        inv.add_fact("id", FactualStandard::ProbableCause);
+        inv.apply_for(LegalProcess::SearchWarrant, "laptop")
+            .unwrap();
+        inv.collect(&warrantable_action(), "image", vec![1], "agent")
+            .unwrap();
+        let report = rule_on(&inv);
+        assert_eq!(report.admitted_count(), 1);
+        assert_eq!(report.excluded_count(), 0);
+        assert!(report.case_survives());
+        assert!(report.to_string().contains("admitted"));
+    }
+
+    #[test]
+    fn unlawful_case_collapses() {
+        let mut inv = Investigation::open("op");
+        let bad = inv.collect_anyway(&warrantable_action(), "image", vec![1], "agent");
+        let _derived =
+            inv.collect_derived_anyway(&warrantable_action(), "follow-up", vec![2], "agent", [bad]);
+        let report = rule_on(&inv);
+        assert_eq!(report.admitted_count(), 0);
+        assert!(!report.case_survives());
+        assert!(report.rulings()[0].grounds.contains("suppressed"));
+    }
+
+    #[test]
+    fn mixed_case_partial_survival() {
+        let mut inv = Investigation::open("op");
+        let public = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::PublicForum,
+            ),
+        )
+        .joining_public_protocol()
+        .build();
+        inv.collect(&public, "public posts", vec![1], "agent")
+            .unwrap();
+        inv.collect_anyway(&warrantable_action(), "warrantless image", vec![2], "agent");
+        let report = rule_on(&inv);
+        assert_eq!(report.admitted_count(), 1);
+        assert_eq!(report.excluded_count(), 1);
+        assert!(report.case_survives());
+    }
+}

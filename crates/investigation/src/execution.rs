@@ -1,0 +1,183 @@
+//! Warrant execution bound to the evidence locker: in-scope seizures are
+//! admissible; seizures that exceed the warrant's scope (or its window)
+//! are treated as warrantless and suppressed — the paper's §III-A-2
+//! warning ("agents may not be able to seize all information legally if
+//! the search exceeds the scope of the search warrant").
+
+use crate::workflow::Investigation;
+use evidence::item::ItemId;
+use forensic_law::process::LegalProcess;
+use forensic_law::warrant::{review_execution, ExecutionEvent, WarrantSpec};
+
+/// The outcome of one warrant-backed seizure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeizureOutcome {
+    /// The evidence item created.
+    pub item: ItemId,
+    /// Whether the seizure was within the warrant's authority.
+    pub within_scope: bool,
+    /// Defect descriptions when out of scope.
+    pub defects: Vec<String>,
+}
+
+/// Seizes records under a warrant, reviewing the execution event against
+/// the warrant's scope. In-scope seizures enter the locker backed by the
+/// warrant; out-of-scope seizures enter backed by *nothing* (and will be
+/// suppressed at court).
+pub fn seize_under_warrant(
+    investigation: &mut Investigation,
+    warrant: &WarrantSpec,
+    category: impl Into<String>,
+    location: impl Into<String>,
+    day: u32,
+    content: Vec<u8>,
+    examiner: impl Into<String>,
+) -> SeizureOutcome {
+    let category = category.into();
+    let location = location.into();
+    let event = ExecutionEvent::Seize {
+        category: category.clone(),
+        location: location.clone(),
+        day,
+    };
+    let review = review_execution(warrant, &[event]);
+    let within_scope = review.is_clean();
+    let held = if within_scope {
+        LegalProcess::SearchWarrant
+    } else {
+        // An overbroad seizure enjoys no warrant protection.
+        LegalProcess::None
+    };
+    let t = investigation.tick();
+    let label = format!("{category} seized at {location}");
+    let item = investigation.locker_mut().acquire(
+        label,
+        content,
+        examiner,
+        t,
+        LegalProcess::SearchWarrant,
+        held,
+    );
+    SeizureOutcome {
+        item,
+        within_scope,
+        defects: review.defects().iter().map(|d| d.to_string()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::court::rule_on;
+    use forensic_law::process::FactualStandard;
+
+    fn warrant() -> WarrantSpec {
+        WarrantSpec::for_crime("fraud")
+            .records("accounting records")
+            .location("the office")
+            .execution_window_days(14)
+            .build()
+    }
+
+    fn investigation_with_warrant() -> Investigation {
+        let mut inv = Investigation::open("exec test");
+        inv.add_fact("probable cause", FactualStandard::ProbableCause);
+        inv.apply_for(LegalProcess::SearchWarrant, "the office")
+            .unwrap();
+        inv
+    }
+
+    #[test]
+    fn in_scope_seizure_admitted() {
+        let mut inv = investigation_with_warrant();
+        let outcome = seize_under_warrant(
+            &mut inv,
+            &warrant(),
+            "accounting records",
+            "the office",
+            3,
+            vec![1, 2],
+            "agent",
+        );
+        assert!(outcome.within_scope);
+        assert!(outcome.defects.is_empty());
+        assert!(inv
+            .locker()
+            .admissibility(outcome.item)
+            .unwrap()
+            .is_admissible());
+    }
+
+    #[test]
+    fn out_of_scope_seizure_suppressed() {
+        let mut inv = investigation_with_warrant();
+        let outcome = seize_under_warrant(
+            &mut inv,
+            &warrant(),
+            "personal diary",
+            "the office",
+            3,
+            vec![9],
+            "agent",
+        );
+        assert!(!outcome.within_scope);
+        assert!(!outcome.defects.is_empty());
+        assert!(!inv
+            .locker()
+            .admissibility(outcome.item)
+            .unwrap()
+            .is_admissible());
+    }
+
+    #[test]
+    fn expired_window_seizure_suppressed() {
+        let mut inv = investigation_with_warrant();
+        let outcome = seize_under_warrant(
+            &mut inv,
+            &warrant(),
+            "accounting records",
+            "the office",
+            60,
+            vec![1],
+            "agent",
+        );
+        assert!(!outcome.within_scope);
+        assert!(outcome.defects[0].contains("after the window"));
+    }
+
+    #[test]
+    fn mixed_execution_partial_survival() {
+        let mut inv = investigation_with_warrant();
+        let good = seize_under_warrant(
+            &mut inv,
+            &warrant(),
+            "accounting records",
+            "the office",
+            1,
+            vec![1],
+            "agent",
+        );
+        let bad = seize_under_warrant(
+            &mut inv,
+            &warrant(),
+            "tax returns",
+            "the home",
+            1,
+            vec![2],
+            "agent",
+        );
+        let report = rule_on(&inv);
+        assert_eq!(report.admitted_count(), 1);
+        assert_eq!(report.excluded_count(), 1);
+        assert!(inv
+            .locker()
+            .admissibility(good.item)
+            .unwrap()
+            .is_admissible());
+        assert!(!inv
+            .locker()
+            .admissibility(bad.item)
+            .unwrap()
+            .is_admissible());
+    }
+}

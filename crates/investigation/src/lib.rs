@@ -1,0 +1,50 @@
+//! # investigation
+//!
+//! The integration layer of the `lexforensica` workspace: investigation
+//! workflows in which every collection step is gated by the
+//! [`forensic-law`] compliance engine, evidence lands in a
+//! tamper-evident [`evidence`] locker, a [`magistrate`] enforces the
+//! factual-standards ladder, and a [`court`] rules on admissibility —
+//! the paper's §III process, executable end to end.
+//!
+//! [`storyline`] wires the workflow to the simulated techniques: the
+//! §IV-B seized-server watermark traceback (lawful and rogue variants)
+//! and the two-campus private-search check.
+//!
+//! ```
+//! use forensic_law::process::{FactualStandard, LegalProcess};
+//! use investigation::workflow::Investigation;
+//!
+//! let mut inv = Investigation::open("demo");
+//! inv.add_fact("ISP identified the subscriber", FactualStandard::ProbableCause);
+//! assert!(inv.apply_for(LegalProcess::SearchWarrant, "the residence").is_ok());
+//! assert_eq!(inv.strongest_held(), LegalProcess::SearchWarrant);
+//! ```
+//!
+//! [`forensic-law`]: forensic_law
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod case;
+pub mod court;
+pub mod execution;
+pub mod magistrate;
+pub mod motions;
+pub mod prosecutor;
+pub mod storyline;
+pub mod workflow;
+
+pub use case::CaseFile;
+pub use court::{rule_on, CourtReport};
+pub use execution::{seize_under_warrant, SeizureOutcome};
+pub use magistrate::{ApplicationDenied, Magistrate, ProcessGrant};
+pub use motions::{
+    draft_defense_motions, rule_on_motions, MotionGround, MotionRuling, SuppressionMotion,
+};
+pub use prosecutor::{charging_decision, ChargingDecision, ChargingMemo};
+pub use storyline::{
+    campus_admin_private_search_assessment, run_seized_server_storyline, SeizedServerOutcome,
+};
+pub use workflow::{ComplianceRefusal, Investigation};

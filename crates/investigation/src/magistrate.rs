@@ -1,0 +1,159 @@
+//! The issuing authority: reviews process applications against the
+//! factual standards ladder.
+
+use crate::case::CaseFile;
+use forensic_law::process::{FactualStandard, LegalProcess};
+use std::fmt;
+
+/// A granted instrument, scoped by free-text description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessGrant {
+    /// The instrument granted.
+    pub process: LegalProcess,
+    /// What the grant authorizes (particularity).
+    pub scope: String,
+}
+
+/// Why an application was denied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplicationDenied {
+    /// The process applied for.
+    pub requested: LegalProcess,
+    /// The standard that process requires.
+    pub required_standard: FactualStandard,
+    /// The standard the record actually supported.
+    pub record_standard: FactualStandard,
+}
+
+impl fmt::Display for ApplicationDenied {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "application for a {} denied: requires {}, record supports only {}",
+            self.requested, self.required_standard, self.record_standard
+        )
+    }
+}
+
+impl std::error::Error for ApplicationDenied {}
+
+/// A magistrate/judge that rules on applications.
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::process::{FactualStandard, LegalProcess};
+/// use investigation::case::CaseFile;
+/// use investigation::magistrate::Magistrate;
+///
+/// let mut case = CaseFile::new("c");
+/// case.add_fact("tip", FactualStandard::MereSuspicion);
+/// let magistrate = Magistrate::new();
+///
+/// assert!(magistrate.review(&case, LegalProcess::Subpoena, "ISP logs").is_ok());
+/// assert!(magistrate.review(&case, LegalProcess::SearchWarrant, "the residence").is_err());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Magistrate {
+    _private: (),
+}
+
+impl Magistrate {
+    /// Creates a magistrate.
+    pub fn new() -> Self {
+        Magistrate::default()
+    }
+
+    /// Reviews an application for `process` on the current record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplicationDenied`] when the record does not meet the
+    /// required standard.
+    pub fn review(
+        &self,
+        case: &CaseFile,
+        process: LegalProcess,
+        scope: impl Into<String>,
+    ) -> Result<ProcessGrant, ApplicationDenied> {
+        let record = case.strongest_standard();
+        if record.suffices_for(process) {
+            Ok(ProcessGrant {
+                process,
+                scope: scope.into(),
+            })
+        } else {
+            Err(ApplicationDenied {
+                requested: process,
+                required_standard: process.required_standard(),
+                record_standard: record,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_enforced() {
+        let magistrate = Magistrate::new();
+        let mut case = CaseFile::new("c");
+        assert!(magistrate
+            .review(&case, LegalProcess::Subpoena, "x")
+            .is_err());
+        case.add_fact("tip", FactualStandard::MereSuspicion);
+        assert!(magistrate
+            .review(&case, LegalProcess::Subpoena, "x")
+            .is_ok());
+        assert!(magistrate
+            .review(&case, LegalProcess::CourtOrder, "x")
+            .is_err());
+        case.add_fact("facts", FactualStandard::SpecificArticulableFacts);
+        assert!(magistrate
+            .review(&case, LegalProcess::CourtOrder, "x")
+            .is_ok());
+        assert!(magistrate
+            .review(&case, LegalProcess::SearchWarrant, "x")
+            .is_err());
+        case.add_fact("id", FactualStandard::ProbableCause);
+        assert!(magistrate
+            .review(&case, LegalProcess::SearchWarrant, "x")
+            .is_ok());
+        assert!(magistrate
+            .review(&case, LegalProcess::WiretapOrder, "x")
+            .is_err());
+    }
+
+    #[test]
+    fn grant_carries_scope() {
+        let magistrate = Magistrate::new();
+        let mut case = CaseFile::new("c");
+        case.add_fact("pc", FactualStandard::ProbableCausePlus);
+        let grant = magistrate
+            .review(&case, LegalProcess::WiretapOrder, "suspect's DSL line")
+            .unwrap();
+        assert_eq!(grant.process, LegalProcess::WiretapOrder);
+        assert_eq!(grant.scope, "suspect's DSL line");
+    }
+
+    #[test]
+    fn denial_message_explains() {
+        let magistrate = Magistrate::new();
+        let case = CaseFile::new("c");
+        let denial = magistrate
+            .review(&case, LegalProcess::SearchWarrant, "x")
+            .unwrap_err();
+        let msg = denial.to_string();
+        assert!(msg.contains("search warrant"));
+        assert!(msg.contains("probable cause"));
+    }
+
+    #[test]
+    fn none_process_always_grantable() {
+        let magistrate = Magistrate::new();
+        let case = CaseFile::new("c");
+        assert!(magistrate.review(&case, LegalProcess::None, "x").is_ok());
+    }
+}

@@ -1,0 +1,328 @@
+//! Motion practice: the defense moves to suppress, the prosecution
+//! responds, the court rules with a written opinion — the adversarial
+//! process that actually applies the doctrines in [`forensic_law`].
+//!
+//! This is where the paper's warning bites in practice: a technique is
+//! only as useful as the evidence that survives the suppression hearing.
+
+use crate::workflow::Investigation;
+use evidence::item::ItemId;
+use forensic_law::process::LegalProcess;
+use std::fmt;
+
+/// A ground the defense asserts for suppression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MotionGround {
+    /// The collection lacked the required process.
+    WarrantlessCollection,
+    /// The item derives from unlawfully collected evidence.
+    FruitOfPoisonousTree,
+    /// The item's integrity or custody record is defective.
+    ChainOfCustodyDefect,
+}
+
+impl fmt::Display for MotionGround {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MotionGround::WarrantlessCollection => "warrantless collection",
+            MotionGround::FruitOfPoisonousTree => "fruit of the poisonous tree",
+            MotionGround::ChainOfCustodyDefect => "chain-of-custody defect",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A defense motion to suppress one item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressionMotion {
+    /// The challenged item.
+    pub item: ItemId,
+    /// The asserted ground.
+    pub ground: MotionGround,
+}
+
+/// The court's ruling on one motion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MotionRuling {
+    /// The motion ruled on.
+    pub motion: SuppressionMotion,
+    /// Whether the motion was granted (item suppressed).
+    pub granted: bool,
+    /// The court's explanation.
+    pub opinion: String,
+}
+
+impl fmt::Display for MotionRuling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "motion to suppress {} ({}): {} — {}",
+            self.motion.item,
+            self.motion.ground,
+            if self.granted { "GRANTED" } else { "DENIED" },
+            self.opinion
+        )
+    }
+}
+
+/// Drafts every colorable suppression motion against the locker — what a
+/// competent defense would file.
+pub fn draft_defense_motions(investigation: &Investigation) -> Vec<SuppressionMotion> {
+    let locker = investigation.locker();
+    let mut motions = Vec::new();
+    for item in locker.iter() {
+        let auth = item.acquisition().authority;
+        if !auth.was_lawful() {
+            motions.push(SuppressionMotion {
+                item: item.id(),
+                ground: MotionGround::WarrantlessCollection,
+            });
+        }
+        if !item.verify_integrity() {
+            motions.push(SuppressionMotion {
+                item: item.id(),
+                ground: MotionGround::ChainOfCustodyDefect,
+            });
+        }
+        // Derivative taint: challenge everything whose admissibility
+        // report is derivative-suppressed.
+        if let Ok(report) = locker.admissibility(item.id()) {
+            let derivative = report
+                .grounds()
+                .iter()
+                .any(|g| g.to_string().contains("fruit of poisonous tree"));
+            if derivative {
+                motions.push(SuppressionMotion {
+                    item: item.id(),
+                    ground: MotionGround::FruitOfPoisonousTree,
+                });
+            }
+        }
+    }
+    motions
+}
+
+/// Rules on a batch of motions against the locker's actual record.
+pub fn rule_on_motions(
+    investigation: &Investigation,
+    motions: &[SuppressionMotion],
+) -> Vec<MotionRuling> {
+    let locker = investigation.locker();
+    motions
+        .iter()
+        .map(|m| {
+            let Ok(item) = locker.item(m.item) else {
+                return MotionRuling {
+                    motion: m.clone(),
+                    granted: false,
+                    opinion: "no such item is in evidence".to_string(),
+                };
+            };
+            let report = locker
+                .admissibility(m.item)
+                .expect("item exists");
+            let (granted, opinion) = match m.ground {
+                MotionGround::WarrantlessCollection => {
+                    let auth = item.acquisition().authority;
+                    if !auth.was_lawful() {
+                        (
+                            true,
+                            format!(
+                                "collection required {} but only {} was held; the evidence is suppressed",
+                                auth.required, auth.held
+                            ),
+                        )
+                    } else if auth.required == LegalProcess::None {
+                        (
+                            false,
+                            "no process was required for this collection".to_string(),
+                        )
+                    } else {
+                        (
+                            false,
+                            format!("the {} in hand satisfied the requirement", auth.held),
+                        )
+                    }
+                }
+                MotionGround::FruitOfPoisonousTree => {
+                    let derivative = report.grounds().iter().any(|g| {
+                        g.to_string().contains("fruit of poisonous tree")
+                    });
+                    if derivative {
+                        (
+                            true,
+                            "the item derives from suppressed evidence and falls with it"
+                                .to_string(),
+                        )
+                    } else {
+                        (
+                            false,
+                            "no suppressed ancestor taints this item".to_string(),
+                        )
+                    }
+                }
+                MotionGround::ChainOfCustodyDefect => {
+                    if !item.verify_integrity() {
+                        (
+                            true,
+                            "the item no longer matches its acquisition digest".to_string(),
+                        )
+                    } else if locker.custody_log().verify().is_err() {
+                        (true, "the custody log fails verification".to_string())
+                    } else {
+                        (
+                            false,
+                            "digest and custody chain verify intact".to_string(),
+                        )
+                    }
+                }
+            };
+            MotionRuling {
+                motion: m.clone(),
+                granted,
+                opinion,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forensic_law::prelude::*;
+    use forensic_law::process::FactualStandard;
+
+    fn device_action() -> InvestigativeAction {
+        InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .build()
+    }
+
+    fn public_action() -> InvestigativeAction {
+        InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::PublicForum,
+            ),
+        )
+        .joining_public_protocol()
+        .build()
+    }
+
+    #[test]
+    fn defense_finds_the_warrantless_item() {
+        let mut inv = Investigation::open("m");
+        inv.collect(&public_action(), "posts", vec![1], "agent")
+            .unwrap();
+        let bad = inv.collect_anyway(&device_action(), "image", vec![2], "agent");
+        let motions = draft_defense_motions(&inv);
+        assert_eq!(motions.len(), 1);
+        assert_eq!(motions[0].item, bad);
+        assert_eq!(motions[0].ground, MotionGround::WarrantlessCollection);
+    }
+
+    #[test]
+    fn court_grants_meritorious_denies_frivolous() {
+        let mut inv = Investigation::open("m");
+        let good = inv
+            .collect(&public_action(), "posts", vec![1], "agent")
+            .unwrap();
+        let bad = inv.collect_anyway(&device_action(), "image", vec![2], "agent");
+        let motions = vec![
+            SuppressionMotion {
+                item: bad,
+                ground: MotionGround::WarrantlessCollection,
+            },
+            // Frivolous: the public collection needed nothing.
+            SuppressionMotion {
+                item: good,
+                ground: MotionGround::WarrantlessCollection,
+            },
+        ];
+        let rulings = rule_on_motions(&inv, &motions);
+        assert!(rulings[0].granted);
+        assert!(rulings[0].opinion.contains("suppressed"));
+        assert!(!rulings[1].granted);
+        assert!(rulings[1].opinion.contains("no process was required"));
+    }
+
+    #[test]
+    fn fruit_motion_follows_derivation() {
+        let mut inv = Investigation::open("m");
+        let bad = inv.collect_anyway(&device_action(), "image", vec![1], "agent");
+        let child = inv
+            .collect_derived(&public_action(), "follow-up", vec![2], "agent", [bad])
+            .unwrap();
+        let motions = draft_defense_motions(&inv);
+        assert!(motions
+            .iter()
+            .any(|m| m.item == child && m.ground == MotionGround::FruitOfPoisonousTree));
+        let rulings = rule_on_motions(&inv, &motions);
+        for r in &rulings {
+            assert!(r.granted, "{r}");
+        }
+    }
+
+    #[test]
+    fn custody_motion_granted_on_tamper() {
+        let mut inv = Investigation::open("m");
+        let item = inv
+            .collect(&public_action(), "posts", vec![1, 2], "agent")
+            .unwrap();
+        inv.locker_mut().item_mut(item).unwrap().tamper(0);
+        let motions = draft_defense_motions(&inv);
+        assert!(motions
+            .iter()
+            .any(|m| m.ground == MotionGround::ChainOfCustodyDefect));
+        let rulings = rule_on_motions(&inv, &motions);
+        assert!(rulings.iter().any(|r| r.granted));
+    }
+
+    #[test]
+    fn lawful_record_draws_no_motions() {
+        let mut inv = Investigation::open("m");
+        inv.add_fact("pc", FactualStandard::ProbableCause);
+        inv.apply_for(LegalProcess::SearchWarrant, "device")
+            .unwrap();
+        inv.collect(&device_action(), "image", vec![1], "agent")
+            .unwrap();
+        assert!(draft_defense_motions(&inv).is_empty());
+    }
+
+    #[test]
+    fn unknown_item_motion_denied() {
+        let inv = Investigation::open("m");
+        let rulings = rule_on_motions(
+            &inv,
+            &[SuppressionMotion {
+                item: ItemId(42),
+                ground: MotionGround::WarrantlessCollection,
+            }],
+        );
+        assert!(!rulings[0].granted);
+        assert!(rulings[0].opinion.contains("no such item"));
+    }
+
+    #[test]
+    fn ruling_display() {
+        let r = MotionRuling {
+            motion: SuppressionMotion {
+                item: ItemId(1),
+                ground: MotionGround::FruitOfPoisonousTree,
+            },
+            granted: true,
+            opinion: "falls with its source".into(),
+        };
+        let text = r.to_string();
+        assert!(text.contains("GRANTED"));
+        assert!(text.contains("fruit"));
+    }
+}

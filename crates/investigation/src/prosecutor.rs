@@ -1,0 +1,214 @@
+//! The charging decision: does the *admissible* record identify the
+//! person and the intent, or only a machine?
+//!
+//! The paper's §III-A-2 purposes come together here: contraband on the
+//! drive is necessary but not sufficient — the technique should "prove
+//! the action of a particular individual", "confirm that a virus or
+//! other piece of malware was not responsible", and "show that a
+//! defendant had knowledge of the particular subject". A prosecutor with
+//! suppressed evidence or machine-only attribution declines.
+
+use crate::court::{rule_on, CourtReport};
+use crate::workflow::Investigation;
+use forensic_law::attribution::{AttributionRecord, AttributionStrength};
+use std::fmt;
+
+/// The prosecutor's decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChargingDecision {
+    /// Charge: admissible evidence plus person-and-intent attribution.
+    Charge,
+    /// Investigate further: evidence survives but attribution is
+    /// incomplete.
+    InvestigateFurther,
+    /// Decline: nothing admissible remains.
+    Decline,
+}
+
+impl fmt::Display for ChargingDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChargingDecision::Charge => "charge",
+            ChargingDecision::InvestigateFurther => "investigate further",
+            ChargingDecision::Decline => "decline prosecution",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The memo explaining the decision.
+#[derive(Debug, Clone)]
+pub struct ChargingMemo {
+    decision: ChargingDecision,
+    court: CourtReport,
+    attribution: AttributionStrength,
+    reasons: Vec<String>,
+}
+
+impl ChargingMemo {
+    /// The decision.
+    pub fn decision(&self) -> ChargingDecision {
+        self.decision
+    }
+
+    /// The underlying court report.
+    pub fn court(&self) -> &CourtReport {
+        &self.court
+    }
+
+    /// The attribution strength considered.
+    pub fn attribution(&self) -> AttributionStrength {
+        self.attribution
+    }
+
+    /// The stated reasons.
+    pub fn reasons(&self) -> &[String] {
+        &self.reasons
+    }
+}
+
+impl fmt::Display for ChargingMemo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "charging decision: {}", self.decision)?;
+        for r in &self.reasons {
+            writeln!(f, "  - {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Makes the charging decision for an investigation with its attribution
+/// record.
+pub fn charging_decision(
+    investigation: &Investigation,
+    attribution: &AttributionRecord,
+) -> ChargingMemo {
+    let court = rule_on(investigation);
+    let strength = attribution.strength();
+    let mut reasons = Vec::new();
+
+    let decision = if !court.case_survives() {
+        reasons.push(format!(
+            "no admissible evidence remains ({} items excluded)",
+            court.excluded_count()
+        ));
+        ChargingDecision::Decline
+    } else {
+        reasons.push(format!(
+            "{} admissible item(s) support the elements",
+            court.admitted_count()
+        ));
+        match strength {
+            AttributionStrength::PersonAndIntent => {
+                reasons.push(
+                    "individual action proven, malware excluded, knowledge shown".to_string(),
+                );
+                ChargingDecision::Charge
+            }
+            AttributionStrength::Partial | AttributionStrength::MachineOnly => {
+                reasons.push(format!("attribution {strength}"));
+                for w in attribution.weaknesses() {
+                    reasons.push(format!("open defense argument: {w}"));
+                }
+                ChargingDecision::InvestigateFurther
+            }
+        }
+    };
+    ChargingMemo {
+        decision,
+        court,
+        attribution: strength,
+        reasons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forensic_law::attribution::AttributionEvidence;
+    use forensic_law::prelude::*;
+    use forensic_law::process::FactualStandard;
+
+    fn lawful_investigation() -> Investigation {
+        let mut inv = Investigation::open("charge test");
+        inv.add_fact("pc", FactualStandard::ProbableCause);
+        inv.apply_for(LegalProcess::SearchWarrant, "device")
+            .unwrap();
+        let device = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .build();
+        inv.collect(&device, "contraband image", vec![1], "agent")
+            .unwrap();
+        inv
+    }
+
+    fn full_attribution() -> AttributionRecord {
+        let mut a = AttributionRecord::new();
+        a.add(AttributionEvidence::IndividualAction {
+            others_had_access: false,
+        });
+        a.add(AttributionEvidence::MalwareAnalysis {
+            malware_excluded: true,
+        });
+        a.add(AttributionEvidence::KnowledgeIndicators {
+            tied_to_defendant: true,
+        });
+        a
+    }
+
+    #[test]
+    fn full_case_charges() {
+        let memo = charging_decision(&lawful_investigation(), &full_attribution());
+        assert_eq!(memo.decision(), ChargingDecision::Charge);
+        assert_eq!(memo.attribution(), AttributionStrength::PersonAndIntent);
+        assert!(memo.to_string().contains("charge"));
+    }
+
+    #[test]
+    fn machine_only_attribution_keeps_investigating() {
+        let memo = charging_decision(&lawful_investigation(), &AttributionRecord::new());
+        assert_eq!(memo.decision(), ChargingDecision::InvestigateFurther);
+        assert!(memo.reasons().iter().any(|r| r.contains("machine only")));
+    }
+
+    #[test]
+    fn suppressed_case_declines_despite_attribution() {
+        let mut inv = Investigation::open("rogue");
+        let device = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .build();
+        inv.collect_anyway(&device, "image", vec![1], "agent");
+        let memo = charging_decision(&inv, &full_attribution());
+        assert_eq!(memo.decision(), ChargingDecision::Decline);
+        assert!(!memo.court().case_survives());
+    }
+
+    #[test]
+    fn partial_attribution_lists_weaknesses() {
+        let mut a = AttributionRecord::new();
+        a.add(AttributionEvidence::IndividualAction {
+            others_had_access: true,
+        });
+        a.add(AttributionEvidence::MalwareAnalysis {
+            malware_excluded: true,
+        });
+        let memo = charging_decision(&lawful_investigation(), &a);
+        assert_eq!(memo.decision(), ChargingDecision::InvestigateFurther);
+        assert!(memo
+            .reasons()
+            .iter()
+            .any(|r| r.contains("others with access")));
+    }
+}

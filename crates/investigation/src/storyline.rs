@@ -1,0 +1,278 @@
+//! End-to-end storylines from the paper's §IV-B, wiring the legal
+//! workflow to the simulated techniques.
+//!
+//! *Situation one*: investigators seize a web server distributing
+//! contraband, obtain a court order for rate observation at the suspects'
+//! ISP, run the DSSS watermark through the anonymizing proxy, identify
+//! the suspect, and then escalate to a search warrant. Every collection
+//! step is gated by the compliance engine.
+//!
+//! *Situation two*: two campus IT administrators run the same technique
+//! on their own gateways as a private search and report the result.
+
+use crate::court::{rule_on, CourtReport};
+use crate::workflow::Investigation;
+use forensic_law::prelude::*;
+use forensic_law::probable_cause::{evaluate_basis, ProbableCauseBasis};
+use forensic_law::process::FactualStandard;
+use watermark::experiment::{run_trial, TrialOutcome, WatermarkExperimentConfig};
+
+/// The outcome of the situation-one storyline.
+#[derive(Debug)]
+pub struct SeizedServerOutcome {
+    /// The watermark trial result.
+    pub trial: TrialOutcome,
+    /// Whether the watermark identified the true suspect.
+    pub suspect_identified: bool,
+    /// The court's report on everything collected.
+    pub court: CourtReport,
+    /// The grants the investigation obtained, in order.
+    pub processes_obtained: Vec<LegalProcess>,
+}
+
+/// Builds the rate-observation action of §IV-B: collecting traffic
+/// *rates* at the suspects' ISP — pen/trap territory, court order
+/// sufficient ("they do not need to collect the entire packet, so they do
+/// not need a wiretap warrant").
+pub fn rate_observation_action() -> InvestigativeAction {
+    InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        ),
+    )
+    .describe("observe per-suspect traffic rates at the ISP")
+    .rate_observation_only()
+    .build()
+}
+
+/// Runs situation one lawfully: seize → subpoena → court order →
+/// watermark → warrant. Returns the outcome with the court's blessing.
+pub fn run_seized_server_storyline(
+    config: &WatermarkExperimentConfig,
+    lawful: bool,
+) -> SeizedServerOutcome {
+    let mut inv = Investigation::open("seized contraband server");
+    let mut processes = Vec::new();
+
+    // Step 0: the tip and the server.
+    inv.add_fact(
+        "traditional investigation found a web server hosting contraband",
+        FactualStandard::ProbableCause,
+    );
+
+    // Step 1: seize the server under a warrant.
+    let warrant_action = InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::SuspectDevice,
+        ),
+    )
+    .describe("seize and image the contraband web server")
+    .build();
+    let server_image = if lawful {
+        inv.apply_for(LegalProcess::SearchWarrant, "the web server")
+            .expect("probable cause on record");
+        processes.push(LegalProcess::SearchWarrant);
+        inv.collect(
+            &warrant_action,
+            "server image",
+            b"server-disk".to_vec(),
+            "agent",
+        )
+        .expect("warrant in hand")
+    } else {
+        inv.collect_anyway(
+            &warrant_action,
+            "server image",
+            b"server-disk".to_vec(),
+            "agent",
+        )
+    };
+
+    // Step 2: the account list on the server gives articulable facts
+    // about downloaders (membership alone is not probable cause —
+    // Coreas).
+    let membership = evaluate_basis(ProbableCauseBasis::OnlineAccountInformation {
+        membership_only: true,
+        intent_evidence: false,
+    });
+    inv.add_fact(
+        "server account list names candidate downloaders",
+        membership.achieved_standard(),
+    );
+
+    // Step 3: court order for rate observation at the suspects' ISP.
+    let rate_action = rate_observation_action();
+    let assessment = inv.assess(&rate_action);
+    debug_assert_eq!(
+        assessment.verdict(),
+        Verdict::ProcessRequired(LegalProcess::CourtOrder),
+        "rate observation is pen/trap territory"
+    );
+    if lawful {
+        inv.apply_for(LegalProcess::CourtOrder, "pen/trap at the suspects' ISP")
+            .expect("articulable facts on record");
+        processes.push(LegalProcess::CourtOrder);
+    }
+
+    // Step 4: run the watermark through the anonymizing proxy.
+    let trial = run_trial(config, 0);
+    let suspect_identified = trial.watermark_correct();
+    let rate_evidence = format!(
+        "despreading statistics: {:?}",
+        trial
+            .detections
+            .iter()
+            .map(|d| (d.statistic * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    let rate_item = if lawful {
+        inv.collect_derived(
+            &rate_action,
+            "ISP rate series + despreading result",
+            rate_evidence.into_bytes(),
+            "agent",
+            [server_image],
+        )
+        .expect("court order in hand")
+    } else {
+        inv.collect_derived_anyway(
+            &rate_action,
+            "ISP rate series + despreading result",
+            rate_evidence.into_bytes(),
+            "agent",
+            [server_image],
+        )
+    };
+
+    // Step 5: identification upgrades the record to probable cause
+    // against that subscriber (the IP-address path).
+    if suspect_identified {
+        let pc = evaluate_basis(ProbableCauseBasis::IpAddressIdentification {
+            subscriber_identified: true,
+            open_wifi: false,
+        });
+        inv.add_fact(
+            "watermark identified the downloading subscriber",
+            pc.achieved_standard(),
+        );
+        // Step 6: warrant for the suspect's residence, evidence derived
+        // from the rate observation.
+        let home_search = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .describe("search the identified suspect's computer")
+        .build();
+        if lawful {
+            inv.apply_for(LegalProcess::SearchWarrant, "the suspect's residence")
+                .expect("probable cause from identification");
+            processes.push(LegalProcess::SearchWarrant);
+            inv.collect_derived(
+                &home_search,
+                "suspect's computer image",
+                b"suspect-disk".to_vec(),
+                "agent",
+                [rate_item],
+            )
+            .expect("warrant in hand");
+        } else {
+            inv.collect_derived_anyway(
+                &home_search,
+                "suspect's computer image",
+                b"suspect-disk".to_vec(),
+                "agent",
+                [rate_item],
+            );
+        }
+    }
+
+    SeizedServerOutcome {
+        trial,
+        suspect_identified,
+        court: rule_on(&inv),
+        processes_obtained: processes,
+    }
+}
+
+/// The situation-two legality check: two campus administrators monitor
+/// rates on their *own* gateways — a lawful private search the engine
+/// clears without process.
+pub fn campus_admin_private_search_assessment() -> LegalAssessment {
+    let action = InvestigativeAction::builder(
+        Actor::system_administrator(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::OwnNetwork),
+        ),
+    )
+    .describe("campus admins watermark and observe rates on their own gateways")
+    .rate_observation_only()
+    .build();
+    ComplianceEngine::new().assess(&action)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> WatermarkExperimentConfig {
+        WatermarkExperimentConfig {
+            suspects: 4,
+            code_degree: 7,
+            chip_ms: 300,
+            ..WatermarkExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn lawful_storyline_identifies_and_survives_court() {
+        let outcome = run_seized_server_storyline(&quick_config(), true);
+        assert!(outcome.suspect_identified);
+        assert!(outcome.court.case_survives());
+        assert_eq!(outcome.court.excluded_count(), 0);
+        assert_eq!(
+            outcome.processes_obtained,
+            vec![
+                LegalProcess::SearchWarrant,
+                LegalProcess::CourtOrder,
+                LegalProcess::SearchWarrant
+            ]
+        );
+    }
+
+    #[test]
+    fn rogue_storyline_collapses_in_court() {
+        let outcome = run_seized_server_storyline(&quick_config(), false);
+        // The technique still works...
+        assert!(outcome.suspect_identified);
+        // ...but nothing survives court.
+        assert_eq!(outcome.court.admitted_count(), 0);
+        assert!(!outcome.court.case_survives());
+    }
+
+    #[test]
+    fn rate_observation_needs_court_order_not_wiretap() {
+        let a = ComplianceEngine::new().assess(&rate_observation_action());
+        assert_eq!(
+            a.verdict(),
+            Verdict::ProcessRequired(LegalProcess::CourtOrder)
+        );
+    }
+
+    #[test]
+    fn campus_admins_need_no_process() {
+        let a = campus_admin_private_search_assessment();
+        assert_eq!(a.verdict(), Verdict::NoProcessNeeded);
+    }
+}

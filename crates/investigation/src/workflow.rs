@@ -1,0 +1,371 @@
+//! The compliance-gated investigation workflow: the paper's §III process
+//! as an executable state machine.
+//!
+//! An [`Investigation`] owns a case file, the grants obtained so far, and
+//! an evidence locker. Every collection action is assessed by the
+//! [`ComplianceEngine`] first; if the required process is not in hand the
+//! lawful path refuses ([`Investigation::collect`]) — the unlawful path
+//! ([`Investigation::collect_anyway`]) proceeds and lets the court sort
+//! it out, which is how the suppression experiment is driven.
+
+use crate::case::{CaseFile, FactId};
+use crate::magistrate::{ApplicationDenied, Magistrate, ProcessGrant};
+use evidence::item::ItemId;
+use evidence::locker::EvidenceLocker;
+use forensic_law::action::InvestigativeAction;
+use forensic_law::assessment::{LegalAssessment, Verdict};
+use forensic_law::engine::ComplianceEngine;
+use forensic_law::process::{FactualStandard, LegalProcess};
+use std::fmt;
+
+/// A refused collection: the engine demanded more process than held.
+#[derive(Debug)]
+pub struct ComplianceRefusal {
+    /// The process the action required.
+    pub required: LegalProcess,
+    /// The strongest process actually held.
+    pub held: LegalProcess,
+    /// The engine's full assessment.
+    pub assessment: LegalAssessment,
+}
+
+impl fmt::Display for ComplianceRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "collection refused: requires {} but only {} held",
+            self.required, self.held
+        )
+    }
+}
+
+impl std::error::Error for ComplianceRefusal {}
+
+/// An investigation in progress.
+#[derive(Debug)]
+pub struct Investigation {
+    engine: ComplianceEngine,
+    magistrate: Magistrate,
+    case: CaseFile,
+    grants: Vec<ProcessGrant>,
+    locker: EvidenceLocker,
+    clock: u64,
+}
+
+impl Investigation {
+    /// Opens an investigation.
+    pub fn open(name: impl Into<String>) -> Self {
+        Investigation {
+            engine: ComplianceEngine::new(),
+            magistrate: Magistrate::new(),
+            case: CaseFile::new(name),
+            grants: Vec::new(),
+            locker: EvidenceLocker::new(),
+            clock: 0,
+        }
+    }
+
+    /// The case file.
+    pub fn case(&self) -> &CaseFile {
+        &self.case
+    }
+
+    /// The evidence locker.
+    pub fn locker(&self) -> &EvidenceLocker {
+        &self.locker
+    }
+
+    /// Mutable locker access, for execution helpers and
+    /// failure-injection tests.
+    pub fn locker_mut(&mut self) -> &mut EvidenceLocker {
+        &mut self.locker
+    }
+
+    /// The grants obtained.
+    pub fn grants(&self) -> &[ProcessGrant] {
+        &self.grants
+    }
+
+    /// Adds a fact to the record.
+    pub fn add_fact(
+        &mut self,
+        description: impl Into<String>,
+        supports: FactualStandard,
+    ) -> FactId {
+        self.case.add_fact(description, supports)
+    }
+
+    /// Advances the investigation clock (timestamps for custody records).
+    pub fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Applies to the magistrate for a process instrument.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplicationDenied`] when the record does not meet the
+    /// standard.
+    pub fn apply_for(
+        &mut self,
+        process: LegalProcess,
+        scope: impl Into<String>,
+    ) -> Result<&ProcessGrant, ApplicationDenied> {
+        let grant = self.magistrate.review(&self.case, process, scope)?;
+        self.grants.push(grant);
+        Ok(self.grants.last().expect("just pushed"))
+    }
+
+    /// The strongest process currently held.
+    pub fn strongest_held(&self) -> LegalProcess {
+        self.grants
+            .iter()
+            .map(|g| g.process)
+            .max()
+            .unwrap_or(LegalProcess::None)
+    }
+
+    /// Assesses an action without acting.
+    pub fn assess(&self, action: &InvestigativeAction) -> LegalAssessment {
+        self.engine.assess(action)
+    }
+
+    /// Lawful collection: refuses when required process is not held.
+    ///
+    /// On success the evidence enters the locker recorded with both the
+    /// required and the held process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComplianceRefusal`] when more process is required than
+    /// held, or the action is outright unlawful.
+    pub fn collect(
+        &mut self,
+        action: &InvestigativeAction,
+        label: impl Into<String>,
+        content: Vec<u8>,
+        examiner: impl Into<String>,
+    ) -> Result<ItemId, Box<ComplianceRefusal>> {
+        let assessment = self.engine.assess(action);
+        let held = self.strongest_held();
+        let lawful = assessment.is_lawful_with(held);
+        let required = match assessment.verdict() {
+            Verdict::NoProcessNeeded => LegalProcess::None,
+            Verdict::ProcessRequired(p) => p,
+            Verdict::UnlawfulForPrivateActor => {
+                return Err(Box::new(ComplianceRefusal {
+                    required: LegalProcess::WiretapOrder,
+                    held,
+                    assessment,
+                }))
+            }
+        };
+        if !lawful {
+            return Err(Box::new(ComplianceRefusal {
+                required,
+                held,
+                assessment,
+            }));
+        }
+        let t = self.tick();
+        Ok(self
+            .locker
+            .acquire(label, content, examiner, t, required, held))
+    }
+
+    /// Unlawful collection: proceeds **without invoking any process**
+    /// (grants in hand do not extend to actions outside their scope),
+    /// recording the shortfall so the court will suppress. This models
+    /// the §I warning, not a recommendation.
+    pub fn collect_anyway(
+        &mut self,
+        action: &InvestigativeAction,
+        label: impl Into<String>,
+        content: Vec<u8>,
+        examiner: impl Into<String>,
+    ) -> ItemId {
+        let assessment = self.engine.assess(action);
+        let required = match assessment.verdict() {
+            Verdict::NoProcessNeeded => LegalProcess::None,
+            Verdict::ProcessRequired(p) => p,
+            // For a private actor the act itself is forbidden; model as
+            // requiring the top of the ladder so it always suppresses.
+            Verdict::UnlawfulForPrivateActor => LegalProcess::WiretapOrder,
+        };
+        let t = self.tick();
+        self.locker
+            .acquire(label, content, examiner, t, required, LegalProcess::None)
+    }
+
+    /// Derived collection (fruit links), lawful path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComplianceRefusal`] like [`Investigation::collect`].
+    pub fn collect_derived(
+        &mut self,
+        action: &InvestigativeAction,
+        label: impl Into<String>,
+        content: Vec<u8>,
+        examiner: impl Into<String>,
+        parents: impl IntoIterator<Item = ItemId>,
+    ) -> Result<ItemId, Box<ComplianceRefusal>> {
+        let assessment = self.engine.assess(action);
+        let held = self.strongest_held();
+        if !assessment.is_lawful_with(held) {
+            let required = assessment
+                .verdict()
+                .required_process()
+                .unwrap_or(LegalProcess::WiretapOrder);
+            return Err(Box::new(ComplianceRefusal {
+                required,
+                held,
+                assessment,
+            }));
+        }
+        let required = assessment
+            .verdict()
+            .required_process()
+            .unwrap_or(LegalProcess::None);
+        let t = self.tick();
+        Ok(self
+            .locker
+            .acquire_derived(label, content, examiner, t, required, held, parents))
+    }
+
+    /// Unlawful derived collection (no process invoked, like
+    /// [`Investigation::collect_anyway`]).
+    pub fn collect_derived_anyway(
+        &mut self,
+        action: &InvestigativeAction,
+        label: impl Into<String>,
+        content: Vec<u8>,
+        examiner: impl Into<String>,
+        parents: impl IntoIterator<Item = ItemId>,
+    ) -> ItemId {
+        let assessment = self.engine.assess(action);
+        let required = assessment
+            .verdict()
+            .required_process()
+            .unwrap_or(LegalProcess::WiretapOrder);
+        let t = self.tick();
+        self.locker.acquire_derived(
+            label,
+            content,
+            examiner,
+            t,
+            required,
+            LegalProcess::None,
+            parents,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forensic_law::prelude::*;
+
+    fn device_search_action() -> InvestigativeAction {
+        InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .describe("search the suspect's laptop")
+        .build()
+    }
+
+    #[test]
+    fn collection_refused_without_warrant() {
+        let mut inv = Investigation::open("op");
+        let err = inv
+            .collect(&device_search_action(), "laptop image", vec![1], "agent")
+            .unwrap_err();
+        assert_eq!(err.required, LegalProcess::SearchWarrant);
+        assert_eq!(err.held, LegalProcess::None);
+        assert!(err.to_string().contains("search warrant"));
+        assert!(inv.locker().is_empty());
+    }
+
+    #[test]
+    fn lawful_path_facts_then_warrant_then_collection() {
+        let mut inv = Investigation::open("op");
+        // Not enough facts yet.
+        assert!(inv
+            .apply_for(LegalProcess::SearchWarrant, "the laptop")
+            .is_err());
+        inv.add_fact(
+            "subscriber identified via IP",
+            FactualStandard::ProbableCause,
+        );
+        inv.apply_for(LegalProcess::SearchWarrant, "the laptop")
+            .unwrap();
+        assert_eq!(inv.strongest_held(), LegalProcess::SearchWarrant);
+        let id = inv
+            .collect(&device_search_action(), "laptop image", vec![1, 2], "agent")
+            .unwrap();
+        assert!(inv.locker().admissibility(id).unwrap().is_admissible());
+    }
+
+    #[test]
+    fn unlawful_collection_gets_suppressed() {
+        let mut inv = Investigation::open("op");
+        let id = inv.collect_anyway(&device_search_action(), "laptop image", vec![1], "agent");
+        assert!(!inv.locker().admissibility(id).unwrap().is_admissible());
+    }
+
+    #[test]
+    fn derived_taint_flows() {
+        let mut inv = Investigation::open("op");
+        let bad = inv.collect_anyway(&device_search_action(), "image", vec![1], "agent");
+        // A follow-up public-records action is itself lawful...
+        let public = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::PublicForum,
+            ),
+        )
+        .joining_public_protocol()
+        .build();
+        let child = inv
+            .collect_derived(&public, "posts found via image", vec![2], "agent", [bad])
+            .unwrap();
+        // ...but the derivation link poisons it.
+        assert!(!inv.locker().admissibility(child).unwrap().is_admissible());
+    }
+
+    #[test]
+    fn no_process_needed_actions_collect_freely() {
+        let mut inv = Investigation::open("op");
+        let public = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::RealTime,
+                DataLocation::PublicForum,
+            ),
+        )
+        .joining_public_protocol()
+        .build();
+        let id = inv
+            .collect(&public, "chat room logs", vec![7], "agent")
+            .unwrap();
+        assert!(inv.locker().admissibility(id).unwrap().is_admissible());
+    }
+
+    #[test]
+    fn assess_is_side_effect_free() {
+        let inv = Investigation::open("op");
+        let a = inv.assess(&device_search_action());
+        assert!(a.verdict().needs_process());
+        assert!(inv.locker().is_empty());
+        assert!(inv.grants().is_empty());
+    }
+}

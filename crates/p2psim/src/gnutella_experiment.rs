@@ -1,0 +1,271 @@
+//! The Table 1 row-9-vs-row-10 ablation: how investigation effort differs
+//! between "normal P2P software" (sources openly named in query hits) and
+//! an anonymous overlay (sources identifiable only through the timing
+//! attack).
+//!
+//! Both are lawful without process — the contrast is purely in *how much
+//! work* identification takes and *how far* it reaches.
+
+use crate::investigator::TimingInvestigator;
+use crate::message::Message;
+use crate::peer::{DelayModel, GnutellaPeer, OneSwarmPeer};
+use netsim::builders::random_connected;
+use netsim::packet::{FlowId, Packet, Transport};
+use netsim::prelude::*;
+use std::collections::BTreeSet;
+
+/// A plain querier that records the sources named by [`Message::SourceResponse`]s.
+#[derive(Debug, Default)]
+pub struct SourceCollector {
+    sources: BTreeSet<u64>,
+    responses: u64,
+}
+
+impl SourceCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        SourceCollector::default()
+    }
+
+    /// The distinct source identities collected.
+    pub fn sources(&self) -> &BTreeSet<u64> {
+        &self.sources
+    }
+
+    /// Total responses heard.
+    pub fn responses(&self) -> u64 {
+        self.responses
+    }
+}
+
+impl Protocol for SourceCollector {
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, packet: Packet) {
+        if let Some(Message::SourceResponse { source, .. }) = Message::decode(packet.payload()) {
+            self.sources.insert(source);
+            self.responses += 1;
+        } else if let Some(Message::Response { .. }) = Message::decode(packet.payload()) {
+            self.responses += 1;
+        }
+    }
+}
+
+/// Shared parameters for the comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonConfig {
+    /// Overlay size.
+    pub peers: usize,
+    /// Overlay degree.
+    pub degree: usize,
+    /// Number of content sources.
+    pub sources: usize,
+    /// Query TTL.
+    pub ttl: u8,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ComparisonConfig {
+    fn default() -> Self {
+        ComparisonConfig {
+            peers: 64,
+            degree: 4,
+            sources: 8,
+            ttl: 8,
+            seed: 0x90a7,
+        }
+    }
+}
+
+/// The result of the comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComparisonResult {
+    /// Sources that exist in the overlay.
+    pub true_sources: usize,
+    /// Sources identified on the normal (Gnutella) overlay with a single
+    /// query.
+    pub gnutella_identified: usize,
+    /// Queries the Gnutella investigator needed.
+    pub gnutella_queries: u64,
+    /// Neighbors the anonymous-overlay investigator could classify as
+    /// sources (only its *direct* neighbors are reachable this way).
+    pub oneswarm_identified: usize,
+    /// Probes the anonymous-overlay investigator spent.
+    pub oneswarm_probes: u64,
+}
+
+fn build_overlay(
+    config: &ComparisonConfig,
+) -> (Topology, Vec<NodeId>, NodeId, Vec<usize>, Vec<Vec<NodeId>>) {
+    let mut rng = SimRng::seed_from(config.seed);
+    let (mut topo, nodes) = random_connected(config.peers, config.degree, 5, 25, &mut rng);
+    let investigator = topo.add_node();
+    // The investigator attaches to a handful of peers.
+    let mut attach: Vec<usize> = (0..config.peers).collect();
+    rng.shuffle(&mut attach);
+    let attach: Vec<usize> = attach.into_iter().take(config.peers / 4).collect();
+    for &a in &attach {
+        topo.connect(investigator, nodes[a], SimDuration::from_millis(10));
+    }
+    // Neighbor lists.
+    let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); config.peers];
+    for link in topo.links() {
+        let (a, b) = (link.a, link.b);
+        if a.0 < config.peers && b.0 < config.peers {
+            neighbors[a.0].push(b);
+            neighbors[b.0].push(a);
+        }
+    }
+    for &a in &attach {
+        neighbors[a].push(investigator);
+    }
+    (topo, nodes, investigator, attach, neighbors)
+}
+
+/// Runs the row-9/row-10 comparison.
+pub fn run_comparison(config: &ComparisonConfig) -> ComparisonResult {
+    let content_id = 42u64;
+    let mut rng = SimRng::seed_from(config.seed ^ 0xfeed);
+    let mut idx: Vec<usize> = (0..config.peers).collect();
+    rng.shuffle(&mut idx);
+    let source_set: BTreeSet<usize> = idx.into_iter().take(config.sources).collect();
+
+    // --- Normal P2P: one query floods, hits name their sources. ---
+    let (topo, nodes, inv, attach, neighbors) = build_overlay(config);
+    let mut sim = Simulator::new(topo, config.seed);
+    for i in 0..config.peers {
+        let content: Vec<u64> = if source_set.contains(&i) {
+            vec![content_id]
+        } else {
+            vec![]
+        };
+        sim.set_protocol(nodes[i], GnutellaPeer::new(neighbors[i].clone(), content));
+    }
+    sim.set_protocol(inv, SourceCollector::new());
+    sim.start();
+    // One query to one attached neighbor suffices: the flood reaches the
+    // whole overlay.
+    let msg = Message::Query {
+        query_id: 1,
+        content_id,
+        ttl: config.ttl,
+    };
+    let p = Packet::new(
+        inv,
+        nodes[attach[0]],
+        Transport::Tcp {
+            src_port: 6881,
+            dst_port: 6881,
+            seq: 0,
+        },
+        FlowId(1),
+        msg.encode(),
+    );
+    sim.inject(inv, p);
+    sim.run_until(SimTime::from_secs(30));
+    let collector = sim.take_protocol_as::<SourceCollector>(inv).unwrap();
+    let gnutella_identified = collector
+        .sources()
+        .iter()
+        .filter(|&&s| source_set.contains(&(s as usize)))
+        .count();
+
+    // --- Anonymous overlay: timing attack, direct neighbors only. ---
+    let (topo, nodes, inv, attach, neighbors) = build_overlay(config);
+    let mut sim = Simulator::new(topo, config.seed);
+    for i in 0..config.peers {
+        let content: Vec<u64> = if source_set.contains(&i) {
+            vec![content_id]
+        } else {
+            vec![]
+        };
+        sim.set_protocol(
+            nodes[i],
+            OneSwarmPeer::new(neighbors[i].clone(), content, DelayModel::default()),
+        );
+    }
+    let probes = 3usize;
+    let targets: Vec<NodeId> = attach.iter().map(|&a| nodes[a]).collect();
+    sim.set_protocol(
+        inv,
+        TimingInvestigator::new(
+            targets.clone(),
+            content_id,
+            probes,
+            SimDuration::from_millis(2 * config.ttl as u64 * 300),
+            config.ttl,
+        ),
+    );
+    let total = (probes * targets.len()) as u64;
+    sim.run_until(
+        SimTime::ZERO
+            + SimDuration::from_millis(2 * config.ttl as u64 * 300).mul(total + 2)
+            + SimDuration::from_secs(10),
+    );
+    let mut ti = sim.take_protocol_as::<TimingInvestigator>(inv).unwrap();
+    ti.close_outstanding();
+    let threshold = SimDuration::from_millis(300 + 4 * 25);
+    let classified = ti.classify(threshold);
+    let oneswarm_identified = attach
+        .iter()
+        .filter(|&&a| source_set.contains(&a) && classified[&nodes[a]])
+        .count();
+
+    ComparisonResult {
+        true_sources: config.sources,
+        gnutella_identified,
+        gnutella_queries: 1,
+        oneswarm_identified,
+        oneswarm_probes: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_p2p_enumerates_most_sources_with_one_query() {
+        let config = ComparisonConfig::default();
+        let r = run_comparison(&config);
+        assert_eq!(r.gnutella_queries, 1);
+        // The flood reaches the whole (connected) overlay within TTL 8 on
+        // a degree-4 graph of 64 nodes: expect all sources named.
+        assert!(
+            r.gnutella_identified >= r.true_sources - 1,
+            "identified {} of {}",
+            r.gnutella_identified,
+            r.true_sources
+        );
+    }
+
+    #[test]
+    fn anonymous_overlay_limits_reach_to_neighbors() {
+        let config = ComparisonConfig::default();
+        let r = run_comparison(&config);
+        // The timing attack can only classify the investigator's direct
+        // neighbors — a strict subset of all sources.
+        assert!(r.oneswarm_identified <= r.true_sources);
+        assert!(r.oneswarm_probes > r.gnutella_queries);
+    }
+
+    #[test]
+    fn comparison_is_deterministic() {
+        let config = ComparisonConfig {
+            peers: 32,
+            sources: 4,
+            ..ComparisonConfig::default()
+        };
+        assert_eq!(run_comparison(&config), run_comparison(&config));
+    }
+
+    #[test]
+    fn source_collector_counts() {
+        let mut c = SourceCollector::new();
+        assert_eq!(c.responses(), 0);
+        assert!(c.sources().is_empty());
+        // feed it a packet directly via the Protocol interface in a sim
+        // is covered by run_comparison; here check Default.
+        c.sources.insert(5);
+        assert_eq!(c.sources().len(), 1);
+    }
+}

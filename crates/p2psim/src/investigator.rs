@@ -1,0 +1,237 @@
+//! The §IV-A forensic investigator: a timing attack on OneSwarm-style
+//! anonymous filesharing (after Prusty, Levine & Liberatore, CCS 2011).
+//!
+//! "Law enforcement officers join the anonymous P2P system; do a query
+//! for child pornography pictures within the system. By collecting the
+//! delay time of the respond message from neighbors, law enforcement
+//! officers can identify whether the neighbors are sources or trusted
+//! nodes of the sources." The investigator only sends ordinary protocol
+//! queries and observes its own incoming traffic — no process needed
+//! (Table 1 row 10).
+
+use crate::message::Message;
+use netsim::packet::{FlowId, Packet, Transport};
+use netsim::prelude::{Context, NodeId, Protocol, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One neighbor's probe measurements.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborSamples {
+    /// First-response delay of each completed probe.
+    pub delays: Vec<SimDuration>,
+    /// Probes that never got a response.
+    pub timeouts: u64,
+}
+
+impl NeighborSamples {
+    /// The minimum observed first-response delay, if any probe completed.
+    pub fn min_delay(&self) -> Option<SimDuration> {
+        self.delays.iter().copied().min()
+    }
+}
+
+/// The timing-attack investigator protocol.
+///
+/// Attach it to a node with overlay links to each probe target; it sends
+/// `probes_per_target` queries to each target, spaced `probe_gap` apart,
+/// and records the delay of the *first* response per probe.
+#[derive(Debug)]
+pub struct TimingInvestigator {
+    targets: Vec<NodeId>,
+    content_id: u64,
+    probes_per_target: usize,
+    probe_gap: SimDuration,
+    ttl: u8,
+    /// query_id → (target, sent_at); removed on first response.
+    outstanding: HashMap<u64, (NodeId, SimTime)>,
+    samples: HashMap<NodeId, NeighborSamples>,
+    next_query_id: u64,
+}
+
+impl TimingInvestigator {
+    /// Creates an investigator probing `targets` for `content_id`.
+    pub fn new(
+        targets: Vec<NodeId>,
+        content_id: u64,
+        probes_per_target: usize,
+        probe_gap: SimDuration,
+        ttl: u8,
+    ) -> Self {
+        TimingInvestigator {
+            targets,
+            content_id,
+            probes_per_target,
+            probe_gap,
+            ttl,
+            outstanding: HashMap::new(),
+            samples: HashMap::new(),
+            next_query_id: 1,
+        }
+    }
+
+    /// The samples gathered so far, per target.
+    pub fn samples(&self) -> &HashMap<NodeId, NeighborSamples> {
+        &self.samples
+    }
+
+    /// Marks every still-outstanding probe as a timeout (call after the
+    /// run deadline).
+    pub fn close_outstanding(&mut self) {
+        for (_qid, (target, _t)) in self.outstanding.drain() {
+            self.samples.entry(target).or_default().timeouts += 1;
+        }
+    }
+
+    /// Classifies each target: `true` = source, by thresholding the
+    /// minimum observed delay.
+    pub fn classify(&self, threshold: SimDuration) -> HashMap<NodeId, bool> {
+        self.targets
+            .iter()
+            .map(|&t| {
+                let is_source = self
+                    .samples
+                    .get(&t)
+                    .and_then(NeighborSamples::min_delay)
+                    .map(|d| d <= threshold)
+                    .unwrap_or(false);
+                (t, is_source)
+            })
+            .collect()
+    }
+}
+
+impl Protocol for TimingInvestigator {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Interleave probes across targets, one probe slot per gap.
+        let mut slot = 0u64;
+        for k in 0..self.probes_per_target {
+            for (i, _) in self.targets.iter().enumerate() {
+                // Token encodes the target index; query id assigned when
+                // the timer fires.
+                let token = (k as u64) << 32 | i as u64;
+                ctx.set_timer(self.probe_gap.mul(slot + 1), token);
+                slot += 1;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        let target = self.targets[(token & 0xffff_ffff) as usize];
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        let msg = Message::Query {
+            query_id,
+            content_id: self.content_id,
+            ttl: self.ttl,
+        };
+        let p = Packet::new(
+            ctx.node(),
+            target,
+            Transport::Tcp {
+                src_port: 6881,
+                dst_port: 6881,
+                seq: 0,
+            },
+            FlowId(query_id),
+            msg.encode(),
+        );
+        self.outstanding.insert(query_id, (target, ctx.time()));
+        ctx.send(p);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let Some(Message::Response { query_id, .. }) = Message::decode(packet.payload()) else {
+            return;
+        };
+        // Only the first response to a probe matters — it bounds the
+        // neighbor's fastest path to the content.
+        if let Some((target, sent_at)) = self.outstanding.remove(&query_id) {
+            let delay = ctx.time() - sent_at;
+            self.samples.entry(target).or_default().delays.push(delay);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::{DelayModel, OneSwarmPeer};
+    use netsim::prelude::*;
+
+    #[test]
+    fn investigator_distinguishes_source_from_proxy() {
+        // investigator(0) linked to source(1) and proxy(2); proxy trusts
+        // hidden source(3).
+        let mut topo = Topology::new();
+        let inv = topo.add_node();
+        let src = topo.add_node();
+        let proxy = topo.add_node();
+        let hidden = topo.add_node();
+        for &n in &[src, proxy] {
+            topo.connect(inv, n, SimDuration::from_millis(10));
+        }
+        topo.connect(proxy, hidden, SimDuration::from_millis(10));
+
+        let dm = DelayModel::default();
+        let mut sim = Simulator::new(topo, 11);
+        sim.set_protocol(src, OneSwarmPeer::new(vec![inv], [42], dm));
+        sim.set_protocol(proxy, OneSwarmPeer::new(vec![inv, hidden], [], dm));
+        sim.set_protocol(hidden, OneSwarmPeer::new(vec![proxy], [42], dm));
+        sim.set_protocol(
+            inv,
+            TimingInvestigator::new(vec![src, proxy], 42, 5, SimDuration::from_secs(3), 8),
+        );
+        sim.run_until(SimTime::from_secs(60));
+
+        let mut inv_proto = sim.take_protocol_as::<TimingInvestigator>(inv).unwrap();
+        inv_proto.close_outstanding();
+        // Threshold: max source delay 300ms + 2 RTTs slack.
+        let classified = inv_proto.classify(SimDuration::from_millis(340));
+        assert!(classified[&src], "direct source must classify as source");
+        assert!(!classified[&proxy], "proxy must not classify as source");
+    }
+
+    #[test]
+    fn unresponsive_target_counts_timeouts_and_classifies_negative() {
+        let mut topo = Topology::new();
+        let inv = topo.add_node();
+        let deaf = topo.add_node();
+        topo.connect(inv, deaf, SimDuration::from_millis(10));
+        let mut sim = Simulator::new(topo, 2);
+        // deaf node runs no protocol: queries vanish.
+        sim.set_protocol(
+            inv,
+            TimingInvestigator::new(vec![deaf], 7, 3, SimDuration::from_secs(1), 4),
+        );
+        sim.run_until(SimTime::from_secs(10));
+        let mut inv_proto = sim.take_protocol_as::<TimingInvestigator>(inv).unwrap();
+        inv_proto.close_outstanding();
+        assert_eq!(inv_proto.samples()[&deaf].timeouts, 3);
+        assert!(inv_proto.samples()[&deaf].min_delay().is_none());
+        assert!(!inv_proto.classify(SimDuration::from_secs(1))[&deaf]);
+    }
+
+    #[test]
+    fn samples_accumulate_per_probe() {
+        let mut topo = Topology::new();
+        let inv = topo.add_node();
+        let src = topo.add_node();
+        topo.connect(inv, src, SimDuration::from_millis(5));
+        let mut sim = Simulator::new(topo, 3);
+        sim.set_protocol(
+            src,
+            OneSwarmPeer::new(vec![inv], [1], DelayModel::default()),
+        );
+        sim.set_protocol(
+            inv,
+            TimingInvestigator::new(vec![src], 1, 4, SimDuration::from_secs(2), 2),
+        );
+        sim.run_until(SimTime::from_secs(30));
+        let inv_proto = sim.take_protocol_as::<TimingInvestigator>(inv).unwrap();
+        assert_eq!(inv_proto.samples()[&src].delays.len(), 4);
+        for d in &inv_proto.samples()[&src].delays {
+            assert!(*d >= SimDuration::from_millis(160));
+            assert!(*d < SimDuration::from_millis(311));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # p2psim
+//!
+//! Peer-to-peer overlay simulators on top of [`netsim`], reproducing the
+//! paper's §IV-A analysis: the forensic investigation of an anonymous
+//! filesharing system by response-delay timing (after Prusty, Levine &
+//! Liberatore, CCS 2011).
+//!
+//! Two peer kinds are provided:
+//!
+//! * [`peer::GnutellaPeer`] — "normal P2P software" (Table 1 row 9):
+//!   immediate flooding, immediate answers;
+//! * [`peer::OneSwarmPeer`] — "anonymous P2P software" (Table 1 row 10):
+//!   trusted-edge forwarding with artificial per-hop delays.
+//!
+//! The [`investigator::TimingInvestigator`] joins the overlay as an
+//! ordinary peer, probes its neighbors with protocol-visible queries, and
+//! classifies each neighbor as *source* or *proxy* purely from first-
+//! response delays. [`experiment::run_experiment`] packages the whole
+//! §IV-A evaluation.
+//!
+//! ```
+//! use p2psim::experiment::{run_experiment, ExperimentConfig};
+//!
+//! let cfg = ExperimentConfig {
+//!     peers: 24,
+//!     sources: 4,
+//!     targets: 8,
+//!     probes: 2,
+//!     ..ExperimentConfig::default()
+//! };
+//! let result = run_experiment(&cfg);
+//! assert!(result.metrics.accuracy() > 0.8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiment;
+pub mod gnutella_experiment;
+pub mod investigator;
+pub mod message;
+pub mod peer;
+
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use gnutella_experiment::{run_comparison, ComparisonConfig, ComparisonResult};
+pub use investigator::TimingInvestigator;
+pub use message::Message;
+pub use peer::{DelayModel, GnutellaPeer, OneSwarmPeer};

@@ -1,0 +1,222 @@
+//! Wire format for overlay messages, carried as packet payloads.
+//!
+//! The encoding is deliberately simple (tag byte + big-endian fields) —
+//! the point is that queries and responses are ordinary protocol traffic
+//! visible to every participant, which is exactly why the paper's §IV-A
+//! holds the timing attack lawful without process.
+
+use std::fmt;
+
+/// An overlay search query or its response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Message {
+    /// A search for `content_id`, flooded through the overlay.
+    Query {
+        /// Unique id correlating responses to this query.
+        query_id: u64,
+        /// The content searched for.
+        content_id: u64,
+        /// Remaining overlay hop budget.
+        ttl: u8,
+    },
+    /// A positive response routed back toward the querier.
+    Response {
+        /// The query being answered.
+        query_id: u64,
+        /// The content found.
+        content_id: u64,
+    },
+    /// A response that openly names its source — how "normal P2P
+    /// software" (Table 1 row 9) behaves: "the information is such as
+    /// other user's name and the file names they share".
+    SourceResponse {
+        /// The query being answered.
+        query_id: u64,
+        /// The content found.
+        content_id: u64,
+        /// The responding peer's public identity.
+        source: u64,
+    },
+}
+
+const TAG_QUERY: u8 = 1;
+const TAG_RESPONSE: u8 = 2;
+const TAG_SOURCE_RESPONSE: u8 = 3;
+
+impl Message {
+    /// Serializes to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(18);
+        match self {
+            Message::Query {
+                query_id,
+                content_id,
+                ttl,
+            } => {
+                out.push(TAG_QUERY);
+                out.extend_from_slice(&query_id.to_be_bytes());
+                out.extend_from_slice(&content_id.to_be_bytes());
+                out.push(*ttl);
+            }
+            Message::Response {
+                query_id,
+                content_id,
+            } => {
+                out.push(TAG_RESPONSE);
+                out.extend_from_slice(&query_id.to_be_bytes());
+                out.extend_from_slice(&content_id.to_be_bytes());
+            }
+            Message::SourceResponse {
+                query_id,
+                content_id,
+                source,
+            } => {
+                out.push(TAG_SOURCE_RESPONSE);
+                out.extend_from_slice(&query_id.to_be_bytes());
+                out.extend_from_slice(&content_id.to_be_bytes());
+                out.extend_from_slice(&source.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses payload bytes.
+    ///
+    /// Returns `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<Message> {
+        let (&tag, rest) = bytes.split_first()?;
+        let read_u64 = |b: &[u8]| -> Option<u64> { Some(u64::from_be_bytes(b.try_into().ok()?)) };
+        match tag {
+            TAG_QUERY => {
+                if rest.len() != 17 {
+                    return None;
+                }
+                Some(Message::Query {
+                    query_id: read_u64(&rest[0..8])?,
+                    content_id: read_u64(&rest[8..16])?,
+                    ttl: rest[16],
+                })
+            }
+            TAG_RESPONSE => {
+                if rest.len() != 16 {
+                    return None;
+                }
+                Some(Message::Response {
+                    query_id: read_u64(&rest[0..8])?,
+                    content_id: read_u64(&rest[8..16])?,
+                })
+            }
+            TAG_SOURCE_RESPONSE => {
+                if rest.len() != 24 {
+                    return None;
+                }
+                Some(Message::SourceResponse {
+                    query_id: read_u64(&rest[0..8])?,
+                    content_id: read_u64(&rest[8..16])?,
+                    source: read_u64(&rest[16..24])?,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The query id of either variant.
+    pub fn query_id(&self) -> u64 {
+        match self {
+            Message::Query { query_id, .. }
+            | Message::Response { query_id, .. }
+            | Message::SourceResponse { query_id, .. } => *query_id,
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Message::Query {
+                query_id,
+                content_id,
+                ttl,
+            } => write!(f, "query#{query_id} for c{content_id} (ttl {ttl})"),
+            Message::Response {
+                query_id,
+                content_id,
+            } => write!(f, "response#{query_id} has c{content_id}"),
+            Message::SourceResponse {
+                query_id,
+                content_id,
+                source,
+            } => write!(
+                f,
+                "response#{query_id} has c{content_id} (source n{source})"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_round_trip() {
+        let m = Message::Query {
+            query_id: 0xdead_beef,
+            content_id: 7,
+            ttl: 5,
+        };
+        assert_eq!(Message::decode(&m.encode()), Some(m));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let m = Message::Response {
+            query_id: u64::MAX,
+            content_id: 0,
+        };
+        assert_eq!(Message::decode(&m.encode()), Some(m));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert_eq!(Message::decode(&[]), None);
+        assert_eq!(Message::decode(&[9, 1, 2]), None);
+        assert_eq!(Message::decode(&[TAG_QUERY, 0, 0]), None);
+        let mut long = Message::Response {
+            query_id: 1,
+            content_id: 2,
+        }
+        .encode();
+        long.push(0);
+        assert_eq!(Message::decode(&long), None);
+    }
+
+    #[test]
+    fn source_response_round_trip() {
+        let m = Message::SourceResponse {
+            query_id: 7,
+            content_id: 8,
+            source: 42,
+        };
+        assert_eq!(Message::decode(&m.encode()), Some(m));
+        assert!(m.to_string().contains("source n42"));
+        assert_eq!(m.query_id(), 7);
+    }
+
+    #[test]
+    fn query_id_accessor_and_display() {
+        let q = Message::Query {
+            query_id: 3,
+            content_id: 4,
+            ttl: 1,
+        };
+        assert_eq!(q.query_id(), 3);
+        assert!(q.to_string().contains("query#3"));
+        let r = Message::Response {
+            query_id: 3,
+            content_id: 4,
+        };
+        assert_eq!(r.query_id(), 3);
+        assert!(r.to_string().contains("response#3"));
+    }
+}

@@ -1,0 +1,479 @@
+//! Overlay peers: a Gnutella-style open flooding peer and a
+//! OneSwarm-style anonymous peer with trusted-edge forwarding and
+//! per-hop artificial delays.
+
+use crate::message::Message;
+use netsim::packet::{FlowId, Packet, Transport};
+use netsim::prelude::{Context, NodeId, Protocol, SimDuration};
+use std::collections::{HashMap, HashSet};
+
+/// Delay parameters for a OneSwarm-style peer (all uniform intervals).
+///
+/// OneSwarm obscures sourcehood by delaying *both* its own responses and
+/// its forwards, but a forwarded response necessarily pays the forward
+/// delay **plus** the downstream peer's own handling — the gap the CCS'11
+/// attack measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    /// Uniform delay a source waits before answering a query it can
+    /// serve, in milliseconds `[min, max)`.
+    pub source_delay_ms: (u64, u64),
+    /// Uniform delay added before forwarding a query to each trusted
+    /// neighbor, in milliseconds `[min, max)`.
+    pub forward_delay_ms: (u64, u64),
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        // The CCS'11 measurements put OneSwarm's artificial delays in the
+        // 150–300 ms band.
+        DelayModel {
+            source_delay_ms: (150, 300),
+            forward_delay_ms: (150, 300),
+        }
+    }
+}
+
+impl DelayModel {
+    fn sample(interval: (u64, u64), ctx: &mut Context<'_>) -> SimDuration {
+        let (lo, hi) = interval;
+        let ms = if hi > lo { ctx.rng().range(lo, hi) } else { lo };
+        SimDuration::from_millis(ms)
+    }
+}
+
+/// Common peer plumbing shared by both peer kinds.
+#[derive(Debug, Clone)]
+struct PeerCore {
+    /// Overlay neighbors this peer will talk to.
+    neighbors: Vec<NodeId>,
+    /// Content ids this peer can serve.
+    content: HashSet<u64>,
+    /// query_id → neighbor the query arrived from (reverse path).
+    reverse_path: HashMap<u64, NodeId>,
+    /// Queries already seen (flood suppression).
+    seen: HashSet<u64>,
+    served: u64,
+    forwarded: u64,
+}
+
+impl PeerCore {
+    fn new(neighbors: Vec<NodeId>, content: HashSet<u64>) -> Self {
+        PeerCore {
+            neighbors,
+            content,
+            reverse_path: HashMap::new(),
+            seen: HashSet::new(),
+            served: 0,
+            forwarded: 0,
+        }
+    }
+
+    fn packet_to(ctx: &mut Context<'_>, to: NodeId, msg: &Message) -> Packet {
+        Packet::new(
+            ctx.node(),
+            to,
+            Transport::Tcp {
+                src_port: 6881,
+                dst_port: 6881,
+                seq: 0,
+            },
+            FlowId(msg.query_id()),
+            msg.encode(),
+        )
+    }
+}
+
+/// A Gnutella-style peer: floods queries to *all* neighbors immediately,
+/// answers immediately when it holds the content. "Normal P2P software"
+/// in Table 1 row 9.
+#[derive(Debug, Clone)]
+pub struct GnutellaPeer {
+    core: PeerCore,
+}
+
+impl GnutellaPeer {
+    /// Creates a peer with the given overlay neighbors and content.
+    pub fn new(neighbors: Vec<NodeId>, content: impl IntoIterator<Item = u64>) -> Self {
+        GnutellaPeer {
+            core: PeerCore::new(neighbors, content.into_iter().collect()),
+        }
+    }
+
+    /// Queries served from local content.
+    pub fn served(&self) -> u64 {
+        self.core.served
+    }
+
+    /// Queries forwarded onward.
+    pub fn forwarded(&self) -> u64 {
+        self.core.forwarded
+    }
+}
+
+impl Protocol for GnutellaPeer {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let Some(msg) = Message::decode(packet.payload()) else {
+            return;
+        };
+        let from = packet.src();
+        match msg {
+            Message::Query {
+                query_id,
+                content_id,
+                ttl,
+            } => {
+                if !self.core.seen.insert(query_id) {
+                    return;
+                }
+                self.core.reverse_path.insert(query_id, from);
+                if self.core.content.contains(&content_id) {
+                    self.core.served += 1;
+                    // Normal P2P openly names the source in its hits.
+                    let resp = Message::SourceResponse {
+                        query_id,
+                        content_id,
+                        source: ctx.node().0 as u64,
+                    };
+                    let p = PeerCore::packet_to(ctx, from, &resp);
+                    ctx.send(p);
+                }
+                if ttl > 1 {
+                    let fwd = Message::Query {
+                        query_id,
+                        content_id,
+                        ttl: ttl - 1,
+                    };
+                    let neighbors = self.core.neighbors.clone();
+                    for n in neighbors {
+                        if n != from {
+                            self.core.forwarded += 1;
+                            let p = PeerCore::packet_to(ctx, n, &fwd);
+                            ctx.send(p);
+                        }
+                    }
+                }
+            }
+            Message::Response { query_id, .. } | Message::SourceResponse { query_id, .. } => {
+                // Route back along the reverse path.
+                if let Some(&back) = self.core.reverse_path.get(&query_id) {
+                    let p = PeerCore::packet_to(ctx, back, &msg);
+                    ctx.send(p);
+                }
+            }
+        }
+    }
+}
+
+/// A OneSwarm-style anonymous peer: forwards only over *trusted* edges,
+/// inserts artificial delays before both serving and forwarding, and
+/// relays responses back hop-by-hop so the querier never learns who the
+/// source was — except through timing.
+#[derive(Debug, Clone)]
+pub struct OneSwarmPeer {
+    core: PeerCore,
+    delays: DelayModel,
+    /// Deferred sends keyed by timer token.
+    pending: HashMap<u64, (NodeId, Message)>,
+    next_token: u64,
+}
+
+impl OneSwarmPeer {
+    /// Creates a peer whose `neighbors` are its trusted edges.
+    pub fn new(
+        trusted_neighbors: Vec<NodeId>,
+        content: impl IntoIterator<Item = u64>,
+        delays: DelayModel,
+    ) -> Self {
+        OneSwarmPeer {
+            core: PeerCore::new(trusted_neighbors, content.into_iter().collect()),
+            delays,
+            pending: HashMap::new(),
+            next_token: 0,
+        }
+    }
+
+    /// Queries served from local content.
+    pub fn served(&self) -> u64 {
+        self.core.served
+    }
+
+    /// Queries forwarded onward.
+    pub fn forwarded(&self) -> u64 {
+        self.core.forwarded
+    }
+
+    fn defer(&mut self, ctx: &mut Context<'_>, delay: SimDuration, to: NodeId, msg: Message) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(token, (to, msg));
+        ctx.set_timer(delay, token);
+    }
+}
+
+impl Protocol for OneSwarmPeer {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let Some(msg) = Message::decode(packet.payload()) else {
+            return;
+        };
+        let from = packet.src();
+        match msg {
+            Message::Query {
+                query_id,
+                content_id,
+                ttl,
+            } => {
+                if !self.core.seen.insert(query_id) {
+                    return;
+                }
+                self.core.reverse_path.insert(query_id, from);
+                if self.core.content.contains(&content_id) {
+                    self.core.served += 1;
+                    let delay = DelayModel::sample(self.delays.source_delay_ms, ctx);
+                    let resp = Message::Response {
+                        query_id,
+                        content_id,
+                    };
+                    self.defer(ctx, delay, from, resp);
+                }
+                if ttl > 1 {
+                    let fwd = Message::Query {
+                        query_id,
+                        content_id,
+                        ttl: ttl - 1,
+                    };
+                    let neighbors = self.core.neighbors.clone();
+                    for n in neighbors {
+                        if n != from {
+                            self.core.forwarded += 1;
+                            let delay = DelayModel::sample(self.delays.forward_delay_ms, ctx);
+                            self.defer(ctx, delay, n, fwd);
+                        }
+                    }
+                }
+            }
+            Message::Response { query_id, .. } | Message::SourceResponse { query_id, .. } => {
+                if let Some(&back) = self.core.reverse_path.get(&query_id) {
+                    // Relaying a response is also delayed, like any
+                    // forward.
+                    let delay = DelayModel::sample(self.delays.forward_delay_ms, ctx);
+                    self.defer(ctx, delay, back, msg);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if let Some((to, msg)) = self.pending.remove(&token) {
+            let p = PeerCore::packet_to(ctx, to, &msg);
+            ctx.send(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::prelude::*;
+
+    fn overlay_line(n: usize, latency_ms: u64) -> (Topology, Vec<NodeId>) {
+        let mut t = Topology::new();
+        let nodes = t.add_nodes(n);
+        for w in nodes.windows(2) {
+            t.connect(w[0], w[1], SimDuration::from_millis(latency_ms));
+        }
+        (t, nodes)
+    }
+
+    /// Collector protocol that records response arrival times.
+    #[derive(Debug, Default)]
+    struct Querier {
+        responses: Vec<(SimTime, Message)>,
+    }
+
+    impl Protocol for Querier {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+            if let Some(msg) = Message::decode(packet.payload()) {
+                self.responses.push((ctx.time(), msg));
+            }
+        }
+    }
+
+    fn send_query(sim: &mut Simulator, from: NodeId, to: NodeId, query_id: u64, content: u64) {
+        let msg = Message::Query {
+            query_id,
+            content_id: content,
+            ttl: 8,
+        };
+        let p = Packet::new(
+            from,
+            to,
+            Transport::Tcp {
+                src_port: 6881,
+                dst_port: 6881,
+                seq: 0,
+            },
+            FlowId(query_id),
+            msg.encode(),
+        );
+        sim.inject(from, p);
+    }
+
+    #[test]
+    fn gnutella_flood_reaches_distant_source() {
+        // querier(0) - peer(1) - peer(2) - source(3)
+        let (topo, nodes) = overlay_line(4, 10);
+        let mut sim = Simulator::new(topo, 1);
+        sim.set_protocol(nodes[0], Querier::default());
+        sim.set_protocol(nodes[1], GnutellaPeer::new(vec![nodes[0], nodes[2]], []));
+        sim.set_protocol(nodes[2], GnutellaPeer::new(vec![nodes[1], nodes[3]], []));
+        sim.set_protocol(nodes[3], GnutellaPeer::new(vec![nodes[2]], [42]));
+        sim.start();
+        send_query(&mut sim, nodes[0], nodes[1], 1, 42);
+        sim.run_until(SimTime::from_secs(2));
+        let q = sim.take_protocol_as::<Querier>(nodes[0]).unwrap();
+        assert_eq!(q.responses.len(), 1);
+        // 3 hops out + 3 hops back at 10ms each = 60ms, no artificial delay.
+        assert_eq!(q.responses[0].0, SimTime::from_millis(60));
+    }
+
+    #[test]
+    fn gnutella_suppresses_duplicate_queries() {
+        let (topo, nodes) = overlay_line(3, 5);
+        let mut sim = Simulator::new(topo, 1);
+        sim.set_protocol(nodes[0], Querier::default());
+        sim.set_protocol(nodes[1], GnutellaPeer::new(vec![nodes[0], nodes[2]], [7]));
+        sim.set_protocol(nodes[2], GnutellaPeer::new(vec![nodes[1]], [7]));
+        sim.start();
+        send_query(&mut sim, nodes[0], nodes[1], 5, 7);
+        send_query(&mut sim, nodes[0], nodes[1], 5, 7); // duplicate
+        sim.run_until(SimTime::from_secs(2));
+        let q = sim.take_protocol_as::<Querier>(nodes[0]).unwrap();
+        // One response from node1, one relayed from node2 — duplicates
+        // suppressed, so exactly 2.
+        assert_eq!(q.responses.len(), 2);
+    }
+
+    #[test]
+    fn ttl_limits_flood_depth() {
+        let (topo, nodes) = overlay_line(5, 5);
+        let mut sim = Simulator::new(topo, 1);
+        sim.set_protocol(nodes[0], Querier::default());
+        for i in 1..4 {
+            sim.set_protocol(
+                nodes[i],
+                GnutellaPeer::new(vec![nodes[i - 1], nodes[i + 1]], []),
+            );
+        }
+        sim.set_protocol(nodes[4], GnutellaPeer::new(vec![nodes[3]], [9]));
+        sim.start();
+        // TTL 2: reaches nodes 1 and 2 only — source at 4 never hears it.
+        let msg = Message::Query {
+            query_id: 1,
+            content_id: 9,
+            ttl: 2,
+        };
+        let p = Packet::new(
+            nodes[0],
+            nodes[1],
+            Transport::Tcp {
+                src_port: 6881,
+                dst_port: 6881,
+                seq: 0,
+            },
+            FlowId(1),
+            msg.encode(),
+        );
+        sim.inject(nodes[0], p);
+        sim.run_until(SimTime::from_secs(2));
+        let q = sim.take_protocol_as::<Querier>(nodes[0]).unwrap();
+        assert!(q.responses.is_empty());
+    }
+
+    #[test]
+    fn oneswarm_source_answers_after_artificial_delay() {
+        let (topo, nodes) = overlay_line(2, 10);
+        let mut sim = Simulator::new(topo, 3);
+        sim.set_protocol(nodes[0], Querier::default());
+        sim.set_protocol(
+            nodes[1],
+            OneSwarmPeer::new(vec![nodes[0]], [42], DelayModel::default()),
+        );
+        sim.start();
+        send_query(&mut sim, nodes[0], nodes[1], 1, 42);
+        sim.run_until(SimTime::from_secs(3));
+        let q = sim.take_protocol_as::<Querier>(nodes[0]).unwrap();
+        assert_eq!(q.responses.len(), 1);
+        let t = q.responses[0].0;
+        // 20 ms network RTT + source delay in [150, 300) ms.
+        assert!(t >= SimTime::from_millis(170), "t={t}");
+        assert!(t < SimTime::from_millis(320), "t={t}");
+    }
+
+    #[test]
+    fn oneswarm_proxy_response_pays_extra_hops() {
+        // querier(0) - proxy(1) - source(2): proxied response pays
+        // forward delay + source delay + relay delay + 4 link hops.
+        let (topo, nodes) = overlay_line(3, 10);
+        let mut sim = Simulator::new(topo, 4);
+        sim.set_protocol(nodes[0], Querier::default());
+        sim.set_protocol(
+            nodes[1],
+            OneSwarmPeer::new(vec![nodes[0], nodes[2]], [], DelayModel::default()),
+        );
+        sim.set_protocol(
+            nodes[2],
+            OneSwarmPeer::new(vec![nodes[1]], [42], DelayModel::default()),
+        );
+        sim.start();
+        send_query(&mut sim, nodes[0], nodes[1], 1, 42);
+        sim.run_until(SimTime::from_secs(5));
+        let q = sim.take_protocol_as::<Querier>(nodes[0]).unwrap();
+        assert_eq!(q.responses.len(), 1);
+        // Minimum: 150 (fwd) + 150 (src) + 150 (relay) + 40 net = 490 ms —
+        // always distinguishable from a direct source's max 300 + 20.
+        assert!(q.responses[0].0 >= SimTime::from_millis(490));
+    }
+
+    #[test]
+    fn oneswarm_counters() {
+        let (topo, nodes) = overlay_line(3, 10);
+        let mut sim = Simulator::new(topo, 4);
+        sim.set_protocol(nodes[0], Querier::default());
+        sim.set_protocol(
+            nodes[1],
+            OneSwarmPeer::new(vec![nodes[0], nodes[2]], [], DelayModel::default()),
+        );
+        sim.set_protocol(
+            nodes[2],
+            OneSwarmPeer::new(vec![nodes[1]], [42], DelayModel::default()),
+        );
+        sim.start();
+        send_query(&mut sim, nodes[0], nodes[1], 1, 42);
+        sim.run_until(SimTime::from_secs(5));
+        let proxy = sim.take_protocol_as::<OneSwarmPeer>(nodes[1]).unwrap();
+        let source = sim.take_protocol_as::<OneSwarmPeer>(nodes[2]).unwrap();
+        assert_eq!(proxy.served(), 0);
+        assert!(proxy.forwarded() >= 1);
+        assert_eq!(source.served(), 1);
+    }
+
+    #[test]
+    fn delay_model_degenerate_interval() {
+        // min == max must not panic (range requires lo < hi).
+        let dm = DelayModel {
+            source_delay_ms: (100, 100),
+            forward_delay_ms: (100, 100),
+        };
+        let (topo, nodes) = overlay_line(2, 1);
+        let mut sim = Simulator::new(topo, 5);
+        sim.set_protocol(nodes[0], Querier::default());
+        sim.set_protocol(nodes[1], OneSwarmPeer::new(vec![nodes[0]], [1], dm));
+        sim.start();
+        send_query(&mut sim, nodes[0], nodes[1], 1, 1);
+        sim.run_until(SimTime::from_secs(1));
+        let q = sim.take_protocol_as::<Querier>(nodes[0]).unwrap();
+        assert_eq!(q.responses.len(), 1);
+        assert_eq!(q.responses[0].0, SimTime::from_millis(102));
+    }
+}

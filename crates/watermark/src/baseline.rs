@@ -1,0 +1,90 @@
+//! The naive baseline the paper says the watermark beats: direct
+//! traffic-rate correlation between the sender's egress and each
+//! candidate suspect's ingress, with a lag search.
+
+/// Maximum-over-lags Pearson correlation between a transmit-side and a
+/// receive-side rate series.
+///
+/// `max_lag` is in bins; the receive series is assumed delayed relative
+/// to the transmit series (only non-negative lags are searched).
+///
+/// Returns `None` when the series are too short or constant at every
+/// lag.
+pub fn lag_correlation(tx: &[f64], rx: &[f64], max_lag: usize) -> Option<(f64, usize)> {
+    let mut best: Option<(f64, usize)> = None;
+    for lag in 0..=max_lag {
+        if lag >= rx.len() {
+            break;
+        }
+        let n = tx.len().min(rx.len() - lag);
+        if n < 2 {
+            break;
+        }
+        if let Some(r) = netsim::stats::pearson(&tx[..n], &rx[lag..lag + n]) {
+            if best.is_none_or(|(b, _)| r.abs() > b.abs()) {
+                best = Some((r, lag));
+            }
+        }
+    }
+    best
+}
+
+/// Identifies which candidate receive series best matches the transmit
+/// series: returns `(index, correlation)` of the argmax, or `None` if no
+/// candidate correlates at all.
+pub fn identify_by_correlation(
+    tx: &[f64],
+    candidates: &[Vec<f64>],
+    max_lag: usize,
+) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, rx) in candidates.iter().enumerate() {
+        if let Some((r, _)) = lag_correlation(tx, rx, max_lag) {
+            if best.is_none_or(|(_, b)| r.abs() > b.abs()) {
+                best = Some((i, r));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lag_identity() {
+        let tx = vec![1.0, 5.0, 2.0, 8.0, 3.0, 9.0];
+        let (r, lag) = lag_correlation(&tx, &tx, 3).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+        assert_eq!(lag, 0);
+    }
+
+    #[test]
+    fn finds_true_lag() {
+        let tx = vec![1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 4.0, 7.0];
+        let mut rx = vec![0.0, 0.0];
+        rx.extend_from_slice(&tx);
+        let (r, lag) = lag_correlation(&tx, &rx, 4).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+        assert_eq!(lag, 2);
+    }
+
+    #[test]
+    fn identify_picks_matching_candidate() {
+        let tx = vec![1.0, 9.0, 2.0, 8.0, 3.0, 7.0, 4.0, 6.0];
+        let matching = tx.clone();
+        let noise = vec![5.0, 5.1, 4.9, 5.0, 5.2, 4.8, 5.0, 5.1];
+        let (idx, r) = identify_by_correlation(&tx, &[noise, matching], 2).unwrap();
+        assert_eq!(idx, 1);
+        assert!(r > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(lag_correlation(&[1.0], &[1.0], 2).is_none());
+        assert!(identify_by_correlation(&[1.0, 2.0], &[], 2).is_none());
+        // Constant candidate yields no correlation.
+        assert!(lag_correlation(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0], 0).is_none());
+    }
+}

@@ -1,0 +1,318 @@
+//! The Tor-flavoured variant of E-IV-B: the watermarked flow crosses a
+//! **three-hop onion circuit** whose relays jitter (and optionally batch)
+//! timing — the paper's "anonymous communication network system such as
+//! Tor or Anonymizer" in its stronger form.
+//!
+//! The legal posture is unchanged — the detector consumes rate-only taps
+//! — but the timing perturbation now compounds across three relays, and
+//! payloads are layered ciphertext end to end.
+
+use crate::baseline::identify_by_correlation;
+use crate::detect::{Detection, Detector};
+use crate::embed::{EmbedConfig, WatermarkedSource};
+use crate::experiment::WatermarkExperimentConfig;
+use crate::pn::PnCode;
+use anonsim::relay::{Circuit, OnionRelay};
+use anonsim::transform::FlowTransform;
+use netsim::prelude::*;
+
+/// Outcome of a circuit trial (same shape as the proxy trial).
+#[derive(Debug, Clone)]
+pub struct CircuitTrialOutcome {
+    /// The targeted suspect index.
+    pub true_suspect: usize,
+    /// Per-suspect detections.
+    pub detections: Vec<Detection>,
+    /// The despreader's identification.
+    pub identified: Option<usize>,
+    /// The passive aggregate-correlation pick.
+    pub baseline_identified: Option<usize>,
+}
+
+impl CircuitTrialOutcome {
+    /// Whether the watermark identified the right suspect.
+    pub fn watermark_correct(&self) -> bool {
+        self.identified == Some(self.true_suspect)
+    }
+}
+
+/// Countermeasure knobs for the circuit variant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CircuitOptions {
+    /// Mix-style batching interval at the middle relay (ms).
+    pub batching_ms: Option<u64>,
+    /// Fixed-size cell payload (bytes) — defeats size correlation; the
+    /// watermark rides on packet rate, so it should survive.
+    pub fixed_cell_payload: Option<usize>,
+}
+
+/// Runs one watermark trial through a three-hop onion circuit.
+///
+/// Relay jitter is taken from `config.proxy_jitter_ms` (applied at *each*
+/// of the three relays). When `batching_ms` is set, the middle relay
+/// additionally batches departures on that interval (mix behaviour).
+pub fn run_circuit_trial(
+    config: &WatermarkExperimentConfig,
+    batching_ms: Option<u64>,
+    trial: u64,
+) -> CircuitTrialOutcome {
+    run_circuit_trial_with(
+        config,
+        CircuitOptions {
+            batching_ms,
+            fixed_cell_payload: None,
+        },
+        trial,
+    )
+}
+
+/// Like [`run_circuit_trial`] with full countermeasure options.
+pub fn run_circuit_trial_with(
+    config: &WatermarkExperimentConfig,
+    options: CircuitOptions,
+    trial: u64,
+) -> CircuitTrialOutcome {
+    let batching_ms = options.batching_ms;
+    let seed = config.seed ^ trial.wrapping_mul(0x517c_c1b7_2722_0a95);
+    let mut rng = SimRng::seed_from(seed);
+    let true_suspect = rng.next_below(config.suspects as u64) as usize;
+
+    // Topology: accounts → gateway → r1 → r2 → r3 → suspects; cross
+    // sources at each suspect.
+    let mut topo = Topology::new();
+    let gateway = topo.add_node();
+    let r1 = topo.add_node();
+    let r2 = topo.add_node();
+    let r3 = topo.add_node();
+    topo.connect(gateway, r1, SimDuration::from_millis(10));
+    topo.connect(r1, r2, SimDuration::from_millis(15));
+    topo.connect(r2, r3, SimDuration::from_millis(15));
+    let mut accounts = Vec::new();
+    let mut suspects = Vec::new();
+    let mut cross_sources = Vec::new();
+    for _ in 0..config.suspects {
+        let a = topo.add_node();
+        topo.connect(a, gateway, SimDuration::from_millis(2));
+        accounts.push(a);
+        let s = topo.add_node();
+        let c = topo.add_node();
+        topo.connect(r3, s, SimDuration::from_millis(20));
+        topo.connect(c, s, SimDuration::from_millis(5));
+        suspects.push(s);
+        cross_sources.push(c);
+    }
+
+    let mut sim = Simulator::new(topo, seed ^ 0x0c1c);
+
+    // Taps.
+    let mut taps = Vec::new();
+    for &s in &suspects {
+        taps.push(sim.add_tap(Tap::new(
+            TapPoint::Node(s),
+            CaptureScope::RateOnly,
+            CaptureFilter::any(),
+        )));
+    }
+    let gateway_tap = sim.add_tap(Tap::new(
+        TapPoint::Node(gateway),
+        CaptureScope::RateOnly,
+        CaptureFilter::any(),
+    ));
+
+    // Relays with per-hop jitter; the middle relay optionally batches.
+    let (jlo, jhi) = config.proxy_jitter_ms;
+    let keys = [0xaaaa_u64 ^ seed, 0xbbbb ^ seed, 0xcccc ^ seed];
+    sim.set_protocol(
+        r1,
+        OnionRelay::new(keys[0], FlowTransform::jitter(jlo, jhi)),
+    );
+    let middle_transform = match batching_ms {
+        Some(ms) => FlowTransform::batching(SimDuration::from_millis(ms)),
+        None => FlowTransform::jitter(jlo, jhi),
+    };
+    sim.set_protocol(r2, OnionRelay::new(keys[1], middle_transform));
+    sim.set_protocol(
+        r3,
+        OnionRelay::new(keys[2], FlowTransform::jitter(jlo, jhi)),
+    );
+
+    // One onion-wrapped flow per account; the target's is watermarked.
+    let code = PnCode::m_sequence(config.code_degree, (seed as u32) | 1);
+    let chip = SimDuration::from_millis(config.chip_ms);
+    let mut signal = SimDuration::ZERO;
+    for (i, &a) in accounts.iter().enumerate() {
+        let is_target = i == true_suspect;
+        let embed = if is_target {
+            EmbedConfig {
+                code: code.clone(),
+                chip_duration: chip,
+                rate_high_pps: config.rate_high_pps,
+                rate_low_pps: config.rate_low_pps,
+                payload_len: config.payload_len,
+                repetitions: 1,
+            }
+        } else {
+            EmbedConfig {
+                code: PnCode::from_chips(vec![1; code.len()]),
+                chip_duration: chip,
+                rate_high_pps: config.mean_rate_pps(),
+                rate_low_pps: config.mean_rate_pps(),
+                payload_len: config.payload_len,
+                repetitions: 1,
+            }
+        };
+        signal = embed.signal_duration();
+        let mut circuit = Circuit::new(vec![(r1, keys[0]), (r2, keys[1]), (r3, keys[2])]);
+        if let Some(size) = options.fixed_cell_payload {
+            circuit = circuit.with_fixed_cell_payload(size);
+        }
+        let suspect = suspects[i];
+        let wrapper =
+            Box::new(move |raw: &[u8]| (circuit.entry(), circuit.make_cell(suspect, raw)));
+        sim.set_protocol(
+            a,
+            WatermarkedSource::with_wrapper(embed, FlowId(1 + i as u64), wrapper),
+        );
+    }
+
+    for (i, &c) in cross_sources.iter().enumerate() {
+        sim.set_protocol(
+            c,
+            PoissonSource::new(
+                suspects[i],
+                FlowId(100 + i as u64),
+                512,
+                config.cross_rate_pps,
+            ),
+        );
+    }
+
+    sim.run_until(SimTime::ZERO + signal + SimDuration::from_secs(3));
+
+    let fine_bin = SimDuration::from_millis(config.chip_ms / config.oversample as u64);
+    let n_bins = code.len() * config.oversample + 4 * config.oversample;
+    let detector = Detector::new(
+        code.clone(),
+        config.oversample,
+        2 * config.oversample,
+        Detector::sigma_threshold(code.len(), config.threshold_sigma),
+    );
+    let mut detections = Vec::new();
+    let mut series = Vec::new();
+    for &t in &taps {
+        let s = sim.tap(t).rate_series(SimTime::ZERO, fine_bin, n_bins);
+        detections.push(detector.detect(&s));
+        series.push(s);
+    }
+    let identified = detections
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.detected)
+        .max_by(|a, b| {
+            a.1.statistic
+                .abs()
+                .partial_cmp(&b.1.statistic.abs())
+                .expect("finite")
+        })
+        .map(|(i, _)| i);
+    let gateway_series = sim
+        .tap(gateway_tap)
+        .rate_series(SimTime::ZERO, fine_bin, n_bins);
+    let baseline_identified =
+        identify_by_correlation(&gateway_series, &series, 2 * config.oversample).map(|(i, _)| i);
+
+    CircuitTrialOutcome {
+        true_suspect,
+        detections,
+        identified,
+        baseline_identified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> WatermarkExperimentConfig {
+        WatermarkExperimentConfig {
+            suspects: 4,
+            code_degree: 7,
+            chip_ms: 300,
+            ..WatermarkExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn watermark_survives_three_hop_circuit() {
+        let outcome = run_circuit_trial(&quick_config(), None, 1);
+        assert!(
+            outcome.watermark_correct(),
+            "true {} identified {:?} stats {:?}",
+            outcome.true_suspect,
+            outcome.identified,
+            outcome
+                .detections
+                .iter()
+                .map(|d| d.statistic)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn watermark_survives_mix_batching() {
+        // Batching at 100 ms quantizes departures well below the 300 ms
+        // chip — the coarse rate modulation survives.
+        let outcome = run_circuit_trial(&quick_config(), Some(100), 2);
+        assert!(
+            outcome.watermark_correct(),
+            "stats {:?}",
+            outcome
+                .detections
+                .iter()
+                .map(|d| d.statistic)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn circuit_trials_deterministic() {
+        let a = run_circuit_trial(&quick_config(), None, 3);
+        let b = run_circuit_trial(&quick_config(), None, 3);
+        assert_eq!(a.true_suspect, b.true_suspect);
+        assert_eq!(a.identified, b.identified);
+    }
+}
+
+#[cfg(test)]
+mod padding_tests {
+    use super::*;
+
+    #[test]
+    fn watermark_survives_fixed_size_cells() {
+        // Padding every cell to a fixed size defeats size correlation but
+        // not rate modulation — the watermark rides on packet counts.
+        let cfg = WatermarkExperimentConfig {
+            suspects: 4,
+            code_degree: 7,
+            chip_ms: 300,
+            ..WatermarkExperimentConfig::default()
+        };
+        let outcome = run_circuit_trial_with(
+            &cfg,
+            CircuitOptions {
+                batching_ms: None,
+                fixed_cell_payload: Some(1024),
+            },
+            4,
+        );
+        assert!(
+            outcome.watermark_correct(),
+            "stats {:?}",
+            outcome
+                .detections
+                .iter()
+                .map(|d| d.statistic)
+                .collect::<Vec<_>>()
+        );
+    }
+}

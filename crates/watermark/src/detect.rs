@@ -1,0 +1,236 @@
+//! The DSSS despreading detector.
+//!
+//! §IV-B: the investigator "collect\[s\] the traffic rate at the suspect's
+//! ISP (they do not need to collect the entire packet, so they do not
+//! need a wiretap warrant)" and despreads it against the known PN code.
+//! The detector consumes exactly a rate time series — the output of a
+//! [`netsim::capture::CaptureScope::RateOnly`] tap.
+
+use crate::pn::PnCode;
+
+/// The result of a detection attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Normalized correlation statistic in `[-1, 1]` at the best offset.
+    pub statistic: f64,
+    /// Offset (in fine bins) at which the statistic peaked.
+    pub best_offset: usize,
+    /// Whether the statistic cleared the decision threshold.
+    pub detected: bool,
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    code: PnCode,
+    /// Fine bins per chip in the input series.
+    oversample: usize,
+    /// Maximum synchronization search offset, in fine bins.
+    max_offset: usize,
+    /// Decision threshold on the normalized statistic.
+    threshold: f64,
+}
+
+impl Detector {
+    /// Creates a detector for `code`.
+    ///
+    /// `oversample` is how many fine rate bins make up one chip in the
+    /// observed series; `max_offset` bounds the synchronization search
+    /// (in fine bins); `threshold` is the decision level on the
+    /// normalized correlation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oversample == 0`.
+    pub fn new(code: PnCode, oversample: usize, max_offset: usize, threshold: f64) -> Self {
+        assert!(oversample > 0, "oversample must be positive");
+        Detector {
+            code,
+            oversample,
+            max_offset,
+            threshold,
+        }
+    }
+
+    /// A threshold calibrated to the code length: under the null
+    /// hypothesis the normalized statistic is ≈ N(0, 1/√N), so `k` sigma
+    /// is `k/√N`.
+    pub fn sigma_threshold(code_len: usize, k: f64) -> f64 {
+        k / (code_len as f64).sqrt()
+    }
+
+    /// The code under test.
+    pub fn code(&self) -> &PnCode {
+        &self.code
+    }
+
+    /// Despreads `series` (fine-binned rates) against the code at a
+    /// given fine-bin offset, returning the normalized correlation over
+    /// as many whole chips as fit.
+    ///
+    /// Returns `None` when fewer than two chips fit or the series is
+    /// constant.
+    pub fn despread_at(&self, series: &[f64], offset: usize) -> Option<f64> {
+        if offset >= series.len() {
+            return None;
+        }
+        let avail = (series.len() - offset) / self.oversample;
+        let chips = avail.min(self.code.len());
+        if chips < 2 {
+            return None;
+        }
+        // Aggregate fine bins into chip bins.
+        let mut chip_rates = Vec::with_capacity(chips);
+        for c in 0..chips {
+            let start = offset + c * self.oversample;
+            let sum: f64 = series[start..start + self.oversample].iter().sum();
+            chip_rates.push(sum / self.oversample as f64);
+        }
+        let signs: Vec<f64> = (0..chips).map(|c| self.code.chips()[c] as f64).collect();
+        netsim::stats::pearson(&chip_rates, &signs)
+    }
+
+    /// Runs the synchronization search and decides.
+    pub fn detect(&self, series: &[f64]) -> Detection {
+        let mut best = Detection {
+            statistic: 0.0,
+            best_offset: 0,
+            detected: false,
+        };
+        for offset in 0..=self.max_offset {
+            if let Some(stat) = self.despread_at(series, offset) {
+                if stat.abs() > best.statistic.abs() {
+                    best.statistic = stat;
+                    best.best_offset = offset;
+                }
+            }
+        }
+        best.detected = best.statistic.abs() >= self.threshold;
+        best
+    }
+}
+
+/// Synthesizes the ideal (noise-free) chip-rate series for a code — used
+/// by tests and the baseline comparison.
+pub fn ideal_series(code: &PnCode, oversample: usize, high: f64, low: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(code.len() * oversample);
+    for &c in code.chips() {
+        let r = if c > 0 { high } else { low };
+        out.extend(std::iter::repeat_n(r, oversample));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code() -> PnCode {
+        PnCode::m_sequence(7, 1)
+    }
+
+    #[test]
+    fn clean_signal_detected_with_statistic_one() {
+        let c = code();
+        let series = ideal_series(&c, 4, 100.0, 20.0);
+        let det = Detector::new(c, 4, 0, 0.5);
+        let d = det.detect(&series);
+        assert!(d.detected);
+        assert!((d.statistic - 1.0).abs() < 1e-9, "stat {}", d.statistic);
+        assert_eq!(d.best_offset, 0);
+    }
+
+    #[test]
+    fn offset_signal_found_by_sync_search() {
+        let c = code();
+        let mut series = vec![60.0; 10]; // 10 fine bins of pre-signal noise floor
+        series.extend(ideal_series(&c, 4, 100.0, 20.0));
+        let det = Detector::new(c, 4, 16, 0.5);
+        let d = det.detect(&series);
+        assert!(d.detected);
+        assert_eq!(d.best_offset, 10);
+    }
+
+    #[test]
+    fn wrong_code_not_detected() {
+        let c = code();
+        let other = PnCode::m_sequence(7, 11); // different phase/sequence
+        let series = ideal_series(&other, 4, 100.0, 20.0);
+        let det = Detector::new(c.clone(), 4, 8, Detector::sigma_threshold(c.len(), 4.0));
+        let d = det.detect(&series);
+        assert!(
+            !d.detected,
+            "different m-sequence must not trigger (stat {})",
+            d.statistic
+        );
+    }
+
+    #[test]
+    fn unwatermarked_noise_not_detected() {
+        let c = code();
+        // Deterministic pseudo-noise series.
+        let mut x = 1u64;
+        let series: Vec<f64> = (0..c.len() * 4)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                50.0 + (x >> 40) as f64 / 1e6
+            })
+            .collect();
+        let det = Detector::new(c.clone(), 4, 8, Detector::sigma_threshold(c.len(), 4.0));
+        assert!(!det.detect(&series).detected);
+    }
+
+    #[test]
+    fn noisy_signal_still_detected() {
+        let c = code();
+        let mut x = 99u64;
+        let mut noise = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 40) as f64 / (1u64 << 24) as f64 - 0.5) * 80.0
+        };
+        let series: Vec<f64> = ideal_series(&c, 4, 100.0, 20.0)
+            .into_iter()
+            .map(|r| (r + noise()).max(0.0))
+            .collect();
+        let det = Detector::new(c.clone(), 4, 0, Detector::sigma_threshold(c.len(), 4.0));
+        let d = det.detect(&series);
+        assert!(d.detected, "stat {}", d.statistic);
+    }
+
+    #[test]
+    fn short_series_yields_no_detection() {
+        let c = code();
+        let det = Detector::new(c, 4, 4, 0.5);
+        let d = det.detect(&[1.0, 2.0, 3.0]);
+        assert!(!d.detected);
+        assert_eq!(d.statistic, 0.0);
+    }
+
+    #[test]
+    fn sigma_threshold_shrinks_with_code_length() {
+        assert!(Detector::sigma_threshold(127, 4.0) > Detector::sigma_threshold(1023, 4.0));
+        let t = Detector::sigma_threshold(100, 4.0);
+        assert!((t - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversample")]
+    fn zero_oversample_panics() {
+        Detector::new(code(), 0, 0, 0.5);
+    }
+
+    #[test]
+    fn despread_partial_code_coverage() {
+        let c = code();
+        // Only half the code's worth of series available.
+        let series = ideal_series(&c, 2, 100.0, 20.0);
+        let half = &series[..series.len() / 2];
+        let det = Detector::new(c, 2, 0, 0.5);
+        let stat = det.despread_at(half, 0).unwrap();
+        assert!(stat > 0.9, "partial despreading still correlates: {stat}");
+    }
+}

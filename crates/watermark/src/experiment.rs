@@ -1,0 +1,619 @@
+//! The E-IV-B experiment harness: the seized-server storyline of §IV-B.
+//!
+//! The paper's situation one: investigators control a seized web server
+//! with "a lot of accounts", one of which is being downloaded from by a
+//! suspect hiding behind an anonymizing proxy. The server simultaneously
+//! serves one flow per candidate account; the investigator watermarks
+//! **only the account under investigation** by modulating its rate with a
+//! PN code. Rate-only taps — the pen/trap-scoped observation a court
+//! order supports — sit at every candidate suspect's access point.
+//!
+//! Two identification strategies are compared:
+//!
+//! * **Watermark (active)**: despread each suspect's rate series against
+//!   the PN code.
+//! * **Baseline (passive)**: correlate the server site's *aggregate*
+//!   egress rate with each suspect's ingress rate. Because every account
+//!   flow shares the same egress aggregate, passive correlation cannot
+//!   tell the accounts apart — the paper's reason the watermark is "more
+//!   effective than other methods".
+
+use crate::baseline::identify_by_correlation;
+use crate::detect::{Detection, Detector};
+use crate::embed::{EmbedConfig, WatermarkedSource};
+use crate::pn::PnCode;
+use anonsim::proxy::{wrap_for_proxy, AnonymizerProxy};
+use anonsim::transform::FlowTransform;
+use netsim::prelude::*;
+
+/// Parameters of one watermark experiment.
+#[derive(Debug, Clone)]
+pub struct WatermarkExperimentConfig {
+    /// Number of candidate suspects (= accounts served) behind the proxy.
+    pub suspects: usize,
+    /// PN-code degree (length = 2^degree − 1).
+    pub code_degree: u32,
+    /// Chip duration in milliseconds.
+    pub chip_ms: u64,
+    /// Packet rate during +1 chips.
+    pub rate_high_pps: f64,
+    /// Packet rate during −1 chips.
+    pub rate_low_pps: f64,
+    /// Payload bytes per served packet.
+    pub payload_len: usize,
+    /// Proxy jitter in milliseconds `[lo, hi)`.
+    pub proxy_jitter_ms: (u64, u64),
+    /// Independent per-packet drop probability at the proxy (failure
+    /// injection; the DSSS watermark should tolerate moderate loss).
+    pub proxy_loss: f64,
+    /// Poisson cross-traffic rate into each suspect (packets/second).
+    pub cross_rate_pps: f64,
+    /// Fine bins per chip for the rate observation.
+    pub oversample: usize,
+    /// Detection threshold in sigmas (of the null distribution).
+    pub threshold_sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WatermarkExperimentConfig {
+    fn default() -> Self {
+        WatermarkExperimentConfig {
+            suspects: 8,
+            code_degree: 9,
+            chip_ms: 400,
+            rate_high_pps: 120.0,
+            rate_low_pps: 40.0,
+            payload_len: 512,
+            proxy_jitter_ms: (5, 60),
+            proxy_loss: 0.0,
+            cross_rate_pps: 60.0,
+            oversample: 2,
+            threshold_sigma: 4.0,
+            seed: 0xbeef,
+        }
+    }
+}
+
+impl WatermarkExperimentConfig {
+    /// The mean service rate, used for unwatermarked account flows.
+    pub fn mean_rate_pps(&self) -> f64 {
+        0.5 * (self.rate_high_pps + self.rate_low_pps)
+    }
+}
+
+/// Outcome of one watermarked trial.
+#[derive(Debug, Clone)]
+pub struct TrialOutcome {
+    /// Index of the account/suspect the watermark actually targeted.
+    pub true_suspect: usize,
+    /// Per-suspect detection results.
+    pub detections: Vec<Detection>,
+    /// The suspect the despreader identified (highest statistic among
+    /// detections), if any cleared the threshold.
+    pub identified: Option<usize>,
+    /// The suspect the passive aggregate-correlation baseline picked in
+    /// this (watermarked) run.
+    pub baseline_identified: Option<usize>,
+}
+
+impl TrialOutcome {
+    /// Whether the watermark identified the right suspect.
+    pub fn watermark_correct(&self) -> bool {
+        self.identified == Some(self.true_suspect)
+    }
+
+    /// Whether the baseline identified the right suspect.
+    pub fn baseline_correct(&self) -> bool {
+        self.baseline_identified == Some(self.true_suspect)
+    }
+
+    /// Count of non-target suspects whose statistic cleared the
+    /// threshold (false positives).
+    pub fn false_positives(&self) -> usize {
+        self.detections
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| *i != self.true_suspect && d.detected)
+            .count()
+    }
+}
+
+struct TrialRun {
+    true_suspect: usize,
+    suspect_series: Vec<Vec<f64>>,
+    gateway_series: Vec<f64>,
+    code: PnCode,
+}
+
+/// Builds and runs the topology once. When `watermarked` is false the
+/// target account is served at the constant mean rate like every other
+/// account (the passive-baseline condition).
+fn run_sim(config: &WatermarkExperimentConfig, trial: u64, watermarked: bool) -> TrialRun {
+    let seed = config.seed ^ trial.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut rng = SimRng::seed_from(seed);
+    let true_suspect = rng.next_below(config.suspects as u64) as usize;
+
+    // Topology: account sources → gateway → proxy → suspects, plus a
+    // cross-traffic source per suspect.
+    let mut topo = Topology::new();
+    let gateway = topo.add_node();
+    let proxy = topo.add_node();
+    topo.connect(gateway, proxy, SimDuration::from_millis(10));
+    let mut accounts = Vec::new();
+    let mut suspects = Vec::new();
+    let mut cross_sources = Vec::new();
+    for _ in 0..config.suspects {
+        let a = topo.add_node();
+        topo.connect(a, gateway, SimDuration::from_millis(2));
+        accounts.push(a);
+        let s = topo.add_node();
+        let c = topo.add_node();
+        topo.connect(proxy, s, SimDuration::from_millis(20));
+        topo.connect(c, s, SimDuration::from_millis(5));
+        suspects.push(s);
+        cross_sources.push(c);
+    }
+
+    let mut sim = Simulator::new(topo, seed ^ 0xd15_ea5e);
+
+    // Rate-only taps at every suspect (the ISP vantage point), and at the
+    // gateway for the aggregate-egress baseline observable.
+    let mut taps = Vec::new();
+    for &s in &suspects {
+        taps.push(sim.add_tap(Tap::new(
+            TapPoint::Node(s),
+            CaptureScope::RateOnly,
+            CaptureFilter::any(),
+        )));
+    }
+    let gateway_tap = sim.add_tap(Tap::new(
+        TapPoint::Node(gateway),
+        CaptureScope::RateOnly,
+        CaptureFilter::any(),
+    ));
+
+    // The proxy jitters timing (and may drop).
+    let (jlo, jhi) = config.proxy_jitter_ms;
+    let transform = FlowTransform {
+        drop_prob: config.proxy_loss,
+        ..FlowTransform::jitter(jlo, jhi)
+    };
+    sim.set_protocol(proxy, AnonymizerProxy::new(transform));
+
+    // One flow per account through the proxy; the target account gets the
+    // PN modulation iff `watermarked`.
+    let code = PnCode::m_sequence(config.code_degree, (seed as u32) | 1);
+    let chip = SimDuration::from_millis(config.chip_ms);
+    let mut signal = SimDuration::ZERO;
+    for (i, &a) in accounts.iter().enumerate() {
+        let is_target = i == true_suspect;
+        let embed = if is_target && watermarked {
+            EmbedConfig {
+                code: code.clone(),
+                chip_duration: chip,
+                rate_high_pps: config.rate_high_pps,
+                rate_low_pps: config.rate_low_pps,
+                payload_len: config.payload_len,
+                repetitions: 1,
+            }
+        } else {
+            // Unmodulated account flow: a constant "all +1" code at the
+            // mean rate — statistically a plain Poisson flow.
+            EmbedConfig {
+                code: PnCode::from_chips(vec![1; code.len()]),
+                chip_duration: chip,
+                rate_high_pps: config.mean_rate_pps(),
+                rate_low_pps: config.mean_rate_pps(),
+                payload_len: config.payload_len,
+                repetitions: 1,
+            }
+        };
+        signal = embed.signal_duration();
+        sim.set_protocol(
+            a,
+            WatermarkedSource::new(
+                embed,
+                proxy,
+                FlowId(1 + i as u64),
+                wrap_for_proxy(suspects[i], &[]),
+            ),
+        );
+    }
+
+    // Cross traffic into every suspect.
+    for (i, &c) in cross_sources.iter().enumerate() {
+        sim.set_protocol(
+            c,
+            PoissonSource::new(
+                suspects[i],
+                FlowId(100 + i as u64),
+                512,
+                config.cross_rate_pps,
+            ),
+        );
+    }
+
+    sim.run_until(SimTime::ZERO + signal + SimDuration::from_secs(2));
+
+    let fine_bin = SimDuration::from_millis(config.chip_ms / config.oversample as u64);
+    let n_bins = code.len() * config.oversample + 4 * config.oversample;
+    let suspect_series = taps
+        .iter()
+        .map(|&t| sim.tap(t).rate_series(SimTime::ZERO, fine_bin, n_bins))
+        .collect();
+    let gateway_series = sim
+        .tap(gateway_tap)
+        .rate_series(SimTime::ZERO, fine_bin, n_bins);
+    TrialRun {
+        true_suspect,
+        suspect_series,
+        gateway_series,
+        code,
+    }
+}
+
+/// Runs one watermarked trial and both identification strategies.
+pub fn run_trial(config: &WatermarkExperimentConfig, trial: u64) -> TrialOutcome {
+    let run = run_sim(config, trial, true);
+    let detector = Detector::new(
+        run.code.clone(),
+        config.oversample,
+        2 * config.oversample,
+        Detector::sigma_threshold(run.code.len(), config.threshold_sigma),
+    );
+    let detections: Vec<Detection> = run
+        .suspect_series
+        .iter()
+        .map(|s| detector.detect(s))
+        .collect();
+    let identified = detections
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.detected)
+        .max_by(|a, b| {
+            a.1.statistic
+                .abs()
+                .partial_cmp(&b.1.statistic.abs())
+                .expect("statistics are finite")
+        })
+        .map(|(i, _)| i);
+    let baseline_identified = identify_by_correlation(
+        &run.gateway_series,
+        &run.suspect_series,
+        2 * config.oversample,
+    )
+    .map(|(i, _)| i);
+
+    TrialOutcome {
+        true_suspect: run.true_suspect,
+        detections,
+        identified,
+        baseline_identified,
+    }
+}
+
+/// Runs one *passive* trial: no watermark anywhere; the baseline must
+/// identify the target account from aggregate-egress correlation alone.
+/// Returns `(true_suspect, baseline_pick)`.
+pub fn run_passive_trial(config: &WatermarkExperimentConfig, trial: u64) -> (usize, Option<usize>) {
+    let run = run_sim(config, trial, false);
+    let pick = identify_by_correlation(
+        &run.gateway_series,
+        &run.suspect_series,
+        2 * config.oversample,
+    )
+    .map(|(i, _)| i);
+    (run.true_suspect, pick)
+}
+
+/// Aggregate results over many trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatermarkSummary {
+    /// Trials run (per condition).
+    pub trials: usize,
+    /// Fraction of watermarked trials where despreading identified the
+    /// true suspect.
+    pub watermark_accuracy: f64,
+    /// Fraction of *passive* trials where aggregate correlation
+    /// identified the true suspect (expected ≈ 1/suspects).
+    pub baseline_accuracy: f64,
+    /// Mean count of false-positive suspects per watermarked trial.
+    pub mean_false_positives: f64,
+}
+
+/// Runs `trials` trials of each condition and aggregates.
+pub fn run_trials(config: &WatermarkExperimentConfig, trials: usize) -> WatermarkSummary {
+    let mut wm_hits = 0usize;
+    let mut base_hits = 0usize;
+    let mut fp = 0usize;
+    for t in 0..trials {
+        let outcome = run_trial(config, t as u64);
+        if outcome.watermark_correct() {
+            wm_hits += 1;
+        }
+        fp += outcome.false_positives();
+        let (truth, pick) = run_passive_trial(config, t as u64);
+        if pick == Some(truth) {
+            base_hits += 1;
+        }
+    }
+    WatermarkSummary {
+        trials,
+        watermark_accuracy: wm_hits as f64 / trials as f64,
+        baseline_accuracy: base_hits as f64 / trials as f64,
+        mean_false_positives: fp as f64 / trials as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> WatermarkExperimentConfig {
+        WatermarkExperimentConfig {
+            suspects: 4,
+            code_degree: 7,
+            chip_ms: 300,
+            ..WatermarkExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn watermark_identifies_suspect_through_jittering_proxy() {
+        let outcome = run_trial(&quick_config(), 1);
+        assert!(
+            outcome.watermark_correct(),
+            "true {} identified {:?} detections {:?}",
+            outcome.true_suspect,
+            outcome.identified,
+            outcome
+                .detections
+                .iter()
+                .map(|d| d.statistic)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn target_statistic_dominates_others() {
+        let outcome = run_trial(&quick_config(), 2);
+        let target_stat = outcome.detections[outcome.true_suspect].statistic.abs();
+        for (i, d) in outcome.detections.iter().enumerate() {
+            if i != outcome.true_suspect {
+                assert!(
+                    target_stat > d.statistic.abs() * 2.0,
+                    "target {} vs other {}",
+                    target_stat,
+                    d.statistic
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn summary_over_trials_beats_passive_baseline() {
+        let summary = run_trials(&quick_config(), 4);
+        assert_eq!(summary.trials, 4);
+        assert!(
+            summary.watermark_accuracy >= 0.75,
+            "watermark accuracy {}",
+            summary.watermark_accuracy
+        );
+        assert!(
+            summary.watermark_accuracy > summary.baseline_accuracy,
+            "watermark {} must beat passive baseline {}",
+            summary.watermark_accuracy,
+            summary.baseline_accuracy
+        );
+    }
+
+    #[test]
+    fn passive_baseline_near_chance() {
+        // With all account flows statistically identical, aggregate
+        // correlation cannot single out the target.
+        let cfg = quick_config();
+        let mut hits = 0;
+        let trials = 8;
+        for t in 0..trials {
+            let (truth, pick) = run_passive_trial(&cfg, t);
+            if pick == Some(truth) {
+                hits += 1;
+            }
+        }
+        // Chance is 1/4; allow generous slack but rule out reliable
+        // identification.
+        assert!(hits <= trials / 2, "passive baseline hit {hits}/{trials}");
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let a = run_trial(&quick_config(), 3);
+        let b = run_trial(&quick_config(), 3);
+        assert_eq!(a.true_suspect, b.true_suspect);
+        assert_eq!(a.identified, b.identified);
+    }
+
+    #[test]
+    fn false_positive_counter() {
+        let outcome = run_trial(&quick_config(), 1);
+        assert!(outcome.false_positives() <= outcome.detections.len());
+    }
+}
+
+/// Runs a *two-watermark* trial: two different accounts are watermarked
+/// with two different m-sequences simultaneously. Code-division lets each
+/// despreader find its own flow — the "long PN code" design scales to
+/// tracking several suspects at once.
+///
+/// Returns `(first_correct, second_correct)`.
+pub fn run_dual_watermark_trial(config: &WatermarkExperimentConfig, trial: u64) -> (bool, bool) {
+    assert!(config.suspects >= 2, "need at least two suspects");
+    let seed = config.seed ^ trial.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    let mut rng = SimRng::seed_from(seed);
+    let first = rng.next_below(config.suspects as u64) as usize;
+    let second =
+        (first + 1 + rng.next_below(config.suspects as u64 - 1) as usize) % config.suspects;
+
+    let mut topo = Topology::new();
+    let gateway = topo.add_node();
+    let proxy = topo.add_node();
+    topo.connect(gateway, proxy, SimDuration::from_millis(10));
+    let mut accounts = Vec::new();
+    let mut suspects = Vec::new();
+    for _ in 0..config.suspects {
+        let a = topo.add_node();
+        topo.connect(a, gateway, SimDuration::from_millis(2));
+        accounts.push(a);
+        let s = topo.add_node();
+        topo.connect(proxy, s, SimDuration::from_millis(20));
+        suspects.push(s);
+    }
+    let mut sim = Simulator::new(topo, seed ^ 0xd0a1);
+    let mut taps = Vec::new();
+    for &s in &suspects {
+        taps.push(sim.add_tap(Tap::new(
+            TapPoint::Node(s),
+            CaptureScope::RateOnly,
+            CaptureFilter::any(),
+        )));
+    }
+    let (jlo, jhi) = config.proxy_jitter_ms;
+    sim.set_protocol(proxy, AnonymizerProxy::new(FlowTransform::jitter(jlo, jhi)));
+
+    // Two distinct m-sequences (different seeds → different phases).
+    let code_a = PnCode::m_sequence(config.code_degree, 1);
+    let code_b = PnCode::m_sequence(config.code_degree, 5);
+    let chip = SimDuration::from_millis(config.chip_ms);
+    let mut signal = SimDuration::ZERO;
+    for (i, &a) in accounts.iter().enumerate() {
+        let code = if i == first {
+            code_a.clone()
+        } else if i == second {
+            code_b.clone()
+        } else {
+            PnCode::from_chips(vec![1; code_a.len()])
+        };
+        let watermarked = i == first || i == second;
+        let embed = EmbedConfig {
+            code,
+            chip_duration: chip,
+            rate_high_pps: if watermarked {
+                config.rate_high_pps
+            } else {
+                config.mean_rate_pps()
+            },
+            rate_low_pps: if watermarked {
+                config.rate_low_pps
+            } else {
+                config.mean_rate_pps()
+            },
+            payload_len: config.payload_len,
+            repetitions: 1,
+        };
+        signal = embed.signal_duration();
+        sim.set_protocol(
+            a,
+            WatermarkedSource::new(
+                embed,
+                proxy,
+                FlowId(1 + i as u64),
+                wrap_for_proxy(suspects[i], &[]),
+            ),
+        );
+    }
+    sim.run_until(SimTime::ZERO + signal + SimDuration::from_secs(2));
+
+    let fine_bin = SimDuration::from_millis(config.chip_ms / config.oversample as u64);
+    let n_bins = code_a.len() * config.oversample + 4 * config.oversample;
+    let series: Vec<Vec<f64>> = taps
+        .iter()
+        .map(|&t| sim.tap(t).rate_series(SimTime::ZERO, fine_bin, n_bins))
+        .collect();
+
+    let identify = |code: &PnCode| -> Option<usize> {
+        let det = Detector::new(
+            code.clone(),
+            config.oversample,
+            2 * config.oversample,
+            Detector::sigma_threshold(code.len(), config.threshold_sigma),
+        );
+        series
+            .iter()
+            .map(|s| det.detect(s))
+            .enumerate()
+            .filter(|(_, d)| d.detected)
+            .max_by(|a, b| {
+                a.1.statistic
+                    .abs()
+                    .partial_cmp(&b.1.statistic.abs())
+                    .expect("finite")
+            })
+            .map(|(i, _)| i)
+    };
+    (
+        identify(&code_a) == Some(first),
+        identify(&code_b) == Some(second),
+    )
+}
+
+#[cfg(test)]
+mod dual_tests {
+    use super::*;
+
+    #[test]
+    fn two_watermarks_coexist_by_code_division() {
+        let cfg = WatermarkExperimentConfig {
+            suspects: 4,
+            code_degree: 7,
+            chip_ms: 300,
+            ..WatermarkExperimentConfig::default()
+        };
+        let (a_ok, b_ok) = run_dual_watermark_trial(&cfg, 1);
+        assert!(a_ok, "first watermark must find its suspect");
+        assert!(b_ok, "second watermark must find its suspect");
+    }
+
+    #[test]
+    fn dual_trial_deterministic() {
+        let cfg = WatermarkExperimentConfig {
+            suspects: 4,
+            code_degree: 6,
+            chip_ms: 300,
+            ..WatermarkExperimentConfig::default()
+        };
+        assert_eq!(
+            run_dual_watermark_trial(&cfg, 2),
+            run_dual_watermark_trial(&cfg, 2)
+        );
+    }
+}
+
+#[cfg(test)]
+mod loss_tests {
+    use super::*;
+
+    /// The despreader tolerates moderate random loss at the proxy: loss
+    /// scales every chip's rate down uniformly, and the correlation
+    /// statistic is scale-invariant.
+    #[test]
+    fn watermark_survives_proxy_loss() {
+        let cfg = WatermarkExperimentConfig {
+            suspects: 4,
+            code_degree: 7,
+            chip_ms: 300,
+            proxy_loss: 0.25,
+            ..WatermarkExperimentConfig::default()
+        };
+        let outcome = run_trial(&cfg, 5);
+        assert!(
+            outcome.watermark_correct(),
+            "stats {:?}",
+            outcome
+                .detections
+                .iter()
+                .map(|d| d.statistic)
+                .collect::<Vec<_>>()
+        );
+    }
+}

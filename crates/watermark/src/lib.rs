@@ -1,0 +1,46 @@
+//! # watermark
+//!
+//! Long-PN-code DSSS flow watermarking for network traceback — the
+//! technique the paper analyzes in §IV-B (Huang, Pan, Fu & Wang, *Long PN
+//! Code Based DSSS Watermarking*, INFOCOM 2011) — plus the naive
+//! rate-correlation baseline it is compared against.
+//!
+//! The pipeline mirrors the paper's legal posture end to end:
+//!
+//! 1. [`pn`] — maximal-length ±1 spreading codes from a Galois LFSR;
+//! 2. [`embed`] — a traffic source (the *seized web server*) whose send
+//!    rate is modulated chip-by-chip;
+//! 3. the flow crosses an anonymizing proxy ([`anonsim`]) that jitters
+//!    timing and hides content;
+//! 4. [`detect`] — the investigator despreads a **rate-only** observation
+//!    (a pen/trap-scope capture — "they do not need to collect the entire
+//!    packet, so they do not need a wiretap warrant");
+//! 5. [`baseline`] — naive lag-correlation for comparison;
+//! 6. [`experiment`] — the full E-IV-B harness.
+//!
+//! ```
+//! use watermark::detect::{ideal_series, Detector};
+//! use watermark::pn::PnCode;
+//!
+//! let code = PnCode::m_sequence(9, 1);
+//! let observed = ideal_series(&code, 4, 120.0, 40.0);
+//! let detector = Detector::new(code.clone(), 4, 0, Detector::sigma_threshold(code.len(), 4.0));
+//! assert!(detector.detect(&observed).detected);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod circuit_experiment;
+pub mod detect;
+pub mod embed;
+pub mod experiment;
+pub mod pn;
+pub mod roc;
+
+pub use detect::{Detection, Detector};
+pub use embed::{EmbedConfig, WatermarkedSource};
+pub use experiment::{run_trial, run_trials, WatermarkExperimentConfig, WatermarkSummary};
+pub use pn::{Lfsr, PnCode};

@@ -1,0 +1,238 @@
+//! Pseudo-noise (PN) spreading codes: maximal-length sequences from a
+//! Galois LFSR.
+//!
+//! The §IV-B technique embeds "a long PN code" into a flow's traffic
+//! rate. M-sequences have the two properties the detector relies on:
+//! near-perfect balance (equal ±1 counts, so the modulation does not
+//! change the mean rate) and a two-valued autocorrelation (N at zero
+//! shift, −1 elsewhere, so synchronization peaks are unambiguous).
+
+use std::fmt;
+
+/// Primitive feedback tap masks for Galois LFSRs of degrees 3–13
+/// (polynomials from standard tables; bit i set ⇒ tap on stage i).
+fn taps_for_degree(degree: u32) -> Option<u32> {
+    Some(match degree {
+        3 => 0b110,
+        4 => 0b1100,
+        5 => 0b1_0100,
+        6 => 0b11_0000,
+        7 => 0b110_0000,
+        8 => 0b1011_1000,
+        9 => 0b1_0001_0000,
+        10 => 0b10_0100_0000,
+        11 => 0b101_0000_0000,
+        12 => 0b1110_0000_1000,
+        13 => 0b1_1100_1000_0000,
+        _ => return None,
+    })
+}
+
+/// A Galois LFSR over GF(2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    state: u32,
+    taps: u32,
+    degree: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR of the given degree (3–13) with a nonzero seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for unsupported degrees. A zero seed is coerced to
+    /// 1 (the all-zero state is a fixed point).
+    pub fn new(degree: u32, seed: u32) -> Option<Lfsr> {
+        let taps = taps_for_degree(degree)?;
+        let mask = (1u32 << degree) - 1;
+        let state = if seed & mask == 0 { 1 } else { seed & mask };
+        Some(Lfsr {
+            state,
+            taps,
+            degree,
+        })
+    }
+
+    /// Advances one step, returning the output bit.
+    pub fn next_bit(&mut self) -> u8 {
+        let out = (self.state & 1) as u8;
+        self.state >>= 1;
+        if out == 1 {
+            self.state ^= self.taps;
+        }
+        out
+    }
+
+    /// The sequence period for a maximal-length configuration.
+    pub fn period(&self) -> usize {
+        (1usize << self.degree) - 1
+    }
+}
+
+/// A ±1 spreading code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PnCode {
+    chips: Vec<i8>,
+}
+
+impl PnCode {
+    /// Generates a maximal-length sequence of degree `degree`
+    /// (length 2^degree − 1), mapped 0→+1, 1→−1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degree is outside 3–13.
+    pub fn m_sequence(degree: u32, seed: u32) -> PnCode {
+        let mut lfsr =
+            Lfsr::new(degree, seed).unwrap_or_else(|| panic!("unsupported LFSR degree {degree}"));
+        let n = lfsr.period();
+        let chips = (0..n)
+            .map(|_| if lfsr.next_bit() == 0 { 1i8 } else { -1i8 })
+            .collect();
+        PnCode { chips }
+    }
+
+    /// Builds a code from raw chips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any chip is not ±1 or the code is empty.
+    pub fn from_chips(chips: Vec<i8>) -> PnCode {
+        assert!(!chips.is_empty(), "code must be nonempty");
+        assert!(chips.iter().all(|&c| c == 1 || c == -1), "chips must be ±1");
+        PnCode { chips }
+    }
+
+    /// The chips.
+    pub fn chips(&self) -> &[i8] {
+        &self.chips
+    }
+
+    /// Code length in chips.
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Whether the code is empty (never true for constructed codes).
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
+    }
+
+    /// Sum of chips — balance; ±1 for an m-sequence.
+    pub fn balance(&self) -> i32 {
+        self.chips.iter().map(|&c| c as i32).sum()
+    }
+
+    /// Circular autocorrelation at the given shift (un-normalized).
+    pub fn autocorrelation(&self, shift: usize) -> i32 {
+        let n = self.len();
+        (0..n)
+            .map(|i| self.chips[i] as i32 * self.chips[(i + shift) % n] as i32)
+            .sum()
+    }
+
+    /// The chip at a position (periodic extension).
+    pub fn chip(&self, index: usize) -> i8 {
+        self.chips[index % self.chips.len()]
+    }
+}
+
+impl fmt::Display for PnCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PN[{}]", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr_reaches_full_period() {
+        for degree in [3u32, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13] {
+            let mut lfsr = Lfsr::new(degree, 1).unwrap();
+            let start = lfsr.state;
+            let mut steps = 0usize;
+            loop {
+                lfsr.next_bit();
+                steps += 1;
+                if lfsr.state == start {
+                    break;
+                }
+                assert!(steps <= lfsr.period(), "degree {degree} not maximal");
+            }
+            assert_eq!(steps, lfsr.period(), "degree {degree} not maximal");
+        }
+    }
+
+    #[test]
+    fn zero_seed_coerced() {
+        let mut a = Lfsr::new(5, 0).unwrap();
+        let mut b = Lfsr::new(5, 1).unwrap();
+        for _ in 0..10 {
+            assert_eq!(a.next_bit(), b.next_bit());
+        }
+    }
+
+    #[test]
+    fn unsupported_degree() {
+        assert!(Lfsr::new(2, 1).is_none());
+        assert!(Lfsr::new(40, 1).is_none());
+    }
+
+    #[test]
+    fn m_sequence_length_and_balance() {
+        for degree in [5u32, 7, 9, 11] {
+            let code = PnCode::m_sequence(degree, 1);
+            assert_eq!(code.len(), (1 << degree) - 1);
+            assert_eq!(code.balance().abs(), 1, "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn m_sequence_autocorrelation_two_valued() {
+        let code = PnCode::m_sequence(7, 3);
+        let n = code.len() as i32;
+        assert_eq!(code.autocorrelation(0), n);
+        for shift in 1..code.len() {
+            assert_eq!(code.autocorrelation(shift), -1, "shift {shift}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_shifted_sequences() {
+        let a = PnCode::m_sequence(6, 1);
+        let b = PnCode::m_sequence(6, 5);
+        assert_ne!(a.chips(), b.chips());
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn periodic_chip_access() {
+        let code = PnCode::m_sequence(3, 1);
+        for i in 0..code.len() * 3 {
+            assert_eq!(code.chip(i), code.chips()[i % code.len()]);
+        }
+    }
+
+    #[test]
+    fn from_chips_validation() {
+        let c = PnCode::from_chips(vec![1, -1, 1]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.to_string(), "PN[3]");
+    }
+
+    #[test]
+    #[should_panic(expected = "chips must be ±1")]
+    fn invalid_chip_rejected() {
+        PnCode::from_chips(vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_code_rejected() {
+        PnCode::from_chips(vec![]);
+    }
+}

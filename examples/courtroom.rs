@@ -1,0 +1,127 @@
+//! A courtroom walkthrough: build a case the right way and the wrong way,
+//! and watch the exclusionary rule do its work — the paper's §I warning
+//! ("incorrect use of new techniques may result in suppression of the
+//! gathered evidence in court") made executable.
+//!
+//! Run with: `cargo run --example courtroom`
+
+use lexforensica::investigation::court::rule_on;
+use lexforensica::investigation::workflow::Investigation;
+use lexforensica::law::prelude::*;
+use lexforensica::law::probable_cause::{evaluate_basis, ProbableCauseBasis};
+
+fn device_search() -> InvestigativeAction {
+    InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::SuspectDevice,
+        ),
+    )
+    .describe("image the suspect's computer")
+    .build()
+}
+
+fn public_collection() -> InvestigativeAction {
+    InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::PublicForum,
+        ),
+    )
+    .describe("archive the suspect's public forum posts")
+    .joining_public_protocol()
+    .build()
+}
+
+fn main() {
+    println!("=== courtroom walkthrough ===\n");
+
+    // --- The careful investigator -------------------------------------
+    println!("--- investigator A: builds the record before acting ---");
+    let mut careful = Investigation::open("United States v. Careful");
+
+    // Free collection first: public posts need no process.
+    let posts = careful
+        .collect(
+            &public_collection(),
+            "public posts",
+            b"posts...".to_vec(),
+            "agent a",
+        )
+        .expect("public collection needs no process");
+
+    // Use the IP-address path to probable cause.
+    let pc = evaluate_basis(ProbableCauseBasis::IpAddressIdentification {
+        subscriber_identified: true,
+        open_wifi: true, // open Wi-Fi does not defeat probable cause
+    });
+    println!("probable cause analysis:\n{}", pc.rationale());
+    careful.add_fact(
+        "subscriber identified from IP address",
+        pc.achieved_standard(),
+    );
+
+    // Warrant, then the device search.
+    careful
+        .apply_for(
+            LegalProcess::SearchWarrant,
+            "the subscriber's residence and computers",
+        )
+        .expect("probable cause on record");
+    let image = careful
+        .collect_derived(
+            &device_search(),
+            "device image",
+            b"disk sectors".to_vec(),
+            "agent a",
+            [posts],
+        )
+        .expect("warrant in hand");
+    println!(
+        "collected {} under {}\n",
+        careful.locker().item(image).unwrap(),
+        careful.strongest_held()
+    );
+    let report = rule_on(&careful);
+    println!("{report}");
+
+    // --- The careless investigator ------------------------------------
+    println!("--- investigator B: seizes first, asks never ---");
+    let mut careless = Investigation::open("United States v. Careless");
+    // The engine refuses the lawful path...
+    let refusal = careless
+        .collect(
+            &device_search(),
+            "device image",
+            b"disk".to_vec(),
+            "agent b",
+        )
+        .unwrap_err();
+    println!("engine refused: {refusal}");
+    // ...but investigator B proceeds anyway.
+    let tainted = careless.collect_anyway(
+        &device_search(),
+        "device image",
+        b"disk".to_vec(),
+        "agent b",
+    );
+    // Everything derived from it is fruit of the poisonous tree.
+    careless.collect_derived_anyway(
+        &public_collection(),
+        "accounts discovered from the image",
+        b"accounts".to_vec(),
+        "agent b",
+        [tainted],
+    );
+    let report = rule_on(&careless);
+    println!("{report}");
+    println!(
+        "case survives: A = {}, B = {}",
+        rule_on(&careful).case_survives(),
+        report.case_survives()
+    );
+}

@@ -1,0 +1,109 @@
+//! The Table 1 rows 18–19 walkthrough on a simulated disk: hashing an
+//! entire lawfully obtained drive for a particular file is a fresh
+//! search (*United States v. Crist*), while mining the dataset for
+//! aggregate information is not (*State v. Sloane*).
+//!
+//! Run with: `cargo run --example drive_examination`
+
+use lexforensica::evidence::disk::DiskImage;
+use lexforensica::evidence::hash::sha256;
+use lexforensica::investigation::workflow::Investigation;
+use lexforensica::law::prelude::*;
+use lexforensica::law::process::FactualStandard;
+
+fn hash_search_action() -> InvestigativeAction {
+    InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::LawfullyObtainedMedia,
+        ),
+    )
+    .describe("run hash functions across the entire obtained drive hunting one file")
+    .exhaustive_forensic_search()
+    .build()
+}
+
+fn mining_action() -> InvestigativeAction {
+    InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::LawfullyObtainedMedia,
+        ),
+    )
+    .describe("mine the lawfully obtained dataset for aggregate statistics")
+    .mining_lawfully_held_dataset()
+    .build()
+}
+
+fn main() {
+    println!("=== drive examination: hashing vs mining (Table 1 rows 18-19) ===\n");
+
+    // The drive, lawfully in custody (say, consented for a fraud matter).
+    let mut disk = DiskImage::new("suspect drive");
+    disk.write_file("invoices/2011.xlsx", b"fraudulent invoices".to_vec());
+    disk.write_file("photos/beach.jpg", b"vacation".to_vec());
+    disk.write_file("cache/x91.dat", b"known contraband bytes".to_vec());
+    disk.delete_file("cache/x91.dat"); // deleted, but forensics recovers it
+    println!("drive: {}\n", disk.mine_statistics());
+
+    let mut inv = Investigation::open("drive examination");
+
+    // Row 19 first: mining needs nothing.
+    let mining = mining_action();
+    let assessment = inv.assess(&mining);
+    println!("mining the dataset → {}", assessment.verdict());
+    let stats = disk.mine_statistics();
+    inv.collect(
+        &mining,
+        "aggregate statistics",
+        stats.to_string().into_bytes(),
+        "examiner",
+    )
+    .expect("no process needed");
+
+    // Row 18: the hash search needs a warrant.
+    let search = hash_search_action();
+    let assessment = inv.assess(&search);
+    println!("drive-wide hash search → {}", assessment.verdict());
+    match inv.collect(&search, "hash hits", vec![], "examiner") {
+        Err(refusal) => println!("engine refused: {refusal}"),
+        Ok(_) => unreachable!("no warrant yet"),
+    }
+
+    // Build the record and get the warrant.
+    inv.add_fact(
+        "NCMEC hash set matches material tied to this subscriber",
+        FactualStandard::ProbableCause,
+    );
+    inv.apply_for(
+        LegalProcess::SearchWarrant,
+        "contraband image files on the drive",
+    )
+    .expect("probable cause on record");
+    println!("\nsearch warrant granted; executing the hash search...");
+
+    let target = sha256(b"known contraband bytes");
+    let hits = disk.hash_search(&[target]);
+    println!("hash search hits: {hits:?} (recovered from deleted space)");
+    let item = inv
+        .collect(
+            &search,
+            "hash search hits",
+            hits.join("\n").into_bytes(),
+            "examiner",
+        )
+        .expect("warrant in hand");
+    println!(
+        "collected under warrant; admissible: {}",
+        inv.locker().admissibility(item).unwrap().is_admissible()
+    );
+
+    println!(
+        "\nPaper: running hash values across a drive is a search (Crist); mining a\n\
+         lawfully obtained database is not (Sloane) — the engine enforces both."
+    );
+}

@@ -1,0 +1,100 @@
+//! The paper's §III-A-3 Alice→Bob email walkthrough: how a provider's SCA
+//! role (ECS → RCS → neither) changes with the message's lifecycle, and
+//! what process each stage demands.
+//!
+//! Run with: `cargo run --example email_lifecycle`
+
+use lexforensica::law::prelude::*;
+use lexforensica::law::provider::{MessageStage, ScaRole};
+
+fn compel(engine: &ComplianceEngine, lifecycle: MessageLifecycle, info: CompelledInfo, what: &str) {
+    let temporality = match lifecycle.sca_role() {
+        ScaRole::Ecs => Temporality::stored_unopened(),
+        _ => Temporality::stored_opened(),
+    };
+    let action = InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            temporality,
+            DataLocation::ProviderStorage,
+        ),
+    )
+    .describe(what)
+    .compelling_provider(ProviderCompulsion { lifecycle, info })
+    .build();
+    let out = engine.assess(&action);
+    println!(
+        "  role: {:<22} verdict: {}",
+        lifecycle.sca_role().to_string(),
+        out.verdict()
+    );
+}
+
+fn main() {
+    let engine = ComplianceEngine::new();
+    println!("=== the SCA email lifecycle (paper §III-A-3) ===\n");
+    println!("Alice (alice@cs.charlie.edu) emails Bob (bob@gmail.com).\n");
+
+    // 1. Bob's email sits unopened at Gmail: Gmail is an ECS provider —
+    //    compelling the unopened content takes a search warrant.
+    println!("1. Bob's email awaits retrieval at Gmail:");
+    let gmail = MessageLifecycle::new(ProviderPublicity::Public, MessageStage::AwaitingRetrieval);
+    compel(
+        &engine,
+        gmail,
+        CompelledInfo::UnopenedContent,
+        "compel unopened email from Gmail",
+    );
+
+    // 2. Bob opens it and leaves it there: Gmail becomes an RCS provider —
+    //    the opened content is compellable with a § 2703(d) order.
+    println!("\n2. Bob opens the email and stores it at Gmail:");
+    let gmail_opened = gmail.after_opening();
+    compel(
+        &engine,
+        gmail_opened,
+        CompelledInfo::OpenedContent,
+        "compel opened email from Gmail",
+    );
+
+    // 3. Bob replies; his reply awaits Alice at the university server —
+    //    an ECS again.
+    println!("\n3. Bob's reply awaits Alice at the university server:");
+    let univ = MessageLifecycle::new(
+        ProviderPublicity::NonPublic,
+        MessageStage::AwaitingRetrieval,
+    );
+    compel(
+        &engine,
+        univ,
+        CompelledInfo::UnopenedContent,
+        "compel unopened reply from the university",
+    );
+
+    // 4. Alice opens it and leaves it on the university server. The
+    //    university serves no "public", so it is neither ECS nor RCS —
+    //    "the SCA no longer regulates access to this email, and such
+    //    access is governed solely by the Fourth Amendment."
+    println!("\n4. Alice opens the reply and stores it on the university server:");
+    let univ_opened = univ.after_opening();
+    println!(
+        "  role: {:<22} (SCA drops out — Fourth Amendment governs; the university,",
+        univ_opened.sca_role().to_string()
+    );
+    println!("  as a non-public provider, may also disclose voluntarily under § 2702)");
+
+    // Bonus: basic subscriber info is always just a subpoena away.
+    println!("\n5. Identifying the account holder (basic subscriber info):");
+    compel(
+        &engine,
+        gmail,
+        CompelledInfo::BasicSubscriberInfo,
+        "compel subscriber identity from Gmail",
+    );
+
+    println!(
+        "\nPaper: \"Functionally speaking, the opened email in Alice's account drops\n\
+         out of the SCA.\""
+    );
+}

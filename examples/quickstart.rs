@@ -1,0 +1,100 @@
+//! Quickstart: ask the compliance engine the paper's central question —
+//! "does this investigative action need a warrant, court order, or
+//! subpoena?" — for a handful of postures, and print the full rationale
+//! chains.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lexforensica::law::prelude::*;
+use lexforensica::law::scenarios;
+
+fn assess_and_print(engine: &ComplianceEngine, action: &InvestigativeAction) {
+    let assessment = engine.assess(action);
+    println!("ACTION: {action}");
+    println!("{assessment}");
+    println!();
+}
+
+fn main() {
+    let engine = ComplianceEngine::new();
+
+    println!("=== lexforensica quickstart ===\n");
+
+    // 1. Full packet capture at an ISP — Title III, wiretap order.
+    let wiretap = InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        ),
+    )
+    .describe("officer logs entire packets (headers + payload) at an ISP")
+    .build();
+    assess_and_print(&engine, &wiretap);
+
+    // 2. Headers only at the same vantage point — pen/trap court order.
+    let pen_trap = InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::NonContentAddressing,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        ),
+    )
+    .describe("officer logs packet headers and sizes at an ISP")
+    .build();
+    assess_and_print(&engine, &pen_trap);
+
+    // 3. Joining a public P2P network — no process at all.
+    let p2p = InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::RealTime,
+            DataLocation::PublicForum,
+        ),
+    )
+    .describe("officer collects user names and shared files via P2P software")
+    .joining_public_protocol()
+    .build();
+    assess_and_print(&engine, &p2p);
+
+    // 4. Compelling an ISP to identify a subscriber — subpoena.
+    assess_and_print(
+        &engine,
+        &scenarios::compel_subscriber_info_from_public_isp(),
+    );
+
+    // 5. Consent changes everything: a warrantless device search with the
+    // owner's consent.
+    let consent_search = InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::SuspectDevice,
+        ),
+    )
+    .describe("search a laptop with the owner's voluntary consent")
+    .with_consent(Consent::by(ConsentAuthority::TargetSelf))
+    .build();
+    assess_and_print(&engine, &consent_search);
+
+    // 6. And if consent is revoked mid-search, the warrant requirement
+    // snaps back.
+    let revoked = InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::SuspectDevice,
+        ),
+    )
+    .describe("continue searching after the owner revoked consent")
+    .with_consent(Consent::by(ConsentAuthority::TargetSelf).revoked())
+    .build();
+    assess_and_print(&engine, &revoked);
+
+    println!("Tip: `cargo run -p bench --bin table1` regenerates the paper's full Table 1.");
+}

@@ -1,0 +1,54 @@
+//! The paper's §IV analysis as a tool for researchers: profile a
+//! technique, get its feasibility class and a recommendation.
+//!
+//! Run with: `cargo run --example research_feasibility`
+
+use lexforensica::law::analysis::{
+    analyze, closing_recommendation, dsss_watermark_profile, oneswarm_timing_attack_profile,
+    TechniqueProfile,
+};
+use lexforensica::law::casebook::lookup;
+use lexforensica::law::prelude::*;
+
+fn main() {
+    println!("=== research-technique feasibility analysis (paper §IV) ===\n");
+
+    // The paper's two case studies.
+    for profile in [oneswarm_timing_attack_profile(), dsss_watermark_profile()] {
+        let analysis = analyze(&profile);
+        println!("{analysis}");
+        println!();
+    }
+
+    // A hypothetical new technique a researcher might propose: a
+    // thermal-imaging-style side channel that reveals activity inside a
+    // home — squarely within the Kyllo rule.
+    let kyllo_tech = TechniqueProfile::new(
+        "RF side-channel profiler for in-home device activity",
+        InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::NonContentAddressing,
+                Temporality::RealTime,
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .describe("profile device activity inside a home with specialized RF equipment")
+        .with_specialized_tech(true)
+        .build(),
+    );
+    let analysis = analyze(&kyllo_tech);
+    println!("{analysis}");
+    println!(
+        "key authority: {}",
+        lookup(
+            analysis
+                .law_enforcement_assessment()
+                .rationale()
+                .cited_authorities()[0]
+        )
+    );
+
+    let (recommendation, _) = closing_recommendation();
+    println!("\nPaper's closing recommendation (§V): {recommendation}.");
+}

@@ -1,0 +1,113 @@
+//! A full pretrial sequence: the defense drafts suppression motions, the
+//! court rules with written opinions, the examiner files a forensic
+//! report, and the prosecutor makes the charging call based on what
+//! survived and how strong the person-attribution is.
+//!
+//! Run with: `cargo run --example suppression_hearing`
+
+use lexforensica::evidence::report::ForensicReport;
+use lexforensica::investigation::motions::{draft_defense_motions, rule_on_motions};
+use lexforensica::investigation::prosecutor::charging_decision;
+use lexforensica::investigation::workflow::Investigation;
+use lexforensica::law::attribution::{AttributionEvidence, AttributionRecord};
+use lexforensica::law::prelude::*;
+use lexforensica::law::process::FactualStandard;
+
+fn main() {
+    println!("=== suppression hearing and charging decision ===\n");
+
+    let mut inv = Investigation::open("State v. Doe");
+
+    // Lawful start: public forum collection, then a warrant-backed
+    // device search.
+    let public = InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::PublicForum,
+        ),
+    )
+    .describe("archive the suspect's public posts")
+    .joining_public_protocol()
+    .build();
+    let posts = inv
+        .collect(&public, "public posts", b"posts".to_vec(), "det. adams")
+        .expect("no process needed");
+
+    inv.add_fact(
+        "subscriber identified from IP",
+        FactualStandard::ProbableCause,
+    );
+    inv.apply_for(LegalProcess::SearchWarrant, "the residence")
+        .unwrap();
+    let device = InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::stored_opened(),
+            DataLocation::SuspectDevice,
+        ),
+    )
+    .describe("image the suspect's computer")
+    .build();
+    let image = inv
+        .collect_derived(
+            &device,
+            "device image",
+            b"sectors".to_vec(),
+            "det. adams",
+            [posts],
+        )
+        .expect("warrant in hand");
+
+    // ...but an eager partner also grabs the suspect's cloud account
+    // without any process.
+    let cloud = InvestigativeAction::builder(
+        Actor::law_enforcement(),
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::stored_unopened(),
+            DataLocation::ProviderStorage,
+        ),
+    )
+    .describe("pull the suspect's cloud inbox without process")
+    .build();
+    let inbox = inv.collect_anyway(&cloud, "cloud inbox", b"mail".to_vec(), "det. baker");
+    let _notes = inv.collect_derived_anyway(
+        &cloud,
+        "contacts derived from inbox",
+        b"contacts".to_vec(),
+        "det. baker",
+        [inbox],
+    );
+
+    // The defense files.
+    println!("--- defense motions ---");
+    let motions = draft_defense_motions(&inv);
+    for ruling in rule_on_motions(&inv, &motions) {
+        println!("{ruling}");
+    }
+
+    // The examiner's report.
+    println!("\n--- forensic report ---");
+    println!("{}", ForensicReport::compile("State v. Doe", inv.locker()));
+
+    // The attribution record from the device examination.
+    let mut attribution = AttributionRecord::new();
+    attribution.add(AttributionEvidence::IndividualAction {
+        others_had_access: false, // single-occupancy, password-protected
+    });
+    attribution.add(AttributionEvidence::MalwareAnalysis {
+        malware_excluded: true,
+    });
+    attribution.add(AttributionEvidence::KnowledgeIndicators {
+        tied_to_defendant: true, // browsing history under his login
+    });
+    println!("--- attribution ---\n{attribution}");
+
+    // The charging call.
+    let memo = charging_decision(&inv, &attribution);
+    println!("--- prosecutor ---\n{memo}");
+    let _ = image;
+}

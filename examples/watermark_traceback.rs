@@ -1,0 +1,68 @@
+//! The §IV-B storyline: tracing a suspect through an anonymizing proxy
+//! with a long-PN-code DSSS flow watermark — lawfully, and what happens
+//! when the same technique is used without process.
+//!
+//! Run with: `cargo run --example watermark_traceback`
+
+use lexforensica::investigation::storyline::{
+    campus_admin_private_search_assessment, run_seized_server_storyline,
+};
+use lexforensica::watermark::experiment::WatermarkExperimentConfig;
+
+fn main() {
+    println!("=== DSSS watermark traceback (paper §IV-B) ===\n");
+    let config = WatermarkExperimentConfig {
+        suspects: 6,
+        code_degree: 8,
+        chip_ms: 300,
+        ..WatermarkExperimentConfig::default()
+    };
+    println!(
+        "{} candidate suspects behind a jittering anonymizer; PN code length {}, chip {} ms\n",
+        config.suspects,
+        (1u32 << config.code_degree) - 1,
+        config.chip_ms
+    );
+
+    // Situation one, done lawfully: warrant → court order → watermark →
+    // warrant.
+    println!("--- situation one: law enforcement, lawful process ---");
+    let lawful = run_seized_server_storyline(&config, true);
+    println!(
+        "watermark identified the true suspect: {}",
+        lawful.suspect_identified
+    );
+    println!(
+        "process obtained along the way: {}",
+        lawful
+            .processes_obtained
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(" → ")
+    );
+    println!("{}", lawful.court);
+
+    // The rogue variant: same technique, no process.
+    println!("--- the same investigation without any process ---");
+    let rogue = run_seized_server_storyline(&config, false);
+    println!(
+        "watermark identified the true suspect: {} — the technique still works...",
+        rogue.suspect_identified
+    );
+    println!("{}", rogue.court);
+    println!(
+        "...but the case collapses: case survives = {}\n",
+        rogue.court.case_survives()
+    );
+
+    // Situation two: two campus administrators on their own gateways.
+    println!("--- situation two: campus administrators (private search) ---");
+    let admins = campus_admin_private_search_assessment();
+    println!("verdict: {}", admins.verdict());
+    println!("{}", admins.rationale());
+    println!(
+        "Paper: \"it is workable and legal as private search\" — the admins may run the\n\
+         watermark on their own gateways and report their suspicion to law enforcement."
+    );
+}

@@ -1,0 +1,208 @@
+//! The `lexforensica` command-line tool: ask the compliance engine about
+//! an investigative action, list the Table 1 scenarios, or look up an
+//! authority in the casebook.
+//!
+//! ```console
+//! $ lexforensica table1
+//! $ lexforensica assess --actor leo --data content --when realtime --where isp
+//! $ lexforensica assess --actor admin --data headers --where own-network
+//! $ lexforensica cite katz
+//! ```
+
+use lexforensica::law::casebook::{all_citations, lookup};
+use lexforensica::law::prelude::*;
+use lexforensica::law::scenarios::table1;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  lexforensica table1
+      print the paper's Table 1 with engine verdicts
+  lexforensica assess [OPTIONS]
+      assess an investigative action:
+        --actor leo|admin|private|provider|employer   (default leo)
+        --directed            actor acts at government direction
+        --data content|headers|subscriber|records     (default content)
+        --when realtime|stored|stored-unopened        (default realtime)
+        --where isp|own-network|wireless|wireless-enc|device|provider|public|media|remote
+                                                      (default isp)
+        --public-protocol     investigator joins a public protocol
+        --rate-only           observes traffic rates only
+        --hash-search         exhaustive forensic search of media
+        --consent             target consents
+        --exigent             exigent circumstances
+        --probation           target on probation
+  lexforensica cite <substring>
+      search the casebook by citation or holding text"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_actor(value: &str, directed: bool) -> Option<Actor> {
+    let base = match value {
+        "leo" => Actor::law_enforcement(),
+        "admin" => Actor::system_administrator(),
+        "private" => Actor::private_individual(),
+        "provider" => Actor::new(ActorKind::ServiceProvider),
+        "employer" => Actor::new(ActorKind::GovernmentEmployer),
+        _ => return None,
+    };
+    Some(if directed {
+        base.directed_by_government()
+    } else {
+        base
+    })
+}
+
+fn parse_category(value: &str) -> Option<ContentClass> {
+    Some(match value {
+        "content" => ContentClass::Content,
+        "headers" => ContentClass::NonContentAddressing,
+        "subscriber" => ContentClass::SubscriberRecords,
+        "records" => ContentClass::TransactionalRecords,
+        _ => return None,
+    })
+}
+
+fn parse_temporality(value: &str) -> Option<Temporality> {
+    Some(match value {
+        "realtime" => Temporality::RealTime,
+        "stored" => Temporality::stored_opened(),
+        "stored-unopened" => Temporality::stored_unopened(),
+        _ => return None,
+    })
+}
+
+fn parse_location(value: &str) -> Option<DataLocation> {
+    Some(match value {
+        "isp" => DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        "own-network" => DataLocation::InTransit(TransmissionMedium::OwnNetwork),
+        "wireless" => DataLocation::InTransit(TransmissionMedium::WirelessUnencrypted),
+        "wireless-enc" => DataLocation::InTransit(TransmissionMedium::WirelessEncrypted),
+        "device" => DataLocation::SuspectDevice,
+        "provider" => DataLocation::ProviderStorage,
+        "public" => DataLocation::PublicForum,
+        "media" => DataLocation::LawfullyObtainedMedia,
+        "remote" => DataLocation::RemoteComputer,
+        _ => return None,
+    })
+}
+
+fn cmd_table1() -> ExitCode {
+    let engine = ComplianceEngine::new();
+    for row in table1() {
+        let verdict = engine.assess(row.action()).verdict();
+        println!(
+            "#{:<3} {:<74} paper: {:<12} engine: {}",
+            row.number(),
+            row.summary(),
+            row.paper_verdict().to_string(),
+            verdict
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_cite(needle: &str) -> ExitCode {
+    let needle = needle.to_lowercase();
+    let mut found = 0;
+    for id in all_citations() {
+        let a = lookup(id);
+        if a.cite.to_lowercase().contains(&needle) || a.holding.to_lowercase().contains(&needle) {
+            println!("{a}");
+            found += 1;
+        }
+    }
+    if found == 0 {
+        eprintln!("no casebook entry matches \"{needle}\"");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_assess(args: &[String]) -> ExitCode {
+    let mut actor_name = "leo".to_string();
+    let mut directed = false;
+    let mut data = "content".to_string();
+    let mut when = "realtime".to_string();
+    let mut location = "isp".to_string();
+    let mut public_protocol = false;
+    let mut rate_only = false;
+    let mut hash_search = false;
+    let mut consent = false;
+    let mut exigent = false;
+    let mut probation = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--actor" => actor_name = it.next().cloned().unwrap_or_default(),
+            "--directed" => directed = true,
+            "--data" => data = it.next().cloned().unwrap_or_default(),
+            "--when" => when = it.next().cloned().unwrap_or_default(),
+            "--where" => location = it.next().cloned().unwrap_or_default(),
+            "--public-protocol" => public_protocol = true,
+            "--rate-only" => rate_only = true,
+            "--hash-search" => hash_search = true,
+            "--consent" => consent = true,
+            "--exigent" => exigent = true,
+            "--probation" => probation = true,
+            other => {
+                eprintln!("unknown option {other}");
+                return usage();
+            }
+        }
+    }
+
+    let (Some(actor), Some(category), Some(temporality), Some(loc)) = (
+        parse_actor(&actor_name, directed),
+        parse_category(&data),
+        parse_temporality(&when),
+        parse_location(&location),
+    ) else {
+        eprintln!("invalid option value");
+        return usage();
+    };
+
+    let mut builder =
+        InvestigativeAction::builder(actor, DataSpec::new(category, temporality, loc));
+    builder.describe(format!(
+        "{actor_name} collects {data} {when} at {location} (cli)"
+    ));
+    if public_protocol {
+        builder.joining_public_protocol();
+    }
+    if rate_only {
+        builder.rate_observation_only();
+    }
+    if hash_search {
+        builder.exhaustive_forensic_search();
+    }
+    if consent {
+        builder.with_consent(Consent::by(ConsentAuthority::TargetSelf));
+    }
+    if exigent {
+        builder.with_exigency(Exigency::ImminentEvidenceDestruction);
+    }
+    if probation {
+        builder.target_on_probation();
+    }
+    let action = builder.build();
+    let assessment = ComplianceEngine::new().assess(&action);
+    println!("{assessment}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("table1") => cmd_table1(),
+        Some("assess") => cmd_assess(&args[1..]),
+        Some("cite") => match args.get(1) {
+            Some(needle) => cmd_cite(needle),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,71 @@
+//! Smoke tests for the `lexforensica` command-line tool.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lexforensica"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn table1_prints_twenty_rows() {
+    let out = run(&["table1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.lines().count(), 20);
+    assert!(stdout.contains("#1 "));
+    assert!(stdout.contains("#20"));
+}
+
+#[test]
+fn assess_wiretap_posture() {
+    let out = run(&[
+        "assess", "--actor", "leo", "--data", "content", "--when", "realtime", "--where", "isp",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("wiretap order"), "{stdout}");
+}
+
+#[test]
+fn assess_rate_only_downgrades_to_court_order() {
+    let out = run(&[
+        "assess", "--actor", "leo", "--data", "content", "--when", "realtime", "--where", "isp",
+        "--rate-only",
+    ]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("court order"), "{stdout}");
+}
+
+#[test]
+fn assess_admin_own_network_is_free() {
+    let out = run(&[
+        "assess", "--actor", "admin", "--data", "headers", "--where", "own-network",
+    ]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("no need"), "{stdout}");
+}
+
+#[test]
+fn cite_finds_katz() {
+    let out = run(&["cite", "katz"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("389 U.S. 347"));
+}
+
+#[test]
+fn cite_miss_fails() {
+    let out = run(&["cite", "zzzznonexistent"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["assess", "--where", "narnia"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,211 @@
+//! What-if grids over the paper's Table 1: systematic perturbations of
+//! each scenario and the doctrinally expected verdict shifts.
+
+use lexforensica::law::prelude::*;
+use lexforensica::law::scenarios::{scenario, table1};
+
+fn engine() -> ComplianceEngine {
+    ComplianceEngine::new()
+}
+
+/// Rebuilds a scenario's action with a changed actor.
+fn with_actor(row: usize, actor: Actor) -> InvestigativeAction {
+    let base = scenario(row);
+    let mut b = InvestigativeAction::builder(actor, base.action().data());
+    // Preserve the method/circumstance flags that matter per row.
+    let m = base.action().method();
+    if m.joins_public_protocol {
+        b.joining_public_protocol();
+    }
+    if m.exhaustive_forensic_search {
+        b.exhaustive_forensic_search();
+    }
+    if m.derives_from_lawfully_held_dataset {
+        b.mining_lawfully_held_dataset();
+    }
+    if m.uses_credentials_of_arrestee {
+        b.using_arrestee_credentials();
+    }
+    if m.rate_observation_only {
+        b.rate_observation_only();
+    }
+    if m.operates_intercepting_infrastructure {
+        b.operating_intercepting_infrastructure();
+    }
+    let c = base.action().circumstances();
+    if c.policy_eliminates_privacy {
+        b.policy_eliminates_privacy();
+    }
+    if c.victim_authorized_trespasser_monitoring {
+        b.victim_authorized_trespasser_monitoring();
+    }
+    if c.target_operates_as_provider {
+        b.target_operates_as_provider();
+    }
+    b.build()
+}
+
+/// Every "No need" public-collection row stays "No need" for a private
+/// individual too — public information is public for everyone.
+#[test]
+fn public_collection_rows_are_free_for_private_actors_too() {
+    for row in [9usize, 10, 11, 17, 19, 20] {
+        let action = with_actor(row, Actor::private_individual());
+        let v = engine().assess(&action).verdict();
+        assert_eq!(
+            v,
+            Verdict::NoProcessNeeded,
+            "row {row} should be free for private actors"
+        );
+    }
+}
+
+/// Every "Need" interception row becomes flatly unlawful (not merely
+/// process-requiring) for a private individual.
+#[test]
+fn interception_rows_are_unlawful_for_private_actors() {
+    for row in [8usize, 13, 14] {
+        let action = with_actor(row, Actor::private_individual());
+        let v = engine().assess(&action).verdict();
+        assert_eq!(
+            v,
+            Verdict::UnlawfulForPrivateActor,
+            "row {row} should be unlawful for private actors"
+        );
+    }
+}
+
+/// Consent by the target waives the warrant requirement on the
+/// device-search rows but cannot waive Title III for third-party
+/// interception.
+#[test]
+fn target_consent_waives_device_searches_not_wiretaps() {
+    let engine = engine();
+    // Row 16: the attacker's own computer. With the *attacker's* consent
+    // (hypothetically), no warrant needed.
+    let base = scenario(16);
+    let consented = InvestigativeAction::builder(Actor::law_enforcement(), base.action().data())
+        .with_consent(Consent::by(ConsentAuthority::TargetSelf))
+        .build();
+    assert_eq!(
+        engine.assess(&consented).verdict(),
+        Verdict::NoProcessNeeded
+    );
+
+    // Row 8: ISP full-packet capture. The *account holder's* consent is
+    // not one-party consent to every intercepted communication; Title III
+    // still requires its order.
+    let base = scenario(8);
+    let consented = InvestigativeAction::builder(Actor::law_enforcement(), base.action().data())
+        .with_consent(Consent::by(ConsentAuthority::TargetSelf))
+        .build();
+    assert_eq!(
+        engine.assess(&consented).verdict(),
+        Verdict::ProcessRequired(LegalProcess::WiretapOrder)
+    );
+}
+
+/// One-party consent *does* waive the wiretap requirement (the undercover
+/// agent recording his own calls, §III-B-c-vi) — unless state law demands
+/// all-party consent.
+#[test]
+fn one_party_consent_waives_interception() {
+    let engine = engine();
+    let base = scenario(8);
+    let one_party = InvestigativeAction::builder(Actor::law_enforcement(), base.action().data())
+        .with_consent(Consent::by(ConsentAuthority::OnePartyToCommunication {
+            all_party_state: false,
+        }))
+        .build();
+    assert_eq!(
+        engine.assess(&one_party).verdict(),
+        Verdict::NoProcessNeeded
+    );
+
+    let all_party_state =
+        InvestigativeAction::builder(Actor::law_enforcement(), base.action().data())
+            .with_consent(Consent::by(ConsentAuthority::OnePartyToCommunication {
+                all_party_state: true,
+            }))
+            .build();
+    assert_eq!(
+        engine.assess(&all_party_state).verdict(),
+        Verdict::ProcessRequired(LegalProcess::WiretapOrder)
+    );
+}
+
+/// Exigency waives the Fourth Amendment warrant but never the statutory
+/// wiretap/pen-trap orders.
+#[test]
+fn exigency_waives_warrant_rows_not_statutory_rows() {
+    let engine = engine();
+    // Row 18 (drive hashing, pure Fourth Amendment): exigency waives.
+    let base = scenario(18);
+    let mut b = InvestigativeAction::builder(Actor::law_enforcement(), base.action().data());
+    b.exhaustive_forensic_search();
+    b.with_exigency(Exigency::ImminentEvidenceDestruction);
+    assert_eq!(
+        engine.assess(&b.build()).verdict(),
+        Verdict::NoProcessNeeded
+    );
+
+    // Row 7 (pen/trap): exigency does not erase the statute.
+    let base = scenario(7);
+    let exigent = InvestigativeAction::builder(Actor::law_enforcement(), base.action().data())
+        .with_exigency(Exigency::ImminentEvidenceDestruction)
+        .build();
+    assert_eq!(
+        engine.assess(&exigent).verdict(),
+        Verdict::ProcessRequired(LegalProcess::CourtOrder)
+    );
+}
+
+/// Probation status waives the warrant rows governed by the Fourth
+/// Amendment alone.
+#[test]
+fn probation_waives_pure_fourth_amendment_rows() {
+    let engine = engine();
+    for row in [16usize, 18] {
+        let base = scenario(row);
+        let mut b = InvestigativeAction::builder(Actor::law_enforcement(), base.action().data());
+        if base.action().method().exhaustive_forensic_search {
+            b.exhaustive_forensic_search();
+        }
+        b.target_on_probation();
+        assert_eq!(
+            engine.assess(&b.build()).verdict(),
+            Verdict::NoProcessNeeded,
+            "row {row}"
+        );
+    }
+}
+
+/// The verdict for every row is invariant under rebuilding the scenario —
+/// scenario constructors are pure.
+#[test]
+fn scenario_constructors_are_pure() {
+    let engine = engine();
+    for row in table1() {
+        let again = scenario(row.number());
+        assert_eq!(
+            engine.assess(row.action()).verdict(),
+            engine.assess(again.action()).verdict(),
+            "row {}",
+            row.number()
+        );
+    }
+}
+
+/// Government direction converts each private/provider row into a
+/// government search — all content rows then need process.
+#[test]
+fn directed_admins_lose_their_exceptions() {
+    let engine = engine();
+    for row in [1usize, 2] {
+        let directed = with_actor(row, Actor::system_administrator().directed_by_government());
+        assert!(
+            engine.assess(&directed).verdict().needs_process(),
+            "row {row}"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-crate integration test: the headline reproduction — every row
+//! of the paper's Table 1, with process specificity and rationale
+//! integrity checks on top of the binary verdicts.
+
+use lexforensica::law::assessment::{Confidence, Verdict};
+use lexforensica::law::casebook::lookup;
+use lexforensica::law::engine::ComplianceEngine;
+use lexforensica::law::process::LegalProcess;
+use lexforensica::law::scenarios::{scenario, table1};
+
+#[test]
+fn all_twenty_verdicts_match_the_paper() {
+    let engine = ComplianceEngine::new();
+    for row in table1() {
+        let out = engine.assess(row.action());
+        assert_eq!(
+            out.verdict().needs_process(),
+            row.paper_verdict().needs_process,
+            "row {}: {}\nrationale:\n{}",
+            row.number(),
+            row.summary(),
+            out.rationale()
+        );
+    }
+}
+
+#[test]
+fn confidence_markers_match_the_papers_stars() {
+    let engine = ComplianceEngine::new();
+    for row in table1() {
+        let out = engine.assess(row.action());
+        let expected = if row.paper_verdict().starred {
+            Confidence::AuthorsJudgment
+        } else {
+            Confidence::Settled
+        };
+        assert_eq!(out.confidence(), expected, "row {}", row.number());
+    }
+}
+
+#[test]
+fn need_rows_specify_the_expected_instrument() {
+    let engine = ComplianceEngine::new();
+    let expectations: &[(usize, LegalProcess)] = &[
+        (4, LegalProcess::WiretapOrder),   // wireless payload
+        (6, LegalProcess::WiretapOrder),   // encrypted wireless payload
+        (7, LegalProcess::CourtOrder),     // pen/trap at ISP
+        (8, LegalProcess::WiretapOrder),   // full packets at ISP
+        (12, LegalProcess::SearchWarrant), // hidden server content
+        (13, LegalProcess::WiretapOrder),  // LEO-run Tor node
+        (14, LegalProcess::WiretapOrder),  // Anonymizer monitoring
+        (16, LegalProcess::SearchWarrant), // attacker's remote computer
+        (18, LegalProcess::SearchWarrant), // drive-wide hashing
+    ];
+    for &(row, process) in expectations {
+        let out = engine.assess(scenario(row).action());
+        assert_eq!(
+            out.verdict(),
+            Verdict::ProcessRequired(process),
+            "row {row}"
+        );
+    }
+}
+
+#[test]
+fn every_assessment_carries_a_cited_rationale() {
+    let engine = ComplianceEngine::new();
+    for row in table1() {
+        let out = engine.assess(row.action());
+        assert!(
+            !out.rationale().is_empty(),
+            "row {} produced an empty rationale",
+            row.number()
+        );
+        let cited = out.rationale().cited_authorities();
+        assert!(!cited.is_empty(), "row {} cites no authority", row.number());
+        // Every citation resolves in the casebook.
+        for c in cited {
+            let authority = lookup(c);
+            assert!(!authority.cite.is_empty());
+        }
+    }
+}
+
+#[test]
+fn need_rows_lawful_with_sufficient_process_only() {
+    let engine = ComplianceEngine::new();
+    for row in table1() {
+        let out = engine.assess(row.action());
+        match out.verdict() {
+            Verdict::NoProcessNeeded => {
+                assert!(
+                    out.is_lawful_with(LegalProcess::None),
+                    "row {}",
+                    row.number()
+                );
+            }
+            Verdict::ProcessRequired(p) => {
+                assert!(out.is_lawful_with(p), "row {}", row.number());
+                assert!(
+                    out.is_lawful_with(LegalProcess::WiretapOrder),
+                    "row {}: strongest process must always suffice",
+                    row.number()
+                );
+                if p > LegalProcess::Subpoena {
+                    assert!(
+                        !out.is_lawful_with(LegalProcess::Subpoena),
+                        "row {}: a bare subpoena must not satisfy {p}",
+                        row.number()
+                    );
+                }
+            }
+            Verdict::UnlawfulForPrivateActor => {
+                panic!("Table 1 rows are all government or provider scenes")
+            }
+        }
+    }
+}
+
+#[test]
+fn government_direction_flips_the_campus_rows() {
+    // Rows 1-2 are lawful because campus IT acts privately on its own
+    // network; the same capture at government direction loses both the
+    // private-search posture and the provider exception.
+    use lexforensica::law::prelude::*;
+    let engine = ComplianceEngine::new();
+    for row in [1usize, 2] {
+        let base = scenario(row);
+        let directed = InvestigativeAction::builder(
+            Actor::system_administrator().directed_by_government(),
+            base.action().data(),
+        )
+        .describe("the same capture, at government direction")
+        .build();
+        let out = engine.assess(&directed);
+        assert!(
+            out.verdict().needs_process(),
+            "row {row} at government direction must need process"
+        );
+    }
+}
