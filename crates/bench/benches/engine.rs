@@ -1,51 +1,46 @@
 //! B-ENG: cost of the compliance engine — per-assessment latency for every
 //! Table 1 scenario and the full-table sweep.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench::harness::Bench;
 use forensic_law::engine::ComplianceEngine;
 use forensic_law::scenarios::{scenario, table1};
 use std::hint::black_box;
 
-fn bench_single_assessments(c: &mut Criterion) {
+fn bench_single_assessments() {
     let engine = ComplianceEngine::new();
-    let mut group = c.benchmark_group("engine/assess");
+    let b = Bench::new("engine/assess");
     // Representative rows spanning the rule space: provider exception,
     // wiretap, SCA, consent/trespasser, hashing.
     for row in [1usize, 8, 12, 15, 18] {
         let scene = scenario(row);
-        group.bench_function(format!("row{row}"), |b| {
-            b.iter(|| black_box(engine.assess(black_box(scene.action()))));
+        b.run(&format!("row{row}"), || {
+            black_box(engine.assess(black_box(scene.action())))
         });
     }
-    group.finish();
 }
 
-fn bench_full_table(c: &mut Criterion) {
+fn bench_full_table() {
     let engine = ComplianceEngine::new();
     let rows = table1();
-    c.bench_function("engine/table1_assess_all", |b| {
-        b.iter(|| {
-            let mut need = 0usize;
-            for row in &rows {
-                if engine.assess(row.action()).verdict().needs_process() {
-                    need += 1;
-                }
+    let b = Bench::new("engine");
+    b.run("table1_assess_all", || {
+        let mut need = 0usize;
+        for row in &rows {
+            if engine.assess(row.action()).verdict().needs_process() {
+                need += 1;
             }
-            black_box(need)
-        });
+        }
+        black_box(need)
     });
 }
 
-fn bench_scenario_construction(c: &mut Criterion) {
-    c.bench_function("engine/table1_build_scenarios", |b| {
-        b.iter_batched(|| (), |_| black_box(table1()), BatchSize::SmallInput);
-    });
+fn bench_scenario_construction() {
+    let b = Bench::new("engine");
+    b.run("table1_build_scenarios", || black_box(table1()));
 }
 
-criterion_group!(
-    benches,
-    bench_single_assessments,
-    bench_full_table,
-    bench_scenario_construction
-);
-criterion_main!(benches);
+fn main() {
+    bench_single_assessments();
+    bench_full_table();
+    bench_scenario_construction();
+}

@@ -1,0 +1,91 @@
+//! B-BATCH: batch-assessment cost — sequential engine calls vs the
+//! sharded verdict cache vs the multi-threaded batch assessor, over a
+//! synthetic workload with Table 1's fact-pattern mix.
+
+use bench::harness::Bench;
+use forensic_law::batch::{BatchAssessor, VerdictCache};
+use forensic_law::engine::ComplianceEngine;
+use forensic_law::prelude::InvestigativeAction;
+use forensic_law::scenarios::table1;
+use std::hint::black_box;
+
+/// A workload of `n` actions cycling through the twenty Table 1 fact
+/// patterns — many repeats of few distinct keys, like a capture-archive
+/// sweep.
+fn workload(n: usize) -> Vec<InvestigativeAction> {
+    let rows = table1();
+    (0..n)
+        .map(|i| rows[i % rows.len()].action().clone())
+        .collect()
+}
+
+fn bench_sequential() {
+    let engine = ComplianceEngine::new();
+    let b = Bench::new("batch/sequential").samples(7);
+    for n in [1_000usize, 10_000] {
+        let actions = workload(n);
+        b.run(&format!("{n}_actions"), || {
+            let mut need = 0usize;
+            for a in &actions {
+                if engine.assess(a).verdict().needs_process() {
+                    need += 1;
+                }
+            }
+            black_box(need)
+        });
+    }
+}
+
+fn bench_cached_sequential() {
+    let engine = ComplianceEngine::new();
+    let b = Bench::new("batch/cached").samples(7);
+    for n in [1_000usize, 10_000] {
+        let actions = workload(n);
+        let cache = VerdictCache::new();
+        // Warm once so the measurement shows steady-state hit cost.
+        for a in &actions {
+            cache.assess(&engine, a);
+        }
+        b.run(&format!("{n}_actions_warm"), || {
+            let mut need = 0usize;
+            for a in &actions {
+                if cache.assess(&engine, a).verdict().needs_process() {
+                    need += 1;
+                }
+            }
+            black_box(need)
+        });
+    }
+}
+
+fn bench_batch_assessor() {
+    let b = Bench::new("batch/threaded").samples(7);
+    for n in [10_000usize, 100_000] {
+        let actions = workload(n);
+        let assessor = BatchAssessor::new();
+        assessor.assess_all(&actions); // warm the shared cache
+        b.run(&format!("{n}_actions_warm"), || {
+            black_box(assessor.assess_all(&actions))
+        });
+    }
+}
+
+fn bench_factkey_projection() {
+    use forensic_law::factkey::FactKey;
+    let actions = workload(1_000);
+    let b = Bench::new("batch");
+    b.run("factkey_project_1000", || {
+        let mut keys = Vec::with_capacity(actions.len());
+        for a in &actions {
+            keys.push(FactKey::of(black_box(a)));
+        }
+        black_box(keys)
+    });
+}
+
+fn main() {
+    bench_sequential();
+    bench_cached_sequential();
+    bench_batch_assessor();
+    bench_factkey_projection();
+}

@@ -1,33 +1,34 @@
 //! B-EVD: evidence-handling cost — SHA-256 throughput (the Table 1 row 18
 //! drive-hashing scene at benchmark scale) and custody-chain verification.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::harness::Bench;
 use evidence::custody::{CustodyEvent, CustodyLog};
 use evidence::hash::{hmac_sha256, sha256};
 use evidence::item::ItemId;
 use std::hint::black_box;
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("evidence/sha256");
+fn bench_sha256() {
+    let b = Bench::new("evidence/sha256");
     for size in [1usize << 10, 1 << 16, 1 << 20] {
         let data = vec![0xabu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("{}KiB", size / 1024), |b| {
-            b.iter(|| black_box(sha256(black_box(&data))));
+        let m = b.run(&format!("{}KiB", size / 1024), || {
+            black_box(sha256(black_box(&data)))
         });
+        let bytes_per_sec = m.per_second() * size as f64;
+        println!("    -> {:.1} MiB/s", bytes_per_sec / (1024.0 * 1024.0));
     }
-    group.finish();
 }
 
-fn bench_hmac(c: &mut Criterion) {
+fn bench_hmac() {
     let data = vec![0x5au8; 4096];
-    c.bench_function("evidence/hmac_4KiB", |b| {
-        b.iter(|| black_box(hmac_sha256(b"custody-key", black_box(&data))));
+    let b = Bench::new("evidence");
+    b.run("hmac_4KiB", || {
+        black_box(hmac_sha256(b"custody-key", black_box(&data)))
     });
 }
 
-fn bench_custody_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("evidence/custody");
+fn bench_custody_chain() {
+    let b = Bench::new("evidence/custody");
     for entries in [100usize, 1000] {
         let mut log = CustodyLog::new();
         let d = sha256(b"item");
@@ -42,12 +43,14 @@ fn bench_custody_chain(c: &mut Criterion) {
                 d,
             );
         }
-        group.bench_function(format!("verify_{entries}_entries"), |b| {
-            b.iter(|| black_box(log.verify()));
+        b.run(&format!("verify_{entries}_entries"), || {
+            black_box(log.verify())
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_sha256, bench_hmac, bench_custody_chain);
-criterion_main!(benches);
+fn main() {
+    bench_sha256();
+    bench_hmac();
+    bench_custody_chain();
+}

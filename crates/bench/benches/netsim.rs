@@ -1,9 +1,10 @@
 //! B-SIM: simulator throughput — events per second for packet forwarding
 //! under CBR and Poisson load, with and without capture taps.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Bench;
 use netsim::prelude::*;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn line_topology(n: usize) -> (Topology, Vec<NodeId>) {
     let mut t = Topology::new();
@@ -38,44 +39,38 @@ fn run_cbr(n_nodes: usize, with_tap: bool) -> u64 {
     sim.counters().events
 }
 
-fn bench_forwarding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("netsim/forwarding");
-    group.sample_size(20);
+fn bench_forwarding() {
+    let b = Bench::new("netsim/forwarding")
+        .samples(5)
+        .sample_window(Duration::from_millis(100));
     for n in [4usize, 16, 64] {
-        group.bench_function(format!("line{n}_cbr5s"), |b| {
-            b.iter(|| black_box(run_cbr(n, false)));
-        });
+        b.run(&format!("line{n}_cbr5s"), || black_box(run_cbr(n, false)));
     }
-    group.bench_function("line16_cbr5s_with_tap", |b| {
-        b.iter(|| black_box(run_cbr(16, true)));
-    });
-    group.finish();
+    b.run("line16_cbr5s_with_tap", || black_box(run_cbr(16, true)));
 }
 
-fn bench_poisson_fanin(c: &mut Criterion) {
-    let mut group = c.benchmark_group("netsim/poisson_fanin");
-    group.sample_size(20);
-    group.bench_function("star8_200pps_each", |b| {
-        b.iter(|| {
-            let mut topo = Topology::new();
-            let hub = topo.add_node();
-            let leaves = topo.add_nodes(8);
-            for &l in &leaves {
-                topo.connect(hub, l, SimDuration::from_millis(3));
-            }
-            let mut sim = Simulator::new(topo, 7);
-            for (i, &l) in leaves.iter().enumerate() {
-                sim.set_protocol(l, PoissonSource::new(hub, FlowId(i as u64), 128, 200.0));
-            }
-            sim.set_protocol(hub, CountingSink::new());
-            sim.run_until(SimTime::from_secs(2));
-            black_box(sim.counters().delivered)
-        });
+fn bench_poisson_fanin() {
+    let b = Bench::new("netsim/poisson_fanin")
+        .samples(5)
+        .sample_window(Duration::from_millis(100));
+    b.run("star8_200pps_each", || {
+        let mut topo = Topology::new();
+        let hub = topo.add_node();
+        let leaves = topo.add_nodes(8);
+        for &l in &leaves {
+            topo.connect(hub, l, SimDuration::from_millis(3));
+        }
+        let mut sim = Simulator::new(topo, 7);
+        for (i, &l) in leaves.iter().enumerate() {
+            sim.set_protocol(l, PoissonSource::new(hub, FlowId(i as u64), 128, 200.0));
+        }
+        sim.set_protocol(hub, CountingSink::new());
+        sim.run_until(SimTime::from_secs(2));
+        black_box(sim.counters().delivered)
     });
-    group.finish();
 }
 
-fn bench_rate_series(c: &mut Criterion) {
+fn bench_rate_series() {
     // The detector's input path: binning a large capture into rates.
     let mut topo = Topology::new();
     let a = topo.add_node();
@@ -91,17 +86,14 @@ fn bench_rate_series(c: &mut Criterion) {
     sim.set_protocol(b, CountingSink::new());
     sim.run_until(SimTime::from_secs(10));
     let tap_ref = sim.tap(tap);
-    c.bench_function("netsim/rate_series_20k_records", |bch| {
-        bch.iter(|| {
-            black_box(tap_ref.rate_series(SimTime::ZERO, SimDuration::from_millis(100), 100))
-        });
+    let bench = Bench::new("netsim");
+    bench.run("rate_series_20k_records", || {
+        black_box(tap_ref.rate_series(SimTime::ZERO, SimDuration::from_millis(100), 100))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_forwarding,
-    bench_poisson_fanin,
-    bench_rate_series
-);
-criterion_main!(benches);
+fn main() {
+    bench_forwarding();
+    bench_poisson_fanin();
+    bench_rate_series();
+}

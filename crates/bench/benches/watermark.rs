@@ -1,61 +1,56 @@
 //! B-WM: watermark pipeline cost — PN code generation, despreading, and
 //! synchronization search across code lengths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Bench;
 use std::hint::black_box;
 use watermark::detect::{ideal_series, Detector};
 use watermark::pn::PnCode;
 
-fn bench_code_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("watermark/pn_generation");
+fn bench_code_generation() {
+    let b = Bench::new("watermark/pn_generation");
     for degree in [7u32, 9, 11, 13] {
-        group.bench_function(format!("degree{degree}"), |b| {
-            b.iter(|| black_box(PnCode::m_sequence(black_box(degree), 1)));
+        b.run(&format!("degree{degree}"), || {
+            black_box(PnCode::m_sequence(black_box(degree), 1))
         });
     }
-    group.finish();
 }
 
-fn bench_despreading(c: &mut Criterion) {
-    let mut group = c.benchmark_group("watermark/despread");
+fn bench_despreading() {
+    let b = Bench::new("watermark/despread");
     for degree in [7u32, 9, 11] {
         let code = PnCode::m_sequence(degree, 1);
         let series = ideal_series(&code, 4, 120.0, 40.0);
         let det = Detector::new(code.clone(), 4, 0, 0.3);
-        group.bench_function(format!("len{}", code.len()), |b| {
-            b.iter(|| black_box(det.despread_at(black_box(&series), 0)));
+        b.run(&format!("len{}", code.len()), || {
+            black_box(det.despread_at(black_box(&series), 0))
         });
     }
-    group.finish();
 }
 
-fn bench_sync_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("watermark/sync_search");
-    group.sample_size(30);
+fn bench_sync_search() {
+    let b = Bench::new("watermark/sync_search").samples(7);
     for max_offset in [8usize, 32, 128] {
         let code = PnCode::m_sequence(9, 1);
         let mut series = vec![60.0; max_offset];
         series.extend(ideal_series(&code, 4, 120.0, 40.0));
         let det = Detector::new(code, 4, max_offset, 0.3);
-        group.bench_function(format!("offsets{max_offset}"), |b| {
-            b.iter(|| black_box(det.detect(black_box(&series))));
+        b.run(&format!("offsets{max_offset}"), || {
+            black_box(det.detect(black_box(&series)))
         });
     }
-    group.finish();
 }
 
-fn bench_autocorrelation(c: &mut Criterion) {
+fn bench_autocorrelation() {
     let code = PnCode::m_sequence(11, 1);
-    c.bench_function("watermark/autocorrelation_len2047", |b| {
-        b.iter(|| black_box(code.autocorrelation(black_box(17))));
+    let b = Bench::new("watermark");
+    b.run("autocorrelation_len2047", || {
+        black_box(code.autocorrelation(black_box(17)))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_code_generation,
-    bench_despreading,
-    bench_sync_search,
-    bench_autocorrelation
-);
-criterion_main!(benches);
+fn main() {
+    bench_code_generation();
+    bench_despreading();
+    bench_sync_search();
+    bench_autocorrelation();
+}

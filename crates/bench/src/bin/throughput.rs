@@ -1,0 +1,120 @@
+//! Batch-assessment throughput driver: sequential engine calls vs the
+//! sharded verdict cache vs the multi-threaded batch assessor, over a
+//! large synthetic workload.
+//!
+//! ```console
+//! $ cargo run --release --bin throughput [N_ACTIONS]
+//! ```
+//!
+//! The workload cycles the paper's twenty Table 1 fact patterns plus a
+//! spread of perturbed variants — many repeats of a few hundred distinct
+//! fact keys, the shape of a real capture-archive sweep. The driver
+//! prints per-strategy wall-clock, throughput, the speedup over the
+//! sequential baseline, and the cache's hit/miss statistics.
+
+use forensic_law::batch::{BatchAssessor, VerdictCache};
+use forensic_law::engine::ComplianceEngine;
+use forensic_law::prelude::*;
+use forensic_law::scenarios::table1;
+use std::hint::black_box;
+use std::time::Instant;
+
+const DEFAULT_ACTIONS: usize = 100_000;
+
+/// Deterministic synthetic workload: the Table 1 actions interleaved
+/// with single-flag perturbations of each, cycled up to `n` entries.
+fn workload(n: usize) -> Vec<InvestigativeAction> {
+    let mut patterns: Vec<InvestigativeAction> =
+        table1().iter().map(|s| s.action().clone()).collect();
+
+    // Perturb each row along a few doctrinally interesting axes to widen
+    // the key space beyond the bare table.
+    let base = patterns.clone();
+    for action in &base {
+        let mut consented = InvestigativeAction::builder(action.actor(), action.data());
+        consented.with_consent(Consent::by(ConsentAuthority::TargetSelf));
+        patterns.push(consented.build());
+
+        let mut probation = InvestigativeAction::builder(action.actor(), action.data());
+        probation.target_on_probation();
+        patterns.push(probation.build());
+
+        let mut rate_only = InvestigativeAction::builder(action.actor(), action.data());
+        rate_only.rate_observation_only();
+        patterns.push(rate_only.build());
+    }
+
+    (0..n)
+        .map(|i| patterns[i % patterns.len()].clone())
+        .collect()
+}
+
+fn count_need(assessments: impl IntoIterator<Item = Verdict>) -> usize {
+    assessments
+        .into_iter()
+        .filter(|v| v.needs_process())
+        .count()
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_ACTIONS);
+
+    println!("batch-assessment throughput over {n} synthetic actions");
+    bench::rule(72);
+
+    let actions = workload(n);
+    let engine = ComplianceEngine::new();
+
+    // Strategy 1: sequential, no cache — one full engine run per action.
+    let start = Instant::now();
+    let need_seq = count_need(actions.iter().map(|a| engine.assess(a).verdict()));
+    let seq = start.elapsed();
+    println!(
+        "sequential      {:>10.1?}  {:>12.0} actions/s",
+        seq,
+        n as f64 / seq.as_secs_f64()
+    );
+
+    // Strategy 2: sequential through the sharded verdict cache.
+    let cache = VerdictCache::new();
+    let start = Instant::now();
+    let need_cached = count_need(actions.iter().map(|a| cache.assess(&engine, a).verdict()));
+    let cached = start.elapsed();
+    println!(
+        "cached          {:>10.1?}  {:>12.0} actions/s   {:>6.1}x vs sequential",
+        cached,
+        n as f64 / cached.as_secs_f64(),
+        seq.as_secs_f64() / cached.as_secs_f64()
+    );
+    println!("  cache: {}", cache.stats());
+
+    // Strategy 3: the batch assessor (threads + shared cache).
+    let assessor = BatchAssessor::new();
+    let start = Instant::now();
+    let (assessments, report) = assessor.assess_all_with_report(&actions);
+    let batched = start.elapsed();
+    let need_batched = count_need(assessments.iter().map(|a| a.verdict()));
+    black_box(&assessments);
+    println!(
+        "batched         {:>10.1?}  {:>12.0} actions/s   {:>6.1}x vs sequential",
+        batched,
+        n as f64 / batched.as_secs_f64(),
+        seq.as_secs_f64() / batched.as_secs_f64()
+    );
+    println!("  threads: {}", report.threads);
+    println!("  cache: {}", assessor.cache().stats());
+
+    bench::rule(72);
+    assert_eq!(need_seq, need_cached, "cached strategy changed answers");
+    assert_eq!(need_seq, need_batched, "batched strategy changed answers");
+    println!(
+        "agreement: all three strategies say {} of {} actions need process",
+        need_seq, n
+    );
+
+    let speedup = seq.as_secs_f64() / batched.as_secs_f64();
+    println!("batched speedup over sequential: {speedup:.1}x");
+}

@@ -1,0 +1,156 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The build environment for this workspace must work fully offline, so the
+//! bench targets cannot pull in crates.io harnesses. This module provides
+//! the small subset actually used by the `benches/` targets: warmup,
+//! automatic iteration-count calibration toward a target measurement
+//! window, and median-of-samples reporting.
+//!
+//! Each `[[bench]]` target sets `harness = false` and drives a [`Bench`]
+//! from its `main`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured result.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median wall time per iteration.
+    pub per_iter: Duration,
+    /// Iterations per sample used after calibration.
+    pub iters: u64,
+    /// Number of samples taken.
+    pub samples: u32,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the median time.
+    pub fn per_second(&self) -> f64 {
+        if self.per_iter.as_nanos() == 0 {
+            f64::INFINITY
+        } else {
+            1e9 / self.per_iter.as_nanos() as f64
+        }
+    }
+}
+
+/// A named group of micro-benchmarks, printed as aligned rows.
+#[derive(Debug)]
+pub struct Bench {
+    group: String,
+    samples: u32,
+    target: Duration,
+}
+
+impl Bench {
+    /// Creates a bench group with default settings (15 samples, ~50 ms
+    /// measurement window per sample).
+    pub fn new(group: impl Into<String>) -> Self {
+        let group = group.into();
+        println!("benchmark group: {group}");
+        Bench {
+            group,
+            samples: 15,
+            target: Duration::from_millis(50),
+        }
+    }
+
+    /// Overrides the number of samples.
+    #[must_use]
+    pub fn samples(mut self, n: u32) -> Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Overrides the per-sample measurement window.
+    #[must_use]
+    pub fn sample_window(mut self, window: Duration) -> Self {
+        self.target = window;
+        self
+    }
+
+    /// Runs `f` repeatedly, printing and returning the median
+    /// per-iteration time.
+    pub fn run<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Measurement {
+        // Warmup + calibration: find an iteration count that fills the
+        // target window.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target / 4 || iters >= 1 << 30 {
+                let nanos = elapsed.as_nanos().max(1) as u64;
+                let scale = self.target.as_nanos() as u64 / nanos;
+                iters = (iters * scale.clamp(1, 1024)).max(1);
+                break;
+            }
+            iters *= 8;
+        }
+
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        per_iter.sort();
+        let median = per_iter[per_iter.len() / 2];
+        let m = Measurement {
+            per_iter: median,
+            iters,
+            samples: self.samples,
+        };
+        println!(
+            "  {:<42} {:>14}  ({:.0} iter/s, {} iters x {} samples)",
+            format!("{}/{}", self.group, name),
+            format_duration(median),
+            m.per_second(),
+            iters,
+            self.samples,
+        );
+        m
+    }
+}
+
+/// Formats a duration with an adaptive unit, e.g. `1.23 us`.
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let b = Bench::new("test")
+            .samples(3)
+            .sample_window(Duration::from_millis(2));
+        let m = b.run("noop-ish", || 1u64 + black_box(1));
+        assert!(m.per_iter <= Duration::from_millis(1));
+        assert!(m.per_second() > 0.0);
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("us"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

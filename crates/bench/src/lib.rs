@@ -1,4 +1,4 @@
-//! Shared helpers for the experiment-regeneration binaries and criterion
+//! Shared helpers for the experiment-regeneration binaries and std-only
 //! benchmarks.
 //!
 //! The binaries regenerate the paper's evaluation artifacts:
@@ -11,6 +11,8 @@
 //! | `suppression` | §I warning — admissible vs suppressed outcomes |
 //! | `p2p_comparison` | Table 1 rows 9/10 ablation — normal vs anonymous P2P |
 //! | `watermark_roc` | detector calibration — null spread, ROC/AUC, repetition gain |
+
+pub mod harness;
 
 /// Prints a horizontal rule sized to a table width.
 pub fn rule(width: usize) {

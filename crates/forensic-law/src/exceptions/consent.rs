@@ -113,6 +113,16 @@ impl Consent {
         self.authority
     }
 
+    /// Whether the search exceeded the consented scope.
+    pub fn scope_was_exceeded(self) -> bool {
+        self.scope_exceeded
+    }
+
+    /// Whether the consent was revoked before or during the search.
+    pub fn is_revoked(self) -> bool {
+        self.revoked
+    }
+
     /// Whether the grantor actually had authority to consent to *this*
     /// search.
     pub fn grantor_has_authority(self) -> bool {

@@ -1,0 +1,428 @@
+//! A canonical, hashable projection of an [`InvestigativeAction`] onto
+//! exactly the facts the compliance engine reads.
+//!
+//! [`ComplianceEngine::assess`](crate::engine::ComplianceEngine::assess)
+//! is a pure function of the action's *legal* facts — actor, data
+//! specification, method flags, circumstances, and the four optional
+//! exception/compulsion records. The free-text description is display-only
+//! and never consulted by the privacy calculus or any statute evaluator.
+//! [`FactKey`] captures precisely that read set, so two actions with equal
+//! keys are guaranteed to receive identical assessments, and the key can
+//! serve as a cache index (see [`VerdictCache`](crate::batch::VerdictCache)).
+//!
+//! ## Representation
+//!
+//! The whole fact space is small: every field is a low-cardinality enum or
+//! a flag, 41 bits in total. The key packs them into one `u64`, field by
+//! field at fixed offsets, so equality is a single integer compare and
+//! hashing is a single `write_u64` — which is what makes the verdict
+//! cache's hit path dramatically cheaper than re-running the engine.
+//! Injectivity is by construction (every field owns a disjoint bit range,
+//! and each range round-trips its field exactly); the
+//! `batch_differential` integration suite additionally sweeps the
+//! cartesian fact space to pin equal-key soundness behaviorally.
+
+use crate::action::{Circumstances, InvestigativeAction, Method, ProviderCompulsion};
+use crate::actor::{Actor, ActorKind};
+use crate::data::{ContentClass, DataLocation, DataSpec, Temporality, TransmissionMedium};
+use crate::exceptions::{
+    Consent, ConsentAuthority, EmergencyPenTrap, EmergencyPenTrapGround, Exigency,
+};
+use crate::provider::{CompelledInfo, MessageStage, ProviderPublicity};
+
+/// The engine-visible facts of an [`InvestigativeAction`], as one packed
+/// `u64`.
+///
+/// Equal keys imply identical
+/// [`LegalAssessment`](crate::assessment::LegalAssessment)s: the engine is
+/// deterministic and reads nothing an action carries beyond these facts
+/// (the description string is presentation-only). The converse does not
+/// hold — distinct keys may still map to the same verdict.
+///
+/// # Examples
+///
+/// ```
+/// use forensic_law::factkey::FactKey;
+/// use forensic_law::prelude::*;
+///
+/// let spec = DataSpec::new(
+///     ContentClass::Content,
+///     Temporality::RealTime,
+///     DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+/// );
+/// let a = InvestigativeAction::builder(Actor::law_enforcement(), spec)
+///     .describe("wiretap at the ISP")
+///     .build();
+/// let b = InvestigativeAction::builder(Actor::law_enforcement(), spec)
+///     .describe("full packet capture upstream")
+///     .build();
+/// // Different prose, same legal facts: one cache entry.
+/// assert_eq!(FactKey::of(&a), FactKey::of(&b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactKey {
+    bits: u64,
+}
+
+/// Appends fixed-width fields into a `u64`, low bits first.
+struct Packer {
+    bits: u64,
+    cursor: u32,
+}
+
+impl Packer {
+    fn new() -> Self {
+        Packer { bits: 0, cursor: 0 }
+    }
+
+    fn push(&mut self, value: u64, width: u32) {
+        debug_assert!(
+            width < 64 && value < (1 << width),
+            "field overflows its bit range"
+        );
+        debug_assert!(self.cursor + width <= 64, "key exceeds 64 bits");
+        self.bits |= value << self.cursor;
+        self.cursor += width;
+    }
+
+    fn flag(&mut self, value: bool) {
+        self.push(u64::from(value), 1);
+    }
+}
+
+fn actor_bits(p: &mut Packer, actor: Actor) {
+    let kind = match actor.kind() {
+        ActorKind::LawEnforcement => 0u64,
+        ActorKind::GovernmentEmployer => 1,
+        ActorKind::PrivateIndividual => 2,
+        ActorKind::SystemAdministrator => 3,
+        ActorKind::ServiceProvider => 4,
+        ActorKind::Victim => 5,
+    };
+    p.push(kind, 3);
+    p.flag(actor.is_government_directed());
+}
+
+fn data_bits(p: &mut Packer, data: DataSpec) {
+    let category = match data.category {
+        ContentClass::Content => 0u64,
+        ContentClass::NonContentAddressing => 1,
+        ContentClass::SubscriberRecords => 2,
+        ContentClass::TransactionalRecords => 3,
+    };
+    p.push(category, 2);
+    let temporality = match data.temporality {
+        Temporality::RealTime => 0u64,
+        Temporality::Stored { opened: false } => 1,
+        Temporality::Stored { opened: true } => 2,
+    };
+    p.push(temporality, 2);
+    let location = match data.location {
+        DataLocation::SuspectDevice => 0u64,
+        DataLocation::InTransit(TransmissionMedium::OwnNetwork) => 1,
+        DataLocation::InTransit(TransmissionMedium::PublicWiredInternet) => 2,
+        DataLocation::InTransit(TransmissionMedium::WirelessUnencrypted) => 3,
+        DataLocation::InTransit(TransmissionMedium::WirelessEncrypted) => 4,
+        DataLocation::ProviderStorage => 5,
+        DataLocation::PublicForum => 6,
+        DataLocation::LawfullyObtainedMedia => 7,
+        DataLocation::RemoteComputer => 8,
+    };
+    p.push(location, 4);
+}
+
+fn method_bits(p: &mut Packer, m: Method) {
+    p.flag(m.joins_public_protocol);
+    p.flag(m.specialized_tech_not_public);
+    p.flag(m.reveals_home_interior);
+    p.flag(m.exhaustive_forensic_search);
+    p.flag(m.derives_from_lawfully_held_dataset);
+    p.flag(m.uses_credentials_of_arrestee);
+    p.flag(m.rate_observation_only);
+    p.flag(m.operates_intercepting_infrastructure);
+}
+
+fn circumstance_bits(p: &mut Packer, c: Circumstances) {
+    p.flag(c.policy_eliminates_privacy);
+    p.flag(c.victim_authorized_trespasser_monitoring);
+    p.flag(c.target_on_probation);
+    p.flag(c.plain_view_during_lawful_presence);
+    p.flag(c.repeats_prior_private_search);
+    p.flag(c.target_operates_as_provider);
+}
+
+fn consent_bits(p: &mut Packer, consent: Option<Consent>) {
+    p.flag(consent.is_some());
+    let (authority, scope_exceeded, revoked) = match consent {
+        None => (0u64, false, false),
+        Some(c) => {
+            let authority = match c.authority() {
+                ConsentAuthority::TargetSelf => 0u64,
+                ConsentAuthority::CoUserCommonAuthority {
+                    covers_searched_space: false,
+                } => 1,
+                ConsentAuthority::CoUserCommonAuthority {
+                    covers_searched_space: true,
+                } => 2,
+                ConsentAuthority::Spouse => 3,
+                ConsentAuthority::ParentOfMinor => 4,
+                ConsentAuthority::ParentOfAdult {
+                    facts_support_authority: false,
+                } => 5,
+                ConsentAuthority::ParentOfAdult {
+                    facts_support_authority: true,
+                } => 6,
+                ConsentAuthority::PrivateEmployer => 7,
+                ConsentAuthority::GovernmentEmployer {
+                    work_related_and_reasonable: false,
+                } => 8,
+                ConsentAuthority::GovernmentEmployer {
+                    work_related_and_reasonable: true,
+                } => 9,
+                ConsentAuthority::NetworkOwnerOrAdmin => 10,
+                ConsentAuthority::OnePartyToCommunication {
+                    all_party_state: false,
+                } => 11,
+                ConsentAuthority::OnePartyToCommunication {
+                    all_party_state: true,
+                } => 12,
+            };
+            (authority, c.scope_was_exceeded(), c.is_revoked())
+        }
+    };
+    p.push(authority, 4);
+    p.flag(scope_exceeded);
+    p.flag(revoked);
+}
+
+fn exigency_bits(p: &mut Packer, exigency: Option<Exigency>) {
+    p.flag(exigency.is_some());
+    let code = match exigency {
+        None => 0u64,
+        Some(Exigency::ImminentEvidenceDestruction) => 0,
+        Some(Exigency::DangerToSafety) => 1,
+        Some(Exigency::HotPursuit) => 2,
+        Some(Exigency::SuspectEscape) => 3,
+    };
+    p.push(code, 2);
+}
+
+fn pen_trap_bits(p: &mut Packer, pen: Option<EmergencyPenTrap>) {
+    p.flag(pen.is_some());
+    let (ground, valid) = match pen {
+        None => (0u64, false),
+        Some(pen) => {
+            let ground = match pen.ground() {
+                EmergencyPenTrapGround::DangerOfDeathOrInjury => 0u64,
+                EmergencyPenTrapGround::OrganizedCrime => 1,
+                EmergencyPenTrapGround::NationalSecurityThreat => 2,
+                EmergencyPenTrapGround::OngoingProtectedComputerAttack => 3,
+            };
+            (ground, pen.is_valid())
+        }
+    };
+    p.push(ground, 2);
+    p.flag(valid);
+}
+
+fn compulsion_bits(p: &mut Packer, compulsion: Option<ProviderCompulsion>) {
+    p.flag(compulsion.is_some());
+    let (publicity, stage, info) = match compulsion {
+        None => (false, false, 0u64),
+        Some(c) => {
+            let info = match c.info {
+                CompelledInfo::BasicSubscriberInfo => 0u64,
+                CompelledInfo::TransactionalRecords => 1,
+                CompelledInfo::UnopenedContent => 2,
+                CompelledInfo::OpenedContent => 3,
+            };
+            (
+                c.lifecycle.publicity() == ProviderPublicity::Public,
+                c.lifecycle.stage() == MessageStage::OpenedInStorage,
+                info,
+            )
+        }
+    };
+    p.flag(publicity);
+    p.flag(stage);
+    p.push(info, 2);
+}
+
+impl FactKey {
+    /// Projects `action` onto its engine-visible facts.
+    pub fn of(action: &InvestigativeAction) -> Self {
+        let mut p = Packer::new();
+        actor_bits(&mut p, action.actor());
+        data_bits(&mut p, action.data());
+        method_bits(&mut p, action.method());
+        circumstance_bits(&mut p, action.circumstances());
+        consent_bits(&mut p, action.consent());
+        exigency_bits(&mut p, action.exigency());
+        pen_trap_bits(&mut p, action.emergency_pen_trap());
+        compulsion_bits(&mut p, action.compulsion());
+        FactKey { bits: p.bits }
+    }
+
+    /// The packed representation, for diagnostics and shard routing.
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+}
+
+impl From<&InvestigativeAction> for FactKey {
+    fn from(action: &InvestigativeAction) -> Self {
+        FactKey::of(action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DataSpec {
+        DataSpec::new(
+            ContentClass::Content,
+            Temporality::RealTime,
+            DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        )
+    }
+
+    #[test]
+    fn description_is_not_part_of_the_key() {
+        let a = InvestigativeAction::builder(Actor::law_enforcement(), spec())
+            .describe("one")
+            .build();
+        let b = InvestigativeAction::builder(Actor::law_enforcement(), spec())
+            .describe("two")
+            .build();
+        assert_ne!(a, b);
+        assert_eq!(FactKey::of(&a), FactKey::of(&b));
+    }
+
+    #[test]
+    fn every_legal_fact_is_part_of_the_key() {
+        let base = InvestigativeAction::builder(Actor::law_enforcement(), spec()).build();
+        let k = FactKey::of(&base);
+
+        let other_actor = InvestigativeAction::builder(Actor::private_individual(), spec()).build();
+        assert_ne!(k, FactKey::of(&other_actor));
+
+        let other_data = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::NonContentAddressing,
+                Temporality::RealTime,
+                DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+            ),
+        )
+        .build();
+        assert_ne!(k, FactKey::of(&other_data));
+
+        let other_method = InvestigativeAction::builder(Actor::law_enforcement(), spec())
+            .rate_observation_only()
+            .build();
+        assert_ne!(k, FactKey::of(&other_method));
+
+        let other_circ = InvestigativeAction::builder(Actor::law_enforcement(), spec())
+            .target_on_probation()
+            .build();
+        assert_ne!(k, FactKey::of(&other_circ));
+
+        let with_consent = InvestigativeAction::builder(Actor::law_enforcement(), spec())
+            .with_consent(Consent::by(ConsentAuthority::TargetSelf))
+            .build();
+        assert_ne!(k, FactKey::of(&with_consent));
+
+        let with_exigency = InvestigativeAction::builder(Actor::law_enforcement(), spec())
+            .with_exigency(Exigency::HotPursuit)
+            .build();
+        assert_ne!(k, FactKey::of(&with_exigency));
+    }
+
+    #[test]
+    fn consent_variants_do_not_collide() {
+        use ConsentAuthority as A;
+        let authorities = [
+            A::TargetSelf,
+            A::CoUserCommonAuthority {
+                covers_searched_space: false,
+            },
+            A::CoUserCommonAuthority {
+                covers_searched_space: true,
+            },
+            A::Spouse,
+            A::ParentOfMinor,
+            A::ParentOfAdult {
+                facts_support_authority: false,
+            },
+            A::ParentOfAdult {
+                facts_support_authority: true,
+            },
+            A::PrivateEmployer,
+            A::GovernmentEmployer {
+                work_related_and_reasonable: false,
+            },
+            A::GovernmentEmployer {
+                work_related_and_reasonable: true,
+            },
+            A::NetworkOwnerOrAdmin,
+            A::OnePartyToCommunication {
+                all_party_state: false,
+            },
+            A::OnePartyToCommunication {
+                all_party_state: true,
+            },
+        ];
+        let mut keys = std::collections::HashSet::new();
+        keys.insert(FactKey::of(
+            &InvestigativeAction::builder(Actor::law_enforcement(), spec()).build(),
+        ));
+        for authority in authorities {
+            for consent in [
+                Consent::by(authority),
+                Consent::by(authority).revoked(),
+                Consent::by(authority).with_scope_exceeded(),
+            ] {
+                let action = InvestigativeAction::builder(Actor::law_enforcement(), spec())
+                    .with_consent(consent)
+                    .build();
+                assert!(
+                    keys.insert(FactKey::of(&action)),
+                    "collision at {consent:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exigency_none_differs_from_every_some() {
+        let none =
+            FactKey::of(&InvestigativeAction::builder(Actor::law_enforcement(), spec()).build());
+        for e in [
+            Exigency::ImminentEvidenceDestruction,
+            Exigency::DangerToSafety,
+            Exigency::HotPursuit,
+            Exigency::SuspectEscape,
+        ] {
+            let some = FactKey::of(
+                &InvestigativeAction::builder(Actor::law_enforcement(), spec())
+                    .with_exigency(e)
+                    .build(),
+            );
+            assert_ne!(none, some);
+        }
+    }
+
+    #[test]
+    fn from_ref_matches_of() {
+        let a = InvestigativeAction::builder(Actor::law_enforcement(), spec()).build();
+        assert_eq!(FactKey::from(&a), FactKey::of(&a));
+    }
+
+    #[test]
+    fn key_fits_in_the_packed_budget() {
+        // The highest-offset field must still land inside the u64.
+        let a = InvestigativeAction::builder(Actor::law_enforcement(), spec()).build();
+        let _ = FactKey::of(&a).bits(); // Packer debug_asserts enforce the budget
+    }
+}

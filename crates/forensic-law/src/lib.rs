@@ -21,6 +21,11 @@
 //! * [`exceptions`] — consent, exigent circumstances, emergency pen/trap.
 //! * [`engine`] — [`ComplianceEngine`](engine::ComplianceEngine), folding
 //!   all of the above into a [`Verdict`](assessment::Verdict).
+//! * [`factkey`] — [`FactKey`](factkey::FactKey), the canonical hashable
+//!   projection of an action onto exactly the facts the engine reads.
+//! * [`batch`] — [`VerdictCache`](batch::VerdictCache) and
+//!   [`BatchAssessor`](batch::BatchAssessor): memoized, multi-threaded
+//!   assessment for high-volume workloads.
 //! * [`process`] — the subpoena < court order < search warrant < wiretap
 //!   order ladder and its factual standards.
 //! * [`probable_cause`] — the §III-A-1 probable-cause establishment paths.
@@ -78,11 +83,13 @@ pub mod actor;
 pub mod analysis;
 pub mod assessment;
 pub mod attribution;
+pub mod batch;
 pub mod casebook;
 pub mod data;
 pub mod disclosure;
 pub mod engine;
 pub mod exceptions;
+pub mod factkey;
 pub mod privacy;
 pub mod probable_cause;
 pub mod process;
@@ -98,9 +105,11 @@ pub mod prelude {
     pub use crate::action::{InvestigativeAction, ProviderCompulsion};
     pub use crate::actor::{Actor, ActorKind};
     pub use crate::assessment::{Confidence, LegalAssessment, Verdict};
+    pub use crate::batch::{BatchAssessor, BatchReport, CacheStats, VerdictCache};
     pub use crate::data::{ContentClass, DataLocation, DataSpec, Temporality, TransmissionMedium};
     pub use crate::engine::ComplianceEngine;
     pub use crate::exceptions::{Consent, ConsentAuthority, Exigency};
+    pub use crate::factkey::FactKey;
     pub use crate::process::{FactualStandard, LegalProcess};
     pub use crate::provider::{CompelledInfo, MessageLifecycle, ProviderPublicity, ScaRole};
     pub use crate::suppression::{Admissibility, Docket};

@@ -1,0 +1,117 @@
+//! Soundness of the [`FactKey`] projection: equal keys must imply equal
+//! assessments, and fact patterns the paper answers differently must
+//! never share a key.
+
+use forensic_law::engine::ComplianceEngine;
+use forensic_law::factkey::FactKey;
+use forensic_law::prelude::*;
+use forensic_law::scenarios::table1;
+use std::collections::HashMap;
+
+/// Build a broad pool of actions: every Table 1 row plus single-axis
+/// perturbations (consent, probation, plain view, revoked consent) of
+/// each, with descriptions deliberately varied.
+fn pool() -> Vec<InvestigativeAction> {
+    let mut actions: Vec<InvestigativeAction> = Vec::new();
+    for (i, scenario) in table1().iter().enumerate() {
+        let action = scenario.action().clone();
+        let actor = action.actor();
+        let data = action.data();
+        actions.push(action);
+
+        let mut relabeled = InvestigativeAction::builder(actor, data);
+        relabeled.describe(format!("relabeled copy #{i}"));
+        actions.push(relabeled.build());
+
+        let mut consented = InvestigativeAction::builder(actor, data);
+        consented.with_consent(Consent::by(ConsentAuthority::TargetSelf));
+        actions.push(consented.build());
+
+        let mut revoked = InvestigativeAction::builder(actor, data);
+        revoked.with_consent(Consent::by(ConsentAuthority::TargetSelf).revoked());
+        actions.push(revoked.build());
+
+        let mut probation = InvestigativeAction::builder(actor, data);
+        probation.target_on_probation();
+        actions.push(probation.build());
+
+        let mut plain = InvestigativeAction::builder(actor, data);
+        plain.plain_view();
+        actions.push(plain.build());
+    }
+    actions
+}
+
+/// Whenever two actions project to the same key, the engine must hand
+/// back indistinguishable assessments — verdict, confidence, authorities,
+/// and the full rationale text.
+#[test]
+fn equal_keys_imply_identical_assessments() {
+    let engine = ComplianceEngine::new();
+    let mut by_key: HashMap<FactKey, (usize, forensic_law::assessment::LegalAssessment)> =
+        HashMap::new();
+    let mut collisions = 0usize;
+
+    for (i, action) in pool().iter().enumerate() {
+        let fresh = engine.assess(action);
+        match by_key.get(&FactKey::of(action)) {
+            None => {
+                by_key.insert(FactKey::of(action), (i, fresh));
+            }
+            Some((j, prior)) => {
+                collisions += 1;
+                assert_eq!(
+                    prior.verdict(),
+                    fresh.verdict(),
+                    "actions #{j} and #{i} share a key but differ in verdict"
+                );
+                assert_eq!(prior.confidence(), fresh.confidence());
+                assert_eq!(prior.governing_authorities(), fresh.governing_authorities());
+                assert_eq!(
+                    prior.rationale(),
+                    fresh.rationale(),
+                    "actions #{j} and #{i} share a key but differ in rationale"
+                );
+            }
+        }
+    }
+
+    // The pool intentionally contains same-facts/different-description
+    // pairs, so the property must actually have been exercised.
+    assert!(collisions > 0, "pool never exercised a key collision");
+}
+
+/// Table 1 rows whose paper verdicts differ must project to different
+/// keys — otherwise the cache would blur distinctions the paper draws.
+#[test]
+fn rows_with_different_paper_verdicts_never_collide() {
+    for a in table1().iter() {
+        for b in table1().iter() {
+            if a.paper_verdict() != b.paper_verdict() {
+                assert_ne!(
+                    FactKey::of(a.action()),
+                    FactKey::of(b.action()),
+                    "rows {} and {} disagree in Table 1 yet share a fact key",
+                    a.number(),
+                    b.number()
+                );
+            }
+        }
+    }
+}
+
+/// The key is a pure projection: recomputing it is stable, and it ignores
+/// the free-text description entirely.
+#[test]
+fn key_is_stable_and_description_blind() {
+    for scenario in table1() {
+        let action = scenario.action();
+        assert_eq!(FactKey::of(action), FactKey::of(action));
+
+        let mut plain = InvestigativeAction::builder(action.actor(), action.data());
+        plain.describe("one label");
+        let mut renamed = InvestigativeAction::builder(action.actor(), action.data());
+        renamed.describe("a completely different label");
+        assert_eq!(FactKey::of(&plain.build()), FactKey::of(&renamed.build()));
+    }
+}

@@ -14,9 +14,11 @@ use evidence::item::ItemId;
 use evidence::locker::EvidenceLocker;
 use forensic_law::action::InvestigativeAction;
 use forensic_law::assessment::{LegalAssessment, Verdict};
+use forensic_law::batch::{CacheStats, VerdictCache};
 use forensic_law::engine::ComplianceEngine;
 use forensic_law::process::{FactualStandard, LegalProcess};
 use std::fmt;
+use std::sync::Arc;
 
 /// A refused collection: the engine demanded more process than held.
 #[derive(Debug)]
@@ -42,9 +44,16 @@ impl fmt::Display for ComplianceRefusal {
 impl std::error::Error for ComplianceRefusal {}
 
 /// An investigation in progress.
+///
+/// Assessments are memoized through a [`VerdictCache`] keyed on the
+/// action's [`FactKey`](forensic_law::factkey::FactKey): repeated
+/// collections under the same fact pattern (the common case when working
+/// through a capture archive) consult the engine once. The cache can be
+/// shared across investigations with [`Investigation::open_with_cache`].
 #[derive(Debug)]
 pub struct Investigation {
     engine: ComplianceEngine,
+    verdicts: Arc<VerdictCache>,
     magistrate: Magistrate,
     case: CaseFile,
     grants: Vec<ProcessGrant>,
@@ -53,16 +62,30 @@ pub struct Investigation {
 }
 
 impl Investigation {
-    /// Opens an investigation.
+    /// Opens an investigation with a private verdict cache.
     pub fn open(name: impl Into<String>) -> Self {
+        Investigation::open_with_cache(name, Arc::new(VerdictCache::new()))
+    }
+
+    /// Opens an investigation routing assessments through a shared
+    /// verdict cache (e.g. one warmed by a
+    /// [`BatchAssessor`](forensic_law::batch::BatchAssessor) sweep or by
+    /// parallel investigations over the same fact patterns).
+    pub fn open_with_cache(name: impl Into<String>, verdicts: Arc<VerdictCache>) -> Self {
         Investigation {
             engine: ComplianceEngine::new(),
+            verdicts,
             magistrate: Magistrate::new(),
             case: CaseFile::new(name),
             grants: Vec::new(),
             locker: EvidenceLocker::new(),
             clock: 0,
         }
+    }
+
+    /// Hit/miss counters of the verdict cache serving this investigation.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.verdicts.stats()
     }
 
     /// The case file.
@@ -126,9 +149,9 @@ impl Investigation {
             .unwrap_or(LegalProcess::None)
     }
 
-    /// Assesses an action without acting.
-    pub fn assess(&self, action: &InvestigativeAction) -> LegalAssessment {
-        self.engine.assess(action)
+    /// Assesses an action without acting (memoized per fact key).
+    pub fn assess(&self, action: &InvestigativeAction) -> Arc<LegalAssessment> {
+        self.verdicts.assess(&self.engine, action)
     }
 
     /// Lawful collection: refuses when required process is not held.
@@ -147,7 +170,7 @@ impl Investigation {
         content: Vec<u8>,
         examiner: impl Into<String>,
     ) -> Result<ItemId, Box<ComplianceRefusal>> {
-        let assessment = self.engine.assess(action);
+        let assessment = self.verdicts.assess(&self.engine, action);
         let held = self.strongest_held();
         let lawful = assessment.is_lawful_with(held);
         let required = match assessment.verdict() {
@@ -157,7 +180,7 @@ impl Investigation {
                 return Err(Box::new(ComplianceRefusal {
                     required: LegalProcess::WiretapOrder,
                     held,
-                    assessment,
+                    assessment: (*assessment).clone(),
                 }))
             }
         };
@@ -165,7 +188,7 @@ impl Investigation {
             return Err(Box::new(ComplianceRefusal {
                 required,
                 held,
-                assessment,
+                assessment: (*assessment).clone(),
             }));
         }
         let t = self.tick();
@@ -185,7 +208,7 @@ impl Investigation {
         content: Vec<u8>,
         examiner: impl Into<String>,
     ) -> ItemId {
-        let assessment = self.engine.assess(action);
+        let assessment = self.verdicts.assess(&self.engine, action);
         let required = match assessment.verdict() {
             Verdict::NoProcessNeeded => LegalProcess::None,
             Verdict::ProcessRequired(p) => p,
@@ -211,7 +234,7 @@ impl Investigation {
         examiner: impl Into<String>,
         parents: impl IntoIterator<Item = ItemId>,
     ) -> Result<ItemId, Box<ComplianceRefusal>> {
-        let assessment = self.engine.assess(action);
+        let assessment = self.verdicts.assess(&self.engine, action);
         let held = self.strongest_held();
         if !assessment.is_lawful_with(held) {
             let required = assessment
@@ -221,7 +244,7 @@ impl Investigation {
             return Err(Box::new(ComplianceRefusal {
                 required,
                 held,
-                assessment,
+                assessment: (*assessment).clone(),
             }));
         }
         let required = assessment
@@ -244,7 +267,7 @@ impl Investigation {
         examiner: impl Into<String>,
         parents: impl IntoIterator<Item = ItemId>,
     ) -> ItemId {
-        let assessment = self.engine.assess(action);
+        let assessment = self.verdicts.assess(&self.engine, action);
         let required = assessment
             .verdict()
             .required_process()
@@ -367,5 +390,53 @@ mod tests {
         assert!(a.verdict().needs_process());
         assert!(inv.locker().is_empty());
         assert!(inv.grants().is_empty());
+    }
+
+    #[test]
+    fn repeated_assessments_hit_the_cache() {
+        let inv = Investigation::open("op");
+        let action = device_search_action();
+        let first = inv.assess(&action);
+        let second = inv.assess(&action);
+        assert_eq!(first.verdict(), second.verdict());
+        let stats = inv.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn collect_paths_share_the_cache_with_assess() {
+        let mut inv = Investigation::open("op");
+        let action = device_search_action();
+        inv.assess(&action); // miss
+        let _ = inv.collect(&action, "image", vec![1], "agent"); // hit
+        inv.collect_anyway(&action, "image", vec![1], "agent"); // hit
+        let stats = inv.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn investigations_can_share_a_warm_cache() {
+        let cache = Arc::new(VerdictCache::new());
+        let first = Investigation::open_with_cache("op1", Arc::clone(&cache));
+        first.assess(&device_search_action());
+        let second = Investigation::open_with_cache("op2", Arc::clone(&cache));
+        second.assess(&device_search_action());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cached_verdicts_match_a_fresh_engine() {
+        let mut inv = Investigation::open("op");
+        let action = device_search_action();
+        inv.assess(&action);
+        let err = inv
+            .collect(&action, "laptop image", vec![1], "agent")
+            .unwrap_err();
+        let fresh = ComplianceEngine::new().assess(&action);
+        assert_eq!(err.assessment.verdict(), fresh.verdict());
+        assert_eq!(err.assessment.rationale(), fresh.rationale());
     }
 }

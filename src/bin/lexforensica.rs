@@ -1,17 +1,22 @@
 //! The `lexforensica` command-line tool: ask the compliance engine about
-//! an investigative action, list the Table 1 scenarios, or look up an
-//! authority in the casebook.
+//! an investigative action (one-off or in JSONL batches), list the
+//! Table 1 scenarios, or look up an authority in the casebook.
 //!
 //! ```console
 //! $ lexforensica table1
 //! $ lexforensica assess --actor leo --data content --when realtime --where isp
 //! $ lexforensica assess --actor admin --data headers --where own-network
+//! $ lexforensica assess-batch scenarios.jsonl
 //! $ lexforensica cite katz
 //! ```
 
+use lexforensica::law::batch::BatchAssessor;
 use lexforensica::law::casebook::{all_citations, lookup};
 use lexforensica::law::prelude::*;
 use lexforensica::law::scenarios::table1;
+use lexforensica::spec::{
+    parse_actor, parse_category, parse_location, parse_temporality, ActionSpec,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -33,60 +38,16 @@ fn usage() -> ExitCode {
         --consent             target consents
         --exigent             exigent circumstances
         --probation           target on probation
+  lexforensica assess-batch <file.jsonl | ->
+      assess one JSON scenario object per input line (\"-\" for stdin);
+      prints one \"#line verdict [confidence] -- summary\" row per
+      scenario and cache statistics on stderr. Malformed lines are
+      reported with their line number and skipped; the exit code is
+      then nonzero.
   lexforensica cite <substring>
       search the casebook by citation or holding text"
     );
     ExitCode::from(2)
-}
-
-fn parse_actor(value: &str, directed: bool) -> Option<Actor> {
-    let base = match value {
-        "leo" => Actor::law_enforcement(),
-        "admin" => Actor::system_administrator(),
-        "private" => Actor::private_individual(),
-        "provider" => Actor::new(ActorKind::ServiceProvider),
-        "employer" => Actor::new(ActorKind::GovernmentEmployer),
-        _ => return None,
-    };
-    Some(if directed {
-        base.directed_by_government()
-    } else {
-        base
-    })
-}
-
-fn parse_category(value: &str) -> Option<ContentClass> {
-    Some(match value {
-        "content" => ContentClass::Content,
-        "headers" => ContentClass::NonContentAddressing,
-        "subscriber" => ContentClass::SubscriberRecords,
-        "records" => ContentClass::TransactionalRecords,
-        _ => return None,
-    })
-}
-
-fn parse_temporality(value: &str) -> Option<Temporality> {
-    Some(match value {
-        "realtime" => Temporality::RealTime,
-        "stored" => Temporality::stored_opened(),
-        "stored-unopened" => Temporality::stored_unopened(),
-        _ => return None,
-    })
-}
-
-fn parse_location(value: &str) -> Option<DataLocation> {
-    Some(match value {
-        "isp" => DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
-        "own-network" => DataLocation::InTransit(TransmissionMedium::OwnNetwork),
-        "wireless" => DataLocation::InTransit(TransmissionMedium::WirelessUnencrypted),
-        "wireless-enc" => DataLocation::InTransit(TransmissionMedium::WirelessEncrypted),
-        "device" => DataLocation::SuspectDevice,
-        "provider" => DataLocation::ProviderStorage,
-        "public" => DataLocation::PublicForum,
-        "media" => DataLocation::LawfullyObtainedMedia,
-        "remote" => DataLocation::RemoteComputer,
-        _ => return None,
-    })
 }
 
 fn cmd_table1() -> ExitCode {
@@ -194,11 +155,80 @@ fn cmd_assess(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_assess_batch(path: &str) -> ExitCode {
+    let input = if path == "-" {
+        let mut text = String::new();
+        use std::io::Read as _;
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("cannot read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        text
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    // Parse every line first (reporting failures without stopping), then
+    // fan the well-formed actions through the batch assessor.
+    let mut actions = Vec::new();
+    let mut lines = Vec::new(); // 1-based line number of each action
+    let mut summaries = Vec::new();
+    let mut bad_lines = 0u64;
+    for (idx, line) in input.lines().enumerate() {
+        let number = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = ActionSpec::from_json_line(line).and_then(|spec| {
+            let action = spec.to_action()?;
+            Ok((spec, action))
+        });
+        match parsed {
+            Ok((spec, action)) => {
+                actions.push(action);
+                lines.push(number);
+                summaries.push(spec.summary());
+            }
+            Err(e) => {
+                eprintln!("line {number}: {e}");
+                bad_lines += 1;
+            }
+        }
+    }
+
+    let assessor = BatchAssessor::new();
+    let (assessments, report) = assessor.assess_all_with_report(&actions);
+    for ((line, summary), assessment) in lines.iter().zip(&summaries).zip(&assessments) {
+        println!(
+            "#{line} {} [{}] -- {summary}",
+            assessment.verdict(),
+            assessment.confidence()
+        );
+    }
+    eprintln!("{report}");
+    if bad_lines > 0 {
+        eprintln!("{bad_lines} malformed line(s) skipped");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("table1") => cmd_table1(),
         Some("assess") => cmd_assess(&args[1..]),
+        Some("assess-batch") => match args.get(1) {
+            Some(path) if args.len() == 2 => cmd_assess_batch(path),
+            _ => usage(),
+        },
         Some("cite") => match args.get(1) {
             Some(needle) => cmd_cite(needle),
             None => usage(),

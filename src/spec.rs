@@ -1,0 +1,507 @@
+//! Textual scenario specifications for batch assessment.
+//!
+//! The `lexforensica assess-batch` subcommand reads one JSON object per
+//! line (JSONL). Each object describes an investigative action with the
+//! same vocabulary the `assess` subcommand's flags use:
+//!
+//! ```json
+//! {"actor": "leo", "data": "headers", "when": "realtime", "where": "isp"}
+//! {"actor": "leo", "data": "content", "when": "stored-unopened", "where": "provider", "flags": ["as-provider"]}
+//! ```
+//!
+//! Recognized keys (all optional; defaults mirror `assess`):
+//!
+//! | key        | values                                                                        | default    |
+//! |------------|-------------------------------------------------------------------------------|------------|
+//! | `actor`    | `leo`, `admin`, `private`, `provider`, `employer`                             | `leo`      |
+//! | `directed` | `true`/`false` — actor acts at government direction                            | `false`    |
+//! | `data`     | `content`, `headers`, `subscriber`, `records`                                  | `content`  |
+//! | `when`     | `realtime`, `stored`, `stored-unopened`                                        | `realtime` |
+//! | `where`    | `isp`, `own-network`, `wireless`, `wireless-enc`, `device`, `provider`, `public`, `media`, `remote` | `isp` |
+//! | `flags`    | array drawn from `public-protocol`, `rate-only`, `hash-search`, `consent`, `exigent`, `probation`, `as-provider` | `[]` |
+//! | `describe` | free text, echoed in the output line                                           | derived    |
+//!
+//! Unknown keys and unknown values are errors — a batch run reports them
+//! with the offending line number and continues with the remaining lines.
+//!
+//! The parser is a deliberately small, std-only JSON subset reader
+//! (objects, arrays, strings, booleans, numbers, null); the workspace
+//! builds offline with no serialization dependency.
+
+use forensic_law::prelude::*;
+
+/// Why a specification line was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl SpecError {
+    fn new(msg: impl Into<String>) -> Self {
+        SpecError(msg.into())
+    }
+}
+
+/// One scenario line, as written: raw vocabulary strings plus flags.
+///
+/// Build the corresponding engine input with [`ActionSpec::to_action`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionSpec {
+    /// Who acts (`leo`, `admin`, `private`, `provider`, `employer`).
+    pub actor: String,
+    /// Whether the actor acts at government direction.
+    pub directed: bool,
+    /// What is collected (`content`, `headers`, `subscriber`, `records`).
+    pub data: String,
+    /// When (`realtime`, `stored`, `stored-unopened`).
+    pub when: String,
+    /// Where (`isp`, `device`, `provider`, …).
+    pub location: String,
+    /// Method/circumstance flags (`public-protocol`, `rate-only`, …).
+    pub flags: Vec<String>,
+    /// Optional free-text description.
+    pub describe: Option<String>,
+}
+
+impl Default for ActionSpec {
+    fn default() -> Self {
+        ActionSpec {
+            actor: "leo".into(),
+            directed: false,
+            data: "content".into(),
+            when: "realtime".into(),
+            location: "isp".into(),
+            flags: Vec::new(),
+            describe: None,
+        }
+    }
+}
+
+impl ActionSpec {
+    /// Parses one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for syntactically invalid JSON, a non-object
+    /// top level, unknown keys, or wrongly typed values. Vocabulary
+    /// validity (e.g. an unknown actor name) is checked later, by
+    /// [`ActionSpec::to_action`].
+    pub fn from_json_line(line: &str) -> Result<Self, SpecError> {
+        let value = json::parse(line)?;
+        let json::Value::Object(pairs) = value else {
+            return Err(SpecError::new("expected a JSON object"));
+        };
+        let mut spec = ActionSpec::default();
+        for (key, value) in pairs {
+            match key.as_str() {
+                "actor" => spec.actor = expect_string(&key, value)?,
+                "directed" => spec.directed = expect_bool(&key, value)?,
+                "data" => spec.data = expect_string(&key, value)?,
+                "when" => spec.when = expect_string(&key, value)?,
+                "where" => spec.location = expect_string(&key, value)?,
+                "describe" => spec.describe = Some(expect_string(&key, value)?),
+                "flags" => {
+                    let json::Value::Array(items) = value else {
+                        return Err(SpecError::new("\"flags\" must be an array of strings"));
+                    };
+                    for item in items {
+                        spec.flags.push(expect_string("flags", item)?);
+                    }
+                }
+                other => return Err(SpecError::new(format!("unknown key \"{other}\""))),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// A one-line human summary, used to label batch output.
+    pub fn summary(&self) -> String {
+        if let Some(text) = &self.describe {
+            return text.clone();
+        }
+        let mut s = format!(
+            "{} collects {} {} at {}",
+            self.actor, self.data, self.when, self.location
+        );
+        if !self.flags.is_empty() {
+            s.push_str(&format!(" [{}]", self.flags.join(", ")));
+        }
+        s
+    }
+
+    /// Builds the engine input this specification describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] naming the field when any vocabulary word is
+    /// unrecognized.
+    pub fn to_action(&self) -> Result<InvestigativeAction, SpecError> {
+        let actor = parse_actor(&self.actor, self.directed)
+            .ok_or_else(|| SpecError::new(format!("unknown actor \"{}\"", self.actor)))?;
+        let category = parse_category(&self.data)
+            .ok_or_else(|| SpecError::new(format!("unknown data class \"{}\"", self.data)))?;
+        let temporality = parse_temporality(&self.when)
+            .ok_or_else(|| SpecError::new(format!("unknown temporality \"{}\"", self.when)))?;
+        let location = parse_location(&self.location)
+            .ok_or_else(|| SpecError::new(format!("unknown location \"{}\"", self.location)))?;
+
+        let mut builder =
+            InvestigativeAction::builder(actor, DataSpec::new(category, temporality, location));
+        builder.describe(self.summary());
+        for flag in &self.flags {
+            match flag.as_str() {
+                "public-protocol" => builder.joining_public_protocol(),
+                "rate-only" => builder.rate_observation_only(),
+                "hash-search" => builder.exhaustive_forensic_search(),
+                "consent" => builder.with_consent(Consent::by(ConsentAuthority::TargetSelf)),
+                "exigent" => builder.with_exigency(Exigency::ImminentEvidenceDestruction),
+                "probation" => builder.target_on_probation(),
+                "as-provider" => builder.target_operates_as_provider(),
+                other => return Err(SpecError::new(format!("unknown flag \"{other}\""))),
+            };
+        }
+        Ok(builder.build())
+    }
+}
+
+fn expect_string(key: &str, value: json::Value) -> Result<String, SpecError> {
+    match value {
+        json::Value::String(s) => Ok(s),
+        _ => Err(SpecError::new(format!("\"{key}\" must be a string"))),
+    }
+}
+
+fn expect_bool(key: &str, value: json::Value) -> Result<bool, SpecError> {
+    match value {
+        json::Value::Bool(b) => Ok(b),
+        _ => Err(SpecError::new(format!("\"{key}\" must be a boolean"))),
+    }
+}
+
+/// Parses an actor word from the shared CLI/JSONL vocabulary.
+pub fn parse_actor(value: &str, directed: bool) -> Option<Actor> {
+    let base = match value {
+        "leo" => Actor::law_enforcement(),
+        "admin" => Actor::system_administrator(),
+        "private" => Actor::private_individual(),
+        "provider" => Actor::new(ActorKind::ServiceProvider),
+        "employer" => Actor::new(ActorKind::GovernmentEmployer),
+        _ => return None,
+    };
+    Some(if directed {
+        base.directed_by_government()
+    } else {
+        base
+    })
+}
+
+/// Parses a data-class word from the shared CLI/JSONL vocabulary.
+pub fn parse_category(value: &str) -> Option<ContentClass> {
+    Some(match value {
+        "content" => ContentClass::Content,
+        "headers" => ContentClass::NonContentAddressing,
+        "subscriber" => ContentClass::SubscriberRecords,
+        "records" => ContentClass::TransactionalRecords,
+        _ => return None,
+    })
+}
+
+/// Parses a temporality word from the shared CLI/JSONL vocabulary.
+pub fn parse_temporality(value: &str) -> Option<Temporality> {
+    Some(match value {
+        "realtime" => Temporality::RealTime,
+        "stored" => Temporality::stored_opened(),
+        "stored-unopened" => Temporality::stored_unopened(),
+        _ => return None,
+    })
+}
+
+/// Parses a location word from the shared CLI/JSONL vocabulary.
+pub fn parse_location(value: &str) -> Option<DataLocation> {
+    Some(match value {
+        "isp" => DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        "own-network" => DataLocation::InTransit(TransmissionMedium::OwnNetwork),
+        "wireless" => DataLocation::InTransit(TransmissionMedium::WirelessUnencrypted),
+        "wireless-enc" => DataLocation::InTransit(TransmissionMedium::WirelessEncrypted),
+        "device" => DataLocation::SuspectDevice,
+        "provider" => DataLocation::ProviderStorage,
+        "public" => DataLocation::PublicForum,
+        "media" => DataLocation::LawfullyObtainedMedia,
+        "remote" => DataLocation::RemoteComputer,
+        _ => return None,
+    })
+}
+
+/// A minimal JSON reader: just enough for one flat spec object per line.
+mod json {
+    use super::SpecError;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number.
+        Number(f64),
+        /// A string, with escapes resolved.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, in source order.
+        Object(Vec<(String, Value)>),
+    }
+
+    /// Parses a complete JSON document; trailing non-whitespace is an
+    /// error.
+    pub fn parse(text: &str) -> Result<Value, SpecError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(SpecError::new(format!(
+                "unexpected trailing input at byte {pos}"
+            )));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, SpecError> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err(SpecError::new("unexpected end of input")),
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+            Some(c) => Err(SpecError::new(format!(
+                "unexpected character '{}' at byte {pos}",
+                *c as char
+            ))),
+        }
+    }
+
+    fn parse_literal(
+        bytes: &[u8],
+        pos: &mut usize,
+        word: &str,
+        value: Value,
+    ) -> Result<Value, SpecError> {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(value)
+        } else {
+            Err(SpecError::new(format!("invalid literal at byte {pos}")))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, SpecError> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while *pos < bytes.len()
+            && (bytes[*pos].is_ascii_digit()
+                || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| SpecError::new(format!("invalid number at byte {start}")))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, SpecError> {
+        debug_assert_eq!(bytes[*pos], b'"');
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err(SpecError::new("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| SpecError::new("invalid \\u escape"))?;
+                            out.push(hex);
+                            *pos += 4;
+                        }
+                        _ => return Err(SpecError::new("invalid escape")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| SpecError::new("invalid UTF-8"))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    *pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, SpecError> {
+        *pos += 1; // consume '['
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(SpecError::new("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, SpecError> {
+        *pos += 1; // consume '{'
+        let mut pairs = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b'"') {
+                return Err(SpecError::new("expected a string key"));
+            }
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b':') {
+                return Err(SpecError::new("expected ':' after key"));
+            }
+            *pos += 1;
+            let value = parse_value(bytes, pos)?;
+            pairs.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(SpecError::new("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_assess_subcommand() {
+        let spec = ActionSpec::from_json_line("{}").unwrap();
+        assert_eq!(spec, ActionSpec::default());
+        let action = spec.to_action().unwrap();
+        assert_eq!(action.data().category, ContentClass::Content);
+        assert_eq!(action.data().temporality, Temporality::RealTime);
+    }
+
+    #[test]
+    fn full_line_round_trips() {
+        let spec = ActionSpec::from_json_line(
+            r#"{"actor": "admin", "data": "headers", "when": "stored", "where": "own-network",
+                "flags": ["rate-only", "probation"], "describe": "ops review"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.actor, "admin");
+        assert_eq!(spec.flags, vec!["rate-only", "probation"]);
+        assert_eq!(spec.summary(), "ops review");
+        let action = spec.to_action().unwrap();
+        assert!(action.method().rate_observation_only);
+        assert!(action.circumstances().target_on_probation);
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = ActionSpec::from_json_line(r#"{"acter": "leo"}"#).unwrap_err();
+        assert!(err.to_string().contains("acter"));
+    }
+
+    #[test]
+    fn unknown_vocabulary_is_an_error_at_build_time() {
+        let spec = ActionSpec::from_json_line(r#"{"actor": "martian"}"#).unwrap();
+        let err = spec.to_action().unwrap_err();
+        assert!(err.to_string().contains("martian"));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(ActionSpec::from_json_line("{not json").is_err());
+        assert!(ActionSpec::from_json_line(r#"["array"]"#).is_err());
+        assert!(ActionSpec::from_json_line(r#"{"actor": "leo"} extra"#).is_err());
+    }
+
+    #[test]
+    fn directed_modifier_applies() {
+        let spec = ActionSpec::from_json_line(r#"{"actor": "private", "directed": true}"#).unwrap();
+        let action = spec.to_action().unwrap();
+        assert!(action.actor().is_government_actor());
+    }
+
+    #[test]
+    fn string_escapes_resolve() {
+        let spec = ActionSpec::from_json_line(r#"{"describe": "tab\there \"quoted\" A"}"#).unwrap();
+        assert_eq!(spec.describe.as_deref(), Some("tab\there \"quoted\" A"));
+    }
+
+    #[test]
+    fn summary_without_description_lists_fields_and_flags() {
+        let spec = ActionSpec::from_json_line(r#"{"flags": ["rate-only"]}"#).unwrap();
+        assert_eq!(
+            spec.summary(),
+            "leo collects content realtime at isp [rate-only]"
+        );
+    }
+}

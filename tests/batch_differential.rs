@@ -1,0 +1,252 @@
+//! Differential lockdown of the batch-assessment pipeline.
+//!
+//! Sweeps the cartesian fact space — every actor constructor × content
+//! class × temporality × location/medium × each single exception flag —
+//! and asserts that [`VerdictCache`] and [`BatchAssessor`] reproduce a
+//! fresh [`ComplianceEngine::assess`] *exactly* (verdict, confidence,
+//! governing authorities, and full rationale text), that the packed
+//! [`FactKey`] never collides across fact patterns the engine
+//! distinguishes, and that legality stays monotone in held process over
+//! the whole space.
+
+use lexforensica::law::batch::{BatchAssessor, VerdictCache};
+use lexforensica::law::exceptions::{EmergencyPenTrap, EmergencyPenTrapGround};
+use lexforensica::law::factkey::FactKey;
+use lexforensica::law::prelude::*;
+use lexforensica::law::provider::{MessageLifecycle, MessageStage, ProviderPublicity};
+
+fn all_actors() -> Vec<Actor> {
+    let kinds = [
+        ActorKind::LawEnforcement,
+        ActorKind::GovernmentEmployer,
+        ActorKind::PrivateIndividual,
+        ActorKind::SystemAdministrator,
+        ActorKind::ServiceProvider,
+        ActorKind::Victim,
+    ];
+    let mut actors = Vec::new();
+    for kind in kinds {
+        actors.push(Actor::new(kind));
+        actors.push(Actor::new(kind).directed_by_government());
+    }
+    // The named constructors must be covered as themselves, too.
+    actors.push(Actor::law_enforcement());
+    actors.push(Actor::private_individual());
+    actors.push(Actor::system_administrator());
+    actors
+}
+
+fn all_data_specs() -> Vec<DataSpec> {
+    let categories = [
+        ContentClass::Content,
+        ContentClass::NonContentAddressing,
+        ContentClass::SubscriberRecords,
+        ContentClass::TransactionalRecords,
+    ];
+    let temporalities = [
+        Temporality::RealTime,
+        Temporality::stored_unopened(),
+        Temporality::stored_opened(),
+    ];
+    let locations = [
+        DataLocation::SuspectDevice,
+        DataLocation::InTransit(TransmissionMedium::OwnNetwork),
+        DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+        DataLocation::InTransit(TransmissionMedium::WirelessUnencrypted),
+        DataLocation::InTransit(TransmissionMedium::WirelessEncrypted),
+        DataLocation::ProviderStorage,
+        DataLocation::PublicForum,
+        DataLocation::LawfullyObtainedMedia,
+        DataLocation::RemoteComputer,
+    ];
+    let mut specs = Vec::new();
+    for c in categories {
+        for t in temporalities {
+            for l in locations {
+                specs.push(DataSpec::new(c, t, l));
+            }
+        }
+    }
+    specs
+}
+
+/// Every single-flag variation applied on top of a bare action: each
+/// method flag, each circumstance flag, and one representative of each
+/// exception record.
+fn single_flag_variants(actor: Actor, spec: DataSpec) -> Vec<InvestigativeAction> {
+    let base = || InvestigativeAction::builder(actor, spec);
+    vec![
+        base().build(),
+        base().joining_public_protocol().build(),
+        base().with_specialized_tech(false).build(),
+        base().with_specialized_tech(true).build(),
+        base().exhaustive_forensic_search().build(),
+        base().mining_lawfully_held_dataset().build(),
+        base().using_arrestee_credentials().build(),
+        base().rate_observation_only().build(),
+        base().operating_intercepting_infrastructure().build(),
+        base().policy_eliminates_privacy().build(),
+        base().victim_authorized_trespasser_monitoring().build(),
+        base().target_on_probation().build(),
+        base().plain_view().build(),
+        base().repeating_private_search().build(),
+        base().target_operates_as_provider().build(),
+        base()
+            .with_consent(Consent::by(ConsentAuthority::TargetSelf))
+            .build(),
+        base()
+            .with_consent(Consent::by(ConsentAuthority::TargetSelf).revoked())
+            .build(),
+        base()
+            .with_exigency(Exigency::ImminentEvidenceDestruction)
+            .build(),
+        base()
+            .with_emergency_pen_trap(EmergencyPenTrap::new(
+                EmergencyPenTrapGround::OngoingProtectedComputerAttack,
+                true,
+            ))
+            .build(),
+        base()
+            .with_emergency_pen_trap(EmergencyPenTrap::new(
+                EmergencyPenTrapGround::OngoingProtectedComputerAttack,
+                false,
+            ))
+            .build(),
+        base()
+            .compelling_provider(ProviderCompulsion {
+                lifecycle: MessageLifecycle::new(
+                    ProviderPublicity::Public,
+                    MessageStage::AwaitingRetrieval,
+                ),
+                info: CompelledInfo::UnopenedContent,
+            })
+            .build(),
+        base()
+            .compelling_provider(ProviderCompulsion {
+                lifecycle: MessageLifecycle::new(
+                    ProviderPublicity::NonPublic,
+                    MessageStage::OpenedInStorage,
+                ),
+                info: CompelledInfo::BasicSubscriberInfo,
+            })
+            .build(),
+    ]
+}
+
+fn full_sweep() -> Vec<InvestigativeAction> {
+    let mut actions = Vec::new();
+    for actor in all_actors() {
+        for spec in all_data_specs() {
+            actions.extend(single_flag_variants(actor, spec));
+        }
+    }
+    actions
+}
+
+/// Cache and batch answers must be byte-identical to a fresh engine run,
+/// across the entire swept space.
+#[test]
+fn cache_and_batch_agree_with_fresh_engine_everywhere() {
+    let actions = full_sweep();
+    let engine = ComplianceEngine::new();
+    let cache = VerdictCache::new();
+    let assessor = BatchAssessor::new().with_threads(4);
+
+    let batched = assessor.assess_all(&actions);
+    assert_eq!(batched.len(), actions.len());
+
+    for (action, from_batch) in actions.iter().zip(&batched) {
+        let fresh = engine.assess(action);
+        let from_cache = cache.assess(&engine, action);
+
+        for (label, got) in [("cache", &*from_cache), ("batch", &**from_batch)] {
+            assert_eq!(
+                got.verdict(),
+                fresh.verdict(),
+                "{label} verdict for {action}"
+            );
+            assert_eq!(
+                got.confidence(),
+                fresh.confidence(),
+                "{label} confidence for {action}"
+            );
+            assert_eq!(
+                got.governing_authorities(),
+                fresh.governing_authorities(),
+                "{label} authorities for {action}"
+            );
+            assert_eq!(
+                got.rationale(),
+                fresh.rationale(),
+                "{label} rationale for {action}"
+            );
+        }
+    }
+}
+
+/// Equal fact keys must imply equal assessments over the swept space —
+/// the soundness property the cache rests on, checked behaviorally.
+#[test]
+fn equal_keys_imply_equal_assessments_across_sweep() {
+    use std::collections::HashMap;
+    let engine = ComplianceEngine::new();
+    let mut seen: HashMap<FactKey, (String, String)> = HashMap::new();
+    for action in full_sweep() {
+        let a = engine.assess(&action);
+        let summary = (format!("{:?}", a.verdict()), a.rationale().to_string());
+        match seen.get(&FactKey::of(&action)) {
+            None => {
+                seen.insert(FactKey::of(&action), summary);
+            }
+            Some(prior) => {
+                assert_eq!(
+                    prior, &summary,
+                    "two actions with equal keys assessed differently: {action}"
+                );
+            }
+        }
+    }
+}
+
+/// Monotonicity (§III: more process never hurts) holds across the entire
+/// swept space, through the batch pipeline.
+#[test]
+fn monotonicity_more_process_never_hurts_across_sweep() {
+    let actions = full_sweep();
+    let assessor = BatchAssessor::new();
+    for (action, assessment) in actions.iter().zip(assessor.assess_all(&actions)) {
+        let mut prev = false;
+        for p in LegalProcess::ALL {
+            let now = assessment.is_lawful_with(p);
+            assert!(
+                !prev || now,
+                "legality regressed from weaker to stronger process at {p} for {action}"
+            );
+            prev = now;
+        }
+    }
+}
+
+/// The sweep has real breadth: thousands of actions, hundreds of distinct
+/// fact keys, and the cache deduplicates exactly the repeats.
+#[test]
+fn sweep_exercises_a_large_distinct_key_space() {
+    use std::collections::HashSet;
+    let actions = full_sweep();
+    let distinct: HashSet<FactKey> = actions.iter().map(FactKey::of).collect();
+    assert!(actions.len() > 10_000, "sweep too small: {}", actions.len());
+    assert!(
+        distinct.len() > 1_000,
+        "key space too small: {}",
+        distinct.len()
+    );
+
+    let assessor = BatchAssessor::new();
+    let (_, report) = assessor.assess_all_with_report(&actions);
+    assert_eq!(report.actions, actions.len() as u64);
+    assert_eq!(report.cache.misses, distinct.len() as u64);
+    assert_eq!(
+        report.cache.hits,
+        actions.len() as u64 - distinct.len() as u64
+    );
+}

@@ -32,7 +32,15 @@ fn assess_wiretap_posture() {
 #[test]
 fn assess_rate_only_downgrades_to_court_order() {
     let out = run(&[
-        "assess", "--actor", "leo", "--data", "content", "--when", "realtime", "--where", "isp",
+        "assess",
+        "--actor",
+        "leo",
+        "--data",
+        "content",
+        "--when",
+        "realtime",
+        "--where",
+        "isp",
         "--rate-only",
     ]);
     let stdout = String::from_utf8(out.stdout).unwrap();
@@ -42,7 +50,13 @@ fn assess_rate_only_downgrades_to_court_order() {
 #[test]
 fn assess_admin_own_network_is_free() {
     let out = run(&[
-        "assess", "--actor", "admin", "--data", "headers", "--where", "own-network",
+        "assess",
+        "--actor",
+        "admin",
+        "--data",
+        "headers",
+        "--where",
+        "own-network",
     ]);
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("no need"), "{stdout}");
@@ -68,4 +82,116 @@ fn bad_usage_exits_2() {
     assert_eq!(out.status.code(), Some(2));
     let out = run(&["assess", "--where", "narnia"]);
     assert_eq!(out.status.code(), Some(2));
+}
+
+/// Run `assess-batch` with `input` piped on stdin.
+fn run_batch_stdin(input: &str) -> std::process::Output {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lexforensica"))
+        .args(["assess-batch", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
+    child.wait_with_output().expect("binary exits")
+}
+
+/// The checked-in fixture must produce this exact verdict stream — the
+/// golden record for the batch pipeline end to end, including Table 1
+/// rows 7 (pen/trap), 8 (wiretap), and 12 (provider-operated server).
+#[test]
+fn assess_batch_fixture_matches_golden_output() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/assess_batch.jsonl"
+    );
+    let out = run(&["assess-batch", fixture]);
+    assert!(out.status.success(), "{:?}", out);
+
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let golden = "\
+#1 need (court order) [settled] -- row 7: pen/trap on addressing data at the ISP
+#2 need (wiretap order) [settled] -- row 8: real-time content interception at the ISP
+#4 need (search warrant) [settled] -- row 12: hidden server operating as a provider
+#5 no need [settled] -- admin collects headers realtime at own-network
+#6 need (court order) [settled] -- traffic-rate watermark tracing only
+#7 unlawful for a private actor [authors' judgment (*)] -- private collects content realtime at wireless
+#8 no need [settled] -- device search with the target's consent
+#9 need (subpoena) [settled] -- subscriber records subpoenaed from the provider
+#10 no need [settled] -- forensic image of a probationer's seized laptop
+#11 no need [settled] -- monitoring an open P2P protocol
+";
+    assert_eq!(stdout, golden);
+
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("10 actions"), "{stderr}");
+    assert!(stderr.contains("10 misses"), "{stderr}");
+}
+
+/// Repeated fact patterns on stdin are deduplicated by the verdict cache;
+/// the report on stderr shows the hits.
+#[test]
+fn assess_batch_reports_cache_hits_for_repeats() {
+    let line = r#"{"actor": "leo", "data": "content", "when": "realtime", "where": "isp"}"#;
+    let input = format!("{line}\n{line}\n{line}\n");
+    let out = run_batch_stdin(&input);
+    assert!(out.status.success());
+
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for n in 1..=3 {
+        assert!(
+            stdout.contains(&format!("#{n} need (wiretap order) [settled]")),
+            "{stdout}"
+        );
+    }
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("2 hits, 1 misses"), "{stderr}");
+}
+
+/// A malformed line is reported to stderr with its 1-based line number
+/// and fails the run, but the remaining lines are still assessed.
+#[test]
+fn assess_batch_malformed_line_is_reported_not_fatal() {
+    let input = concat!(
+        r#"{"actor": "leo", "data": "headers", "when": "realtime", "where": "isp"}"#,
+        "\n",
+        "this is not json\n",
+        r#"{"actor": "leo", "where": "narnia"}"#,
+        "\n",
+        r#"{"actor": "admin", "data": "headers", "where": "own-network"}"#,
+        "\n",
+    );
+    let out = run_batch_stdin(input);
+    assert_eq!(out.status.code(), Some(1));
+
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 2:"), "{stderr}");
+    assert!(stderr.contains("line 3:"), "{stderr}");
+    assert!(stderr.contains("narnia"), "{stderr}");
+    assert!(stderr.contains("2 malformed line(s) skipped"), "{stderr}");
+
+    // The good lines around the bad ones were still assessed.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("#1 need (court order) [settled]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("#4 no need [settled]"), "{stdout}");
+}
+
+/// A missing input file is a usage-level failure, not a panic.
+#[test]
+fn assess_batch_missing_file_fails_cleanly() {
+    let out = run(&["assess-batch", "/nonexistent/batch.jsonl"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.is_empty());
 }

@@ -1,4 +1,11 @@
 //! Property-based tests over the workspace's core invariants.
+//!
+//! These originally ran under `proptest`; the workspace must now build in
+//! fully offline environments with no crates.io registry, so the
+//! properties are driven by a small deterministic xorshift generator
+//! instead. Each property sweeps either the full finite input space or a
+//! fixed number of pseudo-random cases from a constant seed, so failures
+//! reproduce exactly.
 
 use lexforensica::evidence::custody::{CustodyEvent, CustodyLog};
 use lexforensica::evidence::hash::{sha256, Digest, Sha256};
@@ -7,44 +14,78 @@ use lexforensica::law::prelude::*;
 use lexforensica::law::suppression::Docket;
 use lexforensica::netsim::prelude::*;
 use lexforensica::watermark::pn::PnCode;
-use proptest::prelude::*;
 
-// ---------------------------------------------------------------------
-// Legal-process lattice invariants.
-// ---------------------------------------------------------------------
+/// Deterministic xorshift64* generator — the only randomness source in
+/// this suite.
+struct Rng(u64);
 
-fn arb_process() -> impl Strategy<Value = LegalProcess> {
-    prop::sample::select(LegalProcess::ALL.to_vec())
-}
-
-fn arb_standard() -> impl Strategy<Value = FactualStandard> {
-    prop::sample::select(FactualStandard::ALL.to_vec())
-}
-
-proptest! {
-    /// satisfies() is exactly the lattice order.
-    #[test]
-    fn process_satisfaction_is_monotone(a in arb_process(), b in arb_process()) {
-        prop_assert_eq!(a.satisfies(b), a >= b);
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
     }
 
-    /// A standard sufficient for a process is sufficient for every weaker
-    /// process.
-    #[test]
-    fn standard_sufficiency_is_downward_closed(s in arb_standard(), p in arb_process(), q in arb_process()) {
-        if s.suffices_for(p) && q <= p {
-            prop_assert!(s.suffices_for(q));
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform value in `0..n`.
+    fn gen_range(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn pick<T: Copy>(&mut self, options: &[T]) -> T {
+        options[self.gen_range(options.len())]
+    }
+
+    fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.gen_range(max_len + 1);
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legal-process lattice invariants (finite space: swept exhaustively).
+// ---------------------------------------------------------------------
+
+#[test]
+fn process_satisfaction_is_monotone() {
+    for a in LegalProcess::ALL {
+        for b in LegalProcess::ALL {
+            assert_eq!(a.satisfies(b), a >= b);
         }
     }
+}
 
-    /// strongest_obtainable is the max process the standard suffices for.
-    #[test]
-    fn strongest_obtainable_is_tight(s in arb_standard()) {
+#[test]
+fn standard_sufficiency_is_downward_closed() {
+    for s in FactualStandard::ALL {
+        for p in LegalProcess::ALL {
+            for q in LegalProcess::ALL {
+                if s.suffices_for(p) && q <= p {
+                    assert!(s.suffices_for(q));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn strongest_obtainable_is_tight() {
+    for s in FactualStandard::ALL {
         let strongest = s.strongest_obtainable();
-        prop_assert!(s.suffices_for(strongest));
+        assert!(s.suffices_for(strongest));
         for p in LegalProcess::ALL {
             if p > strongest {
-                prop_assert!(!s.suffices_for(p));
+                assert!(!s.suffices_for(p));
             }
         }
     }
@@ -54,124 +95,116 @@ proptest! {
 // Engine invariants over random actions.
 // ---------------------------------------------------------------------
 
-fn arb_data_spec() -> impl Strategy<Value = DataSpec> {
-    let category = prop::sample::select(vec![
+const ALL_LOCATIONS: [DataLocation; 9] = [
+    DataLocation::SuspectDevice,
+    DataLocation::InTransit(TransmissionMedium::OwnNetwork),
+    DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+    DataLocation::InTransit(TransmissionMedium::WirelessUnencrypted),
+    DataLocation::InTransit(TransmissionMedium::WirelessEncrypted),
+    DataLocation::ProviderStorage,
+    DataLocation::PublicForum,
+    DataLocation::LawfullyObtainedMedia,
+    DataLocation::RemoteComputer,
+];
+
+fn gen_data_spec(rng: &mut Rng) -> DataSpec {
+    let category = rng.pick(&[
         ContentClass::Content,
         ContentClass::NonContentAddressing,
         ContentClass::SubscriberRecords,
         ContentClass::TransactionalRecords,
     ]);
-    let temporality = prop::sample::select(vec![
+    let temporality = rng.pick(&[
         Temporality::RealTime,
         Temporality::stored_unopened(),
         Temporality::stored_opened(),
     ]);
-    let location = prop::sample::select(vec![
-        DataLocation::SuspectDevice,
-        DataLocation::InTransit(TransmissionMedium::OwnNetwork),
-        DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
-        DataLocation::InTransit(TransmissionMedium::WirelessUnencrypted),
-        DataLocation::InTransit(TransmissionMedium::WirelessEncrypted),
-        DataLocation::ProviderStorage,
-        DataLocation::PublicForum,
-        DataLocation::LawfullyObtainedMedia,
-        DataLocation::RemoteComputer,
+    let location = rng.pick(&ALL_LOCATIONS);
+    DataSpec::new(category, temporality, location)
+}
+
+fn gen_actor(rng: &mut Rng) -> Actor {
+    let kind = rng.pick(&[
+        ActorKind::LawEnforcement,
+        ActorKind::GovernmentEmployer,
+        ActorKind::PrivateIndividual,
+        ActorKind::SystemAdministrator,
+        ActorKind::ServiceProvider,
+        ActorKind::Victim,
     ]);
-    (category, temporality, location).prop_map(|(c, t, l)| DataSpec::new(c, t, l))
+    let a = Actor::new(kind);
+    if rng.gen_bool() {
+        a.directed_by_government()
+    } else {
+        a
+    }
 }
 
-fn arb_actor() -> impl Strategy<Value = Actor> {
-    (
-        prop::sample::select(vec![
-            ActorKind::LawEnforcement,
-            ActorKind::GovernmentEmployer,
-            ActorKind::PrivateIndividual,
-            ActorKind::SystemAdministrator,
-            ActorKind::ServiceProvider,
-            ActorKind::Victim,
-        ]),
-        any::<bool>(),
-    )
-        .prop_map(|(kind, directed)| {
-            let a = Actor::new(kind);
-            if directed {
-                a.directed_by_government()
-            } else {
-                a
-            }
-        })
+fn gen_action(rng: &mut Rng) -> InvestigativeAction {
+    let mut b = InvestigativeAction::builder(gen_actor(rng), gen_data_spec(rng));
+    if rng.gen_bool() {
+        b.joining_public_protocol();
+    }
+    if rng.gen_bool() {
+        b.rate_observation_only();
+    }
+    if rng.gen_bool() {
+        b.exhaustive_forensic_search();
+    }
+    if rng.gen_bool() {
+        b.with_consent(Consent::by(ConsentAuthority::TargetSelf));
+    }
+    if rng.gen_bool() {
+        b.target_on_probation();
+    }
+    b.build()
 }
 
-fn arb_action() -> impl Strategy<Value = InvestigativeAction> {
-    (
-        arb_actor(),
-        arb_data_spec(),
-        any::<bool>(), // joins_public_protocol
-        any::<bool>(), // rate_observation_only
-        any::<bool>(), // exhaustive
-        any::<bool>(), // consent
-        any::<bool>(), // probation
-    )
-        .prop_map(
-            |(actor, spec, public, rate, exhaustive, consent, probation)| {
-                let mut b = InvestigativeAction::builder(actor, spec);
-                if public {
-                    b.joining_public_protocol();
-                }
-                if rate {
-                    b.rate_observation_only();
-                }
-                if exhaustive {
-                    b.exhaustive_forensic_search();
-                }
-                if consent {
-                    b.with_consent(Consent::by(ConsentAuthority::TargetSelf));
-                }
-                if probation {
-                    b.target_on_probation();
-                }
-                b.build()
-            },
-        )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Legality is monotone in held process: if lawful with p, lawful
-    /// with any stronger q.
-    #[test]
-    fn engine_legality_monotone_in_process(action in arb_action()) {
+/// Legality is monotone in held process: if lawful with p, lawful with any
+/// stronger q.
+#[test]
+fn engine_legality_monotone_in_process() {
+    let mut rng = Rng::new(0xE1E1_0001);
+    for _ in 0..256 {
+        let action = gen_action(&mut rng);
         let out = ComplianceEngine::new().assess(&action);
         let mut prev = false;
         for p in LegalProcess::ALL {
             let now = out.is_lawful_with(p);
-            prop_assert!(!prev || now, "legality regressed at {p}");
+            assert!(!prev || now, "legality regressed at {p}");
             prev = now;
         }
     }
+}
 
-    /// The engine always produces a rationale and is deterministic.
-    #[test]
-    fn engine_is_deterministic_with_rationale(action in arb_action()) {
+/// The engine always produces a rationale and is deterministic.
+#[test]
+fn engine_is_deterministic_with_rationale() {
+    let mut rng = Rng::new(0xE1E1_0002);
+    for _ in 0..256 {
+        let action = gen_action(&mut rng);
         let engine = ComplianceEngine::new();
         let a = engine.assess(&action);
         let b = engine.assess(&action);
-        prop_assert_eq!(a.verdict(), b.verdict());
-        prop_assert!(!a.rationale().is_empty());
+        assert_eq!(a.verdict(), b.verdict());
+        assert!(!a.rationale().is_empty());
     }
+}
 
-    /// Private actors never get a "process required" verdict — either
-    /// the act needs nothing or it is flatly unlawful for them.
-    #[test]
-    fn private_actors_never_told_to_get_warrants(spec in arb_data_spec(), public in any::<bool>()) {
+/// Private actors never get a "process required" verdict — either the act
+/// needs nothing or it is flatly unlawful for them.
+#[test]
+fn private_actors_never_told_to_get_warrants() {
+    let mut rng = Rng::new(0xE1E1_0003);
+    for _ in 0..256 {
+        let spec = gen_data_spec(&mut rng);
         let mut b = InvestigativeAction::builder(Actor::private_individual(), spec);
-        if public {
+        if rng.gen_bool() {
             b.joining_public_protocol();
         }
         let action = b.build();
         let v = ComplianceEngine::new().assess(&action).verdict();
-        prop_assert!(
+        assert!(
             !matches!(v, Verdict::ProcessRequired(_)),
             "private actor got {v:?}"
         );
@@ -182,36 +215,49 @@ proptest! {
 // Hashing invariants.
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Incremental hashing over arbitrary chunkings matches one-shot.
-    #[test]
-    fn sha256_chunking_invariance(data in prop::collection::vec(any::<u8>(), 0..2048), cuts in prop::collection::vec(any::<u16>(), 0..8)) {
+/// Incremental hashing over arbitrary chunkings matches one-shot.
+#[test]
+fn sha256_chunking_invariance() {
+    let mut rng = Rng::new(0x5A5A_0001);
+    for _ in 0..64 {
+        let data = rng.bytes(2048);
+        let n_cuts = rng.gen_range(8);
         let oneshot = sha256(&data);
         let mut h = Sha256::new();
         let mut rest: &[u8] = &data;
-        for c in cuts {
-            if rest.is_empty() { break; }
-            let k = (c as usize) % rest.len().max(1);
+        for _ in 0..n_cuts {
+            if rest.is_empty() {
+                break;
+            }
+            let k = rng.gen_range(rest.len().max(1));
             h.update(&rest[..k]);
             rest = &rest[k..];
         }
         h.update(rest);
-        prop_assert_eq!(h.finalize(), oneshot);
+        assert_eq!(h.finalize(), oneshot);
     }
+}
 
-    /// Hex round trip is the identity.
-    #[test]
-    fn digest_hex_round_trip(data in prop::collection::vec(any::<u8>(), 0..256)) {
-        let d = sha256(&data);
-        prop_assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+/// Hex round trip is the identity.
+#[test]
+fn digest_hex_round_trip() {
+    let mut rng = Rng::new(0x5A5A_0002);
+    for _ in 0..64 {
+        let d = sha256(rng.bytes(256));
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
     }
+}
 
-    /// Different inputs give different digests (collision resistance at
-    /// property-test scale).
-    #[test]
-    fn sha256_injective_on_samples(a in prop::collection::vec(any::<u8>(), 0..128), b in prop::collection::vec(any::<u8>(), 0..128)) {
+/// Different inputs give different digests (collision resistance at
+/// property-test scale).
+#[test]
+fn sha256_injective_on_samples() {
+    let mut rng = Rng::new(0x5A5A_0003);
+    for _ in 0..64 {
+        let a = rng.bytes(128);
+        let b = rng.bytes(128);
         if a != b {
-            prop_assert_ne!(sha256(&a), sha256(&b));
+            assert_ne!(sha256(&a), sha256(&b));
         }
     }
 }
@@ -220,20 +266,30 @@ proptest! {
 // Custody-chain invariants.
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Any well-formed event sequence verifies; any single doctored
-    /// digest breaks verification.
-    #[test]
-    fn custody_chain_tamper_evidence(n in 1usize..20, tamper_at in 0usize..20) {
+/// Any well-formed event sequence verifies; any single doctored digest
+/// breaks verification.
+#[test]
+fn custody_chain_tamper_evidence() {
+    let mut rng = Rng::new(0xC0C0_0001);
+    for _ in 0..32 {
+        let n = 1 + rng.gen_range(19);
+        let tamper_at = rng.gen_range(20);
         let mut log = CustodyLog::new();
         let d = sha256(b"content");
         for i in 0..n {
-            log.record(ItemId(1), i as u64, CustodyEvent::Sealed { by: format!("c{i}") }, d);
+            log.record(
+                ItemId(1),
+                i as u64,
+                CustodyEvent::Sealed {
+                    by: format!("c{i}"),
+                },
+                d,
+            );
         }
-        prop_assert!(log.verify().is_ok());
+        assert!(log.verify().is_ok());
         if tamper_at < n {
             log.tamper_content_digest(tamper_at, sha256(b"doctored"));
-            prop_assert!(log.verify().is_err());
+            assert!(log.verify().is_err());
         }
     }
 }
@@ -242,15 +298,14 @@ proptest! {
 // Suppression-DAG invariants.
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// In a random docket, every item derived (transitively) from a
-    /// directly suppressed root is inadmissible unless it has an
-    /// independent source.
-    #[test]
-    fn taint_propagates_transitively(
-        lawful_roots in 1usize..4,
-        chain_len in 1usize..6,
-    ) {
+/// In a random docket, every item derived (transitively) from a directly
+/// suppressed root is inadmissible unless it has an independent source.
+#[test]
+fn taint_propagates_transitively() {
+    let mut rng = Rng::new(0xDAC0_0001);
+    for _ in 0..32 {
+        let lawful_roots = 1 + rng.gen_range(3);
+        let chain_len = 1 + rng.gen_range(5);
         let mut docket = Docket::new();
         let bad = docket.add_root("bad", LegalProcess::SearchWarrant, LegalProcess::None);
         for _ in 0..lawful_roots {
@@ -258,12 +313,17 @@ proptest! {
         }
         let mut prev = bad;
         for i in 0..chain_len {
-            prev = docket.add_derived(format!("d{i}"), LegalProcess::None, LegalProcess::None, [prev]);
-            prop_assert!(!docket.admissibility(prev).is_admissible());
+            prev = docket.add_derived(
+                format!("d{i}"),
+                LegalProcess::None,
+                LegalProcess::None,
+                [prev],
+            );
+            assert!(!docket.admissibility(prev).is_admissible());
         }
         // Independent source cures the last link.
         docket.set_independent_source(prev);
-        prop_assert!(docket.admissibility(prev).is_admissible());
+        assert!(docket.admissibility(prev).is_admissible());
     }
 }
 
@@ -271,19 +331,24 @@ proptest! {
 // PN-code invariants.
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Every supported m-sequence is balanced and has two-valued
-    /// autocorrelation.
-    #[test]
-    fn m_sequence_properties(degree in 3u32..12, seed in 1u32..1000, shift in 1usize..100) {
-        let code = PnCode::m_sequence(degree, seed);
-        prop_assert_eq!(code.len(), (1usize << degree) - 1);
-        prop_assert_eq!(code.balance().abs(), 1);
-        let s = shift % code.len();
-        if s != 0 {
-            prop_assert_eq!(code.autocorrelation(s), -1);
+/// Every supported m-sequence is balanced and has two-valued
+/// autocorrelation.
+#[test]
+fn m_sequence_properties() {
+    let mut rng = Rng::new(0xB1B1_0001);
+    for degree in 3u32..12 {
+        for _ in 0..4 {
+            let seed = 1 + rng.gen_range(999) as u32;
+            let shift = 1 + rng.gen_range(99);
+            let code = PnCode::m_sequence(degree, seed);
+            assert_eq!(code.len(), (1usize << degree) - 1);
+            assert_eq!(code.balance().abs(), 1);
+            let s = shift % code.len();
+            if s != 0 {
+                assert_eq!(code.autocorrelation(s), -1);
+            }
+            assert_eq!(code.autocorrelation(0), code.len() as i32);
         }
-        prop_assert_eq!(code.autocorrelation(0), code.len() as i32);
     }
 }
 
@@ -291,13 +356,15 @@ proptest! {
 // Simulator invariants.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Deliveries never exceed sends, and the same seed reproduces the
-    /// same counters.
-    #[test]
-    fn simulator_conservation_and_determinism(seed in any::<u64>(), n_nodes in 2usize..8, rate in 1u64..50) {
+/// Deliveries never exceed sends, and the same seed reproduces the same
+/// counters.
+#[test]
+fn simulator_conservation_and_determinism() {
+    let mut rng = Rng::new(0x51D0_0001);
+    for _ in 0..8 {
+        let seed = rng.next_u64();
+        let n_nodes = 2 + rng.gen_range(6);
+        let rate = 1 + rng.gen_range(49) as u64;
         let build = || {
             let mut topo = Topology::new();
             let nodes = topo.add_nodes(n_nodes);
@@ -307,7 +374,12 @@ proptest! {
             let mut sim = Simulator::new(topo, seed);
             sim.set_protocol(
                 nodes[0],
-                CbrSource::new(*nodes.last().unwrap(), FlowId(1), 64, SimDuration::from_millis(1000 / rate)),
+                CbrSource::new(
+                    *nodes.last().unwrap(),
+                    FlowId(1),
+                    64,
+                    SimDuration::from_millis(1000 / rate),
+                ),
             );
             sim.set_protocol(*nodes.last().unwrap(), CountingSink::new());
             sim.run_until(SimTime::from_secs(2));
@@ -315,29 +387,44 @@ proptest! {
         };
         let a = build();
         let b = build();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         // The CBR interval is 1000/rate ms (integer division), so the
         // achievable count over 2s is 2000/interval, plus slack.
         let interval_ms = 1000 / rate;
-        prop_assert!(a.delivered <= 2000 / interval_ms + 2);
+        assert!(a.delivered <= 2000 / interval_ms + 2);
     }
+}
 
-    /// Rate series conserves observed bytes within the window.
-    #[test]
-    fn rate_series_conserves_bytes(payload in 1usize..512, count in 1u64..40) {
+/// Rate series conserves observed bytes within the window.
+#[test]
+fn rate_series_conserves_bytes() {
+    let mut rng = Rng::new(0x51D0_0002);
+    for _ in 0..8 {
+        let payload = 1 + rng.gen_range(511);
+        let count = 1 + rng.gen_range(39) as u64;
         let mut topo = Topology::new();
         let a = topo.add_node();
         let b = topo.add_node();
         topo.connect(a, b, SimDuration::from_millis(1));
         let mut sim = Simulator::new(topo, 1);
-        let tap = sim.add_tap(Tap::new(TapPoint::Node(b), CaptureScope::RateOnly, CaptureFilter::any()));
-        sim.set_protocol(a, CbrSource::new(b, FlowId(1), payload, SimDuration::from_millis(50)).until(SimTime::from_millis(50 * count)));
+        let tap = sim.add_tap(Tap::new(
+            TapPoint::Node(b),
+            CaptureScope::RateOnly,
+            CaptureFilter::any(),
+        ));
+        sim.set_protocol(
+            a,
+            CbrSource::new(b, FlowId(1), payload, SimDuration::from_millis(50))
+                .until(SimTime::from_millis(50 * count)),
+        );
         sim.set_protocol(b, CountingSink::new());
         sim.run_until(SimTime::from_secs(10));
         let total = sim.tap(tap).total_bytes();
-        let series = sim.tap(tap).rate_series(SimTime::ZERO, SimDuration::from_secs(1), 20);
+        let series = sim
+            .tap(tap)
+            .rate_series(SimTime::ZERO, SimDuration::from_secs(1), 20);
         let from_series: f64 = series.iter().sum::<f64>(); // bins are 1s wide
-        prop_assert!((from_series - total as f64).abs() < 1e-6);
+        assert!((from_series - total as f64).abs() < 1e-6);
     }
 }
 
@@ -347,16 +434,17 @@ proptest! {
 
 use lexforensica::anonsim::onion::{peel, wrap, OnionNext};
 
-proptest! {
-    /// wrap→peel over arbitrary payloads and path lengths is the
-    /// identity, layer by layer.
-    #[test]
-    fn onion_wrap_peel_round_trip(
-        payload in prop::collection::vec(any::<u8>(), 0..512),
-        keys in prop::collection::vec(1u64..u64::MAX, 1..5),
-        dst in 0usize..1000,
-        nonce in any::<u64>(),
-    ) {
+/// wrap→peel over arbitrary payloads and path lengths is the identity,
+/// layer by layer.
+#[test]
+fn onion_wrap_peel_round_trip() {
+    let mut rng = Rng::new(0x0110_0001);
+    for _ in 0..32 {
+        let payload = rng.bytes(512);
+        let n_keys = 1 + rng.gen_range(4);
+        let keys: Vec<u64> = (0..n_keys).map(|_| rng.next_u64().max(1)).collect();
+        let dst = rng.gen_range(1000);
+        let nonce = rng.next_u64();
         let path: Vec<(NodeId, u64)> = keys
             .iter()
             .enumerate()
@@ -366,23 +454,31 @@ proptest! {
         for (i, &(_, key)) in path.iter().enumerate() {
             let (next, inner) = peel(key, &cell).expect("peels");
             if i + 1 < path.len() {
-                prop_assert_eq!(next, OnionNext::Forward(path[i + 1].0));
+                assert_eq!(next, OnionNext::Forward(path[i + 1].0));
             } else {
-                prop_assert_eq!(next, OnionNext::Deliver(NodeId(dst)));
-                prop_assert_eq!(&inner, &payload);
+                assert_eq!(next, OnionNext::Deliver(NodeId(dst)));
+                assert_eq!(&inner, &payload);
             }
             cell = inner;
         }
     }
+}
 
-    /// The outermost ciphertext never contains a (sufficiently long)
-    /// payload substring in the clear.
-    #[test]
-    fn onion_hides_long_payloads(seed in any::<u64>()) {
-        let payload: Vec<u8> = (0..64).map(|i| (seed.wrapping_mul(i as u64 + 1) >> 13) as u8).collect();
+/// The outermost ciphertext never contains a (sufficiently long) payload
+/// substring in the clear.
+#[test]
+fn onion_hides_long_payloads() {
+    let mut rng = Rng::new(0x0110_0002);
+    for _ in 0..32 {
+        let seed = rng.next_u64();
+        let payload: Vec<u8> = (0..64)
+            .map(|i| (seed.wrapping_mul(i as u64 + 1) >> 13) as u8)
+            .collect();
         let path = [(NodeId(1), 0x1111_u64), (NodeId(2), 0x2222)];
         let cell = wrap(&path, NodeId(3), seed, &payload);
-        prop_assert!(!cell.windows(16).any(|w| payload.windows(16).any(|p| p == w)));
+        assert!(!cell
+            .windows(16)
+            .any(|w| payload.windows(16).any(|p| p == w)));
     }
 }
 
@@ -392,23 +488,35 @@ proptest! {
 
 use lexforensica::law::warrant::{review_execution, ExecutionEvent, WarrantSpec};
 
-proptest! {
-    /// Seizures inside scope and window are never defective; outside
-    /// either, always defective.
-    #[test]
-    fn warrant_scope_is_exact(day in 0u32..40, in_category in any::<bool>(), in_location in any::<bool>()) {
-        let warrant = WarrantSpec::for_crime("fraud")
-            .records("ledgers")
-            .location("office")
-            .execution_window_days(14)
-            .build();
-        let event = ExecutionEvent::Seize {
-            category: if in_category { "ledgers".into() } else { "diaries".into() },
-            location: if in_location { "office".into() } else { "home".into() },
-            day,
-        };
-        let review = review_execution(&warrant, &[event]);
-        let should_be_clean = in_category && in_location && day <= 14;
-        prop_assert_eq!(review.is_clean(), should_be_clean);
+/// Seizures inside scope and window are never defective; outside either,
+/// always defective (swept over the full day × category × location grid).
+#[test]
+fn warrant_scope_is_exact() {
+    for day in 0u32..40 {
+        for in_category in [false, true] {
+            for in_location in [false, true] {
+                let warrant = WarrantSpec::for_crime("fraud")
+                    .records("ledgers")
+                    .location("office")
+                    .execution_window_days(14)
+                    .build();
+                let event = ExecutionEvent::Seize {
+                    category: if in_category {
+                        "ledgers".into()
+                    } else {
+                        "diaries".into()
+                    },
+                    location: if in_location {
+                        "office".into()
+                    } else {
+                        "home".into()
+                    },
+                    day,
+                };
+                let review = review_execution(&warrant, &[event]);
+                let should_be_clean = in_category && in_location && day <= 14;
+                assert_eq!(review.is_clean(), should_be_clean);
+            }
+        }
     }
 }
