@@ -40,6 +40,21 @@ fn bench_sync_search() {
     }
 }
 
+/// The prefix-sum fast path against the retained naive reference, at the
+/// widest search window — the headline detector speedup.
+fn bench_sync_search_vs_reference() {
+    let b = Bench::new("watermark/sync_search_impl").samples(7);
+    let max_offset = 128;
+    let code = PnCode::m_sequence(9, 1);
+    let mut series = vec![60.0; max_offset];
+    series.extend(ideal_series(&code, 4, 120.0, 40.0));
+    let det = Detector::new(code, 4, max_offset, 0.3);
+    b.run("prefix_sum", || black_box(det.detect(black_box(&series))));
+    b.run("reference", || {
+        black_box(det.detect_reference(black_box(&series)))
+    });
+}
+
 fn bench_autocorrelation() {
     let code = PnCode::m_sequence(11, 1);
     let b = Bench::new("watermark");
@@ -52,5 +67,6 @@ fn main() {
     bench_code_generation();
     bench_despreading();
     bench_sync_search();
+    bench_sync_search_vs_reference();
     bench_autocorrelation();
 }

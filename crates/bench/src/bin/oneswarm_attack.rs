@@ -3,16 +3,31 @@
 //! quality across overlay sizes and delay regimes.
 //!
 //! Run with: `cargo run -p bench --bin oneswarm_attack` (use `--release`
-//! for the larger sweeps).
+//! for the larger sweeps). Takes `--trials N`, `--threads N`, and
+//! `--seed S`; each configuration is averaged over the trials, which fan
+//! out across the worker threads with results independent of the worker
+//! count.
 
-use p2psim::experiment::{run_experiment, ExperimentConfig};
+use bench::cli::Args;
+use p2psim::experiment::{run_experiments_on, ExperimentBatch, ExperimentConfig};
 use p2psim::peer::DelayModel;
+use trials::TrialRunner;
 
 fn main() {
+    let args = Args::parse();
+    let trials = args.usize_flag("trials", 1);
+    let runner =
+        TrialRunner::with_threads(args.usize_flag("threads", TrialRunner::new().threads()));
+    let base_seed = args.u64_flag("seed", 0xa11ce);
+    let run_batch =
+        |cfg: &ExperimentConfig| -> ExperimentBatch { run_experiments_on(&runner, cfg, trials).0 };
+
     println!("E-IV-A — OneSwarm timing-attack feasibility (paper §IV-A)\n");
 
     // Sweep 1: overlay size.
-    println!("sweep 1: overlay size (trust degree 3, delays 150–300 ms, 5 probes/target)");
+    println!(
+        "sweep 1: overlay size (trust degree 3, delays 150–300 ms, 5 probes/target, {trials} trial(s))"
+    );
     println!(
         "{:<8} {:>8} {:>10} {:>10} {:>10}",
         "peers", "targets", "precision", "recall", "accuracy"
@@ -23,17 +38,17 @@ fn main() {
             peers,
             targets: (peers / 4).min(24),
             sources: peers / 8,
-            seed: 0xa11ce ^ peers as u64,
+            seed: base_seed ^ peers as u64,
             ..ExperimentConfig::default()
         };
-        let r = run_experiment(&cfg);
+        let batch = run_batch(&cfg);
         println!(
             "{:<8} {:>8} {:>10} {:>10} {:>10}",
             peers,
             cfg.targets,
-            bench::pct(r.metrics.precision()),
-            bench::pct(r.metrics.recall()),
-            bench::pct(r.metrics.accuracy()),
+            bench::pct(batch.metrics.precision()),
+            bench::pct(batch.metrics.recall()),
+            bench::pct(batch.metrics.accuracy()),
         );
     }
 
@@ -61,21 +76,28 @@ fn main() {
                 source_delay_ms: (lo, hi),
                 forward_delay_ms: (lo, hi),
             },
-            seed: 0xfeed ^ hi,
+            seed: base_seed ^ 0xfeed ^ hi,
             ..ExperimentConfig::default()
         };
-        let r = run_experiment(&cfg);
-        let fp = r
-            .outcomes
+        let batch = run_batch(&cfg);
+        let fp: usize = batch
+            .results
             .iter()
-            .filter(|o| !o.is_source && o.classified_source)
-            .count();
+            .map(|r| {
+                r.outcomes
+                    .iter()
+                    .filter(|o| !o.is_source && o.classified_source)
+                    .count()
+            })
+            .sum();
+        let threshold: f64 = batch.results.iter().map(|r| r.threshold_ms).sum::<f64>()
+            / batch.results.len().max(1) as f64;
         println!(
-            "{:<22} {:>12} {:>10} {:>10}",
+            "{:<22} {:>12} {:>10} {:>10.1}",
             format!("[{lo}, {hi})"),
-            format!("{:.0} ms", r.threshold_ms),
-            bench::pct(r.metrics.accuracy()),
-            fp,
+            format!("{threshold:.0} ms"),
+            bench::pct(batch.metrics.accuracy()),
+            fp as f64 / batch.results.len().max(1) as f64,
         );
     }
 
@@ -87,11 +109,11 @@ fn main() {
     for probes in [1usize, 2, 5, 10] {
         let cfg = ExperimentConfig {
             probes,
-            seed: 0xbead ^ probes as u64,
+            seed: base_seed ^ 0xbead ^ probes as u64,
             ..ExperimentConfig::default()
         };
-        let r = run_experiment(&cfg);
-        println!("{:<8} {:>10}", probes, bench::pct(r.metrics.accuracy()));
+        let batch = run_batch(&cfg);
+        println!("{:<8} {:>10}", probes, bench::pct(batch.metrics.accuracy()));
     }
 
     println!(

@@ -3,27 +3,34 @@
 //! large synthetic workload.
 //!
 //! ```console
-//! $ cargo run --release --bin throughput [N_ACTIONS]
+//! $ cargo run --release --bin throughput -- [N_ACTIONS] [--threads N] [--seed S]
 //! ```
 //!
 //! The workload cycles the paper's twenty Table 1 fact patterns plus a
 //! spread of perturbed variants — many repeats of a few hundred distinct
 //! fact keys, the shape of a real capture-archive sweep. The driver
 //! prints per-strategy wall-clock, throughput, the speedup over the
-//! sequential baseline, and the cache's hit/miss statistics.
+//! sequential baseline, and the cache's hit/miss statistics, and records
+//! the measurements in `BENCH_results.json`. `--seed` shuffles the
+//! workload order (0 keeps the cyclic order); `--threads` pins the batch
+//! assessor's worker count.
 
+use bench::cli::Args;
+use bench::results::{self, Json};
 use forensic_law::batch::{BatchAssessor, VerdictCache};
 use forensic_law::engine::ComplianceEngine;
 use forensic_law::prelude::*;
 use forensic_law::scenarios::table1;
+use netsim::rng::SimRng;
 use std::hint::black_box;
 use std::time::Instant;
 
 const DEFAULT_ACTIONS: usize = 100_000;
 
 /// Deterministic synthetic workload: the Table 1 actions interleaved
-/// with single-flag perturbations of each, cycled up to `n` entries.
-fn workload(n: usize) -> Vec<InvestigativeAction> {
+/// with single-flag perturbations of each, cycled up to `n` entries and
+/// optionally shuffled by `seed` (0 = keep the cyclic order).
+fn workload(n: usize, seed: u64) -> Vec<InvestigativeAction> {
     let mut patterns: Vec<InvestigativeAction> =
         table1().iter().map(|s| s.action().clone()).collect();
 
@@ -44,9 +51,13 @@ fn workload(n: usize) -> Vec<InvestigativeAction> {
         patterns.push(rate_only.build());
     }
 
-    (0..n)
+    let mut actions: Vec<InvestigativeAction> = (0..n)
         .map(|i| patterns[i % patterns.len()].clone())
-        .collect()
+        .collect();
+    if seed != 0 {
+        SimRng::seed_from(seed).shuffle(&mut actions);
+    }
+    actions
 }
 
 fn count_need(assessments: impl IntoIterator<Item = Verdict>) -> usize {
@@ -57,15 +68,21 @@ fn count_need(assessments: impl IntoIterator<Item = Verdict>) -> usize {
 }
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
+    let args = Args::parse();
+    let n: usize = args
+        .positional(0)
         .and_then(|a| a.parse().ok())
-        .unwrap_or(DEFAULT_ACTIONS);
+        .unwrap_or_else(|| args.usize_flag("actions", DEFAULT_ACTIONS));
+    let threads = args.usize_flag(
+        "threads",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+    let seed = args.u64_flag("seed", 0);
 
-    println!("batch-assessment throughput over {n} synthetic actions");
+    println!("batch-assessment throughput over {n} synthetic actions ({threads} threads)");
     bench::rule(72);
 
-    let actions = workload(n);
+    let actions = workload(n, seed);
     let engine = ComplianceEngine::new();
 
     // Strategy 1: sequential, no cache — one full engine run per action.
@@ -92,7 +109,7 @@ fn main() {
     println!("  cache: {}", cache.stats());
 
     // Strategy 3: the batch assessor (threads + shared cache).
-    let assessor = BatchAssessor::new();
+    let assessor = BatchAssessor::new().with_threads(threads);
     let start = Instant::now();
     let (assessments, report) = assessor.assess_all_with_report(&actions);
     let batched = start.elapsed();
@@ -117,4 +134,31 @@ fn main() {
 
     let speedup = seq.as_secs_f64() / batched.as_secs_f64();
     println!("batched speedup over sequential: {speedup:.1}x");
+
+    let entry = |name: &str, wall: std::time::Duration| {
+        Json::obj()
+            .set("name", name)
+            .set("trials", n)
+            .set("wall_ms", wall.as_secs_f64() * 1e3)
+            .set("speedup", seq.as_secs_f64() / wall.as_secs_f64())
+    };
+    let section = Json::obj()
+        .set("name", "throughput")
+        .set(
+            "config",
+            Json::obj()
+                .set("actions", n)
+                .set("threads", threads)
+                .set("seed", seed),
+        )
+        .set(
+            "entries",
+            Json::Arr(vec![
+                entry("sequential", seq),
+                entry("cached", cached),
+                entry("batched", batched),
+            ]),
+        );
+    results::record("throughput", section).expect("write BENCH_results.json");
+    println!("wrote {}", results::RESULTS_FILE);
 }

@@ -4,14 +4,24 @@
 //! against the naive rate-correlation baseline.
 //!
 //! Run with: `cargo run -p bench --bin watermark_detect --release`
-//! (debug builds work but take minutes on the longer codes).
+//! (debug builds work but take minutes on the longer codes). Takes
+//! `--trials N`, `--threads N`, and `--seed S`; trials fan out across the
+//! worker threads with results independent of the worker count.
 
+use bench::cli::Args;
+use trials::TrialRunner;
 use watermark::circuit_experiment::run_circuit_trial;
-use watermark::experiment::{run_trials, WatermarkExperimentConfig};
+use watermark::experiment::{run_trials_on, WatermarkExperimentConfig};
 
 fn main() {
+    let args = Args::parse();
+    let trials = args.usize_flag("trials", 8);
+    let runner =
+        TrialRunner::with_threads(args.usize_flag("threads", TrialRunner::new().threads()));
+    let base_seed = args.u64_flag("seed", 0xbeef);
+    let run_trials =
+        |cfg: &WatermarkExperimentConfig, trials: usize| run_trials_on(&runner, cfg, trials).0;
     println!("E-IV-B — DSSS watermark traceback feasibility (paper §IV-B)\n");
-    let trials = 8;
 
     // Sweep 1: PN code length (longer codes → more despreading gain).
     println!("sweep 1: PN code length (8 suspects, jitter 5–60 ms, {trials} trials each)");
@@ -24,7 +34,7 @@ fn main() {
         let cfg = WatermarkExperimentConfig {
             code_degree: degree,
             chip_ms: 300,
-            seed: 0xbeef ^ degree as u64,
+            seed: base_seed ^ degree as u64,
             ..WatermarkExperimentConfig::default()
         };
         let len = (1u32 << degree) - 1;
@@ -52,7 +62,7 @@ fn main() {
             code_degree: 8,
             chip_ms: 300,
             proxy_jitter_ms: (lo, hi),
-            seed: 0xcafe ^ hi,
+            seed: base_seed ^ 0xcafe ^ hi,
             ..WatermarkExperimentConfig::default()
         };
         let s = run_trials(&cfg, trials);
@@ -73,7 +83,7 @@ fn main() {
             suspects,
             code_degree: 8,
             chip_ms: 300,
-            seed: 0xd00d ^ suspects as u64,
+            seed: base_seed ^ 0xd00d ^ suspects as u64,
             ..WatermarkExperimentConfig::default()
         };
         let s = run_trials(&cfg, trials);
@@ -98,12 +108,13 @@ fn main() {
         let cfg = WatermarkExperimentConfig {
             code_degree: 8,
             chip_ms: 300,
-            seed: 0x0c1c,
+            seed: base_seed ^ 0x0c1c,
             ..WatermarkExperimentConfig::default()
         };
-        let hits = (0..trials)
-            .filter(|&t| run_circuit_trial(&cfg, batching, t as u64).watermark_correct())
-            .count();
+        let (correct, _) = runner.run(trials, |t| {
+            run_circuit_trial(&cfg, batching, t).watermark_correct()
+        });
+        let hits = correct.iter().filter(|&&c| c).count();
         println!(
             "{:<26} {:>12}",
             label,

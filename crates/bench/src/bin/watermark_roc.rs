@@ -2,12 +2,23 @@
 //! operating points for the DSSS despreader — the quantitative basis for
 //! choosing the sigma threshold used in E-IV-B.
 //!
-//! Run with: `cargo run -p bench --bin watermark_roc --release`
+//! Run with: `cargo run -p bench --bin watermark_roc --release`. Takes
+//! `--trials N` (statistic draws per table row), `--threads N`, and
+//! `--seed S`; draws fan out across the worker threads with results
+//! independent of the worker count.
 
+use bench::cli::Args;
+use trials::TrialRunner;
 use watermark::pn::PnCode;
-use watermark::roc::{auc, null_statistics, roc_curve, signal_statistics};
+use watermark::roc::{auc, null_statistics_on, roc_curve, signal_statistics_on};
 
 fn main() {
+    let args = Args::parse();
+    let draws = args.usize_flag("trials", 400);
+    let runner =
+        TrialRunner::with_threads(args.usize_flag("threads", TrialRunner::new().threads()));
+    let base_seed = args.u64_flag("seed", 0);
+
     println!("watermark detector calibration (ours; supports E-IV-B threshold choice)\n");
 
     // Null spread vs code length: σ ≈ 1/√N.
@@ -19,7 +30,15 @@ fn main() {
     bench::rule(40);
     for degree in [6u32, 8, 10] {
         let code = PnCode::m_sequence(degree, 1);
-        let stats = null_statistics(&code, 2, 100.0, 30.0, 400, degree as u64);
+        let stats = null_statistics_on(
+            &runner,
+            &code,
+            2,
+            100.0,
+            30.0,
+            draws,
+            base_seed ^ degree as u64,
+        );
         let mean = stats.iter().sum::<f64>() / stats.len() as f64;
         let sigma =
             (stats.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / stats.len() as f64).sqrt();
@@ -37,8 +56,25 @@ fn main() {
     bench::rule(42);
     let code = PnCode::m_sequence(8, 1);
     for (i, noise) in [20.0f64, 60.0, 150.0, 400.0].iter().enumerate() {
-        let null = null_statistics(&code, 2, 100.0, *noise, 400, 10 + i as u64);
-        let signal = signal_statistics(&code, 2, 120.0, 40.0, *noise, 400, 20 + i as u64);
+        let null = null_statistics_on(
+            &runner,
+            &code,
+            2,
+            100.0,
+            *noise,
+            draws,
+            base_seed ^ (10 + i as u64),
+        );
+        let signal = signal_statistics_on(
+            &runner,
+            &code,
+            2,
+            120.0,
+            40.0,
+            *noise,
+            draws,
+            base_seed ^ (20 + i as u64),
+        );
         let thresholds: Vec<f64> = (0..100).map(|k| k as f64 / 100.0).collect();
         let roc = roc_curve(&null, &signal, &thresholds);
         let a = auc(&roc);

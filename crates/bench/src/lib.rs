@@ -11,8 +11,16 @@
 //! | `suppression` | §I warning — admissible vs suppressed outcomes |
 //! | `p2p_comparison` | Table 1 rows 9/10 ablation — normal vs anonymous P2P |
 //! | `watermark_roc` | detector calibration — null spread, ROC/AUC, repetition gain |
+//! | `throughput` | batch-assessment scaling — sequential vs cached vs threaded |
+//! | `experiments` | parallel trial-runner scaling + detector fast-path vs reference |
+//!
+//! Perf drivers additionally write machine-readable measurements into
+//! [`results::RESULTS_FILE`] so the trajectory is tracked across PRs, and
+//! take `--trials`/`--threads`/`--seed` flags parsed by [`cli::Args`].
 
+pub mod cli;
 pub mod harness;
+pub mod results;
 
 /// Prints a horizontal rule sized to a table width.
 pub fn rule(width: usize) {

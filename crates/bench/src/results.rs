@@ -1,0 +1,428 @@
+//! Machine-readable bench results: a minimal JSON value model and a
+//! merge-writer for `BENCH_results.json`.
+//!
+//! Every perf driver records its measurements under its own top-level key
+//! so the perf trajectory can be tracked across PRs without scraping
+//! stdout. The writer does read-modify-write: other drivers' sections
+//! survive a re-run of one driver. Std-only — the workspace builds fully
+//! offline, so no serde.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The canonical results file name, written into the working directory.
+pub const RESULTS_FILE: &str = "BENCH_results.json";
+
+/// A minimal JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (emitted with enough precision to round-trip).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Self {
+        Json::Num(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Self {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Self {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(x: bool) -> Self {
+        Json::Bool(x)
+    }
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Sets `key` on an object (replacing an existing entry), returning
+    /// `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        let Json::Obj(entries) = &mut self else {
+            panic!("Json::set on a non-object");
+        };
+        let value = value.into();
+        if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            entries.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// Looks `key` up on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent + 1);
+            }),
+            Json::Obj(entries) => write_seq(out, indent, '{', '}', entries.len(), |out, i| {
+                let (k, v) = &entries[i];
+                write_escaped(out, k);
+                out.push_str(": ");
+                v.write(out, indent + 1);
+            }),
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    if len == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    for i in 0..len {
+        out.push('\n');
+        out.push_str(&"  ".repeat(indent + 1));
+        item(out, i);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(indent));
+    out.push(close);
+}
+
+/// Parses a JSON document. Returns `None` on any syntax error — callers
+/// treat an unreadable results file as absent and rewrite it.
+pub fn parse(text: &str) -> Option<Json> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'{' => parse_seq(bytes, pos, b'}', Json::obj(), |acc, bytes, pos| {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b':') {
+                return None;
+            }
+            *pos += 1;
+            let value = parse_value(bytes, pos)?;
+            Some(acc.set(&key, value))
+        }),
+        b'[' => parse_seq(
+            bytes,
+            pos,
+            b']',
+            Json::Arr(Vec::new()),
+            |acc, bytes, pos| {
+                let value = parse_value(bytes, pos)?;
+                let Json::Arr(mut items) = acc else {
+                    return None;
+                };
+                items.push(value);
+                Some(Json::Arr(items))
+            },
+        ),
+        b'"' => Some(Json::Str(parse_string(bytes, pos)?)),
+        b't' => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        b'f' => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        b'n' => parse_literal(bytes, pos, "null", Json::Null),
+        _ => parse_number(bytes, pos),
+    }
+}
+
+fn parse_seq(
+    bytes: &[u8],
+    pos: &mut usize,
+    close: u8,
+    mut acc: Json,
+    mut item: impl FnMut(Json, &[u8], &mut usize) -> Option<Json>,
+) -> Option<Json> {
+    *pos += 1; // past the opener
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&close) {
+        *pos += 1;
+        return Some(acc);
+    }
+    loop {
+        acc = item(acc, bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            c if *c == close => {
+                *pos += 1;
+                return Some(acc);
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Option<Json> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(Json::Num)
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (continuation bytes included).
+                let len = match bytes[*pos] {
+                    b if b < 0x80 => 1,
+                    b if b >= 0xF0 => 4,
+                    b if b >= 0xE0 => 3,
+                    _ => 2,
+                };
+                out.push_str(std::str::from_utf8(bytes.get(*pos..*pos + len)?).ok()?);
+                *pos += len;
+            }
+        }
+    }
+}
+
+/// Records `section` under `driver` in `BENCH_results.json` (in the
+/// current working directory), preserving other drivers' sections.
+///
+/// An unparseable existing file is replaced rather than appended to.
+pub fn record(driver: &str, section: Json) -> std::io::Result<()> {
+    record_at(Path::new(RESULTS_FILE), driver, section)
+}
+
+/// [`record`] with an explicit file path (used by tests).
+pub fn record_at(path: &Path, driver: &str, section: Json) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| parse(&text))
+        .filter(|v| matches!(v, Json::Obj(_)))
+        .unwrap_or_else(Json::obj);
+    std::fs::write(path, existing.set(driver, section).to_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip() {
+        let doc = Json::obj()
+            .set("name", "throughput")
+            .set("trials", 16u64)
+            .set("wall_ms", 12.5)
+            .set("ok", true)
+            .set("nothing", Json::Null)
+            .set(
+                "entries",
+                Json::Arr(vec![Json::obj().set("speedup", 4.2), Json::Num(-3.0)]),
+            );
+        let text = doc.to_pretty();
+        assert_eq!(parse(&text), Some(doc));
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let doc = Json::Str("a \"quote\"\nline\ttab \\ slash ✓".into());
+        assert_eq!(parse(&doc.to_pretty()), Some(doc));
+        assert_eq!(parse("\"\\u0041\""), Some(Json::Str("A".into())));
+    }
+
+    #[test]
+    fn set_replaces_existing_keys() {
+        let doc = Json::obj().set("k", 1u64).set("k", 2u64);
+        assert_eq!(doc.get("k"), Some(&Json::Num(2.0)));
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn garbage_fails_to_parse() {
+        assert_eq!(parse("{\"a\": }"), None);
+        assert_eq!(parse("[1, 2"), None);
+        assert_eq!(parse("{} trailing"), None);
+        assert_eq!(parse(""), None);
+    }
+
+    #[test]
+    fn record_merges_sections() {
+        let dir = std::env::temp_dir().join(format!("bench_results_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(RESULTS_FILE);
+        let _ = std::fs::remove_file(&path);
+
+        record_at(&path, "alpha", Json::obj().set("wall_ms", 10.0)).unwrap();
+        record_at(&path, "beta", Json::obj().set("wall_ms", 20.0)).unwrap();
+        record_at(&path, "alpha", Json::obj().set("wall_ms", 30.0)).unwrap();
+
+        let doc = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("alpha").and_then(|a| a.get("wall_ms")),
+            Some(&Json::Num(30.0))
+        );
+        assert_eq!(
+            doc.get("beta").and_then(|b| b.get("wall_ms")),
+            Some(&Json::Num(20.0))
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unparseable_file_is_replaced() {
+        let dir = std::env::temp_dir().join(format!("bench_results_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(RESULTS_FILE);
+        std::fs::write(&path, "not json at all").unwrap();
+        record_at(&path, "alpha", Json::obj().set("ok", true)).unwrap();
+        let doc = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(doc.get("alpha").is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -7,6 +7,7 @@ use crate::investigator::TimingInvestigator;
 use crate::peer::{DelayModel, OneSwarmPeer};
 use netsim::prelude::*;
 use std::collections::{BTreeSet, HashSet};
+use trials::{derive_seed, TrialReport, TrialRunner};
 
 /// Parameters of a OneSwarm timing-attack experiment.
 #[derive(Debug, Clone)]
@@ -236,6 +237,55 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
     }
 }
 
+/// Aggregate of repeated timing-attack experiments over derived seeds.
+#[derive(Debug, Clone)]
+pub struct ExperimentBatch {
+    /// Per-trial results, ordered by trial index.
+    pub results: Vec<ExperimentResult>,
+    /// Classification counts pooled over every trial.
+    pub metrics: Classification,
+}
+
+impl ExperimentBatch {
+    /// Fraction of trials that classified every target correctly.
+    pub fn perfect_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            return 1.0;
+        }
+        self.results.iter().filter(|r| r.perfect()).count() as f64 / self.results.len() as f64
+    }
+}
+
+/// Runs `trials` independent experiments — trial `t` uses the seed
+/// [`derive_seed`]`(config.seed, t)` — fanned across one worker per
+/// available core. Results are identical at any worker count.
+pub fn run_experiments(config: &ExperimentConfig, trials: usize) -> ExperimentBatch {
+    run_experiments_on(&TrialRunner::new(), config, trials).0
+}
+
+/// [`run_experiments`] on an explicit [`TrialRunner`], also returning the
+/// runner's [`TrialReport`].
+pub fn run_experiments_on(
+    runner: &TrialRunner,
+    config: &ExperimentConfig,
+    trials: usize,
+) -> (ExperimentBatch, TrialReport) {
+    let (results, report) = runner.run(trials, |t| {
+        let cfg = ExperimentConfig {
+            seed: derive_seed(config.seed, t),
+            ..config.clone()
+        };
+        run_experiment(&cfg)
+    });
+    let mut metrics = Classification::default();
+    for r in &results {
+        for o in &r.outcomes {
+            metrics.record(o.classified_source, o.is_source);
+        }
+    }
+    (ExperimentBatch { results, metrics }, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +370,30 @@ mod tests {
         let t1 = cfg.threshold();
         cfg.delays.source_delay_ms = (300, 600);
         assert!(cfg.threshold() > t1);
+    }
+
+    #[test]
+    fn experiment_batch_pools_metrics_at_any_worker_count() {
+        let cfg = ExperimentConfig {
+            peers: 16,
+            sources: 4,
+            targets: 8,
+            probes: 2,
+            ..ExperimentConfig::default()
+        };
+        let (seq, _) = run_experiments_on(&TrialRunner::sequential(), &cfg, 4);
+        assert_eq!(seq.results.len(), 4);
+        let pooled = seq.metrics.tp + seq.metrics.fp + seq.metrics.tn + seq.metrics.fn_;
+        assert_eq!(pooled, 4 * 8);
+        for threads in [2usize, 8] {
+            let (par, report) = run_experiments_on(&TrialRunner::with_threads(threads), &cfg, 4);
+            assert_eq!(report.per_worker.iter().sum::<u64>(), 4);
+            for (a, b) in seq.results.iter().zip(&par.results) {
+                assert_eq!(a.outcomes, b.outcomes);
+            }
+            assert_eq!(seq.metrics, par.metrics);
+        }
+        assert!((0.0..=1.0).contains(&seq.perfect_rate()));
     }
 
     #[test]

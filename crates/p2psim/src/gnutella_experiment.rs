@@ -13,6 +13,7 @@ use netsim::builders::random_connected;
 use netsim::packet::{FlowId, Packet, Transport};
 use netsim::prelude::*;
 use std::collections::BTreeSet;
+use trials::{derive_seed, TrialReport, TrialRunner};
 
 /// A plain querier that records the sources named by [`Message::SourceResponse`]s.
 #[derive(Debug, Default)]
@@ -219,6 +220,30 @@ pub fn run_comparison(config: &ComparisonConfig) -> ComparisonResult {
     }
 }
 
+/// Runs `trials` independent comparisons — trial `t` uses the seed
+/// [`derive_seed`]`(config.seed, t)` — fanned across one worker per
+/// available core. Results are ordered by trial index and identical at
+/// any worker count.
+pub fn run_comparisons(config: &ComparisonConfig, trials: usize) -> Vec<ComparisonResult> {
+    run_comparisons_on(&TrialRunner::new(), config, trials).0
+}
+
+/// [`run_comparisons`] on an explicit [`TrialRunner`], also returning the
+/// runner's [`TrialReport`].
+pub fn run_comparisons_on(
+    runner: &TrialRunner,
+    config: &ComparisonConfig,
+    trials: usize,
+) -> (Vec<ComparisonResult>, TrialReport) {
+    runner.run(trials, |t| {
+        let cfg = ComparisonConfig {
+            seed: derive_seed(config.seed, t),
+            ..config.clone()
+        };
+        run_comparison(&cfg)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +281,19 @@ mod tests {
             ..ComparisonConfig::default()
         };
         assert_eq!(run_comparison(&config), run_comparison(&config));
+    }
+
+    #[test]
+    fn comparisons_batch_is_worker_count_independent() {
+        let config = ComparisonConfig {
+            peers: 24,
+            sources: 4,
+            ..ComparisonConfig::default()
+        };
+        let (seq, _) = run_comparisons_on(&TrialRunner::sequential(), &config, 3);
+        let (par, _) = run_comparisons_on(&TrialRunner::with_threads(8), &config, 3);
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! # trials
+//!
+//! A parallel, deterministic experiment-trial runner.
+//!
+//! Every evaluation harness in this workspace has the same shape: run `N`
+//! independent, seeded trials of a pure function of the trial index and
+//! aggregate the outcomes. Sequential loops leave all but one core idle;
+//! naive thread pools destroy reproducibility by letting scheduling leak
+//! into results. [`TrialRunner`] fans trials across scoped worker threads
+//! while keeping the determinism contract:
+//!
+//! * **Purity** — the trial closure must be a pure function of the trial
+//!   index (and whatever config it captures immutably). Per-trial
+//!   randomness comes from a seed derived with [`derive_seed`], never
+//!   from shared mutable state.
+//! * **Order preservation** — results are returned indexed by trial, not
+//!   by completion order. Worker `w` of `k` owns the stride
+//!   `w, w + k, w + 2k, …` and writes each outcome into that trial's
+//!   pre-assigned slot.
+//! * **Worker-count independence** — because each trial is pure and slots
+//!   are positional, the result vector is bit-for-bit identical at any
+//!   thread count. Only the wall clock changes.
+//!
+//! ```
+//! use trials::TrialRunner;
+//!
+//! let f = |t: u64| t * t;
+//! let (seq, _) = TrialRunner::sequential().run(100, f);
+//! let (par, report) = TrialRunner::with_threads(8).run(100, f);
+//! assert_eq!(seq, par);
+//! assert_eq!(report.per_worker.iter().sum::<u64>(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::time::{Duration, Instant};
+
+/// Derives the RNG seed for one trial from a master seed.
+///
+/// One splitmix64-style finalizer round over the `(master, trial)` pair:
+/// adjacent trial indices land on well-separated, statistically
+/// independent seeds, and the mapping is a pure function — the foundation
+/// of the runner's worker-count-independence guarantee.
+pub fn derive_seed(master: u64, trial: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(trial.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What one [`TrialRunner::run`] call observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialReport {
+    /// Trials executed.
+    pub trials: usize,
+    /// Worker threads used (after clamping to the trial count).
+    pub threads: usize,
+    /// Wall-clock time for the whole fan-out.
+    pub elapsed: Duration,
+    /// Trials executed by each worker (deterministic: stride assignment,
+    /// not completion-order stealing).
+    pub per_worker: Vec<u64>,
+}
+
+impl TrialReport {
+    /// Trials per wall-clock second (`f64::INFINITY` for a zero-duration
+    /// run).
+    pub fn trials_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.trials as f64 / secs
+        }
+    }
+}
+
+/// Fans independent trials across scoped worker threads.
+///
+/// See the [module docs](self) for the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialRunner {
+    threads: usize,
+}
+
+impl Default for TrialRunner {
+    fn default() -> Self {
+        TrialRunner::new()
+    }
+}
+
+impl TrialRunner {
+    /// A runner with one worker per available core.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        TrialRunner { threads }
+    }
+
+    /// A single-worker runner: runs trials inline on the calling thread
+    /// with zero spawn overhead — the reference baseline every parallel
+    /// run must match bit-for-bit.
+    pub fn sequential() -> Self {
+        TrialRunner { threads: 1 }
+    }
+
+    /// A runner with exactly `threads` workers (clamped to at least one).
+    pub fn with_threads(threads: usize) -> Self {
+        TrialRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` for every trial index in `0..trials`, in parallel,
+    /// returning outcomes ordered by trial index plus a [`TrialReport`].
+    ///
+    /// `f` must be a pure function of the trial index; under that
+    /// contract the returned vector is identical at any worker count.
+    pub fn run<T, F>(&self, trials: usize, f: F) -> (Vec<T>, TrialReport)
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        let start = Instant::now();
+        let threads = self.threads.min(trials.max(1));
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(trials);
+        slots.resize_with(trials, || None);
+        let mut per_worker = vec![0u64; threads];
+
+        if threads == 1 {
+            for (t, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(f(t as u64));
+            }
+            per_worker[0] = trials as u64;
+        } else {
+            // Deal the pre-assigned output slots round-robin: worker w
+            // owns trials w, w+threads, … — static striding balances
+            // smoothly-varying trial costs and keeps the assignment (and
+            // so the per-worker counts) deterministic.
+            let mut lanes: Vec<Vec<(u64, &mut Option<T>)>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (t, slot) in slots.iter_mut().enumerate() {
+                lanes[t % threads].push((t as u64, slot));
+            }
+            for (w, lane) in lanes.iter().enumerate() {
+                per_worker[w] = lane.len() as u64;
+            }
+            let f = &f;
+            std::thread::scope(|scope| {
+                for lane in lanes {
+                    scope.spawn(move || {
+                        for (t, slot) in lane {
+                            *slot = Some(f(t));
+                        }
+                    });
+                }
+            });
+        }
+
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every worker fills all of its owned slots"))
+            .collect();
+        let report = TrialReport {
+            trials,
+            threads,
+            elapsed: start.elapsed(),
+            per_worker,
+        };
+        (results, report)
+    }
+
+    /// Like [`run`](Self::run), but hands each trial its
+    /// [`derive_seed`]-derived seed alongside the index.
+    pub fn run_seeded<T, F>(&self, master_seed: u64, trials: usize, f: F) -> (Vec<T>, TrialReport)
+    where
+        T: Send,
+        F: Fn(u64, u64) -> T + Sync,
+    {
+        self.run(trials, |t| f(t, derive_seed(master_seed, t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_ordered_by_trial_index() {
+        let (out, _) = TrialRunner::with_threads(4).run(37, |t| t);
+        assert_eq!(out, (0..37).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn identical_results_at_any_worker_count() {
+        let f = |t: u64| derive_seed(0xfeed, t).wrapping_mul(t + 1);
+        let (one, _) = TrialRunner::sequential().run(101, f);
+        for threads in [2, 3, 8, 16] {
+            let (many, report) = TrialRunner::with_threads(threads).run(101, f);
+            assert_eq!(one, many, "results diverged at {threads} workers");
+            assert_eq!(report.per_worker.iter().sum::<u64>(), 101);
+        }
+    }
+
+    #[test]
+    fn per_worker_counts_use_stride_assignment() {
+        let (_, report) = TrialRunner::with_threads(4).run(10, |t| t);
+        assert_eq!(report.threads, 4);
+        assert_eq!(report.per_worker, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn threads_clamped_to_trial_count() {
+        let (out, report) = TrialRunner::with_threads(64).run(3, |t| t);
+        assert_eq!(out.len(), 3);
+        assert_eq!(report.threads, 3);
+    }
+
+    #[test]
+    fn zero_trials_is_fine() {
+        let (out, report) = TrialRunner::new().run(0, |t| t);
+        assert!(out.is_empty());
+        assert_eq!(report.trials, 0);
+        assert_eq!(report.per_worker.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(TrialRunner::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_stable() {
+        let a: Vec<u64> = (0..100).map(|t| derive_seed(7, t)).collect();
+        let b: Vec<u64> = (0..100).map(|t| derive_seed(7, t)).collect();
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "seed collision");
+        assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
+    }
+
+    #[test]
+    fn run_seeded_passes_derived_seed() {
+        let (out, _) = TrialRunner::with_threads(2).run_seeded(42, 5, |t, s| (t, s));
+        for (t, s) in out {
+            assert_eq!(s, derive_seed(42, t));
+        }
+    }
+
+    #[test]
+    fn report_throughput_is_positive() {
+        let (_, report) = TrialRunner::sequential().run(10, |t| {
+            std::thread::sleep(Duration::from_micros(10));
+            t
+        });
+        assert!(report.trials_per_second() > 0.0);
+        assert!(report.elapsed >= Duration::from_micros(100));
+    }
+}

@@ -5,6 +5,20 @@
 //! need a wiretap warrant)" and despreads it against the known PN code.
 //! The detector consumes exactly a rate time series — the output of a
 //! [`netsim::capture::CaptureScope::RateOnly`] tap.
+//!
+//! # Synchronization-search complexity
+//!
+//! [`Detector::detect`] scans every candidate fine-bin offset. The naive
+//! formulation (retained as [`Detector::detect_reference`]) re-aggregates
+//! the fine bins of every chip at every offset and allocates two fresh
+//! vectors per candidate — O(offsets × chips × oversample) time plus
+//! O(offsets) allocations. The production path instead builds one
+//! prefix-sum table over the series, so each chip aggregate is a single
+//! subtraction, and folds the Pearson normalization into incremental
+//! running sums — O(series + offsets × chips) with **zero heap
+//! allocations inside the offset loop**. Both paths agree to within
+//! floating-point rounding (≪ 1e-9; see the `detect_differential`
+//! integration test).
 
 use crate::pn::PnCode;
 
@@ -64,13 +78,71 @@ impl Detector {
         &self.code
     }
 
+    /// Whole chips available at `offset`, or `None` when fewer than two
+    /// fit.
+    fn chips_at(&self, series_len: usize, offset: usize) -> Option<usize> {
+        if offset >= series_len {
+            return None;
+        }
+        let chips = ((series_len - offset) / self.oversample).min(self.code.len());
+        if chips < 2 {
+            None
+        } else {
+            Some(chips)
+        }
+    }
+
+    /// Pearson correlation of `chips` chip rates against the code signs,
+    /// via incremental running sums — no intermediate vectors.
+    ///
+    /// `shift` is a constant subtracted from every chip rate before
+    /// accumulation; Pearson is shift-invariant, and centring near the
+    /// series mean keeps the `Σa² − (Σa)²/n` variance form from
+    /// cancelling catastrophically.
+    fn correlate(&self, chips: usize, shift: f64, chip_rate: impl Fn(usize) -> f64) -> Option<f64> {
+        let signs = self.code.chips();
+        let n = chips as f64;
+        let (mut sa, mut sa2, mut sb, mut sab) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (c, &sign) in signs.iter().enumerate().take(chips) {
+            let r = chip_rate(c) - shift;
+            let b = sign as f64;
+            sa += r;
+            sa2 += r * r;
+            sb += b;
+            sab += r * b;
+        }
+        let cov = sab - sa * sb / n;
+        let va = sa2 - sa * sa / n;
+        // The signs are ±1, so Σb² is exactly n.
+        let vb = n - sb * sb / n;
+        if va <= 0.0 || vb <= 0.0 {
+            return None;
+        }
+        Some(cov / (va.sqrt() * vb.sqrt()))
+    }
+
     /// Despreads `series` (fine-binned rates) against the code at a
     /// given fine-bin offset, returning the normalized correlation over
     /// as many whole chips as fit.
     ///
     /// Returns `None` when fewer than two chips fit or the series is
-    /// constant.
+    /// constant. Allocation-free; for a full synchronization search use
+    /// [`detect`](Self::detect), which amortizes chip aggregation across
+    /// offsets with a prefix-sum table.
     pub fn despread_at(&self, series: &[f64], offset: usize) -> Option<f64> {
+        let chips = self.chips_at(series.len(), offset)?;
+        let shift = series.iter().sum::<f64>() / series.len() as f64;
+        self.correlate(chips, shift, |c| {
+            let start = offset + c * self.oversample;
+            series[start..start + self.oversample].iter().sum::<f64>() / self.oversample as f64
+        })
+    }
+
+    /// The retained naive despreader — O(oversample) fine-bin summation
+    /// per chip and two fresh vectors per call, exactly the original
+    /// formulation. Kept as the reference implementation for the
+    /// fast-path differential tests and benchmarks.
+    pub fn despread_at_reference(&self, series: &[f64], offset: usize) -> Option<f64> {
         if offset >= series.len() {
             return None;
         }
@@ -91,14 +163,60 @@ impl Detector {
     }
 
     /// Runs the synchronization search and decides.
+    ///
+    /// One prefix-sum table is built up front (the only allocation);
+    /// every candidate offset then aggregates each chip in O(1) and
+    /// normalizes through running sums, making the whole search
+    /// O(series + offsets × chips).
     pub fn detect(&self, series: &[f64]) -> Detection {
         let mut best = Detection {
             statistic: 0.0,
             best_offset: 0,
             detected: false,
         };
+        let mut prefix = Vec::with_capacity(series.len() + 1);
+        let mut acc = 0.0f64;
+        prefix.push(0.0);
+        for &x in series {
+            acc += x;
+            prefix.push(acc);
+        }
+        let shift = if series.is_empty() {
+            0.0
+        } else {
+            acc / series.len() as f64
+        };
         for offset in 0..=self.max_offset {
-            if let Some(stat) = self.despread_at(series, offset) {
+            let Some(chips) = self.chips_at(series.len(), offset) else {
+                continue;
+            };
+            let stat = self.correlate(chips, shift, |c| {
+                let start = offset + c * self.oversample;
+                (prefix[start + self.oversample] - prefix[start]) / self.oversample as f64
+            });
+            if let Some(stat) = stat {
+                if stat.abs() > best.statistic.abs() {
+                    best.statistic = stat;
+                    best.best_offset = offset;
+                }
+            }
+        }
+        best.detected = best.statistic.abs() >= self.threshold;
+        best
+    }
+
+    /// The retained naive synchronization search over
+    /// [`despread_at_reference`](Self::despread_at_reference) —
+    /// O(offsets × chips × oversample) with two allocations per offset.
+    /// Reference implementation for differential tests and benchmarks.
+    pub fn detect_reference(&self, series: &[f64]) -> Detection {
+        let mut best = Detection {
+            statistic: 0.0,
+            best_offset: 0,
+            detected: false,
+        };
+        for offset in 0..=self.max_offset {
+            if let Some(stat) = self.despread_at_reference(series, offset) {
                 if stat.abs() > best.statistic.abs() {
                     best.statistic = stat;
                     best.best_offset = offset;

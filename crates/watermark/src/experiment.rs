@@ -25,6 +25,7 @@ use crate::pn::PnCode;
 use anonsim::proxy::{wrap_for_proxy, AnonymizerProxy};
 use anonsim::transform::FlowTransform;
 use netsim::prelude::*;
+use trials::{TrialReport, TrialRunner};
 
 /// Parameters of one watermark experiment.
 #[derive(Debug, Clone)]
@@ -322,28 +323,61 @@ pub struct WatermarkSummary {
     pub mean_false_positives: f64,
 }
 
-/// Runs `trials` trials of each condition and aggregates.
+/// Runs `trials` trials of each condition and aggregates, fanning the
+/// trials across one worker per available core.
+///
+/// Every trial is a pure function of `(config, trial_index)`, so the
+/// summary is identical at any worker count — see [`run_trials_on`] to
+/// control the fan-out explicitly.
 pub fn run_trials(config: &WatermarkExperimentConfig, trials: usize) -> WatermarkSummary {
+    run_trials_on(&TrialRunner::new(), config, trials).0
+}
+
+/// Runs `trials` trials of each condition on an explicit [`TrialRunner`],
+/// returning the aggregate summary and the runner's [`TrialReport`].
+///
+/// The per-trial outcomes (and therefore the summary) are bit-for-bit
+/// independent of the runner's worker count.
+pub fn run_trials_on(
+    runner: &TrialRunner,
+    config: &WatermarkExperimentConfig,
+    trials: usize,
+) -> (WatermarkSummary, TrialReport) {
+    let (outcomes, report) = runner.run(trials, |t| {
+        let watermarked = run_trial(config, t);
+        let passive = run_passive_trial(config, t);
+        (watermarked, passive)
+    });
     let mut wm_hits = 0usize;
     let mut base_hits = 0usize;
     let mut fp = 0usize;
-    for t in 0..trials {
-        let outcome = run_trial(config, t as u64);
+    for (outcome, (truth, pick)) in &outcomes {
         if outcome.watermark_correct() {
             wm_hits += 1;
         }
         fp += outcome.false_positives();
-        let (truth, pick) = run_passive_trial(config, t as u64);
-        if pick == Some(truth) {
+        if *pick == Some(*truth) {
             base_hits += 1;
         }
     }
-    WatermarkSummary {
+    let summary = WatermarkSummary {
         trials,
         watermark_accuracy: wm_hits as f64 / trials as f64,
         baseline_accuracy: base_hits as f64 / trials as f64,
         mean_false_positives: fp as f64 / trials as f64,
-    }
+    };
+    (summary, report)
+}
+
+/// Runs every watermarked trial on an explicit runner and returns the raw
+/// per-trial outcomes, ordered by trial index — the worker-count-stable
+/// record the determinism tests serialize and compare.
+pub fn run_trial_outcomes_on(
+    runner: &TrialRunner,
+    config: &WatermarkExperimentConfig,
+    trials: usize,
+) -> (Vec<TrialOutcome>, TrialReport) {
+    runner.run(trials, |t| run_trial(config, t))
 }
 
 #[cfg(test)]
@@ -432,6 +466,17 @@ mod tests {
         let b = run_trial(&quick_config(), 3);
         assert_eq!(a.true_suspect, b.true_suspect);
         assert_eq!(a.identified, b.identified);
+    }
+
+    #[test]
+    fn summary_is_worker_count_independent() {
+        let cfg = quick_config();
+        let (seq, _) = run_trials_on(&TrialRunner::sequential(), &cfg, 3);
+        for threads in [2usize, 8] {
+            let (par, report) = run_trials_on(&TrialRunner::with_threads(threads), &cfg, 3);
+            assert_eq!(seq, par, "summary diverged at {threads} workers");
+            assert_eq!(report.per_worker.iter().sum::<u64>(), 3);
+        }
     }
 
     #[test]

@@ -42,5 +42,7 @@ pub mod roc;
 
 pub use detect::{Detection, Detector};
 pub use embed::{EmbedConfig, WatermarkedSource};
-pub use experiment::{run_trial, run_trials, WatermarkExperimentConfig, WatermarkSummary};
+pub use experiment::{
+    run_trial, run_trials, run_trials_on, WatermarkExperimentConfig, WatermarkSummary,
+};
 pub use pn::{Lfsr, PnCode};

@@ -10,9 +10,14 @@
 use crate::detect::{ideal_series, Detector};
 use crate::pn::PnCode;
 use netsim::rng::SimRng;
+use trials::TrialRunner;
 
 /// Draws `trials` despreading statistics from the null hypothesis
-/// (unwatermarked noise around `mean_rate` with `noise_sigma`).
+/// (unwatermarked noise around `mean_rate` with `noise_sigma`), fanned
+/// across one worker per available core.
+///
+/// Each trial draws from its own [`SimRng::derive`]d stream, so the
+/// returned vector is identical at any worker count.
 pub fn null_statistics(
     code: &PnCode,
     oversample: usize,
@@ -21,20 +26,43 @@ pub fn null_statistics(
     trials: usize,
     seed: u64,
 ) -> Vec<f64> {
-    let mut rng = SimRng::seed_from(seed);
+    null_statistics_on(
+        &TrialRunner::new(),
+        code,
+        oversample,
+        mean_rate,
+        noise_sigma,
+        trials,
+        seed,
+    )
+}
+
+/// [`null_statistics`] on an explicit [`TrialRunner`].
+pub fn null_statistics_on(
+    runner: &TrialRunner,
+    code: &PnCode,
+    oversample: usize,
+    mean_rate: f64,
+    noise_sigma: f64,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
     let det = Detector::new(code.clone(), oversample, 0, 0.0);
-    (0..trials)
-        .map(|_| {
+    runner
+        .run(trials, |t| {
+            let mut rng = SimRng::derive(seed, t);
             let series: Vec<f64> = (0..code.len() * oversample)
                 .map(|_| (mean_rate + rng.normal(0.0, noise_sigma)).max(0.0))
                 .collect();
             det.despread_at(&series, 0).unwrap_or(0.0)
         })
-        .collect()
+        .0
 }
 
 /// Draws `trials` despreading statistics from the alternative hypothesis
-/// (watermark with the given high/low rates plus noise).
+/// (watermark with the given high/low rates plus noise), fanned across
+/// one worker per available core. Worker-count independent, like
+/// [`null_statistics`].
 pub fn signal_statistics(
     code: &PnCode,
     oversample: usize,
@@ -44,18 +72,42 @@ pub fn signal_statistics(
     trials: usize,
     seed: u64,
 ) -> Vec<f64> {
-    let mut rng = SimRng::seed_from(seed);
+    signal_statistics_on(
+        &TrialRunner::new(),
+        code,
+        oversample,
+        rate_high,
+        rate_low,
+        noise_sigma,
+        trials,
+        seed,
+    )
+}
+
+/// [`signal_statistics`] on an explicit [`TrialRunner`].
+#[allow(clippy::too_many_arguments)]
+pub fn signal_statistics_on(
+    runner: &TrialRunner,
+    code: &PnCode,
+    oversample: usize,
+    rate_high: f64,
+    rate_low: f64,
+    noise_sigma: f64,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
     let det = Detector::new(code.clone(), oversample, 0, 0.0);
     let clean = ideal_series(code, oversample, rate_high, rate_low);
-    (0..trials)
-        .map(|_| {
+    runner
+        .run(trials, |t| {
+            let mut rng = SimRng::derive(seed, t);
             let series: Vec<f64> = clean
                 .iter()
                 .map(|r| (r + rng.normal(0.0, noise_sigma)).max(0.0))
                 .collect();
             det.despread_at(&series, 0).unwrap_or(0.0)
         })
-        .collect()
+        .0
 }
 
 /// One point on an ROC curve.
@@ -191,5 +243,17 @@ mod tests {
     fn auc_of_perfect_separation_is_one() {
         let roc = roc_curve(&[0.0, 0.01], &[0.99, 1.0], &[0.5]);
         assert!((auc(&roc) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn statistics_independent_of_worker_count() {
+        let c = code();
+        for threads in [1usize, 2, 8] {
+            let runner = TrialRunner::with_threads(threads);
+            let null = null_statistics_on(&runner, &c, 2, 100.0, 30.0, 64, 9);
+            let signal = signal_statistics_on(&runner, &c, 2, 120.0, 40.0, 30.0, 64, 9);
+            assert_eq!(null, null_statistics(&c, 2, 100.0, 30.0, 64, 9));
+            assert_eq!(signal, signal_statistics(&c, 2, 120.0, 40.0, 30.0, 64, 9));
+        }
     }
 }

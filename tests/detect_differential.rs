@@ -1,0 +1,177 @@
+//! Differential lockdown of the DSSS detector fast path.
+//!
+//! The synchronization search in [`Detector::detect`] was rewritten from
+//! a naive per-offset recomputation (O(offsets × chips × oversample))
+//! to a prefix-sum formulation with incrementally folded Pearson
+//! normalization (O(series + offsets × chips)). The naive implementation
+//! is retained as `despread_at_reference`/`detect_reference` precisely so
+//! this suite can assert the two agree: over pseudo-random series,
+//! oversample factors, and offsets, the per-offset statistics match
+//! within 1e-9 and the full search picks the identical best offset.
+
+use lexforensica::watermark::detect::{ideal_series, Detector};
+use lexforensica::watermark::pn::PnCode;
+
+/// Deterministic xorshift64* generator — the only randomness source in
+/// this suite (same driver idiom as `property_tests.rs`).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n`.
+    fn gen_range(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    fn gen_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+const TOLERANCE: f64 = 1e-9;
+
+fn random_series(rng: &mut Rng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_f64(0.0, 200.0)).collect()
+}
+
+/// Noisy watermark-bearing series with a random lead-in, so the search
+/// has a non-trivial true offset to find.
+fn watermarked_series(rng: &mut Rng, code: &PnCode, oversample: usize, lead: usize) -> Vec<f64> {
+    let mut series: Vec<f64> = (0..lead).map(|_| rng.gen_f64(40.0, 160.0)).collect();
+    for x in ideal_series(code, oversample, 120.0, 40.0) {
+        series.push(x + rng.gen_f64(-15.0, 15.0));
+    }
+    series
+}
+
+#[test]
+fn despread_at_matches_reference_on_random_series() {
+    let mut rng = Rng::new(0x5eed_d1ff);
+    for degree in [5u32, 6, 7, 8] {
+        let code = PnCode::m_sequence(degree, 1);
+        for _ in 0..8 {
+            let oversample = 1 + rng.gen_range(4);
+            let extra = rng.gen_range(3 * oversample + 1);
+            let len = code.len() * oversample + extra;
+            let series = random_series(&mut rng, len);
+            let det = Detector::new(code.clone(), oversample, extra, 0.5);
+            for offset in 0..=extra {
+                let fast = det.despread_at(&series, offset);
+                let reference = det.despread_at_reference(&series, offset);
+                match (fast, reference) {
+                    (Some(f), Some(r)) => assert!(
+                        (f - r).abs() <= TOLERANCE,
+                        "degree {degree} oversample {oversample} offset {offset}: \
+                         fast {f} vs reference {r}"
+                    ),
+                    (None, None) => {}
+                    other => panic!(
+                        "degree {degree} oversample {oversample} offset {offset}: \
+                         availability diverged: {other:?}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn despread_at_agrees_on_degenerate_inputs() {
+    let code = PnCode::m_sequence(6, 1);
+    let det = Detector::new(code.clone(), 2, 8, 0.5);
+
+    // Constant series: zero variance, both paths must decline.
+    let flat = vec![100.0; code.len() * 2 + 8];
+    for offset in 0..=8 {
+        assert_eq!(
+            det.despread_at(&flat, offset),
+            det.despread_at_reference(&flat, offset),
+            "flat series diverged at offset {offset}"
+        );
+    }
+
+    // Series too short for even one full code period at the offset.
+    let short = vec![100.0, 120.0, 90.0];
+    for offset in 0..=8 {
+        assert_eq!(det.despread_at(&short, offset), None);
+        assert_eq!(det.despread_at_reference(&short, offset), None);
+    }
+
+    // Empty series.
+    assert_eq!(det.despread_at(&[], 0), None);
+    assert_eq!(det.despread_at_reference(&[], 0), None);
+}
+
+#[test]
+fn detect_matches_reference_search_on_watermarked_series() {
+    let mut rng = Rng::new(0xdead_10cc);
+    for degree in [6u32, 7, 8] {
+        let code = PnCode::m_sequence(degree, 1);
+        for _ in 0..6 {
+            let oversample = 1 + rng.gen_range(3);
+            let max_offset = 4 * oversample;
+            let lead = rng.gen_range(max_offset + 1);
+            let series = watermarked_series(&mut rng, &code, oversample, lead);
+            let det = Detector::new(
+                code.clone(),
+                oversample,
+                max_offset,
+                Detector::sigma_threshold(code.len(), 4.0),
+            );
+            let fast = det.detect(&series);
+            let reference = det.detect_reference(&series);
+            assert_eq!(
+                fast.best_offset, reference.best_offset,
+                "degree {degree} oversample {oversample} lead {lead}: best offset diverged"
+            );
+            assert_eq!(
+                fast.detected, reference.detected,
+                "degree {degree} oversample {oversample} lead {lead}: verdict diverged"
+            );
+            assert!(
+                (fast.statistic - reference.statistic).abs() <= TOLERANCE,
+                "degree {degree} oversample {oversample} lead {lead}: \
+                 statistic {} vs {}",
+                fast.statistic,
+                reference.statistic
+            );
+        }
+    }
+}
+
+#[test]
+fn detect_matches_reference_on_pure_noise() {
+    let mut rng = Rng::new(0x0b5e_55ed);
+    let code = PnCode::m_sequence(7, 1);
+    for _ in 0..6 {
+        let oversample = 1 + rng.gen_range(3);
+        let max_offset = 5 * oversample;
+        let len = code.len() * oversample + max_offset + rng.gen_range(8);
+        let series = random_series(&mut rng, len);
+        let det = Detector::new(
+            code.clone(),
+            oversample,
+            max_offset,
+            Detector::sigma_threshold(code.len(), 4.0),
+        );
+        let fast = det.detect(&series);
+        let reference = det.detect_reference(&series);
+        assert_eq!(fast.best_offset, reference.best_offset);
+        assert_eq!(fast.detected, reference.detected);
+        assert!((fast.statistic - reference.statistic).abs() <= TOLERANCE);
+    }
+}

@@ -1,0 +1,118 @@
+//! Determinism lockdown for the parallel trial runner.
+//!
+//! The runner's contract is that worker count is *only* a wall-clock
+//! knob: the same master seed must produce bit-for-bit identical
+//! outcomes whether trials run inline on one thread or fan out across
+//! many. This suite runs each experiment family — the watermark ROC
+//! statistic draws, the watermark traceback experiment, and both p2psim
+//! experiment batches — at 1, 2, and 8 workers and asserts the
+//! `Debug`-serialized outcomes are byte-identical.
+
+use lexforensica::p2psim::experiment::{run_experiments_on, ExperimentConfig};
+use lexforensica::p2psim::gnutella_experiment::{run_comparisons_on, ComparisonConfig};
+use lexforensica::trials::TrialRunner;
+use lexforensica::watermark::experiment::{
+    run_trial_outcomes_on, run_trials_on, WatermarkExperimentConfig,
+};
+use lexforensica::watermark::pn::PnCode;
+use lexforensica::watermark::roc::{null_statistics_on, signal_statistics_on};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Runs `f` at each worker count and asserts the `Debug` serialization
+/// of the outcome never changes.
+fn assert_worker_count_invariant<T: std::fmt::Debug>(what: &str, f: impl Fn(&TrialRunner) -> T) {
+    let baseline = format!("{:?}", f(&TrialRunner::sequential()));
+    for workers in WORKER_COUNTS {
+        let runner = TrialRunner::with_threads(workers);
+        let serialized = format!("{:?}", f(&runner));
+        assert_eq!(
+            baseline.as_bytes(),
+            serialized.as_bytes(),
+            "{what}: outcome at {workers} workers diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn roc_statistics_are_worker_count_invariant() {
+    let code = PnCode::m_sequence(8, 1);
+    assert_worker_count_invariant("null_statistics", |runner| {
+        null_statistics_on(runner, &code, 2, 100.0, 30.0, 40, 0x0c0ffee)
+    });
+    assert_worker_count_invariant("signal_statistics", |runner| {
+        signal_statistics_on(runner, &code, 2, 120.0, 40.0, 30.0, 40, 0x7ea)
+    });
+}
+
+#[test]
+fn watermark_experiment_is_worker_count_invariant() {
+    let config = WatermarkExperimentConfig {
+        suspects: 4,
+        code_degree: 6,
+        chip_ms: 300,
+        seed: 0x5eed,
+        ..WatermarkExperimentConfig::default()
+    };
+    assert_worker_count_invariant("watermark trial outcomes", |runner| {
+        run_trial_outcomes_on(runner, &config, 6).0
+    });
+    assert_worker_count_invariant("watermark summary", |runner| {
+        run_trials_on(runner, &config, 4).0
+    });
+}
+
+#[test]
+fn p2psim_experiment_batch_is_worker_count_invariant() {
+    let config = ExperimentConfig {
+        peers: 32,
+        sources: 4,
+        targets: 8,
+        probes: 2,
+        seed: 0xa11ce,
+        ..ExperimentConfig::default()
+    };
+    assert_worker_count_invariant("oneswarm experiment batch", |runner| {
+        let batch = run_experiments_on(runner, &config, 6).0;
+        (
+            batch
+                .results
+                .iter()
+                .map(|r| r.outcomes.clone())
+                .collect::<Vec<_>>(),
+            batch.metrics,
+        )
+    });
+}
+
+#[test]
+fn gnutella_comparison_batch_is_worker_count_invariant() {
+    let config = ComparisonConfig {
+        peers: 32,
+        sources: 4,
+        seed: 0x90a7,
+        ..ComparisonConfig::default()
+    };
+    assert_worker_count_invariant("gnutella comparison batch", |runner| {
+        run_comparisons_on(runner, &config, 6).0
+    });
+}
+
+#[test]
+fn report_accounts_for_every_trial_at_every_worker_count() {
+    let config = ComparisonConfig {
+        peers: 24,
+        sources: 3,
+        seed: 1,
+        ..ComparisonConfig::default()
+    };
+    for workers in WORKER_COUNTS {
+        let runner = TrialRunner::with_threads(workers);
+        let (results, report) = run_comparisons_on(&runner, &config, 7);
+        assert_eq!(results.len(), 7);
+        assert_eq!(report.trials, 7);
+        // Worker count is clamped to the trial count.
+        assert_eq!(report.threads, workers.min(7));
+        assert_eq!(report.per_worker.iter().sum::<u64>(), 7);
+    }
+}
