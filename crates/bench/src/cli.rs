@@ -1,126 +1,31 @@
 //! Std-only flag parsing for the bench binaries.
 //!
-//! All drivers share the same tiny convention: `--flag value` or
-//! `--flag=value` plus bare positional arguments, e.g.
+//! The implementation lives in [`service::cli`] — the same parser the
+//! `lexforensica` CLI subcommands use — and is re-exported here so the
+//! bench drivers and the CLI share one vocabulary that cannot drift.
 //!
 //! ```console
 //! $ cargo run --release --bin experiments -- --trials 32 --threads 8 --seed 7
 //! ```
 
-use std::collections::BTreeMap;
-
-/// Parsed command-line arguments.
-#[derive(Debug, Clone, Default)]
-pub struct Args {
-    flags: BTreeMap<String, String>,
-    positional: Vec<String>,
-}
-
-impl Args {
-    /// Parses the process arguments (after the binary name).
-    ///
-    /// # Panics
-    ///
-    /// Panics with a readable message when a `--flag` is missing its
-    /// value — bench drivers want loud, immediate feedback, not silent
-    /// defaults for a typo.
-    pub fn parse() -> Self {
-        Args::parse_from(std::env::args().skip(1))
-    }
-
-    /// Parses from an explicit argument iterator (used by tests).
-    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
-        let mut out = Args::default();
-        let mut args = args.into_iter();
-        while let Some(arg) = args.next() {
-            if let Some(name) = arg.strip_prefix("--") {
-                if let Some((key, value)) = name.split_once('=') {
-                    out.flags.insert(key.to_string(), value.to_string());
-                } else {
-                    let value = args
-                        .next()
-                        .unwrap_or_else(|| panic!("flag --{name} is missing its value"));
-                    out.flags.insert(name.to_string(), value);
-                }
-            } else {
-                out.positional.push(arg);
-            }
-        }
-        out
-    }
-
-    /// The raw value of `--name`, if present.
-    pub fn get(&self, name: &str) -> Option<&str> {
-        self.flags.get(name).map(String::as_str)
-    }
-
-    /// The `i`-th positional argument, if present.
-    pub fn positional(&self, i: usize) -> Option<&str> {
-        self.positional.get(i).map(String::as_str)
-    }
-
-    /// `--name` parsed as `u64`, or `default` when absent.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the value is present but not a valid `u64`.
-    pub fn u64_flag(&self, name: &str, default: u64) -> u64 {
-        self.parsed(name).unwrap_or(default)
-    }
-
-    /// `--name` parsed as `usize`, or `default` when absent.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the value is present but not a valid `usize`.
-    pub fn usize_flag(&self, name: &str, default: usize) -> usize {
-        self.parsed(name).unwrap_or(default)
-    }
-
-    fn parsed<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
-        self.get(name).map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                panic!("flag --{name} has invalid value {v:?}");
-            })
-        })
-    }
-}
+pub use service::cli::Args;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn args(list: &[&str]) -> Args {
-        Args::parse_from(list.iter().map(|s| s.to_string()))
-    }
-
+    /// The re-export keeps the bench-facing contract: both flag styles,
+    /// positionals, and typed accessors with defaults.
     #[test]
-    fn parses_both_flag_styles_and_positionals() {
-        let a = args(&["100", "--trials", "8", "--seed=42", "extra"]);
+    fn reexported_args_parse_bench_style_invocations() {
+        let a = Args::parse_from(
+            ["5000", "--trials", "8", "--seed=42"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.positional(0), Some("5000"));
         assert_eq!(a.u64_flag("trials", 1), 8);
         assert_eq!(a.u64_flag("seed", 0), 42);
-        assert_eq!(a.positional(0), Some("100"));
-        assert_eq!(a.positional(1), Some("extra"));
-        assert_eq!(a.positional(2), None);
-    }
-
-    #[test]
-    fn defaults_apply_when_flags_absent() {
-        let a = args(&[]);
-        assert_eq!(a.u64_flag("trials", 16), 16);
         assert_eq!(a.usize_flag("threads", 4), 4);
-        assert_eq!(a.get("seed"), None);
-    }
-
-    #[test]
-    #[should_panic(expected = "missing its value")]
-    fn missing_value_panics() {
-        args(&["--trials"]);
-    }
-
-    #[test]
-    #[should_panic(expected = "invalid value")]
-    fn malformed_value_panics() {
-        args(&["--trials", "lots"]).u64_flag("trials", 1);
     }
 }

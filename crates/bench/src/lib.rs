@@ -13,6 +13,7 @@
 //! | `watermark_roc` | detector calibration — null spread, ROC/AUC, repetition gain |
 //! | `throughput` | batch-assessment scaling — sequential vs cached vs threaded |
 //! | `experiments` | parallel trial-runner scaling + detector fast-path vs reference |
+//! | `service_load` | bounded-queue service — worker scaling, cached ceiling, 2× overload shed/latency |
 //!
 //! Perf drivers additionally write machine-readable measurements into
 //! [`results::RESULTS_FILE`] so the trajectory is tracked across PRs, and

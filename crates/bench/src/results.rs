@@ -415,6 +415,28 @@ mod tests {
     }
 
     #[test]
+    fn service_metrics_snapshot_json_parses_under_this_model() {
+        // `service_load` embeds `MetricsSnapshot::to_json()` output into
+        // BENCH_results.json via `parse`; keep the two formats compatible.
+        let metrics = service::ServiceMetrics::default();
+        metrics.submitted.add(10);
+        metrics.accepted.add(8);
+        metrics.rejected.add(2);
+        metrics.completed.add(8);
+        metrics
+            .end_to_end
+            .record(std::time::Duration::from_micros(750));
+        let snapshot = metrics.snapshot(3);
+
+        let doc = parse(&snapshot.to_json()).expect("snapshot JSON parses");
+        assert_eq!(doc.get("accepted"), Some(&Json::Num(8.0)));
+        assert_eq!(doc.get("shed_rate"), Some(&Json::Num(0.2)));
+        let e2e = doc.get("end_to_end_us").expect("histogram object");
+        assert_eq!(e2e.get("count"), Some(&Json::Num(1.0)));
+        assert!(e2e.get("p99_us").is_some());
+    }
+
+    #[test]
     fn unparseable_file_is_replaced() {
         let dir = std::env::temp_dir().join(format!("bench_results_bad_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();

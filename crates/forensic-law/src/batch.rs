@@ -265,12 +265,29 @@ pub struct BatchReport {
     pub cache: CacheStats,
 }
 
+impl BatchReport {
+    /// Batch throughput in actions per wall-clock second
+    /// (`f64::INFINITY` for a zero-duration batch).
+    pub fn actions_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.actions as f64 / secs
+        }
+    }
+}
+
 impl fmt::Display for BatchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} actions on {} threads in {:.1?}; cache: {}",
-            self.actions, self.threads, self.elapsed, self.cache
+            "{} actions on {} threads in {:.1?} ({:.0} actions/s); cache: {}",
+            self.actions,
+            self.threads,
+            self.elapsed,
+            self.actions_per_second(),
+            self.cache
         )
     }
 }
@@ -559,5 +576,28 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("3 hits"));
         assert!(text.contains("75.0% hit rate"));
+    }
+
+    /// The batch report surfaces cache effectiveness (hit-rate percent
+    /// next to the raw counters) and throughput, so `assess-batch` and
+    /// `serve` summaries read the same way.
+    #[test]
+    fn report_display_surfaces_throughput_and_hit_rate() {
+        let report = BatchReport {
+            actions: 100,
+            threads: 4,
+            elapsed: Duration::from_millis(50),
+            cache: CacheStats {
+                hits: 80,
+                misses: 20,
+                entries: 20,
+            },
+        };
+        assert!((report.actions_per_second() - 2000.0).abs() < 1e-6);
+        let text = report.to_string();
+        assert!(text.contains("100 actions on 4 threads"), "{text}");
+        assert!(text.contains("2000 actions/s"), "{text}");
+        assert!(text.contains("80 hits, 20 misses"), "{text}");
+        assert!(text.contains("80.0% hit rate"), "{text}");
     }
 }

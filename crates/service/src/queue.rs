@@ -1,0 +1,344 @@
+//! A bounded multi-producer/multi-consumer queue with explicit admission
+//! control.
+//!
+//! This is the service's load-bearing wall: every request a
+//! [`ComplianceService`](crate::service::ComplianceService) accepts sits
+//! here between admission and a worker picking it up. The queue is
+//! hand-rolled on `Mutex` + `Condvar` (no crates.io deps) and makes the
+//! overload decision explicit instead of implicit:
+//!
+//! * [`AdmissionPolicy::Block`] — producers wait for space (closed-loop
+//!   clients, batch replays).
+//! * [`AdmissionPolicy::Reject`] — a full queue sheds the *new* item back
+//!   to the producer (open-loop traffic that must stay low-latency).
+//! * [`AdmissionPolicy::DropOldest`] — a full queue evicts the oldest
+//!   queued item to admit the new one (freshness-biased workloads); the
+//!   evicted item is handed back so its owner can still be answered.
+//!
+//! Closing the queue ([`BoundedQueue::close`]) wakes every waiter;
+//! producers get their item back via [`PushError::Closed`], and consumers
+//! drain whatever is already queued before [`BoundedQueue::pop_wait`]
+//! starts returning `None`. Nothing already admitted is ever silently
+//! dropped — that invariant is what lets the service promise exactly one
+//! response per accepted request.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// What a producer wants done when the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Wait until a consumer makes room (or the queue closes).
+    #[default]
+    Block,
+    /// Refuse the new item immediately, handing it back to the producer.
+    Reject,
+    /// Evict the oldest queued item to make room for the new one.
+    DropOldest,
+}
+
+impl AdmissionPolicy {
+    /// Parses the CLI vocabulary: `block`, `reject`, `drop-oldest`.
+    pub fn parse(word: &str) -> Option<AdmissionPolicy> {
+        Some(match word {
+            "block" => AdmissionPolicy::Block,
+            "reject" => AdmissionPolicy::Reject,
+            "drop-oldest" => AdmissionPolicy::DropOldest,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AdmissionPolicy::Block => "block",
+            AdmissionPolicy::Reject => "reject",
+            AdmissionPolicy::DropOldest => "drop-oldest",
+        })
+    }
+}
+
+/// Why a push did not land, with the item handed back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity (only under [`AdmissionPolicy::Reject`]).
+    Full(T),
+    /// The queue has been closed to new items.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the item that was not admitted.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
+struct Inner<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue; see the [module docs](self) for the policy and
+/// shutdown semantics.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (clamped to at
+    /// least one).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                buf: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").buf.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock").closed
+    }
+
+    /// Pushes under `policy`. On success returns the item evicted to make
+    /// room, if any (only under [`AdmissionPolicy::DropOldest`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] once the queue is closed (any policy);
+    /// [`PushError::Full`] at capacity under [`AdmissionPolicy::Reject`].
+    pub fn push(&self, item: T, policy: AdmissionPolicy) -> Result<Option<T>, PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed(item));
+            }
+            if inner.buf.len() < self.capacity {
+                inner.buf.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(None);
+            }
+            match policy {
+                AdmissionPolicy::Block => {
+                    inner = self.not_full.wait(inner).expect("queue lock");
+                }
+                AdmissionPolicy::Reject => return Err(PushError::Full(item)),
+                AdmissionPolicy::DropOldest => {
+                    let evicted = inner.buf.pop_front().expect("full queue has a front");
+                    inner.buf.push_back(item);
+                    self.not_empty.notify_one();
+                    return Ok(Some(evicted));
+                }
+            }
+        }
+    }
+
+    /// Pops the oldest item, waiting while the queue is empty and open.
+    /// Returns `None` only once the queue is closed *and* drained.
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.buf.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Pops the oldest item if one is queued, without waiting.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let item = inner.buf.pop_front();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Closes the queue: no further pushes are admitted, every blocked
+    /// producer and consumer is woken, and queued items remain poppable so
+    /// consumers can drain them.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            assert!(q.push(i, AdmissionPolicy::Reject).unwrap().is_none());
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop_wait(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reject_policy_hands_the_item_back_at_capacity() {
+        let q = BoundedQueue::new(2);
+        q.push(1, AdmissionPolicy::Reject).unwrap();
+        q.push(2, AdmissionPolicy::Reject).unwrap();
+        match q.push(3, AdmissionPolicy::Reject) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Queue contents are untouched by the rejected push.
+        assert_eq!(q.pop_wait(), Some(1));
+        assert_eq!(q.pop_wait(), Some(2));
+    }
+
+    #[test]
+    fn drop_oldest_policy_evicts_the_front_at_capacity() {
+        let q = BoundedQueue::new(2);
+        q.push(1, AdmissionPolicy::DropOldest).unwrap();
+        q.push(2, AdmissionPolicy::DropOldest).unwrap();
+        let evicted = q.push(3, AdmissionPolicy::DropOldest).unwrap();
+        assert_eq!(evicted, Some(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_wait(), Some(2));
+        assert_eq!(q.pop_wait(), Some(3));
+    }
+
+    #[test]
+    fn block_policy_waits_for_a_consumer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1, AdmissionPolicy::Block).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2, AdmissionPolicy::Block).unwrap())
+        };
+        // The producer is parked on a full queue; popping unblocks it.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop_wait(), Some(1));
+        producer.join().unwrap();
+        assert_eq!(q.pop_wait(), Some(2));
+    }
+
+    #[test]
+    fn close_wakes_blocked_producers_with_their_item() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        q.push(1, AdmissionPolicy::Block).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2, AdmissionPolicy::Block))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        match producer.join().unwrap() {
+            Err(PushError::Closed(item)) => assert_eq!(item, 2),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_queued_items_then_returns_none() {
+        let q = BoundedQueue::new(4);
+        q.push(1, AdmissionPolicy::Block).unwrap();
+        q.push(2, AdmissionPolicy::Block).unwrap();
+        q.close();
+        assert!(matches!(
+            q.push(3, AdmissionPolicy::Block),
+            Err(PushError::Closed(3))
+        ));
+        assert_eq!(q.pop_wait(), Some(1));
+        assert_eq!(q.pop_wait(), Some(2));
+        assert_eq!(q.pop_wait(), None);
+        assert_eq!(q.pop_wait(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_wait())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn try_pop_never_waits() {
+        let q = BoundedQueue::<u32>::new(2);
+        assert_eq!(q.try_pop(), None);
+        q.push(7, AdmissionPolicy::Block).unwrap();
+        assert_eq!(q.try_pop(), Some(7));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(1, AdmissionPolicy::Reject).unwrap();
+        assert!(matches!(
+            q.push(2, AdmissionPolicy::Reject),
+            Err(PushError::Full(2))
+        ));
+    }
+
+    #[test]
+    fn policy_vocabulary_round_trips() {
+        for policy in [
+            AdmissionPolicy::Block,
+            AdmissionPolicy::Reject,
+            AdmissionPolicy::DropOldest,
+        ] {
+            assert_eq!(AdmissionPolicy::parse(&policy.to_string()), Some(policy));
+        }
+        assert_eq!(AdmissionPolicy::parse("lifo"), None);
+    }
+}

@@ -1,0 +1,564 @@
+//! The compliance service: a worker pool draining the bounded queue
+//! through a shared [`VerdictCache`], with per-request deadlines and
+//! graceful, draining shutdown.
+//!
+//! # Lifecycle of a request
+//!
+//! 1. A producer calls [`ComplianceService::submit`] (or
+//!    `submit_with_deadline`). Admission is decided by the configured
+//!    [`AdmissionPolicy`]; an admitted request yields a [`Ticket`].
+//! 2. A worker dequeues the request. If its deadline already passed, the
+//!    request is answered [`Outcome::TimedOut`] *without* burning an
+//!    engine run; otherwise the worker assesses it through the shared
+//!    sharded cache and answers [`Outcome::Completed`].
+//! 3. Under [`AdmissionPolicy::DropOldest`], an admitted request may be
+//!    evicted by a newer one before any worker sees it; its ticket is
+//!    answered [`Outcome::Shed`] by the evicting producer.
+//!
+//! **Exactly-one-response invariant:** every admitted request — and only
+//! admitted requests — receives exactly one response: `Completed`,
+//! `TimedOut`, or `Shed`. Shutdown closes admission, drains everything
+//! already queued, and joins the workers; nothing accepted is lost and
+//! nothing is answered twice (double-fulfilment panics).
+
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::queue::{AdmissionPolicy, BoundedQueue, PushError};
+use forensic_law::action::InvestigativeAction;
+use forensic_law::assessment::LegalAssessment;
+use forensic_law::batch::VerdictCache;
+use forensic_law::engine::ComplianceEngine;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`ComplianceService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue (clamped to at least one).
+    pub workers: usize,
+    /// Queue capacity (clamped to at least one).
+    pub capacity: usize,
+    /// What happens to a submission when the queue is full.
+    pub policy: AdmissionPolicy,
+    /// Deadline applied to [`submit`](ComplianceService::submit) calls
+    /// that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Simulated minimum per-request engine time, for load experiments
+    /// that model a heavier assessment pipeline than the current
+    /// in-memory engine (remote statute lookups, disk-resident dockets).
+    /// Implemented as a sleep: it occupies the request's worker slot —
+    /// which is what queueing behavior depends on — without pinning a
+    /// core, so deadline and backpressure experiments behave the same on
+    /// small CI machines as on big ones. `ZERO` (the default) means real
+    /// engine cost only.
+    pub engine_floor: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            capacity: 1024,
+            policy: AdmissionPolicy::Block,
+            default_deadline: None,
+            engine_floor: Duration::ZERO,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is full and the policy is [`AdmissionPolicy::Reject`]:
+    /// load was shed.
+    Overloaded,
+    /// The service is shutting down; admission is closed.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SubmitError::Overloaded => "service overloaded: request shed at admission",
+            SubmitError::ShuttingDown => "service shutting down: admission closed",
+        })
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// How an admitted request was answered.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Assessed (possibly from cache); the verdict is attached.
+    Completed(Arc<LegalAssessment>),
+    /// The deadline passed before a worker got to it; no engine run was
+    /// spent.
+    TimedOut,
+    /// Evicted from the queue by a newer request under
+    /// [`AdmissionPolicy::DropOldest`].
+    Shed,
+}
+
+impl Outcome {
+    /// The assessment, when the request completed.
+    pub fn assessment(&self) -> Option<&Arc<LegalAssessment>> {
+        match self {
+            Outcome::Completed(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// The service's answer to one admitted request.
+#[derive(Debug, Clone)]
+pub struct ServiceResponse {
+    /// How the request was answered.
+    pub outcome: Outcome,
+    /// Time spent queued before a worker (or evictor) resolved it.
+    pub queue_wait: Duration,
+    /// Admission-to-response latency.
+    pub total: Duration,
+}
+
+/// One-shot response slot shared between a [`Ticket`] and the worker
+/// pool.
+struct Slot {
+    cell: Mutex<Option<ServiceResponse>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            cell: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Posts the response. Panics on a second fulfilment — the
+    /// exactly-once invariant is structural, not best-effort.
+    fn fulfill(&self, response: ServiceResponse) {
+        let mut cell = self.cell.lock().expect("slot lock");
+        assert!(
+            cell.is_none(),
+            "an admitted request must be answered exactly once"
+        );
+        *cell = Some(response);
+        self.ready.notify_all();
+    }
+}
+
+/// A claim on the eventual response to one admitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slot").finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the service answers, then returns the response.
+    ///
+    /// Never blocks forever against a live service: every admitted
+    /// request is answered by a worker, an evictor, or the shutdown
+    /// drain.
+    pub fn wait(self) -> ServiceResponse {
+        let mut cell = self.slot.cell.lock().expect("slot lock");
+        loop {
+            if let Some(response) = cell.take() {
+                return response;
+            }
+            cell = self.slot.ready.wait(cell).expect("slot lock");
+        }
+    }
+
+    /// Returns the response if it has already been posted.
+    pub fn try_response(&self) -> Option<ServiceResponse> {
+        self.slot.cell.lock().expect("slot lock").clone()
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    action: InvestigativeAction,
+    slot: Arc<Slot>,
+    admitted: Instant,
+    deadline: Option<Instant>,
+}
+
+/// A long-running, load-tolerant compliance request server over the
+/// `forensic-law` engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct ComplianceService {
+    queue: Arc<BoundedQueue<Job>>,
+    policy: AdmissionPolicy,
+    default_deadline: Option<Duration>,
+    metrics: Arc<ServiceMetrics>,
+    cache: Arc<VerdictCache>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").finish_non_exhaustive()
+    }
+}
+
+impl ComplianceService {
+    /// Starts the worker pool with a fresh shared cache.
+    pub fn start(config: ServiceConfig) -> Self {
+        ComplianceService::start_with_cache(config, Arc::new(VerdictCache::new()))
+    }
+
+    /// Starts the worker pool routing assessments through `cache`, so a
+    /// service can inherit entries warmed by earlier batch runs (or by a
+    /// previous incarnation of itself).
+    pub fn start_with_cache(config: ServiceConfig, cache: Arc<VerdictCache>) -> Self {
+        let queue = Arc::new(BoundedQueue::new(config.capacity));
+        let metrics = Arc::new(ServiceMetrics::default());
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                let cache = Arc::clone(&cache);
+                let floor = config.engine_floor;
+                std::thread::spawn(move || worker_loop(&queue, &metrics, &cache, floor))
+            })
+            .collect();
+        ComplianceService {
+            queue,
+            policy: config.policy,
+            default_deadline: config.default_deadline,
+            metrics,
+            cache,
+            workers,
+        }
+    }
+
+    /// Submits one action under the configured default deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is full under the
+    /// `Reject` policy; [`SubmitError::ShuttingDown`] once admission has
+    /// closed.
+    pub fn submit(&self, action: InvestigativeAction) -> Result<Ticket, SubmitError> {
+        self.submit_inner(action, self.default_deadline)
+    }
+
+    /// Submits one action with an explicit deadline relative to now.
+    ///
+    /// # Errors
+    ///
+    /// As for [`submit`](Self::submit).
+    pub fn submit_with_deadline(
+        &self,
+        action: InvestigativeAction,
+        deadline: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(action, Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        action: InvestigativeAction,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        self.metrics.submitted.inc();
+        let now = Instant::now();
+        let slot = Slot::new();
+        let job = Job {
+            action,
+            slot: Arc::clone(&slot),
+            admitted: now,
+            deadline: deadline.map(|d| now + d),
+        };
+        match self.queue.push(job, self.policy) {
+            Ok(evicted) => {
+                self.metrics.accepted.inc();
+                if let Some(old) = evicted {
+                    // The producer that caused the eviction answers the
+                    // victim, so the invariant holds without any worker
+                    // involvement.
+                    self.metrics.evicted.inc();
+                    let waited = old.admitted.elapsed();
+                    self.metrics.end_to_end.record(waited);
+                    old.slot.fulfill(ServiceResponse {
+                        outcome: Outcome::Shed,
+                        queue_wait: waited,
+                        total: waited,
+                    });
+                }
+                Ok(Ticket { slot })
+            }
+            Err(PushError::Full(_)) => {
+                self.metrics.rejected.inc();
+                Err(SubmitError::Overloaded)
+            }
+            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Closes admission without waiting: later submissions fail with
+    /// [`SubmitError::ShuttingDown`], while workers keep draining what
+    /// was already accepted. Idempotent.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
+    /// Graceful shutdown: closes admission, lets the workers drain every
+    /// queued request (each still gets its one response), joins them, and
+    /// returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread panicked");
+        }
+        self.metrics.snapshot(self.queue.len())
+    }
+
+    /// Live metrics (counters are running totals; histograms cumulative).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.queue.len())
+    }
+
+    /// The shared verdict cache the workers assess through.
+    pub fn cache(&self) -> &Arc<VerdictCache> {
+        &self.cache
+    }
+
+    /// Requests currently queued (admitted, not yet picked up).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The configured admission policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+}
+
+impl Drop for ComplianceService {
+    fn drop(&mut self) {
+        // A dropped service still drains: close admission and join so no
+        // admitted request is left unanswered.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(
+    queue: &BoundedQueue<Job>,
+    metrics: &ServiceMetrics,
+    cache: &VerdictCache,
+    floor: Duration,
+) {
+    let engine = ComplianceEngine::new();
+    while let Some(job) = queue.pop_wait() {
+        let picked_up = Instant::now();
+        let waited = picked_up.duration_since(job.admitted);
+        metrics.queue_wait.record(waited);
+
+        if job.deadline.is_some_and(|d| picked_up > d) {
+            // Past deadline: answer without burning an engine run.
+            metrics.timed_out.inc();
+            let total = job.admitted.elapsed();
+            metrics.end_to_end.record(total);
+            job.slot.fulfill(ServiceResponse {
+                outcome: Outcome::TimedOut,
+                queue_wait: waited,
+                total,
+            });
+            continue;
+        }
+
+        let engine_start = Instant::now();
+        if !floor.is_zero() {
+            std::thread::sleep(floor);
+        }
+        let assessment = cache.assess(&engine, &job.action);
+        metrics.engine.record(engine_start.elapsed());
+        metrics.completed.inc();
+        let total = job.admitted.elapsed();
+        metrics.end_to_end.record(total);
+        job.slot.fulfill(ServiceResponse {
+            outcome: Outcome::Completed(assessment),
+            queue_wait: waited,
+            total,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forensic_law::scenarios::table1;
+
+    fn table1_actions() -> Vec<InvestigativeAction> {
+        table1().iter().map(|s| s.action().clone()).collect()
+    }
+
+    /// Blocks until the queue is empty, i.e. a worker has picked up
+    /// everything submitted so far.
+    fn wait_for_drain(service: &ComplianceService) {
+        while service.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// A config that parks one worker on each job long enough for a test
+    /// to fill the queue deterministically behind it.
+    fn slow_single_worker(capacity: usize, policy: AdmissionPolicy) -> ServiceConfig {
+        ServiceConfig {
+            workers: 1,
+            capacity,
+            policy,
+            default_deadline: None,
+            engine_floor: Duration::from_millis(30),
+        }
+    }
+
+    #[test]
+    fn answers_match_a_fresh_engine() {
+        let service = ComplianceService::start(ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        });
+        let engine = ComplianceEngine::new();
+        let actions = table1_actions();
+        let tickets: Vec<_> = actions
+            .iter()
+            .map(|a| service.submit(a.clone()).expect("admitted"))
+            .collect();
+        for (action, ticket) in actions.iter().zip(tickets) {
+            let response = ticket.wait();
+            let assessment = response.outcome.assessment().expect("completed");
+            assert_eq!(assessment.verdict(), engine.assess(action).verdict());
+            assert!(response.total >= response.queue_wait);
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.completed, actions.len() as u64);
+        assert_eq!(snap.responses(), snap.accepted);
+    }
+
+    #[test]
+    fn expired_deadline_is_answered_without_an_engine_run() {
+        let service = ComplianceService::start(slow_single_worker(8, AdmissionPolicy::Block));
+        let actions = table1_actions();
+        // Occupy the worker, then queue a request that will be stale by
+        // the time the worker frees up.
+        let first = service.submit(actions[0].clone()).unwrap();
+        wait_for_drain(&service);
+        let stale = service
+            .submit_with_deadline(actions[1].clone(), Duration::ZERO)
+            .unwrap();
+        match stale.wait().outcome {
+            Outcome::TimedOut => {}
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert!(matches!(first.wait().outcome, Outcome::Completed(_)));
+        // The timed-out request never touched the engine or cache.
+        assert_eq!(service.cache().stats().lookups(), 1);
+        let snap = service.shutdown();
+        assert_eq!(snap.timed_out, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.engine.count, 1);
+    }
+
+    #[test]
+    fn reject_policy_sheds_at_capacity() {
+        let service = ComplianceService::start(slow_single_worker(2, AdmissionPolicy::Reject));
+        let actions = table1_actions();
+        let busy = service.submit(actions[0].clone()).unwrap();
+        wait_for_drain(&service);
+        let queued: Vec<_> = (1..3)
+            .map(|i| service.submit(actions[i].clone()).unwrap())
+            .collect();
+        assert_eq!(
+            service.submit(actions[3].clone()).unwrap_err(),
+            SubmitError::Overloaded
+        );
+        for ticket in queued.into_iter().chain([busy]) {
+            assert!(matches!(ticket.wait().outcome, Outcome::Completed(_)));
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.accepted, 3);
+        assert_eq!(snap.responses(), 3);
+        assert!(snap.shed_rate() > 0.0);
+    }
+
+    #[test]
+    fn drop_oldest_policy_answers_the_evicted_request_shed() {
+        let service = ComplianceService::start(slow_single_worker(2, AdmissionPolicy::DropOldest));
+        let actions = table1_actions();
+        let busy = service.submit(actions[0].clone()).unwrap();
+        wait_for_drain(&service);
+        let oldest = service.submit(actions[1].clone()).unwrap();
+        let kept = service.submit(actions[2].clone()).unwrap();
+        let newest = service.submit(actions[3].clone()).unwrap(); // evicts `oldest`
+        assert!(matches!(oldest.wait().outcome, Outcome::Shed));
+        for ticket in [busy, kept, newest] {
+            assert!(matches!(ticket.wait().outcome, Outcome::Completed(_)));
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.evicted, 1);
+        assert_eq!(snap.accepted, 4);
+        assert_eq!(snap.responses(), 4);
+    }
+
+    #[test]
+    fn close_stops_admission_but_drains_accepted_work() {
+        let service = ComplianceService::start(slow_single_worker(8, AdmissionPolicy::Block));
+        let actions = table1_actions();
+        let tickets: Vec<_> = (0..4)
+            .map(|i| service.submit(actions[i].clone()).unwrap())
+            .collect();
+        service.close();
+        assert_eq!(
+            service.submit(actions[4].clone()).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        for ticket in tickets {
+            assert!(matches!(ticket.wait().outcome, Outcome::Completed(_)));
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.accepted, 4);
+        assert_eq!(snap.responses(), 4);
+    }
+
+    #[test]
+    fn shared_cache_serves_repeat_requests_from_memory() {
+        let service = ComplianceService::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let action = table1_actions().remove(0);
+        for _ in 0..10 {
+            let ticket = service.submit(action.clone()).unwrap();
+            assert!(matches!(ticket.wait().outcome, Outcome::Completed(_)));
+        }
+        let stats = service.cache().stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 9);
+        service.shutdown();
+    }
+
+    #[test]
+    fn ticket_is_answered_by_shutdown_drain() {
+        let service = ComplianceService::start(slow_single_worker(8, AdmissionPolicy::Block));
+        let action = table1_actions().remove(0);
+        let ticket = service.submit(action).unwrap();
+        // May or may not be answered yet; after shutdown it must be.
+        service.shutdown();
+        assert!(ticket.try_response().is_some());
+        assert!(matches!(ticket.wait().outcome, Outcome::Completed(_)));
+    }
+}

@@ -1,12 +1,14 @@
 //! The `lexforensica` command-line tool: ask the compliance engine about
-//! an investigative action (one-off or in JSONL batches), list the
-//! Table 1 scenarios, or look up an authority in the casebook.
+//! an investigative action (one-off, in JSONL batches, or through the
+//! long-running bounded-queue service), list the Table 1 scenarios, or
+//! look up an authority in the casebook.
 //!
 //! ```console
 //! $ lexforensica table1
 //! $ lexforensica assess --actor leo --data content --when realtime --where isp
 //! $ lexforensica assess --actor admin --data headers --where own-network
-//! $ lexforensica assess-batch scenarios.jsonl
+//! $ lexforensica assess-batch scenarios.jsonl --threads 4
+//! $ lexforensica serve scenarios.jsonl --workers 4 --policy reject
 //! $ lexforensica cite katz
 //! ```
 
@@ -14,10 +16,13 @@ use lexforensica::law::batch::BatchAssessor;
 use lexforensica::law::casebook::{all_citations, lookup};
 use lexforensica::law::prelude::*;
 use lexforensica::law::scenarios::table1;
+use lexforensica::service::cli::Args;
+use lexforensica::service::prelude::*;
 use lexforensica::spec::{
     parse_actor, parse_category, parse_location, parse_temporality, ActionSpec,
 };
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -38,12 +43,23 @@ fn usage() -> ExitCode {
         --consent             target consents
         --exigent             exigent circumstances
         --probation           target on probation
-  lexforensica assess-batch <file.jsonl | ->
+  lexforensica assess-batch <file.jsonl | -> [--threads N] [--seed S]
       assess one JSON scenario object per input line (\"-\" for stdin);
       prints one \"#line verdict [confidence] -- summary\" row per
-      scenario and cache statistics on stderr. Malformed lines are
-      reported with their line number and skipped; the exit code is
-      then nonzero.
+      scenario and cache statistics on stderr. --threads pins the
+      worker count; --seed shuffles the assessment order (output stays
+      in line order — answers are order-independent). Malformed lines
+      are reported with their line number and skipped; the exit code
+      is then nonzero.
+  lexforensica serve <file.jsonl | -> [OPTIONS]
+      run the same JSONL scenarios through the bounded-queue compliance
+      service (worker pool, admission control, deadlines):
+        --workers N           worker threads (default: all cores)
+        --capacity N          queue capacity (default 1024)
+        --policy block|reject|drop-oldest             (default block)
+        --deadline-ms D       per-request deadline in milliseconds
+      prints one row per scenario (verdict, or timeout/shed/rejected)
+      and a metrics snapshot on stderr
   lexforensica cite <substring>
       search the casebook by citation or holding text"
     );
@@ -155,63 +171,191 @@ fn cmd_assess(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_assess_batch(path: &str) -> ExitCode {
-    let input = if path == "-" {
+/// Reads the whole JSONL input, from a file or stdin (`-`).
+fn read_input(path: &str) -> Result<String, ExitCode> {
+    if path == "-" {
         let mut text = String::new();
         use std::io::Read as _;
         if let Err(e) = std::io::stdin().read_to_string(&mut text) {
             eprintln!("cannot read stdin: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
-        text
+        Ok(text)
     } else {
-        match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    };
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::FAILURE
+        })
+    }
+}
 
-    // Parse every line first (reporting failures without stopping), then
-    // fan the well-formed actions through the batch assessor.
-    let mut actions = Vec::new();
-    let mut lines = Vec::new(); // 1-based line number of each action
-    let mut summaries = Vec::new();
+/// One well-formed scenario line, ready to assess.
+struct ParsedLine {
+    /// 1-based input line number.
+    line: usize,
+    summary: String,
+    action: InvestigativeAction,
+}
+
+/// Parses every line, reporting failures without stopping. Returns the
+/// well-formed lines and the count of malformed ones.
+fn parse_lines(input: &str) -> (Vec<ParsedLine>, u64) {
+    let mut parsed = Vec::new();
     let mut bad_lines = 0u64;
     for (idx, line) in input.lines().enumerate() {
         let number = idx + 1;
         if line.trim().is_empty() {
             continue;
         }
-        let parsed = ActionSpec::from_json_line(line).and_then(|spec| {
+        let result = ActionSpec::from_json_line(line).and_then(|spec| {
             let action = spec.to_action()?;
             Ok((spec, action))
         });
-        match parsed {
-            Ok((spec, action)) => {
-                actions.push(action);
-                lines.push(number);
-                summaries.push(spec.summary());
-            }
+        match result {
+            Ok((spec, action)) => parsed.push(ParsedLine {
+                line: number,
+                summary: spec.summary(),
+                action,
+            }),
             Err(e) => {
                 eprintln!("line {number}: {e}");
                 bad_lines += 1;
             }
         }
     }
+    (parsed, bad_lines)
+}
 
-    let assessor = BatchAssessor::new();
+fn cmd_assess_batch(args: Args) -> ExitCode {
+    let Some(path) = args.positional(0) else {
+        return usage();
+    };
+    let threads = args.usize_flag(
+        "threads",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+    let seed = args.u64_flag("seed", 0);
+
+    let input = match read_input(path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    let (mut parsed, bad_lines) = parse_lines(&input);
+
+    // A nonzero seed shuffles the *assessment* order. The output is
+    // re-sorted into line order below, so the answers must be — and the
+    // golden tests check they are — seed-independent.
+    if seed != 0 {
+        lexforensica::netsim::rng::SimRng::seed_from(seed).shuffle(&mut parsed);
+    }
+
+    let actions: Vec<_> = parsed.iter().map(|p| p.action.clone()).collect();
+    let assessor = BatchAssessor::new().with_threads(threads);
     let (assessments, report) = assessor.assess_all_with_report(&actions);
-    for ((line, summary), assessment) in lines.iter().zip(&summaries).zip(&assessments) {
+
+    let mut rows: Vec<_> = parsed.iter().zip(&assessments).collect();
+    rows.sort_by_key(|(p, _)| p.line);
+    for (p, assessment) in rows {
         println!(
-            "#{line} {} [{}] -- {summary}",
+            "#{} {} [{}] -- {}",
+            p.line,
             assessment.verdict(),
-            assessment.confidence()
+            assessment.confidence(),
+            p.summary
         );
     }
     eprintln!("{report}");
+    if bad_lines > 0 {
+        eprintln!("{bad_lines} malformed line(s) skipped");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_serve(args: Args) -> ExitCode {
+    let Some(path) = args.positional(0) else {
+        return usage();
+    };
+    let workers = args.usize_flag(
+        "workers",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+    let capacity = args.usize_flag("capacity", 1024);
+    let policy = match args.get("policy") {
+        None => AdmissionPolicy::Block,
+        Some(word) => match AdmissionPolicy::parse(word) {
+            Some(policy) => policy,
+            None => {
+                eprintln!("unknown admission policy \"{word}\"");
+                return usage();
+            }
+        },
+    };
+    let default_deadline = args
+        .get("deadline-ms")
+        .map(|_| Duration::from_millis(args.u64_flag("deadline-ms", 0)));
+
+    let input = match read_input(path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    let (parsed, bad_lines) = parse_lines(&input);
+
+    let service = ComplianceService::start(ServiceConfig {
+        workers,
+        capacity,
+        policy,
+        default_deadline,
+        engine_floor: Duration::ZERO,
+    });
+    let start = Instant::now();
+
+    // Closed-loop submission: under `block` a full queue pushes back on
+    // this loop; under `reject`/`drop-oldest` overload turns into shed
+    // rows instead of waiting.
+    let tickets: Vec<Option<Ticket>> = parsed
+        .iter()
+        .map(|p| match service.submit(p.action.clone()) {
+            Ok(ticket) => Some(ticket),
+            Err(SubmitError::Overloaded) => None,
+            Err(SubmitError::ShuttingDown) => {
+                unreachable!("nothing closes admission during serve")
+            }
+        })
+        .collect();
+
+    for (p, ticket) in parsed.iter().zip(tickets) {
+        match ticket {
+            None => println!("#{} rejected -- {}", p.line, p.summary),
+            Some(ticket) => match ticket.wait().outcome {
+                Outcome::Completed(assessment) => println!(
+                    "#{} {} [{}] -- {}",
+                    p.line,
+                    assessment.verdict(),
+                    assessment.confidence(),
+                    p.summary
+                ),
+                Outcome::TimedOut => println!("#{} timeout -- {}", p.line, p.summary),
+                Outcome::Shed => println!("#{} shed -- {}", p.line, p.summary),
+            },
+        }
+    }
+
+    let elapsed = start.elapsed();
+    let cache = service.cache().stats();
+    let finals = service.shutdown();
+    debug_assert_eq!(finals.responses(), finals.accepted, "lost a response");
+    eprintln!(
+        "served {} of {} requests on {} workers in {:.1?} ({:.0} actions/s); cache: {}",
+        finals.responses(),
+        finals.submitted,
+        workers,
+        elapsed,
+        finals.responses() as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        cache
+    );
+    eprintln!("metrics: {}", finals.to_json());
     if bad_lines > 0 {
         eprintln!("{bad_lines} malformed line(s) skipped");
         ExitCode::FAILURE
@@ -225,10 +369,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("table1") => cmd_table1(),
         Some("assess") => cmd_assess(&args[1..]),
-        Some("assess-batch") => match args.get(1) {
-            Some(path) if args.len() == 2 => cmd_assess_batch(path),
-            _ => usage(),
-        },
+        Some("assess-batch") => cmd_assess_batch(Args::parse_from(args[1..].iter().cloned())),
+        Some("serve") => cmd_serve(Args::parse_from(args[1..].iter().cloned())),
         Some("cite") => match args.get(1) {
             Some(needle) => cmd_cite(needle),
             None => usage(),

@@ -195,3 +195,150 @@ fn assess_batch_missing_file_fails_cleanly() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(!stderr.is_empty());
 }
+
+/// `--threads` and `--seed` parse through the shared `Args` helper and
+/// never change the verdict stream: any seed shuffles only the internal
+/// assessment order, and the output is re-sorted into line order.
+#[test]
+fn assess_batch_output_is_thread_and_seed_invariant() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/assess_batch.jsonl"
+    );
+    let baseline = run(&["assess-batch", fixture]);
+    assert!(baseline.status.success());
+    for extra in [
+        &["--threads", "1"][..],
+        &["--threads", "8", "--seed", "7"][..],
+        &["--seed=12345"][..],
+    ] {
+        let mut args = vec!["assess-batch", fixture];
+        args.extend_from_slice(extra);
+        let out = run(&args);
+        assert!(out.status.success(), "{args:?}");
+        assert_eq!(
+            out.stdout, baseline.stdout,
+            "verdicts changed under {args:?}"
+        );
+    }
+}
+
+/// The batch report surfaces throughput and the cache hit rate on
+/// stderr, in the same shape `serve` uses.
+#[test]
+fn assess_batch_report_shows_throughput_and_hit_rate() {
+    let line = r#"{"actor": "leo", "data": "content", "when": "realtime", "where": "isp"}"#;
+    let input = format!("{line}\n{line}\n{line}\n{line}\n");
+    let out = run_batch_stdin(&input);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("actions/s"), "{stderr}");
+    assert!(stderr.contains("75.0% hit rate"), "{stderr}");
+}
+
+/// The `serve` fixture's golden output: the service path must answer
+/// exactly what the one-shot engine answers, line for line.
+#[test]
+fn serve_fixture_matches_golden_output() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/serve_demo.jsonl"
+    );
+    let out = run(&["serve", fixture, "--workers", "2"]);
+    assert!(out.status.success(), "{out:?}");
+
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let golden = "\
+#1 need (court order) [settled] -- pen/trap stream on addressing data
+#2 need (wiretap order) [settled] -- live content interception request
+#3 need (subpoena) [settled] -- subscriber records request
+#4 need (court order) [settled] -- repeat pen/trap request (cache hit)
+#5 no need [settled] -- provider-side ops review
+#6 need (search warrant) [settled] -- stored unopened mail at the provider
+#7 need (wiretap order) [settled] -- second interception on the same facts (cache hit)
+#8 no need [settled] -- consented device examination
+";
+    assert_eq!(stdout, golden);
+
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("served 8 of 8 requests"), "{stderr}");
+    assert!(stderr.contains("2 hits, 6 misses"), "{stderr}");
+    assert!(stderr.contains("metrics: {\"submitted\": 8"), "{stderr}");
+    assert!(stderr.contains("\"end_to_end_us\""), "{stderr}");
+}
+
+/// `serve` and `assess-batch` agree verdict-for-verdict on the same
+/// input — the service changes the cost model, never the answers.
+#[test]
+fn serve_agrees_with_assess_batch() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/assess_batch.jsonl"
+    );
+    let batch = run(&["assess-batch", fixture]);
+    let served = run(&["serve", fixture, "--workers", "4", "--capacity", "4"]);
+    assert!(batch.status.success() && served.status.success());
+    assert_eq!(batch.stdout, served.stdout);
+}
+
+/// Every admission policy serves the small fixture completely — at this
+/// scale nothing is shed, whatever the policy.
+#[test]
+fn serve_accepts_each_admission_policy() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/serve_demo.jsonl"
+    );
+    for policy in ["block", "reject", "drop-oldest"] {
+        let out = run(&["serve", fixture, "--policy", policy, "--workers", "2"]);
+        assert!(out.status.success(), "policy {policy}: {out:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("served 8 of 8"),
+            "policy {policy}: {stderr}"
+        );
+    }
+    let out = run(&["serve", fixture, "--policy", "lifo"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// A generous deadline changes nothing; the flag parses and the requests
+/// still complete.
+#[test]
+fn serve_with_deadline_completes_small_batches() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/serve_demo.jsonl"
+    );
+    let out = run(&["serve", fixture, "--deadline-ms", "10000"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.contains("timeout"), "{stdout}");
+}
+
+/// Malformed lines are reported and skipped by `serve` exactly as by
+/// `assess-batch`, with a nonzero exit.
+#[test]
+fn serve_reports_malformed_lines() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lexforensica"))
+        .args(["serve", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"{\"actor\": \"leo\"}\nnot json\n")
+        .unwrap();
+    let out = child.wait_with_output().expect("binary exits");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 2:"), "{stderr}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("#1 need (wiretap order)"), "{stdout}");
+}
