@@ -1,0 +1,210 @@
+//! Load driver for the `wire` crate: N pipelined connections over real
+//! loopback TCP against an in-process [`WireServer`], recording
+//! client-measured round-trip quantiles into `BENCH_results.json`
+//! under `wire_load`.
+//!
+//! ```console
+//! $ cargo run --release --bin wire_load -- [OPTIONS]
+//!     --requests N      requests per connection        (default 500)
+//!     --connections N   largest connection count swept (default 8)
+//!     --pipeline N      in-flight window per connection (default 16)
+//!     --workers N       service worker threads         (default: cores, min 4)
+//!     --capacity N      service queue capacity         (default 512)
+//!     --floor-us F      simulated engine floor, µs     (default 200)
+//!     --seed S          workload seed                  (default 42)
+//! ```
+//!
+//! One experiment: sweep 1, 2, 4, … connections, each pipelining
+//! `--pipeline` requests deep over its own socket, all multiplexed into
+//! the one bounded-queue service. The engine floor models a heavier
+//! assessment pipeline so connection scaling is visible (with a zero
+//! floor the cache answers everything at memory speed and the sweep
+//! measures only syscall overhead). Round trips are measured at the
+//! *client* — frame encode, loopback, queue, engine, response frame —
+//! into the same log-linear histogram the service uses.
+//!
+//! The driver asserts zero lost responses at every point: every request
+//! submitted got exactly one `ok` answer, and the server's books agree.
+
+use bench::cli::Args;
+use bench::results::{self, Json};
+use service::metrics::Histogram;
+use service::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use trials::derive_seed;
+use wire::prelude::*;
+
+/// A pool of raw JSONL action lines spanning the spec vocabulary —
+/// the wire payload is text, so the pool is text.
+const LINES: &[&str] = &[
+    r#"{"actor": "leo", "data": "headers", "when": "realtime", "where": "isp", "describe": "pen/trap stream"}"#,
+    r#"{"actor": "leo", "data": "content", "when": "realtime", "where": "isp", "describe": "live interception"}"#,
+    r#"{"actor": "leo", "data": "subscriber", "when": "stored", "where": "provider", "describe": "subscriber records"}"#,
+    r#"{"actor": "leo", "data": "records", "when": "stored", "where": "provider", "describe": "transaction records"}"#,
+    r#"{"actor": "admin", "data": "headers", "when": "realtime", "where": "own-network", "describe": "ops review"}"#,
+    r#"{"actor": "leo", "data": "content", "when": "stored-unopened", "where": "provider", "describe": "stored unopened mail"}"#,
+    r#"{"actor": "leo", "data": "content", "when": "stored", "where": "device", "flags": ["consent"], "describe": "consented device exam"}"#,
+    r#"{"actor": "private", "data": "content", "when": "stored", "where": "device", "describe": "private party search"}"#,
+    r#"{"actor": "leo", "data": "content", "when": "realtime", "where": "wireless", "describe": "open wifi capture"}"#,
+    r#"{"actor": "leo", "data": "headers", "when": "realtime", "where": "isp", "flags": ["rate-only"], "describe": "rate observation"}"#,
+    r#"{"actor": "employer", "data": "content", "when": "stored", "where": "own-network", "describe": "workplace mail review"}"#,
+    r#"{"actor": "leo", "data": "content", "when": "stored", "where": "media", "flags": ["hash-search"], "describe": "forensic media sweep"}"#,
+];
+
+/// Request `i` on connection `c` is a pure function of `(seed, c, i)`.
+fn line_for(seed: u64, c: u64, i: u64) -> &'static str {
+    LINES[(derive_seed(seed.wrapping_add(c), i) % LINES.len() as u64) as usize]
+}
+
+/// One sweep point: `connections` client threads, each driving
+/// `requests` calls at `pipeline` depth. Returns (wall, rtt histogram).
+fn drive(
+    addr: std::net::SocketAddr,
+    connections: usize,
+    requests: u64,
+    pipeline: usize,
+    seed: u64,
+) -> (Duration, Arc<Histogram>) {
+    let rtt = Arc::new(Histogram::default());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..connections as u64 {
+            let rtt = Arc::clone(&rtt);
+            scope.spawn(move || {
+                let client = WireClient::connect(addr).expect("dial loopback");
+                let mut window = std::collections::VecDeque::with_capacity(pipeline);
+                let reap = |(sent, call): (Instant, PendingCall)| {
+                    let response = call.wait().expect("server answers every call");
+                    rtt.record(sent.elapsed());
+                    assert_eq!(response.status, Status::Ok, "unexpected in-band status");
+                    assert!(!response.payload.is_empty(), "verdict payload missing");
+                };
+                for i in 0..requests {
+                    if window.len() == pipeline {
+                        reap(window.pop_front().expect("window is non-empty"));
+                    }
+                    let payload = line_for(seed, c, i).as_bytes().to_vec();
+                    let call = client.submit(payload, 0).expect("submit");
+                    window.push_back((Instant::now(), call));
+                }
+                for entry in window {
+                    reap(entry);
+                }
+            });
+        }
+    });
+    (start.elapsed(), rtt)
+}
+
+fn main() {
+    let args = Args::parse();
+    let requests = args.u64_flag("requests", 500);
+    let max_connections = args.usize_flag("connections", 8).max(1);
+    let pipeline = args.usize_flag("pipeline", 16).max(1);
+    // The engine floor is a sleep, so workers overlap it even on one
+    // core — keep at least 4 so connection scaling is visible on small
+    // machines.
+    let workers = args.usize_flag(
+        "workers",
+        std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .max(4),
+    );
+    let capacity = args.usize_flag("capacity", 512);
+    let floor_us = args.u64_flag("floor-us", 200);
+    let seed = args.u64_flag("seed", 42);
+
+    println!(
+        "wire_load: {} line pool, seed {seed}, floor {floor_us}us, {workers} workers, pipeline {pipeline}",
+        LINES.len()
+    );
+    bench::rule(76);
+
+    let mut sweep = vec![1usize];
+    while *sweep.last().expect("non-empty") * 2 <= max_connections {
+        sweep.push(sweep.last().expect("non-empty") * 2);
+    }
+
+    let mut points = Vec::new();
+    let mut base_rps = 0.0;
+    for &connections in &sweep {
+        let service = Arc::new(ComplianceService::start(ServiceConfig {
+            workers,
+            capacity,
+            policy: AdmissionPolicy::Block,
+            default_deadline: None,
+            engine_floor: Duration::from_micros(floor_us),
+        }));
+        let server = WireServer::start("127.0.0.1:0", Arc::clone(&service), WireConfig::default())
+            .expect("bind loopback");
+        let addr = server.local_addr();
+
+        let total = requests * connections as u64;
+        let (wall, rtt) = drive(addr, connections, requests, pipeline, seed);
+        let wire_finals = server.shutdown();
+        let finals = Arc::try_unwrap(service)
+            .expect("server drained; last handle")
+            .shutdown();
+
+        assert_eq!(wire_finals.frames_in, total, "server missed request frames");
+        assert_eq!(wire_finals.frames_out, total, "server lost response frames");
+        assert_eq!(wire_finals.protocol_errors, 0, "protocol errors under load");
+        assert_eq!(
+            finals.responses(),
+            finals.accepted,
+            "service lost a response"
+        );
+        let rtt = rtt.snapshot();
+        assert_eq!(rtt.count, total, "client reaped a different response count");
+
+        let rps = total as f64 / wall.as_secs_f64();
+        if connections == 1 {
+            base_rps = rps;
+        }
+        println!(
+            "wire  {connections:>2} conns  {:>9.1?}  {:>9.0} req/s  {:>5.2}x vs 1 conn  rtt p50 {}us p95 {}us p99 {}us",
+            wall,
+            rps,
+            rps / base_rps,
+            rtt.p50_us,
+            rtt.p95_us,
+            rtt.p99_us
+        );
+        points.push(
+            Json::obj()
+                .set("connections", connections)
+                .set("requests_per_connection", requests)
+                .set("total_requests", total)
+                .set("wall_ms", wall.as_secs_f64() * 1e3)
+                .set("throughput_rps", rps)
+                .set("speedup_vs_1", rps / base_rps)
+                .set("rtt_p50_us", rtt.p50_us)
+                .set("rtt_p95_us", rtt.p95_us)
+                .set("rtt_p99_us", rtt.p99_us)
+                .set("rtt_max_us", rtt.max_us)
+                .set("peak_inflight", wire_finals.peak_inflight)
+                .set("bytes_in", wire_finals.bytes_in)
+                .set("bytes_out", wire_finals.bytes_out),
+        );
+    }
+
+    bench::rule(76);
+    let section = Json::obj()
+        .set("name", "wire_load")
+        .set(
+            "config",
+            Json::obj()
+                .set("requests_per_connection", requests)
+                .set("connections_max", max_connections)
+                .set("pipeline", pipeline)
+                .set("workers", workers)
+                .set("capacity", capacity)
+                .set("floor_us", floor_us)
+                .set("seed", seed),
+        )
+        .set("sweep", Json::Arr(points));
+    results::record("wire_load", section).expect("write BENCH_results.json");
+    println!("wrote {}", results::RESULTS_FILE);
+    println!("zero lost responses across the sweep");
+}

@@ -96,6 +96,7 @@ pub mod process;
 pub mod provider;
 pub mod rationale;
 pub mod scenarios;
+pub mod spec;
 pub mod statutes;
 pub mod suppression;
 pub mod warrant;

@@ -1,8 +1,10 @@
-//! Textual scenario specifications for batch assessment.
+//! Textual scenario specifications for batch assessment and the wire
+//! protocol.
 //!
-//! The `lexforensica assess-batch` subcommand reads one JSON object per
-//! line (JSONL). Each object describes an investigative action with the
-//! same vocabulary the `assess` subcommand's flags use:
+//! The `lexforensica assess-batch` subcommand — and the `wire` crate's
+//! request payload — read one JSON object per line (JSONL). Each object
+//! describes an investigative action with the same vocabulary the
+//! `assess` subcommand's flags use:
 //!
 //! ```json
 //! {"actor": "leo", "data": "headers", "when": "realtime", "where": "isp"}
@@ -28,7 +30,7 @@
 //! (objects, arrays, strings, booleans, numbers, null); the workspace
 //! builds offline with no serialization dependency.
 
-use forensic_law::prelude::*;
+use crate::prelude::*;
 
 /// Why a specification line was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -168,6 +170,86 @@ impl ActionSpec {
         }
         Ok(builder.build())
     }
+}
+
+/// One well-formed JSONL scenario line, ready to assess.
+#[derive(Debug, Clone)]
+pub struct SpecLine {
+    /// 1-based input line number.
+    pub line: usize,
+    /// The human-readable summary ([`ActionSpec::summary`]).
+    pub summary: String,
+    /// The engine input the line describes.
+    pub action: InvestigativeAction,
+}
+
+/// One rejected JSONL line, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineError {
+    /// 1-based input line number.
+    pub line: usize,
+    /// Why the line was rejected.
+    pub error: SpecError,
+}
+
+impl std::fmt::Display for LineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.error)
+    }
+}
+
+impl std::error::Error for LineError {}
+
+/// The result of parsing a whole JSONL document: the well-formed lines
+/// plus every rejection, each tagged with its line number.
+#[derive(Debug, Clone, Default)]
+pub struct JsonlBatch {
+    /// Well-formed lines, in input order.
+    pub lines: Vec<SpecLine>,
+    /// Malformed lines, in input order.
+    pub errors: Vec<LineError>,
+}
+
+impl JsonlBatch {
+    /// Whether every non-blank line parsed.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Parses a JSONL document from raw bytes, reporting every malformed
+/// line (bad UTF-8, truncated JSON, unknown keys or vocabulary) with its
+/// 1-based line number instead of stopping at the first failure. Blank
+/// lines are skipped; a trailing `\r` (CRLF input) is tolerated.
+///
+/// Taking bytes rather than `&str` is deliberate: a single bad-UTF-8
+/// line in a large batch file must cost one [`LineError`], not the whole
+/// document.
+pub fn parse_jsonl(input: &[u8]) -> JsonlBatch {
+    let mut batch = JsonlBatch::default();
+    for (idx, raw) in input.split(|b| *b == b'\n').enumerate() {
+        let line = idx + 1;
+        let raw = raw.strip_suffix(b"\r").unwrap_or(raw);
+        if raw.iter().all(|b| b.is_ascii_whitespace()) {
+            continue;
+        }
+        let result = std::str::from_utf8(raw)
+            .map_err(|e| SpecError::new(format!("invalid UTF-8: {e}")))
+            .and_then(ActionSpec::from_json_line)
+            .and_then(|spec| {
+                let action = spec.to_action()?;
+                Ok((spec, action))
+            });
+        match result {
+            Ok((spec, action)) => batch.lines.push(SpecLine {
+                line,
+                summary: spec.summary(),
+                action,
+            }),
+            Err(error) => batch.errors.push(LineError { line, error }),
+        }
+    }
+    batch
 }
 
 fn expect_string(key: &str, value: json::Value) -> Result<String, SpecError> {
@@ -494,6 +576,62 @@ mod tests {
     fn string_escapes_resolve() {
         let spec = ActionSpec::from_json_line(r#"{"describe": "tab\there \"quoted\" A"}"#).unwrap();
         assert_eq!(spec.describe.as_deref(), Some("tab\there \"quoted\" A"));
+    }
+
+    #[test]
+    fn jsonl_reports_line_numbers_for_every_failure_kind() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"{\"actor\": \"leo\", \"data\": \"headers\"}\n"); // 1: ok
+        input.extend_from_slice(b"\n"); // 2: blank, skipped
+        input.extend_from_slice(b"{\"actor\": \"leo\"\n"); // 3: truncated JSON
+        input.extend_from_slice(b"{\"actor\": \"l\xff\xfeo\"}\n"); // 4: bad UTF-8
+        input.extend_from_slice(b"{\"acter\": \"leo\"}\n"); // 5: unknown field
+        input.extend_from_slice(b"{\"where\": \"device\"}\r\n"); // 6: ok, CRLF
+        let batch = parse_jsonl(&input);
+        assert!(!batch.is_clean());
+        assert_eq!(
+            batch.lines.iter().map(|l| l.line).collect::<Vec<_>>(),
+            vec![1, 6]
+        );
+        let errors: Vec<(usize, String)> = batch
+            .errors
+            .iter()
+            .map(|e| (e.line, e.to_string()))
+            .collect();
+        assert_eq!(errors.len(), 3);
+        assert!(errors[0].1.starts_with("line 3:"), "{errors:?}");
+        assert!(errors[1].1.starts_with("line 4:"), "{errors:?}");
+        assert!(errors[1].1.contains("invalid UTF-8"), "{errors:?}");
+        assert!(errors[2].1.starts_with("line 5:"), "{errors:?}");
+        assert!(errors[2].1.contains("acter"), "{errors:?}");
+    }
+
+    #[test]
+    fn jsonl_truncated_string_is_rejected_with_its_line() {
+        let batch = parse_jsonl(b"{\"describe\": \"cut off");
+        assert!(batch.lines.is_empty());
+        assert_eq!(batch.errors.len(), 1);
+        assert_eq!(batch.errors[0].line, 1);
+        assert!(
+            batch.errors[0].error.to_string().contains("unterminated"),
+            "{}",
+            batch.errors[0]
+        );
+    }
+
+    #[test]
+    fn jsonl_unknown_vocabulary_is_a_line_error_not_a_panic() {
+        let batch = parse_jsonl(b"{\"where\": \"narnia\"}\n{}\n");
+        assert_eq!(batch.lines.len(), 1);
+        assert_eq!(batch.errors.len(), 1);
+        assert!(batch.errors[0].to_string().contains("narnia"));
+    }
+
+    #[test]
+    fn jsonl_of_blank_lines_is_clean_and_empty() {
+        let batch = parse_jsonl(b"\n  \n\r\n");
+        assert!(batch.is_clean());
+        assert!(batch.lines.is_empty());
     }
 
     #[test]

@@ -53,7 +53,8 @@ pub mod service;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use queue::{AdmissionPolicy, BoundedQueue, PushError};
 pub use service::{
-    ComplianceService, Outcome, ServiceConfig, ServiceResponse, SubmitError, Ticket,
+    ComplianceService, ObservedRejection, Outcome, ResponseObserver, ServiceConfig,
+    ServiceResponse, SubmitError, Ticket,
 };
 
 /// The names most callers want in scope.
@@ -61,6 +62,7 @@ pub mod prelude {
     pub use crate::metrics::MetricsSnapshot;
     pub use crate::queue::AdmissionPolicy;
     pub use crate::service::{
-        ComplianceService, Outcome, ServiceConfig, ServiceResponse, SubmitError, Ticket,
+        ComplianceService, ObservedRejection, Outcome, ResponseObserver, ServiceConfig,
+        ServiceResponse, SubmitError, Ticket,
     };
 }

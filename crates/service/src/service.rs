@@ -183,12 +183,51 @@ impl Ticket {
     }
 }
 
+/// A completion observer: called with the response, exactly once, on
+/// whichever thread answers the request (a worker, an evicting producer,
+/// or the shutdown drain). This is how the wire layer gets out-of-order
+/// completion without parking a thread per in-flight request.
+pub type ResponseObserver = Box<dyn FnOnce(&ServiceResponse) + Send>;
+
+/// An observed submission that was not admitted: the typed error plus
+/// the unfired observer, handed back so the caller can still answer its
+/// own client (a request that was never admitted gets no service
+/// response).
+pub struct ObservedRejection {
+    /// Why admission failed.
+    pub error: SubmitError,
+    /// The observer, unfired.
+    pub observer: ResponseObserver,
+}
+
+impl std::fmt::Debug for ObservedRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObservedRejection")
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
 /// One queued unit of work.
 struct Job {
     action: InvestigativeAction,
     slot: Arc<Slot>,
     admitted: Instant,
     deadline: Option<Instant>,
+    notify: Option<ResponseObserver>,
+}
+
+impl Job {
+    /// Answers the request, consuming the job: fires the observer (if
+    /// any) and posts to the ticket slot. Every answer — worker,
+    /// evictor, drain — funnels through here, so the exactly-once panic
+    /// guard in [`Slot::fulfill`] covers observed requests too.
+    fn finish(self, response: ServiceResponse) {
+        if let Some(notify) = self.notify {
+            notify(&response);
+        }
+        self.slot.fulfill(response);
+    }
 }
 
 /// A long-running, load-tolerant compliance request server over the
@@ -248,7 +287,8 @@ impl ComplianceService {
     /// `Reject` policy; [`SubmitError::ShuttingDown`] once admission has
     /// closed.
     pub fn submit(&self, action: InvestigativeAction) -> Result<Ticket, SubmitError> {
-        self.submit_inner(action, self.default_deadline)
+        self.submit_inner(action, self.default_deadline, None)
+            .map_err(|(e, _)| e)
     }
 
     /// Submits one action with an explicit deadline relative to now.
@@ -261,14 +301,40 @@ impl ComplianceService {
         action: InvestigativeAction,
         deadline: Duration,
     ) -> Result<Ticket, SubmitError> {
-        self.submit_inner(action, Some(deadline))
+        self.submit_inner(action, Some(deadline), None)
+            .map_err(|(e, _)| e)
+    }
+
+    /// Submits one action whose response is delivered to `on_response`
+    /// instead of through a [`Ticket`]: the observer fires exactly once,
+    /// on whichever thread answers the request. This is the asynchronous
+    /// completion path the wire layer pipelines on.
+    ///
+    /// # Errors
+    ///
+    /// As for [`submit`](Self::submit); on an error the observer is
+    /// returned unfired inside the [`ObservedRejection`].
+    pub fn submit_observed(
+        &self,
+        action: InvestigativeAction,
+        deadline: Option<Duration>,
+        on_response: ResponseObserver,
+    ) -> Result<(), ObservedRejection> {
+        match self.submit_inner(action, deadline, Some(on_response)) {
+            Ok(_ticket) => Ok(()),
+            Err((error, notify)) => Err(ObservedRejection {
+                error,
+                observer: notify.expect("observed submit carries an observer"),
+            }),
+        }
     }
 
     fn submit_inner(
         &self,
         action: InvestigativeAction,
         deadline: Option<Duration>,
-    ) -> Result<Ticket, SubmitError> {
+        notify: Option<ResponseObserver>,
+    ) -> Result<Ticket, (SubmitError, Option<ResponseObserver>)> {
         self.metrics.submitted.inc();
         let now = Instant::now();
         let slot = Slot::new();
@@ -277,6 +343,7 @@ impl ComplianceService {
             slot: Arc::clone(&slot),
             admitted: now,
             deadline: deadline.map(|d| now + d),
+            notify,
         };
         match self.queue.push(job, self.policy) {
             Ok(evicted) => {
@@ -288,7 +355,7 @@ impl ComplianceService {
                     self.metrics.evicted.inc();
                     let waited = old.admitted.elapsed();
                     self.metrics.end_to_end.record(waited);
-                    old.slot.fulfill(ServiceResponse {
+                    old.finish(ServiceResponse {
                         outcome: Outcome::Shed,
                         queue_wait: waited,
                         total: waited,
@@ -296,11 +363,11 @@ impl ComplianceService {
                 }
                 Ok(Ticket { slot })
             }
-            Err(PushError::Full(_)) => {
+            Err(PushError::Full(job)) => {
                 self.metrics.rejected.inc();
-                Err(SubmitError::Overloaded)
+                Err((SubmitError::Overloaded, job.notify))
             }
-            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+            Err(PushError::Closed(job)) => Err((SubmitError::ShuttingDown, job.notify)),
         }
     }
 
@@ -371,7 +438,7 @@ fn worker_loop(
             metrics.timed_out.inc();
             let total = job.admitted.elapsed();
             metrics.end_to_end.record(total);
-            job.slot.fulfill(ServiceResponse {
+            job.finish(ServiceResponse {
                 outcome: Outcome::TimedOut,
                 queue_wait: waited,
                 total,
@@ -388,7 +455,7 @@ fn worker_loop(
         metrics.completed.inc();
         let total = job.admitted.elapsed();
         metrics.end_to_end.record(total);
-        job.slot.fulfill(ServiceResponse {
+        job.finish(ServiceResponse {
             outcome: Outcome::Completed(assessment),
             queue_wait: waited,
             total,
@@ -549,6 +616,116 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 9);
         service.shutdown();
+    }
+
+    #[test]
+    fn observed_submit_fires_exactly_once_with_the_assessment() {
+        use std::sync::mpsc;
+        let service = ComplianceService::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let engine = ComplianceEngine::new();
+        let actions = table1_actions();
+        let (tx, rx) = mpsc::channel();
+        for (i, action) in actions.iter().enumerate() {
+            let tx = tx.clone();
+            service
+                .submit_observed(
+                    action.clone(),
+                    None,
+                    Box::new(move |response: &ServiceResponse| {
+                        tx.send((i, response.clone())).unwrap();
+                    }),
+                )
+                .expect("admitted");
+        }
+        drop(tx);
+        let mut seen = vec![0u32; actions.len()];
+        for (i, response) in rx {
+            seen[i] += 1;
+            let assessment = response.outcome.assessment().expect("completed");
+            assert_eq!(
+                assessment.verdict(),
+                engine.assess(&actions[i]).verdict(),
+                "observed response #{i} disagrees with a fresh engine"
+            );
+        }
+        assert!(seen.iter().all(|&n| n == 1), "observer fired {seen:?}");
+        let snap = service.shutdown();
+        assert_eq!(snap.responses(), snap.accepted);
+    }
+
+    #[test]
+    fn observed_submit_sees_shed_and_drain_responses() {
+        use std::sync::mpsc;
+        let service = ComplianceService::start(slow_single_worker(2, AdmissionPolicy::DropOldest));
+        let actions = table1_actions();
+        let (tx, rx) = mpsc::channel();
+        let observe = |tx: &mpsc::Sender<&'static str>| {
+            let tx = tx.clone();
+            Box::new(move |response: &ServiceResponse| {
+                tx.send(match response.outcome {
+                    Outcome::Completed(_) => "completed",
+                    Outcome::TimedOut => "timed-out",
+                    Outcome::Shed => "shed",
+                })
+                .unwrap();
+            })
+        };
+        // Occupy the worker, fill the queue, then evict the oldest.
+        service
+            .submit_observed(actions[0].clone(), None, observe(&tx))
+            .unwrap();
+        wait_for_drain(&service);
+        for action in &actions[1..4] {
+            service
+                .submit_observed(action.clone(), None, observe(&tx))
+                .unwrap();
+        }
+        drop(tx);
+        // Shutdown drains the still-queued requests; every observer fires.
+        let snap = service.shutdown();
+        let outcomes: Vec<_> = rx.into_iter().collect();
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes.iter().filter(|o| **o == "shed").count(), 1);
+        assert_eq!(outcomes.iter().filter(|o| **o == "completed").count(), 3);
+        assert_eq!(snap.responses(), snap.accepted);
+    }
+
+    #[test]
+    fn observed_submit_hands_the_observer_back_on_rejection() {
+        let service = ComplianceService::start(slow_single_worker(1, AdmissionPolicy::Reject));
+        let actions = table1_actions();
+        let fired = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let observe = |fired: &Arc<std::sync::atomic::AtomicU32>| {
+            let fired = Arc::clone(fired);
+            Box::new(move |_: &ServiceResponse| {
+                fired.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            })
+        };
+        service
+            .submit_observed(actions[0].clone(), None, observe(&fired))
+            .unwrap();
+        wait_for_drain(&service);
+        service
+            .submit_observed(actions[1].clone(), None, observe(&fired))
+            .unwrap();
+        let rejection = service
+            .submit_observed(actions[2].clone(), None, observe(&fired))
+            .unwrap_err();
+        assert_eq!(rejection.error, SubmitError::Overloaded);
+        // The unfired observer comes back so the caller can answer its
+        // own client; it never double-fires through the service.
+        (rejection.observer)(&ServiceResponse {
+            outcome: Outcome::Shed,
+            queue_wait: Duration::ZERO,
+            total: Duration::ZERO,
+        });
+        let snap = service.shutdown();
+        assert_eq!(fired.load(std::sync::atomic::Ordering::SeqCst), 3);
+        assert_eq!(snap.responses(), snap.accepted);
+        assert_eq!(snap.rejected, 1);
     }
 
     #[test]

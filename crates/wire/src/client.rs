@@ -1,0 +1,267 @@
+//! A std-only pipelining client for the wire protocol.
+//!
+//! [`WireClient`] owns one TCP connection. Calls are **pipelined**:
+//! [`submit`](WireClient::submit) writes the request frame and returns a
+//! [`PendingCall`] immediately, so many requests can be on the wire at
+//! once; a background reader thread matches response frames back to
+//! their pending calls by request id, in whatever order the server
+//! answers. [`PendingCall::wait`] blocks for one specific answer.
+//!
+//! The client is thread-safe: any thread may submit, and the id space
+//! is allocated atomically per connection.
+
+use crate::frame::{self, Frame, FrameError, Request, Response, MAX_FRAME};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A client-side failure (distinct from an in-band error [`Status`] —
+/// those arrive as normal [`Response`]s).
+///
+/// [`Status`]: crate::frame::Status
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A socket-level error, flattened to kind + message so every
+    /// waiter on the connection can receive a copy.
+    Io(io::ErrorKind, String),
+    /// The server closed the connection before answering this call.
+    ConnectionClosed,
+    /// The server violated the framing protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(kind, msg) => write!(f, "i/o error ({kind:?}): {msg}"),
+            WireError::ConnectionClosed => write!(f, "connection closed before the response"),
+            WireError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e.kind(), e.to_string())
+    }
+}
+
+impl From<FrameError> for WireError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => WireError::Io(e.kind(), e.to_string()),
+            FrameError::Torn => WireError::Protocol("torn frame".into()),
+            other => WireError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// One slot in the pending-call table.
+#[derive(Debug)]
+enum SlotState {
+    Waiting,
+    Ready(Response),
+}
+
+#[derive(Debug, Default)]
+struct Pending {
+    slots: HashMap<u64, SlotState>,
+    /// Set once when the connection dies; every current and future
+    /// waiter gets a clone.
+    failed: Option<WireError>,
+}
+
+#[derive(Debug, Default)]
+struct ClientShared {
+    pending: Mutex<Pending>,
+    ready: Condvar,
+}
+
+impl ClientShared {
+    fn fail(&self, error: WireError) {
+        let mut pending = self.pending.lock().expect("pending lock");
+        if pending.failed.is_none() {
+            pending.failed = Some(error);
+        }
+        self.ready.notify_all();
+    }
+}
+
+/// One pipelined request awaiting its response. Obtain from
+/// [`WireClient::submit`]; redeem with [`wait`](Self::wait). Dropping
+/// without waiting abandons the call (the response, if it arrives, is
+/// discarded).
+#[derive(Debug)]
+pub struct PendingCall {
+    shared: Arc<ClientShared>,
+    id: u64,
+    done: bool,
+}
+
+impl PendingCall {
+    /// The request id this call was sent under.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the server answers this call (responses may arrive
+    /// in any order; this waits for this id specifically).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection died before the response arrived.
+    pub fn wait(mut self) -> Result<Response, WireError> {
+        self.done = true;
+        let mut pending = self.shared.pending.lock().expect("pending lock");
+        loop {
+            if matches!(pending.slots.get(&self.id), Some(SlotState::Ready(_))) {
+                match pending.slots.remove(&self.id) {
+                    Some(SlotState::Ready(response)) => return Ok(response),
+                    _ => unreachable!("checked ready above"),
+                }
+            }
+            if let Some(error) = pending.failed.clone() {
+                pending.slots.remove(&self.id);
+                return Err(error);
+            }
+            pending = self.shared.ready.wait(pending).expect("pending lock");
+        }
+    }
+}
+
+impl Drop for PendingCall {
+    fn drop(&mut self) {
+        if !self.done {
+            let mut pending = self.shared.pending.lock().expect("pending lock");
+            pending.slots.remove(&self.id);
+        }
+    }
+}
+
+/// A pipelining connection to a [`WireServer`](crate::server::WireServer).
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct WireClient {
+    shared: Arc<ClientShared>,
+    writer: Mutex<BufWriter<TcpStream>>,
+    stream: TcpStream,
+    next_id: AtomicU64,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl WireClient {
+    /// Dials `addr` and starts the response reader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let read_stream = stream.try_clone()?;
+        let write_stream = stream.try_clone()?;
+        let shared = Arc::new(ClientShared::default());
+        let reader = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || reader_loop(&shared, read_stream))
+        };
+        Ok(WireClient {
+            shared,
+            writer: Mutex::new(BufWriter::new(write_stream)),
+            stream,
+            next_id: AtomicU64::new(1),
+            reader: Some(reader),
+        })
+    }
+
+    /// Sends one request frame (flushed immediately) and returns the
+    /// pending call. `deadline_ms` of 0 means no deadline; otherwise it
+    /// is the service-side deadline for the request.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection already died or the write fails.
+    pub fn submit(&self, payload: Vec<u8>, deadline_ms: u32) -> Result<PendingCall, WireError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut pending = self.shared.pending.lock().expect("pending lock");
+            if let Some(error) = pending.failed.clone() {
+                return Err(error);
+            }
+            pending.slots.insert(id, SlotState::Waiting);
+        }
+        let frame = Frame::Request(Request {
+            id,
+            deadline_ms,
+            payload,
+        });
+        let written = {
+            let mut w = self.writer.lock().expect("writer lock");
+            frame::write_frame(&mut *w, &frame).and_then(|()| w.flush())
+        };
+        if let Err(e) = written {
+            let mut pending = self.shared.pending.lock().expect("pending lock");
+            pending.slots.remove(&id);
+            return Err(e.into());
+        }
+        Ok(PendingCall {
+            shared: Arc::clone(&self.shared),
+            id,
+            done: false,
+        })
+    }
+
+    /// Convenience: submit and block for the answer — a depth-1
+    /// (unpipelined) round trip.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection died before the response arrived.
+    pub fn roundtrip(&self, payload: Vec<u8>, deadline_ms: u32) -> Result<Response, WireError> {
+        self.submit(payload, deadline_ms)?.wait()
+    }
+}
+
+impl Drop for WireClient {
+    fn drop(&mut self) {
+        // Unblocks the reader thread's pending read.
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+fn reader_loop(shared: &ClientShared, stream: TcpStream) {
+    let mut r = BufReader::new(stream);
+    loop {
+        match frame::read_frame(&mut r, MAX_FRAME) {
+            Ok(None) => {
+                shared.fail(WireError::ConnectionClosed);
+                return;
+            }
+            Ok(Some(Frame::Response(response))) => {
+                let mut pending = shared.pending.lock().expect("pending lock");
+                // An unknown id means the call was dropped unwaited;
+                // discard the orphan response.
+                if let Some(slot) = pending.slots.get_mut(&response.id) {
+                    *slot = SlotState::Ready(response);
+                }
+                shared.ready.notify_all();
+            }
+            Ok(Some(Frame::Request(_))) => {
+                shared.fail(WireError::Protocol("server sent a request frame".into()));
+                return;
+            }
+            Err(e) => {
+                shared.fail(e.into());
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! The `lexforensica-wire` frame protocol: length-prefixed binary
+//! frames, std-only.
+//!
+//! # Layout
+//!
+//! Every frame on the wire is a 4-byte big-endian body length followed
+//! by the body. The body's first byte is the frame kind:
+//!
+//! ```text
+//! request  (kind 1): [1][id: u64 BE][deadline_ms: u32 BE][payload...]
+//! response (kind 2): [2][id: u64 BE][status: u8][queue_wait_us: u64 BE]
+//!                       [total_us: u64 BE][payload...]
+//! ```
+//!
+//! * `id` is chosen by the client and echoed verbatim in the response —
+//!   responses complete **out of order**, and the id is the only match
+//!   key. The server never interprets it.
+//! * `deadline_ms` is the request's service deadline in milliseconds
+//!   relative to arrival; `0` means no deadline.
+//! * A request payload is one UTF-8 JSONL action specification (the
+//!   [`forensic_law::spec`] vocabulary). A response payload is the
+//!   verdict line (`Ok`) or a diagnostic message (every other status).
+//!   Either payload may be empty.
+//! * A body longer than the configured cap is refused **before**
+//!   allocation ([`FrameError::TooLarge`]); the length prefix alone is
+//!   never trusted to size a buffer past the cap. A zero-length body
+//!   (no kind byte) is malformed.
+//!
+//! [`read_frame`] returns `Ok(None)` on a clean end-of-stream — EOF
+//! *between* frames. EOF *inside* a frame (a torn frame: the peer died
+//! or lied about the length) is [`FrameError::Torn`], which is how a
+//! reader distinguishes a polite goodbye from data loss.
+
+use std::io::{self, Read, Write};
+
+/// Default cap on a frame body, in bytes. One JSONL action spec is tens
+/// of bytes; a megabyte of headroom means the cap only ever fires on a
+/// corrupt or hostile length prefix.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Frame-kind byte for a request.
+const KIND_REQUEST: u8 = 1;
+/// Frame-kind byte for a response.
+const KIND_RESPONSE: u8 = 2;
+
+/// Fixed bytes in a request body before the payload: kind + id +
+/// deadline.
+const REQUEST_HEADER: usize = 1 + 8 + 4;
+/// Fixed bytes in a response body before the payload: kind + id +
+/// status + queue wait + total.
+const RESPONSE_HEADER: usize = 1 + 8 + 1 + 8 + 8;
+
+/// How the service answered a request, as one wire byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Assessed; the payload is the verdict line.
+    Ok,
+    /// The deadline passed before a worker got to it.
+    TimedOut,
+    /// Evicted from the queue by a newer request (drop-oldest).
+    Shed,
+    /// Refused at admission: the queue was full under `reject`.
+    Rejected,
+    /// The request payload did not parse as an action specification;
+    /// the payload carries the parse error.
+    BadRequest,
+    /// The server is draining and did not admit the request.
+    GoingAway,
+}
+
+impl Status {
+    /// The wire byte for this status.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::TimedOut => 1,
+            Status::Shed => 2,
+            Status::Rejected => 3,
+            Status::BadRequest => 4,
+            Status::GoingAway => 5,
+        }
+    }
+
+    /// Parses a wire byte.
+    pub fn from_byte(b: u8) -> Option<Status> {
+        Some(match b {
+            0 => Status::Ok,
+            1 => Status::TimedOut,
+            2 => Status::Shed,
+            3 => Status::Rejected,
+            4 => Status::BadRequest,
+            5 => Status::GoingAway,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Status::Ok => "ok",
+            Status::TimedOut => "timeout",
+            Status::Shed => "shed",
+            Status::Rejected => "rejected",
+            Status::BadRequest => "bad-request",
+            Status::GoingAway => "going-away",
+        })
+    }
+}
+
+/// One compliance request on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Service deadline in milliseconds from arrival; `0` = none.
+    pub deadline_ms: u32,
+    /// One JSONL action specification (UTF-8).
+    pub payload: Vec<u8>,
+}
+
+/// One compliance response on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The id of the request this answers.
+    pub id: u64,
+    /// How the service answered.
+    pub status: Status,
+    /// Time the request spent queued, in microseconds.
+    pub queue_wait_us: u64,
+    /// Admission-to-response latency, in microseconds.
+    pub total_us: u64,
+    /// Verdict line (`Ok`) or diagnostic message (otherwise).
+    pub payload: Vec<u8>,
+}
+
+/// Any frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A client request.
+    Request(Request),
+    /// A server response.
+    Response(Response),
+}
+
+impl Frame {
+    /// Total bytes this frame occupies on the wire (prefix + body).
+    pub fn wire_len(&self) -> usize {
+        4 + match self {
+            Frame::Request(r) => REQUEST_HEADER + r.payload.len(),
+            Frame::Response(r) => RESPONSE_HEADER + r.payload.len(),
+        }
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// EOF inside a frame: the peer closed (or died) mid-frame.
+    Torn,
+    /// The length prefix exceeds the configured cap; refused before any
+    /// allocation.
+    TooLarge {
+        /// The claimed body length.
+        len: u32,
+        /// The cap in force.
+        max: u32,
+    },
+    /// The body bytes do not decode (empty body, unknown kind or status,
+    /// body shorter than its fixed header).
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Torn => f.write_str("torn frame: stream ended mid-frame"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// Whether this is a transient read timeout (the socket's receive
+    /// timeout fired), as opposed to a real failure. Servers use timed
+    /// reads as their drain/idle tick.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+        )
+    }
+}
+
+/// Encodes a frame (length prefix + body) into a fresh buffer.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(frame.wire_len());
+    out.extend_from_slice(&[0, 0, 0, 0]); // length back-patched below
+    match frame {
+        Frame::Request(r) => {
+            out.push(KIND_REQUEST);
+            out.extend_from_slice(&r.id.to_be_bytes());
+            out.extend_from_slice(&r.deadline_ms.to_be_bytes());
+            out.extend_from_slice(&r.payload);
+        }
+        Frame::Response(r) => {
+            out.push(KIND_RESPONSE);
+            out.extend_from_slice(&r.id.to_be_bytes());
+            out.push(r.status.as_byte());
+            out.extend_from_slice(&r.queue_wait_us.to_be_bytes());
+            out.extend_from_slice(&r.total_us.to_be_bytes());
+            out.extend_from_slice(&r.payload);
+        }
+    }
+    let body_len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&body_len.to_be_bytes());
+    out
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates the underlying stream error.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode(frame))
+}
+
+/// Decodes a frame body (the bytes after the length prefix).
+///
+/// # Errors
+///
+/// [`FrameError::Malformed`] on an empty body, unknown kind or status
+/// byte, or a body shorter than its fixed header.
+pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+    let malformed = |msg: &str| FrameError::Malformed(msg.to_string());
+    match body.first() {
+        None => Err(malformed("empty body")),
+        Some(&KIND_REQUEST) => {
+            if body.len() < REQUEST_HEADER {
+                return Err(malformed("request body shorter than its header"));
+            }
+            Ok(Frame::Request(Request {
+                id: u64::from_be_bytes(body[1..9].try_into().expect("8 bytes")),
+                deadline_ms: u32::from_be_bytes(body[9..13].try_into().expect("4 bytes")),
+                payload: body[REQUEST_HEADER..].to_vec(),
+            }))
+        }
+        Some(&KIND_RESPONSE) => {
+            if body.len() < RESPONSE_HEADER {
+                return Err(malformed("response body shorter than its header"));
+            }
+            let status = Status::from_byte(body[9])
+                .ok_or_else(|| FrameError::Malformed(format!("unknown status byte {}", body[9])))?;
+            Ok(Frame::Response(Response {
+                id: u64::from_be_bytes(body[1..9].try_into().expect("8 bytes")),
+                status,
+                queue_wait_us: u64::from_be_bytes(body[10..18].try_into().expect("8 bytes")),
+                total_us: u64::from_be_bytes(body[18..26].try_into().expect("8 bytes")),
+                payload: body[RESPONSE_HEADER..].to_vec(),
+            }))
+        }
+        Some(&kind) => Err(FrameError::Malformed(format!("unknown frame kind {kind}"))),
+    }
+}
+
+/// Fills `buf` from `r`, treating EOF as a torn frame — the caller has
+/// already committed to a frame by reading part of it.
+fn read_committed(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(FrameError::Torn),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary.
+///
+/// A read timeout (`WouldBlock`/`TimedOut`) before the first byte of a
+/// frame surfaces as [`FrameError::Io`] with nothing consumed, so the
+/// caller may safely retry; see [`FrameError::is_timeout`]. The server
+/// wraps its stream in a ticking reader that absorbs mid-frame
+/// timeouts, so in-frame reads never lose partial state.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] when the length prefix exceeds `max_frame`
+/// (nothing of the body is read); [`FrameError::Torn`] on EOF inside
+/// the frame; [`FrameError::Malformed`] when the body does not decode;
+/// [`FrameError::Io`] on stream failure.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Option<Frame>, FrameError> {
+    // The first byte decides between clean EOF and a frame commitment.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let mut rest = [0u8; 3];
+    read_committed(r, &mut rest)?;
+    let len = u32::from_be_bytes([first[0], rest[0], rest[1], rest[2]]);
+    if len > max_frame {
+        return Err(FrameError::TooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    read_committed(r, &mut body)?;
+    decode_body(&body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn request(id: u64, payload: &[u8]) -> Frame {
+        Frame::Request(Request {
+            id,
+            deadline_ms: 250,
+            payload: payload.to_vec(),
+        })
+    }
+
+    fn response(id: u64, payload: &[u8]) -> Frame {
+        Frame::Response(Response {
+            id,
+            status: Status::Ok,
+            queue_wait_us: 17,
+            total_us: 1234,
+            payload: payload.to_vec(),
+        })
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in [
+            request(0, b"{}"),
+            request(u64::MAX, b"{\"actor\": \"leo\"}"),
+            response(7, b"need (wiretap order) [settled]"),
+            Frame::Response(Response {
+                id: 9,
+                status: Status::BadRequest,
+                queue_wait_us: 0,
+                total_us: 0,
+                payload: b"line did not parse".to_vec(),
+            }),
+        ] {
+            let bytes = encode(&frame);
+            assert_eq!(bytes.len(), frame.wire_len());
+            let mut cursor = Cursor::new(bytes);
+            let decoded = read_frame(&mut cursor, MAX_FRAME).unwrap().unwrap();
+            assert_eq!(decoded, frame);
+            // And the stream is exactly consumed: next read is clean EOF.
+            assert!(read_frame(&mut cursor, MAX_FRAME).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn zero_length_payload_round_trips() {
+        for frame in [request(3, b""), response(3, b"")] {
+            let bytes = encode(&frame);
+            let decoded = read_frame(&mut Cursor::new(bytes), MAX_FRAME)
+                .unwrap()
+                .unwrap();
+            assert_eq!(decoded, frame);
+            match decoded {
+                Frame::Request(r) => assert!(r.payload.is_empty()),
+                Frame::Response(r) => assert!(r.payload.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn status_bytes_round_trip_and_unknown_is_rejected() {
+        for status in [
+            Status::Ok,
+            Status::TimedOut,
+            Status::Shed,
+            Status::Rejected,
+            Status::BadRequest,
+            Status::GoingAway,
+        ] {
+            assert_eq!(Status::from_byte(status.as_byte()), Some(status));
+        }
+        assert_eq!(Status::from_byte(200), None);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_without_reading_the_body() {
+        // Claim a 2 MiB body against a 1 MiB cap; supply only the prefix.
+        let huge = (MAX_FRAME * 2).to_be_bytes();
+        let mut cursor = Cursor::new(huge.to_vec());
+        match read_frame(&mut cursor, MAX_FRAME) {
+            Err(FrameError::TooLarge { len, max }) => {
+                assert_eq!(len, MAX_FRAME * 2);
+                assert_eq!(max, MAX_FRAME);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Nothing beyond the 4 prefix bytes was consumed.
+        assert_eq!(cursor.position(), 4);
+    }
+
+    #[test]
+    fn exact_cap_is_accepted() {
+        let frame = request(1, &vec![b' '; MAX_FRAME as usize - REQUEST_HEADER]);
+        let bytes = encode(&frame);
+        let decoded = read_frame(&mut Cursor::new(bytes), MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn torn_frames_are_distinguished_from_clean_eof() {
+        let bytes = encode(&request(5, b"{\"actor\": \"leo\"}"));
+        // Clean EOF: empty stream.
+        assert!(read_frame(&mut Cursor::new(Vec::new()), MAX_FRAME)
+            .unwrap()
+            .is_none());
+        // Torn at every possible cut point inside the frame.
+        for cut in 1..bytes.len() {
+            let mut cursor = Cursor::new(bytes[..cut].to_vec());
+            match read_frame(&mut cursor, MAX_FRAME) {
+                Err(FrameError::Torn) => {}
+                other => panic!("cut at {cut}: expected Torn, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected() {
+        // Empty body.
+        assert!(matches!(
+            decode_body(b""),
+            Err(FrameError::Malformed(msg)) if msg.contains("empty")
+        ));
+        // Unknown kind.
+        assert!(matches!(
+            decode_body(&[9, 0, 0]),
+            Err(FrameError::Malformed(msg)) if msg.contains("kind 9")
+        ));
+        // Request body shorter than its fixed header.
+        assert!(matches!(
+            decode_body(&[KIND_REQUEST, 1, 2, 3]),
+            Err(FrameError::Malformed(msg)) if msg.contains("shorter")
+        ));
+        // Response with an unknown status byte.
+        let mut body = vec![KIND_RESPONSE];
+        body.extend_from_slice(&7u64.to_be_bytes());
+        body.push(99); // status
+        body.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            decode_body(&body),
+            Err(FrameError::Malformed(msg)) if msg.contains("status byte 99")
+        ));
+    }
+
+    #[test]
+    fn timeouts_are_recognized_and_nothing_is_consumed_before_a_frame() {
+        struct TimesOut;
+        impl Read for TimesOut {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"))
+            }
+        }
+        let err = read_frame(&mut TimesOut, MAX_FRAME).unwrap_err();
+        assert!(err.is_timeout());
+        assert!(!FrameError::Torn.is_timeout());
+    }
+
+    /// A reader that hands out the recorded stream in pseudo-random
+    /// splits — the protocol must be invariant to how the bytes arrive.
+    struct RandomSplit {
+        bytes: Vec<u8>,
+        pos: usize,
+        state: u64,
+    }
+
+    impl RandomSplit {
+        fn new(bytes: Vec<u8>, seed: u64) -> Self {
+            RandomSplit {
+                bytes,
+                pos: 0,
+                state: seed.max(1),
+            }
+        }
+
+        /// xorshift64* — tiny, deterministic, good enough to vary chunk
+        /// sizes.
+        fn next(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+
+    impl Read for RandomSplit {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos == self.bytes.len() {
+                return Ok(0);
+            }
+            let left = self.bytes.len() - self.pos;
+            let chunk = (self.next() as usize % 7 + 1).min(left).min(buf.len());
+            buf[..chunk].copy_from_slice(&self.bytes[self.pos..self.pos + chunk]);
+            self.pos += chunk;
+            Ok(chunk)
+        }
+    }
+
+    #[test]
+    fn fuzz_random_split_reader_reassembles_a_recorded_stream() {
+        // A recorded conversation: varied kinds, ids, payload sizes —
+        // including empty payloads and a payload with every byte value.
+        let mut frames = Vec::new();
+        for i in 0..40u64 {
+            let payload: Vec<u8> = (0..(i * 13 % 257)).map(|j| (i + j) as u8).collect();
+            frames.push(if i % 3 == 0 {
+                request(i, &payload)
+            } else {
+                Frame::Response(Response {
+                    id: i,
+                    status: Status::from_byte((i % 6) as u8).unwrap(),
+                    queue_wait_us: i * 1000,
+                    total_us: i * 2000,
+                    payload,
+                })
+            });
+        }
+        let mut stream = Vec::new();
+        for frame in &frames {
+            stream.extend_from_slice(&encode(frame));
+        }
+        for seed in 1..=20u64 {
+            let mut reader = RandomSplit::new(stream.clone(), seed);
+            let mut decoded = Vec::new();
+            while let Some(frame) = read_frame(&mut reader, MAX_FRAME).unwrap() {
+                decoded.push(frame);
+            }
+            assert_eq!(decoded, frames, "seed {seed} mangled the stream");
+        }
+    }
+}

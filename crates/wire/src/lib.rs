@@ -1,0 +1,70 @@
+//! # wire — `lexforensica-wire`
+//!
+//! A std-only TCP serving layer over the compliance service: the
+//! network front end that turns the in-process
+//! [`ComplianceService`](service::ComplianceService) into something a
+//! remote requester — the law-enforcement/provider interface the source
+//! paper's legal analysis keeps returning to — can actually dial.
+//!
+//! Everything here is `std::net` + threads; no external dependencies,
+//! no async runtime.
+//!
+//! * [`frame`] — the length-prefixed binary protocol: request frames
+//!   carry a client-chosen id, a per-request deadline, and one JSONL
+//!   action specification; response frames echo the id with a status
+//!   byte, service timings, and the verdict line. Oversized length
+//!   prefixes are refused before allocation; torn frames are
+//!   distinguished from clean EOF.
+//! * [`server`] — [`WireServer`](server::WireServer): accept loop plus
+//!   per-connection reader/writer threads. Requests **pipeline** — the
+//!   reader keeps decoding while earlier requests are still in the
+//!   service, responses complete out of order matched by id — under a
+//!   per-connection in-flight cap, with read/idle timeouts and a
+//!   graceful drain that loses nothing admitted.
+//! * [`client`] — [`WireClient`](client::WireClient): a thread-safe
+//!   pipelining client (submit returns a [`PendingCall`](client::PendingCall);
+//!   a reader thread routes responses back by id).
+//! * [`metrics`] — connection-level counters and a wire-latency
+//!   histogram in the same snapshot/JSON model as the service metrics.
+//!
+//! ```no_run
+//! use service::prelude::*;
+//! use std::sync::Arc;
+//! use wire::prelude::*;
+//!
+//! let service = Arc::new(ComplianceService::start(ServiceConfig::default()));
+//! let server = WireServer::start("127.0.0.1:0", Arc::clone(&service), WireConfig::default())
+//!     .expect("bind loopback");
+//!
+//! let client = WireClient::connect(server.local_addr()).expect("dial");
+//! let line = br#"{"actor": "leo", "directed": "provider", "data": "content", "when": "prospective", "where": "domestic", "describe": "wiretap"}"#;
+//! let response = client.roundtrip(line.to_vec(), 0).expect("round trip");
+//! println!("{}: {}", response.status, String::from_utf8_lossy(&response.payload));
+//!
+//! server.shutdown();
+//! if let Ok(service) = Arc::try_unwrap(service) {
+//!     service.shutdown();
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod frame;
+pub mod metrics;
+pub mod server;
+
+pub use client::{PendingCall, WireClient, WireError};
+pub use frame::{Frame, FrameError, Request, Response, Status, MAX_FRAME};
+pub use metrics::{WireMetrics, WireMetricsSnapshot};
+pub use server::{WireConfig, WireServer};
+
+/// The names most callers want in scope.
+pub mod prelude {
+    pub use crate::client::{PendingCall, WireClient, WireError};
+    pub use crate::frame::{Frame, FrameError, Request, Response, Status};
+    pub use crate::metrics::WireMetricsSnapshot;
+    pub use crate::server::{WireConfig, WireServer};
+}

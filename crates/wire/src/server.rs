@@ -1,0 +1,559 @@
+//! The TCP serving layer over [`ComplianceService`].
+//!
+//! # Threading model
+//!
+//! One accept thread; per connection, one **reader** and one **writer**
+//! thread. The reader decodes request frames, parses the JSONL action
+//! payload, and submits to the service with a completion observer; the
+//! observer (running on whichever service thread answers — worker,
+//! evictor, or drain) enqueues the response frame on the connection's
+//! outbox, where the writer picks it up. Responses therefore complete
+//! **out of order**; the request id is the only correlation.
+//!
+//! # Backpressure
+//!
+//! Each connection holds at most [`WireConfig::max_inflight`] requests
+//! between frame decode and response enqueue. The reader blocks before
+//! parsing frame N+cap until an earlier request is answered, so a
+//! pipelining client cannot queue unbounded work or unbounded response
+//! memory — admission control composes: wire cap per connection first,
+//! then the service's bounded queue across connections.
+//!
+//! # Timeouts and drain
+//!
+//! Sockets run with a short receive timeout ([`WireConfig::read_tick`])
+//! that doubles as the server's control tick: on every tick the reader
+//! checks the drain flag and the idle clock. An idle connection (no
+//! bytes and nothing in flight for [`WireConfig::idle_timeout`]) is
+//! closed; a peer stalled **mid-frame** longer than the idle budget is
+//! also cut off.
+//!
+//! [`WireServer::shutdown`] is a graceful drain: the accept loop closes
+//! first, every connection's reader stops consuming new frames at its
+//! next tick, all in-flight requests complete and their responses are
+//! flushed, and only then do the sockets close. Nothing admitted is
+//! lost; nothing is answered twice (the service's exactly-once guard
+//! extends through the observer).
+
+use crate::frame::{self, Frame, FrameError, Response, Status};
+use crate::metrics::{WireMetrics, WireMetricsSnapshot};
+use forensic_law::spec::ActionSpec;
+use service::prelude::*;
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Read, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`WireServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Requests one connection may hold between frame decode and
+    /// response enqueue (clamped to at least one).
+    pub max_inflight: usize,
+    /// Cap on a frame body; larger length prefixes kill the connection.
+    pub max_frame: u32,
+    /// Socket receive timeout: the granularity at which readers notice
+    /// drain and idle. Smaller is more responsive, larger is fewer
+    /// wakeups.
+    pub read_tick: Duration,
+    /// Close a connection after this long with no bytes and nothing in
+    /// flight (`None` disables). Also bounds how long a peer may stall
+    /// mid-frame.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            max_inflight: 64,
+            max_frame: frame::MAX_FRAME,
+            read_tick: Duration::from_millis(25),
+            idle_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Responses queued for one connection's writer.
+#[derive(Debug, Default)]
+struct Outbox {
+    queue: VecDeque<Response>,
+    closed: bool,
+}
+
+/// Per-connection shared state between reader, writer, and observers.
+#[derive(Debug, Default)]
+struct Conn {
+    outbox: Mutex<Outbox>,
+    out_ready: Condvar,
+    inflight: Mutex<usize>,
+    inflight_changed: Condvar,
+}
+
+impl Conn {
+    /// Enqueues a response for the writer (dropped if the writer is
+    /// gone — the peer is too, then).
+    fn send(&self, response: Response) {
+        let mut outbox = self.outbox.lock().expect("outbox lock");
+        if !outbox.closed {
+            outbox.queue.push_back(response);
+            self.out_ready.notify_one();
+        }
+    }
+
+    /// Blocks until an in-flight slot frees up (or the server drains),
+    /// takes it, and returns the new depth.
+    fn acquire_slot(&self, cap: usize, draining: &AtomicBool) -> usize {
+        let mut n = self.inflight.lock().expect("inflight lock");
+        while *n >= cap && !draining.load(Ordering::Relaxed) {
+            n = self.inflight_changed.wait(n).expect("inflight lock");
+        }
+        *n += 1;
+        *n
+    }
+
+    /// Releases an in-flight slot.
+    fn release_slot(&self) {
+        let mut n = self.inflight.lock().expect("inflight lock");
+        *n -= 1;
+        self.inflight_changed.notify_all();
+    }
+
+    /// Blocks until every in-flight request has been answered.
+    fn wait_drained(&self) {
+        let mut n = self.inflight.lock().expect("inflight lock");
+        while *n > 0 {
+            n = self.inflight_changed.wait(n).expect("inflight lock");
+        }
+    }
+
+    fn inflight_depth(&self) -> usize {
+        *self.inflight.lock().expect("inflight lock")
+    }
+
+    /// Closes the outbox; the writer drains what is queued and exits.
+    fn close_outbox(&self) {
+        let mut outbox = self.outbox.lock().expect("outbox lock");
+        outbox.closed = true;
+        self.out_ready.notify_all();
+    }
+}
+
+/// State shared by the accept loop and every connection.
+#[derive(Debug)]
+struct Shared {
+    service: Arc<ComplianceService>,
+    config: WireConfig,
+    metrics: Arc<WireMetrics>,
+    draining: AtomicBool,
+    conns: Mutex<Vec<Weak<Conn>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running TCP front end over a [`ComplianceService`]. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct WireServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds `addr` (port 0 picks a free port; see
+    /// [`local_addr`](Self::local_addr)) and starts serving `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/local-address failures.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        service: Arc<ComplianceService>,
+        config: WireConfig,
+    ) -> io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            config: WireConfig {
+                max_inflight: config.max_inflight.max(1),
+                ..config
+            },
+            metrics: Arc::new(WireMetrics::default()),
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        Ok(WireServer {
+            local_addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the real port when started on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live wire metrics.
+    pub fn metrics(&self) -> WireMetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Graceful drain: stops accepting, lets every connection finish its
+    /// in-flight requests and flush their responses, closes the sockets,
+    /// joins all threads, and returns the final wire metrics. The
+    /// underlying [`ComplianceService`] is left running — it belongs to
+    /// the caller.
+    pub fn shutdown(mut self) -> WireMetricsSnapshot {
+        self.drain();
+        self.shared.metrics.snapshot()
+    }
+
+    fn drain(&mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Wake readers parked on a full in-flight window.
+        for conn in self.shared.conns.lock().expect("conns lock").iter() {
+            if let Some(conn) = conn.upgrade() {
+                conn.inflight_changed.notify_all();
+            }
+        }
+        // Wake the accept loop with a throwaway connection; it checks
+        // the drain flag before serving what it accepted.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Connection readers notice the flag at their next read tick,
+        // drain, and exit; new handles cannot appear once accept is
+        // gone.
+        let handles: Vec<_> = self
+            .shared
+            .handles
+            .lock()
+            .expect("handles lock")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.drain();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    // Once the drain flag is up, the backlog may still hold connections
+    // the kernel has already completed the handshake for — dropping the
+    // listener then would RST them (and any requests they pipelined).
+    // Instead, switch to nonblocking, accept and *serve* everything
+    // queued (drain-aware readers answer what is buffered and close at
+    // their first quiet tick), and exit only when the backlog is empty.
+    let mut backlog_drain = false;
+    loop {
+        if !backlog_drain && shared.draining.load(Ordering::SeqCst) {
+            backlog_drain = true;
+            let _ = listener.set_nonblocking(true);
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || run_connection(&conn_shared, stream));
+                shared.handles.lock().expect("handles lock").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if backlog_drain {
+                    break;
+                }
+            }
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// A `Read` adapter that turns socket receive timeouts into control
+/// ticks: on every tick it checks the drain flag and the idle clock,
+/// synthesizing EOF when the connection should stop. `read_frame` then
+/// sees either a clean boundary EOF or a torn frame, and
+/// `stopped_by_server` tells the reader which closures are *ours* (not
+/// protocol errors).
+struct Ticking<'a> {
+    stream: &'a TcpStream,
+    conn: &'a Conn,
+    draining: &'a AtomicBool,
+    idle_timeout: Option<Duration>,
+    last_activity: Instant,
+    stopped_by_server: bool,
+}
+
+impl Read for Ticking<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match (&mut &*self.stream as &mut &TcpStream).read(buf) {
+                Ok(0) => return Ok(0),
+                Ok(n) => {
+                    self.last_activity = Instant::now();
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.draining.load(Ordering::Relaxed) {
+                        self.stopped_by_server = true;
+                        return Ok(0);
+                    }
+                    if let Some(idle) = self.idle_timeout {
+                        if self.last_activity.elapsed() >= idle && self.conn.inflight_depth() == 0 {
+                            self.stopped_by_server = true;
+                            return Ok(0);
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn run_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let metrics = &shared.metrics;
+    metrics.connections_opened.inc();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_tick));
+
+    let conn = Arc::new(Conn::default());
+    {
+        let mut conns = shared.conns.lock().expect("conns lock");
+        conns.retain(|weak| weak.strong_count() > 0);
+        conns.push(Arc::downgrade(&conn));
+    }
+
+    let Ok(write_stream) = stream.try_clone() else {
+        metrics.connections_closed.inc();
+        return;
+    };
+    let writer = {
+        let conn = Arc::clone(&conn);
+        let metrics = Arc::clone(metrics);
+        std::thread::spawn(move || writer_loop(&conn, write_stream, &metrics))
+    };
+
+    let mut ticking = Ticking {
+        stream: &stream,
+        conn: &conn,
+        draining: &shared.draining,
+        idle_timeout: shared.config.idle_timeout,
+        last_activity: Instant::now(),
+        stopped_by_server: false,
+    };
+    loop {
+        match frame::read_frame(&mut ticking, shared.config.max_frame) {
+            Ok(None) => break, // clean close: theirs (EOF) or ours (drain/idle)
+            Ok(Some(frame)) => {
+                metrics.bytes_in.add(frame.wire_len() as u64);
+                match frame {
+                    Frame::Request(request) => {
+                        metrics.frames_in.inc();
+                        handle_request(shared, &conn, request);
+                    }
+                    Frame::Response(_) => {
+                        // Only servers speak responses.
+                        metrics.protocol_errors.inc();
+                        break;
+                    }
+                }
+            }
+            Err(e) if e.is_timeout() => {} // absorbed by Ticking; defensive
+            Err(FrameError::Torn) => {
+                if !ticking.stopped_by_server {
+                    metrics.protocol_errors.inc();
+                }
+                break;
+            }
+            Err(_) => {
+                metrics.protocol_errors.inc();
+                break;
+            }
+        }
+    }
+
+    // Drain: every submitted request fires its observer (enqueueing the
+    // response *before* releasing the slot), so once in-flight hits
+    // zero the outbox holds every outstanding answer.
+    conn.wait_drained();
+    conn.close_outbox();
+    let _ = writer.join();
+    // Half-close with FIN, then read the socket dry before dropping it:
+    // closing with unread bytes in the receive buffer makes the kernel
+    // send RST, which can destroy responses still in the peer's receive
+    // path. The linger is bounded so a peer that never hangs up cannot
+    // pin the drain.
+    let _ = stream.shutdown(Shutdown::Write);
+    let linger_deadline = Instant::now() + Duration::from_millis(250);
+    let mut scratch = [0u8; 4096];
+    loop {
+        match (&mut &stream as &mut &TcpStream).read(&mut scratch) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= linger_deadline {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    metrics.connections_closed.inc();
+}
+
+/// The verdict line for a completed assessment — exactly the
+/// `{verdict} [{confidence}]` text `assess-batch` prints between the
+/// line number and the summary, so remote output diffs byte-for-byte.
+fn verdict_payload(response: &ServiceResponse) -> (Status, Vec<u8>) {
+    match &response.outcome {
+        Outcome::Completed(a) => (
+            Status::Ok,
+            format!("{} [{}]", a.verdict(), a.confidence()).into_bytes(),
+        ),
+        Outcome::TimedOut => (Status::TimedOut, Vec::new()),
+        Outcome::Shed => (Status::Shed, Vec::new()),
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, request: frame::Request) {
+    let metrics = &shared.metrics;
+    let received = Instant::now();
+
+    // Every request — even one that fails to parse — occupies an
+    // in-flight slot until its response is enqueued, so a client
+    // spamming garbage is backpressured exactly like a busy one.
+    let depth = conn.acquire_slot(shared.config.max_inflight, &shared.draining);
+    metrics.observe_inflight(depth);
+
+    let parsed = std::str::from_utf8(&request.payload)
+        .map_err(|e| format!("payload is not UTF-8: {e}"))
+        .and_then(|line| {
+            ActionSpec::from_json_line(line)
+                .and_then(|spec| spec.to_action())
+                .map_err(|e| e.to_string())
+        });
+    let action = match parsed {
+        Ok(action) => action,
+        Err(message) => {
+            metrics.bad_requests.inc();
+            conn.send(Response {
+                id: request.id,
+                status: Status::BadRequest,
+                queue_wait_us: 0,
+                total_us: 0,
+                payload: message.into_bytes(),
+            });
+            conn.release_slot();
+            return;
+        }
+    };
+
+    let deadline =
+        (request.deadline_ms > 0).then(|| Duration::from_millis(u64::from(request.deadline_ms)));
+    let observer: ResponseObserver = {
+        let conn = Arc::clone(conn);
+        let metrics = Arc::clone(metrics);
+        let id = request.id;
+        Box::new(move |response: &ServiceResponse| {
+            let (status, payload) = verdict_payload(response);
+            metrics.record_latency(received.elapsed());
+            conn.send(Response {
+                id,
+                status,
+                queue_wait_us: response.queue_wait.as_micros().min(u64::MAX as u128) as u64,
+                total_us: response.total.as_micros().min(u64::MAX as u128) as u64,
+                payload,
+            });
+            // Order matters: the response is in the outbox before the
+            // slot frees, so "in-flight drained" implies "all responses
+            // queued".
+            conn.release_slot();
+        })
+    };
+    if let Err(rejection) = shared.service.submit_observed(action, deadline, observer) {
+        metrics.not_admitted.inc();
+        let status = match rejection.error {
+            SubmitError::Overloaded => Status::Rejected,
+            SubmitError::ShuttingDown => Status::GoingAway,
+        };
+        conn.send(Response {
+            id: request.id,
+            status,
+            queue_wait_us: 0,
+            total_us: 0,
+            payload: rejection.error.to_string().into_bytes(),
+        });
+        conn.release_slot();
+    }
+}
+
+fn writer_loop(conn: &Conn, stream: TcpStream, metrics: &WireMetrics) {
+    let mut w = BufWriter::new(stream);
+    loop {
+        let (batch, closed) = {
+            let mut outbox = conn.outbox.lock().expect("outbox lock");
+            loop {
+                if !outbox.queue.is_empty() {
+                    let batch: Vec<Response> = outbox.queue.drain(..).collect();
+                    break (batch, outbox.closed);
+                }
+                if outbox.closed {
+                    break (Vec::new(), true);
+                }
+                outbox = conn.out_ready.wait(outbox).expect("outbox lock");
+            }
+        };
+        if batch.is_empty() && closed {
+            let _ = w.flush();
+            return;
+        }
+        for response in batch {
+            let frame = Frame::Response(response);
+            metrics.bytes_out.add(frame.wire_len() as u64);
+            if frame::write_frame(&mut w, &frame).is_err() {
+                // The peer is gone; stop writing and let responses drop.
+                conn.close_outbox();
+                return;
+            }
+            metrics.frames_out.inc();
+        }
+        if w.flush().is_err() {
+            conn.close_outbox();
+            return;
+        }
+    }
+}

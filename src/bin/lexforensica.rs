@@ -19,9 +19,12 @@ use lexforensica::law::scenarios::table1;
 use lexforensica::service::cli::Args;
 use lexforensica::service::prelude::*;
 use lexforensica::spec::{
-    parse_actor, parse_category, parse_location, parse_temporality, ActionSpec,
+    parse_actor, parse_category, parse_jsonl, parse_location, parse_temporality, SpecLine,
 };
+use lexforensica::wire::prelude::*;
+use std::collections::VecDeque;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
@@ -60,6 +63,21 @@ fn usage() -> ExitCode {
         --deadline-ms D       per-request deadline in milliseconds
       prints one row per scenario (verdict, or timeout/shed/rejected)
       and a metrics snapshot on stderr
+  lexforensica serve --tcp ADDR [OPTIONS]
+      expose the compliance service over TCP (the lexforensica-wire
+      framed protocol) instead of replaying a file; same service
+      options as above, plus:
+        --max-inflight N      pipelined requests per connection (default 64)
+      prints \"listening on HOST:PORT\" on stderr (bind port 0 to let
+      the OS pick), serves until stdin reaches EOF, then drains
+      gracefully and prints wire + service metrics on stderr
+  lexforensica assess-remote ADDR <file.jsonl | -> [OPTIONS]
+      replay JSONL scenarios against a \"serve --tcp\" server and print
+      the same rows assess-batch would:
+        --pipeline N          max requests in flight (default 32)
+        --deadline-ms D       per-request deadline in milliseconds
+      malformed lines are reported with their line number and skipped;
+      the exit code is then nonzero
   lexforensica cite <substring>
       search the casebook by citation or holding text"
     );
@@ -171,59 +189,33 @@ fn cmd_assess(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Reads the whole JSONL input, from a file or stdin (`-`).
-fn read_input(path: &str) -> Result<String, ExitCode> {
+/// Reads the whole JSONL input, from a file or stdin (`-`). Raw bytes:
+/// a bad-UTF-8 line must cost one line error downstream, not the file.
+fn read_input(path: &str) -> Result<Vec<u8>, ExitCode> {
     if path == "-" {
-        let mut text = String::new();
+        let mut bytes = Vec::new();
         use std::io::Read as _;
-        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        if let Err(e) = std::io::stdin().read_to_end(&mut bytes) {
             eprintln!("cannot read stdin: {e}");
             return Err(ExitCode::FAILURE);
         }
-        Ok(text)
+        Ok(bytes)
     } else {
-        std::fs::read_to_string(path).map_err(|e| {
+        std::fs::read(path).map_err(|e| {
             eprintln!("cannot read {path}: {e}");
             ExitCode::FAILURE
         })
     }
 }
 
-/// One well-formed scenario line, ready to assess.
-struct ParsedLine {
-    /// 1-based input line number.
-    line: usize,
-    summary: String,
-    action: InvestigativeAction,
-}
-
-/// Parses every line, reporting failures without stopping. Returns the
-/// well-formed lines and the count of malformed ones.
-fn parse_lines(input: &str) -> (Vec<ParsedLine>, u64) {
-    let mut parsed = Vec::new();
-    let mut bad_lines = 0u64;
-    for (idx, line) in input.lines().enumerate() {
-        let number = idx + 1;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let result = ActionSpec::from_json_line(line).and_then(|spec| {
-            let action = spec.to_action()?;
-            Ok((spec, action))
-        });
-        match result {
-            Ok((spec, action)) => parsed.push(ParsedLine {
-                line: number,
-                summary: spec.summary(),
-                action,
-            }),
-            Err(e) => {
-                eprintln!("line {number}: {e}");
-                bad_lines += 1;
-            }
-        }
+/// Parses every line, reporting failures to stderr without stopping.
+/// Returns the well-formed lines and the count of malformed ones.
+fn parse_lines(input: &[u8]) -> (Vec<SpecLine>, u64) {
+    let batch = parse_jsonl(input);
+    for error in &batch.errors {
+        eprintln!("{error}");
     }
-    (parsed, bad_lines)
+    (batch.lines, batch.errors.len() as u64)
 }
 
 fn cmd_assess_batch(args: Args) -> ExitCode {
@@ -273,7 +265,173 @@ fn cmd_assess_batch(args: Args) -> ExitCode {
     }
 }
 
+/// Builds a service from the shared `--workers/--capacity/--policy/
+/// --deadline-ms` flags, or reports the bad flag and returns `None`.
+fn service_from_args(args: &Args) -> Option<ComplianceService> {
+    let workers = args.usize_flag(
+        "workers",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+    let capacity = args.usize_flag("capacity", 1024);
+    let policy = match args.get("policy") {
+        None => AdmissionPolicy::Block,
+        Some(word) => match AdmissionPolicy::parse(word) {
+            Some(policy) => policy,
+            None => {
+                eprintln!("unknown admission policy \"{word}\"");
+                return None;
+            }
+        },
+    };
+    let default_deadline = args
+        .get("deadline-ms")
+        .map(|_| Duration::from_millis(args.u64_flag("deadline-ms", 0)));
+    Some(ComplianceService::start(ServiceConfig {
+        workers,
+        capacity,
+        policy,
+        default_deadline,
+        engine_floor: Duration::ZERO,
+    }))
+}
+
+/// `serve --tcp ADDR`: expose the service over the wire protocol until
+/// stdin reaches EOF, then drain gracefully.
+fn cmd_serve_tcp(args: &Args) -> ExitCode {
+    let addr = args.get("tcp").expect("dispatched on --tcp");
+    let Some(service) = service_from_args(args) else {
+        return usage();
+    };
+    let service = Arc::new(service);
+    let config = WireConfig {
+        max_inflight: args.usize_flag("max-inflight", 64),
+        ..WireConfig::default()
+    };
+    let server = match WireServer::start(addr, Arc::clone(&service), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The contract scripts rely on: address on stderr, stdin EOF stops.
+    eprintln!("listening on {}", server.local_addr());
+
+    let mut sink = Vec::new();
+    use std::io::Read as _;
+    let _ = std::io::stdin().read_to_end(&mut sink);
+
+    eprintln!("stdin closed; draining");
+    let wire_finals = server.shutdown();
+    eprintln!("wire metrics: {}", wire_finals.to_json());
+    let Ok(service) = Arc::try_unwrap(service) else {
+        // Every server thread has been joined, so this handle is the
+        // last one; if not, report rather than hang.
+        eprintln!("service handle still shared after drain");
+        return ExitCode::FAILURE;
+    };
+    let finals = service.shutdown();
+    eprintln!("service metrics: {}", finals.to_json());
+    if finals.responses() == finals.accepted {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "lost responses: accepted {} answered {}",
+            finals.accepted,
+            finals.responses()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// `assess-remote ADDR FILE`: replay a JSONL batch over the wire
+/// protocol, pipelined, and print assess-batch-identical rows.
+fn cmd_assess_remote(args: Args) -> ExitCode {
+    let (Some(addr), Some(path)) = (args.positional(0), args.positional(1)) else {
+        return usage();
+    };
+    let window = args.usize_flag("pipeline", 32).max(1);
+    let deadline_ms = args.u64_flag("deadline-ms", 0).min(u64::from(u32::MAX)) as u32;
+
+    let input = match read_input(path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    let (parsed, bad_lines) = parse_lines(&input);
+    // The wire payload is the raw JSONL line itself (1-based `line`
+    // indexes into the unfiltered input).
+    let raw_lines: Vec<&[u8]> = input.split(|&b| b == b'\n').collect();
+
+    let client = match WireClient::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Sliding-window pipelining: up to `window` requests on the wire,
+    // reaping the oldest before submitting the next. Responses may
+    // complete out of order server-side; rows are re-sorted below.
+    let mut inflight: VecDeque<(&SpecLine, PendingCall)> = VecDeque::new();
+    let mut rows: Vec<(usize, String)> = Vec::new();
+    let mut failed = false;
+    let reap =
+        |spec: &SpecLine, call: PendingCall, rows: &mut Vec<(usize, String)>| match call.wait() {
+            Ok(response) => {
+                let row = match response.status {
+                    Status::Ok => format!(
+                        "#{} {} -- {}",
+                        spec.line,
+                        String::from_utf8_lossy(&response.payload),
+                        spec.summary
+                    ),
+                    status => format!("#{} {} -- {}", spec.line, status, spec.summary),
+                };
+                rows.push((spec.line, row));
+                false
+            }
+            Err(e) => {
+                eprintln!("line {}: {e}", spec.line);
+                true
+            }
+        };
+    for spec in &parsed {
+        if inflight.len() == window {
+            let (spec, call) = inflight.pop_front().expect("window is non-empty");
+            failed |= reap(spec, call, &mut rows);
+        }
+        let raw = raw_lines[spec.line - 1].to_vec();
+        match client.submit(raw, deadline_ms) {
+            Ok(call) => inflight.push_back((spec, call)),
+            Err(e) => {
+                eprintln!("line {}: {e}", spec.line);
+                failed = true;
+            }
+        }
+    }
+    for (spec, call) in inflight {
+        failed |= reap(spec, call, &mut rows);
+    }
+
+    rows.sort_by_key(|(line, _)| *line);
+    for (_, row) in rows {
+        println!("{row}");
+    }
+    if bad_lines > 0 {
+        eprintln!("{bad_lines} malformed line(s) skipped");
+    }
+    if failed || bad_lines > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_serve(args: Args) -> ExitCode {
+    if args.get("tcp").is_some() {
+        return cmd_serve_tcp(&args);
+    }
     let Some(path) = args.positional(0) else {
         return usage();
     };
@@ -370,6 +528,7 @@ fn main() -> ExitCode {
         Some("table1") => cmd_table1(),
         Some("assess") => cmd_assess(&args[1..]),
         Some("assess-batch") => cmd_assess_batch(Args::parse_from(args[1..].iter().cloned())),
+        Some("assess-remote") => cmd_assess_remote(Args::parse_from(args[1..].iter().cloned())),
         Some("serve") => cmd_serve(Args::parse_from(args[1..].iter().cloned())),
         Some("cite") => match args.get(1) {
             Some(needle) => cmd_cite(needle),

@@ -316,6 +316,142 @@ fn serve_with_deadline_completes_small_batches() {
     assert!(!stdout.contains("timeout"), "{stdout}");
 }
 
+/// A `serve --tcp` server under test: spawned with stdin held open (EOF
+/// is the shutdown signal) and its listening address scraped from
+/// stderr.
+struct TcpServer {
+    child: std::process::Child,
+    stdin: Option<std::process::ChildStdin>,
+    stderr: std::thread::JoinHandle<String>,
+    addr: String,
+}
+
+impl TcpServer {
+    fn spawn(extra: &[&str]) -> TcpServer {
+        use std::io::{BufRead, BufReader, Read};
+        use std::process::Stdio;
+        let mut child = Command::new(env!("CARGO_BIN_EXE_lexforensica"))
+            .args(["serve", "--tcp", "127.0.0.1:0"])
+            .args(extra)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("binary runs");
+        let stdin = child.stdin.take();
+        let mut reader = BufReader::new(child.stderr.take().expect("stderr piped"));
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .expect("server announces itself");
+        let addr = line
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected first stderr line: {line:?}"))
+            .trim()
+            .to_string();
+        // Keep draining stderr so the server never blocks on a full pipe.
+        let stderr = std::thread::spawn(move || {
+            let mut rest = String::new();
+            let _ = reader.read_to_string(&mut rest);
+            rest
+        });
+        TcpServer {
+            child,
+            stdin,
+            stderr,
+            addr,
+        }
+    }
+
+    /// Closes stdin (the graceful-shutdown signal) and collects the
+    /// exit status and remaining stderr.
+    fn shutdown(mut self) -> (std::process::ExitStatus, String) {
+        drop(self.stdin.take());
+        let status = self.child.wait().expect("server exits");
+        let stderr = self.stderr.join().expect("stderr thread");
+        (status, stderr)
+    }
+}
+
+/// `assess-remote` against a live `serve --tcp` prints byte-for-byte
+/// what `assess-batch` prints for the same fixture, and the server
+/// drains cleanly on stdin EOF with balanced wire metrics.
+#[test]
+fn assess_remote_matches_assess_batch_over_tcp() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/serve_demo.jsonl"
+    );
+    let server = TcpServer::spawn(&["--workers", "2"]);
+
+    let batch = run(&["assess-batch", fixture]);
+    assert!(batch.status.success());
+    // Two sequential replays: the second also proves connection
+    // teardown leaves the server healthy.
+    for round in 0..2 {
+        let remote = run(&["assess-remote", &server.addr, fixture, "--pipeline", "4"]);
+        assert!(remote.status.success(), "round {round}: {remote:?}");
+        assert_eq!(
+            remote.stdout, batch.stdout,
+            "round {round}: remote verdicts differ from assess-batch"
+        );
+    }
+
+    let (status, stderr) = server.shutdown();
+    assert!(status.success(), "{stderr}");
+    assert!(stderr.contains("stdin closed; draining"), "{stderr}");
+    assert!(stderr.contains("\"frames_in\": 16"), "{stderr}");
+    assert!(stderr.contains("\"frames_out\": 16"), "{stderr}");
+    assert!(stderr.contains("\"protocol_errors\": 0"), "{stderr}");
+    assert!(stderr.contains("service metrics:"), "{stderr}");
+}
+
+/// Malformed lines fail `assess-remote` with a nonzero exit and per-line
+/// diagnostics, while well-formed lines are still assessed remotely.
+#[test]
+fn assess_remote_reports_malformed_lines_and_fails() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let server = TcpServer::spawn(&[]);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lexforensica"))
+        .args(["assess-remote", &server.addr, "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"{\"actor\": \"leo\"}\nnot json\n")
+        .unwrap();
+    let out = child.wait_with_output().expect("binary exits");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 2:"), "{stderr}");
+    assert!(stderr.contains("1 malformed line(s) skipped"), "{stderr}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("#1 need (wiretap order)"), "{stdout}");
+
+    let (status, _) = server.shutdown();
+    assert!(status.success());
+}
+
+/// A dead address fails fast and nonzero, with a readable message.
+#[test]
+fn assess_remote_unreachable_server_fails_cleanly() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/serve_demo.jsonl"
+    );
+    let out = run(&["assess-remote", "127.0.0.1:1", fixture]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cannot connect"), "{stderr}");
+}
+
 /// Malformed lines are reported and skipped by `serve` exactly as by
 /// `assess-batch`, with a nonzero exit.
 #[test]
