@@ -1,0 +1,71 @@
+//! Bench-trajectory gate: verifies `BENCH_results.json` is present,
+//! parses, and contains a section for **every** registered driver.
+//!
+//! ```console
+//! $ cargo run --release -p bench --bin check_results [-- --file PATH]
+//! ```
+//!
+//! CI's bench-trajectory job runs the perf drivers and then this check
+//! before uploading the results artifact: a driver that crashed, was
+//! skipped, or silently stopped calling [`results::record`] turns the
+//! job red instead of quietly thinning the perf history.
+
+use bench::cli::Args;
+use bench::results::{self, Json, REGISTERED_DRIVERS};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let file = args
+        .get("file")
+        .unwrap_or(results::RESULTS_FILE)
+        .to_string();
+
+    let text = match std::fs::read_to_string(&file) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("FAIL: cannot read {file}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(doc) = results::parse(&text) else {
+        eprintln!("FAIL: {file} is not valid JSON");
+        return ExitCode::FAILURE;
+    };
+    if !matches!(doc, Json::Obj(_)) {
+        eprintln!("FAIL: {file} is not a JSON object");
+        return ExitCode::FAILURE;
+    }
+
+    let mut missing = Vec::new();
+    for &driver in REGISTERED_DRIVERS {
+        match doc.get(driver) {
+            Some(Json::Obj(_)) => println!("ok: {driver}"),
+            Some(_) => {
+                eprintln!("FAIL: section {driver:?} is not an object");
+                missing.push(driver);
+            }
+            None => {
+                eprintln!("FAIL: missing section {driver:?}");
+                missing.push(driver);
+            }
+        }
+    }
+
+    if missing.is_empty() {
+        println!(
+            "{file}: all {} registered driver sections present",
+            REGISTERED_DRIVERS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "FAIL: {file} is missing {} of {} registered sections — \
+             run the corresponding drivers (see REGISTERED_DRIVERS in \
+             crates/bench/src/results.rs)",
+            missing.len(),
+            REGISTERED_DRIVERS.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -13,6 +13,20 @@ use std::path::Path;
 /// The canonical results file name, written into the working directory.
 pub const RESULTS_FILE: &str = "BENCH_results.json";
 
+/// Every driver that must have a section in [`RESULTS_FILE`] for the
+/// perf trajectory to be complete. Adding a bench driver means adding
+/// its key here — the `check_results` bin (run by CI's bench-trajectory
+/// job) fails when any registered section is missing, so a driver that
+/// silently stops recording is caught the same day, not three PRs
+/// later.
+pub const REGISTERED_DRIVERS: &[&str] = &[
+    "experiments",
+    "throughput",
+    "service_load",
+    "wire_load",
+    "trace_overhead",
+];
+
 /// A minimal JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {

@@ -4,6 +4,7 @@
 use crate::casebook::CitationId;
 use crate::privacy::PrivacyFinding;
 use crate::process::LegalProcess;
+use crate::provenance::Provenance;
 use crate::rationale::Rationale;
 use std::fmt;
 
@@ -78,6 +79,7 @@ pub struct LegalAssessment {
     privacy: PrivacyFinding,
     governing: Vec<CitationId>,
     rationale: Rationale,
+    provenance: Provenance,
 }
 
 impl LegalAssessment {
@@ -87,6 +89,7 @@ impl LegalAssessment {
         privacy: PrivacyFinding,
         governing: Vec<CitationId>,
         rationale: Rationale,
+        provenance: Provenance,
     ) -> Self {
         LegalAssessment {
             verdict,
@@ -94,6 +97,7 @@ impl LegalAssessment {
             privacy,
             governing,
             rationale,
+            provenance,
         }
     }
 
@@ -120,6 +124,12 @@ impl LegalAssessment {
     /// The full rationale chain.
     pub fn rationale(&self) -> &Rationale {
         &self.rationale
+    }
+
+    /// The ordered rule firings that produced the verdict — the
+    /// machine-readable audit trail behind [`rationale`](Self::rationale).
+    pub fn provenance(&self) -> &Provenance {
+        &self.provenance
     }
 
     /// Whether the action, performed with `held` process in hand, is

@@ -9,6 +9,7 @@ use crate::data::{DataLocation, TransmissionMedium};
 use crate::exceptions::ConsentAuthority;
 use crate::privacy::assess_privacy;
 use crate::process::LegalProcess;
+use crate::provenance::Provenance;
 use crate::rationale::Rationale;
 use crate::statutes::{pen_trap, sca, wiretap, StatuteRuling};
 
@@ -55,12 +56,30 @@ impl ComplianceEngine {
     }
 
     /// Runs the full assessment pipeline on an action.
+    ///
+    /// Besides the verdict and rationale, the returned assessment
+    /// carries a [`Provenance`] record: every rule that fired, in
+    /// evaluation order (privacy calculus, statutes, constitutional
+    /// layer and its exceptions, final fold). The firing order is a
+    /// stable contract pinned by the `--explain` golden test.
     pub fn assess(&self, action: &InvestigativeAction) -> LegalAssessment {
         let privacy = assess_privacy(action);
         let mut rationale = Rationale::new();
         rationale.extend_from(privacy.rationale());
         let mut governing: Vec<CitationId> = Vec::new();
+        let mut provenance = Provenance::new();
         let confidence = privacy.confidence();
+
+        provenance.fire(
+            "privacy.rep",
+            Some(CitationId::KatzVUnitedStates),
+            if privacy.has_reasonable_expectation() {
+                "reasonable expectation of privacy found"
+            } else {
+                "no reasonable expectation of privacy"
+            },
+            None,
+        );
 
         // Statutory layer — Title III, Pen/Trap, SCA restrain government
         // and private actors alike.
@@ -78,12 +97,29 @@ impl ComplianceEngine {
             governing.push(ruling.statute());
             rationale.extend_from(ruling.rationale());
             statutory_required = statutory_required.max(ruling.required_process());
+            provenance.fire(
+                match ruling.statute() {
+                    CitationId::WiretapAct => "statute.wiretap",
+                    CitationId::PenTrapStatute => "statute.pen_trap",
+                    CitationId::StoredCommunicationsAct => "statute.sca",
+                    _ => "statute.other",
+                },
+                Some(ruling.statute()),
+                "statute governs the acquisition",
+                Some(ruling.required_process()),
+            );
         }
 
         if action.circumstances().target_operates_as_provider {
             rationale.add(
                 "the surveillance target functions as a communications service provider; its users' data enjoys statutory protection",
                 [CitationId::StoredCommunicationsAct],
+            );
+            provenance.fire(
+                "statute.provider_target",
+                Some(CitationId::StoredCommunicationsAct),
+                "target operates as a service provider; its users' data is statutorily protected",
+                None,
             );
         }
 
@@ -95,10 +131,22 @@ impl ComplianceEngine {
                 "the actor is private and not a government agent; the Fourth Amendment does not apply to this search",
                 [CitationId::DojSearchSeizureManual],
             );
+            provenance.fire(
+                "actor.private",
+                Some(CitationId::DojSearchSeizureManual),
+                "actor is private; the Fourth Amendment does not restrain the search",
+                None,
+            );
             let verdict = if statutory_required == LegalProcess::None {
                 rationale.add(
                     "no statute forbids the action; it is a lawful private search whose fruits may be reported to law enforcement",
                     [CitationId::WallsInvestigatorCentric],
+                );
+                provenance.fire(
+                    "verdict.final",
+                    None,
+                    "lawful private search; no process needed",
+                    Some(LegalProcess::None),
                 );
                 Verdict::NoProcessNeeded
             } else {
@@ -106,9 +154,17 @@ impl ComplianceEngine {
                     "a statute forbids the action and compulsory process is a government instrument; the private actor may not proceed",
                     [CitationId::WiretapAct],
                 );
+                provenance.fire(
+                    "verdict.final",
+                    Some(CitationId::WiretapAct),
+                    "a statute forbids the action and a private actor cannot obtain compulsory process",
+                    None,
+                );
                 Verdict::UnlawfulForPrivateActor
             };
-            return LegalAssessment::new(verdict, confidence, privacy, governing, rationale);
+            return LegalAssessment::new(
+                verdict, confidence, privacy, governing, rationale, provenance,
+            );
         }
 
         // Constitutional layer: a government invasion of a reasonable
@@ -117,7 +173,14 @@ impl ComplianceEngine {
         let mut constitutional_required = LegalProcess::None;
         if privacy.has_reasonable_expectation() {
             governing.push(CitationId::FourthAmendment);
-            constitutional_required = self.fourth_amendment_requirement(action, &mut rationale);
+            provenance.fire(
+                "fourth_amendment.applies",
+                Some(CitationId::FourthAmendment),
+                "government invasion of a reasonable expectation of privacy is a search",
+                None,
+            );
+            constitutional_required =
+                self.fourth_amendment_requirement(action, &mut rationale, &mut provenance);
         }
 
         let required = statutory_required.max(constitutional_required);
@@ -126,7 +189,15 @@ impl ComplianceEngine {
         } else {
             Verdict::ProcessRequired(required)
         };
-        LegalAssessment::new(verdict, confidence, privacy, governing, rationale)
+        provenance.fire(
+            "verdict.final",
+            None,
+            "most demanding requirement across the statutory and constitutional layers selected",
+            Some(required),
+        );
+        LegalAssessment::new(
+            verdict, confidence, privacy, governing, rationale, provenance,
+        )
     }
 
     /// Applies the §III-B warrant exceptions; returns the process the
@@ -135,6 +206,7 @@ impl ComplianceEngine {
         &self,
         action: &InvestigativeAction,
         rationale: &mut Rationale,
+        provenance: &mut Provenance,
     ) -> LegalProcess {
         let circ = action.circumstances();
 
@@ -153,8 +225,20 @@ impl ComplianceEngine {
                 _ => true,
             };
             if consent.is_effective() && party_consent_applies {
+                provenance.fire(
+                    "exception.consent",
+                    None,
+                    "effective consent waives the warrant requirement",
+                    Some(LegalProcess::None),
+                );
                 return LegalProcess::None;
             }
+            provenance.fire(
+                "exception.consent",
+                None,
+                "consent present but ineffective or inapplicable to this search",
+                None,
+            );
         }
 
         // Victim-authorized trespasser monitoring doubles as the owner's
@@ -169,12 +253,24 @@ impl ComplianceEngine {
                     CitationId::UnitedStatesVGorshkov,
                 ],
             );
+            provenance.fire(
+                "exception.trespasser_monitoring",
+                Some(CitationId::UnitedStatesVGorshkov),
+                "victim-authorized trespasser monitoring doubles as owner consent",
+                Some(LegalProcess::None),
+            );
             return LegalProcess::None;
         }
 
         // Exigent circumstances (§III-B-b).
         if let Some(exigency) = action.exigency() {
             rationale.push(exigency.rationale());
+            provenance.fire(
+                "exception.exigency",
+                None,
+                "exigent circumstances excuse the warrant",
+                Some(LegalProcess::None),
+            );
             return LegalProcess::None;
         }
 
@@ -184,6 +280,12 @@ impl ComplianceEngine {
                 "the evidence was in plain view from a lawful vantage point and its incriminating character was immediately apparent",
                 [CitationId::DojSearchSeizureManual],
             );
+            provenance.fire(
+                "exception.plain_view",
+                Some(CitationId::DojSearchSeizureManual),
+                "evidence in plain view from a lawful vantage point",
+                Some(LegalProcess::None),
+            );
             return LegalProcess::None;
         }
 
@@ -192,6 +294,12 @@ impl ComplianceEngine {
             rationale.add(
                 "the target is on probation or parole and subject to warrantless search on reasonable suspicion",
                 [CitationId::UnitedStatesVKnights],
+            );
+            provenance.fire(
+                "exception.probation",
+                Some(CitationId::UnitedStatesVKnights),
+                "target on probation or parole; warrantless search on reasonable suspicion",
+                Some(LegalProcess::None),
             );
             return LegalProcess::None;
         }
@@ -203,12 +311,24 @@ impl ComplianceEngine {
                 "the government merely repeated a private search within its original scope; no new invasion occurred",
                 [CitationId::UnitedStatesVRunyan],
             );
+            provenance.fire(
+                "exception.private_search_repeat",
+                Some(CitationId::UnitedStatesVRunyan),
+                "government repeated a private search within its original scope",
+                Some(LegalProcess::None),
+            );
             return LegalProcess::None;
         }
 
         rationale.add(
             "a government invasion of a reasonable expectation of privacy requires a search warrant supported by probable cause",
             [CitationId::FourthAmendment, CitationId::KatzVUnitedStates],
+        );
+        provenance.fire(
+            "fourth_amendment.warrant",
+            Some(CitationId::FourthAmendment),
+            "no exception applies; a search warrant on probable cause is required",
+            Some(LegalProcess::SearchWarrant),
         );
         LegalProcess::SearchWarrant
     }
@@ -432,6 +552,71 @@ mod tests {
         let out = engine().assess(&device_search());
         assert!(!out.rationale().is_empty());
         assert!(!out.to_string().is_empty());
+    }
+
+    #[test]
+    fn provenance_ends_with_final_verdict_and_keeps_layer_order() {
+        let out = engine().assess(&device_search());
+        let firings = out.provenance().firings();
+        assert!(!firings.is_empty());
+        assert_eq!(firings[0].rule(), "privacy.rep");
+        assert_eq!(firings.last().unwrap().rule(), "verdict.final");
+        assert_eq!(
+            firings.last().unwrap().process(),
+            Some(LegalProcess::SearchWarrant)
+        );
+        // The warrant firing precedes the final fold.
+        let warrant = firings
+            .iter()
+            .position(|f| f.rule() == "fourth_amendment.warrant")
+            .expect("warrant rule fired");
+        assert_eq!(warrant, firings.len() - 2);
+    }
+
+    #[test]
+    fn provenance_records_the_applied_exception() {
+        let a = InvestigativeAction::builder(
+            Actor::law_enforcement(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::stored_opened(),
+                DataLocation::SuspectDevice,
+            ),
+        )
+        .target_on_probation()
+        .build();
+        let out = engine().assess(&a);
+        let rules: Vec<_> = out
+            .provenance()
+            .firings()
+            .iter()
+            .map(|f| f.rule())
+            .collect();
+        assert!(rules.contains(&"exception.probation"));
+        assert!(!rules.contains(&"fourth_amendment.warrant"));
+        assert_eq!(
+            out.provenance().firings().last().unwrap().process(),
+            Some(LegalProcess::None)
+        );
+    }
+
+    #[test]
+    fn provenance_marks_private_actor_dead_end() {
+        let a = InvestigativeAction::builder(
+            Actor::private_individual(),
+            DataSpec::new(
+                ContentClass::Content,
+                Temporality::RealTime,
+                DataLocation::InTransit(TransmissionMedium::PublicWiredInternet),
+            ),
+        )
+        .build();
+        let out = engine().assess(&a);
+        let firings = out.provenance().firings();
+        assert!(firings.iter().any(|f| f.rule() == "actor.private"));
+        let last = firings.last().unwrap();
+        assert_eq!(last.rule(), "verdict.final");
+        assert_eq!(last.process(), None, "unlawful: no process tier exists");
     }
 
     #[test]

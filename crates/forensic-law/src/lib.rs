@@ -28,6 +28,9 @@
 //!   assessment for high-volume workloads.
 //! * [`process`] — the subpoena < court order < search warrant < wiretap
 //!   order ladder and its factual standards.
+//! * [`provenance`] — [`Provenance`](provenance::Provenance): the ordered
+//!   rule firings behind each verdict, the machine-readable audit trail
+//!   serialized by `--explain` and the wire protocol's explain field.
 //! * [`probable_cause`] — the §III-A-1 probable-cause establishment paths.
 //! * [`suppression`] — the exclusionary rule over an evidence-derivation
 //!   DAG ([`Docket`](suppression::Docket)).
@@ -93,6 +96,7 @@ pub mod factkey;
 pub mod privacy;
 pub mod probable_cause;
 pub mod process;
+pub mod provenance;
 pub mod provider;
 pub mod rationale;
 pub mod scenarios;
@@ -112,6 +116,7 @@ pub mod prelude {
     pub use crate::exceptions::{Consent, ConsentAuthority, Exigency};
     pub use crate::factkey::FactKey;
     pub use crate::process::{FactualStandard, LegalProcess};
+    pub use crate::provenance::{Provenance, RuleFiring};
     pub use crate::provider::{CompelledInfo, MessageLifecycle, ProviderPublicity, ScaRole};
     pub use crate::suppression::{Admissibility, Docket};
 }

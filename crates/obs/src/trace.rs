@@ -1,0 +1,96 @@
+//! Trace identifiers: one per request, minted at the edge.
+//!
+//! A [`TraceId`] is minted exactly once, where a request first enters
+//! the stack — the wire server's frame decoder, or the CLI's batch-row
+//! loop — and then *propagated* (never re-minted) through queue
+//! admission, worker pickup, engine evaluation, and response
+//! serialization. Everything recorded downstream (spans, provenance
+//! records, response frames, `--explain` lines) carries the same id,
+//! which is the join key for the whole chain.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide mint counter. Starts at 1 so `TraceId(0)` can mean
+/// "untraced" forever.
+static NEXT: AtomicU64 = AtomicU64::new(1);
+
+/// A per-request trace identifier. `TraceId::UNTRACED` (zero) marks a
+/// request nobody is tracing; minted ids are unique within the process
+/// and strictly increasing in mint order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The null id: a request without a trace.
+    pub const UNTRACED: TraceId = TraceId(0);
+
+    /// Mints a fresh, process-unique id.
+    pub fn mint() -> TraceId {
+        TraceId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Reconstructs an id from its wire representation (0 = untraced).
+    pub fn from_u64(raw: u64) -> TraceId {
+        TraceId(raw)
+    }
+
+    /// The raw value, for wire frames and JSON sinks.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is a real (minted) id.
+    pub fn is_traced(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_unique_and_increasing() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert!(b > a);
+        assert!(a.is_traced() && b.is_traced());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn untraced_is_zero_and_round_trips() {
+        assert!(!TraceId::UNTRACED.is_traced());
+        assert_eq!(TraceId::from_u64(0), TraceId::UNTRACED);
+        let id = TraceId::mint();
+        assert_eq!(TraceId::from_u64(id.as_u64()), id);
+    }
+
+    #[test]
+    fn minting_is_race_free_across_threads() {
+        use std::collections::HashSet;
+        let ids: Vec<TraceId> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| (0..1000).map(|_| TraceId::mint()).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let distinct: HashSet<_> = ids.iter().copied().collect();
+        assert_eq!(distinct.len(), ids.len(), "a trace id was minted twice");
+    }
+
+    #[test]
+    fn display_is_the_raw_number() {
+        assert_eq!(TraceId::from_u64(42).to_string(), "42");
+    }
+}

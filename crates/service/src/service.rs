@@ -27,6 +27,7 @@ use forensic_law::action::InvestigativeAction;
 use forensic_law::assessment::LegalAssessment;
 use forensic_law::batch::VerdictCache;
 use forensic_law::engine::ComplianceEngine;
+use obs::{Span, Stage, TraceId};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -110,6 +111,16 @@ impl Outcome {
     }
 }
 
+/// `detail` code on a [`Stage::Queue`] span: the wait ended with a
+/// worker picking the request up for assessment.
+pub const OUTCOME_PICKED_UP: u64 = 0;
+/// `detail` code on a [`Stage::Queue`] span: the wait ended past the
+/// request's deadline; no engine run was spent.
+pub const OUTCOME_TIMED_OUT: u64 = 1;
+/// `detail` code on a [`Stage::Queue`] span: the request was evicted by
+/// a newer one under [`AdmissionPolicy::DropOldest`].
+pub const OUTCOME_SHED: u64 = 2;
+
 /// The service's answer to one admitted request.
 #[derive(Debug, Clone)]
 pub struct ServiceResponse {
@@ -119,6 +130,11 @@ pub struct ServiceResponse {
     pub queue_wait: Duration,
     /// Admission-to-response latency.
     pub total: Duration,
+    /// The trace id the request carried through the stack — the join
+    /// key for its span chain in [`obs::global`] and its provenance
+    /// record. [`TraceId::UNTRACED`] never occurs for admitted
+    /// requests: submission mints an id when the caller didn't.
+    pub trace: TraceId,
 }
 
 /// One-shot response slot shared between a [`Ticket`] and the worker
@@ -208,12 +224,16 @@ impl std::fmt::Debug for ObservedRejection {
     }
 }
 
-/// One queued unit of work.
+/// One queued unit of work. Span timestamps are all derived from
+/// `admitted` (and the worker's own pickup Instant) when the global
+/// span log is enabled, so tracing adds no field here and no clock
+/// read on the submit path.
 struct Job {
     action: InvestigativeAction,
     slot: Arc<Slot>,
     admitted: Instant,
     deadline: Option<Instant>,
+    trace: TraceId,
     notify: Option<ResponseObserver>,
 }
 
@@ -287,7 +307,7 @@ impl ComplianceService {
     /// `Reject` policy; [`SubmitError::ShuttingDown`] once admission has
     /// closed.
     pub fn submit(&self, action: InvestigativeAction) -> Result<Ticket, SubmitError> {
-        self.submit_inner(action, self.default_deadline, None)
+        self.submit_inner(action, self.default_deadline, TraceId::mint(), None)
             .map_err(|(e, _)| e)
     }
 
@@ -301,7 +321,7 @@ impl ComplianceService {
         action: InvestigativeAction,
         deadline: Duration,
     ) -> Result<Ticket, SubmitError> {
-        self.submit_inner(action, Some(deadline), None)
+        self.submit_inner(action, Some(deadline), TraceId::mint(), None)
             .map_err(|(e, _)| e)
     }
 
@@ -320,7 +340,25 @@ impl ComplianceService {
         deadline: Option<Duration>,
         on_response: ResponseObserver,
     ) -> Result<(), ObservedRejection> {
-        match self.submit_inner(action, deadline, Some(on_response)) {
+        self.submit_observed_traced(action, deadline, TraceId::mint(), on_response)
+    }
+
+    /// [`submit_observed`](Self::submit_observed) for a request whose
+    /// trace id was minted further up the stack (the wire server mints
+    /// at frame decode): the id is propagated, not re-minted, so spans
+    /// recorded here join the caller's chain.
+    ///
+    /// # Errors
+    ///
+    /// As for [`submit_observed`](Self::submit_observed).
+    pub fn submit_observed_traced(
+        &self,
+        action: InvestigativeAction,
+        deadline: Option<Duration>,
+        trace: TraceId,
+        on_response: ResponseObserver,
+    ) -> Result<(), ObservedRejection> {
+        match self.submit_inner(action, deadline, trace, Some(on_response)) {
             Ok(_ticket) => Ok(()),
             Err((error, notify)) => Err(ObservedRejection {
                 error,
@@ -333,16 +371,19 @@ impl ComplianceService {
         &self,
         action: InvestigativeAction,
         deadline: Option<Duration>,
+        trace: TraceId,
         notify: Option<ResponseObserver>,
     ) -> Result<Ticket, (SubmitError, Option<ResponseObserver>)> {
         self.metrics.submitted.inc();
         let now = Instant::now();
         let slot = Slot::new();
+        let log = obs::global();
         let job = Job {
             action,
             slot: Arc::clone(&slot),
             admitted: now,
             deadline: deadline.map(|d| now + d),
+            trace,
             notify,
         };
         match self.queue.push(job, self.policy) {
@@ -355,10 +396,21 @@ impl ComplianceService {
                     self.metrics.evicted.inc();
                     let waited = old.admitted.elapsed();
                     self.metrics.end_to_end.record(waited);
+                    if log.is_enabled() {
+                        log.record(Span {
+                            trace: old.trace,
+                            stage: Stage::Queue,
+                            start_us: obs::us_since_epoch(old.admitted),
+                            dur_us: obs::dur_us(waited),
+                            detail: OUTCOME_SHED,
+                        });
+                    }
+                    let trace = old.trace;
                     old.finish(ServiceResponse {
                         outcome: Outcome::Shed,
                         queue_wait: waited,
                         total: waited,
+                        trace,
                     });
                 }
                 Ok(Ticket { slot })
@@ -428,20 +480,37 @@ fn worker_loop(
     floor: Duration,
 ) {
     let engine = ComplianceEngine::new();
+    let log = obs::global();
     while let Some(job) = queue.pop_wait() {
         let picked_up = Instant::now();
         let waited = picked_up.duration_since(job.admitted);
         metrics.queue_wait.record(waited);
+        let trace = job.trace;
+        // Hoisted once per request; every span below reuses Instants the
+        // metrics already pay for, so the whole tracing cost when
+        // enabled is the ring records themselves.
+        let tracing = log.is_enabled();
+        let queue_span = |detail: u64| Span {
+            trace,
+            stage: Stage::Queue,
+            start_us: obs::us_since_epoch(job.admitted),
+            dur_us: obs::dur_us(waited),
+            detail,
+        };
 
         if job.deadline.is_some_and(|d| picked_up > d) {
             // Past deadline: answer without burning an engine run.
             metrics.timed_out.inc();
             let total = job.admitted.elapsed();
             metrics.end_to_end.record(total);
+            if tracing {
+                log.record(queue_span(OUTCOME_TIMED_OUT));
+            }
             job.finish(ServiceResponse {
                 outcome: Outcome::TimedOut,
                 queue_wait: waited,
                 total,
+                trace,
             });
             continue;
         }
@@ -451,7 +520,22 @@ fn worker_loop(
             std::thread::sleep(floor);
         }
         let assessment = cache.assess(&engine, &job.action);
-        metrics.engine.record(engine_start.elapsed());
+        let engine_dur = engine_start.elapsed();
+        metrics.engine.record(engine_dur);
+        if tracing {
+            // Both spans packed into one ring slot; timestamps reuse
+            // the Instants the metrics above already captured.
+            log.record_pair(
+                queue_span(OUTCOME_PICKED_UP),
+                Span {
+                    trace,
+                    stage: Stage::Engine,
+                    start_us: obs::us_since_epoch(engine_start),
+                    dur_us: obs::dur_us(engine_dur),
+                    detail: OUTCOME_PICKED_UP,
+                },
+            );
+        }
         metrics.completed.inc();
         let total = job.admitted.elapsed();
         metrics.end_to_end.record(total);
@@ -459,6 +543,7 @@ fn worker_loop(
             outcome: Outcome::Completed(assessment),
             queue_wait: waited,
             total,
+            trace,
         });
     }
 }
@@ -721,11 +806,63 @@ mod tests {
             outcome: Outcome::Shed,
             queue_wait: Duration::ZERO,
             total: Duration::ZERO,
+            trace: TraceId::UNTRACED,
         });
         let snap = service.shutdown();
         assert_eq!(fired.load(std::sync::atomic::Ordering::SeqCst), 3);
         assert_eq!(snap.responses(), snap.accepted);
         assert_eq!(snap.rejected, 1);
+    }
+
+    #[test]
+    fn completed_response_joins_queue_and_engine_spans_by_trace() {
+        obs::global().set_enabled(true);
+        let service = ComplianceService::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let action = table1_actions().remove(0);
+        let response = service.submit(action).unwrap().wait();
+        assert!(response.trace.is_traced());
+        let spans = obs::global().spans_for(response.trace);
+        let stages: Vec<_> = spans.iter().map(|s| s.stage).collect();
+        assert!(
+            stages.contains(&Stage::Queue) && stages.contains(&Stage::Engine),
+            "expected queue+engine chain for {}, got {stages:?}",
+            response.trace
+        );
+        let queue = spans.iter().find(|s| s.stage == Stage::Queue).unwrap();
+        assert_eq!(queue.detail, OUTCOME_PICKED_UP);
+        service.shutdown();
+    }
+
+    #[test]
+    fn traced_submission_propagates_the_callers_id() {
+        use std::sync::mpsc;
+        obs::global().set_enabled(true);
+        let service = ComplianceService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let minted = TraceId::mint();
+        let (tx, rx) = mpsc::channel();
+        service
+            .submit_observed_traced(
+                table1_actions().remove(0),
+                None,
+                minted,
+                Box::new(move |response: &ServiceResponse| {
+                    tx.send(response.trace).unwrap();
+                }),
+            )
+            .unwrap();
+        assert_eq!(
+            rx.recv().unwrap(),
+            minted,
+            "trace must propagate, not re-mint"
+        );
+        service.shutdown();
+        assert!(!obs::global().spans_for(minted).is_empty());
     }
 
     #[test]

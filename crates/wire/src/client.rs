@@ -187,6 +187,32 @@ impl WireClient {
     ///
     /// Fails if the connection already died or the write fails.
     pub fn submit(&self, payload: Vec<u8>, deadline_ms: u32) -> Result<PendingCall, WireError> {
+        self.submit_inner(payload, deadline_ms, false)
+    }
+
+    /// Like [`submit`](Self::submit), but sets the `WANT_EXPLAIN` flag
+    /// on a v2 request frame, so the response carries an
+    /// [`Explain`](crate::frame::Explain) section (trace id plus the
+    /// engine's provenance JSON). Requires a server that understands v2
+    /// frames; old servers will reject the unknown frame kind.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection already died or the write fails.
+    pub fn submit_explained(
+        &self,
+        payload: Vec<u8>,
+        deadline_ms: u32,
+    ) -> Result<PendingCall, WireError> {
+        self.submit_inner(payload, deadline_ms, true)
+    }
+
+    fn submit_inner(
+        &self,
+        payload: Vec<u8>,
+        deadline_ms: u32,
+        want_explain: bool,
+    ) -> Result<PendingCall, WireError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         {
             let mut pending = self.shared.pending.lock().expect("pending lock");
@@ -198,6 +224,7 @@ impl WireClient {
         let frame = Frame::Request(Request {
             id,
             deadline_ms,
+            want_explain,
             payload,
         });
         let written = {

@@ -10,6 +10,11 @@
 //! request  (kind 1): [1][id: u64 BE][deadline_ms: u32 BE][payload...]
 //! response (kind 2): [2][id: u64 BE][status: u8][queue_wait_us: u64 BE]
 //!                       [total_us: u64 BE][payload...]
+//! request  (kind 3): [3][id: u64 BE][deadline_ms: u32 BE][flags: u8]
+//!                       [payload...]
+//! response (kind 4): [4][id: u64 BE][status: u8][queue_wait_us: u64 BE]
+//!                       [total_us: u64 BE][trace: u64 BE]
+//!                       [explain_len: u32 BE][explain...][payload...]
 //! ```
 //!
 //! * `id` is chosen by the client and echoed verbatim in the response —
@@ -21,6 +26,20 @@
 //!   [`forensic_law::spec`] vocabulary). A response payload is the
 //!   verdict line (`Ok`) or a diagnostic message (every other status).
 //!   Either payload may be empty.
+//!
+//! # Protocol versioning
+//!
+//! Kinds 3 and 4 are the *versioned explain* extension. A kind-3
+//! request is a kind-1 request plus a flags byte; flag bit 0
+//! ([`flags::WANT_EXPLAIN`]) asks the server to attach the request's
+//! trace id and provenance record to the response, which then arrives
+//! as kind 4 (`explain` holds the provenance JSON; `trace` the id that
+//! joins the response to its span chain). Compatibility is structural:
+//! a flag-less request **encodes as kind 1, byte-identical to the old
+//! protocol**, and the server answers kind 1/3-without-the-flag with
+//! kind 2 — so old clients and old servers interoperate with new peers
+//! unchanged, and a server that predates kind 3 rejects it loudly as an
+//! unknown kind rather than mis-parsing it.
 //! * A body longer than the configured cap is refused **before**
 //!   allocation ([`FrameError::TooLarge`]); the length prefix alone is
 //!   never trusted to size a buffer past the cap. A zero-length body
@@ -42,6 +61,10 @@ pub const MAX_FRAME: u32 = 1 << 20;
 const KIND_REQUEST: u8 = 1;
 /// Frame-kind byte for a response.
 const KIND_RESPONSE: u8 = 2;
+/// Frame-kind byte for a flagged (v2) request.
+const KIND_REQUEST_V2: u8 = 3;
+/// Frame-kind byte for an explain-carrying (v2) response.
+const KIND_RESPONSE_V2: u8 = 4;
 
 /// Fixed bytes in a request body before the payload: kind + id +
 /// deadline.
@@ -49,6 +72,31 @@ const REQUEST_HEADER: usize = 1 + 8 + 4;
 /// Fixed bytes in a response body before the payload: kind + id +
 /// status + queue wait + total.
 const RESPONSE_HEADER: usize = 1 + 8 + 1 + 8 + 8;
+/// Fixed bytes in a v2 request body: the v1 header plus the flags byte.
+const REQUEST_V2_HEADER: usize = REQUEST_HEADER + 1;
+/// Fixed bytes in a v2 response body: the v1 header plus the trace id
+/// and the explain-section length.
+const RESPONSE_V2_HEADER: usize = RESPONSE_HEADER + 8 + 4;
+
+/// Request flag bits carried by kind-3 frames.
+pub mod flags {
+    /// Ask the server to attach the trace id and the provenance record
+    /// (a kind-4 response) instead of a bare kind-2 response.
+    pub const WANT_EXPLAIN: u8 = 1;
+}
+
+/// The explain section of a v2 response: the trace id minted for the
+/// request at frame decode, and the verdict's provenance record as
+/// JSON. Present only when the request set [`flags::WANT_EXPLAIN`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explain {
+    /// The server-minted trace id — the join key for the request's span
+    /// chain and `--explain` sink line.
+    pub trace: u64,
+    /// The provenance record (a JSON array of rule firings; empty for
+    /// non-`Ok` statuses that never reached the engine).
+    pub provenance: Vec<u8>,
+}
 
 /// How the service answered a request, as one wire byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +163,10 @@ pub struct Request {
     pub id: u64,
     /// Service deadline in milliseconds from arrival; `0` = none.
     pub deadline_ms: u32,
+    /// Ask the server for a kind-4 response carrying the trace id and
+    /// provenance record. `false` encodes as kind 1, byte-identical to
+    /// the pre-v2 protocol.
+    pub want_explain: bool,
     /// One JSONL action specification (UTF-8).
     pub payload: Vec<u8>,
 }
@@ -130,6 +182,9 @@ pub struct Response {
     pub queue_wait_us: u64,
     /// Admission-to-response latency, in microseconds.
     pub total_us: u64,
+    /// The explain section, when the request asked for one. `None`
+    /// encodes as kind 2, byte-identical to the pre-v2 protocol.
+    pub explain: Option<Explain>,
     /// Verdict line (`Ok`) or diagnostic message (otherwise).
     pub payload: Vec<u8>,
 }
@@ -147,8 +202,12 @@ impl Frame {
     /// Total bytes this frame occupies on the wire (prefix + body).
     pub fn wire_len(&self) -> usize {
         4 + match self {
+            Frame::Request(r) if r.want_explain => REQUEST_V2_HEADER + r.payload.len(),
             Frame::Request(r) => REQUEST_HEADER + r.payload.len(),
-            Frame::Response(r) => RESPONSE_HEADER + r.payload.len(),
+            Frame::Response(r) => match &r.explain {
+                Some(explain) => RESPONSE_V2_HEADER + explain.provenance.len() + r.payload.len(),
+                None => RESPONSE_HEADER + r.payload.len(),
+            },
         }
     }
 }
@@ -212,17 +271,33 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
     out.extend_from_slice(&[0, 0, 0, 0]); // length back-patched below
     match frame {
         Frame::Request(r) => {
-            out.push(KIND_REQUEST);
+            out.push(if r.want_explain {
+                KIND_REQUEST_V2
+            } else {
+                KIND_REQUEST
+            });
             out.extend_from_slice(&r.id.to_be_bytes());
             out.extend_from_slice(&r.deadline_ms.to_be_bytes());
+            if r.want_explain {
+                out.push(flags::WANT_EXPLAIN);
+            }
             out.extend_from_slice(&r.payload);
         }
         Frame::Response(r) => {
-            out.push(KIND_RESPONSE);
+            out.push(if r.explain.is_some() {
+                KIND_RESPONSE_V2
+            } else {
+                KIND_RESPONSE
+            });
             out.extend_from_slice(&r.id.to_be_bytes());
             out.push(r.status.as_byte());
             out.extend_from_slice(&r.queue_wait_us.to_be_bytes());
             out.extend_from_slice(&r.total_us.to_be_bytes());
+            if let Some(explain) = &r.explain {
+                out.extend_from_slice(&explain.trace.to_be_bytes());
+                out.extend_from_slice(&(explain.provenance.len() as u32).to_be_bytes());
+                out.extend_from_slice(&explain.provenance);
+            }
             out.extend_from_slice(&r.payload);
         }
     }
@@ -257,7 +332,21 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
             Ok(Frame::Request(Request {
                 id: u64::from_be_bytes(body[1..9].try_into().expect("8 bytes")),
                 deadline_ms: u32::from_be_bytes(body[9..13].try_into().expect("4 bytes")),
+                want_explain: false,
                 payload: body[REQUEST_HEADER..].to_vec(),
+            }))
+        }
+        Some(&KIND_REQUEST_V2) => {
+            if body.len() < REQUEST_V2_HEADER {
+                return Err(malformed("v2 request body shorter than its header"));
+            }
+            Ok(Frame::Request(Request {
+                id: u64::from_be_bytes(body[1..9].try_into().expect("8 bytes")),
+                deadline_ms: u32::from_be_bytes(body[9..13].try_into().expect("4 bytes")),
+                // Unknown flag bits are reserved and ignored, so a
+                // future flag does not break this decoder.
+                want_explain: body[13] & flags::WANT_EXPLAIN != 0,
+                payload: body[REQUEST_V2_HEADER..].to_vec(),
             }))
         }
         Some(&KIND_RESPONSE) => {
@@ -271,7 +360,32 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
                 status,
                 queue_wait_us: u64::from_be_bytes(body[10..18].try_into().expect("8 bytes")),
                 total_us: u64::from_be_bytes(body[18..26].try_into().expect("8 bytes")),
+                explain: None,
                 payload: body[RESPONSE_HEADER..].to_vec(),
+            }))
+        }
+        Some(&KIND_RESPONSE_V2) => {
+            if body.len() < RESPONSE_V2_HEADER {
+                return Err(malformed("v2 response body shorter than its header"));
+            }
+            let status = Status::from_byte(body[9])
+                .ok_or_else(|| FrameError::Malformed(format!("unknown status byte {}", body[9])))?;
+            let explain_len =
+                u32::from_be_bytes(body[34..38].try_into().expect("4 bytes")) as usize;
+            let explain_end = RESPONSE_V2_HEADER
+                .checked_add(explain_len)
+                .filter(|&end| end <= body.len())
+                .ok_or_else(|| malformed("v2 response explain section overruns the body"))?;
+            Ok(Frame::Response(Response {
+                id: u64::from_be_bytes(body[1..9].try_into().expect("8 bytes")),
+                status,
+                queue_wait_us: u64::from_be_bytes(body[10..18].try_into().expect("8 bytes")),
+                total_us: u64::from_be_bytes(body[18..26].try_into().expect("8 bytes")),
+                explain: Some(Explain {
+                    trace: u64::from_be_bytes(body[26..34].try_into().expect("8 bytes")),
+                    provenance: body[RESPONSE_V2_HEADER..explain_end].to_vec(),
+                }),
+                payload: body[explain_end..].to_vec(),
             }))
         }
         Some(&kind) => Err(FrameError::Malformed(format!("unknown frame kind {kind}"))),
@@ -342,6 +456,7 @@ mod tests {
         Frame::Request(Request {
             id,
             deadline_ms: 250,
+            want_explain: false,
             payload: payload.to_vec(),
         })
     }
@@ -352,6 +467,21 @@ mod tests {
             status: Status::Ok,
             queue_wait_us: 17,
             total_us: 1234,
+            explain: None,
+            payload: payload.to_vec(),
+        })
+    }
+
+    fn explained_response(id: u64, provenance: &[u8], payload: &[u8]) -> Frame {
+        Frame::Response(Response {
+            id,
+            status: Status::Ok,
+            queue_wait_us: 17,
+            total_us: 1234,
+            explain: Some(Explain {
+                trace: id * 31 + 1,
+                provenance: provenance.to_vec(),
+            }),
             payload: payload.to_vec(),
         })
     }
@@ -367,8 +497,17 @@ mod tests {
                 status: Status::BadRequest,
                 queue_wait_us: 0,
                 total_us: 0,
+                explain: None,
                 payload: b"line did not parse".to_vec(),
             }),
+            Frame::Request(Request {
+                id: 11,
+                deadline_ms: 0,
+                want_explain: true,
+                payload: b"{\"actor\": \"leo\"}".to_vec(),
+            }),
+            explained_response(12, br#"[{"rule":"verdict.final"}]"#, b"no need [settled]"),
+            explained_response(13, b"", b""),
         ] {
             let bytes = encode(&frame);
             assert_eq!(bytes.len(), frame.wire_len());
@@ -481,6 +620,73 @@ mod tests {
         ));
     }
 
+    /// The backward-compatibility contract, at the byte level: frames
+    /// that don't use the explain extension encode exactly as the pre-v2
+    /// protocol did, so an old peer cannot tell a new one apart.
+    #[test]
+    fn flagless_frames_are_byte_identical_to_the_v1_layout() {
+        let req = encode(&request(0x0102_0304_0506_0708, b"spec"));
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&(REQUEST_HEADER as u32 + 4).to_be_bytes());
+        expected.push(KIND_REQUEST);
+        expected.extend_from_slice(&0x0102_0304_0506_0708u64.to_be_bytes());
+        expected.extend_from_slice(&250u32.to_be_bytes());
+        expected.extend_from_slice(b"spec");
+        assert_eq!(req, expected);
+
+        let resp = encode(&response(42, b"ok"));
+        assert_eq!(resp[4], KIND_RESPONSE);
+        assert_eq!(resp.len(), 4 + RESPONSE_HEADER + 2);
+    }
+
+    #[test]
+    fn v2_request_ignores_reserved_flag_bits() {
+        // Build a kind-3 body by hand with extra flag bits set.
+        let mut body = vec![KIND_REQUEST_V2];
+        body.extend_from_slice(&5u64.to_be_bytes());
+        body.extend_from_slice(&0u32.to_be_bytes());
+        body.push(flags::WANT_EXPLAIN | 0x80);
+        body.extend_from_slice(b"{}");
+        match decode_body(&body).unwrap() {
+            Frame::Request(r) => {
+                assert!(r.want_explain);
+                assert_eq!(r.payload, b"{}");
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_response_with_overrunning_explain_section_is_rejected() {
+        let frame = explained_response(1, b"provenance-json", b"payload");
+        let bytes = encode(&frame);
+        let mut body = bytes[4..].to_vec();
+        // Inflate the explain length past the end of the body.
+        body[34..38].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            decode_body(&body),
+            Err(FrameError::Malformed(msg)) if msg.contains("overruns")
+        ));
+    }
+
+    #[test]
+    fn explain_sections_split_cleanly_from_the_payload() {
+        let frame = explained_response(2, br#"[{"rule":"privacy.rep"}]"#, b"verdict line");
+        let bytes = encode(&frame);
+        assert_eq!(bytes.len(), frame.wire_len());
+        match read_frame(&mut Cursor::new(bytes), MAX_FRAME)
+            .unwrap()
+            .unwrap()
+        {
+            Frame::Response(r) => {
+                let explain = r.explain.expect("explain section survives");
+                assert_eq!(explain.provenance, br#"[{"rule":"privacy.rep"}]"#);
+                assert_eq!(r.payload, b"verdict line");
+            }
+            other => panic!("expected response, got {other:?}"),
+        }
+    }
+
     #[test]
     fn timeouts_are_recognized_and_nothing_is_consumed_before_a_frame() {
         struct TimesOut;
@@ -543,16 +749,33 @@ mod tests {
         let mut frames = Vec::new();
         for i in 0..40u64 {
             let payload: Vec<u8> = (0..(i * 13 % 257)).map(|j| (i + j) as u8).collect();
-            frames.push(if i % 3 == 0 {
-                request(i, &payload)
-            } else {
-                Frame::Response(Response {
+            frames.push(match i % 4 {
+                0 => request(i, &payload),
+                1 => Frame::Request(Request {
+                    id: i,
+                    deadline_ms: i as u32,
+                    want_explain: true,
+                    payload,
+                }),
+                2 => Frame::Response(Response {
                     id: i,
                     status: Status::from_byte((i % 6) as u8).unwrap(),
                     queue_wait_us: i * 1000,
                     total_us: i * 2000,
+                    explain: None,
                     payload,
-                })
+                }),
+                _ => Frame::Response(Response {
+                    id: i,
+                    status: Status::from_byte((i % 6) as u8).unwrap(),
+                    queue_wait_us: i * 1000,
+                    total_us: i * 2000,
+                    explain: Some(Explain {
+                        trace: i + 1,
+                        provenance: (0..(i * 7 % 64)).map(|j| b'a' + (j % 26) as u8).collect(),
+                    }),
+                    payload,
+                }),
             });
         }
         let mut stream = Vec::new();

@@ -15,14 +15,14 @@
 //!   byte, service timings, and the verdict line. Oversized length
 //!   prefixes are refused before allocation; torn frames are
 //!   distinguished from clean EOF.
-//! * [`server`] — [`WireServer`](server::WireServer): accept loop plus
+//! * [`server`] — [`WireServer`]: accept loop plus
 //!   per-connection reader/writer threads. Requests **pipeline** — the
 //!   reader keeps decoding while earlier requests are still in the
 //!   service, responses complete out of order matched by id — under a
 //!   per-connection in-flight cap, with read/idle timeouts and a
 //!   graceful drain that loses nothing admitted.
-//! * [`client`] — [`WireClient`](client::WireClient): a thread-safe
-//!   pipelining client (submit returns a [`PendingCall`](client::PendingCall);
+//! * [`client`] — [`WireClient`]: a thread-safe
+//!   pipelining client (submit returns a [`PendingCall`];
 //!   a reader thread routes responses back by id).
 //! * [`metrics`] — connection-level counters and a wire-latency
 //!   histogram in the same snapshot/JSON model as the service metrics.
@@ -59,12 +59,12 @@ pub mod server;
 pub use client::{PendingCall, WireClient, WireError};
 pub use frame::{Frame, FrameError, Request, Response, Status, MAX_FRAME};
 pub use metrics::{WireMetrics, WireMetricsSnapshot};
-pub use server::{WireConfig, WireServer};
+pub use server::{ExplainSink, WireConfig, WireServer};
 
 /// The names most callers want in scope.
 pub mod prelude {
     pub use crate::client::{PendingCall, WireClient, WireError};
     pub use crate::frame::{Frame, FrameError, Request, Response, Status};
     pub use crate::metrics::WireMetricsSnapshot;
-    pub use crate::server::{WireConfig, WireServer};
+    pub use crate::server::{ExplainSink, WireConfig, WireServer};
 }

@@ -35,9 +35,10 @@
 //! lost; nothing is answered twice (the service's exactly-once guard
 //! extends through the observer).
 
-use crate::frame::{self, Frame, FrameError, Response, Status};
+use crate::frame::{self, Explain, Frame, FrameError, Response, Status};
 use crate::metrics::{WireMetrics, WireMetricsSnapshot};
 use forensic_law::spec::ActionSpec;
+use obs::{Stage, TraceId};
 use service::prelude::*;
 use std::collections::VecDeque;
 use std::io::{self, BufWriter, Read, Write as _};
@@ -76,10 +77,12 @@ impl Default for WireConfig {
     }
 }
 
-/// Responses queued for one connection's writer.
+/// Responses queued for one connection's writer, each carrying the
+/// trace id minted at frame decode so the writer can record the
+/// serialize span under the request's chain.
 #[derive(Debug, Default)]
 struct Outbox {
-    queue: VecDeque<Response>,
+    queue: VecDeque<(TraceId, Response)>,
     closed: bool,
 }
 
@@ -95,10 +98,10 @@ struct Conn {
 impl Conn {
     /// Enqueues a response for the writer (dropped if the writer is
     /// gone — the peer is too, then).
-    fn send(&self, response: Response) {
+    fn send(&self, trace: TraceId, response: Response) {
         let mut outbox = self.outbox.lock().expect("outbox lock");
         if !outbox.closed {
-            outbox.queue.push_back(response);
+            outbox.queue.push_back((trace, response));
             self.out_ready.notify_one();
         }
     }
@@ -141,12 +144,62 @@ impl Conn {
     }
 }
 
+/// A shared JSONL sink for per-request explain records: one line per
+/// answered request — trace id, request id, status, payload, and the
+/// provenance record — written by whichever service thread answers.
+///
+/// The sink is cold-path only: it is consulted after the response is
+/// built, and a server started without one pays a single `Option`
+/// check per request.
+pub struct ExplainSink {
+    out: Mutex<Box<dyn io::Write + Send>>,
+}
+
+impl std::fmt::Debug for ExplainSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExplainSink").finish_non_exhaustive()
+    }
+}
+
+impl ExplainSink {
+    /// Wraps a writer (a file, stderr, a pipe) as a shareable sink.
+    pub fn new(out: Box<dyn io::Write + Send>) -> Arc<ExplainSink> {
+        Arc::new(ExplainSink {
+            out: Mutex::new(out),
+        })
+    }
+
+    /// Writes one record line (newline appended) and flushes, so lines
+    /// are whole even if the process dies mid-serve.
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().expect("sink lock");
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+        let _ = out.flush();
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// State shared by the accept loop and every connection.
 #[derive(Debug)]
 struct Shared {
     service: Arc<ComplianceService>,
     config: WireConfig,
     metrics: Arc<WireMetrics>,
+    explain: Option<Arc<ExplainSink>>,
     draining: AtomicBool,
     conns: Mutex<Vec<Weak<Conn>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
@@ -173,6 +226,23 @@ impl WireServer {
         service: Arc<ComplianceService>,
         config: WireConfig,
     ) -> io::Result<WireServer> {
+        WireServer::start_with_explain(addr, service, config, None)
+    }
+
+    /// [`start`](Self::start), plus a server-side [`ExplainSink`]: every
+    /// answered request appends one JSONL record (trace id, request id,
+    /// status, payload, provenance) to the sink, whether or not the
+    /// client asked for in-band explain.
+    ///
+    /// # Errors
+    ///
+    /// As for [`start`](Self::start).
+    pub fn start_with_explain(
+        addr: impl ToSocketAddrs,
+        service: Arc<ComplianceService>,
+        config: WireConfig,
+        explain: Option<Arc<ExplainSink>>,
+    ) -> io::Result<WireServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -182,6 +252,7 @@ impl WireServer {
                 ..config
             },
             metrics: Arc::new(WireMetrics::default()),
+            explain,
             draining: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             handles: Mutex::new(Vec::new()),
@@ -449,9 +520,21 @@ fn verdict_payload(response: &ServiceResponse) -> (Status, Vec<u8>) {
     }
 }
 
+/// One JSONL explain record for the server-side sink.
+fn sink_line(trace: TraceId, id: u64, status: Status, payload: &[u8], provenance: &str) -> String {
+    format!(
+        r#"{{"trace":{trace},"id":{id},"status":"{status}","payload":"{}","provenance":{provenance}}}"#,
+        json_escape(&String::from_utf8_lossy(payload)),
+    )
+}
+
 fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, request: frame::Request) {
     let metrics = &shared.metrics;
     let received = Instant::now();
+    // The trace id is minted here, at the frame boundary — everything
+    // downstream (queue admission, engine run, serialize, the explain
+    // record) carries this id, never a new one.
+    let trace = TraceId::mint();
 
     // Every request — even one that fails to parse — occupies an
     // in-flight slot until its response is enqueued, so a client
@@ -459,6 +542,12 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, request: frame::Reques
     let depth = conn.acquire_slot(shared.config.max_inflight, &shared.draining);
     metrics.observe_inflight(depth);
 
+    let explain_for = |provenance: String| {
+        request.want_explain.then(|| Explain {
+            trace: trace.as_u64(),
+            provenance: provenance.into_bytes(),
+        })
+    };
     let parsed = std::str::from_utf8(&request.payload)
         .map_err(|e| format!("payload is not UTF-8: {e}"))
         .and_then(|line| {
@@ -470,13 +559,26 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, request: frame::Reques
         Ok(action) => action,
         Err(message) => {
             metrics.bad_requests.inc();
-            conn.send(Response {
-                id: request.id,
-                status: Status::BadRequest,
-                queue_wait_us: 0,
-                total_us: 0,
-                payload: message.into_bytes(),
-            });
+            if let Some(sink) = &shared.explain {
+                sink.write_line(&sink_line(
+                    trace,
+                    request.id,
+                    Status::BadRequest,
+                    message.as_bytes(),
+                    "[]",
+                ));
+            }
+            conn.send(
+                trace,
+                Response {
+                    id: request.id,
+                    status: Status::BadRequest,
+                    queue_wait_us: 0,
+                    total_us: 0,
+                    explain: explain_for("[]".to_string()),
+                    payload: message.into_bytes(),
+                },
+            );
             conn.release_slot();
             return;
         }
@@ -487,36 +589,81 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, request: frame::Reques
     let observer: ResponseObserver = {
         let conn = Arc::clone(conn);
         let metrics = Arc::clone(metrics);
+        let sink = shared.explain.clone();
         let id = request.id;
+        let want_explain = request.want_explain;
         Box::new(move |response: &ServiceResponse| {
             let (status, payload) = verdict_payload(response);
             metrics.record_latency(received.elapsed());
-            conn.send(Response {
-                id,
-                status,
-                queue_wait_us: response.queue_wait.as_micros().min(u64::MAX as u128) as u64,
-                total_us: response.total.as_micros().min(u64::MAX as u128) as u64,
-                payload,
+            // The provenance JSON is built only when someone will read
+            // it — the in-band explain section or the server sink.
+            let provenance = if want_explain || sink.is_some() {
+                response
+                    .outcome
+                    .assessment()
+                    .map_or_else(|| "[]".to_string(), |a| a.provenance().to_json())
+            } else {
+                String::new()
+            };
+            if let Some(sink) = &sink {
+                sink.write_line(&sink_line(
+                    response.trace,
+                    id,
+                    status,
+                    &payload,
+                    &provenance,
+                ));
+            }
+            let explain = want_explain.then(|| Explain {
+                trace: response.trace.as_u64(),
+                provenance: provenance.into_bytes(),
             });
+            conn.send(
+                response.trace,
+                Response {
+                    id,
+                    status,
+                    queue_wait_us: response.queue_wait.as_micros().min(u64::MAX as u128) as u64,
+                    total_us: response.total.as_micros().min(u64::MAX as u128) as u64,
+                    explain,
+                    payload,
+                },
+            );
             // Order matters: the response is in the outbox before the
             // slot frees, so "in-flight drained" implies "all responses
             // queued".
             conn.release_slot();
         })
     };
-    if let Err(rejection) = shared.service.submit_observed(action, deadline, observer) {
+    if let Err(rejection) = shared
+        .service
+        .submit_observed_traced(action, deadline, trace, observer)
+    {
         metrics.not_admitted.inc();
         let status = match rejection.error {
             SubmitError::Overloaded => Status::Rejected,
             SubmitError::ShuttingDown => Status::GoingAway,
         };
-        conn.send(Response {
-            id: request.id,
-            status,
-            queue_wait_us: 0,
-            total_us: 0,
-            payload: rejection.error.to_string().into_bytes(),
-        });
+        if let Some(sink) = &shared.explain {
+            sink.write_line(&sink_line(
+                trace,
+                request.id,
+                status,
+                rejection.error.to_string().as_bytes(),
+                "[]",
+            ));
+        }
+        conn.send(
+            trace,
+            Response {
+                id: request.id,
+                status,
+                queue_wait_us: 0,
+                total_us: 0,
+                explain: explain_for("[]".to_string()),
+                payload: rejection.error.to_string().into_bytes(),
+            },
+        );
         conn.release_slot();
     }
 }
@@ -528,7 +675,7 @@ fn writer_loop(conn: &Conn, stream: TcpStream, metrics: &WireMetrics) {
             let mut outbox = conn.outbox.lock().expect("outbox lock");
             loop {
                 if !outbox.queue.is_empty() {
-                    let batch: Vec<Response> = outbox.queue.drain(..).collect();
+                    let batch: Vec<(TraceId, Response)> = outbox.queue.drain(..).collect();
                     break (batch, outbox.closed);
                 }
                 if outbox.closed {
@@ -541,13 +688,24 @@ fn writer_loop(conn: &Conn, stream: TcpStream, metrics: &WireMetrics) {
             let _ = w.flush();
             return;
         }
-        for response in batch {
+        let log = obs::global();
+        for (trace, response) in batch {
+            let status = response.status;
+            let start_us = if log.is_enabled() { obs::now_us() } else { 0 };
             let frame = Frame::Response(response);
             metrics.bytes_out.add(frame.wire_len() as u64);
             if frame::write_frame(&mut w, &frame).is_err() {
                 // The peer is gone; stop writing and let responses drop.
                 conn.close_outbox();
                 return;
+            }
+            if log.is_enabled() {
+                log.record_closed(
+                    trace,
+                    Stage::Serialize,
+                    start_us,
+                    u64::from(status.as_byte()),
+                );
             }
             metrics.frames_out.inc();
         }

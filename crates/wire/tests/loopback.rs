@@ -7,6 +7,7 @@ use std::io::Read;
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use wire::frame::{self, Frame};
 use wire::prelude::*;
 
 /// A rotating set of valid JSONL action lines (the `serve_demo`
@@ -255,6 +256,101 @@ fn graceful_shutdown_answers_every_request_the_server_admitted() {
         "a decoded request was lost (or answered twice) across shutdown"
     );
     assert_eq!(metrics.frames_out, answered);
+}
+
+/// A client that predates the v2 frames — hand-built v1 request bytes,
+/// no flags byte anywhere — must interoperate unchanged: the server
+/// answers with a v1 response frame carrying no explain section.
+#[test]
+fn flagless_v1_clients_interoperate_with_an_explain_capable_server() {
+    use std::io::Write as _;
+
+    let service = start_service(1, 8, AdmissionPolicy::Block);
+    let server = WireServer::start("127.0.0.1:0", Arc::clone(&service), WireConfig::default())
+        .expect("bind loopback");
+
+    let mut raw = TcpStream::connect(server.local_addr()).expect("dial raw");
+    raw.set_nodelay(true).expect("nodelay");
+    let payload = LINES[0].as_bytes();
+    // Hand-built v1 layout: [len u32][kind=1][id u64][deadline u32][payload].
+    let mut body = vec![1u8];
+    body.extend_from_slice(&7u64.to_be_bytes());
+    body.extend_from_slice(&0u32.to_be_bytes());
+    body.extend_from_slice(payload);
+    let mut bytes = (body.len() as u32).to_be_bytes().to_vec();
+    bytes.extend_from_slice(&body);
+    raw.write_all(&bytes).expect("write v1 frame");
+    raw.flush().expect("flush");
+
+    let response = match frame::read_frame(&mut raw, frame::MAX_FRAME).expect("read response") {
+        Some(Frame::Response(response)) => response,
+        other => panic!("expected a response frame, got {other:?}"),
+    };
+    assert_eq!(response.id, 7);
+    assert_eq!(response.status, Status::Ok);
+    assert!(
+        response.explain.is_none(),
+        "a flag-less request must never receive an explain section"
+    );
+    assert_eq!(
+        String::from_utf8(response.payload).expect("utf-8"),
+        expected_verdict(LINES[0]),
+    );
+
+    drop(raw);
+    let metrics = server.shutdown();
+    assert_eq!(metrics.protocol_errors, 0);
+    assert_eq!(metrics.frames_out, 1);
+}
+
+/// `submit_explained` round trip: the response carries an explain
+/// section whose trace id joins a complete queue → engine → serialize
+/// span chain in the global ring, and whose provenance is the engine's
+/// rule-firing JSON ending in the final verdict.
+#[test]
+fn explained_responses_join_a_full_span_chain_by_trace_id() {
+    use obs::Stage;
+
+    let log = obs::global();
+    log.set_enabled(true);
+
+    let service = start_service(1, 8, AdmissionPolicy::Block);
+    let server = WireServer::start("127.0.0.1:0", Arc::clone(&service), WireConfig::default())
+        .expect("bind loopback");
+    let client = WireClient::connect(server.local_addr()).expect("dial");
+
+    let response = client
+        .submit_explained(LINES[1].as_bytes().to_vec(), 0)
+        .expect("submit explained")
+        .wait()
+        .expect("answered");
+    assert_eq!(response.status, Status::Ok);
+    let explain = response.explain.expect("explain section present");
+    assert!(explain.trace != 0, "explained response carries no trace id");
+
+    let provenance = String::from_utf8(explain.provenance).expect("utf-8 provenance");
+    assert!(
+        provenance.starts_with('[') && provenance.ends_with(']'),
+        "provenance is not a JSON array: {provenance}"
+    );
+    assert!(
+        provenance.contains(r#""rule":"verdict.final""#),
+        "provenance lacks the final verdict firing: {provenance}"
+    );
+
+    // The span chain is complete for this trace: the queue wait, the
+    // engine run, and the response serialization all carry the same id.
+    let trace = obs::TraceId::from_u64(explain.trace);
+    let spans = log.snapshot();
+    for stage in [Stage::Queue, Stage::Engine, Stage::Serialize] {
+        assert!(
+            spans.iter().any(|s| s.trace == trace && s.stage == stage),
+            "no {stage} span recorded for trace {trace}"
+        );
+    }
+
+    drop(client);
+    server.shutdown();
 }
 
 #[test]

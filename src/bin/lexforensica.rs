@@ -54,6 +54,10 @@ fn usage() -> ExitCode {
       in line order — answers are order-independent). Malformed lines
       are reported with their line number and skipped; the exit code
       is then nonzero.
+        --explain FILE        also write one JSONL provenance record
+                              per scenario to FILE: a fresh trace id
+                              (line order), the verdict, and the
+                              engine's ordered rule firings
   lexforensica serve <file.jsonl | -> [OPTIONS]
       run the same JSONL scenarios through the bounded-queue compliance
       service (worker pool, admission control, deadlines):
@@ -61,6 +65,9 @@ fn usage() -> ExitCode {
         --capacity N          queue capacity (default 1024)
         --policy block|reject|drop-oldest             (default block)
         --deadline-ms D       per-request deadline in milliseconds
+        --explain FILE        enable span tracing and write one JSONL
+                              provenance record per scenario to FILE,
+                              joinable to the span ring by trace id
       prints one row per scenario (verdict, or timeout/shed/rejected)
       and a metrics snapshot on stderr
   lexforensica serve --tcp ADDR [OPTIONS]
@@ -68,6 +75,8 @@ fn usage() -> ExitCode {
       framed protocol) instead of replaying a file; same service
       options as above, plus:
         --max-inflight N      pipelined requests per connection (default 64)
+        --explain FILE        enable span tracing and log every answered
+                              request's provenance record to FILE (JSONL)
       prints \"listening on HOST:PORT\" on stderr (bind port 0 to let
       the OS pick), serves until stdin reaches EOF, then drains
       gracefully and prints wire + service metrics on stderr
@@ -218,6 +227,34 @@ fn parse_lines(input: &[u8]) -> (Vec<SpecLine>, u64) {
     (batch.lines, batch.errors.len() as u64)
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Opens the `--explain FILE` provenance sink, when requested.
+fn explain_file(args: &Args) -> Result<Option<std::io::BufWriter<std::fs::File>>, ExitCode> {
+    match args.get("explain") {
+        None => Ok(None),
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => Ok(Some(std::io::BufWriter::new(file))),
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                Err(ExitCode::FAILURE)
+            }
+        },
+    }
+}
+
 fn cmd_assess_batch(args: Args) -> ExitCode {
     let Some(path) = args.positional(0) else {
         return usage();
@@ -245,6 +282,10 @@ fn cmd_assess_batch(args: Args) -> ExitCode {
     let assessor = BatchAssessor::new().with_threads(threads);
     let (assessments, report) = assessor.assess_all_with_report(&actions);
 
+    let mut explain = match explain_file(&args) {
+        Ok(writer) => writer,
+        Err(code) => return code,
+    };
     let mut rows: Vec<_> = parsed.iter().zip(&assessments).collect();
     rows.sort_by_key(|(p, _)| p.line);
     for (p, assessment) in rows {
@@ -255,6 +296,31 @@ fn cmd_assess_batch(args: Args) -> ExitCode {
             assessment.confidence(),
             p.summary
         );
+        if let Some(out) = explain.as_mut() {
+            // Trace ids are minted here, per batch row in line order, so
+            // a fresh process yields trace 1 for line 1 and so on — the
+            // golden test pins exactly this.
+            use std::io::Write as _;
+            let trace = obs::TraceId::mint();
+            let record = format!(
+                r#"{{"trace":{trace},"line":{},"verdict":"{}","confidence":"{}","provenance":{}}}"#,
+                p.line,
+                json_escape(&assessment.verdict().to_string()),
+                json_escape(&assessment.confidence().to_string()),
+                assessment.provenance().to_json(),
+            );
+            if let Err(e) = writeln!(out, "{record}") {
+                eprintln!("cannot write explain record: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(out) = explain.as_mut() {
+        use std::io::Write as _;
+        if let Err(e) = out.flush() {
+            eprintln!("cannot flush explain records: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     eprintln!("{report}");
     if bad_lines > 0 {
@@ -307,7 +373,20 @@ fn cmd_serve_tcp(args: &Args) -> ExitCode {
         max_inflight: args.usize_flag("max-inflight", 64),
         ..WireConfig::default()
     };
-    let server = match WireServer::start(addr, Arc::clone(&service), config) {
+    let explain = match args.get("explain") {
+        None => None,
+        Some(path) => match std::fs::File::create(path) {
+            Ok(file) => {
+                obs::global().set_enabled(true);
+                Some(ExplainSink::new(Box::new(file)))
+            }
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let server = match WireServer::start_with_explain(addr, Arc::clone(&service), config, explain) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");
@@ -460,6 +539,17 @@ fn cmd_serve(args: Args) -> ExitCode {
     };
     let (parsed, bad_lines) = parse_lines(&input);
 
+    let mut explain = match explain_file(&args) {
+        Ok(writer) => writer,
+        Err(code) => return code,
+    };
+    if explain.is_some() {
+        // Tracing rides along with --explain: every admitted request
+        // leaves queue/engine spans in the global ring, joinable to the
+        // provenance records below by trace id.
+        obs::global().set_enabled(true);
+    }
+
     let service = ComplianceService::start(ServiceConfig {
         workers,
         capacity,
@@ -484,19 +574,38 @@ fn cmd_serve(args: Args) -> ExitCode {
         .collect();
 
     for (p, ticket) in parsed.iter().zip(tickets) {
-        match ticket {
+        let response = ticket.map(Ticket::wait);
+        match response.as_ref().map(|r| &r.outcome) {
             None => println!("#{} rejected -- {}", p.line, p.summary),
-            Some(ticket) => match ticket.wait().outcome {
-                Outcome::Completed(assessment) => println!(
-                    "#{} {} [{}] -- {}",
-                    p.line,
-                    assessment.verdict(),
-                    assessment.confidence(),
-                    p.summary
-                ),
-                Outcome::TimedOut => println!("#{} timeout -- {}", p.line, p.summary),
-                Outcome::Shed => println!("#{} shed -- {}", p.line, p.summary),
-            },
+            Some(Outcome::Completed(assessment)) => println!(
+                "#{} {} [{}] -- {}",
+                p.line,
+                assessment.verdict(),
+                assessment.confidence(),
+                p.summary
+            ),
+            Some(Outcome::TimedOut) => println!("#{} timeout -- {}", p.line, p.summary),
+            Some(Outcome::Shed) => println!("#{} shed -- {}", p.line, p.summary),
+        }
+        if let Some(out) = explain.as_mut() {
+            use std::io::Write as _;
+            // Rejected rows never got a trace (refused at admission);
+            // record them with the UNTRACED id 0.
+            let trace = response.as_ref().map_or(0, |r| r.trace.as_u64());
+            let (status, provenance) = match response.as_ref().map(|r| &r.outcome) {
+                None => ("rejected", "[]".to_string()),
+                Some(Outcome::Completed(a)) => ("ok", a.provenance().to_json()),
+                Some(Outcome::TimedOut) => ("timeout", "[]".to_string()),
+                Some(Outcome::Shed) => ("shed", "[]".to_string()),
+            };
+            let record = format!(
+                r#"{{"trace":{trace},"line":{},"status":"{status}","provenance":{provenance}}}"#,
+                p.line,
+            );
+            if let Err(e) = writeln!(out, "{record}") {
+                eprintln!("cannot write explain record: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 
@@ -504,6 +613,20 @@ fn cmd_serve(args: Args) -> ExitCode {
     let cache = service.cache().stats();
     let finals = service.shutdown();
     debug_assert_eq!(finals.responses(), finals.accepted, "lost a response");
+    if let Some(out) = explain.as_mut() {
+        use std::io::Write as _;
+        if let Err(e) = out.flush() {
+            eprintln!("cannot flush explain records: {e}");
+            return ExitCode::FAILURE;
+        }
+        let spans = obs::global().snapshot();
+        let count = |stage| spans.iter().filter(|s| s.stage == stage).count();
+        eprintln!(
+            "span ring: {} queue, {} engine spans recorded",
+            count(obs::Stage::Queue),
+            count(obs::Stage::Engine),
+        );
+    }
     eprintln!(
         "served {} of {} requests on {} workers in {:.1?} ({:.0} actions/s); cache: {}",
         finals.responses(),

@@ -1,0 +1,89 @@
+//! Golden test for the `--explain` decision-provenance output.
+//!
+//! The provenance JSONL — and in particular the **order of rule
+//! firings** inside each record — is a contract: downstream audit
+//! tooling joins these records to span chains by trace id and replays
+//! the engine's reasoning step by step. Any change to rule names,
+//! firing order, or the record layout must be deliberate and must
+//! update the pinned fixture.
+
+use std::process::Command;
+
+const FIXTURE: &str = "tests/fixtures/explain_demo.jsonl";
+const GOLDEN: &str = "tests/fixtures/explain_demo.expected.jsonl";
+
+/// Runs `assess-batch FIXTURE --explain <tmp>` plus any extra args and
+/// returns the explain JSONL the run produced.
+fn run_explain(tag: &str, extra: &[&str]) -> String {
+    let out_path = std::env::temp_dir().join(format!(
+        "lexforensica_explain_{}_{tag}.jsonl",
+        std::process::id()
+    ));
+    let output = Command::new(env!("CARGO_BIN_EXE_lexforensica"))
+        .arg("assess-batch")
+        .arg(FIXTURE)
+        .args(["--explain", out_path.to_str().expect("utf-8 temp path")])
+        .args(extra)
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "assess-batch failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let records = std::fs::read_to_string(&out_path).expect("explain file written");
+    let _ = std::fs::remove_file(&out_path);
+    records
+}
+
+#[test]
+fn explain_provenance_matches_the_pinned_golden_byte_for_byte() {
+    let got = run_explain("golden", &["--threads", "1"]);
+    let want = std::fs::read_to_string(GOLDEN).expect("golden fixture exists");
+    assert_eq!(
+        got, want,
+        "--explain provenance drifted from the pinned golden; \
+         rule-firing order is a contract — regenerate the fixture only \
+         for a deliberate engine change"
+    );
+}
+
+#[test]
+fn explain_records_are_joinable_and_end_with_the_final_verdict() {
+    let got = run_explain("shape", &["--threads", "1"]);
+    let lines: Vec<&str> = got.lines().collect();
+    assert_eq!(lines.len(), 6, "one record per fixture scenario");
+    for (i, line) in lines.iter().enumerate() {
+        let n = i + 1;
+        // Trace ids are minted per row in line order from a fresh
+        // process, so record n carries trace n — that is what makes the
+        // file joinable against a span dump from the same run.
+        assert!(
+            line.starts_with(&format!("{{\"trace\":{n},\"line\":{n},")),
+            "record {n} is not joinable by trace id: {line}"
+        );
+        let last_rule = line
+            .rfind("{\"rule\":\"")
+            .map(|at| &line[at..])
+            .expect("record has at least one rule firing");
+        assert!(
+            last_rule.starts_with("{\"rule\":\"verdict.final\""),
+            "record {n} does not end with the final verdict firing: {last_rule}"
+        );
+    }
+}
+
+#[test]
+fn explain_output_is_independent_of_threads_and_seed() {
+    let baseline = run_explain("base", &["--threads", "1"]);
+    let threaded = run_explain("threads", &["--threads", "4"]);
+    let shuffled = run_explain("seeded", &["--threads", "4", "--seed", "42"]);
+    assert_eq!(
+        baseline, threaded,
+        "provenance records must not depend on the worker count"
+    );
+    assert_eq!(
+        baseline, shuffled,
+        "provenance records must not depend on the assessment order"
+    );
+}

@@ -149,6 +149,7 @@ fn mid_load_graceful_shutdown_loses_and_duplicates_nothing() {
                         let frame = Frame::Request(Request {
                             id: c * 1_000_000 + i, // globally unique
                             deadline_ms: 0,
+                            want_explain: false,
                             payload: LINES[(i % LINES.len() as u64) as usize].as_bytes().to_vec(),
                         });
                         // Once the drain closes this connection the write
