@@ -25,6 +25,7 @@ pub const REGISTERED_DRIVERS: &[&str] = &[
     "service_load",
     "wire_load",
     "trace_overhead",
+    "journal_replay",
 ];
 
 /// A minimal JSON value.

@@ -111,6 +111,15 @@ impl LegalAssessment {
         self.confidence
     }
 
+    /// The canonical one-line rendering — `{verdict} [{confidence}]` —
+    /// shared by every surface that prints or stores a verdict:
+    /// `assess-batch` rows, wire response payloads, and journal
+    /// records. Keeping a single producer is what lets the replay
+    /// oracle diff journaled verdicts byte-for-byte against live ones.
+    pub fn verdict_line(&self) -> String {
+        format!("{} [{}]", self.verdict, self.confidence)
+    }
+
     /// The underlying reasonable-expectation-of-privacy finding.
     pub fn privacy(&self) -> &PrivacyFinding {
         &self.privacy

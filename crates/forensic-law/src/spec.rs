@@ -192,13 +192,60 @@ pub struct LineError {
     pub error: SpecError,
 }
 
+impl LineError {
+    /// This rejection in the shared located-error shape.
+    pub fn located(&self) -> LocatedError {
+        LocatedError::at_line(self.line, &self.error)
+    }
+}
+
 impl std::fmt::Display for LineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.error)
+        self.located().fmt(f)
     }
 }
 
 impl std::error::Error for LineError {}
+
+/// A defect at a known position in a structured input, in the one
+/// report shape every batch surface uses: `"<place>: <reason>"`.
+///
+/// `assess-batch` reports malformed JSONL lines as `line 7: …`; the
+/// `replay` subcommand reports journal defects as `record 1042: …` or
+/// `seg-….lxj offset 4242: …`. Sharing the constructor (rather than
+/// each command formatting its own) is what keeps the two surfaces
+/// diffable and greppable the same way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocatedError {
+    /// Where the defect is — `line 7`, `record 1042`,
+    /// `seg-….lxj offset 4242`.
+    pub place: String,
+    /// What is wrong there.
+    pub reason: String,
+}
+
+impl LocatedError {
+    /// A defect at an arbitrary place (`record 1042`, `… offset 17`).
+    pub fn new(place: impl std::fmt::Display, reason: impl std::fmt::Display) -> LocatedError {
+        LocatedError {
+            place: place.to_string(),
+            reason: reason.to_string(),
+        }
+    }
+
+    /// A defect on a 1-based input line.
+    pub fn at_line(line: usize, reason: impl std::fmt::Display) -> LocatedError {
+        LocatedError::new(format_args!("line {line}"), reason)
+    }
+}
+
+impl std::fmt::Display for LocatedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.place, self.reason)
+    }
+}
+
+impl std::error::Error for LocatedError {}
 
 /// The result of parsing a whole JSONL document: the well-formed lines
 /// plus every rejection, each tagged with its line number.

@@ -1,0 +1,326 @@
+//! Journal-level reading: segment discovery, cross-segment sequence
+//! contiguity, and the torn-tail recovery rule.
+//!
+//! # Scan modes
+//!
+//! [`Mode::Strict`] treats every defect — a torn tail included — as an
+//! error carrying the segment path, byte offset, and reason. This is
+//! the verification mode: `replay --verify` and the corruption fuzzer
+//! use it to prove that damage is *detected*, never skipped.
+//!
+//! [`Mode::Recover`] implements the crash model. The group-commit
+//! writer appends sequentially and rotates segments left-to-right, so a
+//! crash can only damage the **last** segment, and only as a torn or
+//! garbled suffix. Recovery therefore accepts exactly one kind of
+//! damage: a defective record tail in the final segment, which it
+//! reports as a [`Truncation`] (the writer chops the file there and
+//! resumes). Everything else — any defect in a non-final segment, a
+//! sequence gap or duplicate anywhere, a segment whose header disagrees
+//! with its file name — is evidence of splicing or external tampering
+//! and stays a hard error in both modes.
+
+use crate::segment::{parse_segment_file_name, ReadFailure, Record, SegmentReader};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How a journal scan treats defects. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Every defect is an error with offset + reason.
+    Strict,
+    /// A defective tail in the last segment becomes a [`Truncation`];
+    /// everything else stays an error.
+    Recover,
+}
+
+/// Errors from journal reading and writing.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// A segment holds bytes that cannot be (or must not be) accepted:
+    /// checksum mismatch, impossible length, sequence gap, torn record
+    /// in strict mode, spliced segment chain.
+    Corrupt {
+        /// The defective segment file.
+        segment: PathBuf,
+        /// Byte offset of the defect within the segment.
+        offset: u64,
+        /// What exactly is wrong.
+        reason: String,
+    },
+    /// An append was attempted after [`crate::Journal::close`].
+    WriterClosed,
+    /// The writer thread died on an I/O error; the message says why.
+    WriterFailed(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::Corrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corrupt journal segment {} at offset {offset}: {reason}",
+                segment.display()
+            ),
+            JournalError::WriterClosed => write!(f, "journal writer is closed"),
+            JournalError::WriterFailed(msg) => write!(f, "journal writer failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// A torn tail found (and accepted) by a [`Mode::Recover`] scan: the
+/// last segment holds `lost_bytes` of unusable bytes from `offset` on.
+/// Truncating the file at `offset` restores a clean journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Truncation {
+    /// The segment with the defective tail (always the last one).
+    pub segment: PathBuf,
+    /// Byte offset where the defect starts — the truncation point.
+    pub offset: u64,
+    /// Bytes from `offset` to end of file.
+    pub lost_bytes: u64,
+    /// Why the tail was rejected.
+    pub reason: String,
+}
+
+/// A streaming reader over a whole journal directory, yielding records
+/// in sequence order and enforcing contiguity across segments.
+#[derive(Debug)]
+pub struct JournalReader {
+    mode: Mode,
+    /// Remaining segments as `(base_seq, path)`, ascending.
+    segments: Vec<(u64, PathBuf)>,
+    index: usize,
+    current: Option<SegmentReader>,
+    /// The sequence number the next record must carry; `None` until the
+    /// first segment is opened (or stays `None` for an empty journal).
+    expect: Option<u64>,
+    truncation: Option<Truncation>,
+    done: bool,
+}
+
+impl JournalReader {
+    /// Opens the journal at `dir`. A missing or empty directory is a
+    /// valid empty journal.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the directory listing fails.
+    pub fn open(dir: &Path, mode: Mode) -> Result<JournalReader, JournalError> {
+        Ok(JournalReader {
+            mode,
+            segments: list_segments(dir)?,
+            index: 0,
+            current: None,
+            expect: None,
+            truncation: None,
+            done: false,
+        })
+    }
+
+    /// The next record, or `None` at the end of the journal (including
+    /// the recovered end after a truncation).
+    ///
+    /// # Errors
+    ///
+    /// See [`JournalError`]; after an error the reader is exhausted.
+    pub fn next_record(&mut self) -> Result<Option<Record>, JournalError> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            let recoverable = self.recoverable();
+            let Some(reader) = self.current.as_mut() else {
+                if self.index >= self.segments.len() {
+                    self.done = true;
+                    return Ok(None);
+                }
+                let (base, path) = self.segments[self.index].clone();
+                if let Some(expect) = self.expect {
+                    if base != expect {
+                        self.done = true;
+                        return Err(JournalError::Corrupt {
+                            segment: path,
+                            offset: 8,
+                            reason: format!(
+                                "segment base seq {base} breaks contiguity \
+                                 (previous segment ended at seq {})",
+                                expect - 1
+                            ),
+                        });
+                    }
+                }
+                match SegmentReader::open(&path, base) {
+                    Ok(reader) => {
+                        self.expect = Some(base);
+                        self.current = Some(reader);
+                    }
+                    Err(ReadFailure::Torn { offset }) if recoverable => {
+                        // A header torn by a crash before the first
+                        // record landed: drop the whole file. The next
+                        // sequence number is the base its name claims.
+                        self.truncate_here(&path, offset, "torn segment header".to_string())?;
+                        self.expect = Some(base);
+                        return Ok(None);
+                    }
+                    Err(failure) => {
+                        self.done = true;
+                        return Err(hard_error(&path, failure));
+                    }
+                }
+                continue;
+            };
+            match reader.read_record() {
+                Ok(Some(record)) => {
+                    let expect = self.expect.expect("set when segment opened");
+                    if record.seq != expect {
+                        let (path, offset) = (reader.path().to_path_buf(), reader.offset());
+                        self.done = true;
+                        return Err(JournalError::Corrupt {
+                            segment: path,
+                            offset,
+                            reason: format!(
+                                "sequence discontinuity: record carries seq {} where seq \
+                                 {expect} is required",
+                                record.seq
+                            ),
+                        });
+                    }
+                    self.expect = Some(expect + 1);
+                    return Ok(Some(record));
+                }
+                Ok(None) => {
+                    self.current = None;
+                    self.index += 1;
+                }
+                Err(failure) if recoverable => {
+                    let path = reader.path().to_path_buf();
+                    let (offset, reason) = match failure {
+                        ReadFailure::Io(e) => {
+                            self.done = true;
+                            return Err(JournalError::Io(e));
+                        }
+                        ReadFailure::Torn { offset } => {
+                            (offset, "file ends mid-record (torn write)".to_string())
+                        }
+                        ReadFailure::Corrupt { offset, reason } => (offset, reason),
+                    };
+                    self.truncate_here(&path, offset, reason)?;
+                    return Ok(None);
+                }
+                Err(failure) => {
+                    let path = reader.path().to_path_buf();
+                    self.done = true;
+                    return Err(hard_error(&path, failure));
+                }
+            }
+        }
+    }
+
+    /// Whether a defect at the current position may be absorbed as a
+    /// torn tail: recover mode, and the current position is in the
+    /// final segment.
+    fn recoverable(&self) -> bool {
+        self.mode == Mode::Recover && self.index + 1 == self.segments.len()
+    }
+
+    fn truncate_here(
+        &mut self,
+        path: &Path,
+        offset: u64,
+        reason: String,
+    ) -> Result<(), JournalError> {
+        let len = fs::metadata(path)?.len();
+        self.truncation = Some(Truncation {
+            segment: path.to_path_buf(),
+            offset,
+            lost_bytes: len.saturating_sub(offset),
+            reason,
+        });
+        self.done = true;
+        Ok(())
+    }
+
+    /// The sequence number the next appended record will carry — one
+    /// past the last clean record (1 for an empty journal).
+    pub fn next_seq(&self) -> u64 {
+        self.expect.unwrap_or(1)
+    }
+
+    /// The torn tail a recover-mode scan found, if any. Only meaningful
+    /// once [`next_record`](Self::next_record) has returned `None`.
+    pub fn truncation(&self) -> Option<&Truncation> {
+        self.truncation.as_ref()
+    }
+}
+
+/// Reads a whole journal into memory: `(records, truncation)`.
+/// Convenience for tests and small replays; the streaming
+/// [`JournalReader`] is the primary interface.
+///
+/// # Errors
+///
+/// See [`JournalError`].
+pub fn read_all(dir: &Path, mode: Mode) -> Result<(Vec<Record>, Option<Truncation>), JournalError> {
+    let mut reader = JournalReader::open(dir, mode)?;
+    let mut records = Vec::new();
+    while let Some(record) = reader.next_record()? {
+        records.push(record);
+    }
+    let truncation = reader.truncation.take();
+    Ok((records, truncation))
+}
+
+/// Lists the journal's segments as `(base_seq, path)` in ascending base
+/// order. Non-segment files are ignored; a missing directory is an
+/// empty journal.
+pub(crate) fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, JournalError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(JournalError::Io(e)),
+    };
+    let mut segments = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(base) = parse_segment_file_name(name) {
+            segments.push((base, entry.path()));
+        }
+    }
+    segments.sort_unstable_by_key(|(base, _)| *base);
+    Ok(segments)
+}
+
+fn hard_error(path: &Path, failure: ReadFailure) -> JournalError {
+    match failure {
+        ReadFailure::Io(e) => JournalError::Io(e),
+        ReadFailure::Torn { offset } => JournalError::Corrupt {
+            segment: path.to_path_buf(),
+            offset,
+            reason: "file ends mid-record (torn write)".to_string(),
+        },
+        ReadFailure::Corrupt { offset, reason } => JournalError::Corrupt {
+            segment: path.to_path_buf(),
+            offset,
+            reason,
+        },
+    }
+}

@@ -1,0 +1,404 @@
+//! The on-disk segment format: header, record framing, and a streaming
+//! segment reader.
+//!
+//! # Layout
+//!
+//! A journal is a directory of segment files named
+//! `seg-<base_seq:020>.lxj`, where `base_seq` is the sequence number of
+//! the first record the segment holds. Each segment is:
+//!
+//! ```text
+//! header (16 bytes): [magic "LXJ1"][version: u32 BE][base_seq: u64 BE]
+//! records, back to back until EOF:
+//!   [body_len: u32 BE][crc32(body): u32 BE][body]
+//!   body: [seq: u64 BE][trace: u64 BE][status: u8]
+//!         [req_len: u32 BE][request: req_len bytes][verdict: rest]
+//! ```
+//!
+//! * `seq` numbers are assigned by the writer, start at 1, and are
+//!   **contiguous** across the whole journal — within a segment and
+//!   across the rotation boundary (`base_seq` of segment *k+1* is the
+//!   last `seq` of segment *k* plus one). A gap is corruption, never
+//!   tolerated.
+//! * `crc32` covers the body only; the length prefix is validated by
+//!   range (`RECORD_FIXED ..= MAX_RECORD`) before any allocation.
+//! * `status` is the wire status byte ([`wire` crate's `Status`]); the
+//!   journal stores it opaquely so the format does not chase the
+//!   serving layer's enum.
+//!
+//! # Failure vocabulary
+//!
+//! A segment read ends one of three ways, and the distinction is the
+//! whole crash-recovery story (see [`crate::reader`]):
+//!
+//! * clean EOF at a record boundary — the segment is whole;
+//! * **torn**: the file ends mid-prefix or mid-body — the classic shape
+//!   of a crash between `write` and the final `fsync`;
+//! * **corrupt**: the bytes are all present but wrong — checksum
+//!   mismatch, impossible length, an inner length overrunning the body,
+//!   a sequence gap. Corruption is reported with the exact byte offset
+//!   and reason, and is never silently skipped.
+
+use crate::crc::crc32;
+use obs::TraceId;
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::path::{Path, PathBuf};
+
+/// Segment file magic: the first four bytes of every segment.
+pub const MAGIC: [u8; 4] = *b"LXJ1";
+
+/// Current segment format version.
+pub const VERSION: u32 = 1;
+
+/// Bytes in a segment header: magic + version + base sequence number.
+pub const HEADER_LEN: u64 = 4 + 4 + 8;
+
+/// Fixed bytes in a record body before the variable payloads:
+/// seq + trace + status + request length.
+pub const RECORD_FIXED: usize = 8 + 8 + 1 + 4;
+
+/// Bytes in a record's framing prefix: body length + CRC.
+pub const PREFIX_LEN: usize = 4 + 4;
+
+/// Cap on a record body. The wire layer refuses frames over 1 MiB, so a
+/// journal body (request + verdict + fixed fields) never legitimately
+/// reaches 2 MiB; a longer claimed length is corruption, refused before
+/// allocation.
+pub const MAX_RECORD: u32 = 2 << 20;
+
+/// The segment file extension.
+pub const SEGMENT_EXT: &str = "lxj";
+
+/// One record to append: everything but the sequence number, which the
+/// writer assigns at enqueue so file order always equals seq order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordData {
+    /// The trace id minted for the request at the edge (0 = untraced).
+    pub trace: TraceId,
+    /// The wire status byte for the disposition (`Status::as_byte`).
+    pub status: u8,
+    /// The raw request payload (one JSONL action line, as received).
+    pub request: Vec<u8>,
+    /// The response payload (the verdict line for `ok`, a diagnostic
+    /// otherwise).
+    pub verdict: Vec<u8>,
+}
+
+/// One record as read back from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Journal-wide sequence number (contiguous from 1).
+    pub seq: u64,
+    /// The trace id the request carried (0 = untraced).
+    pub trace: TraceId,
+    /// The wire status byte for the disposition.
+    pub status: u8,
+    /// The raw request payload.
+    pub request: Vec<u8>,
+    /// The response payload.
+    pub verdict: Vec<u8>,
+}
+
+/// Encodes one record (prefix + body) onto the end of `out`.
+pub fn encode_record(seq: u64, data: &RecordData, out: &mut Vec<u8>) {
+    let body_len = RECORD_FIXED + data.request.len() + data.verdict.len();
+    debug_assert!(body_len as u64 <= u64::from(MAX_RECORD), "record over cap");
+    out.reserve(PREFIX_LEN + body_len);
+    let prefix_at = out.len();
+    out.extend_from_slice(&(body_len as u32).to_be_bytes());
+    out.extend_from_slice(&[0u8; 4]); // CRC back-patched below
+    let body_at = out.len();
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(&data.trace.as_u64().to_be_bytes());
+    out.push(data.status);
+    out.extend_from_slice(&(data.request.len() as u32).to_be_bytes());
+    out.extend_from_slice(&data.request);
+    out.extend_from_slice(&data.verdict);
+    let crc = crc32(&out[body_at..]);
+    out[prefix_at + 4..prefix_at + 8].copy_from_slice(&crc.to_be_bytes());
+}
+
+/// The total on-disk size of a record carrying these payloads.
+pub fn record_len(data: &RecordData) -> u64 {
+    (PREFIX_LEN + RECORD_FIXED + data.request.len() + data.verdict.len()) as u64
+}
+
+/// Encodes a segment header.
+pub fn encode_header(base_seq: u64) -> [u8; HEADER_LEN as usize] {
+    let mut out = [0u8; HEADER_LEN as usize];
+    out[..4].copy_from_slice(&MAGIC);
+    out[4..8].copy_from_slice(&VERSION.to_be_bytes());
+    out[8..16].copy_from_slice(&base_seq.to_be_bytes());
+    out
+}
+
+/// The canonical file name for the segment whose first record is
+/// `base_seq`.
+pub fn segment_file_name(base_seq: u64) -> String {
+    format!("seg-{base_seq:020}.{SEGMENT_EXT}")
+}
+
+/// Parses a segment file name back to its base sequence number; `None`
+/// for files that are not journal segments (they are ignored, so a
+/// stray `README` in the directory is harmless).
+pub fn parse_segment_file_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".lxj")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// How a segment read failed, before the journal-level reader decides
+/// whether that is fatal or a recoverable torn tail.
+#[derive(Debug)]
+pub enum ReadFailure {
+    /// The underlying file read failed.
+    Io(io::Error),
+    /// The file ends mid-record (or mid-header): the shape of a crash.
+    /// `offset` is where the incomplete object starts — the truncation
+    /// point that recovers the longest clean prefix.
+    Torn {
+        /// Byte offset of the incomplete record's first prefix byte.
+        offset: u64,
+    },
+    /// The bytes are present but wrong. Never recoverable by
+    /// truncation bookkeeping alone; the reason says exactly what and
+    /// where.
+    Corrupt {
+        /// Byte offset of the offending record's first prefix byte (or
+        /// of the header field for header corruption).
+        offset: u64,
+        /// Human-readable reason, specific enough to act on.
+        reason: String,
+    },
+}
+
+/// A streaming reader over one segment file. Validates the header on
+/// open and each record's framing + checksum on read; sequence
+/// contiguity is the journal-level reader's job (it spans segments).
+#[derive(Debug)]
+pub struct SegmentReader {
+    path: PathBuf,
+    input: BufReader<File>,
+    base_seq: u64,
+    /// Byte offset of the next unread byte.
+    offset: u64,
+}
+
+impl SegmentReader {
+    /// Opens `path` and validates its header against the base sequence
+    /// number its file name claims.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadFailure::Torn`] when the file is shorter than a header;
+    /// [`ReadFailure::Corrupt`] on bad magic, an unknown version, or a
+    /// header/file-name base mismatch; [`ReadFailure::Io`] on I/O
+    /// failure.
+    pub fn open(path: &Path, expected_base: u64) -> Result<SegmentReader, ReadFailure> {
+        let file = File::open(path).map_err(ReadFailure::Io)?;
+        let mut input = BufReader::new(file);
+        let mut header = [0u8; HEADER_LEN as usize];
+        let got = read_up_to(&mut input, &mut header).map_err(ReadFailure::Io)?;
+        if got < header.len() {
+            return Err(ReadFailure::Torn { offset: 0 });
+        }
+        if header[..4] != MAGIC {
+            return Err(ReadFailure::Corrupt {
+                offset: 0,
+                reason: format!("bad magic {:02x?} (want {:02x?})", &header[..4], MAGIC),
+            });
+        }
+        let version = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(ReadFailure::Corrupt {
+                offset: 4,
+                reason: format!("unsupported segment version {version} (want {VERSION})"),
+            });
+        }
+        let base_seq = u64::from_be_bytes(header[8..16].try_into().expect("8 bytes"));
+        if base_seq != expected_base {
+            return Err(ReadFailure::Corrupt {
+                offset: 8,
+                reason: format!(
+                    "header base seq {base_seq} disagrees with file name base {expected_base}"
+                ),
+            });
+        }
+        Ok(SegmentReader {
+            path: path.to_path_buf(),
+            input,
+            base_seq,
+            offset: HEADER_LEN,
+        })
+    }
+
+    /// The segment file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The first sequence number this segment holds.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Byte offset of the next unread byte — after a failure, the
+    /// truncation point that keeps every record read so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads the next record. `Ok(None)` is a clean EOF at a record
+    /// boundary.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReadFailure`]. After any error the reader is positioned
+    /// unreliably and must not be read again.
+    pub fn read_record(&mut self) -> Result<Option<Record>, ReadFailure> {
+        let record_at = self.offset;
+        let mut prefix = [0u8; PREFIX_LEN];
+        let got = read_up_to(&mut self.input, &mut prefix).map_err(ReadFailure::Io)?;
+        if got == 0 {
+            return Ok(None);
+        }
+        if got < PREFIX_LEN {
+            return Err(ReadFailure::Torn { offset: record_at });
+        }
+        let body_len = u32::from_be_bytes(prefix[..4].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_be_bytes(prefix[4..8].try_into().expect("4 bytes"));
+        if (body_len as usize) < RECORD_FIXED {
+            return Err(ReadFailure::Corrupt {
+                offset: record_at,
+                reason: format!(
+                    "body length {body_len} shorter than the {RECORD_FIXED}-byte fixed header"
+                ),
+            });
+        }
+        if body_len > MAX_RECORD {
+            return Err(ReadFailure::Corrupt {
+                offset: record_at,
+                reason: format!("body length {body_len} exceeds the {MAX_RECORD}-byte record cap"),
+            });
+        }
+        let mut body = vec![0u8; body_len as usize];
+        let got = read_up_to(&mut self.input, &mut body).map_err(ReadFailure::Io)?;
+        if got < body.len() {
+            return Err(ReadFailure::Torn { offset: record_at });
+        }
+        let computed = crc32(&body);
+        if computed != stored_crc {
+            return Err(ReadFailure::Corrupt {
+                offset: record_at,
+                reason: format!(
+                    "checksum mismatch: stored {stored_crc:#010x}, computed {computed:#010x}"
+                ),
+            });
+        }
+        let seq = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
+        let trace = u64::from_be_bytes(body[8..16].try_into().expect("8 bytes"));
+        let status = body[16];
+        let req_len = u32::from_be_bytes(body[17..21].try_into().expect("4 bytes")) as usize;
+        let payloads = body.len() - RECORD_FIXED;
+        if req_len > payloads {
+            return Err(ReadFailure::Corrupt {
+                offset: record_at,
+                reason: format!(
+                    "request length {req_len} overruns the {payloads}-byte payload area"
+                ),
+            });
+        }
+        self.offset = record_at + (PREFIX_LEN + body.len()) as u64;
+        let verdict = body.split_off(RECORD_FIXED + req_len);
+        let request = body[RECORD_FIXED..].to_vec();
+        Ok(Some(Record {
+            seq,
+            trace: TraceId::from_u64(trace),
+            status,
+            request,
+            verdict,
+        }))
+    }
+}
+
+/// Fills as much of `buf` as the stream has, retrying `Interrupted`;
+/// returns how many bytes landed (short only at EOF).
+fn read_up_to(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: u64) -> RecordData {
+        RecordData {
+            trace: TraceId::from_u64(i + 100),
+            status: (i % 6) as u8,
+            request: format!("{{\"req\":{i}}}").into_bytes(),
+            verdict: format!("verdict {i}").into_bytes(),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_the_binary_framing() {
+        let dir = std::env::temp_dir().join(format!("lxj-seg-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(segment_file_name(1));
+        let mut bytes = encode_header(1).to_vec();
+        for i in 0..10u64 {
+            encode_record(i + 1, &sample(i), &mut bytes);
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut reader = SegmentReader::open(&path, 1).unwrap();
+        for i in 0..10u64 {
+            let record = reader.read_record().unwrap().expect("record present");
+            let data = sample(i);
+            assert_eq!(record.seq, i + 1);
+            assert_eq!(record.trace, data.trace);
+            assert_eq!(record.status, data.status);
+            assert_eq!(record.request, data.request);
+            assert_eq!(record.verdict, data.verdict);
+        }
+        assert!(reader.read_record().unwrap().is_none(), "clean EOF");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_file_names_round_trip_and_reject_strays() {
+        assert_eq!(segment_file_name(42), "seg-00000000000000000042.lxj");
+        assert_eq!(
+            parse_segment_file_name(&segment_file_name(u64::MAX)),
+            Some(u64::MAX)
+        );
+        for stray in [
+            "README.md",
+            "seg-12.lxj",
+            "seg-abc.lxj",
+            "seg-00000000000000000042.tmp",
+        ] {
+            assert_eq!(parse_segment_file_name(stray), None, "{stray}");
+        }
+    }
+
+    #[test]
+    fn record_len_matches_the_encoded_size() {
+        let data = sample(7);
+        let mut out = Vec::new();
+        encode_record(7, &data, &mut out);
+        assert_eq!(out.len() as u64, record_len(&data));
+    }
+}

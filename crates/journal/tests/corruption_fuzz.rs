@@ -1,0 +1,353 @@
+//! Segment-format fuzzing: damage must be *detected*, precisely,
+//! without panicking — and the crash model must hold under any
+//! interleaving of rotation, crash, and recovery.
+//!
+//! Mirrors the wire crate's frame edge/fuzz style: build a known-good
+//! fixture, then attack it — truncation at every interesting cut point,
+//! seeded single-byte flips, spliced/reordered/missing segments — and
+//! assert the reader's verdict for each attack class:
+//!
+//! * **Strict mode** reports every defect as `Corrupt { segment,
+//!   offset, reason }` — a precise, actionable error, never a panic,
+//!   never a silently mis-parsed record.
+//! * **Recover mode** accepts exactly one defect shape (a damaged tail
+//!   in the final segment, reported as a truncation with the clean
+//!   prefix intact) and hard-errors on everything else — a gap, a
+//!   splice, damage in a sealed segment.
+//!
+//! The property test at the bottom is the sequence-contiguity
+//! guarantee from the issue: any interleaving of append-batches,
+//! rotations, torn crashes (raw `set_len` at a random offset), and
+//! recoveries leaves the journal a contiguous `1..=M` prefix whose
+//! payloads match what the writer accepted.
+
+use journal::segment::{segment_file_name, HEADER_LEN, PREFIX_LEN, RECORD_FIXED};
+use journal::{read_all, Journal, JournalConfig, JournalError, Mode, RecordData, SyncPolicy};
+use obs::TraceId;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn payload(seq: u64) -> RecordData {
+    RecordData {
+        trace: TraceId::from_u64(seq + 7),
+        status: (seq % 6) as u8,
+        request: format!("{{\"seq\":{seq},\"category\":\"device_forensics\"}}").into_bytes(),
+        verdict: format!("ok [{seq}]").into_bytes(),
+    }
+}
+
+fn temp_base(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lxj-fuzz-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("fuzz temp dir");
+    dir
+}
+
+/// Builds a clean journal of `n` records with tiny segments (so the
+/// fixture spans several files) and returns its directory.
+fn build_fixture(base: &Path, n: u64) -> PathBuf {
+    let dir = base.join("clean");
+    let (journal, recovery) = Journal::open(
+        &dir,
+        JournalConfig {
+            segment_bytes: 512,
+            queue_depth: 32,
+            sync: SyncPolicy::Never, // fixture build: durability irrelevant
+        },
+    )
+    .expect("fixture open");
+    assert_eq!(recovery.next_seq, 1);
+    for seq in 1..=n {
+        assert_eq!(journal.append(payload(seq)).expect("fixture append"), seq);
+    }
+    journal.close().expect("fixture close");
+    dir
+}
+
+/// Copies the fixture into a scratch dir for one attack.
+fn clone_fixture(fixture: &Path, base: &Path, tag: &str) -> PathBuf {
+    let dir = base.join(tag);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    for entry in fs::read_dir(fixture).expect("list fixture") {
+        let entry = entry.expect("fixture entry");
+        fs::copy(entry.path(), dir.join(entry.file_name())).expect("copy segment");
+    }
+    dir
+}
+
+fn segments_sorted(dir: &Path) -> Vec<PathBuf> {
+    let mut paths: Vec<_> = fs::read_dir(dir)
+        .expect("list dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    paths.sort();
+    paths
+}
+
+fn expect_corrupt(
+    result: Result<(Vec<journal::Record>, Option<journal::Truncation>), JournalError>,
+    what: &str,
+) {
+    match result {
+        Err(JournalError::Corrupt { offset, reason, .. }) => {
+            assert!(!reason.is_empty(), "{what}: reason must be actionable");
+            // The offset must point into the file, which every attack
+            // here keeps under a few KiB.
+            assert!(offset < 1 << 20, "{what}: nonsense offset {offset}");
+        }
+        Err(other) => panic!("{what}: wrong error class: {other}"),
+        Ok((records, trunc)) => panic!(
+            "{what}: damage not detected ({} records, truncation {trunc:?})",
+            records.len()
+        ),
+    }
+}
+
+/// Truncating the *last* segment at every single byte offset: strict
+/// mode must error (except at clean record boundaries); recover mode
+/// must yield exactly the records that fully precede the cut.
+#[test]
+fn truncation_at_every_offset_of_the_last_segment() {
+    let base = temp_base("trunc");
+    let fixture = build_fixture(&base, 40);
+    let last = segments_sorted(&fixture)
+        .pop()
+        .expect("fixture has segments");
+    let clean_len = fs::metadata(&last).expect("len").len();
+
+    // Learn the clean record boundaries of the last segment so we know
+    // which cuts are "invisible" (they look like a shorter clean file).
+    let (all_records, _) = read_all(&fixture, Mode::Strict).expect("clean fixture");
+    let total = all_records.len() as u64;
+    let mut boundaries = vec![HEADER_LEN];
+    {
+        let mut offset = HEADER_LEN;
+        let last_name = last.file_name().expect("name").to_str().expect("utf8");
+        let base_seq = journal::segment::parse_segment_file_name(last_name).expect("segment name");
+        for record in all_records.iter().filter(|r| r.seq >= base_seq) {
+            offset +=
+                (PREFIX_LEN + RECORD_FIXED + record.request.len() + record.verdict.len()) as u64;
+            boundaries.push(offset);
+        }
+        assert_eq!(offset, clean_len, "boundary math disagrees with the file");
+    }
+
+    for cut in 0..clean_len {
+        let dir = clone_fixture(&fixture, &base, "scratch");
+        let name = last.file_name().expect("name");
+        let target = dir.join(name);
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(&target)
+            .expect("open");
+        file.set_len(cut).expect("truncate");
+        drop(file);
+
+        let at_boundary = boundaries.contains(&cut);
+        let strict = read_all(&dir, Mode::Strict);
+        if at_boundary {
+            let (records, trunc) = strict.expect("cut at a record boundary is a clean file");
+            assert!(trunc.is_none());
+            assert!(records.len() as u64 <= total);
+        } else {
+            expect_corrupt(strict, &format!("strict, cut at {cut}"));
+        }
+
+        // Recover mode: always a clean contiguous prefix of records
+        // that fully precede the cut, never an error for tail damage.
+        let (records, trunc) =
+            read_all(&dir, Mode::Recover).unwrap_or_else(|e| panic!("recover, cut at {cut}: {e}"));
+        assert_eq!(trunc.is_some(), !at_boundary, "cut at {cut}");
+        // Records of the last segment that fully precede the cut; a cut
+        // inside the header drops the whole file (zero survivors).
+        let survivors = (boundaries.iter().filter(|b| **b <= cut).count() as u64).saturating_sub(1);
+        let base_records = total - (boundaries.len() as u64 - 1);
+        assert_eq!(
+            records.len() as u64,
+            base_records + survivors,
+            "cut at {cut}: wrong prefix length"
+        );
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(
+                record.seq,
+                i as u64 + 1,
+                "cut at {cut}: prefix not contiguous"
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&base);
+}
+
+/// Seeded single-byte flips across every segment: strict mode always
+/// detects; recover mode tolerates only last-segment record damage (as
+/// a truncation), and hard-errors on sealed-segment damage.
+#[test]
+fn single_byte_flips_are_detected_never_mis_parsed() {
+    let base = temp_base("flip");
+    let fixture = build_fixture(&base, 40);
+    let segments = segments_sorted(&fixture);
+    assert!(segments.len() >= 3, "fixture should span several segments");
+    let mut rng = 0x0001_CDC5_2012_u64;
+
+    for attack in 0..200 {
+        let dir = clone_fixture(&fixture, &base, "scratch");
+        let victim_index = (splitmix(&mut rng) as usize) % segments.len();
+        let name = segments[victim_index].file_name().expect("name");
+        let target = dir.join(name);
+        let mut bytes = fs::read(&target).expect("read segment");
+        let pos = (splitmix(&mut rng) as usize) % bytes.len();
+        let bit = 1u8 << (splitmix(&mut rng) % 8);
+        bytes[pos] ^= bit;
+        fs::write(&target, &bytes).expect("write flipped");
+
+        let what =
+            format!("attack {attack}: flip bit {bit:#04x} at {pos} in segment {victim_index}");
+        expect_corrupt(read_all(&dir, Mode::Strict), &format!("strict, {what}"));
+
+        let last = victim_index + 1 == segments.len();
+        match read_all(&dir, Mode::Recover) {
+            Ok((records, trunc)) if last && pos as u64 >= HEADER_LEN => {
+                // Tail damage: absorbed as a truncation, prefix intact.
+                assert!(trunc.is_some(), "recover, {what}: damage vanished");
+                for (i, record) in records.iter().enumerate() {
+                    assert_eq!(record.seq, i as u64 + 1, "recover, {what}");
+                }
+            }
+            Ok((_, trunc)) => panic!("recover, {what}: accepted sealed-segment damage ({trunc:?})"),
+            Err(JournalError::Corrupt { .. }) => {
+                // Header damage or sealed-segment damage: hard error in
+                // both modes — exactly the splice/tamper stance.
+                assert!(
+                    !last || (pos as u64) < HEADER_LEN,
+                    "recover, {what}: tail record damage should truncate, not error"
+                );
+            }
+            Err(other) => panic!("recover, {what}: wrong error class: {other}"),
+        }
+    }
+    let _ = fs::remove_dir_all(&base);
+}
+
+/// Spliced journals — a deleted middle segment, a renamed (re-based)
+/// segment, a duplicated base — are rejected with a contiguity error in
+/// both modes. This is the anti-tamper property: you cannot quietly
+/// remove or transplant a span of history.
+#[test]
+fn spliced_segment_chains_are_rejected() {
+    let base = temp_base("splice");
+    let fixture = build_fixture(&base, 40);
+    let segments = segments_sorted(&fixture);
+    assert!(segments.len() >= 3);
+
+    // Delete a middle segment → gap between bases.
+    let dir = clone_fixture(&fixture, &base, "gap");
+    fs::remove_file(dir.join(segments[1].file_name().expect("name"))).expect("remove middle");
+    expect_corrupt(
+        read_all(&dir, Mode::Strict),
+        "strict, missing middle segment",
+    );
+    expect_corrupt(
+        read_all(&dir, Mode::Recover),
+        "recover, missing middle segment",
+    );
+
+    // Rename a segment to a different base → header/name disagreement.
+    let dir = clone_fixture(&fixture, &base, "rebase");
+    let from = dir.join(segments[1].file_name().expect("name"));
+    fs::rename(&from, dir.join(segment_file_name(9999))).expect("rename");
+    expect_corrupt(read_all(&dir, Mode::Strict), "strict, re-based segment");
+    expect_corrupt(read_all(&dir, Mode::Recover), "recover, re-based segment");
+
+    // Replace a later segment with a copy of an earlier one (same name,
+    // transplanted content) → base mismatch, then seq discontinuity.
+    let dir = clone_fixture(&fixture, &base, "transplant");
+    fs::copy(
+        dir.join(segments[0].file_name().expect("name")),
+        dir.join(segments[2].file_name().expect("name")),
+    )
+    .expect("transplant");
+    expect_corrupt(read_all(&dir, Mode::Strict), "strict, transplanted segment");
+    expect_corrupt(
+        read_all(&dir, Mode::Recover),
+        "recover, transplanted segment",
+    );
+
+    let _ = fs::remove_dir_all(&base);
+}
+
+/// The contiguity property: a seeded interleaving of append-batches,
+/// segment rotations (tiny, randomized segment sizes), torn crashes
+/// (raw `set_len` of the last segment at a random offset — a tear
+/// strictly nastier than any real kill, since it can even eat synced
+/// bytes), and recoveries always leaves a journal whose scan is the
+/// contiguous prefix `1..=M` with byte-exact `payload(seq)` contents.
+/// Appends always resume at `recovery.next_seq`, so the deterministic
+/// payload function stays the ground truth across every cycle.
+#[test]
+fn rotation_crash_recovery_interleavings_preserve_contiguity() {
+    let base = temp_base("prop");
+    let mut rng = 0x1CDC_2012_u64 ^ 0x00F0_4E51;
+    for round in 0..20u32 {
+        let dir = base.join(format!("round-{round}"));
+        let _ = fs::remove_dir_all(&dir);
+        for cycle in 0..6 {
+            let (journal, recovery) = Journal::open(
+                &dir,
+                JournalConfig {
+                    segment_bytes: 256 + splitmix(&mut rng) % 512,
+                    queue_depth: 16,
+                    sync: SyncPolicy::GroupCommit,
+                },
+            )
+            .unwrap_or_else(|e| panic!("round {round} cycle {cycle}: recovery failed: {e}"));
+            let mut next = recovery.next_seq;
+            for _ in 0..splitmix(&mut rng) % 30 {
+                let got = journal
+                    .append_durable(payload(next))
+                    .unwrap_or_else(|e| panic!("round {round} cycle {cycle}: append: {e}"));
+                assert_eq!(got, next);
+                next += 1;
+            }
+            journal
+                .close()
+                .unwrap_or_else(|e| panic!("round {round} cycle {cycle}: close: {e}"));
+
+            // The journal is clean right now; verify before crashing.
+            let (records, trunc) = read_all(&dir, Mode::Strict)
+                .unwrap_or_else(|e| panic!("round {round} cycle {cycle}: strict scan: {e}"));
+            assert!(trunc.is_none());
+            assert_eq!(records.len() as u64, next - 1);
+            for (i, record) in records.iter().enumerate() {
+                let seq = i as u64 + 1;
+                let want = payload(seq);
+                assert_eq!(record.seq, seq, "round {round} cycle {cycle}: contiguity");
+                assert_eq!(record.request, want.request, "round {round} cycle {cycle}");
+                assert_eq!(record.verdict, want.verdict, "round {round} cycle {cycle}");
+            }
+
+            // Crash: tear the last segment at a random offset (possibly
+            // inside the header, possibly a no-op cut at EOF). The next
+            // cycle's open must absorb it.
+            if let Some(last) = segments_sorted(&dir).pop() {
+                let len = fs::metadata(&last).expect("len").len();
+                let cut = splitmix(&mut rng) % (len + 1);
+                let file = fs::OpenOptions::new()
+                    .write(true)
+                    .open(&last)
+                    .expect("open");
+                file.set_len(cut).expect("tear");
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+    let _ = fs::remove_dir_all(&base);
+}

@@ -109,6 +109,15 @@ impl Outcome {
             _ => None,
         }
     }
+
+    /// The canonical `{verdict} [{confidence}]` line for a completed
+    /// outcome ([`LegalAssessment::verdict_line`]) — the exact bytes
+    /// the wire layer sends and the request journal stores, so replay
+    /// can diff them byte-for-byte. `None` when there is no assessment
+    /// to render (timed out or shed).
+    pub fn verdict_line(&self) -> Option<String> {
+        self.assessment().map(|a| a.verdict_line())
+    }
 }
 
 /// `detail` code on a [`Stage::Queue`] span: the wait ended with a

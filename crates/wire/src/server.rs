@@ -38,6 +38,7 @@
 use crate::frame::{self, Explain, Frame, FrameError, Response, Status};
 use crate::metrics::{WireMetrics, WireMetricsSnapshot};
 use forensic_law::spec::ActionSpec;
+use journal::{Journal, RecordData};
 use obs::{Stage, TraceId};
 use service::prelude::*;
 use std::collections::VecDeque;
@@ -200,9 +201,35 @@ struct Shared {
     config: WireConfig,
     metrics: Arc<WireMetrics>,
     explain: Option<Arc<ExplainSink>>,
+    /// The durable request journal, when the server records one. Every
+    /// answered request — verdicts, bad requests, rejections — is
+    /// appended *before* its response frame is enqueued, so a drained
+    /// server plus a closed journal holds every acknowledged
+    /// disposition. The hot path pays one bounded-channel send; fsync
+    /// is the journal writer's group-commit problem.
+    journal: Option<Arc<Journal>>,
     draining: AtomicBool,
     conns: Mutex<Vec<Weak<Conn>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Appends one disposition to the journal, if one is attached.
+    ///
+    /// Append errors are deliberately not surfaced per-request: the
+    /// only way an append fails is the writer being closed or dead, a
+    /// terminal condition that `Journal::close` reports to whoever owns
+    /// the journal (the CLI turns it into a nonzero exit).
+    fn journal_record(&self, trace: TraceId, status: Status, request: Vec<u8>, verdict: Vec<u8>) {
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(RecordData {
+                trace,
+                status: status.as_byte(),
+                request,
+                verdict,
+            });
+        }
+    }
 }
 
 /// A running TCP front end over a [`ComplianceService`]. See the
@@ -243,6 +270,27 @@ impl WireServer {
         config: WireConfig,
         explain: Option<Arc<ExplainSink>>,
     ) -> io::Result<WireServer> {
+        WireServer::start_with_sinks(addr, service, config, explain, None)
+    }
+
+    /// [`start_with_explain`](Self::start_with_explain), plus an
+    /// optional durable request [`Journal`]: every answered request is
+    /// appended (trace id, status byte, raw request payload, verdict
+    /// bytes) before its response frame is enqueued. The journal stays
+    /// owned by the caller — close it *after* [`shutdown`](Self::shutdown)
+    /// so the drain's final responses are on disk, and treat a close
+    /// error as acknowledged-but-unjournaled responses.
+    ///
+    /// # Errors
+    ///
+    /// As for [`start`](Self::start).
+    pub fn start_with_sinks(
+        addr: impl ToSocketAddrs,
+        service: Arc<ComplianceService>,
+        config: WireConfig,
+        explain: Option<Arc<ExplainSink>>,
+        journal: Option<Arc<Journal>>,
+    ) -> io::Result<WireServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -253,6 +301,7 @@ impl WireServer {
             },
             metrics: Arc::new(WireMetrics::default()),
             explain,
+            journal,
             draining: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             handles: Mutex::new(Vec::new()),
@@ -511,9 +560,13 @@ fn run_connection(shared: &Arc<Shared>, stream: TcpStream) {
 /// line number and the summary, so remote output diffs byte-for-byte.
 fn verdict_payload(response: &ServiceResponse) -> (Status, Vec<u8>) {
     match &response.outcome {
-        Outcome::Completed(a) => (
+        Outcome::Completed(_) => (
             Status::Ok,
-            format!("{} [{}]", a.verdict(), a.confidence()).into_bytes(),
+            response
+                .outcome
+                .verdict_line()
+                .expect("completed outcomes render a verdict line")
+                .into_bytes(),
         ),
         Outcome::TimedOut => (Status::TimedOut, Vec::new()),
         Outcome::Shed => (Status::Shed, Vec::new()),
@@ -568,6 +621,15 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, request: frame::Reques
                     "[]",
                 ));
             }
+            // Bad requests are journaled too: the record's verdict
+            // bytes are the diagnostic, and replay re-asserts the
+            // payload *still* fails to parse.
+            shared.journal_record(
+                trace,
+                Status::BadRequest,
+                request.payload.clone(),
+                message.clone().into_bytes(),
+            );
             conn.send(
                 trace,
                 Response {
@@ -590,11 +652,26 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, request: frame::Reques
         let conn = Arc::clone(conn);
         let metrics = Arc::clone(metrics);
         let sink = shared.explain.clone();
+        let journal = shared.journal.clone();
+        // The raw request bytes ride into the observer only when a
+        // journal will store them; an unjournaled server clones nothing.
+        let journal_request = journal.is_some().then(|| request.payload.clone());
         let id = request.id;
         let want_explain = request.want_explain;
         Box::new(move |response: &ServiceResponse| {
             let (status, payload) = verdict_payload(response);
             metrics.record_latency(received.elapsed());
+            if let Some(journal) = &journal {
+                // Appended before the response frame is enqueued, so an
+                // acknowledged verdict is always at least *accepted* by
+                // the journal writer (and durable once it drains).
+                let _ = journal.append(RecordData {
+                    trace: response.trace,
+                    status: status.as_byte(),
+                    request: journal_request.unwrap_or_default(),
+                    verdict: payload.clone(),
+                });
+            }
             // The provenance JSON is built only when someone will read
             // it — the in-band explain section or the server sink.
             let provenance = if want_explain || sink.is_some() {
@@ -653,6 +730,14 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, request: frame::Reques
                 "[]",
             ));
         }
+        // Rejections are dispositions too: the request never reached a
+        // worker, but the journal still records that it was refused.
+        shared.journal_record(
+            trace,
+            status,
+            request.payload,
+            rejection.error.to_string().into_bytes(),
+        );
         conn.send(
             trace,
             Response {

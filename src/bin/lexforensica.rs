@@ -12,6 +12,7 @@
 //! $ lexforensica cite katz
 //! ```
 
+use lexforensica::journal::{Journal, JournalConfig, JournalReader, Mode, Record, RecordData};
 use lexforensica::law::batch::BatchAssessor;
 use lexforensica::law::casebook::{all_citations, lookup};
 use lexforensica::law::prelude::*;
@@ -19,10 +20,12 @@ use lexforensica::law::scenarios::table1;
 use lexforensica::service::cli::Args;
 use lexforensica::service::prelude::*;
 use lexforensica::spec::{
-    parse_actor, parse_category, parse_jsonl, parse_location, parse_temporality, SpecLine,
+    parse_actor, parse_category, parse_jsonl, parse_location, parse_temporality, ActionSpec,
+    LocatedError, SpecLine,
 };
 use lexforensica::wire::prelude::*;
 use std::collections::VecDeque;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -77,6 +80,10 @@ fn usage() -> ExitCode {
         --max-inflight N      pipelined requests per connection (default 64)
         --explain FILE        enable span tracing and log every answered
                               request's provenance record to FILE (JSONL)
+        --journal DIR         record every answered request (verdicts,
+                              bad requests, rejections) in the durable
+                              request journal at DIR; recovered and
+                              resumed if DIR already holds one
       prints \"listening on HOST:PORT\" on stderr (bind port 0 to let
       the OS pick), serves until stdin reaches EOF, then drains
       gracefully and prints wire + service metrics on stderr
@@ -87,6 +94,25 @@ fn usage() -> ExitCode {
         --deadline-ms D       per-request deadline in milliseconds
       malformed lines are reported with their line number and skipped;
       the exit code is then nonzero
+  lexforensica journal <file.jsonl | -> <DIR> [--threads N]
+      assess a JSONL batch and record every row in the durable request
+      journal at DIR (append-only, CRC-checksummed, segment-rotated):
+      each record stores the raw request line, the canonical verdict
+      bytes, a status byte, and a fresh trace id. Malformed lines are
+      journaled as bad-request records (diagnostic stored as the
+      response) and reported on stderr; the exit code is then nonzero.
+      Reopening an existing DIR recovers it (truncating a torn tail)
+      and appends at the next sequence number.
+  lexforensica replay <DIR> [--verify] [--threads N]
+      re-run a journaled session through the engine and diff it
+      byte-for-byte — the regression oracle: every ok record must
+      reproduce exactly the stored verdict bytes, every bad-request
+      record must still fail to parse. Divergences print as
+      \"record N: ...\" rows on stdout; corruption is reported as
+      \"SEGMENT offset N: reason\". The scan is read-only: a torn tail
+      is noted and the clean prefix replayed. --verify scans strictly
+      instead (any defect, torn tail included, fails). Exit is nonzero
+      on divergence or corruption.
   lexforensica cite <substring>
       search the casebook by citation or holding text"
     );
@@ -289,13 +315,7 @@ fn cmd_assess_batch(args: Args) -> ExitCode {
     let mut rows: Vec<_> = parsed.iter().zip(&assessments).collect();
     rows.sort_by_key(|(p, _)| p.line);
     for (p, assessment) in rows {
-        println!(
-            "#{} {} [{}] -- {}",
-            p.line,
-            assessment.verdict(),
-            assessment.confidence(),
-            p.summary
-        );
+        println!("#{} {} -- {}", p.line, assessment.verdict_line(), p.summary);
         if let Some(out) = explain.as_mut() {
             // Trace ids are minted here, per batch row in line order, so
             // a fresh process yields trace 1 for line 1 and so on — the
@@ -328,6 +348,265 @@ fn cmd_assess_batch(args: Args) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Opens (and, if needed, recovers) the request journal at `dir`,
+/// reporting what recovery found. Shared by `journal`, `replay`'s
+/// write-side sibling `serve --tcp --journal`, and anything else that
+/// appends.
+fn open_journal(dir: &str) -> Result<Journal, ExitCode> {
+    match Journal::open(Path::new(dir), JournalConfig::default()) {
+        Ok((journal, recovery)) => {
+            if let Some(t) = &recovery.truncation {
+                eprintln!(
+                    "journal: truncated torn tail of {} at offset {} ({} bytes lost: {})",
+                    t.segment.display(),
+                    t.offset,
+                    t.lost_bytes,
+                    t.reason
+                );
+            }
+            if recovery.records > 0 {
+                eprintln!(
+                    "journal: recovered {} records, resuming at seq {}",
+                    recovery.records, recovery.next_seq
+                );
+            }
+            Ok(journal)
+        }
+        Err(e) => {
+            eprintln!("cannot open journal {dir}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `journal FILE DIR`: assess a JSONL batch and record every row —
+/// verdicts and malformed lines alike — in the durable request journal.
+fn cmd_journal(args: Args) -> ExitCode {
+    let (Some(path), Some(dir)) = (args.positional(0), args.positional(1)) else {
+        return usage();
+    };
+    let threads = args.usize_flag(
+        "threads",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+    let input = match read_input(path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    let batch = parse_jsonl(&input);
+    for error in &batch.errors {
+        eprintln!("{}", error.located());
+    }
+    let raw_lines: Vec<&[u8]> = input.split(|&b| b == b'\n').collect();
+
+    let actions: Vec<_> = batch.lines.iter().map(|p| p.action.clone()).collect();
+    let assessor = BatchAssessor::new().with_threads(threads);
+    let (assessments, report) = assessor.assess_all_with_report(&actions);
+
+    // Merge verdict rows and malformed rows back into input order: the
+    // journal records the session as it happened, not just the wins.
+    enum Row {
+        Verdict(String),
+        Bad(String),
+    }
+    let mut rows: Vec<(usize, Row)> = batch
+        .lines
+        .iter()
+        .zip(&assessments)
+        .map(|(p, a)| (p.line, Row::Verdict(a.verdict_line())))
+        .chain(
+            batch
+                .errors
+                .iter()
+                .map(|e| (e.line, Row::Bad(e.error.to_string()))),
+        )
+        .collect();
+    rows.sort_by_key(|(line, _)| *line);
+
+    let journal = match open_journal(dir) {
+        Ok(journal) => journal,
+        Err(code) => return code,
+    };
+    let mut ok = 0u64;
+    let mut bad = 0u64;
+    let mut last_seq = 0u64;
+    for (line, row) in rows {
+        let request = raw_lines[line - 1].to_vec();
+        let (status, verdict) = match row {
+            Row::Verdict(verdict_line) => {
+                ok += 1;
+                (Status::Ok, verdict_line.into_bytes())
+            }
+            Row::Bad(reason) => {
+                bad += 1;
+                (Status::BadRequest, reason.into_bytes())
+            }
+        };
+        let data = RecordData {
+            // Trace ids are minted here, per row in line order — the
+            // same convention as assess-batch --explain.
+            trace: obs::TraceId::mint(),
+            status: status.as_byte(),
+            request,
+            verdict,
+        };
+        match journal.append(data) {
+            Ok(seq) => last_seq = seq,
+            Err(e) => {
+                eprintln!("journal append failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = journal.close() {
+        eprintln!("journal close failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "journaled {} records ({ok} ok, {bad} bad) through seq {last_seq} in {dir}",
+        ok + bad
+    );
+    eprintln!("{report}");
+    if bad > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `replay DIR`: the regression oracle. Re-runs every journaled request
+/// through the engine and diffs the outcome byte-for-byte against what
+/// the journal recorded.
+fn cmd_replay(args: Args) -> ExitCode {
+    let Some(dir) = args.positional(0) else {
+        return usage();
+    };
+    let verify = args.get("verify").is_some();
+    let threads = args.usize_flag(
+        "threads",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+    let mode = if verify { Mode::Strict } else { Mode::Recover };
+
+    // The scan is read-only: corruption is *reported* (uniformly, via
+    // the shared located-error shape), never repaired here.
+    let mut reader = match JournalReader::open(Path::new(dir), mode) {
+        Ok(reader) => reader,
+        Err(e) => {
+            eprintln!("cannot open journal {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut records: Vec<Record> = Vec::new();
+    loop {
+        match reader.next_record() {
+            Ok(Some(record)) => records.push(record),
+            Ok(None) => break,
+            Err(lexforensica::journal::JournalError::Corrupt {
+                segment,
+                offset,
+                reason,
+            }) => {
+                eprintln!(
+                    "{}",
+                    LocatedError::new(
+                        format_args!("{} offset {offset}", segment.display()),
+                        reason
+                    )
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("journal read failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(t) = reader.truncation() {
+        eprintln!(
+            "journal: torn tail in {} at offset {} ({} bytes, {}); replaying the clean prefix",
+            t.segment.display(),
+            t.offset,
+            t.lost_bytes,
+            t.reason
+        );
+    }
+
+    // Partition by journaled disposition. Only records that carried a
+    // deterministic outcome are re-checked: verdicts must reproduce
+    // exactly, bad requests must still fail to parse. Load-dependent
+    // dispositions (timeout, shed, rejected) are facts about the
+    // recorded run, not claims about the engine.
+    let parse = |payload: &[u8]| -> Result<InvestigativeAction, String> {
+        std::str::from_utf8(payload)
+            .map_err(|e| format!("payload is not UTF-8: {e}"))
+            .and_then(|line| {
+                ActionSpec::from_json_line(line)
+                    .and_then(|spec| spec.to_action())
+                    .map_err(|e| e.to_string())
+            })
+    };
+    let mut divergences: Vec<LocatedError> = Vec::new();
+    let mut to_assess: Vec<(u64, Vec<u8>, InvestigativeAction)> = Vec::new();
+    let mut bad_confirmed = 0u64;
+    let mut skipped = 0u64;
+    for record in &records {
+        match Status::from_byte(record.status) {
+            Some(Status::Ok) => match parse(&record.request) {
+                Ok(action) => to_assess.push((record.seq, record.verdict.clone(), action)),
+                Err(e) => divergences.push(LocatedError::new(
+                    format_args!("record {}", record.seq),
+                    format_args!("journaled ok but the payload no longer parses: {e}"),
+                )),
+            },
+            Some(Status::BadRequest) => match parse(&record.request) {
+                Err(_) => bad_confirmed += 1,
+                Ok(_) => divergences.push(LocatedError::new(
+                    format_args!("record {}", record.seq),
+                    "journaled bad-request but the payload now parses",
+                )),
+            },
+            _ => skipped += 1,
+        }
+    }
+
+    let actions: Vec<_> = to_assess.iter().map(|(_, _, a)| a.clone()).collect();
+    let assessor = BatchAssessor::new().with_threads(threads);
+    let (assessments, report) = assessor.assess_all_with_report(&actions);
+    let mut matched = 0u64;
+    for ((seq, journaled, _), assessment) in to_assess.iter().zip(&assessments) {
+        let live = assessment.verdict_line().into_bytes();
+        if &live == journaled {
+            matched += 1;
+        } else {
+            divergences.push(LocatedError::new(
+                format_args!("record {seq}"),
+                format_args!(
+                    "verdict diverged: journal says {:?}, engine now says {:?}",
+                    String::from_utf8_lossy(journaled),
+                    String::from_utf8_lossy(&live)
+                ),
+            ));
+        }
+    }
+
+    for divergence in &divergences {
+        println!("{divergence}");
+    }
+    eprintln!(
+        "replayed {} records: {matched} verdicts matched byte-for-byte, {bad_confirmed} \
+         bad-requests confirmed, {skipped} skipped (load-dependent status), {} divergence(s)",
+        records.len(),
+        divergences.len()
+    );
+    eprintln!("{report}");
+    if divergences.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -386,7 +665,20 @@ fn cmd_serve_tcp(args: &Args) -> ExitCode {
             }
         },
     };
-    let server = match WireServer::start_with_explain(addr, Arc::clone(&service), config, explain) {
+    let journal = match args.get("journal") {
+        None => None,
+        Some(dir) => match open_journal(dir) {
+            Ok(journal) => Some(Arc::new(journal)),
+            Err(code) => return code,
+        },
+    };
+    let server = match WireServer::start_with_sinks(
+        addr,
+        Arc::clone(&service),
+        config,
+        explain,
+        journal.clone(),
+    ) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");
@@ -403,6 +695,25 @@ fn cmd_serve_tcp(args: &Args) -> ExitCode {
     eprintln!("stdin closed; draining");
     let wire_finals = server.shutdown();
     eprintln!("wire metrics: {}", wire_finals.to_json());
+    let mut journal_failed = false;
+    if let Some(journal) = journal {
+        // All connection threads are joined, so this Arc is the last
+        // handle and close() sees every append the server issued.
+        match Arc::try_unwrap(journal) {
+            Ok(journal) => {
+                if let Err(e) = journal.close() {
+                    eprintln!("journal close failed: {e}");
+                    journal_failed = true;
+                } else {
+                    eprintln!("journal durable through seq {}", journal.durable_seq());
+                }
+            }
+            Err(_) => {
+                eprintln!("journal handle still shared after drain");
+                journal_failed = true;
+            }
+        }
+    }
     let Ok(service) = Arc::try_unwrap(service) else {
         // Every server thread has been joined, so this handle is the
         // last one; if not, report rather than hang.
@@ -411,16 +722,18 @@ fn cmd_serve_tcp(args: &Args) -> ExitCode {
     };
     let finals = service.shutdown();
     eprintln!("service metrics: {}", finals.to_json());
-    if finals.responses() == finals.accepted {
-        ExitCode::SUCCESS
-    } else {
+    if finals.responses() != finals.accepted {
         eprintln!(
             "lost responses: accepted {} answered {}",
             finals.accepted,
             finals.responses()
         );
-        ExitCode::FAILURE
+        return ExitCode::FAILURE;
     }
+    if journal_failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// `assess-remote ADDR FILE`: replay a JSONL batch over the wire
@@ -577,13 +890,9 @@ fn cmd_serve(args: Args) -> ExitCode {
         let response = ticket.map(Ticket::wait);
         match response.as_ref().map(|r| &r.outcome) {
             None => println!("#{} rejected -- {}", p.line, p.summary),
-            Some(Outcome::Completed(assessment)) => println!(
-                "#{} {} [{}] -- {}",
-                p.line,
-                assessment.verdict(),
-                assessment.confidence(),
-                p.summary
-            ),
+            Some(Outcome::Completed(assessment)) => {
+                println!("#{} {} -- {}", p.line, assessment.verdict_line(), p.summary);
+            }
             Some(Outcome::TimedOut) => println!("#{} timeout -- {}", p.line, p.summary),
             Some(Outcome::Shed) => println!("#{} shed -- {}", p.line, p.summary),
         }
@@ -653,6 +962,16 @@ fn main() -> ExitCode {
         Some("assess-batch") => cmd_assess_batch(Args::parse_from(args[1..].iter().cloned())),
         Some("assess-remote") => cmd_assess_remote(Args::parse_from(args[1..].iter().cloned())),
         Some("serve") => cmd_serve(Args::parse_from(args[1..].iter().cloned())),
+        Some("journal") => cmd_journal(Args::parse_from(args[1..].iter().cloned())),
+        // `--verify` is a bare switch; the Args parser only knows
+        // `--flag VALUE` pairs, so give it a value before parsing.
+        Some("replay") => cmd_replay(Args::parse_from(args[1..].iter().map(|a| {
+            if a == "--verify" {
+                "--verify=true".to_string()
+            } else {
+                a.clone()
+            }
+        }))),
         Some("cite") => match args.get(1) {
             Some(needle) => cmd_cite(needle),
             None => usage(),
