@@ -14,6 +14,47 @@ use bench::cli::Args;
 use bench::results::{self, Json, REGISTERED_DRIVERS};
 use std::process::ExitCode;
 
+/// Every sweep point the `wire_load` driver emits must carry these
+/// keys — the per-model comparison is useless if a point is missing
+/// its throughput, tail latency, or memory column.
+const WIRE_LOAD_POINT_KEYS: &[&str] = &[
+    "connections",
+    "total_requests",
+    "throughput_rps",
+    "rtt_p99_us",
+    "peak_rss_kb",
+];
+
+/// Structural check for the `wire_load` section: a `servers` object
+/// with at least one serving model, each holding a non-empty `sweep`
+/// whose points all carry the required columns.
+fn check_wire_load(section: &Json) -> Result<(), String> {
+    let Some(Json::Obj(servers)) = section.get("servers") else {
+        return Err("wire_load: missing \"servers\" object".into());
+    };
+    if servers.is_empty() {
+        return Err("wire_load: \"servers\" is empty".into());
+    }
+    for (model, entry) in servers {
+        let Some(Json::Arr(sweep)) = entry.get("sweep") else {
+            return Err(format!("wire_load.{model}: missing \"sweep\" array"));
+        };
+        if sweep.is_empty() {
+            return Err(format!("wire_load.{model}: sweep is empty"));
+        }
+        for (i, point) in sweep.iter().enumerate() {
+            for key in WIRE_LOAD_POINT_KEYS {
+                if !matches!(point.get(key), Some(Json::Num(_))) {
+                    return Err(format!(
+                        "wire_load.{model}: sweep point {i} lacks numeric {key:?}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let file = args
@@ -40,7 +81,19 @@ fn main() -> ExitCode {
     let mut missing = Vec::new();
     for &driver in REGISTERED_DRIVERS {
         match doc.get(driver) {
-            Some(Json::Obj(_)) => println!("ok: {driver}"),
+            Some(section @ Json::Obj(_)) => {
+                let shape = match driver {
+                    "wire_load" => check_wire_load(section),
+                    _ => Ok(()),
+                };
+                match shape {
+                    Ok(()) => println!("ok: {driver}"),
+                    Err(why) => {
+                        eprintln!("FAIL: {why}");
+                        missing.push(driver);
+                    }
+                }
+            }
             Some(_) => {
                 eprintln!("FAIL: section {driver:?} is not an object");
                 missing.push(driver);

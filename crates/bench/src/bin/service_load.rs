@@ -138,6 +138,7 @@ fn main() {
             policy: AdmissionPolicy::Block,
             default_deadline: None,
             engine_floor: Duration::from_micros(floor_us),
+            ..ServiceConfig::default()
         });
         let (wall, completed) = closed_loop(
             &service,
@@ -188,6 +189,7 @@ fn main() {
         policy: AdmissionPolicy::Block,
         default_deadline: None,
         engine_floor: Duration::ZERO,
+        ..ServiceConfig::default()
     });
     let (wall, completed) = closed_loop(&service, &patterns, seed, requests, 2);
     let finals = service.shutdown();
@@ -211,6 +213,7 @@ fn main() {
         policy: AdmissionPolicy::Reject,
         default_deadline: None,
         engine_floor: Duration::from_micros(floor_us),
+        ..ServiceConfig::default()
     });
 
     let start = Instant::now();

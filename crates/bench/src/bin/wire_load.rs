@@ -1,37 +1,49 @@
 //! Load driver for the `wire` crate: N pipelined connections over real
-//! loopback TCP against an in-process [`WireServer`], recording
-//! client-measured round-trip quantiles into `BENCH_results.json`
-//! under `wire_load`.
+//! loopback TCP against an in-process server, recording client-measured
+//! round-trip quantiles, throughput, and peak RSS per sweep point into
+//! `BENCH_results.json` under `wire_load` — one sweep per serving
+//! model, so the epoll event loop and the thread-per-connection server
+//! are directly comparable.
 //!
 //! ```console
 //! $ cargo run --release --bin wire_load -- [OPTIONS]
 //!     --requests N      requests per connection        (default 500)
-//!     --connections N   largest connection count swept (default 8)
+//!     --conns N         largest connection count swept (default 8;
+//!                       capped by the fd soft limit, loudly)
 //!     --pipeline N      in-flight window per connection (default 16)
+//!     --server MODEL    epoll|threaded|both (default both on Linux,
+//!                       threaded elsewhere)
+//!     --addr HOST:PORT  drive an external `serve --tcp` server instead
+//!                       of an in-process one (halves the fd cost per
+//!                       connection: 1 fd, not a loopback pair; books
+//!                       are asserted client-side only)
 //!     --workers N       service worker threads         (default: cores, min 4)
 //!     --capacity N      service queue capacity         (default 512)
 //!     --floor-us F      simulated engine floor, µs     (default 200)
 //!     --seed S          workload seed                  (default 42)
 //! ```
 //!
-//! One experiment: sweep 1, 2, 4, … connections, each pipelining
-//! `--pipeline` requests deep over its own socket, all multiplexed into
-//! the one bounded-queue service. The engine floor models a heavier
-//! assessment pipeline so connection scaling is visible (with a zero
-//! floor the cache answers everything at memory speed and the sweep
-//! measures only syscall overhead). Round trips are measured at the
-//! *client* — frame encode, loopback, queue, engine, response frame —
-//! into the same log-linear histogram the service uses.
+//! One experiment: sweep 1, 2, 4, … connections (plus `--conns` itself
+//! when it is not a power of two — `--conns 10000` ends on a true
+//! C10K point), each pipelining `--pipeline` requests deep, all
+//! multiplexed into the one bounded-queue service. On Linux the load
+//! generator is itself a single epoll readiness loop over nonblocking
+//! sockets (reusing `wire::sys`), so ten thousand client connections
+//! cost two threads, not twenty thousand. The thread-per-connection
+//! server's sweep is capped at [`THREADED_SWEEP_CAP`] connections —
+//! 2 OS threads per connection does not survive C10K, which is the
+//! point of the comparison — and the cap is always logged.
 //!
-//! The driver asserts zero lost responses at every point: every request
-//! submitted got exactly one `ok` answer, and the server's books agree.
+//! The driver asserts exactly-once delivery at every point: every
+//! request got exactly one `ok` answer (an unknown or repeated
+//! response id panics), and the server's books agree.
 
 use bench::cli::Args;
 use bench::results::{self, Json};
 use service::metrics::Histogram;
 use service::prelude::*;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use trials::derive_seed;
 use wire::prelude::*;
 
@@ -52,25 +64,318 @@ const LINES: &[&str] = &[
     r#"{"actor": "leo", "data": "content", "when": "stored", "where": "media", "flags": ["hash-search"], "describe": "forensic media sweep"}"#,
 ];
 
+/// Thread-per-connection serving spends 2 OS threads per socket; past
+/// this many connections the sweep would be benchmarking the thread
+/// scheduler's collapse, so the threaded model's sweep stops here
+/// (logged, never silent).
+const THREADED_SWEEP_CAP: usize = 512;
+
+/// Fds reserved for everything that is not a benchmark connection
+/// pair: listener, epoll instances, eventfd, stdio, and slack.
+const FD_HEADROOM: u64 = 64;
+
 /// Request `i` on connection `c` is a pure function of `(seed, c, i)`.
 fn line_for(seed: u64, c: u64, i: u64) -> &'static str {
     LINES[(derive_seed(seed.wrapping_add(c), i) % LINES.len() as u64) as usize]
 }
 
-/// One sweep point: `connections` client threads, each driving
-/// `requests` calls at `pipeline` depth. Returns (wall, rtt histogram).
-fn drive(
+/// The process's soft `RLIMIT_NOFILE`, probed from `/proc/self/limits`.
+#[cfg(target_os = "linux")]
+fn fd_soft_limit() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = text.lines().find(|l| l.starts_with("Max open files"))?;
+    // "Max open files   <soft>   <hard>   files"
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn fd_soft_limit() -> Option<u64> {
+    None
+}
+
+/// Peak resident set (`VmHWM`) in KiB. Covers server and load
+/// generator together — both live in this process.
+#[cfg(target_os = "linux")]
+fn peak_rss_kb() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = text.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn peak_rss_kb() -> Option<u64> {
+    None
+}
+
+/// Resets the RSS high-water mark so each sweep point reports its own
+/// peak. Best-effort: if the kernel refuses, `VmHWM` stays monotonic
+/// across points (still an upper bound, noted in the config).
+fn reset_peak_rss() -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::write("/proc/self/clear_refs", "5").is_ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
+/// Either serving model behind one handle.
+enum BenchServer {
+    Threaded(WireServer),
+    #[cfg(target_os = "linux")]
+    Event(EventServer),
+}
+
+impl BenchServer {
+    fn start(model: &str, service: &Arc<ComplianceService>) -> BenchServer {
+        match model {
+            "threaded" => BenchServer::Threaded(
+                WireServer::start("127.0.0.1:0", Arc::clone(service), WireConfig::default())
+                    .expect("bind loopback"),
+            ),
+            #[cfg(target_os = "linux")]
+            "epoll" => BenchServer::Event(
+                EventServer::start("127.0.0.1:0", Arc::clone(service), WireConfig::default())
+                    .expect("bind loopback"),
+            ),
+            other => unreachable!("unvalidated server model {other:?}"),
+        }
+    }
+
+    fn local_addr(&self) -> std::net::SocketAddr {
+        match self {
+            BenchServer::Threaded(s) => s.local_addr(),
+            #[cfg(target_os = "linux")]
+            BenchServer::Event(s) => s.local_addr(),
+        }
+    }
+
+    fn shutdown(self) -> WireMetricsSnapshot {
+        match self {
+            BenchServer::Threaded(s) => s.shutdown(),
+            #[cfg(target_os = "linux")]
+            BenchServer::Event(s) => s.shutdown().metrics,
+        }
+    }
+}
+
+/// The epoll load generator: every client connection nonblocking,
+/// driven by one readiness loop. Two threads total (generator +
+/// whatever the server uses), whatever the connection count.
+#[cfg(target_os = "linux")]
+mod epoll_gen {
+    use super::line_for;
+    use service::metrics::Histogram;
+    use std::collections::HashMap;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+    use std::os::fd::{AsRawFd as _, RawFd};
+    use std::time::Instant;
+    use wire::frame::{self, Frame, Request, Status, StreamDecoder};
+    use wire::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+    struct LoadConn {
+        stream: TcpStream,
+        decoder: StreamDecoder,
+        /// Encoded request frames not yet accepted by the kernel.
+        out: Vec<u8>,
+        out_off: usize,
+        /// Requests submitted (frame bytes queued) so far.
+        sent: u64,
+        /// Responses fully received so far.
+        done: u64,
+        /// Submit timestamps by request id; `remove` returning `None`
+        /// on a response is a duplicate or invented id — panic.
+        inflight: HashMap<u64, Instant>,
+        interest: u32,
+    }
+
+    impl LoadConn {
+        fn fd(&self) -> RawFd {
+            self.stream.as_raw_fd()
+        }
+
+        fn finished(&self, requests: u64) -> bool {
+            self.done == requests
+        }
+
+        /// Queues encoded frames until the pipeline window is full or
+        /// the budget is spent.
+        fn top_up(&mut self, seed: u64, c: u64, requests: u64, pipeline: usize) {
+            while self.inflight.len() < pipeline && self.sent < requests {
+                let id = self.sent;
+                let payload = line_for(seed, c, id).as_bytes().to_vec();
+                self.out
+                    .extend_from_slice(&frame::encode(&Frame::Request(Request {
+                        id,
+                        deadline_ms: 0,
+                        want_explain: false,
+                        payload,
+                    })));
+                self.inflight.insert(id, Instant::now());
+                self.sent += 1;
+            }
+        }
+
+        /// Writes queued bytes until drained or `WouldBlock`.
+        fn flush(&mut self) {
+            while self.out_off < self.out.len() {
+                match (&mut &self.stream).write(&self.out[self.out_off..]) {
+                    Ok(0) => panic!("server closed mid-load (write zero)"),
+                    Ok(n) => self.out_off += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                    Err(e) => panic!("load connection write failed: {e}"),
+                }
+            }
+            self.out.clear();
+            self.out_off = 0;
+        }
+
+        /// Reads until `WouldBlock`, decoding and accounting responses.
+        fn on_readable(&mut self, rtt: &Histogram, requests: u64) {
+            let mut buf = [0u8; 64 * 1024];
+            loop {
+                match (&mut &self.stream).read(&mut buf) {
+                    Ok(0) => panic!(
+                        "server hung up with {} of {requests} responses outstanding",
+                        requests - self.done
+                    ),
+                    Ok(n) => {
+                        self.decoder.extend(&buf[..n]);
+                        while let Some(frame) = self
+                            .decoder
+                            .next_frame()
+                            .expect("well-formed response stream")
+                        {
+                            let response = match frame {
+                                Frame::Response(response) => response,
+                                Frame::Request(_) => panic!("server sent a request"),
+                            };
+                            let sent_at = self
+                                .inflight
+                                .remove(&response.id)
+                                .expect("response id never sent, or answered twice");
+                            rtt.record(sent_at.elapsed());
+                            assert_eq!(response.status, Status::Ok, "unexpected in-band status");
+                            assert!(!response.payload.is_empty(), "verdict payload missing");
+                            self.done += 1;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                    Err(e) => panic!("load connection read failed: {e}"),
+                }
+            }
+        }
+    }
+
+    /// One sweep point, epoll-driven. Returns the wall time; records
+    /// every round trip into `rtt`.
+    pub fn drive(
+        addr: std::net::SocketAddr,
+        connections: usize,
+        requests: u64,
+        pipeline: usize,
+        seed: u64,
+        rtt: &Histogram,
+    ) -> std::time::Duration {
+        let epoll = Epoll::new().expect("load epoll");
+        let start = Instant::now();
+        let mut conns = Vec::with_capacity(connections);
+        for c in 0..connections {
+            let stream = TcpStream::connect(addr).expect("dial loopback");
+            stream.set_nodelay(true).expect("nodelay");
+            stream.set_nonblocking(true).expect("nonblocking");
+            let mut conn = LoadConn {
+                stream,
+                decoder: StreamDecoder::new(frame::MAX_FRAME),
+                out: Vec::new(),
+                out_off: 0,
+                sent: 0,
+                done: 0,
+                inflight: HashMap::with_capacity(pipeline),
+                interest: EPOLLIN | EPOLLOUT,
+            };
+            conn.top_up(seed, c as u64, requests, pipeline);
+            epoll
+                .add(conn.fd(), conn.interest, c as u64)
+                .expect("register load connection");
+            conns.push(conn);
+        }
+
+        let mut remaining = conns.iter().filter(|c| !c.finished(requests)).count();
+        let mut events = vec![EpollEvent::default(); 1024];
+        while remaining > 0 {
+            let n = match epoll.wait(&mut events, None) {
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("load epoll_wait failed: {e}"),
+            };
+            for ev in &events[..n] {
+                // Copies first: the struct is packed on x86-64.
+                let idx = { ev.data } as usize;
+                let mask = { ev.events };
+                let conn = &mut conns[idx];
+                if conn.finished(requests) {
+                    continue;
+                }
+                if mask & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0 {
+                    conn.on_readable(rtt, requests);
+                }
+                // Completions freed window slots: queue more, write
+                // whatever the socket accepts right now.
+                conn.top_up(seed, idx as u64, requests, pipeline);
+                conn.flush();
+                if conn.finished(requests) {
+                    assert!(
+                        conn.inflight.is_empty() && conn.out_off >= conn.out.len(),
+                        "finished with requests un-flushed or unanswered"
+                    );
+                    epoll.delete(conn.fd()).expect("deregister load connection");
+                    remaining -= 1;
+                    continue;
+                }
+                let want = EPOLLIN
+                    | if conn.out_off < conn.out.len() {
+                        EPOLLOUT
+                    } else {
+                        0
+                    };
+                if want != conn.interest {
+                    epoll
+                        .modify(conn.fd(), want, idx as u64)
+                        .expect("rearm load connection");
+                    conn.interest = want;
+                }
+            }
+        }
+        let wall = start.elapsed();
+        for conn in &conns {
+            assert_eq!(conn.done, requests, "a connection under-delivered");
+        }
+        wall
+    }
+}
+
+/// Thread-per-connection load generator: the portable fallback, and
+/// the shape the pre-epoll driver used.
+#[cfg(not(target_os = "linux"))]
+fn drive_threads(
     addr: std::net::SocketAddr,
     connections: usize,
     requests: u64,
     pipeline: usize,
     seed: u64,
-) -> (Duration, Arc<Histogram>) {
-    let rtt = Arc::new(Histogram::default());
+    rtt: &Arc<Histogram>,
+) -> Duration {
+    use std::time::Instant;
     let start = Instant::now();
     std::thread::scope(|scope| {
         for c in 0..connections as u64 {
-            let rtt = Arc::clone(&rtt);
+            let rtt = Arc::clone(rtt);
             scope.spawn(move || {
                 let client = WireClient::connect(addr).expect("dial loopback");
                 let mut window = std::collections::VecDeque::with_capacity(pipeline);
@@ -94,13 +399,46 @@ fn drive(
             });
         }
     });
-    (start.elapsed(), rtt)
+    start.elapsed()
+}
+
+/// One sweep point with the platform's load generator.
+fn drive(
+    addr: std::net::SocketAddr,
+    connections: usize,
+    requests: u64,
+    pipeline: usize,
+    seed: u64,
+) -> (Duration, Arc<Histogram>) {
+    let rtt = Arc::new(Histogram::default());
+    #[cfg(target_os = "linux")]
+    let wall = epoll_gen::drive(addr, connections, requests, pipeline, seed, &rtt);
+    #[cfg(not(target_os = "linux"))]
+    let wall = drive_threads(addr, connections, requests, pipeline, seed, &rtt);
+    (wall, rtt)
+}
+
+/// Doubling sweep 1, 2, 4, … ≤ max, always ending on `max` itself.
+fn sweep_points(max: usize) -> Vec<usize> {
+    let mut sweep = vec![1usize];
+    while *sweep.last().expect("non-empty") * 2 <= max {
+        sweep.push(sweep.last().expect("non-empty") * 2);
+    }
+    if *sweep.last().expect("non-empty") != max {
+        sweep.push(max);
+    }
+    sweep
 }
 
 fn main() {
     let args = Args::parse();
     let requests = args.u64_flag("requests", 500);
-    let max_connections = args.usize_flag("connections", 8).max(1);
+    // `--conns` is the documented spelling; `--connections` still works.
+    let requested_max = args
+        .get("conns")
+        .map(|_| args.usize_flag("conns", 8))
+        .unwrap_or_else(|| args.usize_flag("connections", 8))
+        .max(1);
     let pipeline = args.usize_flag("pipeline", 16).max(1);
     // The engine floor is a sleep, so workers overlap it even on one
     // core — keep at least 4 so connection scaling is visible on small
@@ -114,65 +452,138 @@ fn main() {
     let capacity = args.usize_flag("capacity", 512);
     let floor_us = args.u64_flag("floor-us", 200);
     let seed = args.u64_flag("seed", 42);
+    let external = args.get("addr").map(str::to_string);
+    let default_server = if cfg!(target_os = "linux") {
+        "both"
+    } else {
+        "threaded"
+    };
+    let server_flag = args.get("server").unwrap_or(default_server).to_string();
+    let models: Vec<&str> = if external.is_some() {
+        vec!["external"]
+    } else {
+        match server_flag.as_str() {
+            "both" => vec!["epoll", "threaded"],
+            m @ ("epoll" | "threaded") => vec![m],
+            other => {
+                eprintln!("unknown --server {other:?} (epoll|threaded|both)");
+                std::process::exit(2);
+            }
+        }
+    };
+    if !cfg!(target_os = "linux") && models.contains(&"epoll") {
+        eprintln!("--server epoll requires Linux (epoll); use --server threaded");
+        std::process::exit(2);
+    }
 
+    // Never let the sweep run the process out of fds: each in-process
+    // connection is two of them (client end + server end); against an
+    // external server only the client end lives here. A probe failure
+    // caps conservatively rather than silently — the cap is always
+    // printed and recorded.
+    let fds_per_conn: u64 = if external.is_some() { 1 } else { 2 };
+    let soft_limit = fd_soft_limit();
+    let conn_cap = soft_limit
+        .map(|soft| (soft.saturating_sub(FD_HEADROOM) / fds_per_conn) as usize)
+        .unwrap_or(THREADED_SWEEP_CAP)
+        .max(1);
+    let max_connections = requested_max.min(conn_cap);
     println!(
         "wire_load: {} line pool, seed {seed}, floor {floor_us}us, {workers} workers, pipeline {pipeline}",
         LINES.len()
     );
+    match soft_limit {
+        Some(soft) => println!(
+            "fd probe: soft limit {soft}, {fds_per_conn} fd(s) per connection → \
+             at most {conn_cap} connections (headroom {FD_HEADROOM})"
+        ),
+        None => println!("fd probe: unavailable; assuming at most {conn_cap} connections"),
+    }
+    if max_connections < requested_max {
+        println!(
+            "CAPPED: sweeping to {max_connections} connections, not the requested \
+             {requested_max} (raise ulimit -n to go higher)"
+        );
+    }
+    let rss_resets = reset_peak_rss();
+    if !rss_resets {
+        println!("note: peak-RSS reset unavailable; per-point peak_rss_kb is monotonic");
+    }
     bench::rule(76);
 
-    let mut sweep = vec![1usize];
-    while *sweep.last().expect("non-empty") * 2 <= max_connections {
-        sweep.push(sweep.last().expect("non-empty") * 2);
-    }
+    let mut servers_json = Json::obj();
+    for model in &models {
+        let model_max = if *model == "threaded" {
+            let capped = max_connections.min(THREADED_SWEEP_CAP);
+            if capped < max_connections {
+                println!(
+                    "threaded sweep capped at {capped} connections \
+                     (2 OS threads per connection; the epoll sweep goes to {max_connections})"
+                );
+            }
+            capped
+        } else {
+            max_connections
+        };
 
-    let mut points = Vec::new();
-    let mut base_rps = 0.0;
-    for &connections in &sweep {
-        let service = Arc::new(ComplianceService::start(ServiceConfig {
-            workers,
-            capacity,
-            policy: AdmissionPolicy::Block,
-            default_deadline: None,
-            engine_floor: Duration::from_micros(floor_us),
-        }));
-        let server = WireServer::start("127.0.0.1:0", Arc::clone(&service), WireConfig::default())
-            .expect("bind loopback");
-        let addr = server.local_addr();
+        let mut points = Vec::new();
+        let mut base_rps = 0.0;
+        for &connections in &sweep_points(model_max) {
+            reset_peak_rss();
+            let total = requests * connections as u64;
+            let (wall, rtt, wire_finals) = match &external {
+                Some(target) => {
+                    use std::net::ToSocketAddrs as _;
+                    let addr = target
+                        .to_socket_addrs()
+                        .expect("resolve --addr")
+                        .next()
+                        .expect("--addr resolves to an address");
+                    let (wall, rtt) = drive(addr, connections, requests, pipeline, seed);
+                    (wall, rtt, None)
+                }
+                None => {
+                    let service = Arc::new(ComplianceService::start(ServiceConfig {
+                        workers,
+                        capacity,
+                        policy: AdmissionPolicy::Block,
+                        default_deadline: None,
+                        engine_floor: Duration::from_micros(floor_us),
+                        ..ServiceConfig::default()
+                    }));
+                    let server = BenchServer::start(model, &service);
+                    let addr = server.local_addr();
+                    let (wall, rtt) = drive(addr, connections, requests, pipeline, seed);
+                    let wire_finals = server.shutdown();
+                    let finals = Arc::try_unwrap(service)
+                        .expect("server drained; last handle")
+                        .shutdown();
+                    assert_eq!(wire_finals.frames_in, total, "server missed request frames");
+                    assert_eq!(wire_finals.frames_out, total, "server lost response frames");
+                    assert_eq!(wire_finals.protocol_errors, 0, "protocol errors under load");
+                    assert_eq!(
+                        finals.responses(),
+                        finals.accepted,
+                        "service lost a response"
+                    );
+                    (wall, rtt, Some(wire_finals))
+                }
+            };
+            // Client-side exactly-once holds in both modes: every id
+            // was answered exactly once (duplicates panic in `drive`).
+            let rtt = rtt.snapshot();
+            assert_eq!(rtt.count, total, "client reaped a different response count");
+            let rss_kb = peak_rss_kb().unwrap_or(0);
 
-        let total = requests * connections as u64;
-        let (wall, rtt) = drive(addr, connections, requests, pipeline, seed);
-        let wire_finals = server.shutdown();
-        let finals = Arc::try_unwrap(service)
-            .expect("server drained; last handle")
-            .shutdown();
-
-        assert_eq!(wire_finals.frames_in, total, "server missed request frames");
-        assert_eq!(wire_finals.frames_out, total, "server lost response frames");
-        assert_eq!(wire_finals.protocol_errors, 0, "protocol errors under load");
-        assert_eq!(
-            finals.responses(),
-            finals.accepted,
-            "service lost a response"
-        );
-        let rtt = rtt.snapshot();
-        assert_eq!(rtt.count, total, "client reaped a different response count");
-
-        let rps = total as f64 / wall.as_secs_f64();
-        if connections == 1 {
-            base_rps = rps;
-        }
-        println!(
-            "wire  {connections:>2} conns  {:>9.1?}  {:>9.0} req/s  {:>5.2}x vs 1 conn  rtt p50 {}us p95 {}us p99 {}us",
-            wall,
-            rps,
-            rps / base_rps,
-            rtt.p50_us,
-            rtt.p95_us,
-            rtt.p99_us
-        );
-        points.push(
-            Json::obj()
+            let rps = total as f64 / wall.as_secs_f64();
+            if connections == 1 {
+                base_rps = rps;
+            }
+            println!(
+                "{model:>8}  {connections:>5} conns  {:>9.1?}  {:>9.0} req/s  {:>5.2}x vs 1 conn  p99 {}us  rss {}KiB",
+                wall, rps, rps / base_rps, rtt.p99_us, rss_kb
+            );
+            let mut point = Json::obj()
                 .set("connections", connections)
                 .set("requests_per_connection", requests)
                 .set("total_requests", total)
@@ -183,9 +594,22 @@ fn main() {
                 .set("rtt_p95_us", rtt.p95_us)
                 .set("rtt_p99_us", rtt.p99_us)
                 .set("rtt_max_us", rtt.max_us)
-                .set("peak_inflight", wire_finals.peak_inflight)
-                .set("bytes_in", wire_finals.bytes_in)
-                .set("bytes_out", wire_finals.bytes_out),
+                .set("peak_rss_kb", rss_kb);
+            if let Some(finals) = wire_finals {
+                point = point
+                    .set("peak_inflight", finals.peak_inflight)
+                    .set("wakeups", finals.wakeups)
+                    .set("writev_batches", finals.writev_batches)
+                    .set("bytes_in", finals.bytes_in)
+                    .set("bytes_out", finals.bytes_out);
+            }
+            points.push(point);
+        }
+        servers_json = servers_json.set(
+            model,
+            Json::obj()
+                .set("connections_max", model_max)
+                .set("sweep", Json::Arr(points)),
         );
     }
 
@@ -196,15 +620,23 @@ fn main() {
             "config",
             Json::obj()
                 .set("requests_per_connection", requests)
+                .set("connections_requested", requested_max)
                 .set("connections_max", max_connections)
+                .set("fd_soft_limit", soft_limit.map_or(Json::Null, Json::from))
+                .set("fd_conn_cap", conn_cap)
+                .set(
+                    "external_addr",
+                    external.as_deref().map_or(Json::Null, Json::from),
+                )
+                .set("rss_resets_per_point", rss_resets)
                 .set("pipeline", pipeline)
                 .set("workers", workers)
                 .set("capacity", capacity)
                 .set("floor_us", floor_us)
                 .set("seed", seed),
         )
-        .set("sweep", Json::Arr(points));
+        .set("servers", servers_json);
     results::record("wire_load", section).expect("write BENCH_results.json");
     println!("wrote {}", results::RESULTS_FILE);
-    println!("zero lost responses across the sweep");
+    println!("zero lost or duplicated responses across every sweep");
 }

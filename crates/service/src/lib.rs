@@ -9,9 +9,15 @@
 //! triage, and answer under time pressure — and say *no* gracefully when
 //! saturated. This crate supplies that spine, std-only:
 //!
-//! * [`queue`] — a bounded MPMC queue (`Mutex` + `Condvar`) with an
-//!   explicit [`AdmissionPolicy`]: `Block`, `Reject` (shed load with a
-//!   typed error), or `DropOldest`.
+//! * [`queue`] — the [`AdmissionQueue`] trait with an explicit
+//!   [`AdmissionPolicy`] (`Block`, `Reject` — shed load with a typed
+//!   error — or `DropOldest`) and its original `Mutex` + `Condvar`
+//!   implementation, [`BoundedQueue`].
+//! * [`mpmc`] — [`MpmcRing`], the lock-free bounded MPMC
+//!   implementation of the same trait (claim-then-publish per-slot
+//!   sequencing, parked-waiter fallback for blocking paths); the
+//!   default admission queue, selectable at runtime via
+//!   [`QueueKind`] (`--queue lockfree|locked`).
 //! * [`service`] — [`ComplianceService`]: a worker pool draining the
 //!   queue through a shared sharded `VerdictCache`, per-request
 //!   deadlines (stale requests are answered `TimedOut` without burning
@@ -41,17 +47,22 @@
 //! assert_eq!(finals.responses(), finals.accepted);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the lock-free MPMC admission ring needs
+// `UnsafeCell` slot storage, scoped behind a module-level allow with the
+// safety argument documented at each site. Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod cli;
 pub mod metrics;
+pub mod mpmc;
 pub mod queue;
 pub mod service;
 
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
-pub use queue::{AdmissionPolicy, BoundedQueue, PushError};
+pub use mpmc::MpmcRing;
+pub use queue::{AdmissionPolicy, AdmissionQueue, BoundedQueue, PushError, QueueKind};
 pub use service::{
     ComplianceService, ObservedRejection, Outcome, ResponseObserver, ServiceConfig,
     ServiceResponse, SubmitError, Ticket,
@@ -60,7 +71,7 @@ pub use service::{
 /// The names most callers want in scope.
 pub mod prelude {
     pub use crate::metrics::MetricsSnapshot;
-    pub use crate::queue::AdmissionPolicy;
+    pub use crate::queue::{AdmissionPolicy, QueueKind};
     pub use crate::service::{
         ComplianceService, ObservedRejection, Outcome, ResponseObserver, ServiceConfig,
         ServiceResponse, SubmitError, Ticket,

@@ -59,6 +59,109 @@ impl std::fmt::Display for AdmissionPolicy {
     }
 }
 
+/// Which admission-queue implementation a service should run on.
+///
+/// Both implement [`AdmissionQueue`] with identical semantics; the
+/// difference is purely mechanical. `Lockfree` is the default — the
+/// [`MpmcRing`](crate::mpmc::MpmcRing) claim-then-publish ring whose
+/// producers do not serialize on a mutex. `Locked` keeps the original
+/// `Mutex`+`Condvar` [`BoundedQueue`] available for differential
+/// testing and as the reference model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// The lock-free bounded MPMC ring ([`crate::mpmc::MpmcRing`]).
+    #[default]
+    Lockfree,
+    /// The `Mutex`+`Condvar` [`BoundedQueue`].
+    Locked,
+}
+
+impl QueueKind {
+    /// Parses the CLI vocabulary: `lockfree`, `locked`.
+    pub fn parse(word: &str) -> Option<QueueKind> {
+        Some(match word {
+            "lockfree" => QueueKind::Lockfree,
+            "locked" => QueueKind::Locked,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for QueueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            QueueKind::Lockfree => "lockfree",
+            QueueKind::Locked => "locked",
+        })
+    }
+}
+
+/// The admission-queue interface the service is wired against: what
+/// [`ComplianceService`](crate::service::ComplianceService) actually
+/// needs from a queue, split out so the `Mutex`-based [`BoundedQueue`]
+/// and the lock-free [`MpmcRing`](crate::mpmc::MpmcRing) are drop-in
+/// interchangeable (and differentially testable against each other).
+///
+/// The contract, shared by every implementation:
+///
+/// * `offer` admits under an [`AdmissionPolicy`]; evicted victims (only
+///   under `DropOldest`) are handed back so their owners can still be
+///   answered. A lock-free implementation may evict more than one
+///   victim when racing producers win the freed slot — hence `Vec`.
+/// * `take_wait` blocks while the queue is empty and open, and returns
+///   `None` only once the queue is closed *and* drained — nothing
+///   admitted is ever silently dropped.
+/// * `close` is idempotent, wakes every waiter, and leaves queued items
+///   poppable.
+pub trait AdmissionQueue<T>: Send + Sync {
+    /// Pushes under `policy`; on success returns any evicted victims.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] once closed (any policy); [`PushError::Full`]
+    /// at capacity under [`AdmissionPolicy::Reject`].
+    fn offer(&self, item: T, policy: AdmissionPolicy) -> Result<Vec<T>, PushError<T>>;
+    /// Pops the oldest item, waiting while the queue is empty and open;
+    /// `None` only once closed and drained.
+    fn take_wait(&self) -> Option<T>;
+    /// Pops the oldest item if one is available, without waiting.
+    fn try_take(&self) -> Option<T>;
+    /// Closes the queue (idempotent): wakes waiters, stops admission,
+    /// keeps queued items poppable.
+    fn close(&self);
+    /// Items currently queued (may be racy for lock-free queues).
+    fn queued(&self) -> usize;
+    /// The configured capacity.
+    fn capacity(&self) -> usize;
+}
+
+impl<T: Send> AdmissionQueue<T> for BoundedQueue<T> {
+    fn offer(&self, item: T, policy: AdmissionPolicy) -> Result<Vec<T>, PushError<T>> {
+        self.push(item, policy)
+            .map(|evicted| evicted.into_iter().collect())
+    }
+
+    fn take_wait(&self) -> Option<T> {
+        self.pop_wait()
+    }
+
+    fn try_take(&self) -> Option<T> {
+        self.try_pop()
+    }
+
+    fn close(&self) {
+        BoundedQueue::close(self);
+    }
+
+    fn queued(&self) -> usize {
+        self.len()
+    }
+
+    fn capacity(&self) -> usize {
+        BoundedQueue::capacity(self)
+    }
+}
+
 /// Why a push did not land, with the item handed back.
 #[derive(Debug)]
 pub enum PushError<T> {

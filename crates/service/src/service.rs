@@ -22,7 +22,8 @@
 //! nothing is answered twice (double-fulfilment panics).
 
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
-use crate::queue::{AdmissionPolicy, BoundedQueue, PushError};
+use crate::mpmc::MpmcRing;
+use crate::queue::{AdmissionPolicy, AdmissionQueue, BoundedQueue, PushError, QueueKind};
 use forensic_law::action::InvestigativeAction;
 use forensic_law::assessment::LegalAssessment;
 use forensic_law::batch::VerdictCache;
@@ -53,6 +54,10 @@ pub struct ServiceConfig {
     /// small CI machines as on big ones. `ZERO` (the default) means real
     /// engine cost only.
     pub engine_floor: Duration,
+    /// Which admission-queue implementation to run on: the lock-free
+    /// MPMC ring (default) or the legacy `Mutex`+`Condvar` queue, kept
+    /// for differential testing. Semantics are identical.
+    pub queue: QueueKind,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +68,7 @@ impl Default for ServiceConfig {
             policy: AdmissionPolicy::Block,
             default_deadline: None,
             engine_floor: Duration::ZERO,
+            queue: QueueKind::default(),
         }
     }
 }
@@ -261,14 +267,23 @@ impl Job {
 
 /// A long-running, load-tolerant compliance request server over the
 /// `forensic-law` engine. See the [module docs](self).
-#[derive(Debug)]
 pub struct ComplianceService {
-    queue: Arc<BoundedQueue<Job>>,
+    queue: Arc<dyn AdmissionQueue<Job>>,
     policy: AdmissionPolicy,
     default_deadline: Option<Duration>,
     metrics: Arc<ServiceMetrics>,
     cache: Arc<VerdictCache>,
     workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ComplianceService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComplianceService")
+            .field("policy", &self.policy)
+            .field("queue_depth", &self.queue.queued())
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl std::fmt::Debug for Job {
@@ -287,7 +302,10 @@ impl ComplianceService {
     /// service can inherit entries warmed by earlier batch runs (or by a
     /// previous incarnation of itself).
     pub fn start_with_cache(config: ServiceConfig, cache: Arc<VerdictCache>) -> Self {
-        let queue = Arc::new(BoundedQueue::new(config.capacity));
+        let queue: Arc<dyn AdmissionQueue<Job>> = match config.queue {
+            QueueKind::Lockfree => Arc::new(MpmcRing::new(config.capacity)),
+            QueueKind::Locked => Arc::new(BoundedQueue::new(config.capacity)),
+        };
         let metrics = Arc::new(ServiceMetrics::default());
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -295,7 +313,7 @@ impl ComplianceService {
                 let metrics = Arc::clone(&metrics);
                 let cache = Arc::clone(&cache);
                 let floor = config.engine_floor;
-                std::thread::spawn(move || worker_loop(&queue, &metrics, &cache, floor))
+                std::thread::spawn(move || worker_loop(queue.as_ref(), &metrics, &cache, floor))
             })
             .collect();
         ComplianceService {
@@ -395,13 +413,15 @@ impl ComplianceService {
             trace,
             notify,
         };
-        match self.queue.push(job, self.policy) {
+        match self.queue.offer(job, self.policy) {
             Ok(evicted) => {
                 self.metrics.accepted.inc();
-                if let Some(old) = evicted {
-                    // The producer that caused the eviction answers the
+                for old in evicted {
+                    // The producer that caused the eviction answers each
                     // victim, so the invariant holds without any worker
-                    // involvement.
+                    // involvement. (The lock-free ring can evict more
+                    // than one victim when racing producers win the
+                    // freed slot.)
                     self.metrics.evicted.inc();
                     let waited = old.admitted.elapsed();
                     self.metrics.end_to_end.record(waited);
@@ -447,12 +467,12 @@ impl ComplianceService {
         for worker in self.workers.drain(..) {
             worker.join().expect("worker thread panicked");
         }
-        self.metrics.snapshot(self.queue.len())
+        self.metrics.snapshot(self.queue.queued())
     }
 
     /// Live metrics (counters are running totals; histograms cumulative).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.queue.len())
+        self.metrics.snapshot(self.queue.queued())
     }
 
     /// The shared verdict cache the workers assess through.
@@ -462,7 +482,7 @@ impl ComplianceService {
 
     /// Requests currently queued (admitted, not yet picked up).
     pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        self.queue.queued()
     }
 
     /// The configured admission policy.
@@ -483,14 +503,14 @@ impl Drop for ComplianceService {
 }
 
 fn worker_loop(
-    queue: &BoundedQueue<Job>,
+    queue: &dyn AdmissionQueue<Job>,
     metrics: &ServiceMetrics,
     cache: &VerdictCache,
     floor: Duration,
 ) {
     let engine = ComplianceEngine::new();
     let log = obs::global();
-    while let Some(job) = queue.pop_wait() {
+    while let Some(job) = queue.take_wait() {
         let picked_up = Instant::now();
         let waited = picked_up.duration_since(job.admitted);
         metrics.queue_wait.record(waited);
@@ -583,6 +603,7 @@ mod tests {
             policy,
             default_deadline: None,
             engine_floor: Duration::from_millis(30),
+            ..ServiceConfig::default()
         }
     }
 

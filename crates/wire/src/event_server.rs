@@ -1,0 +1,968 @@
+//! The event-driven TCP serving layer: one epoll readiness loop
+//! multiplexing every connection, instead of two threads per socket.
+//!
+//! # Why
+//!
+//! The threaded [`WireServer`](crate::server::WireServer) spends two
+//! stacks (~16 MiB of address space) and two schedulable entities per
+//! connection. At C10K that is twenty thousand mostly-idle threads and
+//! a scheduler meltdown. This server holds every connection as a small
+//! state machine (`Connection` in `crate::conn`) owned by **one** loop
+//! thread, woken only by readiness: `epoll_wait` for sockets, an
+//! `eventfd` doorbell for service completions. Thread count is constant
+//! in the connection count.
+//!
+//! # Architecture
+//!
+//! ```text
+//!              ┌────────────────────────────────────────────┐
+//!              │  event loop thread                         │
+//!   accept ───►│  epoll_wait ── readable ──► read → decode  │
+//!              │      ▲                      └► submit ─────┼──► service
+//!              │      │ doorbell                            │    workers
+//!              │      │ (eventfd)  writable ─► writev flush │      │
+//!              └──────┼─────────────────────────────▲───────┘      │
+//!                     │                             │              │
+//!                     └── ring ◄── outbox ◄── encode + journal ◄───┘
+//!                            (completion observer, worker thread)
+//! ```
+//!
+//! The **completion path** is the only cross-thread traffic: a service
+//! worker's observer encodes the response frame, appends the journal
+//! record, pushes the bytes into the connection's outbox, decrements
+//! in-flight, and rings the doorbell (deduplicated per connection by a
+//! `scheduled` flag, coalesced by the eventfd counter — N completions
+//! cost one wakeup). The loop drains the completion list, moves outbox
+//! bytes into each write queue, and flushes with vectored writes.
+//!
+//! # Backpressure
+//!
+//! At [`WireConfig::max_inflight`] undispatched requests the loop stops
+//! decoding that connection and disarms `EPOLLIN`; the kernel's receive
+//! window fills and the client blocks — the same composition as the
+//! threaded server (wire cap per connection, service queue across
+//! connections), enforced by TCP instead of a parked reader thread.
+//!
+//! # Protocol equivalence
+//!
+//! Everything observable carries over from the threaded server
+//! byte-identically: v1/v2 frames, trace minting at decode, journal
+//! append before response enqueue, explain-sink lines, status mapping,
+//! graceful drain (serve the accept backlog, answer in-flight, FIN,
+//! bounded linger), idle timeouts, and the exactly-one-response
+//! invariant. The loopback suites run the same assertions against both
+//! servers.
+
+use crate::conn::{ConnShared, Connection, Phase};
+use crate::frame::{self, Explain, Frame, Response, Status};
+use crate::metrics::{WireMetrics, WireMetricsSnapshot};
+use crate::server::{sink_line, verdict_payload, ExplainSink, WireConfig};
+use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use forensic_law::spec::ActionSpec;
+use journal::{Journal, RecordData};
+use obs::{Stage, TraceId};
+use service::prelude::*;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Token the listener registers under. Connection tokens are
+/// `generation << 32 | slab index`; an index of `u32::MAX` would need
+/// four billion simultaneous connections, so the top token values are
+/// safely reserved.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Token the completion doorbell registers under.
+const DOORBELL_TOKEN: u64 = u64::MAX - 1;
+
+/// Stop reading a connection once this much undecoded data is buffered;
+/// level-triggered epoll re-reports readiness once decoding catches up.
+const READ_BUFFER_CAP: usize = 256 * 1024;
+
+/// Socket-read scratch size per `read` call.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// How long a closed connection waits for the peer's FIN before
+/// dropping the socket (same bound as the threaded server).
+const LINGER: Duration = Duration::from_millis(250);
+
+/// Readiness events fetched per `epoll_wait`.
+const EVENT_BATCH: usize = 1024;
+
+/// State shared by the loop thread and service-worker observers.
+struct EvShared {
+    service: Arc<ComplianceService>,
+    config: WireConfig,
+    metrics: Arc<WireMetrics>,
+    explain: Option<Arc<ExplainSink>>,
+    journal: Option<Arc<Journal>>,
+    draining: AtomicBool,
+    /// Wakes the loop: completions from workers, shutdown from the
+    /// owner. The eventfd counter coalesces bursts into one wakeup.
+    doorbell: EventFd,
+    /// Connection tokens with responses waiting in their outboxes.
+    completions: Mutex<Vec<u64>>,
+}
+
+impl std::fmt::Debug for EvShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvShared")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EvShared {
+    /// Appends one disposition to the journal, if one is attached.
+    /// Append failure is terminal for the journal writer and surfaces
+    /// through `Journal::close`, not per-request.
+    fn journal_record(&self, trace: TraceId, status: Status, request: Vec<u8>, verdict: Vec<u8>) {
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(RecordData {
+                trace,
+                status: status.as_byte(),
+                request,
+                verdict,
+            });
+        }
+    }
+
+    /// Puts `token` on the completion list and rings the doorbell,
+    /// unless the connection is already scheduled.
+    fn schedule(&self, conn: &ConnShared) {
+        if !conn.scheduled.swap(true, Ordering::AcqRel) {
+            self.completions
+                .lock()
+                .expect("completions lock")
+                .push(conn.token);
+            self.doorbell.signal();
+        }
+    }
+}
+
+/// A running event-driven TCP front end over a
+/// [`ComplianceService`]. Drop-in for
+/// [`WireServer`](crate::server::WireServer) — same constructors, same
+/// wire behavior, two threads total (accept is folded into the loop).
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct EventServer {
+    local_addr: SocketAddr,
+    shared: Arc<EvShared>,
+    event_loop: Option<JoinHandle<()>>,
+}
+
+impl EventServer {
+    /// Binds `addr` (port 0 picks a free port; see
+    /// [`local_addr`](Self::local_addr)) and starts serving `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind, epoll-creation, and eventfd failures.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        service: Arc<ComplianceService>,
+        config: WireConfig,
+    ) -> io::Result<EventServer> {
+        EventServer::start_with_explain(addr, service, config, None)
+    }
+
+    /// [`start`](Self::start), plus a server-side [`ExplainSink`] with
+    /// the same record format as the threaded server.
+    ///
+    /// # Errors
+    ///
+    /// As for [`start`](Self::start).
+    pub fn start_with_explain(
+        addr: impl ToSocketAddrs,
+        service: Arc<ComplianceService>,
+        config: WireConfig,
+        explain: Option<Arc<ExplainSink>>,
+    ) -> io::Result<EventServer> {
+        EventServer::start_with_sinks(addr, service, config, explain, None)
+    }
+
+    /// [`start_with_explain`](Self::start_with_explain), plus an
+    /// optional durable request [`Journal`]; every answered request is
+    /// appended before its response frame is enqueued, exactly as the
+    /// threaded server does.
+    ///
+    /// # Errors
+    ///
+    /// As for [`start`](Self::start).
+    pub fn start_with_sinks(
+        addr: impl ToSocketAddrs,
+        service: Arc<ComplianceService>,
+        config: WireConfig,
+        explain: Option<Arc<ExplainSink>>,
+        journal: Option<Arc<Journal>>,
+    ) -> io::Result<EventServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        let doorbell = EventFd::new()?;
+        epoll.add(listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)?;
+        epoll.add(doorbell.raw(), EPOLLIN, DOORBELL_TOKEN)?;
+        let shared = Arc::new(EvShared {
+            service,
+            config: WireConfig {
+                max_inflight: config.max_inflight.max(1),
+                ..config
+            },
+            metrics: Arc::new(WireMetrics::default()),
+            explain,
+            journal,
+            draining: AtomicBool::new(false),
+            doorbell,
+            completions: Mutex::new(Vec::new()),
+        });
+        let event_loop = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                EventLoop {
+                    shared,
+                    epoll,
+                    listener,
+                    entries: Vec::new(),
+                    gens: Vec::new(),
+                    free: Vec::new(),
+                    live: 0,
+                    scratch: vec![0u8; READ_CHUNK],
+                    draining_seen: false,
+                    last_scan: Instant::now(),
+                }
+                .run();
+            })
+        };
+        Ok(EventServer {
+            local_addr,
+            shared,
+            event_loop: Some(event_loop),
+        })
+    }
+
+    /// The bound address (with the real port when started on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live wire metrics.
+    pub fn metrics(&self) -> WireMetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Graceful drain: serves whatever the accept backlog already
+    /// holds, stops decoding new frames, answers and flushes every
+    /// in-flight request, half-closes with FIN and a bounded linger,
+    /// joins the loop, and returns the final wire metrics. The
+    /// underlying [`ComplianceService`] is left running — it belongs to
+    /// the caller. Nothing admitted is lost; nothing is answered twice.
+    pub fn shutdown(mut self) -> EventServerReport {
+        self.drain();
+        EventServerReport {
+            metrics: self.shared.metrics.snapshot(),
+        }
+    }
+
+    fn drain(&mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.doorbell.signal();
+        if let Some(handle) = self.event_loop.take() {
+            let _ = handle.join();
+        }
+        // The loop is joined, but the worker-side observer whose
+        // doorbell ring let it finish may still be dropping its clone
+        // of `shared` (the closure's captures die *after* its last
+        // statement). Wait those drops out so a caller's
+        // `Arc::try_unwrap` on the service or journal handle never
+        // races a dying closure. In-flight was zero at loop exit, so
+        // every observer has already run — this only waits for
+        // destructor epilogues; the deadline is a belt-and-braces
+        // bound, not an expected path.
+        let gone_by = Instant::now() + Duration::from_secs(1);
+        while Arc::strong_count(&self.shared) > 1 && Instant::now() < gone_by {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for EventServer {
+    fn drop(&mut self) {
+        if self.event_loop.is_some() {
+            self.drain();
+        }
+    }
+}
+
+/// What a graceful [`EventServer::shutdown`] hands back.
+#[derive(Debug, Clone, Copy)]
+pub struct EventServerReport {
+    /// Final wire metrics at the instant the loop exited.
+    pub metrics: WireMetricsSnapshot,
+}
+
+/// The loop thread's world: epoll, the listener, and the connection
+/// slab. Tokens are `generation << 32 | index` so a completion for a
+/// connection that died and had its slot reused is ignored instead of
+/// misdelivered.
+struct EventLoop {
+    shared: Arc<EvShared>,
+    epoll: Epoll,
+    listener: TcpListener,
+    entries: Vec<Option<Connection>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    live: usize,
+    scratch: Vec<u8>,
+    draining_seen: bool,
+    last_scan: Instant,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = vec![EpollEvent::default(); EVENT_BATCH];
+        loop {
+            // The tick doubles as the idle/linger/drain scan cadence,
+            // mirroring the threaded server's read-timeout tick.
+            let tick = self.shared.config.read_tick;
+            let n = self.epoll.wait(&mut events, Some(tick)).unwrap_or(0);
+
+            let mut accept_ready = false;
+            let mut rang = false;
+            for ev in &events[..n] {
+                let token = { ev.data };
+                let mask = { ev.events };
+                match token {
+                    LISTENER_TOKEN => accept_ready = true,
+                    DOORBELL_TOKEN => rang = true,
+                    token => {
+                        if let Some(idx) = self.resolve(token) {
+                            let readable = mask & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0;
+                            self.advance(idx, readable);
+                        }
+                    }
+                }
+            }
+            if rang {
+                self.on_doorbell();
+            }
+            if !self.draining_seen && self.shared.draining.load(Ordering::SeqCst) {
+                self.begin_drain();
+            } else if accept_ready && !self.draining_seen {
+                self.accept_all();
+            }
+            if self.last_scan.elapsed() >= tick {
+                self.scan_clocks();
+            }
+            if self.draining_seen && self.live == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Maps a readiness/completion token back to a live slab index;
+    /// `None` for stale generations (the connection is gone).
+    fn resolve(&self, token: u64) -> Option<usize> {
+        let idx = (token & u64::from(u32::MAX)) as usize;
+        let gen = (token >> 32) as u32;
+        (idx < self.entries.len() && self.gens[idx] == gen && self.entries[idx].is_some())
+            .then_some(idx)
+    }
+
+    fn accept_all(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.register(stream),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // WouldBlock: backlog empty. Anything else (EMFILE,
+                // ECONNABORTED): stop the burst; level-triggered epoll
+                // re-reports pending connections next iteration.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        let metrics = &self.shared.metrics;
+        metrics.connections_opened.inc();
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            metrics.connections_closed.inc();
+            return;
+        }
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.entries.push(None);
+            self.gens.push(0);
+            self.entries.len() - 1
+        });
+        let token = (u64::from(self.gens[idx]) << 32) | idx as u64;
+        let shared = Arc::new(ConnShared::new(token));
+        let conn = Connection::new(stream, shared, self.shared.config.max_frame);
+        let want = EPOLLIN | EPOLLRDHUP;
+        if self
+            .epoll
+            .add(conn.stream.as_raw_fd(), want, token)
+            .is_err()
+        {
+            metrics.connections_closed.inc();
+            self.free.push(idx);
+            return;
+        }
+        let mut conn = conn;
+        conn.interest = want;
+        self.entries[idx] = Some(conn);
+        self.live += 1;
+    }
+
+    fn on_doorbell(&mut self) {
+        self.shared.doorbell.drain();
+        self.shared.metrics.wakeups.inc();
+        let tokens =
+            std::mem::take(&mut *self.shared.completions.lock().expect("completions lock"));
+        for token in tokens {
+            if let Some(idx) = self.resolve(token) {
+                // Clear the dedupe flag *before* draining the outbox so
+                // an observer racing with this drain re-schedules the
+                // connection instead of being missed.
+                self.entries[idx]
+                    .as_ref()
+                    .expect("resolved entry")
+                    .shared
+                    .scheduled
+                    .store(false, Ordering::SeqCst);
+                self.advance(idx, false);
+            }
+        }
+    }
+
+    /// One turn of a connection's state machine: read (if readiness
+    /// said to), decode/dispatch, collect completed responses, flush,
+    /// then phase transitions and epoll re-arm.
+    fn advance(&mut self, idx: usize, readable: bool) {
+        let shared = Arc::clone(&self.shared);
+        {
+            let Some(conn) = self.entries[idx].as_mut() else {
+                return;
+            };
+            if readable {
+                read_socket(conn, &mut self.scratch, &shared.metrics);
+            }
+            pump_decode(&shared, conn);
+            collect_and_flush(conn, &shared.metrics);
+            // Completions may have freed in-flight slots while we held
+            // frames back at the cap; resume decoding immediately
+            // rather than waiting for the next readiness report.
+            if conn.paused && conn.phase == Phase::Open {
+                pump_decode(&shared, conn);
+                collect_and_flush(conn, &shared.metrics);
+            }
+        }
+        self.transition(idx);
+    }
+
+    /// Phase advancement and epoll re-arm; tears the connection down
+    /// when it reaches the end of its life.
+    fn transition(&mut self, idx: usize) {
+        let now = Instant::now();
+        let shared = Arc::clone(&self.shared);
+        let Some(conn) = self.entries[idx].as_mut() else {
+            return;
+        };
+        if conn.phase == Phase::Draining && conn.inflight() == 0 {
+            // In-flight zero means every response is queued (observers
+            // enqueue before decrementing); one last collect makes that
+            // visible here, then flush and half-close.
+            collect_and_flush(conn, &shared.metrics);
+            if conn.wq.is_empty() || conn.dead_write {
+                conn.shared.close_outbox();
+                let _ = conn.stream.shutdown(Shutdown::Write);
+                conn.phase = Phase::Lingering {
+                    deadline: now + LINGER,
+                };
+            }
+        }
+        if let Phase::Lingering { deadline } = conn.phase {
+            if conn.peer_eof || conn.read_error || now >= deadline {
+                self.teardown(idx);
+                return;
+            }
+        }
+        self.rearm(idx);
+    }
+
+    /// Recomputes the epoll interest mask from the connection's state
+    /// and re-arms only when it changed.
+    fn rearm(&mut self, idx: usize) {
+        let Some(conn) = self.entries[idx].as_mut() else {
+            return;
+        };
+        let mut want = EPOLLRDHUP;
+        let read_wanted = match conn.phase {
+            // Reading is wanted unless backpressure (in-flight cap or
+            // decode backlog) says otherwise — disarming EPOLLIN is
+            // what lets TCP flow control push back on the client.
+            Phase::Open => {
+                !conn.peer_eof
+                    && !conn.read_error
+                    && !conn.paused
+                    && conn.decoder.buffered() < READ_BUFFER_CAP
+            }
+            // Draining stopped consuming input on purpose.
+            Phase::Draining => false,
+            // Lingering reads only to discard until the peer's FIN.
+            Phase::Lingering { .. } => !conn.peer_eof && !conn.read_error,
+        };
+        if read_wanted {
+            want |= EPOLLIN;
+        }
+        if !conn.wq.is_empty() && !conn.dead_write {
+            want |= EPOLLOUT;
+        }
+        if want != conn.interest {
+            let token = conn.shared.token;
+            if self
+                .epoll
+                .modify(conn.stream.as_raw_fd(), want, token)
+                .is_ok()
+            {
+                conn.interest = want;
+            }
+        }
+    }
+
+    fn teardown(&mut self, idx: usize) {
+        if let Some(conn) = self.entries[idx].take() {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            conn.shared.close_outbox();
+            self.gens[idx] = self.gens[idx].wrapping_add(1);
+            self.free.push(idx);
+            self.live -= 1;
+            self.shared.metrics.connections_closed.inc();
+        }
+    }
+
+    /// The drain sequence, entered exactly once: serve the accept
+    /// backlog (the kernel already completed those handshakes — closing
+    /// the listener now would RST them), deregister the listener, slurp
+    /// every open connection's buffered bytes, dispatch all decoded
+    /// frames (the in-flight cap is waived during drain, exactly like
+    /// the threaded reader's `acquire_slot`), and stop consuming input.
+    /// Undecoded partial bytes are abandoned without a protocol error —
+    /// the server initiated this close.
+    fn begin_drain(&mut self) {
+        self.draining_seen = true;
+        self.accept_all();
+        let _ = self.epoll.delete(self.listener.as_raw_fd());
+        for idx in 0..self.entries.len() {
+            let shared = Arc::clone(&self.shared);
+            {
+                let Some(conn) = self.entries[idx].as_mut() else {
+                    continue;
+                };
+                if conn.phase != Phase::Open {
+                    continue;
+                }
+                read_socket(conn, &mut self.scratch, &shared.metrics);
+                pump_decode(&shared, conn);
+                if conn.phase == Phase::Open {
+                    conn.phase = Phase::Draining;
+                }
+                collect_and_flush(conn, &shared.metrics);
+            }
+            self.transition(idx);
+        }
+    }
+
+    /// The periodic pass the epoll timeout guarantees: idle cutoffs,
+    /// drain progress for connections whose last in-flight decrement
+    /// raced past a doorbell, and linger deadlines.
+    fn scan_clocks(&mut self) {
+        self.last_scan = Instant::now();
+        for idx in 0..self.entries.len() {
+            {
+                let Some(conn) = self.entries[idx].as_mut() else {
+                    continue;
+                };
+                if conn.phase == Phase::Open {
+                    if let Some(idle) = self.shared.config.idle_timeout {
+                        if conn.last_activity.elapsed() >= idle && conn.inflight() == 0 {
+                            // Server-initiated close: never a protocol
+                            // error, even mid-frame (same as the
+                            // threaded tick's synthesized EOF).
+                            conn.phase = Phase::Draining;
+                        }
+                    }
+                }
+            }
+            self.transition(idx);
+        }
+    }
+}
+
+/// Reads until `WouldBlock`, EOF, error, or the decode-backlog cap.
+/// In `Lingering` the bytes are discarded (we only want the FIN).
+fn read_socket(conn: &mut Connection, scratch: &mut [u8], metrics: &WireMetrics) {
+    use std::io::Read as _;
+    if conn.peer_eof || conn.read_error {
+        return;
+    }
+    let discard = !matches!(conn.phase, Phase::Open);
+    loop {
+        if !discard && conn.decoder.buffered() >= READ_BUFFER_CAP {
+            return;
+        }
+        match (&mut &conn.stream as &mut &TcpStream).read(scratch) {
+            Ok(0) => {
+                conn.peer_eof = true;
+                return;
+            }
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                if !discard {
+                    conn.decoder.extend(&scratch[..n]);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return;
+            }
+            Err(_) => {
+                // A real socket error mid-conversation counts as a
+                // protocol error, matching the threaded reader.
+                if matches!(conn.phase, Phase::Open) {
+                    metrics.protocol_errors.inc();
+                }
+                conn.read_error = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Decodes and dispatches every complete frame the connection has
+/// buffered, stopping at the in-flight cap (waived during drain) or a
+/// terminal condition. Transitions `Open → Draining` on peer EOF, read
+/// error, or protocol error.
+fn pump_decode(shared: &Arc<EvShared>, conn: &mut Connection) {
+    if conn.phase != Phase::Open {
+        return;
+    }
+    let metrics = &shared.metrics;
+    let cap = if shared.draining.load(Ordering::Relaxed) {
+        usize::MAX
+    } else {
+        shared.config.max_inflight
+    };
+    loop {
+        if conn.inflight() >= cap {
+            conn.paused = true;
+            return;
+        }
+        conn.paused = false;
+        match conn.decoder.next_frame() {
+            Ok(Some(frame)) => {
+                metrics.bytes_in.add(frame.wire_len() as u64);
+                match frame {
+                    Frame::Request(request) => {
+                        metrics.frames_in.inc();
+                        dispatch_request(shared, conn, request);
+                    }
+                    Frame::Response(_) => {
+                        // Only servers speak responses.
+                        metrics.protocol_errors.inc();
+                        conn.phase = Phase::Draining;
+                        return;
+                    }
+                }
+            }
+            Ok(None) => {
+                if conn.peer_eof || conn.read_error {
+                    if conn.peer_eof && !conn.read_error && conn.decoder.buffered() > 0 {
+                        // The peer hung up mid-frame: torn.
+                        metrics.protocol_errors.inc();
+                    }
+                    conn.phase = Phase::Draining;
+                }
+                return;
+            }
+            Err(_) => {
+                // Oversized or malformed frame kills the connection —
+                // after its in-flight requests are answered.
+                metrics.protocol_errors.inc();
+                conn.phase = Phase::Draining;
+                return;
+            }
+        }
+    }
+}
+
+/// Moves completed responses from the outbox into the write queue and
+/// flushes as much as the socket accepts. A fatal write error closes
+/// the outbox (the peer is gone; responses drop, as in the threaded
+/// writer).
+fn collect_and_flush(conn: &mut Connection, metrics: &WireMetrics) {
+    for bytes in conn.shared.take_responses() {
+        conn.wq.push(bytes);
+    }
+    if conn.dead_write {
+        conn.wq.clear();
+        return;
+    }
+    if !conn.wq.is_empty() && conn.wq.flush(&conn.stream, metrics).is_err() {
+        conn.dead_write = true;
+        conn.wq.clear();
+        conn.shared.close_outbox();
+    }
+}
+
+/// Encodes a response frame, recording the serialize span under the
+/// request's trace — the same span the threaded writer records.
+fn encode_response(trace: TraceId, response: Response) -> Vec<u8> {
+    let log = obs::global();
+    let status = response.status;
+    let start_us = if log.is_enabled() { obs::now_us() } else { 0 };
+    let bytes = frame::encode(&Frame::Response(response));
+    if log.is_enabled() {
+        log.record_closed(
+            trace,
+            Stage::Serialize,
+            start_us,
+            u64::from(status.as_byte()),
+        );
+    }
+    bytes
+}
+
+/// The event-loop counterpart of the threaded server's
+/// `handle_request`: same trace minting, same slot accounting, same
+/// journal/sink/status semantics — only the response delivery differs
+/// (write queue on the loop thread, outbox + doorbell from workers).
+fn dispatch_request(shared: &Arc<EvShared>, conn: &mut Connection, request: frame::Request) {
+    let metrics = &shared.metrics;
+    let received = Instant::now();
+    // The trace id is minted here, at the frame boundary — everything
+    // downstream carries this id, never a new one.
+    let trace = TraceId::mint();
+
+    // Every request — even one that fails to parse — occupies an
+    // in-flight slot until its response is queued, so a client spamming
+    // garbage is backpressured exactly like a busy one.
+    let depth = conn.shared.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+    metrics.observe_inflight(depth);
+
+    let explain_for = |provenance: String| {
+        request.want_explain.then(|| Explain {
+            trace: trace.as_u64(),
+            provenance: provenance.into_bytes(),
+        })
+    };
+    let parsed = std::str::from_utf8(&request.payload)
+        .map_err(|e| format!("payload is not UTF-8: {e}"))
+        .and_then(|line| {
+            ActionSpec::from_json_line(line)
+                .and_then(|spec| spec.to_action())
+                .map_err(|e| e.to_string())
+        });
+    let action = match parsed {
+        Ok(action) => action,
+        Err(message) => {
+            metrics.bad_requests.inc();
+            if let Some(sink) = &shared.explain {
+                sink.write_line(&sink_line(
+                    trace,
+                    request.id,
+                    Status::BadRequest,
+                    message.as_bytes(),
+                    "[]",
+                ));
+            }
+            shared.journal_record(
+                trace,
+                Status::BadRequest,
+                request.payload.clone(),
+                message.clone().into_bytes(),
+            );
+            let bytes = encode_response(
+                trace,
+                Response {
+                    id: request.id,
+                    status: Status::BadRequest,
+                    queue_wait_us: 0,
+                    total_us: 0,
+                    explain: explain_for("[]".to_string()),
+                    payload: message.into_bytes(),
+                },
+            );
+            // We are on the loop thread: straight into the write queue.
+            conn.wq.push(bytes);
+            conn.shared.inflight.fetch_sub(1, Ordering::Release);
+            return;
+        }
+    };
+
+    let deadline =
+        (request.deadline_ms > 0).then(|| Duration::from_millis(u64::from(request.deadline_ms)));
+    let observer: ResponseObserver = {
+        let ev_shared = Arc::clone(shared);
+        let conn_shared = Arc::clone(&conn.shared);
+        let journal_request = ev_shared.journal.is_some().then(|| request.payload.clone());
+        let id = request.id;
+        let want_explain = request.want_explain;
+        Box::new(move |response: &ServiceResponse| {
+            let (status, payload) = verdict_payload(response);
+            ev_shared.metrics.record_latency(received.elapsed());
+            // Appended before the response is queued, so an
+            // acknowledged verdict is always at least accepted by the
+            // journal writer.
+            ev_shared.journal_record(
+                response.trace,
+                status,
+                journal_request.unwrap_or_default(),
+                payload.clone(),
+            );
+            let provenance = if want_explain || ev_shared.explain.is_some() {
+                response
+                    .outcome
+                    .assessment()
+                    .map_or_else(|| "[]".to_string(), |a| a.provenance().to_json())
+            } else {
+                String::new()
+            };
+            if let Some(sink) = &ev_shared.explain {
+                sink.write_line(&sink_line(
+                    response.trace,
+                    id,
+                    status,
+                    &payload,
+                    &provenance,
+                ));
+            }
+            let explain = want_explain.then(|| Explain {
+                trace: response.trace.as_u64(),
+                provenance: provenance.into_bytes(),
+            });
+            let bytes = encode_response(
+                response.trace,
+                Response {
+                    id,
+                    status,
+                    queue_wait_us: response.queue_wait.as_micros().min(u64::MAX as u128) as u64,
+                    total_us: response.total.as_micros().min(u64::MAX as u128) as u64,
+                    explain,
+                    payload,
+                },
+            );
+            // Order matters twice here: the response is in the outbox
+            // before in-flight decrements (so "drained" implies "all
+            // responses queued"), and the decrement lands before the
+            // doorbell (so the wakeup that processes this completion
+            // already sees the new depth).
+            conn_shared.push_response(bytes);
+            conn_shared.inflight.fetch_sub(1, Ordering::Release);
+            ev_shared.schedule(&conn_shared);
+        })
+    };
+    if let Err(rejection) = shared
+        .service
+        .submit_observed_traced(action, deadline, trace, observer)
+    {
+        metrics.not_admitted.inc();
+        let status = match rejection.error {
+            SubmitError::Overloaded => Status::Rejected,
+            SubmitError::ShuttingDown => Status::GoingAway,
+        };
+        if let Some(sink) = &shared.explain {
+            sink.write_line(&sink_line(
+                trace,
+                request.id,
+                status,
+                rejection.error.to_string().as_bytes(),
+                "[]",
+            ));
+        }
+        shared.journal_record(
+            trace,
+            status,
+            request.payload,
+            rejection.error.to_string().into_bytes(),
+        );
+        let bytes = encode_response(
+            trace,
+            Response {
+                id: request.id,
+                status,
+                queue_wait_us: 0,
+                total_us: 0,
+                explain: explain_for("[]".to_string()),
+                payload: rejection.error.to_string().into_bytes(),
+            },
+        );
+        conn.wq.push(bytes);
+        conn.shared.inflight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::WireClient;
+
+    fn service() -> Arc<ComplianceService> {
+        Arc::new(ComplianceService::start(ServiceConfig {
+            workers: 2,
+            capacity: 64,
+            ..ServiceConfig::default()
+        }))
+    }
+
+    const GOOD: &[u8] = br#"{"actor": "leo", "data": "content", "when": "realtime", "where": "isp", "describe": "live interception"}"#;
+
+    #[test]
+    fn event_server_round_trips_and_reports_metrics() {
+        let service = service();
+        let server = EventServer::start("127.0.0.1:0", Arc::clone(&service), WireConfig::default())
+            .expect("bind");
+        let client = WireClient::connect(server.local_addr()).expect("dial");
+        for _ in 0..3 {
+            let response = client.roundtrip(GOOD.to_vec(), 0).expect("round trip");
+            assert_eq!(response.status, Status::Ok);
+            assert!(!response.payload.is_empty());
+        }
+        drop(client);
+        let report = server.shutdown();
+        assert_eq!(report.metrics.frames_in, 3);
+        assert_eq!(report.metrics.frames_out, 3);
+        assert_eq!(report.metrics.connections_opened, 1);
+        assert_eq!(report.metrics.connections_closed, 1);
+        assert_eq!(report.metrics.protocol_errors, 0);
+        assert!(report.metrics.wakeups >= 1, "completions ring the doorbell");
+        assert!(report.metrics.writev_batches >= 1);
+        Arc::try_unwrap(service).expect("sole owner").shutdown();
+    }
+
+    #[test]
+    fn bad_payloads_answered_in_band_and_connection_survives() {
+        let service = service();
+        let server = EventServer::start("127.0.0.1:0", Arc::clone(&service), WireConfig::default())
+            .expect("bind");
+        let client = WireClient::connect(server.local_addr()).expect("dial");
+        let bad = client.roundtrip(b"not json".to_vec(), 0).expect("answered");
+        assert_eq!(bad.status, Status::BadRequest);
+        let good = client.roundtrip(GOOD.to_vec(), 0).expect("still serving");
+        assert_eq!(good.status, Status::Ok);
+        drop(client);
+        let report = server.shutdown();
+        assert_eq!(report.metrics.bad_requests, 1);
+        assert_eq!(report.metrics.protocol_errors, 0);
+        Arc::try_unwrap(service).expect("sole owner").shutdown();
+    }
+}

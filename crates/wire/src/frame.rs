@@ -447,6 +447,104 @@ pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Option<Frame>, Fr
     decode_body(&body).map(Some)
 }
 
+/// An incremental frame decoder over buffered bytes — the batched
+/// decode half of the readiness-driven server.
+///
+/// The event loop reads whatever the socket has (one `read` per
+/// readable event, repeated to `WouldBlock`), [`extend`](Self::extend)s
+/// the decoder, then drains **every** complete frame with
+/// [`next_frame`](Self::next_frame) before going back to `epoll`. A
+/// frame split at any byte — inside the u32 length prefix, across a
+/// v1/v2 boundary — simply waits in the buffer until the rest arrives;
+/// the decoded frames are byte-identical to a one-shot
+/// [`read_frame`] parse of the same stream (pinned by the every-split-
+/// point fuzz suite).
+///
+/// # Buffer growth
+///
+/// Bytes live in one growable contiguous buffer with a consumed-prefix
+/// cursor. The buffer grows to the high-water mark of one readable
+/// event's backlog (bounded per frame by `max_frame` + header, and in
+/// practice by the in-flight cap pausing decode), and the consumed
+/// prefix is compacted away once it outgrows either the live remainder
+/// or 64 KiB, so steady-state pipelining does not reallocate.
+#[derive(Debug)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    start: usize,
+    max_frame: u32,
+}
+
+impl StreamDecoder {
+    /// A decoder enforcing `max_frame` on every length prefix.
+    pub fn new(max_frame: u32) -> StreamDecoder {
+        StreamDecoder {
+            buf: Vec::new(),
+            start: 0,
+            max_frame,
+        }
+    }
+
+    /// Appends raw socket bytes for decoding.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes received but not yet decoded into a frame. Nonzero at EOF
+    /// means the peer quit mid-frame ([`FrameError::Torn`] territory —
+    /// the caller decides, because only it sees EOF).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decodes the next complete frame, or `Ok(None)` when the buffer
+    /// holds only a partial frame (feed more bytes and retry).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooLarge`] as soon as a length prefix exceeds the
+    /// cap (before the body arrives); [`FrameError::Malformed`] when a
+    /// complete body does not decode. Both poison the connection — the
+    /// caller must stop decoding this stream.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(pending[..4].try_into().expect("4 bytes"));
+        if len > self.max_frame {
+            return Err(FrameError::TooLarge {
+                len,
+                max: self.max_frame,
+            });
+        }
+        let total = 4 + len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let frame = decode_body(&pending[4..total])?;
+        self.start += total;
+        self.compact();
+        Ok(Some(frame))
+    }
+
+    /// Reclaims the consumed prefix when it dominates the buffer.
+    fn compact(&mut self) {
+        if self.start == 0 {
+            return;
+        }
+        let live = self.buf.len() - self.start;
+        if live == 0 {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= live || self.start >= 64 * 1024 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

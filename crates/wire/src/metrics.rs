@@ -36,6 +36,14 @@ pub struct WireMetrics {
     /// Requests not admitted by the service (answered `Rejected` or
     /// `GoingAway` in-band).
     pub not_admitted: Counter,
+    /// Event-loop doorbell wakeups (eventfd reads). Always zero for the
+    /// threaded server. Responses ÷ wakeups is the completion-batching
+    /// factor.
+    pub wakeups: Counter,
+    /// Vectored write calls issued by the event loop. Always zero for
+    /// the threaded server. Frames out ÷ batches is the write-coalescing
+    /// factor.
+    pub writev_batches: Counter,
     /// Highest per-connection in-flight depth observed.
     peak_inflight: AtomicU64,
     /// Frame-decode to response-frame-queued, per answered request —
@@ -68,6 +76,8 @@ impl WireMetrics {
             protocol_errors: self.protocol_errors.get(),
             bad_requests: self.bad_requests.get(),
             not_admitted: self.not_admitted.get(),
+            wakeups: self.wakeups.get(),
+            writev_batches: self.writev_batches.get(),
             peak_inflight: self.peak_inflight.load(Ordering::Relaxed),
             wire_latency: self.wire_latency.snapshot(),
         }
@@ -95,6 +105,10 @@ pub struct WireMetricsSnapshot {
     pub bad_requests: u64,
     /// Admission refusals answered in-band.
     pub not_admitted: u64,
+    /// Event-loop doorbell wakeups (zero on the threaded server).
+    pub wakeups: u64,
+    /// Vectored write calls (zero on the threaded server).
+    pub writev_batches: u64,
     /// Highest per-connection in-flight depth observed.
     pub peak_inflight: u64,
     /// Wire-side request latency.
@@ -110,7 +124,8 @@ impl WireMetricsSnapshot {
             out,
             "{{\"connections_opened\": {}, \"connections_closed\": {}, \"frames_in\": {}, \
              \"frames_out\": {}, \"bytes_in\": {}, \"bytes_out\": {}, \"protocol_errors\": {}, \
-             \"bad_requests\": {}, \"not_admitted\": {}, \"peak_inflight\": {}, ",
+             \"bad_requests\": {}, \"not_admitted\": {}, \"wakeups\": {}, \
+             \"writev_batches\": {}, \"peak_inflight\": {}, ",
             self.connections_opened,
             self.connections_closed,
             self.frames_in,
@@ -120,6 +135,8 @@ impl WireMetricsSnapshot {
             self.protocol_errors,
             self.bad_requests,
             self.not_admitted,
+            self.wakeups,
+            self.writev_batches,
             self.peak_inflight,
         );
         let h = &self.wire_latency;

@@ -172,7 +172,7 @@ impl ExplainSink {
 
     /// Writes one record line (newline appended) and flushes, so lines
     /// are whole even if the process dies mid-serve.
-    fn write_line(&self, line: &str) {
+    pub(crate) fn write_line(&self, line: &str) {
         let mut out = self.out.lock().expect("sink lock");
         let _ = out.write_all(line.as_bytes());
         let _ = out.write_all(b"\n");
@@ -181,7 +181,7 @@ impl ExplainSink {
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -558,7 +558,7 @@ fn run_connection(shared: &Arc<Shared>, stream: TcpStream) {
 /// The verdict line for a completed assessment — exactly the
 /// `{verdict} [{confidence}]` text `assess-batch` prints between the
 /// line number and the summary, so remote output diffs byte-for-byte.
-fn verdict_payload(response: &ServiceResponse) -> (Status, Vec<u8>) {
+pub(crate) fn verdict_payload(response: &ServiceResponse) -> (Status, Vec<u8>) {
     match &response.outcome {
         Outcome::Completed(_) => (
             Status::Ok,
@@ -574,7 +574,13 @@ fn verdict_payload(response: &ServiceResponse) -> (Status, Vec<u8>) {
 }
 
 /// One JSONL explain record for the server-side sink.
-fn sink_line(trace: TraceId, id: u64, status: Status, payload: &[u8], provenance: &str) -> String {
+pub(crate) fn sink_line(
+    trace: TraceId,
+    id: u64,
+    status: Status,
+    payload: &[u8],
+    provenance: &str,
+) -> String {
     format!(
         r#"{{"trace":{trace},"id":{id},"status":"{status}","payload":"{}","provenance":{provenance}}}"#,
         json_escape(&String::from_utf8_lossy(payload)),

@@ -67,6 +67,8 @@ fn usage() -> ExitCode {
         --workers N           worker threads (default: all cores)
         --capacity N          queue capacity (default 1024)
         --policy block|reject|drop-oldest             (default block)
+        --queue lockfree|locked  admission queue implementation
+                              (default lockfree: the MPMC ring)
         --deadline-ms D       per-request deadline in milliseconds
         --explain FILE        enable span tracing and write one JSONL
                               provenance record per scenario to FILE,
@@ -77,6 +79,9 @@ fn usage() -> ExitCode {
       expose the compliance service over TCP (the lexforensica-wire
       framed protocol) instead of replaying a file; same service
       options as above, plus:
+        --threaded            serve thread-per-connection instead of the
+                              default event-driven epoll loop (the
+                              default everywhere epoll is unavailable)
         --max-inflight N      pipelined requests per connection (default 64)
         --explain FILE        enable span tracing and log every answered
                               request's provenance record to FILE (JSONL)
@@ -631,13 +636,74 @@ fn service_from_args(args: &Args) -> Option<ComplianceService> {
     let default_deadline = args
         .get("deadline-ms")
         .map(|_| Duration::from_millis(args.u64_flag("deadline-ms", 0)));
+    let queue = match args.get("queue") {
+        None => QueueKind::default(),
+        Some(word) => match QueueKind::parse(word) {
+            Some(kind) => kind,
+            None => {
+                eprintln!("unknown queue kind \"{word}\" (lockfree|locked)");
+                return None;
+            }
+        },
+    };
     Some(ComplianceService::start(ServiceConfig {
         workers,
         capacity,
         policy,
         default_deadline,
+        queue,
         engine_floor: Duration::ZERO,
     }))
+}
+
+/// The serving model behind `serve --tcp`: the event-driven epoll
+/// loop by default, the thread-per-connection server under
+/// `--threaded` (and everywhere epoll is unavailable).
+enum TcpServer {
+    Threaded(WireServer),
+    #[cfg(target_os = "linux")]
+    Event(EventServer),
+}
+
+impl TcpServer {
+    fn local_addr(&self) -> std::net::SocketAddr {
+        match self {
+            TcpServer::Threaded(s) => s.local_addr(),
+            #[cfg(target_os = "linux")]
+            TcpServer::Event(s) => s.local_addr(),
+        }
+    }
+
+    fn shutdown(self) -> WireMetricsSnapshot {
+        match self {
+            TcpServer::Threaded(s) => s.shutdown(),
+            #[cfg(target_os = "linux")]
+            TcpServer::Event(s) => s.shutdown().metrics,
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn start_event_server(
+    addr: &str,
+    service: &Arc<ComplianceService>,
+    config: WireConfig,
+    explain: Option<Arc<ExplainSink>>,
+    journal: Option<Arc<Journal>>,
+) -> std::io::Result<TcpServer> {
+    EventServer::start_with_sinks(addr, Arc::clone(service), config, explain, journal)
+        .map(TcpServer::Event)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn start_event_server(
+    _addr: &str,
+    _service: &Arc<ComplianceService>,
+    _config: WireConfig,
+    _explain: Option<Arc<ExplainSink>>,
+    _journal: Option<Arc<Journal>>,
+) -> std::io::Result<TcpServer> {
+    unreachable!("--threaded is forced where epoll is unavailable")
 }
 
 /// `serve --tcp ADDR`: expose the service over the wire protocol until
@@ -672,21 +738,29 @@ fn cmd_serve_tcp(args: &Args) -> ExitCode {
             Err(code) => return code,
         },
     };
-    let server = match WireServer::start_with_sinks(
-        addr,
-        Arc::clone(&service),
-        config,
-        explain,
-        journal.clone(),
-    ) {
+    // Epoll readiness loop by default; thread-per-connection with
+    // `--threaded` (and always where epoll does not exist).
+    let threaded = args.get("threaded").is_some() || !cfg!(target_os = "linux");
+    let started = if threaded {
+        WireServer::start_with_sinks(addr, Arc::clone(&service), config, explain, journal.clone())
+            .map(TcpServer::Threaded)
+    } else {
+        start_event_server(addr, &service, config, explain, journal.clone())
+    };
+    let server = match started {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    // The contract scripts rely on: address on stderr, stdin EOF stops.
+    // The contract scripts rely on: address first on stderr (alone on
+    // its line), stdin EOF stops.
     eprintln!("listening on {}", server.local_addr());
+    eprintln!(
+        "serving model: {}",
+        if threaded { "threaded" } else { "epoll" }
+    );
 
     let mut sink = Vec::new();
     use std::io::Read as _;
@@ -869,6 +943,7 @@ fn cmd_serve(args: Args) -> ExitCode {
         policy,
         default_deadline,
         engine_floor: Duration::ZERO,
+        ..ServiceConfig::default()
     });
     let start = Instant::now();
 
@@ -961,7 +1036,15 @@ fn main() -> ExitCode {
         Some("assess") => cmd_assess(&args[1..]),
         Some("assess-batch") => cmd_assess_batch(Args::parse_from(args[1..].iter().cloned())),
         Some("assess-remote") => cmd_assess_remote(Args::parse_from(args[1..].iter().cloned())),
-        Some("serve") => cmd_serve(Args::parse_from(args[1..].iter().cloned())),
+        // `--threaded` is a bare switch; the Args parser only knows
+        // `--flag VALUE` pairs, so give it a value before parsing.
+        Some("serve") => cmd_serve(Args::parse_from(args[1..].iter().map(|a| {
+            if a == "--threaded" {
+                "--threaded=true".to_string()
+            } else {
+                a.clone()
+            }
+        }))),
         Some("journal") => cmd_journal(Args::parse_from(args[1..].iter().cloned())),
         // `--verify` is a bare switch; the Args parser only knows
         // `--flag VALUE` pairs, so give it a value before parsing.
