@@ -171,6 +171,12 @@ impl<T> MpmcRing<T> {
     /// The lock-free claim-then-publish enqueue. `Err(item)` means the
     /// ring was full (never that it was closed — callers gate on the
     /// closed flag themselves, under a registered in-flight count).
+    ///
+    /// Does **not** wake parked consumers: waking takes the park lock,
+    /// and the Block-policy re-check calls this while already holding
+    /// it (a non-reentrant `Mutex` would self-deadlock). Callers wake
+    /// via [`wake_consumer`](Self::wake_consumer) once the lock is out
+    /// of their hands.
     fn try_push_slot(&self, item: T) -> Result<(), T> {
         let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
         loop {
@@ -195,7 +201,6 @@ impl<T> MpmcRing<T> {
                         // the consumer's Acquire claim sees the value.
                         unsafe { (*slot.value.get()).write(item) };
                         slot.seq.store(pos + 1, Ordering::Release);
-                        self.wake_consumer();
                         return Ok(());
                     }
                     Err(actual) => pos = actual,
@@ -215,6 +220,16 @@ impl<T> MpmcRing<T> {
     /// published right now (a claimed-but-unpublished slot counts as
     /// not-yet-here).
     pub fn try_pop(&self) -> Option<T> {
+        let item = self.try_pop_slot()?;
+        self.wake_producer();
+        Some(item)
+    }
+
+    /// [`try_pop`](Self::try_pop) minus the producer wakeup, for the
+    /// parked re-check in [`pop_wait`](Self::pop_wait): waking re-locks
+    /// `self.park`, which that caller already holds (see
+    /// [`try_push_slot`](Self::try_push_slot)).
+    fn try_pop_slot(&self) -> Option<T> {
         let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[(pos & self.mask) as usize];
@@ -232,7 +247,6 @@ impl<T> MpmcRing<T> {
                         // ahead.
                         slot.seq
                             .store(pos + self.slots.len() as u64, Ordering::Release);
-                        self.wake_producer();
                         return Some(item);
                     }
                     Err(actual) => pos = actual,
@@ -303,7 +317,10 @@ impl<T> MpmcRing<T> {
                 return Err(PushError::Closed(item));
             }
             match self.try_push_slot(item) {
-                Ok(()) => return Ok(evicted),
+                Ok(()) => {
+                    self.wake_consumer();
+                    return Ok(evicted);
+                }
                 Err(back) => item = back,
             }
             match policy {
@@ -321,14 +338,17 @@ impl<T> MpmcRing<T> {
                     }
                 }
                 AdmissionPolicy::Block => {
-                    let mut guard = self.park.lock().expect("park lock");
+                    let guard = self.park.lock().expect("park lock");
                     self.parked_producers.fetch_add(1, Ordering::SeqCst);
                     // Re-check while registered: a consumer that freed a
                     // slot before seeing our parked count would not have
-                    // notified.
+                    // notified. The wakeup must wait until the park lock
+                    // is released — waking re-locks it.
                     match self.try_push_slot(item) {
                         Ok(()) => {
                             self.parked_producers.fetch_sub(1, Ordering::SeqCst);
+                            drop(guard);
+                            self.wake_consumer();
                             return Ok(evicted);
                         }
                         Err(back) => item = back,
@@ -337,11 +357,10 @@ impl<T> MpmcRing<T> {
                         self.parked_producers.fetch_sub(1, Ordering::SeqCst);
                         continue; // closed handling at the loop head
                     }
-                    let (g, _timeout) = self
+                    let (guard, _timeout) = self
                         .not_full
                         .wait_timeout(guard, PARK_TIMEOUT)
                         .expect("park lock");
-                    guard = g;
                     self.parked_producers.fetch_sub(1, Ordering::SeqCst);
                     drop(guard);
                 }
@@ -357,11 +376,15 @@ impl<T> MpmcRing<T> {
             if let Some(item) = self.try_pop() {
                 return Some(item);
             }
-            let mut guard = self.park.lock().expect("park lock");
+            let guard = self.park.lock().expect("park lock");
             self.parked_consumers.fetch_add(1, Ordering::SeqCst);
-            // Re-check while registered (see push_registered).
-            if let Some(item) = self.try_pop() {
+            // Re-check while registered (see push_registered). The slot
+            // variant defers the producer wakeup past the park lock we
+            // hold — waking re-locks it.
+            if let Some(item) = self.try_pop_slot() {
                 self.parked_consumers.fetch_sub(1, Ordering::SeqCst);
+                drop(guard);
+                self.wake_producer();
                 return Some(item);
             }
             if self.closed.load(Ordering::SeqCst)
@@ -374,11 +397,10 @@ impl<T> MpmcRing<T> {
                 // handed its item back, so one more pop settles it.
                 return self.try_pop();
             }
-            let (g, _timeout) = self
+            let (guard, _timeout) = self
                 .not_empty
                 .wait_timeout(guard, PARK_TIMEOUT)
                 .expect("park lock");
-            guard = g;
             self.parked_consumers.fetch_sub(1, Ordering::SeqCst);
             drop(guard);
         }
@@ -540,6 +562,68 @@ mod tests {
             assert_eq!(q.pop_wait(), Some(lap * 2));
             assert_eq!(q.pop_wait(), Some(lap * 2 + 1));
         }
+    }
+
+    /// Regression: the parked re-checks (Block push, `pop_wait`) run
+    /// while holding the park mutex; on success they must not wake the
+    /// opposite side through that same (non-reentrant) mutex. A
+    /// capacity-1 ring keeps both sides parked essentially always, so
+    /// the old self-deadlock fired within milliseconds here.
+    #[test]
+    fn tiny_ring_with_parked_waiters_on_both_sides_never_deadlocks() {
+        const PRODUCERS: usize = 2;
+        const CONSUMERS: usize = 2;
+        const PER_PRODUCER: usize = 2_000;
+        let q = Arc::new(MpmcRing::new(1));
+        let done = Arc::new(AtomicBool::new(false));
+        let watchdog = {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let deadline = std::time::Instant::now() + Duration::from_secs(60);
+                while !done.load(Ordering::SeqCst) {
+                    if std::time::Instant::now() >= deadline {
+                        // A hung transfer means the park/wake protocol
+                        // deadlocked; abort so the harness reports a
+                        // failure instead of hanging until its own
+                        // timeout.
+                        eprintln!("mpmc park/wake deadlocked");
+                        std::process::abort();
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            })
+        };
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut popped = 0usize;
+                    while q.pop_wait().is_some() {
+                        popped += 1;
+                    }
+                    popped
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push(p * PER_PRODUCER + i, AdmissionPolicy::Block)
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let popped: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        done.store(true, Ordering::SeqCst);
+        watchdog.join().unwrap();
+        assert_eq!(popped, PRODUCERS * PER_PRODUCER);
     }
 
     #[test]

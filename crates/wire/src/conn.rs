@@ -211,6 +211,11 @@ pub(crate) struct Connection {
     pub(crate) read_error: bool,
     /// The write side died; flushes are pointless, close when drained.
     pub(crate) dead_write: bool,
+    /// When a fully answered but unflushed `Draining` connection gives
+    /// up on the peer ever reading and closes anyway; armed the first
+    /// time in-flight hits zero with the write queue non-empty, so
+    /// graceful drain is bounded against stalled peers.
+    pub(crate) drain_deadline: Option<Instant>,
     /// The `EPOLL*` mask currently armed for this socket, tracked to
     /// skip redundant `epoll_ctl` calls.
     pub(crate) interest: u32,
@@ -233,6 +238,7 @@ impl Connection {
             peer_eof: false,
             read_error: false,
             dead_write: false,
+            drain_deadline: None,
             interest: 0,
         }
     }

@@ -89,8 +89,20 @@ const READ_CHUNK: usize = 64 * 1024;
 /// dropping the socket (same bound as the threaded server).
 const LINGER: Duration = Duration::from_millis(250);
 
+/// How long a fully answered `Draining` connection keeps trying to
+/// flush queued responses to a peer that is not reading before closing
+/// with the queue discarded. Without this bound a stalled (or
+/// malicious) peer would pin `live` above zero and hang graceful drain
+/// forever.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
 /// Readiness events fetched per `epoll_wait`.
 const EVENT_BATCH: usize = 1024;
+
+/// Consecutive `epoll_wait` failures tolerated (with a tick-long sleep
+/// between retries) before the loop gives up: `EBADF`-class errors
+/// never heal, and retrying forever would spin a core.
+const MAX_WAIT_FAILURES: u32 = 8;
 
 /// State shared by the loop thread and service-worker observers.
 struct EvShared {
@@ -234,6 +246,8 @@ impl EventServer {
                     scratch: vec![0u8; READ_CHUNK],
                     draining_seen: false,
                     last_scan: Instant::now(),
+                    wait_failures: 0,
+                    listener_stalled: false,
                 }
                 .run();
             })
@@ -320,6 +334,12 @@ struct EventLoop {
     scratch: Vec<u8>,
     draining_seen: bool,
     last_scan: Instant,
+    /// Consecutive `epoll_wait` failures (reset on success).
+    wait_failures: u32,
+    /// Accept hit fd exhaustion and the listener's `EPOLLIN` was
+    /// disarmed; the clock scan re-arms it once per tick so a full fd
+    /// table degrades to slow accepts instead of a busy-spin.
+    listener_stalled: bool,
 }
 
 impl EventLoop {
@@ -329,7 +349,29 @@ impl EventLoop {
             // The tick doubles as the idle/linger/drain scan cadence,
             // mirroring the threaded server's read-timeout tick.
             let tick = self.shared.config.read_tick;
-            let n = self.epoll.wait(&mut events, Some(tick)).unwrap_or(0);
+            let n = match self.epoll.wait(&mut events, Some(tick)) {
+                Ok(n) => {
+                    self.wait_failures = 0;
+                    n
+                }
+                Err(e) => {
+                    // Treating an error like a timeout would busy-spin
+                    // the loop at 100% CPU; back off a tick, and give
+                    // up entirely if the failure persists (dropping the
+                    // loop closes every connection, which beats a
+                    // wedged core).
+                    self.wait_failures += 1;
+                    eprintln!(
+                        "wire event loop: epoll_wait failed ({}/{MAX_WAIT_FAILURES}): {e}",
+                        self.wait_failures
+                    );
+                    if self.wait_failures >= MAX_WAIT_FAILURES {
+                        return;
+                    }
+                    std::thread::sleep(tick);
+                    0
+                }
+            };
 
             let mut accept_ready = false;
             let mut rang = false;
@@ -378,11 +420,35 @@ impl EventLoop {
             match self.listener.accept() {
                 Ok((stream, _)) => self.register(stream),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                // WouldBlock: backlog empty. Anything else (EMFILE,
-                // ECONNABORTED): stop the burst; level-triggered epoll
-                // re-reports pending connections next iteration.
-                Err(_) => break,
+                // The handshake died before we got to it; on to the
+                // next pending connection.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
+                // Backlog empty.
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // EMFILE/ENFILE and friends: accepting cannot make
+                // progress, but the pending connection keeps the
+                // listener readable — level-triggered epoll would
+                // report it on every wait and busy-spin the loop.
+                // Disarm the listener; the clock scan re-arms it once
+                // per tick until fds free up.
+                Err(_) => {
+                    self.stall_listener();
+                    break;
+                }
             }
+        }
+    }
+
+    /// Disarms the listener's `EPOLLIN` after an accept failure that
+    /// retrying immediately cannot fix (see `accept_all`).
+    fn stall_listener(&mut self) {
+        if !self.listener_stalled
+            && self
+                .epoll
+                .modify(self.listener.as_raw_fd(), 0, LISTENER_TOKEN)
+                .is_ok()
+        {
+            self.listener_stalled = true;
         }
     }
 
@@ -483,6 +549,25 @@ impl EventLoop {
                 conn.phase = Phase::Lingering {
                     deadline: now + LINGER,
                 };
+            } else {
+                // Fully answered but unflushed: the only thing left is
+                // a peer that has stopped reading. Bound the wait —
+                // the clock scan revisits every tick — and then treat
+                // the peer as gone, or drain/shutdown would hang on
+                // `live > 0` forever.
+                match conn.drain_deadline {
+                    None => conn.drain_deadline = Some(now + DRAIN_GRACE),
+                    Some(deadline) if now >= deadline => {
+                        conn.dead_write = true;
+                        conn.wq.clear();
+                        conn.shared.close_outbox();
+                        let _ = conn.stream.shutdown(Shutdown::Write);
+                        conn.phase = Phase::Lingering {
+                            deadline: now + LINGER,
+                        };
+                    }
+                    Some(_) => {}
+                }
             }
         }
         if let Phase::Lingering { deadline } = conn.phase {
@@ -509,7 +594,7 @@ impl EventLoop {
                 !conn.peer_eof
                     && !conn.read_error
                     && !conn.paused
-                    && conn.decoder.buffered() < READ_BUFFER_CAP
+                    && conn.decoder.buffered() < read_limit(conn)
             }
             // Draining stopped consuming input on purpose.
             Phase::Draining => false,
@@ -582,6 +667,19 @@ impl EventLoop {
     /// raced past a doorbell, and linger deadlines.
     fn scan_clocks(&mut self) {
         self.last_scan = Instant::now();
+        if self.listener_stalled && !self.draining_seen {
+            // Retry a stalled accept: teardowns since the stall may
+            // have freed descriptors. Re-arm first so a still-pending
+            // backlog is reported even if this burst empties it.
+            if self
+                .epoll
+                .modify(self.listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)
+                .is_ok()
+            {
+                self.listener_stalled = false;
+                self.accept_all();
+            }
+        }
         for idx in 0..self.entries.len() {
             {
                 let Some(conn) = self.entries[idx].as_mut() else {
@@ -603,6 +701,18 @@ impl EventLoop {
     }
 }
 
+/// How much undecoded data `conn` may buffer before reading stops.
+/// Normally [`READ_BUFFER_CAP`], but when the head of the buffer is a
+/// frame bigger than the cap the limit stretches to that frame's full
+/// wire size (bounded by the decoder's `max_frame` check) — otherwise
+/// a legal frame in `(READ_BUFFER_CAP, max_frame]` could buffer its
+/// first 256 KiB, disarm `EPOLLIN`, and never complete.
+fn read_limit(conn: &Connection) -> usize {
+    conn.decoder
+        .pending_frame_len()
+        .map_or(READ_BUFFER_CAP, |need| READ_BUFFER_CAP.max(need))
+}
+
 /// Reads until `WouldBlock`, EOF, error, or the decode-backlog cap.
 /// In `Lingering` the bytes are discarded (we only want the FIN).
 fn read_socket(conn: &mut Connection, scratch: &mut [u8], metrics: &WireMetrics) {
@@ -612,7 +722,7 @@ fn read_socket(conn: &mut Connection, scratch: &mut [u8], metrics: &WireMetrics)
     }
     let discard = !matches!(conn.phase, Phase::Open);
     loop {
-        if !discard && conn.decoder.buffered() >= READ_BUFFER_CAP {
+        if !discard && conn.decoder.buffered() >= read_limit(conn) {
             return;
         }
         match (&mut &conn.stream as &mut &TcpStream).read(scratch) {
@@ -946,6 +1056,37 @@ mod tests {
         assert_eq!(report.metrics.protocol_errors, 0);
         assert!(report.metrics.wakeups >= 1, "completions ring the doorbell");
         assert!(report.metrics.writev_batches >= 1);
+        Arc::try_unwrap(service).expect("sole owner").shutdown();
+    }
+
+    /// Regression: a legal frame bigger than [`READ_BUFFER_CAP`] used
+    /// to wedge — the cap disarmed `EPOLLIN` mid-frame and nothing
+    /// ever re-armed it, so the frame never completed and the idle
+    /// timeout killed the connection unanswered.
+    #[test]
+    fn frames_larger_than_the_read_buffer_cap_still_complete() {
+        let service = service();
+        let server = EventServer::start("127.0.0.1:0", Arc::clone(&service), WireConfig::default())
+            .expect("bind");
+        let client = WireClient::connect(server.local_addr()).expect("dial");
+        // Just past the cap: crossing the boundary is what regresses,
+        // and the engine's text scan over `describe` is CPU-heavy
+        // enough that a bigger filler only slows the suite.
+        let filler = "x".repeat(READ_BUFFER_CAP + 4 * 1024);
+        let payload = format!(
+            r#"{{"actor": "leo", "data": "content", "when": "realtime", "where": "isp", "describe": "{filler}"}}"#
+        );
+        assert!(payload.len() > READ_BUFFER_CAP);
+        assert!(payload.len() < frame::MAX_FRAME as usize);
+        let response = client
+            .roundtrip(payload.into_bytes(), 0)
+            .expect("round trip");
+        assert_eq!(response.status, Status::Ok);
+        drop(client);
+        let report = server.shutdown();
+        assert_eq!(report.metrics.frames_in, 1);
+        assert_eq!(report.metrics.frames_out, 1);
+        assert_eq!(report.metrics.protocol_errors, 0);
         Arc::try_unwrap(service).expect("sole owner").shutdown();
     }
 

@@ -498,6 +498,20 @@ impl StreamDecoder {
         self.buf.len() - self.start
     }
 
+    /// Total wire size (length prefix + body) of the frame at the head
+    /// of the buffer, once its prefix has arrived; `None` while fewer
+    /// than four bytes are buffered. The length is reported verbatim,
+    /// including one beyond `max_frame` — [`next_frame`](Self::next_frame)
+    /// still rejects those; callers use this only to size read limits.
+    pub fn pending_frame_len(&self) -> Option<usize> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes(pending[..4].try_into().expect("4 bytes"));
+        Some(4 + len as usize)
+    }
+
     /// Decodes the next complete frame, or `Ok(None)` when the buffer
     /// holds only a partial frame (feed more bytes and retry).
     ///
