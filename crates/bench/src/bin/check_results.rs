@@ -55,6 +55,46 @@ fn check_wire_load(section: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Every sweep point the `simcore_scale` driver emits must carry the
+/// scale axes: overlay size, event count, throughput, wall time, and
+/// the point's peak RSS.
+const SIMCORE_SCALE_POINT_KEYS: &[&str] = &[
+    "nodes",
+    "sim_events",
+    "events_per_sec",
+    "wall_ms",
+    "peak_rss_kb",
+];
+
+/// Structural check for the `simcore_scale` section: both sweeps
+/// present and non-empty with every point carrying the scale columns,
+/// and the determinism phase recorded `identical: true`. Deliberately
+/// does **not** require a particular overlay size — CI smoke runs pass
+/// a small `--nodes`; the 100k+ points come from full runs.
+fn check_simcore_scale(section: &Json) -> Result<(), String> {
+    for sweep_key in ["oneswarm_sweep", "watermark_sweep"] {
+        let Some(Json::Arr(sweep)) = section.get(sweep_key) else {
+            return Err(format!("simcore_scale: missing {sweep_key:?} array"));
+        };
+        if sweep.is_empty() {
+            return Err(format!("simcore_scale: {sweep_key} is empty"));
+        }
+        for (i, point) in sweep.iter().enumerate() {
+            for key in SIMCORE_SCALE_POINT_KEYS {
+                if !matches!(point.get(key), Some(Json::Num(_))) {
+                    return Err(format!(
+                        "simcore_scale.{sweep_key}: point {i} lacks numeric {key:?}"
+                    ));
+                }
+            }
+        }
+    }
+    match section.get("determinism").and_then(|d| d.get("identical")) {
+        Some(Json::Bool(true)) => Ok(()),
+        _ => Err("simcore_scale: determinism.identical is not true".into()),
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let file = args
@@ -84,6 +124,7 @@ fn main() -> ExitCode {
             Some(section @ Json::Obj(_)) => {
                 let shape = match driver {
                     "wire_load" => check_wire_load(section),
+                    "simcore_scale" => check_simcore_scale(section),
                     _ => Ok(()),
                 };
                 match shape {

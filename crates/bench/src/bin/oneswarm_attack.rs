@@ -6,10 +6,11 @@
 //! for the larger sweeps). Takes `--trials N`, `--threads N`, and
 //! `--seed S`; each configuration is averaged over the trials, which fan
 //! out across the worker threads with results independent of the worker
-//! count.
+//! count. `--nodes N` additionally runs the attack on population-scale
+//! overlays up to N peers (100k+ works in release builds).
 
 use bench::cli::Args;
-use p2psim::experiment::{run_experiments_on, ExperimentBatch, ExperimentConfig};
+use p2psim::experiment::{run_experiment, run_experiments_on, ExperimentBatch, ExperimentConfig};
 use p2psim::peer::DelayModel;
 use trials::TrialRunner;
 
@@ -114,6 +115,46 @@ fn main() {
         };
         let batch = run_batch(&cfg);
         println!("{:<8} {:>10}", probes, bench::pct(batch.metrics.accuracy()));
+    }
+
+    // Sweep 4 (opt-in): population-scale overlays. `--nodes N` runs the
+    // attack on overlays up to N peers (one trial per point — each point
+    // is a whole-population run, so the averaging axis above does not
+    // apply). Skipped by default to keep the standard output — the
+    // golden fixture — and runtime unchanged.
+    if args.get("nodes").is_some() {
+        let nodes = args.usize_flag("nodes", 100_000).max(64);
+        println!("\nsweep 4: population-scale overlay (--nodes, 1 trial/point, 3 probes)");
+        println!(
+            "{:<10} {:>8} {:>10} {:>12} {:>12} {:>10}",
+            "peers", "targets", "accuracy", "events", "wall ms", "Mev/s"
+        );
+        bench::rule(68);
+        let mut sizes = vec![nodes / 10, nodes];
+        sizes.retain(|&s| s >= 64);
+        sizes.dedup();
+        for peers in sizes {
+            let cfg = ExperimentConfig {
+                peers,
+                targets: (peers / 4).clamp(1, 24),
+                sources: (peers / 8).max(1),
+                probes: 3,
+                seed: base_seed ^ peers as u64,
+                ..ExperimentConfig::default()
+            };
+            let start = std::time::Instant::now();
+            let result = run_experiment(&cfg);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "{:<10} {:>8} {:>10} {:>12} {:>12.0} {:>10.2}",
+                peers,
+                cfg.targets,
+                bench::pct(result.metrics.accuracy()),
+                result.sim_events,
+                wall_ms,
+                result.sim_events as f64 / wall_ms.max(1e-9) / 1e3,
+            );
+        }
     }
 
     println!(

@@ -5,11 +5,15 @@
 //! Run with: `cargo run -p bench --bin watermark_roc --release`. Takes
 //! `--trials N` (statistic draws per table row), `--threads N`, and
 //! `--seed S`; draws fan out across the worker threads with results
-//! independent of the worker count.
+//! independent of the worker count. `--nodes N` additionally runs one
+//! population-scale despread: an N-node overlay where every candidate
+//! suspect (~N/3) is despread in the same simulation and the target
+//! must beat the whole empirical null population.
 
 use bench::cli::Args;
 use trials::TrialRunner;
 use watermark::pn::PnCode;
+use watermark::population::{run_population, PopulationConfig};
 use watermark::roc::{auc, null_statistics_on, roc_curve, signal_statistics_on};
 
 fn main() {
@@ -84,6 +88,54 @@ fn main() {
             .map(|p| p.tpr)
             .fold(0.0f64, f64::max);
         println!("{:<10} {:>8.4} {:>22.2}", noise, a, tpr_at_1pct);
+    }
+
+    // Population-scale despread (opt-in): `--nodes N` builds one N-node
+    // overlay, watermarks a single account, and despreads every
+    // candidate suspect against the same code — the target must beat
+    // the max over the whole empirical null population, the scale
+    // analogue of the per-threshold ROC above. Skipped by default to
+    // keep the standard output — the golden fixture — and runtime
+    // unchanged.
+    if args.get("nodes").is_some() {
+        let nodes = args.usize_flag("nodes", 100_000).max(8);
+        let cfg = PopulationConfig {
+            nodes,
+            seed: 0xbeef ^ base_seed,
+            ..PopulationConfig::default()
+        };
+        println!(
+            "\npopulation-scale despread (--nodes {nodes}): one watermarked account,\n\
+             every candidate suspect despread in the same run"
+        );
+        let start = std::time::Instant::now();
+        let r = run_population(&cfg);
+        let wall = start.elapsed().as_secs_f64();
+        println!("{:<26} {:>12}", "overlay nodes", r.nodes);
+        println!("{:<26} {:>12}", "candidate suspects", r.suspects);
+        println!(
+            "{:<26} {:>12}",
+            "identified correctly",
+            if r.correct() { "yes" } else { "NO" }
+        );
+        println!("{:<26} {:>12.4}", "target |statistic|", r.target_statistic);
+        println!("{:<26} {:>12.4}", "null mean |statistic|", r.null_mean_abs);
+        println!("{:<26} {:>12.4}", "null max |statistic|", r.null_max_abs);
+        println!("{:<26} {:>12.2}", "separation (target/max)", r.separation());
+        println!("{:<26} {:>12}", "false positives (4σ)", r.false_positives);
+        println!(
+            "{:<26} {:>12} ({:.1}s wall, {:.2} Mev/s)",
+            "simulator events",
+            r.sim_events,
+            wall,
+            r.sim_events as f64 / wall.max(1e-9) / 1e6,
+        );
+        assert!(
+            r.correct(),
+            "population despread failed: identified {:?}, truth {}",
+            r.identified,
+            r.true_suspect
+        );
     }
 
     println!(

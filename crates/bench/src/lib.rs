@@ -14,6 +14,7 @@
 //! | `throughput` | batch-assessment scaling — sequential vs cached vs threaded |
 //! | `experiments` | parallel trial-runner scaling + detector fast-path vs reference |
 //! | `service_load` | bounded-queue service — worker scaling, cached ceiling, 2× overload shed/latency |
+//! | `simcore_scale` | population-scale overlays — events/s, wall time, peak RSS per size, 1/2/8-worker determinism |
 //!
 //! Perf drivers additionally write machine-readable measurements into
 //! [`results::RESULTS_FILE`] so the trajectory is tracked across PRs, and

@@ -26,6 +26,7 @@ pub const REGISTERED_DRIVERS: &[&str] = &[
     "wire_load",
     "trace_overhead",
     "journal_replay",
+    "simcore_scale",
 ];
 
 /// A minimal JSON value.

@@ -1,0 +1,130 @@
+//! Golden differential tests for the experiment drivers.
+//!
+//! The fixtures under `tests/fixtures/` were captured from the drivers
+//! **before** the simulators were ported onto the `simcore` engine (the
+//! pre-refactor `main`). The port — shared event queue, bounded route
+//! cache, neighbor fast path, tap indexing — is required to be
+//! behavior-preserving, so the post-port drivers must reproduce those
+//! captures byte for byte, and must keep doing so at any worker count.
+//!
+//! To regenerate a fixture after an *intentional* output change, rerun
+//! the exact command recorded at the top of each test and review the
+//! diff like any other golden update.
+
+use std::process::Command;
+
+/// Runs a bench binary and returns its stdout, asserting clean exit.
+fn stdout_of(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} exited {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("driver output is UTF-8")
+}
+
+/// Diffs driver output against its fixture with a readable first-delta
+/// report (a bare `assert_eq!` on whole files is unreadable on failure).
+fn assert_matches_fixture(got: &str, fixture: &str, name: &str) {
+    if got == fixture {
+        return;
+    }
+    for (i, (g, f)) in got.lines().zip(fixture.lines()).enumerate() {
+        assert_eq!(
+            g,
+            f,
+            "{name}: first divergence at line {} (fixture predates the simcore port; \
+             the port must be behavior-preserving)",
+            i + 1
+        );
+    }
+    panic!(
+        "{name}: outputs agree line-by-line but differ in length \
+         (got {} lines, fixture {} lines)",
+        got.lines().count(),
+        fixture.lines().count()
+    );
+}
+
+// Captured pre-port with:
+//   oneswarm_attack --trials 2 --threads 2 --seed 7
+#[test]
+fn oneswarm_attack_reproduces_preport_fixture() {
+    let got = stdout_of(
+        env!("CARGO_BIN_EXE_oneswarm_attack"),
+        &["--trials", "2", "--threads", "2", "--seed", "7"],
+    );
+    assert_matches_fixture(
+        &got,
+        include_str!("fixtures/oneswarm_attack.txt"),
+        "oneswarm_attack",
+    );
+}
+
+// Captured pre-port with:
+//   p2p_comparison --trials 2 --threads 2 --seed 7
+#[test]
+fn p2p_comparison_reproduces_preport_fixture() {
+    let got = stdout_of(
+        env!("CARGO_BIN_EXE_p2p_comparison"),
+        &["--trials", "2", "--threads", "2", "--seed", "7"],
+    );
+    assert_matches_fixture(
+        &got,
+        include_str!("fixtures/p2p_comparison.txt"),
+        "p2p_comparison",
+    );
+}
+
+// Captured pre-port with:
+//   watermark_roc --trials 120 --threads 2 --seed 7
+#[test]
+fn watermark_roc_reproduces_preport_fixture() {
+    let got = stdout_of(
+        env!("CARGO_BIN_EXE_watermark_roc"),
+        &["--trials", "120", "--threads", "2", "--seed", "7"],
+    );
+    assert_matches_fixture(
+        &got,
+        include_str!("fixtures/watermark_roc.txt"),
+        "watermark_roc",
+    );
+}
+
+/// The worker-count half of the determinism contract: the same seed
+/// must print the same bytes whether trials run on 1, 2, or 8 workers.
+#[test]
+fn worker_count_never_changes_driver_output() {
+    let cases: &[(&str, &[&str])] = &[
+        (
+            env!("CARGO_BIN_EXE_oneswarm_attack"),
+            &["--trials", "2", "--seed", "7"],
+        ),
+        (
+            env!("CARGO_BIN_EXE_p2p_comparison"),
+            &["--trials", "2", "--seed", "7"],
+        ),
+        (
+            env!("CARGO_BIN_EXE_watermark_roc"),
+            &["--trials", "40", "--seed", "7"],
+        ),
+    ];
+    for (bin, base) in cases {
+        let outputs: Vec<String> = ["1", "2", "8"]
+            .iter()
+            .map(|threads| {
+                let mut args = base.to_vec();
+                args.extend_from_slice(&["--threads", threads]);
+                stdout_of(bin, &args)
+            })
+            .collect();
+        assert_eq!(outputs[0], outputs[1], "{bin}: 1 vs 2 workers diverged");
+        assert_eq!(outputs[0], outputs[2], "{bin}: 1 vs 8 workers diverged");
+    }
+}

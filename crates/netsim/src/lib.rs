@@ -16,6 +16,18 @@
 //! * **Determinism** ([`rng`], [`sim`]): seeded RNG and a totally ordered
 //!   event queue make every experiment regenerable.
 //!
+//! ## Layering
+//!
+//! netsim is the packet-level layer over the generic deterministic
+//! engine in [`simcore`]: the clock ([`time`] re-exports
+//! `simcore::time`), the RNG ([`rng`] re-exports `simcore::rng`), and
+//! the `(time, seq)`-ordered event queue (`simcore::queue::EventQueue`)
+//! all live there. netsim adds what is network-specific — topology,
+//! layered packets, hop-by-hop routing, capture taps — and the overlay
+//! simulators (`p2psim`, `anonsim`, `watermark`) build on netsim's
+//! prelude. Node and routing state are bounded per-node/per-link (no
+//! all-pairs tables), so overlays scale to 100k–1M nodes.
+//!
 //! [`CaptureScope::HeadersOnly`]: capture::CaptureScope::HeadersOnly
 //! [`CaptureScope::FullContent`]: capture::CaptureScope::FullContent
 //! [`CaptureScope::RateOnly`]: capture::CaptureScope::RateOnly

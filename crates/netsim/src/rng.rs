@@ -1,285 +1,9 @@
 //! A small deterministic RNG (SplitMix64 seeding an xoshiro256++ core)
 //! with the distributions the traffic generators need.
 //!
-//! The whole workspace's experiments are seeded, so identical runs produce
-//! identical packets, delays, and results — a requirement for regenerable
-//! tables.
+//! The implementation lives in [`simcore::rng`] — one shared SplitMix64
+//! for the whole workspace, pinned by golden stream tests — and is
+//! re-exported here so existing `netsim::rng::SimRng` / prelude imports
+//! keep working unchanged, on the exact same output streams.
 
-/// Deterministic pseudo-random number generator.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SimRng {
-    s: [u64; 4],
-}
-
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e3779b97f4a7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
-}
-
-impl SimRng {
-    /// Creates an RNG from a seed. Equal seeds yield equal streams.
-    pub fn seed_from(seed: u64) -> Self {
-        let mut sm = seed;
-        SimRng {
-            s: [
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-            ],
-        }
-    }
-
-    /// Next raw 64-bit value (xoshiro256++).
-    pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
-        result
-    }
-
-    /// Uniform in `[0, 1)`.
-    pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
-    /// Uniform integer in `[0, bound)` (rejection-free modulo with
-    /// widening multiply; slight bias is irrelevant for simulation).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bound == 0`.
-    pub fn next_below(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0, "bound must be positive");
-        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
-    }
-
-    /// Uniform in `[lo, hi)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lo >= hi`.
-    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        assert!(lo < hi, "empty range");
-        lo + self.next_below(hi - lo)
-    }
-
-    /// Uniform float in `[lo, hi)`.
-    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        lo + self.next_f64() * (hi - lo)
-    }
-
-    /// Bernoulli trial with probability `p`.
-    pub fn chance(&mut self, p: f64) -> bool {
-        self.next_f64() < p
-    }
-
-    /// Exponential with given rate (mean 1/rate), for Poisson arrivals.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rate <= 0`.
-    pub fn exponential(&mut self, rate: f64) -> f64 {
-        assert!(rate > 0.0, "rate must be positive");
-        let u = 1.0 - self.next_f64(); // (0, 1]
-        -u.ln() / rate
-    }
-
-    /// Standard normal via Box–Muller.
-    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        let u1 = 1.0 - self.next_f64();
-        let u2 = self.next_f64();
-        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        mean + std_dev * z
-    }
-
-    /// Pareto with scale `xm` and shape `alpha` (heavy-tailed on/off
-    /// periods).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `xm <= 0` or `alpha <= 0`.
-    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
-        assert!(
-            xm > 0.0 && alpha > 0.0,
-            "pareto parameters must be positive"
-        );
-        let u = 1.0 - self.next_f64();
-        xm / u.powf(1.0 / alpha)
-    }
-
-    /// Fisher–Yates shuffle.
-    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
-        for i in (1..slice.len()).rev() {
-            let j = self.next_below(i as u64 + 1) as usize;
-            slice.swap(i, j);
-        }
-    }
-
-    /// Picks a uniformly random element.
-    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
-        if slice.is_empty() {
-            None
-        } else {
-            Some(&slice[self.next_below(slice.len() as u64) as usize])
-        }
-    }
-
-    /// Derives an independent child RNG (for per-node streams).
-    pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.next_u64())
-    }
-
-    /// Constructs the RNG for stream `stream` of a master seed — the
-    /// cheap per-trial constructor the parallel trial runner needs:
-    /// `derive(seed, t)` is a pure function of its arguments, so trial
-    /// `t` gets the same stream no matter which worker thread builds it,
-    /// and adjacent stream indices land on statistically independent
-    /// states.
-    pub fn derive(seed: u64, stream: u64) -> SimRng {
-        let mut sm = seed;
-        let mixed = splitmix64(&mut sm) ^ stream.wrapping_mul(0x9e3779b97f4a7c15);
-        SimRng::seed_from(mixed)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn determinism() {
-        let mut a = SimRng::seed_from(42);
-        let mut b = SimRng::seed_from(42);
-        for _ in 0..100 {
-            assert_eq!(a.next_u64(), b.next_u64());
-        }
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let mut a = SimRng::seed_from(1);
-        let mut b = SimRng::seed_from(2);
-        let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
-        assert!(same < 3);
-    }
-
-    #[test]
-    fn f64_in_unit_interval() {
-        let mut r = SimRng::seed_from(7);
-        for _ in 0..10_000 {
-            let x = r.next_f64();
-            assert!((0.0..1.0).contains(&x));
-        }
-    }
-
-    #[test]
-    fn next_below_respects_bound() {
-        let mut r = SimRng::seed_from(9);
-        for _ in 0..10_000 {
-            assert!(r.next_below(17) < 17);
-        }
-    }
-
-    #[test]
-    fn range_inclusive_exclusive() {
-        let mut r = SimRng::seed_from(5);
-        for _ in 0..1_000 {
-            let x = r.range(10, 20);
-            assert!((10..20).contains(&x));
-        }
-    }
-
-    #[test]
-    fn exponential_mean_approximates() {
-        let mut r = SimRng::seed_from(11);
-        let rate = 4.0;
-        let n = 50_000;
-        let mean: f64 = (0..n).map(|_| r.exponential(rate)).sum::<f64>() / n as f64;
-        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
-    }
-
-    #[test]
-    fn normal_moments_approximate() {
-        let mut r = SimRng::seed_from(13);
-        let n = 50_000;
-        let samples: Vec<f64> = (0..n).map(|_| r.normal(5.0, 2.0)).collect();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
-        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
-        assert!((var - 4.0).abs() < 0.2, "var {var}");
-    }
-
-    #[test]
-    fn pareto_exceeds_scale() {
-        let mut r = SimRng::seed_from(17);
-        for _ in 0..1_000 {
-            assert!(r.pareto(1.5, 2.0) >= 1.5);
-        }
-    }
-
-    #[test]
-    fn chance_frequency() {
-        let mut r = SimRng::seed_from(23);
-        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
-        let freq = hits as f64 / 100_000.0;
-        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
-    }
-
-    #[test]
-    fn shuffle_is_permutation() {
-        let mut r = SimRng::seed_from(29);
-        let mut v: Vec<u32> = (0..50).collect();
-        r.shuffle(&mut v);
-        let mut sorted = v.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn choose_empty_and_nonempty() {
-        let mut r = SimRng::seed_from(31);
-        let empty: [u8; 0] = [];
-        assert!(r.choose(&empty).is_none());
-        assert!(r.choose(&[1, 2, 3]).is_some());
-    }
-
-    #[test]
-    fn fork_streams_are_independent() {
-        let mut parent = SimRng::seed_from(37);
-        let mut c1 = parent.fork();
-        let mut c2 = parent.fork();
-        assert_ne!(c1.next_u64(), c2.next_u64());
-    }
-
-    #[test]
-    #[should_panic(expected = "bound must be positive")]
-    fn zero_bound_panics() {
-        SimRng::seed_from(1).next_below(0);
-    }
-
-    #[test]
-    fn derive_is_pure_and_streams_differ() {
-        let mut a = SimRng::derive(42, 3);
-        let mut b = SimRng::derive(42, 3);
-        for _ in 0..20 {
-            assert_eq!(a.next_u64(), b.next_u64());
-        }
-        let mut c = SimRng::derive(42, 4);
-        let mut d = SimRng::derive(43, 3);
-        let first = SimRng::derive(42, 3).next_u64();
-        assert_ne!(first, c.next_u64());
-        assert_ne!(first, d.next_u64());
-    }
-}
+pub use simcore::rng::SimRng;

@@ -1,18 +1,29 @@
 //! The discrete-event simulator core.
 //!
 //! A [`Simulator`] owns a [`Topology`], per-node [`Protocol`] behaviours,
-//! capture [`Tap`]s, and a time-ordered event queue. Packets sent by
-//! protocols are routed hop-by-hop along shortest paths; every link
-//! traversal is offered to the taps; delivery invokes the destination
-//! protocol.
+//! capture [`Tap`]s, and the deterministic `(time, seq)`-ordered
+//! [`EventQueue`] from [`simcore`]. Packets sent by protocols are routed
+//! hop-by-hop along shortest paths; every link traversal is offered to
+//! the taps; delivery invokes the destination protocol.
+//!
+//! ## Scaling model
+//!
+//! Node state is flat and index-addressed (one `Vec` slot per node, one
+//! per link), and routing state is **bounded**: next-hop lookups first
+//! try the adjacent-neighbor fast path (overlay experiments send almost
+//! exclusively to direct neighbors), then fall back to an on-demand
+//! per-destination BFS cached in a small LRU. Nothing in the simulator
+//! allocates per-node-pair, so population-scale overlays (100k–1M nodes)
+//! fit in memory — the old all-pairs route cache needed O(N) per active
+//! destination and made anything past ~10k nodes infeasible.
 
 use crate::capture::{Tap, TapId, TapPoint};
 use crate::node::{LinkId, NodeId, Topology};
 use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use simcore::queue::EventQueue;
+use std::collections::HashMap;
 
 /// Behaviour attached to a node. All callbacks receive a [`Context`] for
 /// sending packets and setting timers.
@@ -81,37 +92,22 @@ impl Context<'_> {
 #[derive(Debug)]
 enum EventKind {
     /// Packet arriving at `node`, having traversed `via` (None for
-    /// locally injected packets).
-    Arrival { packet: Packet, via: Option<LinkId> },
+    /// locally injected packets). Boxed once at origin and moved through
+    /// every hop: heap sifts then shuffle a pointer-sized payload instead
+    /// of memcpying whole packets, which dominates at population scale.
+    Arrival {
+        packet: Box<Packet>,
+        via: Option<LinkId>,
+    },
     /// Timer for the node's protocol.
     Timer { token: u64 },
 }
 
+/// The event payload carried by the shared `(time, seq)`-ordered queue.
 #[derive(Debug)]
-struct Event {
-    at: SimTime,
-    seq: u64,
+struct NodeEvent {
     node: NodeId,
     kind: EventKind,
-}
-
-// Order events by (time, seq) — seq breaks ties deterministically in
-// insertion order.
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Counters the simulator maintains.
@@ -131,6 +127,52 @@ pub struct SimCounters {
     pub hops: u64,
     /// Events processed.
     pub events: u64,
+}
+
+/// Default number of destinations the bounded route cache keeps warm.
+const DEFAULT_ROUTE_CACHE_CAPACITY: usize = 32;
+
+/// One cached BFS result: `routes_toward(dst)` indexed by source node.
+type NextHopVec = Vec<Option<(LinkId, NodeId)>>;
+
+/// A bounded, deterministic per-destination next-hop cache.
+///
+/// Each entry holds the full BFS next-hop vector toward one destination
+/// (O(nodes) memory); the cache keeps at most `cap` destinations warm,
+/// evicting least-recently-used. Because BFS is deterministic and the
+/// lookup draws no randomness, cache policy cannot perturb results —
+/// only recomputation cost.
+struct RouteCache {
+    cap: usize,
+    /// Most-recently-used first. Linear scan: `cap` is small.
+    entries: Vec<(NodeId, NextHopVec)>,
+    /// BFS recomputations (cache misses), for capacity tuning.
+    misses: u64,
+}
+
+impl RouteCache {
+    fn new(cap: usize) -> Self {
+        RouteCache {
+            cap: cap.max(1),
+            entries: Vec::new(),
+            misses: 0,
+        }
+    }
+
+    fn next_hop(&mut self, topo: &Topology, from: NodeId, dst: NodeId) -> Option<(LinkId, NodeId)> {
+        if let Some(i) = self.entries.iter().position(|(d, _)| *d == dst) {
+            if i != 0 {
+                self.entries[..=i].rotate_right(1);
+            }
+            return self.entries[0].1[from.0];
+        }
+        self.misses += 1;
+        let routes = topo.routes_toward(dst);
+        let hop = routes[from.0];
+        self.entries.insert(0, (dst, routes));
+        self.entries.truncate(self.cap);
+        hop
+    }
 }
 
 /// The discrete-event network simulator.
@@ -155,17 +197,29 @@ pub struct SimCounters {
 pub struct Simulator {
     topo: Topology,
     time: SimTime,
-    queue: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    queue: EventQueue<NodeEvent>,
     protocols: Vec<Option<Box<dyn Protocol>>>,
     rng: SimRng,
     taps: Vec<Tap>,
+    /// Tap indices keyed by attachment point, so the per-event hot path
+    /// touches only the taps that can match — population-scale runs
+    /// attach one tap per monitored node, and scanning all of them per
+    /// event would be O(nodes) per packet.
+    node_taps: HashMap<usize, Vec<usize>>,
+    link_taps: HashMap<usize, Vec<usize>>,
     counters: SimCounters,
-    route_cache: HashMap<NodeId, Vec<Option<(LinkId, NodeId)>>>,
+    routes: RouteCache,
     /// Per-link transmitter-busy horizon: a bandwidth-limited link is a
     /// FIFO — a packet cannot start serializing before the previous one
-    /// finished (queueing delay under load).
+    /// finished (queueing delay under load). Empty when no link has a
+    /// bandwidth limit (the common overlay case), so latency-only
+    /// topologies pay nothing per link.
     link_busy_until: Vec<SimTime>,
+    /// Reusable callback buffers: `with_protocol` hands these to the
+    /// [`Context`] and drains them afterwards, so the per-event hot path
+    /// allocates nothing once the buffers have grown to the working set.
+    scratch_outbox: Vec<(SimDuration, Packet)>,
+    scratch_timers: Vec<(SimDuration, u64)>,
     started: bool,
 }
 
@@ -186,18 +240,27 @@ impl Simulator {
         let n = topo.node_count();
         let mut protocols = Vec::with_capacity(n);
         protocols.resize_with(n, || None);
-        let link_busy_until = vec![SimTime::ZERO; topo.links().len()];
+        // Transmitter state only exists when some link can actually be
+        // busy; latency-only topologies skip the per-link allocation.
+        let link_busy_until = if topo.links().iter().any(|l| l.bandwidth_bps > 0) {
+            vec![SimTime::ZERO; topo.links().len()]
+        } else {
+            Vec::new()
+        };
         Simulator {
             topo,
             time: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::new(),
             protocols,
             rng: SimRng::seed_from(seed),
             taps: Vec::new(),
+            node_taps: HashMap::new(),
+            link_taps: HashMap::new(),
             counters: SimCounters::default(),
-            route_cache: HashMap::new(),
+            routes: RouteCache::new(DEFAULT_ROUTE_CACHE_CAPACITY),
             link_busy_until,
+            scratch_outbox: Vec::new(),
+            scratch_timers: Vec::new(),
             started: false,
         }
     }
@@ -209,8 +272,13 @@ impl Simulator {
 
     /// Installs a capture tap, returning its id.
     pub fn add_tap(&mut self, tap: Tap) -> TapId {
+        let idx = self.taps.len();
+        match tap.point() {
+            TapPoint::Node(n) => self.node_taps.entry(n.0).or_default().push(idx),
+            TapPoint::Link(l) => self.link_taps.entry(l.0).or_default().push(idx),
+        }
         self.taps.push(tap);
-        TapId(self.taps.len() - 1)
+        TapId(idx)
     }
 
     /// Read access to a tap's log.
@@ -231,6 +299,26 @@ impl Simulator {
     /// Aggregate counters.
     pub fn counters(&self) -> SimCounters {
         self.counters
+    }
+
+    /// Resizes the bounded route cache (default keeps 32 destinations
+    /// warm). Experiments whose traffic fans out to many *multi-hop*
+    /// destinations can raise this; each warm destination costs O(nodes)
+    /// memory. Cache policy affects only speed, never results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `destinations == 0`.
+    pub fn set_route_cache_capacity(&mut self, destinations: usize) {
+        assert!(destinations > 0, "route cache needs at least one slot");
+        self.routes.cap = destinations;
+        self.routes.entries.truncate(destinations);
+    }
+
+    /// BFS recomputations the bounded route cache has performed — the
+    /// signal for tuning [`Self::set_route_cache_capacity`].
+    pub fn route_cache_misses(&self) -> u64 {
+        self.routes.misses
     }
 
     /// Takes a protocol out of the simulator (e.g. to inspect collected
@@ -255,7 +343,7 @@ impl Simulator {
 
     /// Injects a packet as if `node` sent it at the current time.
     pub fn inject(&mut self, node: NodeId, packet: Packet) {
-        let mut packet = packet;
+        let mut packet = Box::new(packet);
         packet.stamp_sent_at(self.time);
         self.route_or_deliver(node, packet, SimDuration::ZERO);
     }
@@ -276,12 +364,12 @@ impl Simulator {
     /// Time advances to `deadline` (or further events' times).
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start();
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > deadline {
+        while let Some(at) = self.queue.next_time() {
+            if at > deadline {
                 break;
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
-            self.time = ev.at;
+            let (at, ev) = self.queue.pop().expect("peeked");
+            self.time = at;
             self.counters.events += 1;
             self.dispatch(ev);
         }
@@ -300,33 +388,38 @@ impl Simulator {
     /// reschedule forever will never drain).
     pub fn run_to_completion(&mut self) {
         self.start();
-        while let Some(Reverse(ev)) = self.queue.pop() {
-            self.time = ev.at;
+        while let Some((at, ev)) = self.queue.pop() {
+            self.time = at;
             self.counters.events += 1;
             self.dispatch(ev);
         }
     }
 
-    fn dispatch(&mut self, ev: Event) {
+    fn dispatch(&mut self, ev: NodeEvent) {
         match ev.kind {
             EventKind::Timer { token } => {
                 self.with_protocol(ev.node, |proto, ctx| proto.on_timer(ctx, token));
             }
             EventKind::Arrival { packet, via } => {
-                // Offer the traversal to matching taps.
+                // Offer the traversal to the taps attached at this point.
+                // Taps log independently, so only per-tap (not cross-tap)
+                // observation order matters, and that follows event order.
                 let now = self.time;
-                for tap in &mut self.taps {
-                    let matches_point = match tap.point() {
-                        TapPoint::Link(l) => via == Some(l),
-                        TapPoint::Node(n) => n == ev.node,
-                    };
-                    if matches_point {
-                        tap.observe(now, &packet);
+                if let Some(idxs) = self.node_taps.get(&ev.node.0) {
+                    for &i in idxs {
+                        self.taps[i].observe(now, &packet);
+                    }
+                }
+                if let Some(l) = via {
+                    if let Some(idxs) = self.link_taps.get(&l.0) {
+                        for &i in idxs {
+                            self.taps[i].observe(now, &packet);
+                        }
                     }
                 }
                 if packet.dst() == ev.node {
                     self.counters.delivered += 1;
-                    self.with_protocol(ev.node, |proto, ctx| proto.on_packet(ctx, packet));
+                    self.with_protocol(ev.node, |proto, ctx| proto.on_packet(ctx, *packet));
                 } else {
                     // Transit: decrement TTL and forward.
                     let mut packet = packet;
@@ -352,29 +445,79 @@ impl Simulator {
             node,
             time: self.time,
             rng: &mut self.rng,
-            outbox: Vec::new(),
-            timers: Vec::new(),
+            outbox: std::mem::take(&mut self.scratch_outbox),
+            timers: std::mem::take(&mut self.scratch_timers),
         };
         f(proto.as_mut(), &mut ctx);
-        let Context { outbox, timers, .. } = ctx;
+        let Context {
+            mut outbox,
+            mut timers,
+            ..
+        } = ctx;
         self.protocols[node.0] = Some(proto);
-        for (delay, mut packet) in outbox {
+        // Flushing never re-enters a protocol callback, so the drained
+        // buffers can be returned for reuse afterwards.
+        for (delay, packet) in outbox.drain(..) {
+            let mut packet = Box::new(packet);
             packet.stamp_sent_at(self.time + delay);
-            self.route_or_deliver_delayed(node, packet, delay);
+            self.route_or_deliver(node, packet, delay);
         }
-        for (delay, token) in timers {
+        for (delay, token) in timers.drain(..) {
             let at = self.time + delay;
-            self.push_event(at, node, EventKind::Timer { token });
+            self.queue.push(
+                at,
+                NodeEvent {
+                    node,
+                    kind: EventKind::Timer { token },
+                },
+            );
         }
+        self.scratch_outbox = outbox;
+        self.scratch_timers = timers;
     }
 
-    fn route_or_deliver_delayed(&mut self, from: NodeId, packet: Packet, delay: SimDuration) {
-        self.route_or_deliver(from, packet, delay);
+    /// The next hop from `from` toward `dst`: the adjacent-neighbor fast
+    /// path first (no routing state at all), then the bounded BFS cache.
+    ///
+    /// The fast path returns exactly what BFS would. When `from` borders
+    /// `dst`, BFS-from-`dst` visits `from` at distance one via the first
+    /// `dst`→`from` link in `dst`'s adjacency list; [`Topology::add_link`]
+    /// appends each link to both endpoints' lists in the same call, so
+    /// parallel links keep the same relative order in both lists — the
+    /// first match in *either* list is that same link. Each scan is
+    /// capped so a high-degree hub (a proxy or gateway fanning out to
+    /// the population) cannot turn the per-packet lookup into O(degree);
+    /// past the cap the bounded BFS cache answers instead, with the
+    /// identical result.
+    fn next_hop(&mut self, from: NodeId, dst: NodeId) -> Option<(LinkId, NodeId)> {
+        const FAST_PATH_SCAN_CAP: usize = 64;
+        let out = self.topo.neighbors(from);
+        if let Some(&hop) = out
+            .iter()
+            .take(FAST_PATH_SCAN_CAP)
+            .find(|(_, peer)| *peer == dst)
+        {
+            return Some(hop);
+        }
+        if out.len() > FAST_PATH_SCAN_CAP {
+            // `from` is a hub: check adjacency from the (usually leaf)
+            // destination side before falling back to BFS.
+            if let Some(&(link, _)) = self
+                .topo
+                .neighbors(dst)
+                .iter()
+                .take(FAST_PATH_SCAN_CAP)
+                .find(|(_, peer)| *peer == from)
+            {
+                return Some((link, dst));
+            }
+        }
+        self.routes.next_hop(&self.topo, from, dst)
     }
 
     /// Routes a packet one hop from `from` toward its destination,
     /// scheduling the arrival event.
-    fn route_or_deliver(&mut self, from: NodeId, packet: Packet, extra_delay: SimDuration) {
+    fn route_or_deliver(&mut self, from: NodeId, packet: Box<Packet>, extra_delay: SimDuration) {
         let dst = packet.dst();
         if dst.0 >= self.topo.node_count() {
             // Addressed to a node that does not exist (e.g. garbage bytes
@@ -386,16 +529,16 @@ impl Simulator {
         if from == dst {
             // Local delivery.
             let at = self.time + extra_delay;
-            self.push_event(at, from, EventKind::Arrival { packet, via: None });
+            self.queue.push(
+                at,
+                NodeEvent {
+                    node: from,
+                    kind: EventKind::Arrival { packet, via: None },
+                },
+            );
             return;
         }
-        let route = {
-            let topo = &self.topo;
-            self.route_cache
-                .entry(dst)
-                .or_insert_with(|| topo.routes_toward(dst))[from.0]
-        };
-        match route {
+        match self.next_hop(from, dst) {
             Some((link_id, next)) => {
                 let link = *self.topo.link(link_id);
                 if link.sample_loss(&mut self.rng) {
@@ -420,12 +563,14 @@ impl Simulator {
                     + link.traversal_delay(packet.size_bytes(), &mut self.rng);
                 self.counters.hops += 1;
                 let at = self.time + delay;
-                self.push_event(
+                self.queue.push(
                     at,
-                    next,
-                    EventKind::Arrival {
-                        packet,
-                        via: Some(link_id),
+                    NodeEvent {
+                        node: next,
+                        kind: EventKind::Arrival {
+                            packet,
+                            via: Some(link_id),
+                        },
                     },
                 );
             }
@@ -433,17 +578,6 @@ impl Simulator {
                 self.counters.dropped_unreachable += 1;
             }
         }
-    }
-
-    fn push_event(&mut self, at: SimTime, node: NodeId, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Event {
-            at,
-            seq,
-            node,
-            kind,
-        }));
     }
 }
 
@@ -686,6 +820,115 @@ mod tests {
         let (arrive_at, pkt) = log.borrow()[0].clone();
         assert_eq!(pkt.sent_at(), SimTime::ZERO);
         assert_eq!(arrive_at, SimTime::from_millis(20));
+    }
+}
+
+#[cfg(test)]
+mod routing_tests {
+    use super::*;
+    use crate::packet::{FlowId, Packet};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Recorder {
+        deliveries: Rc<RefCell<Vec<SimTime>>>,
+    }
+    impl Protocol for Recorder {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _packet: Packet) {
+            self.deliveries.borrow_mut().push(ctx.time());
+        }
+    }
+
+    /// The adjacent-neighbor fast path and the BFS cache must pick the
+    /// same link: with parallel links between two nodes, both choose the
+    /// first-added one.
+    #[test]
+    fn fast_path_matches_bfs_on_parallel_links() {
+        let mut topo = Topology::new();
+        let a = topo.add_node();
+        let b = topo.add_node();
+        let first = topo.connect(a, b, SimDuration::from_millis(3));
+        let _second = topo.connect(a, b, SimDuration::from_millis(50));
+        // BFS from b picks the first a↔b link in b's adjacency list.
+        let bfs_hop = topo.routes_toward(b)[a.0].unwrap();
+        assert_eq!(bfs_hop.0, first);
+        // The simulator's delivery (via the fast path) uses that link's
+        // 3 ms latency, not the 50 ms one.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(topo, 1);
+        sim.set_protocol(
+            b,
+            Recorder {
+                deliveries: log.clone(),
+            },
+        );
+        sim.start();
+        sim.inject(a, Packet::udp(a, b, 1, 2, FlowId(1), vec![]));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(*log.borrow(), vec![SimTime::from_millis(3)]);
+    }
+
+    /// Multi-hop traffic to more destinations than the cache holds still
+    /// delivers everything — eviction costs recomputation, not packets.
+    #[test]
+    fn lru_eviction_does_not_change_deliveries() {
+        // Star of 8 leaves around a hub: leaf→leaf is always multi-hop.
+        let mut topo = Topology::new();
+        let hub = topo.add_node();
+        let leaves = topo.add_nodes(8);
+        for &l in &leaves {
+            topo.connect(hub, l, SimDuration::from_millis(1));
+        }
+        let run = |cache_cap: usize| {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Simulator::new(topo.clone(), 9);
+            sim.set_route_cache_capacity(cache_cap);
+            for &l in &leaves {
+                sim.set_protocol(
+                    l,
+                    Recorder {
+                        deliveries: log.clone(),
+                    },
+                );
+            }
+            sim.start();
+            // Every leaf sends to every other leaf.
+            for &src in &leaves {
+                for &dst in &leaves {
+                    if src != dst {
+                        sim.inject(src, Packet::udp(src, dst, 1, 2, FlowId(1), vec![]));
+                    }
+                }
+            }
+            sim.run_until(SimTime::from_secs(1));
+            let times = log.borrow().clone();
+            (times, sim.counters(), sim.route_cache_misses())
+        };
+        let (times_tiny, counters_tiny, misses_tiny) = run(2);
+        let (times_big, counters_big, misses_big) = run(64);
+        assert_eq!(times_tiny, times_big);
+        assert_eq!(counters_tiny, counters_big);
+        assert_eq!(counters_big.delivered, 8 * 7);
+        // The tiny cache thrashes; the big one computes each leaf once.
+        assert!(misses_tiny > misses_big, "{misses_tiny} vs {misses_big}");
+        assert_eq!(misses_big, 8);
+    }
+
+    /// Purely neighbor-to-neighbor traffic never touches the BFS cache.
+    #[test]
+    fn adjacent_traffic_needs_no_bfs() {
+        let mut topo = Topology::new();
+        let a = topo.add_node();
+        let b = topo.add_node();
+        topo.connect(a, b, SimDuration::from_millis(1));
+        let mut sim = Simulator::new(topo, 1);
+        sim.start();
+        for _ in 0..100 {
+            sim.inject(a, Packet::udp(a, b, 1, 2, FlowId(1), vec![]));
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.counters().delivered, 100);
+        assert_eq!(sim.route_cache_misses(), 0);
     }
 }
 

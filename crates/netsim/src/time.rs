@@ -1,209 +1,8 @@
 //! Simulation time: a nanosecond-resolution monotone clock.
+//!
+//! The implementation lives in [`simcore::time`] — the shared engine
+//! layer under every simulator in the workspace — and is re-exported
+//! here so existing `netsim::time::SimTime` / prelude imports keep
+//! working unchanged.
 
-use std::fmt;
-use std::ops::{Add, AddAssign, Sub};
-
-/// A point in simulated time (nanoseconds since simulation start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct SimTime(u64);
-
-impl SimTime {
-    /// Simulation start.
-    pub const ZERO: SimTime = SimTime(0);
-
-    /// Constructs from raw nanoseconds.
-    pub fn from_nanos(nanos: u64) -> Self {
-        SimTime(nanos)
-    }
-
-    /// Constructs from microseconds.
-    pub fn from_micros(micros: u64) -> Self {
-        SimTime(micros * 1_000)
-    }
-
-    /// Constructs from milliseconds.
-    pub fn from_millis(millis: u64) -> Self {
-        SimTime(millis * 1_000_000)
-    }
-
-    /// Constructs from whole seconds.
-    pub fn from_secs(secs: u64) -> Self {
-        SimTime(secs * 1_000_000_000)
-    }
-
-    /// Raw nanoseconds.
-    pub fn as_nanos(self) -> u64 {
-        self.0
-    }
-
-    /// Time as floating-point seconds (for statistics).
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
-    }
-
-    /// Saturating duration since an earlier instant.
-    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(self.0.saturating_sub(earlier.0))
-    }
-}
-
-impl fmt::Display for SimTime {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.6}s", self.as_secs_f64())
-    }
-}
-
-/// A span of simulated time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct SimDuration(u64);
-
-impl SimDuration {
-    /// Zero-length span.
-    pub const ZERO: SimDuration = SimDuration(0);
-
-    /// Constructs from raw nanoseconds.
-    pub fn from_nanos(nanos: u64) -> Self {
-        SimDuration(nanos)
-    }
-
-    /// Constructs from microseconds.
-    pub fn from_micros(micros: u64) -> Self {
-        SimDuration(micros * 1_000)
-    }
-
-    /// Constructs from milliseconds.
-    pub fn from_millis(millis: u64) -> Self {
-        SimDuration(millis * 1_000_000)
-    }
-
-    /// Constructs from whole seconds.
-    pub fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * 1_000_000_000)
-    }
-
-    /// Constructs from floating-point seconds (negative clamps to zero).
-    pub fn from_secs_f64(secs: f64) -> Self {
-        if secs <= 0.0 {
-            SimDuration(0)
-        } else {
-            SimDuration((secs * 1e9).round() as u64)
-        }
-    }
-
-    /// Raw nanoseconds.
-    pub fn as_nanos(self) -> u64 {
-        self.0
-    }
-
-    /// Span as floating-point seconds.
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
-    }
-
-    /// Span as floating-point milliseconds.
-    pub fn as_millis_f64(self) -> f64 {
-        self.0 as f64 / 1e6
-    }
-
-    /// Integer multiplication.
-    #[allow(clippy::should_implement_trait)] // also provided via `impl Mul<u64>` below
-    pub fn mul(self, k: u64) -> SimDuration {
-        SimDuration(self.0 * k)
-    }
-}
-
-impl fmt::Display for SimDuration {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.6}s", self.as_secs_f64())
-    }
-}
-
-impl std::ops::Mul<u64> for SimDuration {
-    type Output = SimDuration;
-    fn mul(self, k: u64) -> SimDuration {
-        SimDuration(self.0 * k)
-    }
-}
-
-impl Add<SimDuration> for SimTime {
-    type Output = SimTime;
-    fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
-    }
-}
-
-impl AddAssign<SimDuration> for SimTime {
-    fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
-    }
-}
-
-impl Add for SimDuration {
-    type Output = SimDuration;
-    fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
-    }
-}
-
-impl AddAssign for SimDuration {
-    fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
-    }
-}
-
-impl Sub for SimTime {
-    type Output = SimDuration;
-    fn sub(self, rhs: SimTime) -> SimDuration {
-        self.duration_since(rhs)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn conversions() {
-        assert_eq!(SimTime::from_secs(1).as_nanos(), 1_000_000_000);
-        assert_eq!(SimTime::from_millis(1).as_nanos(), 1_000_000);
-        assert_eq!(SimTime::from_micros(1).as_nanos(), 1_000);
-        assert_eq!(SimDuration::from_secs(2).as_secs_f64(), 2.0);
-        assert_eq!(SimDuration::from_millis(1500).as_millis_f64(), 1500.0);
-    }
-
-    #[test]
-    fn arithmetic() {
-        let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
-        assert_eq!(t.as_nanos(), 1_500_000_000);
-        let d = t - SimTime::from_secs(1);
-        assert_eq!(d, SimDuration::from_millis(500));
-        let mut t2 = SimTime::ZERO;
-        t2 += SimDuration::from_secs(3);
-        assert_eq!(t2, SimTime::from_secs(3));
-    }
-
-    #[test]
-    fn saturating_subtraction() {
-        let d = SimTime::from_secs(1) - SimTime::from_secs(5);
-        assert_eq!(d, SimDuration::ZERO);
-    }
-
-    #[test]
-    fn from_secs_f64_clamps_negative() {
-        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
-        assert_eq!(
-            SimDuration::from_secs_f64(0.5),
-            SimDuration::from_millis(500)
-        );
-    }
-
-    #[test]
-    fn ordering_and_display() {
-        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
-        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
-        assert_eq!(
-            SimDuration::from_millis(2).mul(3),
-            SimDuration::from_millis(6)
-        );
-    }
-}
+pub use simcore::time::{SimDuration, SimTime};

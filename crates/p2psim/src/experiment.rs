@@ -85,6 +85,9 @@ pub struct ExperimentResult {
     pub metrics: Classification,
     /// The threshold used, in milliseconds.
     pub threshold_ms: f64,
+    /// Simulator events processed (the cost axis for population-scale
+    /// sweeps: events/second is the engine's throughput unit).
+    pub sim_events: u64,
 }
 
 impl ExperimentResult {
@@ -234,6 +237,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
         outcomes,
         metrics,
         threshold_ms: threshold.as_millis_f64(),
+        sim_events: sim.counters().events,
     }
 }
 

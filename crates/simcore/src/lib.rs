@@ -1,0 +1,78 @@
+//! # simcore
+//!
+//! A generic, dependency-free, deterministic discrete-event simulation
+//! engine — the bottom layer of the workspace's simulator stack:
+//!
+//! ```text
+//! simcore            (this crate: time, RNG streams, event queue, components)
+//!   └── netsim       (network domain: packets, links, routing, capture taps)
+//!         ├── p2psim  (Gnutella / OneSwarm overlays, timing attack)
+//!         └── anonsim (anonymizing proxy chains)
+//! ```
+//!
+//! The engine makes one promise: **a simulation is a pure function of its
+//! seed and configuration.** Three mechanisms enforce it:
+//!
+//! * **Total event order** ([`queue::EventQueue`]): events are ordered by
+//!   `(time, seq)` where `seq` is assigned at push — simultaneous events
+//!   fire in exactly their scheduling order, on every run.
+//! * **One shared SplitMix64** ([`rng`]): every derived stream in the
+//!   workspace — per-trial seeds ([`rng::derive_seed`]), per-component
+//!   streams, the xoshiro256++ state expansion of [`rng::SimRng`] — comes
+//!   from the single [`rng::splitmix64`] implementation, pinned by golden
+//!   stream tests.
+//! * **Per-component RNG streams** ([`sim::Simulation`]): each component
+//!   draws from its own `derive(master_seed, component_id)` stream, so
+//!   adding or reordering *other* components' draws cannot perturb it.
+//!
+//! Two layers are exposed. Domain simulators that need tight control over
+//! their event payloads (like `netsim`) build directly on
+//! [`queue::EventQueue`] + [`time`] + [`rng`]. New domains can instead
+//! implement [`sim::Component`] and let [`sim::Simulation`] own dispatch,
+//! timers, and per-component RNG streams.
+//!
+//! ## Example
+//!
+//! ```
+//! use simcore::prelude::*;
+//!
+//! struct Ping { peer: Option<ComponentId>, seen: u64 }
+//! impl Component for Ping {
+//!     fn on_start(&mut self, ctx: &mut SimContext<'_>) {
+//!         if let Some(peer) = self.peer {
+//!             ctx.emit(peer, "ping", SimDuration::from_millis(5));
+//!         }
+//!     }
+//!     fn on_event(&mut self, _ctx: &mut SimContext<'_>, event: Box<dyn std::any::Any>) {
+//!         if event.downcast::<&str>().is_ok() {
+//!             self.seen += 1;
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(42);
+//! let b = sim.add_component(Ping { peer: None, seen: 0 });
+//! let _a = sim.add_component(Ping { peer: Some(b), seen: 0 });
+//! sim.run_until(SimTime::from_secs(1));
+//! assert_eq!(sim.component_as::<Ping>(b).unwrap().seen, 1);
+//! assert_eq!(sim.counters().messages, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod time;
+
+/// Commonly used items, importable with `use simcore::prelude::*`.
+pub mod prelude {
+    pub use crate::queue::EventQueue;
+    pub use crate::rng::{derive_seed, splitmix64, SimRng};
+    pub use crate::sim::{
+        Component, ComponentId, EngineCounters, SimContext, Simulation, TimerToken,
+    };
+    pub use crate::time::{SimDuration, SimTime};
+}

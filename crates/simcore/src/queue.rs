@@ -1,0 +1,173 @@
+//! The deterministic event queue: a min-heap ordered by `(time, seq)`.
+//!
+//! `seq` is a monotone counter assigned at push, so two events scheduled
+//! for the same instant always fire in their scheduling order — the FIFO
+//! tie-break every deterministic discrete-event engine needs. The payload
+//! type is generic: domain simulators keep their own compact event enums
+//! (no boxing on the hot path) while sharing one ordering implementation.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Order entries by (time, seq) only — the payload never participates, so
+// it needs no Ord bound and cannot perturb the schedule.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A time-ordered queue of events with deterministic FIFO tie-breaking.
+///
+/// ```
+/// use simcore::queue::EventQueue;
+/// use simcore::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// let t = SimTime::from_millis(5);
+/// q.push(t, "second");        // same instant…
+/// q.push(t, "third");         // …fire in push order
+/// q.push(SimTime::ZERO, "first");
+/// assert_eq!(q.pop(), Some((SimTime::ZERO, "first")));
+/// assert_eq!(q.pop(), Some((t, "second")));
+/// assert_eq!(q.pop(), Some((t, "third")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("scheduled", &self.seq)
+            .finish()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `at`. Events pushed for the same instant
+    /// pop in push order.
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pending (not yet popped) events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (the monotone tie-break counter).
+    pub fn scheduled(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        for ms in [30u64, 10, 20] {
+            q.push(SimTime::from_millis(ms), ms);
+        }
+        assert_eq!(q.pop().unwrap().1, 10);
+        assert_eq!(q.pop().unwrap().1, 20);
+        assert_eq!(q.pop().unwrap().1, 30);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_equal_times() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_pushes_keep_per_instant_order() {
+        let mut q = EventQueue::new();
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        q.push(b, "b0");
+        q.push(a, "a0");
+        q.push(b, "b1");
+        q.push(a, "a1");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ["a0", "a1", "b0", "b1"]);
+    }
+
+    #[test]
+    fn counters_and_emptiness() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO + SimDuration::from_secs(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled(), 2);
+        assert_eq!(q.next_time(), Some(SimTime::ZERO));
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled(), 2, "scheduled counts pushes, not pops");
+    }
+}

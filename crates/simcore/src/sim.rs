@@ -1,0 +1,542 @@
+//! The generic component engine: typed events, timer tokens, and
+//! per-component RNG streams over the deterministic [`EventQueue`].
+//!
+//! A [`Simulation`] owns a flat, index-addressed table of
+//! [`Component`]s. Components exchange *typed* events (any `'static`
+//! value, delivered as `Box<dyn Any>` for the receiver to downcast),
+//! schedule timers that return [`TimerToken`]s, and draw randomness from
+//! their own [`SimRng`] stream derived as
+//! `derive(master_seed, component_id)` — so one component's draws can
+//! never perturb another's, and adding a component cannot shift existing
+//! streams.
+//!
+//! Domain simulators with hot packet paths (like `netsim`) skip this
+//! layer and build directly on [`EventQueue`] with their own compact
+//! event enums; this engine is for new domains where per-event boxing is
+//! acceptable and the component model does the bookkeeping.
+
+use crate::queue::EventQueue;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::any::Any;
+
+/// Index of a component in a [`Simulation`] (flat, dense, assigned in
+/// registration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub usize);
+
+impl std::fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifies one scheduled timer. Tokens are unique per simulation and
+/// allocated in scheduling order, so they are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerToken(pub u64);
+
+/// Behaviour attached to a component. All callbacks receive a
+/// [`SimContext`] for emitting events, setting timers, and drawing from
+/// the component's own RNG stream.
+///
+/// The `Any` supertrait lets callers recover their concrete component
+/// (and its accumulated state) after a run via
+/// [`Simulation::take_component_as`].
+pub trait Component: Any {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut SimContext<'_>) {}
+    /// Called when a typed event addressed to this component arrives.
+    /// Downcast with `event.downcast::<T>()`.
+    fn on_event(&mut self, _ctx: &mut SimContext<'_>, _event: Box<dyn Any>) {}
+    /// Called when a timer set via [`SimContext::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut SimContext<'_>, _timer: TimerToken) {}
+}
+
+enum Payload {
+    Message { to: ComponentId, data: Box<dyn Any> },
+    Timer { on: ComponentId, token: TimerToken },
+}
+
+/// Counters the engine maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Events dispatched (messages + timers).
+    pub events: u64,
+    /// Typed messages delivered to components.
+    pub messages: u64,
+    /// Timers fired.
+    pub timers: u64,
+}
+
+/// The interface a component uses to interact with the simulation.
+pub struct SimContext<'a> {
+    id: ComponentId,
+    time: SimTime,
+    rng: &'a mut SimRng,
+    next_timer: &'a mut u64,
+    pending: Vec<(SimDuration, Payload)>,
+}
+
+impl std::fmt::Debug for SimContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimContext")
+            .field("id", &self.id)
+            .field("time", &self.time)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl SimContext<'_> {
+    /// The component this callback runs on.
+    pub fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// This component's own deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Emits a typed event to `to`, delivered after `delay`.
+    pub fn emit<T: Any>(&mut self, to: ComponentId, data: T, delay: SimDuration) {
+        self.pending.push((
+            delay,
+            Payload::Message {
+                to,
+                data: Box::new(data),
+            },
+        ));
+    }
+
+    /// Schedules `on_timer` on this component after `delay`, returning
+    /// the token that will identify the firing.
+    pub fn set_timer(&mut self, delay: SimDuration) -> TimerToken {
+        let token = TimerToken(*self.next_timer);
+        *self.next_timer += 1;
+        self.pending
+            .push((delay, Payload::Timer { on: self.id, token }));
+        token
+    }
+}
+
+/// The generic deterministic discrete-event simulation.
+///
+/// See the [module docs](self) for the determinism contract and the
+/// crate docs for a runnable example.
+pub struct Simulation {
+    time: SimTime,
+    queue: EventQueue<Payload>,
+    components: Vec<Option<Box<dyn Component>>>,
+    rngs: Vec<SimRng>,
+    master_seed: u64,
+    next_timer: u64,
+    counters: EngineCounters,
+    started: bool,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("time", &self.time)
+            .field("components", &self.components.len())
+            .field("pending", &self.queue.len())
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation with a deterministic master seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            time: SimTime::ZERO,
+            queue: EventQueue::new(),
+            components: Vec::new(),
+            rngs: Vec::new(),
+            master_seed: seed,
+            next_timer: 0,
+            counters: EngineCounters::default(),
+            started: false,
+        }
+    }
+
+    /// Registers a component, returning its id. The component's RNG
+    /// stream is `SimRng::derive(master_seed, id)` — a pure function of
+    /// the seed and the registration position.
+    pub fn add_component<C: Component + 'static>(&mut self, component: C) -> ComponentId {
+        let id = ComponentId(self.components.len());
+        self.components.push(Some(Box::new(component)));
+        self.rngs
+            .push(SimRng::derive(self.master_seed, id.0 as u64));
+        id
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Aggregate engine counters.
+    pub fn counters(&self) -> EngineCounters {
+        self.counters
+    }
+
+    /// Pending (scheduled, not yet dispatched) events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Injects a typed event from outside the simulation, delivered to
+    /// `to` after `delay` from the current time.
+    pub fn emit<T: Any>(&mut self, to: ComponentId, data: T, delay: SimDuration) {
+        self.queue.push(
+            self.time + delay,
+            Payload::Message {
+                to,
+                data: Box::new(data),
+            },
+        );
+    }
+
+    /// Immutable view of a component as its concrete type.
+    pub fn component_as<C: Component>(&self, id: ComponentId) -> Option<&C> {
+        let c = self.components[id.0].as_deref()?;
+        (c as &dyn Any).downcast_ref::<C>()
+    }
+
+    /// Takes a component out and downcasts it to its concrete type,
+    /// returning `None` (and leaving the slot passive) on type mismatch.
+    pub fn take_component_as<C: Component>(&mut self, id: ComponentId) -> Option<Box<C>> {
+        let c = self.components[id.0].take()?;
+        let any: Box<dyn Any> = c;
+        any.downcast::<C>().ok()
+    }
+
+    /// Runs `on_start` for every component (idempotent; also invoked by
+    /// the first `run_until`/`step`).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.components.len() {
+            self.with_component(ComponentId(i), |c, ctx| c.on_start(ctx));
+        }
+    }
+
+    /// Dispatches the earliest pending event, advancing time to it.
+    /// Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some((at, payload)) = self.queue.pop() else {
+            return false;
+        };
+        self.time = at;
+        self.counters.events += 1;
+        self.dispatch(payload);
+        true
+    }
+
+    /// Processes events until the queue empties or `deadline` passes.
+    /// Time advances to `deadline` (or further events' times).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start();
+        while let Some(at) = self.queue.next_time() {
+            if at > deadline {
+                break;
+            }
+            let (at, payload) = self.queue.pop().expect("peeked");
+            self.time = at;
+            self.counters.events += 1;
+            self.dispatch(payload);
+        }
+        if self.time < deadline {
+            self.time = deadline;
+        }
+    }
+
+    /// Drains every remaining event (use with care: components that
+    /// reschedule forever will never drain).
+    pub fn run_to_completion(&mut self) {
+        self.start();
+        while self.step() {}
+    }
+
+    fn dispatch(&mut self, payload: Payload) {
+        match payload {
+            Payload::Message { to, data } => {
+                self.counters.messages += 1;
+                self.with_component(to, |c, ctx| c.on_event(ctx, data));
+            }
+            Payload::Timer { on, token } => {
+                self.counters.timers += 1;
+                self.with_component(on, |c, ctx| c.on_timer(ctx, token));
+            }
+        }
+    }
+
+    /// Runs a component callback and flushes what it scheduled.
+    fn with_component<F>(&mut self, id: ComponentId, f: F)
+    where
+        F: FnOnce(&mut dyn Component, &mut SimContext<'_>),
+    {
+        let Some(mut component) = self.components[id.0].take() else {
+            return; // passive slot (taken out or never attached)
+        };
+        let mut ctx = SimContext {
+            id,
+            time: self.time,
+            rng: &mut self.rngs[id.0],
+            next_timer: &mut self.next_timer,
+            pending: Vec::new(),
+        };
+        f(component.as_mut(), &mut ctx);
+        let pending = ctx.pending;
+        self.components[id.0] = Some(component);
+        for (delay, payload) in pending {
+            self.queue.push(self.time + delay, payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type Trace = Rc<RefCell<Vec<(SimTime, String)>>>;
+
+    /// Records every callback into a shared trace; pings a peer on start
+    /// and echoes typed events back until a hop budget runs out.
+    struct Tracer {
+        peer: Option<ComponentId>,
+        hops: u32,
+        trace: Trace,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Ping(u32);
+
+    impl Component for Tracer {
+        fn on_start(&mut self, ctx: &mut SimContext<'_>) {
+            self.trace
+                .borrow_mut()
+                .push((ctx.time(), format!("{} start", ctx.id())));
+            if let Some(peer) = self.peer {
+                ctx.emit(peer, Ping(self.hops), SimDuration::from_millis(10));
+            }
+            ctx.set_timer(SimDuration::from_millis(5));
+        }
+        fn on_event(&mut self, ctx: &mut SimContext<'_>, event: Box<dyn Any>) {
+            let ping = event.downcast::<Ping>().expect("only pings are sent");
+            self.trace
+                .borrow_mut()
+                .push((ctx.time(), format!("{} ping {}", ctx.id(), ping.0)));
+            if ping.0 > 0 {
+                if let Some(peer) = self.peer {
+                    let jitter = ctx.rng().range(1, 5);
+                    ctx.emit(peer, Ping(ping.0 - 1), SimDuration::from_millis(jitter));
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut SimContext<'_>, timer: TimerToken) {
+            self.trace
+                .borrow_mut()
+                .push((ctx.time(), format!("{} timer {}", ctx.id(), timer.0)));
+        }
+    }
+
+    fn trace_run(seed: u64) -> (Vec<(SimTime, String)>, EngineCounters) {
+        let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(seed);
+        let a = ComponentId(0);
+        let b = ComponentId(1);
+        sim.add_component(Tracer {
+            peer: Some(b),
+            hops: 3,
+            trace: trace.clone(),
+        });
+        sim.add_component(Tracer {
+            peer: Some(a),
+            hops: 0,
+            trace: trace.clone(),
+        });
+        sim.run_until(SimTime::from_secs(1));
+        let t = trace.borrow().clone();
+        (t, sim.counters())
+    }
+
+    #[test]
+    fn same_seed_identical_event_trace() {
+        let (trace_a, counters_a) = trace_run(7);
+        let (trace_b, counters_b) = trace_run(7);
+        assert_eq!(trace_a, trace_b);
+        assert_eq!(counters_a, counters_b);
+        assert!(counters_a.messages >= 4, "ping chain ran: {counters_a:?}");
+        assert_eq!(
+            counters_a.events,
+            counters_a.messages + counters_a.timers,
+            "events partition into messages and timers"
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        // Jitter draws differ, so delivery times must differ somewhere.
+        let (trace_a, _) = trace_run(7);
+        let (trace_c, _) = trace_run(8);
+        assert_ne!(trace_a, trace_c);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_emit_order() {
+        struct Collector {
+            seen: Rc<RefCell<Vec<u32>>>,
+        }
+        impl Component for Collector {
+            fn on_event(&mut self, _ctx: &mut SimContext<'_>, event: Box<dyn Any>) {
+                self.seen
+                    .borrow_mut()
+                    .push(*event.downcast::<u32>().unwrap());
+            }
+        }
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(1);
+        let c = sim.add_component(Collector { seen: seen.clone() });
+        for i in 0..50u32 {
+            sim.emit(c, i, SimDuration::from_millis(10)); // all at t=10ms
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(*seen.borrow(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_component_rng_streams_are_isolated() {
+        struct Drawer {
+            draws: u32,
+            out: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Component for Drawer {
+            fn on_start(&mut self, ctx: &mut SimContext<'_>) {
+                for _ in 0..self.draws {
+                    let v = ctx.rng().next_u64();
+                    self.out.borrow_mut().push(v);
+                }
+            }
+        }
+        // Component 1 draws the same stream whether component 0 draws 0
+        // or 100 values — streams are indexed, not interleaved.
+        let run = |first_draws: u32| {
+            let out = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Simulation::new(99);
+            sim.add_component(Drawer {
+                draws: first_draws,
+                out: Rc::new(RefCell::new(Vec::new())),
+            });
+            sim.add_component(Drawer {
+                draws: 4,
+                out: out.clone(),
+            });
+            sim.start();
+            let v = out.borrow().clone();
+            v
+        };
+        assert_eq!(run(0), run(100));
+        // And the stream is exactly the derived one.
+        let mut expected = SimRng::derive(99, 1);
+        assert_eq!(
+            run(0),
+            (0..4).map(|_| expected.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn timer_tokens_unique_and_fire_in_time_order() {
+        struct Timers {
+            tokens: Rc<RefCell<Vec<u64>>>,
+            fired: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Component for Timers {
+            fn on_start(&mut self, ctx: &mut SimContext<'_>) {
+                let t1 = ctx.set_timer(SimDuration::from_millis(30));
+                let t2 = ctx.set_timer(SimDuration::from_millis(10));
+                let t3 = ctx.set_timer(SimDuration::from_millis(20));
+                self.tokens.borrow_mut().extend([t1.0, t2.0, t3.0]);
+            }
+            fn on_timer(&mut self, _ctx: &mut SimContext<'_>, timer: TimerToken) {
+                self.fired.borrow_mut().push(timer.0);
+            }
+        }
+        let tokens = Rc::new(RefCell::new(Vec::new()));
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(3);
+        sim.add_component(Timers {
+            tokens: tokens.clone(),
+            fired: fired.clone(),
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(*tokens.borrow(), vec![0, 1, 2], "tokens allocated in order");
+        assert_eq!(*fired.borrow(), vec![1, 2, 0], "fired in time order");
+        assert_eq!(sim.counters().timers, 3);
+    }
+
+    #[test]
+    fn step_advances_one_event_at_a_time() {
+        struct Noop;
+        impl Component for Noop {}
+        let mut sim = Simulation::new(1);
+        let c = sim.add_component(Noop);
+        sim.emit(c, 1u8, SimDuration::from_millis(1));
+        sim.emit(c, 2u8, SimDuration::from_millis(2));
+        assert!(sim.step());
+        assert_eq!(sim.now(), SimTime::from_millis(1));
+        assert_eq!(sim.pending_events(), 1);
+        assert!(sim.step());
+        assert!(!sim.step(), "queue drained");
+        assert_eq!(sim.counters().events, 2);
+    }
+
+    #[test]
+    fn run_until_advances_time_even_when_idle() {
+        let mut sim = Simulation::new(1);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn take_component_recovers_state() {
+        struct Counter {
+            n: u64,
+        }
+        impl Component for Counter {
+            fn on_event(&mut self, _ctx: &mut SimContext<'_>, _event: Box<dyn Any>) {
+                self.n += 1;
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let c = sim.add_component(Counter { n: 0 });
+        sim.emit(c, (), SimDuration::ZERO);
+        sim.emit(c, (), SimDuration::ZERO);
+        sim.run_to_completion();
+        assert_eq!(sim.component_as::<Counter>(c).unwrap().n, 2);
+        let boxed = sim.take_component_as::<Counter>(c).unwrap();
+        assert_eq!(boxed.n, 2);
+        // Slot is now passive: events to it are dropped silently.
+        sim.emit(c, (), SimDuration::ZERO);
+        sim.run_to_completion();
+        assert!(sim.component_as::<Counter>(c).is_none());
+    }
+}

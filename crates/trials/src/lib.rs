@@ -39,18 +39,14 @@ use std::time::{Duration, Instant};
 
 /// Derives the RNG seed for one trial from a master seed.
 ///
-/// One splitmix64-style finalizer round over the `(master, trial)` pair:
-/// adjacent trial indices land on well-separated, statistically
-/// independent seeds, and the mapping is a pure function — the foundation
-/// of the runner's worker-count-independence guarantee.
-pub fn derive_seed(master: u64, trial: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(trial.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// One SplitMix64 round over the `(master, trial)` pair: adjacent trial
+/// indices land on well-separated, statistically independent seeds, and
+/// the mapping is a pure function — the foundation of the runner's
+/// worker-count-independence guarantee. The finalizer is the workspace's
+/// single shared SplitMix64 in [`simcore::rng`], pinned there by golden
+/// stream tests, so per-trial seeds and simulator RNG streams can never
+/// silently drift apart.
+pub use simcore::rng::derive_seed;
 
 /// What one [`TrialRunner::run`] call observed.
 #[derive(Debug, Clone, PartialEq, Eq)]

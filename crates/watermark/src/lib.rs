@@ -38,6 +38,7 @@ pub mod detect;
 pub mod embed;
 pub mod experiment;
 pub mod pn;
+pub mod population;
 pub mod roc;
 
 pub use detect::{Detection, Detector};
@@ -46,3 +47,4 @@ pub use experiment::{
     run_trial, run_trials, run_trials_on, WatermarkExperimentConfig, WatermarkSummary,
 };
 pub use pn::{Lfsr, PnCode};
+pub use population::{run_population, PopulationConfig, PopulationResult};
