@@ -95,6 +95,45 @@ fn check_simcore_scale(section: &Json) -> Result<(), String> {
     }
 }
 
+/// Every sweep point the `plan_search` driver emits must carry the
+/// search axes: problem size, frontier work, expansion throughput,
+/// cache amortization, and wall time.
+const PLAN_SEARCH_POINT_KEYS: &[&str] = &[
+    "items",
+    "nodes_expanded",
+    "candidates_evaluated",
+    "nodes_per_sec",
+    "cache_hit_rate",
+    "wall_ms",
+];
+
+/// Structural check for the `plan_search` section: a non-empty sweep
+/// whose points all carry the search columns, and the thread-count
+/// determinism phase recorded `identical: true`. Deliberately does
+/// **not** require a particular item count — CI smoke runs pass a
+/// small `--items`.
+fn check_plan_search(section: &Json) -> Result<(), String> {
+    let Some(Json::Arr(sweep)) = section.get("sweep") else {
+        return Err("plan_search: missing \"sweep\" array".into());
+    };
+    if sweep.is_empty() {
+        return Err("plan_search: sweep is empty".into());
+    }
+    for (i, point) in sweep.iter().enumerate() {
+        for key in PLAN_SEARCH_POINT_KEYS {
+            if !matches!(point.get(key), Some(Json::Num(_))) {
+                return Err(format!(
+                    "plan_search: sweep point {i} lacks numeric {key:?}"
+                ));
+            }
+        }
+    }
+    match section.get("determinism").and_then(|d| d.get("identical")) {
+        Some(Json::Bool(true)) => Ok(()),
+        _ => Err("plan_search: determinism.identical is not true".into()),
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let file = args
@@ -125,6 +164,7 @@ fn main() -> ExitCode {
                 let shape = match driver {
                     "wire_load" => check_wire_load(section),
                     "simcore_scale" => check_simcore_scale(section),
+                    "plan_search" => check_plan_search(section),
                     _ => Ok(()),
                 };
                 match shape {

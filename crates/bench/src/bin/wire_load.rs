@@ -252,7 +252,7 @@ mod epoll_gen {
                         {
                             let response = match frame {
                                 Frame::Response(response) => response,
-                                Frame::Request(_) => panic!("server sent a request"),
+                                other => panic!("server sent a non-response frame: {other:?}"),
                             };
                             let sent_at = self
                                 .inflight

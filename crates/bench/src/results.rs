@@ -27,6 +27,7 @@ pub const REGISTERED_DRIVERS: &[&str] = &[
     "trace_overhead",
     "journal_replay",
     "simcore_scale",
+    "plan_search",
 ];
 
 /// A minimal JSON value.

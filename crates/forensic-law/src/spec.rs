@@ -20,7 +20,7 @@
 //! | `data`     | `content`, `headers`, `subscriber`, `records`                                  | `content`  |
 //! | `when`     | `realtime`, `stored`, `stored-unopened`                                        | `realtime` |
 //! | `where`    | `isp`, `own-network`, `wireless`, `wireless-enc`, `device`, `provider`, `public`, `media`, `remote` | `isp` |
-//! | `flags`    | array drawn from `public-protocol`, `rate-only`, `hash-search`, `consent`, `exigent`, `probation`, `as-provider` | `[]` |
+//! | `flags`    | array drawn from `public-protocol`, `rate-only`, `hash-search`, `consent`, `exigent`, `probation`, `plain-view`, `as-provider` | `[]` |
 //! | `describe` | free text, echoed in the output line                                           | derived    |
 //!
 //! Unknown keys and unknown values are errors — a batch run reports them
@@ -45,7 +45,10 @@ impl std::fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 impl SpecError {
-    fn new(msg: impl Into<String>) -> Self {
+    /// A rejection with the given reason. Public so downstream parsers
+    /// built on [`json`] (the planner's problem files) report their own
+    /// defects in the same error shape.
+    pub fn new(msg: impl Into<String>) -> Self {
         SpecError(msg.into())
     }
 }
@@ -95,7 +98,18 @@ impl ActionSpec {
     /// validity (e.g. an unknown actor name) is checked later, by
     /// [`ActionSpec::to_action`].
     pub fn from_json_line(line: &str) -> Result<Self, SpecError> {
-        let value = json::parse(line)?;
+        Self::from_json_value(json::parse(line)?)
+    }
+
+    /// Parses an already-decoded JSON value — the entry point for
+    /// callers (like the planner's problem files) that embed a spec
+    /// object *inside* a larger JSON document rather than one per line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for a non-object value, unknown keys, or
+    /// wrongly typed values, exactly as [`ActionSpec::from_json_line`].
+    pub fn from_json_value(value: json::Value) -> Result<Self, SpecError> {
         let json::Value::Object(pairs) = value else {
             return Err(SpecError::new("expected a JSON object"));
         };
@@ -164,6 +178,7 @@ impl ActionSpec {
                 "consent" => builder.with_consent(Consent::by(ConsentAuthority::TargetSelf)),
                 "exigent" => builder.with_exigency(Exigency::ImminentEvidenceDestruction),
                 "probation" => builder.target_on_probation(),
+                "plain-view" => builder.plain_view(),
                 "as-provider" => builder.target_operates_as_provider(),
                 other => return Err(SpecError::new(format!("unknown flag \"{other}\""))),
             };
@@ -367,8 +382,11 @@ pub fn parse_location(value: &str) -> Option<DataLocation> {
     })
 }
 
-/// A minimal JSON reader: just enough for one flat spec object per line.
-mod json {
+/// A minimal JSON reader: just enough for one flat spec object per
+/// line, exposed so callers with richer documents (the planner's
+/// problem files nest a spec object under a `"goal"` key) can decode
+/// once and hand sub-values to [`ActionSpec::from_json_value`].
+pub mod json {
     use super::SpecError;
 
     /// A parsed JSON value.
@@ -679,6 +697,29 @@ mod tests {
         let batch = parse_jsonl(b"\n  \n\r\n");
         assert!(batch.is_clean());
         assert!(batch.lines.is_empty());
+    }
+
+    #[test]
+    fn plain_view_flag_marks_the_discovery() {
+        let spec = ActionSpec::from_json_line(
+            r#"{"actor": "leo", "data": "content", "when": "stored", "where": "device",
+                "flags": ["plain-view"]}"#,
+        )
+        .unwrap();
+        let action = spec.to_action().unwrap();
+        assert!(action.circumstances().plain_view_during_lawful_presence);
+    }
+
+    #[test]
+    fn from_json_value_accepts_a_nested_object() {
+        let doc = json::parse(r#"{"goal": {"actor": "leo", "data": "subscriber"}}"#).unwrap();
+        let json::Value::Object(pairs) = doc else {
+            panic!("expected object");
+        };
+        let (_, inner) = pairs.into_iter().next().unwrap();
+        let spec = ActionSpec::from_json_value(inner).unwrap();
+        assert_eq!(spec.data, "subscriber");
+        assert!(ActionSpec::from_json_value(json::Value::Null).is_err());
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! The search's output: an ordered lawful plan with per-step
+//! provenance-backed justifications, or a "no lawful path" explanation
+//! naming the blocking rules.
+
+use crate::search::SearchStats;
+use forensic_law::assessment::LegalAssessment;
+use forensic_law::process::{FactualStandard, LegalProcess};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// What [`Planner::solve`](crate::Planner::solve) found.
+#[derive(Debug, Clone)]
+pub enum PlanOutcome {
+    /// The cheapest lawful plan acquiring every goal item.
+    Plan(Plan),
+    /// No sequence of lawful steps reaches the goal set.
+    NoLawfulPath(NoLawfulPath),
+}
+
+impl PlanOutcome {
+    /// The deterministic text rendering (plan or explanation); search
+    /// statistics are deliberately excluded so the bytes are stable
+    /// across runs and thread counts.
+    pub fn render(&self) -> String {
+        match self {
+            PlanOutcome::Plan(plan) => plan.render(),
+            PlanOutcome::NoLawfulPath(blocked) => blocked.render(),
+        }
+    }
+
+    /// The search statistics, whichever way the search ended.
+    pub fn stats(&self) -> &SearchStats {
+        match self {
+            PlanOutcome::Plan(plan) => &plan.stats,
+            PlanOutcome::NoLawfulPath(blocked) => &blocked.stats,
+        }
+    }
+}
+
+/// One step of an emitted plan.
+#[derive(Debug, Clone)]
+pub enum PlanStep {
+    /// Apply for (and obtain) a process instrument the current factual
+    /// showing suffices for.
+    Apply {
+        /// The instrument obtained.
+        process: LegalProcess,
+        /// The showing held when applying (meets
+        /// `process.required_standard()`).
+        standard: FactualStandard,
+        /// This step's cost under the problem's cost model.
+        cost: u64,
+    },
+    /// Perform one lawful collection.
+    Collect {
+        /// The evidence item acquired.
+        item: String,
+        /// The exception route ridden, if any (`consent`, `exigent`, …).
+        route: Option<String>,
+        /// The strongest instrument held while collecting.
+        held: LegalProcess,
+        /// The factual standard the evidence raises the showing to.
+        yields: FactualStandard,
+        /// This step's cost under the problem's cost model.
+        cost: u64,
+        /// The engine's assessment of this exact fact pattern — the
+        /// verdict and the rule-firing provenance justifying the step.
+        assessment: Arc<LegalAssessment>,
+    },
+}
+
+/// The cheapest lawful plan, with enough recorded context to stand as
+/// a court-ready justification: every collection carries its verdict
+/// line and the ordered rule firings behind it.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The steps, in execution order.
+    pub steps: Vec<PlanStep>,
+    /// Total cost under the problem's cost model.
+    pub total_cost: u64,
+    /// The factual showing after the last step.
+    pub final_standard: FactualStandard,
+    /// The strongest instrument held after the last step.
+    pub final_process: LegalProcess,
+    /// Search statistics (not part of [`Plan::render`]).
+    pub stats: SearchStats,
+}
+
+impl Plan {
+    /// The deterministic plan rendering: one numbered entry per step,
+    /// each collection followed by its verdict and indented
+    /// justification chain.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan: {} lawful step(s), total cost {}",
+            self.steps.len(),
+            self.total_cost
+        );
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                PlanStep::Apply {
+                    process,
+                    standard,
+                    cost,
+                } => {
+                    let _ = writeln!(out, "{:>3}. apply for {process} [cost {cost}]", i + 1);
+                    let _ = writeln!(
+                        out,
+                        "     showing: {standard} (a {process} requires {})",
+                        process.required_standard()
+                    );
+                }
+                PlanStep::Collect {
+                    item,
+                    route,
+                    held,
+                    yields,
+                    cost,
+                    assessment,
+                } => {
+                    let via = match route {
+                        Some(route) => format!(" via {route}"),
+                        None => String::new(),
+                    };
+                    let _ = writeln!(out, "{:>3}. collect \"{item}\"{via} [cost {cost}]", i + 1);
+                    let _ = writeln!(out, "     verdict: {}", assessment.verdict_line());
+                    let _ = writeln!(out, "     holding: {held}");
+                    if *yields != FactualStandard::None {
+                        let _ = writeln!(out, "     yields: {yields}");
+                    }
+                    let _ = writeln!(out, "     justification:");
+                    for line in assessment.provenance().to_string().lines() {
+                        let _ = writeln!(out, "     {line}");
+                    }
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "final posture: {}; holding {}",
+            self.final_standard, self.final_process
+        );
+        out
+    }
+}
+
+/// Why a goal item cannot be lawfully collected from any reachable
+/// posture.
+#[derive(Debug, Clone)]
+pub struct Blocker {
+    /// The unreachable goal item.
+    pub item: String,
+    /// The engine's assessment of the item's least-demanding candidate
+    /// fact pattern — the closest the investigation gets.
+    pub assessment: Arc<LegalAssessment>,
+    /// The stable id of the blocking rule (the firing that imposed the
+    /// unmeetable requirement).
+    pub rule: &'static str,
+    /// The blocking rule's effect phrase.
+    pub effect: &'static str,
+    /// The process the blocking rule demands, or `None` when no
+    /// process can cure the defect (unlawful for a private actor).
+    pub required: Option<LegalProcess>,
+}
+
+/// The provenance-backed explanation emitted when the goal set is
+/// unreachable.
+#[derive(Debug, Clone)]
+pub struct NoLawfulPath {
+    /// One blocker per unreachable goal item, in item order.
+    pub blockers: Vec<Blocker>,
+    /// The strongest factual showing any reachable posture attains.
+    pub best_standard: FactualStandard,
+    /// Search statistics (not part of [`NoLawfulPath::render`]).
+    pub stats: SearchStats,
+}
+
+impl NoLawfulPath {
+    /// The deterministic explanation rendering: per blocked goal, the
+    /// verdict, the blocking rule, the showing gap, and the full
+    /// justification chain.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "no lawful path: {} goal(s) unreachable; reachable showing tops out at {}",
+            self.blockers.len(),
+            self.best_standard
+        );
+        for blocker in &self.blockers {
+            let _ = writeln!(out, "  goal \"{}\" is blocked", blocker.item);
+            let _ = writeln!(out, "    verdict: {}", blocker.assessment.verdict_line());
+            let _ = writeln!(
+                out,
+                "    blocking rule: {} ({})",
+                blocker.rule, blocker.effect
+            );
+            match blocker.required {
+                Some(process) => {
+                    let _ = writeln!(
+                        out,
+                        "    requires {process}, which needs {}; only {} is reachable",
+                        process.required_standard(),
+                        self.best_standard
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "    no process instrument can authorize this actor");
+                }
+            }
+            let _ = writeln!(out, "    justification:");
+            for line in blocker.assessment.provenance().to_string().lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        out
+    }
+}
+
+/// The planner vocabulary word for a standard (inverse of
+/// [`parse_standard_word`](crate::problem::parse_standard_word)).
+pub fn standard_word(standard: FactualStandard) -> &'static str {
+    match standard {
+        FactualStandard::None => "none",
+        FactualStandard::MereSuspicion => "mere-suspicion",
+        FactualStandard::ReasonableSuspicion => "reasonable-suspicion",
+        FactualStandard::SpecificArticulableFacts => "articulable-facts",
+        FactualStandard::ProbableCause => "probable-cause",
+        FactualStandard::ProbableCausePlus => "probable-cause-plus",
+    }
+}
+
+/// The planner vocabulary word for a process (inverse of
+/// [`parse_process_word`](crate::problem::parse_process_word)).
+pub fn process_word(process: LegalProcess) -> &'static str {
+    match process {
+        LegalProcess::None => "none",
+        LegalProcess::Subpoena => "subpoena",
+        LegalProcess::CourtOrder => "court-order",
+        LegalProcess::SearchWarrant => "search-warrant",
+        LegalProcess::WiretapOrder => "wiretap-order",
+    }
+}

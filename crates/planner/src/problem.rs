@@ -1,0 +1,505 @@
+//! The planning problem: evidence items, posture, routes, costs, and
+//! the JSONL problem-file parser.
+//!
+//! A problem file is JSONL — one directive object per line, in the
+//! same minimal JSON subset [`forensic_law::spec`] reads:
+//!
+//! ```json
+//! {"start": {"standard": "mere-suspicion", "process": "none"}}
+//! {"routes": ["consent", "exigent"]}
+//! {"costs": {"subpoena": 10, "court-order": 50, "search-warrant": 200, "wiretap-order": 1000, "collect": 1, "route": 5}}
+//! {"goal": "subscriber records", "collect": {"actor": "leo", "data": "subscriber", "when": "stored", "where": "provider"}, "yields": "articulable-facts"}
+//! {"lead": "open wifi capture", "collect": {"actor": "leo", "data": "headers", "when": "realtime", "where": "isp"}, "yields": "mere-suspicion"}
+//! ```
+//!
+//! * `goal` / `lead` — an evidence item: its name, the fact pattern
+//!   collecting it (a nested [`ActionSpec`] object, the `assess-batch`
+//!   vocabulary verbatim), and the factual standard the evidence
+//!   *yields* once in hand (`yields`, default `none`). Goals must all
+//!   be acquired; leads are optional stepping stones.
+//! * `start` — the investigator's opening posture: `standard` (the
+//!   factual showing already held) and `process` (the strongest
+//!   instrument already in hand). Both default to `none`.
+//! * `routes` — exception-route flags the planner may add to any
+//!   item's fact pattern, one at a time (`consent`, `exigent`,
+//!   `plain-view`, …: any flag the spec vocabulary accepts).
+//! * `costs` — overrides for the per-step [`CostModel`], keyed by
+//!   process word plus `collect` and `route`.
+//!
+//! Malformed lines are reported with 1-based line numbers through
+//! [`LocatedError`], the same shape `assess-batch` and `replay` use.
+
+use forensic_law::action::InvestigativeAction;
+use forensic_law::process::{FactualStandard, LegalProcess};
+use forensic_law::spec::{json, ActionSpec, LocatedError, SpecError};
+
+/// One piece of evidence the investigation wants ([`goal`](Self::goal)
+/// = `true`) or may collect as a stepping stone toward a stronger
+/// factual showing (a *lead*).
+#[derive(Debug, Clone)]
+pub struct EvidenceItem {
+    /// Display name, echoed in the emitted plan.
+    pub name: String,
+    /// The fact pattern collecting this item (route flags are layered
+    /// on top of it by [`EvidenceItem::variants`]).
+    pub spec: ActionSpec,
+    /// The factual standard the evidence supports once collected; the
+    /// investigator's showing is raised to the join of this and the
+    /// current showing.
+    pub yields: FactualStandard,
+    /// Whether the plan must acquire this item (goal) or merely may
+    /// (lead).
+    pub goal: bool,
+}
+
+/// One concrete way to collect an item: the base fact pattern
+/// (`route == None`) or the base pattern with a single exception
+/// route applied.
+#[derive(Debug, Clone)]
+pub struct CollectVariant {
+    /// The route flag layered onto the base pattern, if any.
+    pub route: Option<String>,
+    /// The engine input for this variant.
+    pub action: InvestigativeAction,
+}
+
+impl EvidenceItem {
+    /// The candidate fact patterns for collecting this item: the base
+    /// spec first, then one variant per enabled route flag the base
+    /// spec does not already carry, in route order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if a spec/flag combination does not build
+    /// (impossible for problems from [`parse_problem`], which
+    /// validates both).
+    pub fn variants(&self, routes: &[String]) -> Result<Vec<CollectVariant>, SpecError> {
+        let mut variants = vec![CollectVariant {
+            route: None,
+            action: self.spec.to_action()?,
+        }];
+        for route in routes {
+            if self.spec.flags.iter().any(|flag| flag == route) {
+                continue;
+            }
+            let mut spec = self.spec.clone();
+            spec.flags.push(route.clone());
+            variants.push(CollectVariant {
+                route: Some(route.clone()),
+                action: spec.to_action()?,
+            });
+        }
+        Ok(variants)
+    }
+}
+
+/// Per-step costs: what each process application, each collection, and
+/// each exception route "costs" the investigation (court time, agent
+/// hours, goodwill — the unit is the caller's).
+///
+/// Defaults follow the paper's difficulty ordering (§II-A): a subpoena
+/// is cheap, a Title III order is two orders of magnitude dearer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    process: [u64; 5],
+    /// Cost of performing one collection step.
+    pub collect: u64,
+    /// Surcharge for a collection that rides an exception route
+    /// (obtaining consent, documenting exigency, …).
+    pub route: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            // Indexed by LegalProcess::ALL order:
+            // none, subpoena, court order, search warrant, wiretap order.
+            process: [0, 10, 50, 200, 1000],
+            collect: 1,
+            route: 5,
+        }
+    }
+}
+
+impl CostModel {
+    /// The cost of applying for (and obtaining) `process`.
+    pub fn process(&self, process: LegalProcess) -> u64 {
+        self.process[process_index(process)]
+    }
+
+    /// Overrides the cost of one process instrument.
+    pub fn set_process(&mut self, process: LegalProcess, cost: u64) {
+        self.process[process_index(process)] = cost;
+    }
+}
+
+/// The position of `process` in [`LegalProcess::ALL`] (0 = none).
+pub(crate) fn process_index(process: LegalProcess) -> usize {
+    LegalProcess::ALL
+        .iter()
+        .position(|p| *p == process)
+        .expect("ALL is exhaustive")
+}
+
+/// The position of `standard` in [`FactualStandard::ALL`] (0 = none).
+pub(crate) fn standard_index(standard: FactualStandard) -> usize {
+    FactualStandard::ALL
+        .iter()
+        .position(|s| *s == standard)
+        .expect("ALL is exhaustive")
+}
+
+/// A complete planning problem: the evidence items, the opening
+/// posture, the enabled exception routes, and the cost model.
+#[derive(Debug, Clone, Default)]
+pub struct PlanProblem {
+    /// Evidence items, goals and leads, in declaration order. At most
+    /// [`PlanProblem::MAX_ITEMS`].
+    pub items: Vec<EvidenceItem>,
+    /// The factual showing the investigator opens with.
+    pub start_standard: FactualStandard,
+    /// The strongest process instrument already in hand.
+    pub start_process: LegalProcess,
+    /// Exception-route flags the planner may layer onto any item's
+    /// fact pattern, one at a time.
+    pub routes: Vec<String>,
+    /// Per-step costs.
+    pub costs: CostModel,
+}
+
+impl PlanProblem {
+    /// Search states pack acquired items into a 32-bit mask; problems
+    /// are capped accordingly.
+    pub const MAX_ITEMS: usize = 32;
+
+    /// The bitmask of goal items (bit *i* set iff `items[i].goal`).
+    pub fn goal_mask(&self) -> u32 {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, item)| item.goal)
+            .fold(0u32, |mask, (i, _)| mask | (1 << i))
+    }
+}
+
+/// Parses a planner problem word for a factual standard.
+pub fn parse_standard_word(word: &str) -> Option<FactualStandard> {
+    Some(match word {
+        "none" => FactualStandard::None,
+        "mere-suspicion" => FactualStandard::MereSuspicion,
+        "reasonable-suspicion" => FactualStandard::ReasonableSuspicion,
+        "articulable-facts" => FactualStandard::SpecificArticulableFacts,
+        "probable-cause" => FactualStandard::ProbableCause,
+        "probable-cause-plus" => FactualStandard::ProbableCausePlus,
+        _ => return None,
+    })
+}
+
+/// Parses a planner problem word for a process instrument.
+pub fn parse_process_word(word: &str) -> Option<LegalProcess> {
+    Some(match word {
+        "none" => LegalProcess::None,
+        "subpoena" => LegalProcess::Subpoena,
+        "court-order" => LegalProcess::CourtOrder,
+        "search-warrant" => LegalProcess::SearchWarrant,
+        "wiretap-order" => LegalProcess::WiretapOrder,
+        _ => return None,
+    })
+}
+
+/// Parses a JSONL problem document, reporting **every** malformed line
+/// (and any whole-problem defects, like a missing goal) with its
+/// position, in the shared [`LocatedError`] shape `assess-batch` and
+/// `replay` use.
+///
+/// # Errors
+///
+/// Returns the full list of located defects; the problem is usable
+/// only when the list is empty.
+pub fn parse_problem(input: &[u8]) -> Result<PlanProblem, Vec<LocatedError>> {
+    let mut problem = PlanProblem::default();
+    let mut errors = Vec::new();
+    for (idx, raw) in input.split(|b| *b == b'\n').enumerate() {
+        let line = idx + 1;
+        let raw = raw.strip_suffix(b"\r").unwrap_or(raw);
+        if raw.iter().all(|b| b.is_ascii_whitespace()) {
+            continue;
+        }
+        let result = std::str::from_utf8(raw)
+            .map_err(|e| SpecError::new(format!("invalid UTF-8: {e}")))
+            .and_then(json::parse)
+            .and_then(|value| apply_directive(&mut problem, value));
+        if let Err(error) = result {
+            errors.push(LocatedError::at_line(line, error));
+        }
+    }
+    if problem.items.len() > PlanProblem::MAX_ITEMS {
+        errors.push(LocatedError::new(
+            "problem",
+            format!(
+                "{} evidence items; the planner supports at most {}",
+                problem.items.len(),
+                PlanProblem::MAX_ITEMS
+            ),
+        ));
+    }
+    if errors.is_empty() && !problem.items.iter().any(|item| item.goal) {
+        errors.push(LocatedError::new(
+            "problem",
+            "no \"goal\" line: nothing to plan for",
+        ));
+    }
+    if errors.is_empty() {
+        Ok(problem)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Builds a [`SpecError`] carrying `msg`.
+fn spec_error(msg: String) -> SpecError {
+    SpecError::new(msg)
+}
+
+/// Applies one parsed directive line to the problem under construction.
+fn apply_directive(problem: &mut PlanProblem, value: json::Value) -> Result<(), SpecError> {
+    let json::Value::Object(pairs) = value else {
+        return Err(spec_error("expected a JSON object".into()));
+    };
+    let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+    if keys.contains(&"goal") || keys.contains(&"lead") {
+        return apply_item(problem, pairs);
+    }
+    match keys.as_slice() {
+        ["start"] => {
+            let (_, value) = pairs.into_iter().next().expect("one pair");
+            apply_start(problem, value)
+        }
+        ["routes"] => {
+            let (_, value) = pairs.into_iter().next().expect("one pair");
+            apply_routes(problem, value)
+        }
+        ["costs"] => {
+            let (_, value) = pairs.into_iter().next().expect("one pair");
+            apply_costs(problem, value)
+        }
+        _ => Err(spec_error(format!(
+            "unrecognized directive; expected goal/lead, start, routes, or costs (got keys {})",
+            keys.join(", ")
+        ))),
+    }
+}
+
+/// Parses a `goal`/`lead` item line.
+fn apply_item(
+    problem: &mut PlanProblem,
+    pairs: Vec<(String, json::Value)>,
+) -> Result<(), SpecError> {
+    let mut name: Option<(String, bool)> = None;
+    let mut spec: Option<ActionSpec> = None;
+    let mut yields = FactualStandard::None;
+    for (key, value) in pairs {
+        match key.as_str() {
+            "goal" | "lead" => {
+                let json::Value::String(text) = value else {
+                    return Err(spec_error(format!("\"{key}\" must be a string name")));
+                };
+                if name.is_some() {
+                    return Err(spec_error(
+                        "an item is either a goal or a lead, once".into(),
+                    ));
+                }
+                name = Some((text, key == "goal"));
+            }
+            "collect" => spec = Some(ActionSpec::from_json_value(value)?),
+            "yields" => {
+                let json::Value::String(word) = value else {
+                    return Err(spec_error("\"yields\" must be a standard word".into()));
+                };
+                yields = parse_standard_word(&word)
+                    .ok_or_else(|| spec_error(format!("unknown standard \"{word}\"")))?;
+            }
+            other => return Err(spec_error(format!("unknown item key \"{other}\""))),
+        }
+    }
+    let (name, goal) = name.expect("dispatched on goal/lead presence");
+    let spec = spec.ok_or_else(|| spec_error(format!("item \"{name}\" lacks \"collect\"")))?;
+    // Validate the base pattern builds now, so the defect is reported
+    // with this line's number rather than at solve time.
+    spec.to_action()?;
+    if problem.items.iter().any(|item| item.name == name) {
+        return Err(spec_error(format!("duplicate item name \"{name}\"")));
+    }
+    problem.items.push(EvidenceItem {
+        name,
+        spec,
+        yields,
+        goal,
+    });
+    Ok(())
+}
+
+/// Parses the `start` posture object.
+fn apply_start(problem: &mut PlanProblem, value: json::Value) -> Result<(), SpecError> {
+    let json::Value::Object(pairs) = value else {
+        return Err(spec_error("\"start\" must be an object".into()));
+    };
+    for (key, value) in pairs {
+        let json::Value::String(word) = value else {
+            return Err(spec_error(format!("start \"{key}\" must be a string")));
+        };
+        match key.as_str() {
+            "standard" => {
+                problem.start_standard = parse_standard_word(&word)
+                    .ok_or_else(|| spec_error(format!("unknown standard \"{word}\"")))?;
+            }
+            "process" => {
+                problem.start_process = parse_process_word(&word)
+                    .ok_or_else(|| spec_error(format!("unknown process \"{word}\"")))?;
+            }
+            other => return Err(spec_error(format!("unknown start key \"{other}\""))),
+        }
+    }
+    Ok(())
+}
+
+/// Parses the `routes` array, validating each flag against the spec
+/// vocabulary by building a probe action.
+fn apply_routes(problem: &mut PlanProblem, value: json::Value) -> Result<(), SpecError> {
+    let json::Value::Array(items) = value else {
+        return Err(spec_error("\"routes\" must be an array of flags".into()));
+    };
+    for item in items {
+        let json::Value::String(flag) = item else {
+            return Err(spec_error("routes must be strings".into()));
+        };
+        let mut probe = ActionSpec::default();
+        probe.flags.push(flag.clone());
+        probe.to_action()?; // rejects unknown flags with the flag name
+        if !problem.routes.contains(&flag) {
+            problem.routes.push(flag);
+        }
+    }
+    Ok(())
+}
+
+/// Parses the `costs` override object.
+fn apply_costs(problem: &mut PlanProblem, value: json::Value) -> Result<(), SpecError> {
+    let json::Value::Object(pairs) = value else {
+        return Err(spec_error("\"costs\" must be an object".into()));
+    };
+    for (key, value) in pairs {
+        let json::Value::Number(n) = value else {
+            return Err(spec_error(format!("cost \"{key}\" must be a number")));
+        };
+        if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64) {
+            return Err(spec_error(format!(
+                "cost \"{key}\" must be a non-negative integer"
+            )));
+        }
+        let cost = n as u64;
+        match key.as_str() {
+            "collect" => problem.costs.collect = cost,
+            "route" => problem.costs.route = cost,
+            word => match parse_process_word(word) {
+                Some(process) => problem.costs.set_process(process, cost),
+                None => return Err(spec_error(format!("unknown cost key \"{word}\""))),
+            },
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROBLEM: &[u8] = br#"
+{"start": {"standard": "mere-suspicion", "process": "none"}}
+{"routes": ["consent", "exigent"]}
+{"costs": {"subpoena": 7, "collect": 2, "route": 3}}
+{"goal": "subscriber records", "collect": {"actor": "leo", "data": "subscriber", "when": "stored", "where": "provider"}, "yields": "articulable-facts"}
+{"lead": "pen register", "collect": {"actor": "leo", "data": "headers", "when": "realtime", "where": "isp"}}
+"#;
+
+    #[test]
+    fn well_formed_problem_parses() {
+        let problem = parse_problem(PROBLEM).expect("parses");
+        assert_eq!(problem.items.len(), 2);
+        assert_eq!(problem.start_standard, FactualStandard::MereSuspicion);
+        assert_eq!(problem.routes, vec!["consent", "exigent"]);
+        assert_eq!(problem.costs.process(LegalProcess::Subpoena), 7);
+        assert_eq!(problem.costs.collect, 2);
+        assert_eq!(problem.costs.route, 3);
+        assert_eq!(problem.goal_mask(), 0b01);
+        assert!(problem.items[0].goal);
+        assert!(!problem.items[1].goal);
+        assert_eq!(
+            problem.items[0].yields,
+            FactualStandard::SpecificArticulableFacts
+        );
+    }
+
+    #[test]
+    fn variants_layer_routes_over_the_base_pattern() {
+        let problem = parse_problem(PROBLEM).expect("parses");
+        let variants = problem.items[0]
+            .variants(&problem.routes)
+            .expect("variants build");
+        assert_eq!(variants.len(), 3);
+        assert_eq!(variants[0].route, None);
+        assert_eq!(variants[1].route.as_deref(), Some("consent"));
+        assert_eq!(variants[2].route.as_deref(), Some("exigent"));
+    }
+
+    #[test]
+    fn malformed_lines_report_numbers_and_reasons() {
+        let input = br#"
+{"goal": "a", "collect": {"actor": "leo"}}
+not json
+{"goal": "b", "collect": {"actor": "martian"}}
+{"frobnicate": true}
+{"goal": "a", "collect": {"actor": "leo"}}
+{"costs": {"subpoena": -3}}
+{"routes": ["narnia"]}
+{"goal": "c", "collect": {"actor": "leo"}, "yields": "perfect-knowledge"}
+"#;
+        let errors = parse_problem(input).expect_err("must fail");
+        let rendered: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        assert!(rendered[0].starts_with("line 3:"), "{rendered:?}");
+        assert!(rendered[1].starts_with("line 4:"), "{rendered:?}");
+        assert!(rendered[1].contains("martian"), "{rendered:?}");
+        assert!(rendered[2].starts_with("line 5:"), "{rendered:?}");
+        assert!(rendered[2].contains("frobnicate"), "{rendered:?}");
+        assert!(rendered[3].starts_with("line 6:"), "{rendered:?}");
+        assert!(rendered[3].contains("duplicate"), "{rendered:?}");
+        assert!(rendered[4].starts_with("line 7:"), "{rendered:?}");
+        assert!(rendered[5].starts_with("line 8:"), "{rendered:?}");
+        assert!(rendered[5].contains("narnia"), "{rendered:?}");
+        assert!(rendered[6].starts_with("line 9:"), "{rendered:?}");
+        assert!(rendered[6].contains("perfect-knowledge"), "{rendered:?}");
+    }
+
+    #[test]
+    fn a_problem_without_goals_is_rejected() {
+        let errors =
+            parse_problem(br#"{"lead": "x", "collect": {"actor": "leo", "data": "headers"}}"#)
+                .expect_err("must fail");
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].to_string().contains("no \"goal\""));
+    }
+
+    #[test]
+    fn vocabulary_words_round_trip_the_ladders() {
+        for standard in FactualStandard::ALL {
+            let word = crate::plan::standard_word(standard);
+            assert_eq!(parse_standard_word(word), Some(standard));
+        }
+        for process in LegalProcess::ALL {
+            let word = crate::plan::process_word(process);
+            assert_eq!(parse_process_word(word), Some(process));
+        }
+        assert_eq!(parse_standard_word("zzz"), None);
+        assert_eq!(parse_process_word("zzz"), None);
+    }
+}

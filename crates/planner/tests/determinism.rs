@@ -1,0 +1,76 @@
+//! The determinism contract: the emitted plan bytes are identical at
+//! any assessor thread count, on both plan and no-lawful-path
+//! outcomes. This is the suite the nightly ThreadSanitizer workflow
+//! runs against the planner.
+
+use planner::{parse_problem, Planner};
+
+/// An 8-item problem mixing goals, leads, routes, and both engine
+/// verdict families, so the search exercises batching at every
+/// expansion.
+const PROBLEM: &[u8] = br#"
+{"start": {"standard": "mere-suspicion"}}
+{"routes": ["consent", "exigent"]}
+{"goal": "subscriber records", "collect": {"actor": "leo", "data": "subscriber", "when": "stored", "where": "provider"}, "yields": "reasonable-suspicion"}
+{"goal": "transaction logs", "collect": {"actor": "leo", "data": "records", "when": "stored", "where": "provider"}, "yields": "articulable-facts"}
+{"goal": "mailbox content", "collect": {"actor": "leo", "data": "content", "when": "stored-unopened", "where": "provider"}, "yields": "probable-cause"}
+{"goal": "laptop image", "collect": {"actor": "leo", "data": "content", "when": "stored", "where": "device"}}
+{"lead": "public posts", "collect": {"actor": "leo", "data": "content", "when": "stored", "where": "public"}, "yields": "reasonable-suspicion"}
+{"lead": "open wifi capture", "collect": {"actor": "leo", "data": "headers", "when": "realtime", "where": "isp"}}
+{"lead": "admin logs", "collect": {"actor": "admin", "data": "headers", "when": "stored", "where": "own-network"}}
+{"goal": "live audio", "collect": {"actor": "leo", "data": "content", "when": "realtime", "where": "isp"}, "yields": "probable-cause-plus"}
+"#;
+
+/// The same problem minus the unreachable wiretap goal, so it solves.
+const SOLVABLE: &[u8] = br#"
+{"start": {"standard": "mere-suspicion"}}
+{"routes": ["consent", "exigent"]}
+{"goal": "subscriber records", "collect": {"actor": "leo", "data": "subscriber", "when": "stored", "where": "provider"}, "yields": "reasonable-suspicion"}
+{"goal": "transaction logs", "collect": {"actor": "leo", "data": "records", "when": "stored", "where": "provider"}, "yields": "articulable-facts"}
+{"goal": "mailbox content", "collect": {"actor": "leo", "data": "content", "when": "stored-unopened", "where": "provider"}, "yields": "probable-cause"}
+{"goal": "laptop image", "collect": {"actor": "leo", "data": "content", "when": "stored", "where": "device"}}
+{"lead": "public posts", "collect": {"actor": "leo", "data": "content", "when": "stored", "where": "public"}, "yields": "reasonable-suspicion"}
+{"lead": "open wifi capture", "collect": {"actor": "leo", "data": "headers", "when": "realtime", "where": "isp"}}
+{"lead": "admin logs", "collect": {"actor": "admin", "data": "headers", "when": "stored", "where": "own-network"}}
+"#;
+
+fn render_at(problem_text: &[u8], threads: usize) -> String {
+    let problem = parse_problem(problem_text).expect("problem parses");
+    Planner::with_threads(threads)
+        .solve(&problem)
+        .expect("solves")
+        .render()
+}
+
+#[test]
+fn plan_bytes_are_identical_at_1_2_and_8_threads() {
+    let one = render_at(SOLVABLE, 1);
+    let two = render_at(SOLVABLE, 2);
+    let eight = render_at(SOLVABLE, 8);
+    assert!(one.starts_with("plan:"), "{one}");
+    assert_eq!(one, two, "1-thread and 2-thread plans diverge");
+    assert_eq!(one, eight, "1-thread and 8-thread plans diverge");
+}
+
+#[test]
+fn no_lawful_path_bytes_are_identical_at_1_2_and_8_threads() {
+    let one = render_at(PROBLEM, 1);
+    let two = render_at(PROBLEM, 2);
+    let eight = render_at(PROBLEM, 8);
+    assert!(one.starts_with("no lawful path:"), "{one}");
+    assert_eq!(one, two);
+    assert_eq!(one, eight);
+}
+
+#[test]
+fn repeated_solves_on_one_planner_are_stable_and_cache_amortized() {
+    let problem = parse_problem(SOLVABLE).expect("problem parses");
+    let planner = Planner::with_threads(4);
+    let first = planner.solve(&problem).expect("solves");
+    let second = planner.solve(&problem).expect("solves");
+    assert_eq!(first.render(), second.render());
+    // The second solve re-uses the warmed shared cache: every verdict
+    // lookup hits.
+    assert_eq!(second.stats().cache_misses, 0);
+    assert!(second.stats().cache_hit_rate() > 0.99);
+}

@@ -1,0 +1,398 @@
+//! Differential suite: the best-first planner against an exhaustive,
+//! independently written enumerator.
+//!
+//! The enumerator shares NOTHING with the search loop: it does a plain
+//! depth-first walk over every ≤`depth`-step action sequence, calling
+//! [`forensic_law::engine::assess`] one action at a time (no batching,
+//! no cache, no priority queue), and keeps the cheapest goal-covering
+//! sequence. On problems small enough to enumerate, the planner must
+//! report exactly the same optimal cost — and its emitted plan must
+//! replay step-by-step as lawful under the engine.
+
+use forensic_law::engine::assess;
+use forensic_law::process::{FactualStandard, LegalProcess};
+use planner::{parse_problem, CollectVariant, PlanOutcome, PlanProblem, PlanStep, Planner};
+
+/// The enumerator's posture (mirrors the planner's state on purpose,
+/// but is driven by an independent recursion).
+#[derive(Clone, Copy)]
+struct Posture {
+    mask: u32,
+    standard: FactualStandard,
+    process: LegalProcess,
+}
+
+fn rank_standard(s: FactualStandard) -> usize {
+    FactualStandard::ALL.iter().position(|x| *x == s).unwrap()
+}
+
+fn rank_process(p: LegalProcess) -> usize {
+    LegalProcess::ALL.iter().position(|x| *x == p).unwrap()
+}
+
+/// Exhaustively enumerates every lawful action sequence of at most
+/// `depth` steps and returns the cheapest cost that covers the goal
+/// mask, if any sequence does.
+fn enumerate(problem: &PlanProblem, depth: usize) -> Option<u64> {
+    let variants: Vec<Vec<CollectVariant>> = problem
+        .items
+        .iter()
+        .map(|item| item.variants(&problem.routes).expect("variants build"))
+        .collect();
+    let goal = problem.goal_mask();
+    let start = Posture {
+        mask: 0,
+        standard: problem.start_standard,
+        process: problem.start_process,
+    };
+    let mut best: Option<u64> = None;
+    walk(problem, &variants, goal, start, 0, depth, &mut best);
+    best
+}
+
+fn walk(
+    problem: &PlanProblem,
+    variants: &[Vec<CollectVariant>],
+    goal: u32,
+    posture: Posture,
+    spent: u64,
+    steps_left: usize,
+    best: &mut Option<u64>,
+) {
+    if posture.mask & goal == goal {
+        if best.is_none_or(|b| spent < b) {
+            *best = Some(spent);
+        }
+        return;
+    }
+    if steps_left == 0 {
+        return;
+    }
+    // Branch: apply for any strictly stronger instrument the showing
+    // suffices for.
+    for next in LegalProcess::ALL {
+        if rank_process(next) <= rank_process(posture.process) {
+            continue;
+        }
+        if rank_standard(posture.standard) < rank_standard(next.required_standard()) {
+            continue;
+        }
+        walk(
+            problem,
+            variants,
+            goal,
+            Posture {
+                process: next,
+                ..posture
+            },
+            spent + problem.costs.process(next),
+            steps_left - 1,
+            best,
+        );
+    }
+    // Branch: collect any missing item via any variant the engine
+    // blesses under the held instrument.
+    for (i, item) in problem.items.iter().enumerate() {
+        if posture.mask & (1 << i) != 0 {
+            continue;
+        }
+        for variant in &variants[i] {
+            let assessment = assess(&variant.action);
+            if !assessment.is_lawful_with(posture.process) {
+                continue;
+            }
+            let standard = if rank_standard(item.yields) > rank_standard(posture.standard) {
+                item.yields
+            } else {
+                posture.standard
+            };
+            let cost = problem.costs.collect
+                + if variant.route.is_some() {
+                    problem.costs.route
+                } else {
+                    0
+                };
+            walk(
+                problem,
+                variants,
+                goal,
+                Posture {
+                    mask: posture.mask | (1 << i),
+                    standard,
+                    process: posture.process,
+                },
+                spent + cost,
+                steps_left - 1,
+                best,
+            );
+        }
+    }
+}
+
+/// Replays the planner's emitted plan one step at a time through the
+/// engine, asserting every transition is available and lawful, and
+/// that the step costs sum to the reported total.
+fn replay(problem: &PlanProblem, plan: &planner::Plan) {
+    let variants: Vec<Vec<CollectVariant>> = problem
+        .items
+        .iter()
+        .map(|item| item.variants(&problem.routes).expect("variants build"))
+        .collect();
+    let mut posture = Posture {
+        mask: 0,
+        standard: problem.start_standard,
+        process: problem.start_process,
+    };
+    let mut spent = 0u64;
+    for step in &plan.steps {
+        match step {
+            PlanStep::Apply {
+                process,
+                standard,
+                cost,
+            } => {
+                assert!(
+                    rank_process(*process) > rank_process(posture.process),
+                    "apply must climb the ladder"
+                );
+                assert_eq!(*standard, posture.standard, "recorded showing must match");
+                assert!(
+                    rank_standard(posture.standard) >= rank_standard(process.required_standard()),
+                    "showing {:?} does not suffice for {:?}",
+                    posture.standard,
+                    process
+                );
+                assert_eq!(*cost, problem.costs.process(*process));
+                posture.process = *process;
+                spent += cost;
+            }
+            PlanStep::Collect {
+                item, route, cost, ..
+            } => {
+                let i = problem
+                    .items
+                    .iter()
+                    .position(|x| x.name == *item)
+                    .expect("plan names a known item");
+                assert_eq!(posture.mask & (1 << i), 0, "item collected twice");
+                let variant = variants[i]
+                    .iter()
+                    .find(|v| v.route == *route)
+                    .expect("plan names a known variant");
+                let assessment = assess(&variant.action);
+                assert!(
+                    assessment.is_lawful_with(posture.process),
+                    "step \"{item}\" unlawful on replay: {}",
+                    assessment.verdict_line()
+                );
+                posture.mask |= 1 << i;
+                let yields = problem.items[i].yields;
+                if rank_standard(yields) > rank_standard(posture.standard) {
+                    posture.standard = yields;
+                }
+                spent += cost;
+            }
+        }
+    }
+    assert_eq!(
+        posture.mask & problem.goal_mask(),
+        problem.goal_mask(),
+        "plan must cover every goal"
+    );
+    assert_eq!(spent, plan.total_cost, "step costs must sum to the total");
+}
+
+/// Solves with the planner, checks optimality against the enumerator,
+/// and replays the plan through the engine.
+fn check(problem_text: &[u8], depth: usize) -> PlanOutcome {
+    let problem = parse_problem(problem_text).expect("problem parses");
+    let outcome = Planner::with_threads(2).solve(&problem).expect("solves");
+    let exhaustive = enumerate(&problem, depth);
+    match &outcome {
+        PlanOutcome::Plan(plan) => {
+            assert!(
+                plan.steps.len() <= depth,
+                "problem too deep for the enumerator: {} steps",
+                plan.steps.len()
+            );
+            assert_eq!(
+                Some(plan.total_cost),
+                exhaustive,
+                "planner cost must equal the exhaustive optimum"
+            );
+            replay(&problem, plan);
+        }
+        PlanOutcome::NoLawfulPath(_) => {
+            assert_eq!(
+                exhaustive, None,
+                "planner says unreachable but the enumerator found a sequence"
+            );
+        }
+    }
+    outcome
+}
+
+#[test]
+fn no_process_goal_is_a_one_step_plan() {
+    // Public-forum content needs no process at all.
+    let outcome = check(
+        br#"
+{"goal": "public posts", "collect": {"actor": "leo", "data": "content", "when": "stored", "where": "public"}}
+"#,
+        4,
+    );
+    let PlanOutcome::Plan(plan) = outcome else {
+        panic!("expected a plan");
+    };
+    assert_eq!(plan.steps.len(), 1);
+    assert_eq!(plan.total_cost, 1);
+}
+
+#[test]
+fn subscriber_records_ride_the_subpoena_rung() {
+    let outcome = check(
+        br#"
+{"start": {"standard": "mere-suspicion"}}
+{"goal": "subscriber records", "collect": {"actor": "leo", "data": "subscriber", "when": "stored", "where": "provider"}}
+"#,
+        4,
+    );
+    let PlanOutcome::Plan(plan) = outcome else {
+        panic!("expected a plan");
+    };
+    assert!(matches!(
+        plan.steps[0],
+        PlanStep::Apply {
+            process: LegalProcess::Subpoena,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn a_lead_escalates_the_showing_to_reach_the_goal() {
+    // Start with nothing: the subscriber lead is the only reachable
+    // collection; its yield unlocks the ladder toward the goal.
+    let outcome = check(
+        br#"
+{"goal": "transaction logs", "collect": {"actor": "leo", "data": "records", "when": "stored", "where": "provider"}}
+{"lead": "public posts", "collect": {"actor": "leo", "data": "content", "when": "stored", "where": "public"}, "yields": "articulable-facts"}
+"#,
+        4,
+    );
+    let PlanOutcome::Plan(plan) = outcome else {
+        panic!("expected a plan");
+    };
+    assert!(
+        plan.steps.len() >= 3,
+        "expected lead + apply + goal, got:\n{}",
+        plan.render()
+    );
+}
+
+#[test]
+fn a_cheap_consent_route_beats_climbing_the_ladder() {
+    // Device content normally needs a search warrant (cost 200 from
+    // probable cause); consent short-circuits it for cost 1 + 5.
+    let outcome = check(
+        br#"
+{"start": {"standard": "probable-cause"}}
+{"routes": ["consent"]}
+{"goal": "laptop image", "collect": {"actor": "leo", "data": "content", "when": "stored", "where": "device"}}
+"#,
+        4,
+    );
+    let PlanOutcome::Plan(plan) = outcome else {
+        panic!("expected a plan");
+    };
+    assert_eq!(plan.total_cost, 6, "plan:\n{}", plan.render());
+    assert!(matches!(
+        &plan.steps[0],
+        PlanStep::Collect { route: Some(r), .. } if r == "consent"
+    ));
+}
+
+#[test]
+fn an_expensive_route_is_passed_over_for_the_ladder() {
+    // Same problem, but consent costs more than the warrant: the
+    // planner must climb instead.
+    let outcome = check(
+        br#"
+{"start": {"standard": "probable-cause"}}
+{"routes": ["consent"]}
+{"costs": {"route": 500}}
+{"goal": "laptop image", "collect": {"actor": "leo", "data": "content", "when": "stored", "where": "device"}}
+"#,
+        4,
+    );
+    let PlanOutcome::Plan(plan) = outcome else {
+        panic!("expected a plan");
+    };
+    assert_eq!(plan.total_cost, 201, "plan:\n{}", plan.render());
+    assert!(matches!(
+        plan.steps[0],
+        PlanStep::Apply {
+            process: LegalProcess::SearchWarrant,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn an_out_of_reach_wiretap_is_a_provenance_backed_dead_end() {
+    // Real-time content interception demands a wiretap order, which
+    // needs probable-cause-plus; nothing in the problem yields it.
+    let outcome = check(
+        br#"
+{"start": {"standard": "probable-cause"}}
+{"goal": "live audio", "collect": {"actor": "leo", "data": "content", "when": "realtime", "where": "isp"}}
+"#,
+        4,
+    );
+    let PlanOutcome::NoLawfulPath(blocked) = outcome else {
+        panic!("expected no lawful path");
+    };
+    assert_eq!(blocked.blockers.len(), 1);
+    let blocker = &blocked.blockers[0];
+    assert_eq!(blocker.required, Some(LegalProcess::WiretapOrder));
+    assert_ne!(
+        blocker.rule, "verdict.final",
+        "must name a substantive rule"
+    );
+    assert_eq!(blocked.best_standard, FactualStandard::ProbableCause);
+    let rendering = blocked.render();
+    assert!(rendering.contains(blocker.rule), "{rendering}");
+}
+
+#[test]
+fn a_private_actor_dead_end_names_the_final_verdict() {
+    // A private individual intercepting realtime content is unlawful
+    // outright — no instrument cures it.
+    let outcome = check(
+        br#"
+{"goal": "intercepted chat", "collect": {"actor": "private", "data": "content", "when": "realtime", "where": "isp"}}
+"#,
+        4,
+    );
+    let PlanOutcome::NoLawfulPath(blocked) = outcome else {
+        panic!("expected no lawful path");
+    };
+    assert_eq!(blocked.blockers.len(), 1);
+    assert_eq!(blocked.blockers[0].required, None);
+    assert!(blocked
+        .render()
+        .contains("no process instrument can authorize this actor"));
+}
+
+#[test]
+fn multi_goal_problems_match_the_enumerator_too() {
+    let outcome = check(
+        br#"
+{"start": {"standard": "articulable-facts"}}
+{"goal": "subscriber records", "collect": {"actor": "leo", "data": "subscriber", "when": "stored", "where": "provider"}}
+{"goal": "transaction logs", "collect": {"actor": "leo", "data": "records", "when": "stored", "where": "provider"}}
+"#,
+        4,
+    );
+    assert!(matches!(outcome, PlanOutcome::Plan(_)));
+}

@@ -10,7 +10,9 @@
 //! The client is thread-safe: any thread may submit, and the id space
 //! is allocated atomically per connection.
 
-use crate::frame::{self, Frame, FrameError, Request, Response, MAX_FRAME};
+use crate::frame::{
+    self, Frame, FrameError, PlanRequest, PlanResponse, Request, Response, MAX_FRAME,
+};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
@@ -61,11 +63,13 @@ impl From<FrameError> for WireError {
     }
 }
 
-/// One slot in the pending-call table.
+/// One slot in the pending-call table. Ready slots hold the whole
+/// response frame so assess ([`Response`]) and plan ([`PlanResponse`])
+/// calls share one table; each pending handle unwraps its own kind.
 #[derive(Debug)]
 enum SlotState {
     Waiting,
-    Ready(Response),
+    Ready(Frame),
 }
 
 #[derive(Debug, Default)]
@@ -117,19 +121,12 @@ impl PendingCall {
     /// Fails if the connection died before the response arrived.
     pub fn wait(mut self) -> Result<Response, WireError> {
         self.done = true;
-        let mut pending = self.shared.pending.lock().expect("pending lock");
-        loop {
-            if matches!(pending.slots.get(&self.id), Some(SlotState::Ready(_))) {
-                match pending.slots.remove(&self.id) {
-                    Some(SlotState::Ready(response)) => return Ok(response),
-                    _ => unreachable!("checked ready above"),
-                }
-            }
-            if let Some(error) = pending.failed.clone() {
-                pending.slots.remove(&self.id);
-                return Err(error);
-            }
-            pending = self.shared.ready.wait(pending).expect("pending lock");
+        match wait_ready(&self.shared, self.id)? {
+            Frame::Response(response) => Ok(response),
+            other => Err(WireError::Protocol(format!(
+                "expected a response frame for id {}, got {other:?}",
+                self.id
+            ))),
         }
     }
 }
@@ -140,6 +137,67 @@ impl Drop for PendingCall {
             let mut pending = self.shared.pending.lock().expect("pending lock");
             pending.slots.remove(&self.id);
         }
+    }
+}
+
+/// One pipelined v3 plan request awaiting its [`PlanResponse`]. Obtain
+/// from [`WireClient::submit_plan`]; redeem with [`wait`](Self::wait).
+/// Dropping without waiting abandons the call.
+#[derive(Debug)]
+pub struct PendingPlan {
+    shared: Arc<ClientShared>,
+    id: u64,
+    done: bool,
+}
+
+impl PendingPlan {
+    /// The request id this plan call was sent under.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the server answers this plan call.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection died before the response arrived.
+    pub fn wait(mut self) -> Result<PlanResponse, WireError> {
+        self.done = true;
+        match wait_ready(&self.shared, self.id)? {
+            Frame::PlanResponse(response) => Ok(response),
+            other => Err(WireError::Protocol(format!(
+                "expected a plan-response frame for id {}, got {other:?}",
+                self.id
+            ))),
+        }
+    }
+}
+
+impl Drop for PendingPlan {
+    fn drop(&mut self) {
+        if !self.done {
+            let mut pending = self.shared.pending.lock().expect("pending lock");
+            pending.slots.remove(&self.id);
+        }
+    }
+}
+
+/// Blocks until slot `id` turns ready (or the connection fails) and
+/// returns the delivered frame.
+fn wait_ready(shared: &ClientShared, id: u64) -> Result<Frame, WireError> {
+    let mut pending = shared.pending.lock().expect("pending lock");
+    loop {
+        if matches!(pending.slots.get(&id), Some(SlotState::Ready(_))) {
+            match pending.slots.remove(&id) {
+                Some(SlotState::Ready(frame)) => return Ok(frame),
+                _ => unreachable!("checked ready above"),
+            }
+        }
+        if let Some(error) = pending.failed.clone() {
+            pending.slots.remove(&id);
+            return Err(error);
+        }
+        pending = shared.ready.wait(pending).expect("pending lock");
     }
 }
 
@@ -213,34 +271,74 @@ impl WireClient {
         deadline_ms: u32,
         want_explain: bool,
     ) -> Result<PendingCall, WireError> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        {
-            let mut pending = self.shared.pending.lock().expect("pending lock");
-            if let Some(error) = pending.failed.clone() {
-                return Err(error);
-            }
-            pending.slots.insert(id, SlotState::Waiting);
-        }
+        let id = self.open_slot()?;
         let frame = Frame::Request(Request {
             id,
             deadline_ms,
             want_explain,
             payload,
         });
+        self.write_slotted(id, &frame)?;
+        Ok(PendingCall {
+            shared: Arc::clone(&self.shared),
+            id,
+            done: false,
+        })
+    }
+
+    /// Sends one v3 plan request frame (a JSONL planning problem —
+    /// see the `planner` crate) and returns the pending plan call.
+    /// `deadline_ms` is carried for frame symmetry; the server runs the
+    /// search to completion regardless. Requires a v3-aware server;
+    /// older servers will reject the unknown frame kind.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection already died or the write fails.
+    pub fn submit_plan(
+        &self,
+        payload: Vec<u8>,
+        deadline_ms: u32,
+    ) -> Result<PendingPlan, WireError> {
+        let id = self.open_slot()?;
+        let frame = Frame::PlanRequest(PlanRequest {
+            id,
+            deadline_ms,
+            payload,
+        });
+        self.write_slotted(id, &frame)?;
+        Ok(PendingPlan {
+            shared: Arc::clone(&self.shared),
+            id,
+            done: false,
+        })
+    }
+
+    /// Reserves a fresh id in the pending table (fails fast if the
+    /// connection already died).
+    fn open_slot(&self) -> Result<u64, WireError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut pending = self.shared.pending.lock().expect("pending lock");
+        if let Some(error) = pending.failed.clone() {
+            return Err(error);
+        }
+        pending.slots.insert(id, SlotState::Waiting);
+        Ok(id)
+    }
+
+    /// Writes and flushes one frame; on failure the reserved slot is
+    /// released so the id never leaks.
+    fn write_slotted(&self, id: u64, frame: &Frame) -> Result<(), WireError> {
         let written = {
             let mut w = self.writer.lock().expect("writer lock");
-            frame::write_frame(&mut *w, &frame).and_then(|()| w.flush())
+            frame::write_frame(&mut *w, frame).and_then(|()| w.flush())
         };
         if let Err(e) = written {
             let mut pending = self.shared.pending.lock().expect("pending lock");
             pending.slots.remove(&id);
             return Err(e.into());
         }
-        Ok(PendingCall {
-            shared: Arc::clone(&self.shared),
-            id,
-            done: false,
-        })
+        Ok(())
     }
 
     /// Convenience: submit and block for the answer — a depth-1
@@ -251,6 +349,15 @@ impl WireClient {
     /// Fails if the connection died before the response arrived.
     pub fn roundtrip(&self, payload: Vec<u8>, deadline_ms: u32) -> Result<Response, WireError> {
         self.submit(payload, deadline_ms)?.wait()
+    }
+
+    /// Convenience: submit a plan request and block for the answer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection died before the response arrived.
+    pub fn plan_roundtrip(&self, payload: Vec<u8>) -> Result<PlanResponse, WireError> {
+        self.submit_plan(payload, 0)?.wait()
     }
 }
 
@@ -272,16 +379,21 @@ fn reader_loop(shared: &ClientShared, stream: TcpStream) {
                 shared.fail(WireError::ConnectionClosed);
                 return;
             }
-            Ok(Some(Frame::Response(response))) => {
+            Ok(Some(frame @ (Frame::Response(_) | Frame::PlanResponse(_)))) => {
+                let id = match &frame {
+                    Frame::Response(r) => r.id,
+                    Frame::PlanResponse(r) => r.id,
+                    _ => unreachable!("matched response kinds above"),
+                };
                 let mut pending = shared.pending.lock().expect("pending lock");
                 // An unknown id means the call was dropped unwaited;
                 // discard the orphan response.
-                if let Some(slot) = pending.slots.get_mut(&response.id) {
-                    *slot = SlotState::Ready(response);
+                if let Some(slot) = pending.slots.get_mut(&id) {
+                    *slot = SlotState::Ready(frame);
                 }
                 shared.ready.notify_all();
             }
-            Ok(Some(Frame::Request(_))) => {
+            Ok(Some(Frame::Request(_) | Frame::PlanRequest(_))) => {
                 shared.fail(WireError::Protocol("server sent a request frame".into()));
                 return;
             }

@@ -54,9 +54,9 @@
 //! servers.
 
 use crate::conn::{ConnShared, Connection, Phase};
-use crate::frame::{self, Explain, Frame, Response, Status};
+use crate::frame::{self, Explain, Frame, PlanResponse, Response, Status};
 use crate::metrics::{WireMetrics, WireMetricsSnapshot};
-use crate::server::{sink_line, verdict_payload, ExplainSink, WireConfig};
+use crate::server::{sink_line, solve_plan_payload, verdict_payload, ExplainSink, WireConfig};
 use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use forensic_law::spec::ActionSpec;
 use journal::{Journal, RecordData};
@@ -786,7 +786,11 @@ fn pump_decode(shared: &Arc<EvShared>, conn: &mut Connection) {
                         metrics.frames_in.inc();
                         dispatch_request(shared, conn, request);
                     }
-                    Frame::Response(_) => {
+                    Frame::PlanRequest(request) => {
+                        metrics.frames_in.inc();
+                        dispatch_plan_request(shared, conn, request);
+                    }
+                    Frame::Response(_) | Frame::PlanResponse(_) => {
                         // Only servers speak responses.
                         metrics.protocol_errors.inc();
                         conn.phase = Phase::Draining;
@@ -850,6 +854,68 @@ fn encode_response(trace: TraceId, response: Response) -> Vec<u8> {
         );
     }
     bytes
+}
+
+/// Encodes a v3 plan response frame under the request's trace,
+/// recording the same serialize span as assess responses.
+fn encode_plan_response(trace: TraceId, response: PlanResponse) -> Vec<u8> {
+    let log = obs::global();
+    let status = response.status;
+    let start_us = if log.is_enabled() { obs::now_us() } else { 0 };
+    let bytes = frame::encode(&Frame::PlanResponse(response));
+    if log.is_enabled() {
+        log.record_closed(
+            trace,
+            Stage::Serialize,
+            start_us,
+            u64::from(status.as_byte()),
+        );
+    }
+    bytes
+}
+
+/// The event-loop counterpart of the threaded server's
+/// `handle_plan_request`: the search runs on a spawned thread — plan
+/// traffic is rare and each request is a whole best-first search, far
+/// too heavy for the loop thread — with the planner's assessor sharing
+/// the service-wide verdict cache. The in-flight slot is held until
+/// the response lands in the outbox, so graceful drain waits for
+/// running solves. Plan dispositions are not journaled (the replay
+/// contract re-parses recorded requests as single action specs) and
+/// skip the explain sink.
+fn dispatch_plan_request(
+    shared: &Arc<EvShared>,
+    conn: &mut Connection,
+    request: frame::PlanRequest,
+) {
+    let received = Instant::now();
+    let trace = TraceId::mint();
+    let depth = conn.shared.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+    shared.metrics.observe_inflight(depth);
+    let ev_shared = Arc::clone(shared);
+    let conn_shared = Arc::clone(&conn.shared);
+    std::thread::spawn(move || {
+        let (status, payload) = solve_plan_payload(&ev_shared.service, &request.payload);
+        if status == Status::BadRequest {
+            ev_shared.metrics.bad_requests.inc();
+        }
+        ev_shared.metrics.record_latency(received.elapsed());
+        let bytes = encode_plan_response(
+            trace,
+            PlanResponse {
+                id: request.id,
+                status,
+                queue_wait_us: 0,
+                total_us: received.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                payload,
+            },
+        );
+        // Same ordering contract as assess completions: outbox before
+        // the in-flight decrement, decrement before the doorbell.
+        conn_shared.push_response(bytes);
+        conn_shared.inflight.fetch_sub(1, Ordering::Release);
+        ev_shared.schedule(&conn_shared);
+    });
 }
 
 /// The event-loop counterpart of the threaded server's

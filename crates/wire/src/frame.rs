@@ -15,6 +15,9 @@
 //! response (kind 4): [4][id: u64 BE][status: u8][queue_wait_us: u64 BE]
 //!                       [total_us: u64 BE][trace: u64 BE]
 //!                       [explain_len: u32 BE][explain...][payload...]
+//! plan req (kind 5): [5][id: u64 BE][deadline_ms: u32 BE][payload...]
+//! plan rsp (kind 6): [6][id: u64 BE][status: u8][queue_wait_us: u64 BE]
+//!                       [total_us: u64 BE][payload...]
 //! ```
 //!
 //! * `id` is chosen by the client and echoed verbatim in the response —
@@ -40,6 +43,19 @@
 //! kind 2 — so old clients and old servers interoperate with new peers
 //! unchanged, and a server that predates kind 3 rejects it loudly as an
 //! unknown kind rather than mis-parsing it.
+//!
+//! Kinds 5 and 6 are the *v3 planning* extension. A kind-5 request
+//! carries a planner problem document (the `plan` subcommand's JSONL
+//! vocabulary) instead of a single action spec; the server answers with
+//! a kind-6 response whose payload is the rendered plan (or the
+//! "no lawful path" explanation), `Ok` either way — `BadRequest`
+//! carries the per-line parse errors. The headers mirror kinds 1 and 2
+//! exactly, and the versioning contract carries over structurally:
+//! kinds 1–4 encode byte-for-byte as before, v1/v2 peers never receive
+//! a kind-5/6 frame unless they send one, and a pre-v3 server rejects
+//! kind 5 loudly as an unknown kind. `deadline_ms` is carried for
+//! symmetry but the plan search runs to completion — servers ignore it
+//! (documented server behavior, not a framing concern).
 //! * A body longer than the configured cap is refused **before**
 //!   allocation ([`FrameError::TooLarge`]); the length prefix alone is
 //!   never trusted to size a buffer past the cap. A zero-length body
@@ -65,6 +81,10 @@ const KIND_RESPONSE: u8 = 2;
 const KIND_REQUEST_V2: u8 = 3;
 /// Frame-kind byte for an explain-carrying (v2) response.
 const KIND_RESPONSE_V2: u8 = 4;
+/// Frame-kind byte for a (v3) plan request.
+const KIND_PLAN_REQUEST: u8 = 5;
+/// Frame-kind byte for a (v3) plan response.
+const KIND_PLAN_RESPONSE: u8 = 6;
 
 /// Fixed bytes in a request body before the payload: kind + id +
 /// deadline.
@@ -77,6 +97,10 @@ const REQUEST_V2_HEADER: usize = REQUEST_HEADER + 1;
 /// Fixed bytes in a v2 response body: the v1 header plus the trace id
 /// and the explain-section length.
 const RESPONSE_V2_HEADER: usize = RESPONSE_HEADER + 8 + 4;
+/// Fixed bytes in a v3 plan request body (same shape as v1 requests).
+const PLAN_REQUEST_HEADER: usize = REQUEST_HEADER;
+/// Fixed bytes in a v3 plan response body (same shape as v1 responses).
+const PLAN_RESPONSE_HEADER: usize = RESPONSE_HEADER;
 
 /// Request flag bits carried by kind-3 frames.
 pub mod flags {
@@ -189,6 +213,39 @@ pub struct Response {
     pub payload: Vec<u8>,
 }
 
+/// One planning request on the wire (v3, kind 5): the payload is a
+/// whole planner problem document — the `plan` subcommand's JSONL
+/// vocabulary — not a single action spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Carried for header symmetry with kind 1; the plan search runs to
+    /// completion, so servers ignore it.
+    pub deadline_ms: u32,
+    /// A planner problem document (UTF-8 JSONL).
+    pub payload: Vec<u8>,
+}
+
+/// One planning response on the wire (v3, kind 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanResponse {
+    /// The id of the plan request this answers.
+    pub id: u64,
+    /// `Ok` for a solved search — including a "no lawful path" outcome,
+    /// which is an answer, not an error; `BadRequest` when the problem
+    /// document did not parse (the payload carries the per-line
+    /// errors).
+    pub status: Status,
+    /// Zero today: plan requests are solved on a dedicated thread, not
+    /// the service queue. Kept for header symmetry with kind 2.
+    pub queue_wait_us: u64,
+    /// Decode-to-response latency, in microseconds.
+    pub total_us: u64,
+    /// The rendered plan / explanation (`Ok`) or diagnostics.
+    pub payload: Vec<u8>,
+}
+
 /// Any frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
@@ -196,6 +253,10 @@ pub enum Frame {
     Request(Request),
     /// A server response.
     Response(Response),
+    /// A client planning request (v3).
+    PlanRequest(PlanRequest),
+    /// A server planning response (v3).
+    PlanResponse(PlanResponse),
 }
 
 impl Frame {
@@ -208,6 +269,8 @@ impl Frame {
                 Some(explain) => RESPONSE_V2_HEADER + explain.provenance.len() + r.payload.len(),
                 None => RESPONSE_HEADER + r.payload.len(),
             },
+            Frame::PlanRequest(r) => PLAN_REQUEST_HEADER + r.payload.len(),
+            Frame::PlanResponse(r) => PLAN_RESPONSE_HEADER + r.payload.len(),
         }
     }
 }
@@ -300,6 +363,20 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             }
             out.extend_from_slice(&r.payload);
         }
+        Frame::PlanRequest(r) => {
+            out.push(KIND_PLAN_REQUEST);
+            out.extend_from_slice(&r.id.to_be_bytes());
+            out.extend_from_slice(&r.deadline_ms.to_be_bytes());
+            out.extend_from_slice(&r.payload);
+        }
+        Frame::PlanResponse(r) => {
+            out.push(KIND_PLAN_RESPONSE);
+            out.extend_from_slice(&r.id.to_be_bytes());
+            out.push(r.status.as_byte());
+            out.extend_from_slice(&r.queue_wait_us.to_be_bytes());
+            out.extend_from_slice(&r.total_us.to_be_bytes());
+            out.extend_from_slice(&r.payload);
+        }
     }
     let body_len = (out.len() - 4) as u32;
     out[..4].copy_from_slice(&body_len.to_be_bytes());
@@ -386,6 +463,30 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
                     provenance: body[RESPONSE_V2_HEADER..explain_end].to_vec(),
                 }),
                 payload: body[explain_end..].to_vec(),
+            }))
+        }
+        Some(&KIND_PLAN_REQUEST) => {
+            if body.len() < PLAN_REQUEST_HEADER {
+                return Err(malformed("plan request body shorter than its header"));
+            }
+            Ok(Frame::PlanRequest(PlanRequest {
+                id: u64::from_be_bytes(body[1..9].try_into().expect("8 bytes")),
+                deadline_ms: u32::from_be_bytes(body[9..13].try_into().expect("4 bytes")),
+                payload: body[PLAN_REQUEST_HEADER..].to_vec(),
+            }))
+        }
+        Some(&KIND_PLAN_RESPONSE) => {
+            if body.len() < PLAN_RESPONSE_HEADER {
+                return Err(malformed("plan response body shorter than its header"));
+            }
+            let status = Status::from_byte(body[9])
+                .ok_or_else(|| FrameError::Malformed(format!("unknown status byte {}", body[9])))?;
+            Ok(Frame::PlanResponse(PlanResponse {
+                id: u64::from_be_bytes(body[1..9].try_into().expect("8 bytes")),
+                status,
+                queue_wait_us: u64::from_be_bytes(body[10..18].try_into().expect("8 bytes")),
+                total_us: u64::from_be_bytes(body[18..26].try_into().expect("8 bytes")),
+                payload: body[PLAN_RESPONSE_HEADER..].to_vec(),
             }))
         }
         Some(&kind) => Err(FrameError::Malformed(format!("unknown frame kind {kind}"))),
@@ -584,6 +685,24 @@ mod tests {
         })
     }
 
+    fn plan_request(id: u64, payload: &[u8]) -> Frame {
+        Frame::PlanRequest(PlanRequest {
+            id,
+            deadline_ms: 0,
+            payload: payload.to_vec(),
+        })
+    }
+
+    fn plan_response(id: u64, payload: &[u8]) -> Frame {
+        Frame::PlanResponse(PlanResponse {
+            id,
+            status: Status::Ok,
+            queue_wait_us: 0,
+            total_us: 918,
+            payload: payload.to_vec(),
+        })
+    }
+
     fn explained_response(id: u64, provenance: &[u8], payload: &[u8]) -> Frame {
         Frame::Response(Response {
             id,
@@ -620,6 +739,16 @@ mod tests {
             }),
             explained_response(12, br#"[{"rule":"verdict.final"}]"#, b"no need [settled]"),
             explained_response(13, b"", b""),
+            plan_request(14, b"{\"goal\": \"x\", \"collect\": {\"actor\": \"leo\"}}"),
+            plan_request(15, b""),
+            plan_response(14, b"plan: 2 lawful step(s), total cost 11"),
+            Frame::PlanResponse(PlanResponse {
+                id: 16,
+                status: Status::BadRequest,
+                queue_wait_us: 0,
+                total_us: 0,
+                payload: b"line 2: not json".to_vec(),
+            }),
         ] {
             let bytes = encode(&frame);
             assert_eq!(bytes.len(), frame.wire_len());
@@ -633,7 +762,12 @@ mod tests {
 
     #[test]
     fn zero_length_payload_round_trips() {
-        for frame in [request(3, b""), response(3, b"")] {
+        for frame in [
+            request(3, b""),
+            response(3, b""),
+            plan_request(3, b""),
+            plan_response(3, b""),
+        ] {
             let bytes = encode(&frame);
             let decoded = read_frame(&mut Cursor::new(bytes), MAX_FRAME)
                 .unwrap()
@@ -642,6 +776,8 @@ mod tests {
             match decoded {
                 Frame::Request(r) => assert!(r.payload.is_empty()),
                 Frame::Response(r) => assert!(r.payload.is_empty()),
+                Frame::PlanRequest(r) => assert!(r.payload.is_empty()),
+                Frame::PlanResponse(r) => assert!(r.payload.is_empty()),
             }
         }
     }
@@ -859,9 +995,9 @@ mod tests {
         // A recorded conversation: varied kinds, ids, payload sizes —
         // including empty payloads and a payload with every byte value.
         let mut frames = Vec::new();
-        for i in 0..40u64 {
+        for i in 0..60u64 {
             let payload: Vec<u8> = (0..(i * 13 % 257)).map(|j| (i + j) as u8).collect();
-            frames.push(match i % 4 {
+            frames.push(match i % 6 {
                 0 => request(i, &payload),
                 1 => Frame::Request(Request {
                     id: i,
@@ -875,6 +1011,18 @@ mod tests {
                     queue_wait_us: i * 1000,
                     total_us: i * 2000,
                     explain: None,
+                    payload,
+                }),
+                3 => Frame::PlanRequest(PlanRequest {
+                    id: i,
+                    deadline_ms: i as u32,
+                    payload,
+                }),
+                4 => Frame::PlanResponse(PlanResponse {
+                    id: i,
+                    status: Status::from_byte((i % 6) as u8).unwrap(),
+                    queue_wait_us: i * 100,
+                    total_us: i * 300,
                     payload,
                 }),
                 _ => Frame::Response(Response {

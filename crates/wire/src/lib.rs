@@ -73,19 +73,24 @@ pub mod server;
 #[cfg(target_os = "linux")]
 pub mod sys;
 
-pub use client::{PendingCall, WireClient, WireError};
+pub use client::{PendingCall, PendingPlan, WireClient, WireError};
 #[cfg(target_os = "linux")]
 pub use event_server::EventServer;
-pub use frame::{Frame, FrameError, Request, Response, Status, StreamDecoder, MAX_FRAME};
+pub use frame::{
+    Frame, FrameError, PlanRequest, PlanResponse, Request, Response, Status, StreamDecoder,
+    MAX_FRAME,
+};
 pub use metrics::{WireMetrics, WireMetricsSnapshot};
 pub use server::{ExplainSink, WireConfig, WireServer};
 
 /// The names most callers want in scope.
 pub mod prelude {
-    pub use crate::client::{PendingCall, WireClient, WireError};
+    pub use crate::client::{PendingCall, PendingPlan, WireClient, WireError};
     #[cfg(target_os = "linux")]
     pub use crate::event_server::EventServer;
-    pub use crate::frame::{Frame, FrameError, Request, Response, Status};
+    pub use crate::frame::{
+        Frame, FrameError, PlanRequest, PlanResponse, Request, Response, Status,
+    };
     pub use crate::metrics::WireMetricsSnapshot;
     pub use crate::server::{ExplainSink, WireConfig, WireServer};
 }

@@ -35,8 +35,9 @@
 //! lost; nothing is answered twice (the service's exactly-once guard
 //! extends through the observer).
 
-use crate::frame::{self, Explain, Frame, FrameError, Response, Status};
+use crate::frame::{self, Explain, Frame, FrameError, PlanResponse, Response, Status};
 use crate::metrics::{WireMetrics, WireMetricsSnapshot};
+use forensic_law::batch::BatchAssessor;
 use forensic_law::spec::ActionSpec;
 use journal::{Journal, RecordData};
 use obs::{Stage, TraceId};
@@ -78,12 +79,13 @@ impl Default for WireConfig {
     }
 }
 
-/// Responses queued for one connection's writer, each carrying the
-/// trace id minted at frame decode so the writer can record the
-/// serialize span under the request's chain.
+/// Response frames queued for one connection's writer (kind 2/4 for
+/// assess requests, kind 6 for plan requests), each carrying the trace
+/// id minted at frame decode so the writer can record the serialize
+/// span under the request's chain.
 #[derive(Debug, Default)]
 struct Outbox {
-    queue: VecDeque<(TraceId, Response)>,
+    queue: VecDeque<(TraceId, Frame)>,
     closed: bool,
 }
 
@@ -100,9 +102,14 @@ impl Conn {
     /// Enqueues a response for the writer (dropped if the writer is
     /// gone — the peer is too, then).
     fn send(&self, trace: TraceId, response: Response) {
+        self.send_frame(trace, Frame::Response(response));
+    }
+
+    /// Enqueues any response frame for the writer.
+    fn send_frame(&self, trace: TraceId, frame: Frame) {
         let mut outbox = self.outbox.lock().expect("outbox lock");
         if !outbox.closed {
-            outbox.queue.push_back((trace, response));
+            outbox.queue.push_back((trace, frame));
             self.out_ready.notify_one();
         }
     }
@@ -499,7 +506,11 @@ fn run_connection(shared: &Arc<Shared>, stream: TcpStream) {
                         metrics.frames_in.inc();
                         handle_request(shared, &conn, request);
                     }
-                    Frame::Response(_) => {
+                    Frame::PlanRequest(request) => {
+                        metrics.frames_in.inc();
+                        handle_plan_request(shared, &conn, request);
+                    }
+                    Frame::Response(_) | Frame::PlanResponse(_) => {
                         // Only servers speak responses.
                         metrics.protocol_errors.inc();
                         break;
@@ -759,6 +770,68 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, request: frame::Reques
     }
 }
 
+/// Parses and solves one wire plan-request payload against a planner
+/// sharing the service-wide verdict cache, returning the response
+/// status and payload: `Ok` with the rendered plan or "no lawful path"
+/// explanation, `BadRequest` with the per-line parse errors. A plan is
+/// a whole best-first search — far heavier than one assessment —  so
+/// callers run this on a dedicated thread, never the reader or event
+/// loop.
+pub(crate) fn solve_plan_payload(service: &ComplianceService, payload: &[u8]) -> (Status, Vec<u8>) {
+    let problem = match planner::parse_problem(payload) {
+        Ok(problem) => problem,
+        Err(errors) => {
+            let text = errors
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("\n");
+            return (Status::BadRequest, text.into_bytes());
+        }
+    };
+    let assessor = BatchAssessor::new().sharing_cache(Arc::clone(service.cache()));
+    match planner::Planner::from_assessor(assessor).solve(&problem) {
+        Ok(outcome) => (Status::Ok, outcome.render().into_bytes()),
+        Err(e) => (Status::BadRequest, e.to_string().into_bytes()),
+    }
+}
+
+/// A v3 plan request: solved on a spawned thread (plan traffic is rare
+/// and each one is a whole search), with the planner's assessor
+/// sharing the service-wide verdict cache so fact patterns recur as
+/// cache hits across plan and assess traffic alike. The in-flight slot
+/// is held until the response is enqueued, so drain waits for running
+/// solves; `deadline_ms` is ignored (see [`frame`]'s module docs). Plan
+/// dispositions are not journaled — the journal's replay contract
+/// re-parses recorded requests as single action specs.
+fn handle_plan_request(shared: &Arc<Shared>, conn: &Arc<Conn>, request: frame::PlanRequest) {
+    let metrics = &shared.metrics;
+    let received = Instant::now();
+    let trace = TraceId::mint();
+    let depth = conn.acquire_slot(shared.config.max_inflight, &shared.draining);
+    metrics.observe_inflight(depth);
+    let shared = Arc::clone(shared);
+    let conn = Arc::clone(conn);
+    std::thread::spawn(move || {
+        let (status, payload) = solve_plan_payload(&shared.service, &request.payload);
+        if status == Status::BadRequest {
+            shared.metrics.bad_requests.inc();
+        }
+        shared.metrics.record_latency(received.elapsed());
+        conn.send_frame(
+            trace,
+            Frame::PlanResponse(PlanResponse {
+                id: request.id,
+                status,
+                queue_wait_us: 0,
+                total_us: received.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                payload,
+            }),
+        );
+        conn.release_slot();
+    });
+}
+
 fn writer_loop(conn: &Conn, stream: TcpStream, metrics: &WireMetrics) {
     let mut w = BufWriter::new(stream);
     loop {
@@ -766,7 +839,7 @@ fn writer_loop(conn: &Conn, stream: TcpStream, metrics: &WireMetrics) {
             let mut outbox = conn.outbox.lock().expect("outbox lock");
             loop {
                 if !outbox.queue.is_empty() {
-                    let batch: Vec<(TraceId, Response)> = outbox.queue.drain(..).collect();
+                    let batch: Vec<(TraceId, Frame)> = outbox.queue.drain(..).collect();
                     break (batch, outbox.closed);
                 }
                 if outbox.closed {
@@ -780,10 +853,14 @@ fn writer_loop(conn: &Conn, stream: TcpStream, metrics: &WireMetrics) {
             return;
         }
         let log = obs::global();
-        for (trace, response) in batch {
-            let status = response.status;
+        for (trace, frame) in batch {
+            let status_byte = match &frame {
+                Frame::Response(r) => r.status.as_byte(),
+                Frame::PlanResponse(r) => r.status.as_byte(),
+                // Servers only enqueue response frames.
+                Frame::Request(_) | Frame::PlanRequest(_) => 0,
+            };
             let start_us = if log.is_enabled() { obs::now_us() } else { 0 };
-            let frame = Frame::Response(response);
             metrics.bytes_out.add(frame.wire_len() as u64);
             if frame::write_frame(&mut w, &frame).is_err() {
                 // The peer is gone; stop writing and let responses drop.
@@ -791,12 +868,7 @@ fn writer_loop(conn: &Conn, stream: TcpStream, metrics: &WireMetrics) {
                 return;
             }
             if log.is_enabled() {
-                log.record_closed(
-                    trace,
-                    Stage::Serialize,
-                    start_us,
-                    u64::from(status.as_byte()),
-                );
+                log.record_closed(trace, Stage::Serialize, start_us, u64::from(status_byte));
             }
             metrics.frames_out.inc();
         }

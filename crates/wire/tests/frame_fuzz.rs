@@ -11,12 +11,15 @@
 //! one-shot parse exactly, with frames completing at exactly the wire
 //! boundaries and no bytes left behind.
 
-use wire::frame::{self, Explain, Frame, Request, Response, Status, StreamDecoder};
+use wire::frame::{
+    self, Explain, Frame, PlanRequest, PlanResponse, Request, Response, Status, StreamDecoder,
+};
 
 /// A fixture stream interleaving every frame shape on the wire:
-/// v1 request, v2 request (explain flag), v1 response, v2 response
-/// (trace + provenance section), with empty and non-empty payloads —
-/// so every two-way cut crosses at least one v1/v2 boundary.
+/// v1 request, v2 request (explain flag), v3 plan request, v1
+/// response, v2 response (trace + provenance section), v3 plan
+/// response, with empty and non-empty payloads — so every two-way cut
+/// crosses at least one cross-version boundary.
 fn fixture_frames() -> Vec<Frame> {
     vec![
         Frame::Request(Request {
@@ -73,6 +76,31 @@ fn fixture_frames() -> Vec<Frame> {
             queue_wait_us: 0,
             total_us: 0,
             explain: None,
+            payload: Vec::new(),
+        }),
+        Frame::PlanRequest(PlanRequest {
+            id: 6,
+            deadline_ms: 2500,
+            payload: br#"{"goal": "mailbox", "collect": {"actor": "leo", "data": "content"}}"#
+                .to_vec(),
+        }),
+        Frame::PlanRequest(PlanRequest {
+            id: 7,
+            deadline_ms: 0,
+            payload: Vec::new(),
+        }),
+        Frame::PlanResponse(PlanResponse {
+            id: 6,
+            status: Status::Ok,
+            queue_wait_us: 0,
+            total_us: 88_000,
+            payload: b"plan: 2 lawful step(s), total cost 11".to_vec(),
+        }),
+        Frame::PlanResponse(PlanResponse {
+            id: 7,
+            status: Status::BadRequest,
+            queue_wait_us: 0,
+            total_us: 12,
             payload: Vec::new(),
         }),
     ]

@@ -118,6 +118,23 @@ fn usage() -> ExitCode {
       is noted and the clean prefix replayed. --verify scans strictly
       instead (any defect, torn tail included, fails). Exit is nonzero
       on divergence or corruption.
+  lexforensica plan <file.jsonl | -> [--threads N]
+      search the lawful-process space of a JSONL planning problem for
+      the cheapest sequence of process applications and evidence
+      collections that reaches every goal. Prints the ordered plan —
+      each step costed and carrying its court-ready justification from
+      the engine's provenance — or a provenance-backed \"no lawful
+      path\" report naming the blocking rule, on stdout; search
+      statistics (nodes expanded/s, verdict-cache hit rate) go to
+      stderr. Problem directives, one JSON object per line:
+        {{\"goal\": NAME, \"collect\": {{scenario...}}, \"yields\": STANDARD}}
+        {{\"lead\": NAME, \"collect\": {{scenario...}}, \"yields\": STANDARD}}
+        {{\"start\": {{\"standard\": S, \"process\": P}}}}
+        {{\"routes\": [\"consent\", \"exigent\", ...]}}
+        {{\"costs\": {{\"collect\": N, \"route\": N, \"subpoena\": N, ...}}}}
+      malformed problems are reported with their line numbers and the
+      exit code is then nonzero; an unreachable goal is an answer, not
+      an error
   lexforensica cite <substring>
       search the casebook by citation or holding text"
     );
@@ -615,6 +632,58 @@ fn cmd_replay(args: Args) -> ExitCode {
     }
 }
 
+/// `plan FILE`: best-first search over the lawful-process space for
+/// the cheapest plan reaching every goal — or a provenance-backed
+/// "no lawful path" refusal naming the blocking rule.
+fn cmd_plan(args: Args) -> ExitCode {
+    let Some(path) = args.positional(0) else {
+        return usage();
+    };
+    let threads = args.usize_flag(
+        "threads",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+    let input = match read_input(path) {
+        Ok(text) => text,
+        Err(code) => return code,
+    };
+    // Problem defects surface in the same located-error shape
+    // assess-batch and replay report: one "line N: reason" row each.
+    let problem = match lexforensica::planner::parse_problem(&input) {
+        Ok(problem) => problem,
+        Err(errors) => {
+            for error in &errors {
+                eprintln!("{error}");
+            }
+            eprintln!("{} problem defect(s); nothing planned", errors.len());
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match lexforensica::planner::Planner::with_threads(threads).solve(&problem) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("planning failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The rendering is deterministic (golden-tested); timing lives on
+    // stderr only.
+    print!("{}", outcome.render());
+    let stats = outcome.stats();
+    eprintln!(
+        "search: {} nodes expanded, {} candidate step(s) in {} batched call(s); \
+         {:.0} nodes/s; cache: {} hits, {} misses ({:.1}% hit rate)",
+        stats.nodes_expanded,
+        stats.candidates_evaluated,
+        stats.batch_calls,
+        stats.nodes_per_second(),
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_hit_rate() * 100.0,
+    );
+    ExitCode::SUCCESS
+}
+
 /// Builds a service from the shared `--workers/--capacity/--policy/
 /// --deadline-ms` flags, or reports the bad flag and returns `None`.
 fn service_from_args(args: &Args) -> Option<ComplianceService> {
@@ -1046,6 +1115,7 @@ fn main() -> ExitCode {
             }
         }))),
         Some("journal") => cmd_journal(Args::parse_from(args[1..].iter().cloned())),
+        Some("plan") => cmd_plan(Args::parse_from(args[1..].iter().cloned())),
         // `--verify` is a bare switch; the Args parser only knows
         // `--flag VALUE` pairs, so give it a value before parsing.
         Some("replay") => cmd_replay(Args::parse_from(args[1..].iter().map(|a| {

@@ -298,7 +298,7 @@ fn graceful_drain_journals_every_acknowledged_response() {
                                     LINES[(i % LINES.len() as u64) as usize].as_bytes(),
                                 ));
                             }
-                            Ok(Some(Frame::Request(_))) => panic!("server sent a request"),
+                            Ok(Some(_)) => panic!("server sent a non-response frame"),
                             Ok(None) => break,
                             Err(e) => panic!("connection {c} torn down uncleanly: {e}"),
                         }

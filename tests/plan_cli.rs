@@ -1,0 +1,114 @@
+//! Golden tests for the `plan` subcommand: the checked-in fixture
+//! problems must produce byte-exact plan renderings, including the
+//! provenance-backed "no lawful path" negative case.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lexforensica"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The curated demo problem — provider-held records on the SCA ladder,
+/// a device search, and a free public-posts lead that bootstraps the
+/// showing (the Table 1 scenario space) — must plan to the golden
+/// rendering exactly: one search warrant dominating the weaker
+/// instruments, every collect carrying its justification.
+#[test]
+fn plan_fixture_matches_golden_output() {
+    let out = run(&["plan", &fixture("plan_demo.jsonl")]);
+    assert!(out.status.success(), "{out:?}");
+    let golden = std::fs::read_to_string(fixture("plan_demo.expected")).expect("golden exists");
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), golden);
+
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("nodes/s"), "{stderr}");
+    assert!(stderr.contains("hit rate"), "{stderr}");
+}
+
+/// The negative fixture: a wiretap goal whose showing is out of reach.
+/// "No lawful path" is an answer, not an error — exit zero, with the
+/// blocking rule named from the engine's provenance.
+#[test]
+fn plan_no_lawful_path_fixture_matches_golden_output() {
+    let out = run(&["plan", &fixture("plan_unreachable.jsonl")]);
+    assert!(out.status.success(), "{out:?}");
+    let golden =
+        std::fs::read_to_string(fixture("plan_unreachable.expected")).expect("golden exists");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout, golden);
+    assert!(stdout.starts_with("no lawful path:"), "{stdout}");
+    assert!(
+        stdout.contains("blocking rule: statute.wiretap"),
+        "{stdout}"
+    );
+}
+
+/// The plan bytes are thread-count invariant — the planner's
+/// determinism contract, observed end to end through the CLI.
+#[test]
+fn plan_output_is_thread_invariant() {
+    let baseline = run(&["plan", &fixture("plan_demo.jsonl"), "--threads", "1"]);
+    assert!(baseline.status.success());
+    for threads in ["2", "8"] {
+        let out = run(&["plan", &fixture("plan_demo.jsonl"), "--threads", threads]);
+        assert!(out.status.success());
+        assert_eq!(
+            out.stdout, baseline.stdout,
+            "plan changed at {threads} threads"
+        );
+    }
+}
+
+/// Malformed problems report every defect with its 1-based line number
+/// — the same located-error shape `assess-batch` and `replay` use —
+/// and exit nonzero without printing a plan.
+#[test]
+fn plan_malformed_problem_reports_line_numbers_and_fails() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lexforensica"))
+        .args(["plan", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"{\"start\": {\"standard\": \"mere-suspicion\"}}\nnot json\n{\"gaol\": \"typo\"}\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().expect("binary exits");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 2:"), "{stderr}");
+    assert!(stderr.contains("line 3:"), "{stderr}");
+    assert!(stderr.contains("problem defect(s)"), "{stderr}");
+    assert!(out.stdout.is_empty(), "printed a plan for a bad problem");
+}
+
+/// A missing problem file is a clean failure, not a panic.
+#[test]
+fn plan_missing_file_fails_cleanly() {
+    let out = run(&["plan", "/nonexistent/problem.jsonl"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+/// `plan` with no input path is a usage error.
+#[test]
+fn plan_without_input_exits_2() {
+    let out = run(&["plan"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -233,7 +233,7 @@ fn mid_load_graceful_shutdown_accounting(kind: ServerKind) {
                     loop {
                         match frame::read_frame(&mut stream, wire::MAX_FRAME) {
                             Ok(Some(Frame::Response(response))) => ids.push(response.id),
-                            Ok(Some(Frame::Request(_))) => panic!("server sent a request"),
+                            Ok(Some(_)) => panic!("server sent a non-response frame"),
                             Ok(None) => break,
                             Err(e) => panic!("connection {c} torn down uncleanly: {e}"),
                         }
