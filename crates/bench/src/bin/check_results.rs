@@ -134,6 +134,36 @@ fn check_plan_search(section: &Json) -> Result<(), String> {
     }
 }
 
+/// Structural check for the `replay_serve` section: both replay phases
+/// present with a real throughput number and **zero** divergences, and
+/// a compaction phase that actually shrank the journal (ratio ≥ 2 — the
+/// driver's workload is superseding by construction, so anything less
+/// means the retention policy or the swap broke). Deliberately does
+/// **not** require a particular record count — CI smoke runs pass a
+/// small `--records`.
+fn check_replay_serve(section: &Json) -> Result<(), String> {
+    for phase in ["replay_live", "replay_compacted"] {
+        let Some(entry @ Json::Obj(_)) = section.get(phase) else {
+            return Err(format!("replay_serve: missing {phase:?} object"));
+        };
+        match entry.get("records_per_s") {
+            Some(Json::Num(rps)) if *rps > 0.0 => {}
+            _ => return Err(format!("replay_serve.{phase}: records_per_s not positive")),
+        }
+        match entry.get("divergences") {
+            Some(Json::Num(d)) if *d == 0.0 => {}
+            _ => return Err(format!("replay_serve.{phase}: divergences is not zero")),
+        }
+    }
+    match section.get("compaction").and_then(|c| c.get("ratio")) {
+        Some(Json::Num(ratio)) if *ratio >= 2.0 => Ok(()),
+        Some(Json::Num(ratio)) => Err(format!(
+            "replay_serve: compaction ratio {ratio:.2} is below 2x"
+        )),
+        _ => Err("replay_serve: compaction.ratio missing".into()),
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let file = args
@@ -165,6 +195,7 @@ fn main() -> ExitCode {
                     "wire_load" => check_wire_load(section),
                     "simcore_scale" => check_simcore_scale(section),
                     "plan_search" => check_plan_search(section),
+                    "replay_serve" => check_replay_serve(section),
                     _ => Ok(()),
                 };
                 match shape {

@@ -94,6 +94,7 @@ fn main() {
         last_seq = journal
             .append(RecordData {
                 trace: TraceId::mint(),
+                at_us: journal::now_us(),
                 status: 0, // wire Status::Ok
                 request: line.as_bytes().to_vec(),
                 verdict: verdict.clone(),

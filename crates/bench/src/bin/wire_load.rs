@@ -26,10 +26,11 @@
 //! One experiment: sweep 1, 2, 4, … connections (plus `--conns` itself
 //! when it is not a power of two — `--conns 10000` ends on a true
 //! C10K point), each pipelining `--pipeline` requests deep, all
-//! multiplexed into the one bounded-queue service. On Linux the load
-//! generator is itself a single epoll readiness loop over nonblocking
-//! sockets (reusing `wire::sys`), so ten thousand client connections
-//! cost two threads, not twenty thousand. The thread-per-connection
+//! multiplexed into the one bounded-queue service. The load generator
+//! is the shared [`wire::load`] core — on Linux a single epoll
+//! readiness loop over nonblocking sockets, so ten thousand client
+//! connections cost two threads, not twenty thousand; the same core
+//! paces journal replay in `replay --serve`. The thread-per-connection
 //! server's sweep is capped at [`THREADED_SWEEP_CAP`] connections —
 //! 2 OS threads per connection does not survive C10K, which is the
 //! point of the comparison — and the cap is always logged.
@@ -161,248 +162,45 @@ impl BenchServer {
     }
 }
 
-/// The epoll load generator: every client connection nonblocking,
-/// driven by one readiness loop. Two threads total (generator +
-/// whatever the server uses), whatever the connection count.
-#[cfg(target_os = "linux")]
-mod epoll_gen {
-    use super::line_for;
-    use service::metrics::Histogram;
-    use std::collections::HashMap;
-    use std::io::{Read as _, Write as _};
-    use std::net::TcpStream;
-    use std::os::fd::{AsRawFd as _, RawFd};
-    use std::time::Instant;
-    use wire::frame::{self, Frame, Request, Status, StreamDecoder};
-    use wire::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
-
-    struct LoadConn {
-        stream: TcpStream,
-        decoder: StreamDecoder,
-        /// Encoded request frames not yet accepted by the kernel.
-        out: Vec<u8>,
-        out_off: usize,
-        /// Requests submitted (frame bytes queued) so far.
-        sent: u64,
-        /// Responses fully received so far.
-        done: u64,
-        /// Submit timestamps by request id; `remove` returning `None`
-        /// on a response is a duplicate or invented id — panic.
-        inflight: HashMap<u64, Instant>,
-        interest: u32,
-    }
-
-    impl LoadConn {
-        fn fd(&self) -> RawFd {
-            self.stream.as_raw_fd()
-        }
-
-        fn finished(&self, requests: u64) -> bool {
-            self.done == requests
-        }
-
-        /// Queues encoded frames until the pipeline window is full or
-        /// the budget is spent.
-        fn top_up(&mut self, seed: u64, c: u64, requests: u64, pipeline: usize) {
-            while self.inflight.len() < pipeline && self.sent < requests {
-                let id = self.sent;
-                let payload = line_for(seed, c, id).as_bytes().to_vec();
-                self.out
-                    .extend_from_slice(&frame::encode(&Frame::Request(Request {
-                        id,
-                        deadline_ms: 0,
-                        want_explain: false,
-                        payload,
-                    })));
-                self.inflight.insert(id, Instant::now());
-                self.sent += 1;
-            }
-        }
-
-        /// Writes queued bytes until drained or `WouldBlock`.
-        fn flush(&mut self) {
-            while self.out_off < self.out.len() {
-                match (&mut &self.stream).write(&self.out[self.out_off..]) {
-                    Ok(0) => panic!("server closed mid-load (write zero)"),
-                    Ok(n) => self.out_off += n,
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
-                    Err(e) => panic!("load connection write failed: {e}"),
-                }
-            }
-            self.out.clear();
-            self.out_off = 0;
-        }
-
-        /// Reads until `WouldBlock`, decoding and accounting responses.
-        fn on_readable(&mut self, rtt: &Histogram, requests: u64) {
-            let mut buf = [0u8; 64 * 1024];
-            loop {
-                match (&mut &self.stream).read(&mut buf) {
-                    Ok(0) => panic!(
-                        "server hung up with {} of {requests} responses outstanding",
-                        requests - self.done
-                    ),
-                    Ok(n) => {
-                        self.decoder.extend(&buf[..n]);
-                        while let Some(frame) = self
-                            .decoder
-                            .next_frame()
-                            .expect("well-formed response stream")
-                        {
-                            let response = match frame {
-                                Frame::Response(response) => response,
-                                other => panic!("server sent a non-response frame: {other:?}"),
-                            };
-                            let sent_at = self
-                                .inflight
-                                .remove(&response.id)
-                                .expect("response id never sent, or answered twice");
-                            rtt.record(sent_at.elapsed());
-                            assert_eq!(response.status, Status::Ok, "unexpected in-band status");
-                            assert!(!response.payload.is_empty(), "verdict payload missing");
-                            self.done += 1;
-                        }
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
-                    Err(e) => panic!("load connection read failed: {e}"),
-                }
-            }
-        }
-    }
-
-    /// One sweep point, epoll-driven. Returns the wall time; records
-    /// every round trip into `rtt`.
-    pub fn drive(
-        addr: std::net::SocketAddr,
-        connections: usize,
-        requests: u64,
-        pipeline: usize,
-        seed: u64,
-        rtt: &Histogram,
-    ) -> std::time::Duration {
-        let epoll = Epoll::new().expect("load epoll");
-        let start = Instant::now();
-        let mut conns = Vec::with_capacity(connections);
-        for c in 0..connections {
-            let stream = TcpStream::connect(addr).expect("dial loopback");
-            stream.set_nodelay(true).expect("nodelay");
-            stream.set_nonblocking(true).expect("nonblocking");
-            let mut conn = LoadConn {
-                stream,
-                decoder: StreamDecoder::new(frame::MAX_FRAME),
-                out: Vec::new(),
-                out_off: 0,
-                sent: 0,
-                done: 0,
-                inflight: HashMap::with_capacity(pipeline),
-                interest: EPOLLIN | EPOLLOUT,
-            };
-            conn.top_up(seed, c as u64, requests, pipeline);
-            epoll
-                .add(conn.fd(), conn.interest, c as u64)
-                .expect("register load connection");
-            conns.push(conn);
-        }
-
-        let mut remaining = conns.iter().filter(|c| !c.finished(requests)).count();
-        let mut events = vec![EpollEvent::default(); 1024];
-        while remaining > 0 {
-            let n = match epoll.wait(&mut events, None) {
-                Ok(n) => n,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => panic!("load epoll_wait failed: {e}"),
-            };
-            for ev in &events[..n] {
-                // Copies first: the struct is packed on x86-64.
-                let idx = { ev.data } as usize;
-                let mask = { ev.events };
-                let conn = &mut conns[idx];
-                if conn.finished(requests) {
-                    continue;
-                }
-                if mask & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0 {
-                    conn.on_readable(rtt, requests);
-                }
-                // Completions freed window slots: queue more, write
-                // whatever the socket accepts right now.
-                conn.top_up(seed, idx as u64, requests, pipeline);
-                conn.flush();
-                if conn.finished(requests) {
-                    assert!(
-                        conn.inflight.is_empty() && conn.out_off >= conn.out.len(),
-                        "finished with requests un-flushed or unanswered"
-                    );
-                    epoll.delete(conn.fd()).expect("deregister load connection");
-                    remaining -= 1;
-                    continue;
-                }
-                let want = EPOLLIN
-                    | if conn.out_off < conn.out.len() {
-                        EPOLLOUT
-                    } else {
-                        0
-                    };
-                if want != conn.interest {
-                    epoll
-                        .modify(conn.fd(), want, idx as u64)
-                        .expect("rearm load connection");
-                    conn.interest = want;
-                }
-            }
-        }
-        let wall = start.elapsed();
-        for conn in &conns {
-            assert_eq!(conn.done, requests, "a connection under-delivered");
-        }
-        wall
-    }
-}
-
-/// Thread-per-connection load generator: the portable fallback, and
-/// the shape the pre-epoll driver used.
-#[cfg(not(target_os = "linux"))]
-fn drive_threads(
-    addr: std::net::SocketAddr,
-    connections: usize,
-    requests: u64,
-    pipeline: usize,
+/// The sweep workload as a [`LoadSource`] for the shared
+/// [`wire::load`] driver: `requests` per connection at max pacing
+/// (`due_us: 0` — the sweep measures capacity, not a schedule), ids
+/// globally unique, every response asserted `ok` with a verdict
+/// payload and its round trip recorded.
+struct SweepSource<'a> {
     seed: u64,
-    rtt: &Arc<Histogram>,
-) -> Duration {
-    use std::time::Instant;
-    let start = Instant::now();
-    std::thread::scope(|scope| {
-        for c in 0..connections as u64 {
-            let rtt = Arc::clone(rtt);
-            scope.spawn(move || {
-                let client = WireClient::connect(addr).expect("dial loopback");
-                let mut window = std::collections::VecDeque::with_capacity(pipeline);
-                let reap = |(sent, call): (Instant, PendingCall)| {
-                    let response = call.wait().expect("server answers every call");
-                    rtt.record(sent.elapsed());
-                    assert_eq!(response.status, Status::Ok, "unexpected in-band status");
-                    assert!(!response.payload.is_empty(), "verdict payload missing");
-                };
-                for i in 0..requests {
-                    if window.len() == pipeline {
-                        reap(window.pop_front().expect("window is non-empty"));
-                    }
-                    let payload = line_for(seed, c, i).as_bytes().to_vec();
-                    let call = client.submit(payload, 0).expect("submit");
-                    window.push_back((Instant::now(), call));
-                }
-                for entry in window {
-                    reap(entry);
-                }
-            });
-        }
-    });
-    start.elapsed()
+    requests: u64,
+    /// Requests emitted so far, per connection.
+    sent: Vec<u64>,
+    /// Responses received so far, across all connections.
+    done: u64,
+    rtt: &'a Histogram,
 }
 
-/// One sweep point with the platform's load generator.
+impl LoadSource for SweepSource<'_> {
+    fn next(&mut self, conn: usize) -> Option<LoadRequest> {
+        let i = self.sent[conn];
+        if i == self.requests {
+            return None;
+        }
+        self.sent[conn] = i + 1;
+        Some(LoadRequest {
+            id: conn as u64 * self.requests + i,
+            payload: line_for(self.seed, conn as u64, i).as_bytes().to_vec(),
+            due_us: 0,
+        })
+    }
+
+    fn complete(&mut self, _conn: usize, _id: u64, status: Status, payload: &[u8], rtt: Duration) {
+        self.rtt.record(rtt);
+        assert_eq!(status, Status::Ok, "unexpected in-band status");
+        assert!(!payload.is_empty(), "verdict payload missing");
+        self.done += 1;
+    }
+}
+
+/// One sweep point through the shared load core (epoll on Linux — two
+/// threads total whatever the connection count — threads elsewhere).
 fn drive(
     addr: std::net::SocketAddr,
     connections: usize,
@@ -411,10 +209,19 @@ fn drive(
     seed: u64,
 ) -> (Duration, Arc<Histogram>) {
     let rtt = Arc::new(Histogram::default());
-    #[cfg(target_os = "linux")]
-    let wall = epoll_gen::drive(addr, connections, requests, pipeline, seed, &rtt);
-    #[cfg(not(target_os = "linux"))]
-    let wall = drive_threads(addr, connections, requests, pipeline, seed, &rtt);
+    let mut source = SweepSource {
+        seed,
+        requests,
+        sent: vec![0; connections],
+        done: 0,
+        rtt: &rtt,
+    };
+    let wall = wire::load::drive(addr, connections, pipeline, &mut source).expect("load drive");
+    assert_eq!(
+        source.done,
+        requests * connections as u64,
+        "a connection under-delivered"
+    );
     (wall, rtt)
 }
 

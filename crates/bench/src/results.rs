@@ -28,6 +28,7 @@ pub const REGISTERED_DRIVERS: &[&str] = &[
     "journal_replay",
     "simcore_scale",
     "plan_search",
+    "replay_serve",
 ];
 
 /// A minimal JSON value.

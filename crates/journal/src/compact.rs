@@ -1,0 +1,445 @@
+//! Offline segment compaction with an atomic generation swap.
+//!
+//! A long-lived journal accumulates records that later records
+//! supersede: the same legal question asked again under the same facts,
+//! answered with the same (or a newer) verdict. Compaction rewrites the
+//! journal keeping only the records a caller-supplied [`Retention`]
+//! policy says still matter — **latest wins** per retention key — and
+//! reclaims the disk the superseded records occupied.
+//!
+//! The journal crate stays deliberately dumb about payloads, so the
+//! policy is a closure: the CLI layer maps `ok` records to their
+//! `FactKey` projection, malformed requests to their raw bytes, and
+//! load-shed dispositions to [`Retention::Drop`]; this module never
+//! parses a request.
+//!
+//! # The generation-swap protocol
+//!
+//! Compaction must be crash-safe against SIGKILL at **any** byte: the
+//! directory must recover to exactly the old generation or exactly the
+//! new one, never a splice of the two (a spliced chain could silently
+//! pass contiguity checks — e.g. the old first segment alone looks like
+//! a clean, shorter journal). The protocol:
+//!
+//! 1. **Rewrite** — survivors are re-appended (renumbered contiguously
+//!    from 1) through the ordinary group-commit [`crate::Journal`]
+//!    writer into a scratch subdirectory `.compact-new/`, then synced.
+//!    The live directory is untouched; a crash here loses nothing.
+//! 2. **Commit** — a manifest listing every new-generation segment
+//!    name (CRC-protected, written via temp-file + rename) lands at
+//!    `COMPACT-MANIFEST`. The rename of the manifest *is* the commit
+//!    point: before it the old generation is authoritative, after it
+//!    the new one is.
+//! 3. **Swap** — each manifest-listed segment is renamed from
+//!    `.compact-new/` into the journal directory (rename overwrites the
+//!    old segment of the same base, e.g. `seg-…0001`), old segments not
+//!    in the manifest are unlinked, and the scratch directory is
+//!    removed.
+//! 4. **Seal** — the manifest is deleted. The journal is once again an
+//!    ordinary directory of segments.
+//!
+//! [`recover`] makes the protocol idempotent: a manifest on disk rolls
+//! the swap **forward** (steps 3–4 redone from the manifest), a scratch
+//! directory without a manifest rolls **back** (scratch deleted, old
+//! generation untouched). [`crate::Journal::open`] runs it before every
+//! recovery scan; [`crate::JournalReader::open`] refuses to read while
+//! a manifest is pending, because mid-swap contents are exactly the
+//! splice shape the reader must never accept.
+//!
+//! # Crash injection
+//!
+//! The environment hook `LXJ_COMPACT_CRASH_POINT` aborts the process at
+//! a named protocol point (`before-manifest`, `after-manifest`,
+//! `mid-swap`, `before-cleanup`). CI's compaction-kill smoke job and
+//! the torture tests use it for deterministic coverage of every
+//! protocol edge; randomized SIGKILL timing covers the bytes between.
+
+use crate::crc::crc32;
+use crate::reader::{list_segments, read_all, JournalError, Mode};
+use crate::segment::{parse_segment_file_name, Record, RecordData};
+use crate::writer::{Journal, JournalConfig};
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The commit-point manifest file name. While this file exists, a
+/// generation swap is pending and the directory must not be read as a
+/// journal.
+pub const MANIFEST_NAME: &str = "COMPACT-MANIFEST";
+
+/// Temp name the manifest is staged under before its commit rename.
+const MANIFEST_TMP: &str = ".compact-manifest.tmp";
+
+/// Scratch subdirectory the new generation is rewritten into.
+pub const NEW_GEN_DIR: &str = ".compact-new";
+
+/// Manifest format magic (first line).
+const MANIFEST_MAGIC: &str = "LXJM1";
+
+/// What a [`Retention`] policy decides for one record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Retention {
+    /// The record competes under this key: of all records sharing a
+    /// key, only the one with the highest sequence number survives —
+    /// latest verdict wins.
+    Supersede(Vec<u8>),
+    /// The record always survives (e.g. evidence the policy cannot
+    /// classify).
+    Keep,
+    /// The record never survives (e.g. load-shed dispositions that
+    /// carry no verdict worth replaying).
+    Drop,
+}
+
+/// What [`recover`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapRecovery {
+    /// No compaction was in flight.
+    Clean,
+    /// A committed manifest was found; the swap was completed
+    /// (rolled forward to the new generation).
+    RolledForward,
+    /// An uncommitted scratch generation was found and discarded
+    /// (rolled back to the old generation).
+    RolledBack,
+}
+
+/// What one [`compact`] run did.
+#[derive(Debug, Clone)]
+pub struct CompactionReport {
+    /// What [`recover`] had to do before this run could start.
+    pub prior: SwapRecovery,
+    /// Records scanned from the old generation.
+    pub input_records: u64,
+    /// Records written to the new generation.
+    pub surviving_records: u64,
+    /// Records dropped because a later record superseded their key.
+    pub superseded: u64,
+    /// Records dropped outright by [`Retention::Drop`].
+    pub discarded: u64,
+    /// On-disk segment bytes before compaction.
+    pub bytes_before: u64,
+    /// On-disk segment bytes after compaction.
+    pub bytes_after: u64,
+    /// Segment files before compaction.
+    pub segments_before: usize,
+    /// Segment files after compaction.
+    pub segments_after: usize,
+}
+
+impl CompactionReport {
+    /// Shrink factor, `bytes_before / bytes_after` (1.0 when nothing
+    /// shrank or the journal was empty).
+    pub fn ratio(&self) -> f64 {
+        if self.bytes_after == 0 {
+            1.0
+        } else {
+            self.bytes_before as f64 / self.bytes_after as f64
+        }
+    }
+}
+
+/// Aborts the process when `LXJ_COMPACT_CRASH_POINT` names this point —
+/// deterministic crash injection for the torture harness and CI.
+fn crash_point(point: &str) {
+    if std::env::var("LXJ_COMPACT_CRASH_POINT").as_deref() == Ok(point) {
+        eprintln!("journal compact: aborting at injected crash point `{point}`");
+        std::process::abort();
+    }
+}
+
+/// Compacts the journal at `dir`: scans it (recover mode — a torn tail
+/// is dropped exactly as [`crate::Journal::open`] would drop it),
+/// applies `classify` to every record in sequence order, rewrites the
+/// survivors renumbered from 1 through a fresh group-commit writer, and
+/// atomically swaps generations. On return the directory holds only
+/// the new generation.
+///
+/// Compaction is an **offline** operation: no live [`Journal`] writer
+/// may have the directory open.
+///
+/// # Errors
+///
+/// [`JournalError::Corrupt`] if the existing chain is damaged beyond
+/// the torn-tail rule or a pending manifest is unreadable;
+/// [`JournalError::Io`] on filesystem failure.
+pub fn compact(
+    dir: &Path,
+    config: JournalConfig,
+    mut classify: impl FnMut(&Record) -> Retention,
+) -> Result<CompactionReport, JournalError> {
+    let prior = recover(dir)?;
+    let (records, _torn) = read_all(dir, Mode::Recover)?;
+    let old_segments = list_segments(dir)?;
+    let bytes_before = dir_bytes(&old_segments)?;
+
+    // Latest-wins: remember the highest seq per key, then keep a record
+    // iff it is Keep or it *is* the latest holder of its key.
+    let mut latest: HashMap<Vec<u8>, u64> = HashMap::new();
+    let mut decisions = Vec::with_capacity(records.len());
+    for record in &records {
+        let decision = classify(record);
+        if let Retention::Supersede(key) = &decision {
+            latest.insert(key.clone(), record.seq);
+        }
+        decisions.push(decision);
+    }
+    let mut superseded = 0u64;
+    let mut discarded = 0u64;
+    let mut survivors: Vec<&Record> = Vec::new();
+    for (record, decision) in records.iter().zip(&decisions) {
+        match decision {
+            Retention::Keep => survivors.push(record),
+            Retention::Drop => discarded += 1,
+            Retention::Supersede(key) => {
+                if latest[key] == record.seq {
+                    survivors.push(record);
+                } else {
+                    superseded += 1;
+                }
+            }
+        }
+    }
+
+    // Rewrite the survivors into the scratch generation via the
+    // ordinary group-commit writer: same framing, same CRCs, same
+    // rotation, contiguous new sequence numbers from 1.
+    let scratch = dir.join(NEW_GEN_DIR);
+    let (journal, recovery) = Journal::open(&scratch, config)?;
+    debug_assert_eq!(recovery.next_seq, 1, "scratch generation must be fresh");
+    for record in &survivors {
+        journal.append(RecordData {
+            trace: record.trace,
+            at_us: record.at_us,
+            status: record.status,
+            request: record.request.clone(),
+            verdict: record.verdict.clone(),
+        })?;
+    }
+    journal.close()?;
+
+    let new_segments = list_segments(&scratch)?;
+    let bytes_after = dir_bytes(&new_segments)?;
+    let new_names: Vec<String> = new_segments
+        .iter()
+        .map(|(base, _)| crate::segment::segment_file_name(*base))
+        .collect();
+
+    crash_point("before-manifest");
+    write_manifest(dir, survivors.len() as u64, &new_names)?;
+    crash_point("after-manifest");
+
+    swap_in(dir, &new_names)?;
+    crash_point("before-cleanup");
+    seal(dir)?;
+
+    Ok(CompactionReport {
+        prior,
+        input_records: records.len() as u64,
+        surviving_records: survivors.len() as u64,
+        superseded,
+        discarded,
+        bytes_before,
+        bytes_after,
+        segments_before: old_segments.len(),
+        segments_after: new_names.len(),
+    })
+}
+
+/// Completes or rolls back an interrupted generation swap. Idempotent;
+/// safe (and cheap) to call on a directory with no swap in flight.
+/// [`crate::Journal::open`] calls this before its recovery scan.
+///
+/// # Errors
+///
+/// [`JournalError::Corrupt`] when a pending manifest fails its CRC or
+/// references a segment that exists in neither generation — evidence of
+/// tampering, never silently discarded; [`JournalError::Io`] on
+/// filesystem failure.
+pub fn recover(dir: &Path) -> Result<SwapRecovery, JournalError> {
+    let manifest = dir.join(MANIFEST_NAME);
+    let scratch = dir.join(NEW_GEN_DIR);
+    let staged = dir.join(MANIFEST_TMP);
+    if manifest.exists() {
+        // Committed: the new generation is authoritative. Re-run the
+        // swap from the manifest; every step tolerates having already
+        // happened.
+        let names = read_manifest(&manifest)?;
+        swap_in(dir, &names)?;
+        seal(dir)?;
+        Ok(SwapRecovery::RolledForward)
+    } else if scratch.exists() || staged.exists() {
+        // Uncommitted: the old generation is authoritative; the
+        // scratch rewrite (and any staged manifest) is garbage.
+        if scratch.exists() {
+            fs::remove_dir_all(&scratch)?;
+        }
+        if staged.exists() {
+            fs::remove_file(&staged)?;
+        }
+        sync_dir(dir);
+        Ok(SwapRecovery::RolledBack)
+    } else {
+        Ok(SwapRecovery::Clean)
+    }
+}
+
+/// Whether a committed-but-unfinished swap is pending at `dir` — the
+/// state in which the directory must not be read as a journal.
+pub fn swap_pending(dir: &Path) -> bool {
+    dir.join(MANIFEST_NAME).exists()
+}
+
+/// Renames every manifest-listed segment from the scratch directory
+/// into `dir` (skipping ones already moved), unlinks old segments the
+/// manifest does not list, and removes the scratch directory.
+fn swap_in(dir: &Path, names: &[String]) -> Result<(), JournalError> {
+    let scratch = dir.join(NEW_GEN_DIR);
+    for (i, name) in names.iter().enumerate() {
+        let from = scratch.join(name);
+        let to = dir.join(name);
+        if from.exists() {
+            // Overwrites an old segment with the same base (always the
+            // case for `seg-…0001`): atomic on POSIX, and exactly what
+            // the manifest committed to.
+            fs::rename(&from, &to)?;
+        } else if !to.exists() {
+            return Err(JournalError::Corrupt {
+                segment: dir.join(MANIFEST_NAME),
+                offset: 0,
+                reason: format!(
+                    "manifest lists segment {name} but it exists in neither generation"
+                ),
+            });
+        }
+        if i == 0 {
+            crash_point("mid-swap");
+        }
+    }
+    for (base, path) in list_segments(dir)? {
+        let name = crate::segment::segment_file_name(base);
+        if !names.contains(&name) {
+            fs::remove_file(&path)?;
+        }
+    }
+    if scratch.exists() {
+        fs::remove_dir_all(&scratch)?;
+    }
+    sync_dir(dir);
+    Ok(())
+}
+
+/// Removes the manifest — the swap's final step; after this the
+/// directory is an ordinary journal again.
+fn seal(dir: &Path) -> Result<(), JournalError> {
+    let manifest = dir.join(MANIFEST_NAME);
+    if manifest.exists() {
+        fs::remove_file(&manifest)?;
+    }
+    let staged = dir.join(MANIFEST_TMP);
+    if staged.exists() {
+        fs::remove_file(&staged)?;
+    }
+    sync_dir(dir);
+    Ok(())
+}
+
+/// Stages and commits the manifest: temp file, fsync, rename, dir
+/// fsync. The rename is the generation-swap commit point.
+fn write_manifest(dir: &Path, records: u64, names: &[String]) -> Result<(), JournalError> {
+    let mut body = String::new();
+    body.push_str(MANIFEST_MAGIC);
+    body.push('\n');
+    body.push_str(&format!("records {records}\n"));
+    body.push_str(&format!("segments {}\n", names.len()));
+    for name in names {
+        body.push_str(name);
+        body.push('\n');
+    }
+    let crc = crc32(body.as_bytes());
+    body.push_str(&format!("crc {crc:08x}\n"));
+
+    let staged = dir.join(MANIFEST_TMP);
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&staged)?;
+    file.write_all(body.as_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&staged, dir.join(MANIFEST_NAME))?;
+    sync_dir(dir);
+    Ok(())
+}
+
+/// Parses and CRC-verifies a manifest, returning the new generation's
+/// segment names.
+fn read_manifest(path: &Path) -> Result<Vec<String>, JournalError> {
+    let corrupt = |reason: String| JournalError::Corrupt {
+        segment: path.to_path_buf(),
+        offset: 0,
+        reason,
+    };
+    let text =
+        fs::read_to_string(path).map_err(|e| corrupt(format!("manifest unreadable: {e}")))?;
+    let Some((body, crc_line)) = text.trim_end_matches('\n').rsplit_once('\n') else {
+        return Err(corrupt("manifest has no CRC line".to_string()));
+    };
+    let body = format!("{body}\n");
+    // The CRC line must be the canonical lowercase rendering, compared
+    // byte-for-byte: a commit record is either exactly what the writer
+    // produced or it is corrupt (no leniency that a bit flip could
+    // hide inside, e.g. hex-digit case).
+    let computed = crc32(body.as_bytes());
+    let canonical = format!("crc {computed:08x}");
+    if crc_line != canonical {
+        return Err(corrupt(format!(
+            "manifest checksum line mismatch: stored {crc_line:?}, computed {canonical:?}"
+        )));
+    }
+    let mut lines = body.lines();
+    if lines.next() != Some(MANIFEST_MAGIC) {
+        return Err(corrupt("bad manifest magic".to_string()));
+    }
+    let _records = lines
+        .next()
+        .and_then(|l| l.strip_prefix("records "))
+        .and_then(|n| n.parse::<u64>().ok())
+        .ok_or_else(|| corrupt("malformed records line".to_string()))?;
+    let count = lines
+        .next()
+        .and_then(|l| l.strip_prefix("segments "))
+        .and_then(|n| n.parse::<usize>().ok())
+        .ok_or_else(|| corrupt("malformed segments line".to_string()))?;
+    let names: Vec<String> = lines.map(str::to_string).collect();
+    if names.len() != count {
+        return Err(corrupt(format!(
+            "manifest claims {count} segments but lists {}",
+            names.len()
+        )));
+    }
+    for name in &names {
+        if parse_segment_file_name(name).is_none() {
+            return Err(corrupt(format!("manifest lists non-segment name {name:?}")));
+        }
+    }
+    Ok(names)
+}
+
+fn dir_bytes(segments: &[(u64, PathBuf)]) -> Result<u64, JournalError> {
+    let mut total = 0u64;
+    for (_, path) in segments {
+        total += fs::metadata(path)?.len();
+    }
+    Ok(total)
+}
+
+fn sync_dir(dir: &Path) {
+    // Same best-effort stance as the writer: directory fsync is how
+    // renames/unlinks become durable on Unix; elsewhere, skip.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}

@@ -24,6 +24,12 @@
 //!   the torn tail, resume at the next sequence number), bounded
 //!   producer queue, a durable clock for acknowledge-after-fsync
 //!   callers, and a drain-everything graceful [`Journal::close`].
+//! * [`compact`] — offline segment compaction: a caller-supplied
+//!   [`compact::Retention`] policy decides which records survive
+//!   (latest-wins per key), survivors are rewritten through the same
+//!   group-commit writer into a fresh generation, and a CRC-protected
+//!   manifest makes the generation swap atomic — a crash at any byte
+//!   recovers to the old generation or the new one, never a splice.
 //!
 //! The journal is deliberately dumb about payloads: a record stores the
 //! raw request line and the raw verdict bytes. Replaying means parsing
@@ -40,6 +46,7 @@
 //! assert_eq!(recovery.next_seq, 1);
 //! let seq = journal.append_durable(RecordData {
 //!     trace: TraceId::from_u64(7),
+//!     at_us: journal::now_us(),
 //!     status: 0,
 //!     request: br#"{"actor":"le","category":"device_forensics"}"#.to_vec(),
 //!     verdict: b"conditional [medium]".to_vec(),
@@ -57,12 +64,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod crc;
 pub mod reader;
 pub mod segment;
 pub mod writer;
 
+pub use compact::{CompactionReport, Retention, SwapRecovery};
 pub use crc::crc32;
 pub use reader::{read_all, JournalError, JournalReader, Mode, Truncation};
 pub use segment::{Record, RecordData};
 pub use writer::{Journal, JournalConfig, Recovery, SyncPolicy};
+
+/// The capture clock: microseconds since the UNIX epoch, right now.
+///
+/// This is what recorders stamp into [`RecordData::at_us`]. It is a
+/// wall clock — subject to steps and slews — because replay pacing
+/// wants human time-of-day gaps, not monotonic perfection; `seq` alone
+/// orders the journal.
+pub fn now_us() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}

@@ -121,8 +121,22 @@ impl JournalReader {
     ///
     /// # Errors
     ///
-    /// [`JournalError::Io`] if the directory listing fails.
+    /// [`JournalError::Io`] if the directory listing fails;
+    /// [`JournalError::Corrupt`] if a committed compaction swap is
+    /// pending (the directory may hold a mix of generations, which is
+    /// exactly the splice shape this reader exists to reject — run
+    /// [`crate::compact::recover`] or reopen the [`crate::Journal`]
+    /// first).
     pub fn open(dir: &Path, mode: Mode) -> Result<JournalReader, JournalError> {
+        if crate::compact::swap_pending(dir) {
+            return Err(JournalError::Corrupt {
+                segment: dir.join(crate::compact::MANIFEST_NAME),
+                offset: 0,
+                reason: "a committed compaction swap is pending; recover it before reading \
+                         (Journal::open or `journal compact` completes the swap)"
+                    .to_string(),
+            });
+        }
         Ok(JournalReader {
             mode,
             segments: list_segments(dir)?,

@@ -11,7 +11,7 @@
 //! header (16 bytes): [magic "LXJ1"][version: u32 BE][base_seq: u64 BE]
 //! records, back to back until EOF:
 //!   [body_len: u32 BE][crc32(body): u32 BE][body]
-//!   body: [seq: u64 BE][trace: u64 BE][status: u8]
+//!   body: [seq: u64 BE][trace: u64 BE][at_us: u64 BE][status: u8]
 //!         [req_len: u32 BE][request: req_len bytes][verdict: rest]
 //! ```
 //!
@@ -22,6 +22,12 @@
 //!   tolerated.
 //! * `crc32` covers the body only; the length prefix is validated by
 //!   range (`RECORD_FIXED ..= MAX_RECORD`) before any allocation.
+//! * `at_us` is the wall-clock capture time in microseconds since the
+//!   UNIX epoch, stamped by the recorder at admission. It exists for
+//!   replay pacing (`replay --serve` refires at recorded inter-arrival
+//!   gaps); it carries no ordering authority — `seq` alone orders the
+//!   journal, and a clock step that makes `at_us` non-monotonic is not
+//!   corruption.
 //! * `status` is the wire status byte ([`wire` crate's `Status`]); the
 //!   journal stores it opaquely so the format does not chase the
 //!   serving layer's enum.
@@ -48,15 +54,17 @@ use std::path::{Path, PathBuf};
 /// Segment file magic: the first four bytes of every segment.
 pub const MAGIC: [u8; 4] = *b"LXJ1";
 
-/// Current segment format version.
-pub const VERSION: u32 = 1;
+/// Current segment format version. Version 2 added the `at_us` capture
+/// timestamp to the record body; version-1 segments are refused loudly
+/// rather than read with shifted fields.
+pub const VERSION: u32 = 2;
 
 /// Bytes in a segment header: magic + version + base sequence number.
 pub const HEADER_LEN: u64 = 4 + 4 + 8;
 
 /// Fixed bytes in a record body before the variable payloads:
-/// seq + trace + status + request length.
-pub const RECORD_FIXED: usize = 8 + 8 + 1 + 4;
+/// seq + trace + capture time + status + request length.
+pub const RECORD_FIXED: usize = 8 + 8 + 8 + 1 + 4;
 
 /// Bytes in a record's framing prefix: body length + CRC.
 pub const PREFIX_LEN: usize = 4 + 4;
@@ -76,6 +84,8 @@ pub const SEGMENT_EXT: &str = "lxj";
 pub struct RecordData {
     /// The trace id minted for the request at the edge (0 = untraced).
     pub trace: TraceId,
+    /// Capture time, µs since the UNIX epoch ([`crate::now_us`]).
+    pub at_us: u64,
     /// The wire status byte for the disposition (`Status::as_byte`).
     pub status: u8,
     /// The raw request payload (one JSONL action line, as received).
@@ -92,6 +102,8 @@ pub struct Record {
     pub seq: u64,
     /// The trace id the request carried (0 = untraced).
     pub trace: TraceId,
+    /// Capture time, µs since the UNIX epoch.
+    pub at_us: u64,
     /// The wire status byte for the disposition.
     pub status: u8,
     /// The raw request payload.
@@ -111,6 +123,7 @@ pub fn encode_record(seq: u64, data: &RecordData, out: &mut Vec<u8>) {
     let body_at = out.len();
     out.extend_from_slice(&seq.to_be_bytes());
     out.extend_from_slice(&data.trace.as_u64().to_be_bytes());
+    out.extend_from_slice(&data.at_us.to_be_bytes());
     out.push(data.status);
     out.extend_from_slice(&(data.request.len() as u32).to_be_bytes());
     out.extend_from_slice(&data.request);
@@ -300,8 +313,9 @@ impl SegmentReader {
         }
         let seq = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
         let trace = u64::from_be_bytes(body[8..16].try_into().expect("8 bytes"));
-        let status = body[16];
-        let req_len = u32::from_be_bytes(body[17..21].try_into().expect("4 bytes")) as usize;
+        let at_us = u64::from_be_bytes(body[16..24].try_into().expect("8 bytes"));
+        let status = body[24];
+        let req_len = u32::from_be_bytes(body[25..29].try_into().expect("4 bytes")) as usize;
         let payloads = body.len() - RECORD_FIXED;
         if req_len > payloads {
             return Err(ReadFailure::Corrupt {
@@ -317,6 +331,7 @@ impl SegmentReader {
         Ok(Some(Record {
             seq,
             trace: TraceId::from_u64(trace),
+            at_us,
             status,
             request,
             verdict,
@@ -346,6 +361,7 @@ mod tests {
     fn sample(i: u64) -> RecordData {
         RecordData {
             trace: TraceId::from_u64(i + 100),
+            at_us: 1_700_000_000_000_000 + i * 250,
             status: (i % 6) as u8,
             request: format!("{{\"req\":{i}}}").into_bytes(),
             verdict: format!("verdict {i}").into_bytes(),
@@ -369,6 +385,7 @@ mod tests {
             let data = sample(i);
             assert_eq!(record.seq, i + 1);
             assert_eq!(record.trace, data.trace);
+            assert_eq!(record.at_us, data.at_us);
             assert_eq!(record.status, data.status);
             assert_eq!(record.request, data.request);
             assert_eq!(record.verdict, data.verdict);

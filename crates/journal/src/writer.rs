@@ -141,6 +141,10 @@ impl Journal {
     /// filesystem failure.
     pub fn open(dir: &Path, config: JournalConfig) -> Result<(Journal, Recovery), JournalError> {
         fs::create_dir_all(dir)?;
+        // A compaction interrupted mid-swap leaves the directory in a
+        // state the reader must not trust; complete or roll back the
+        // swap before scanning (see `compact::recover`).
+        crate::compact::recover(dir)?;
         let mut reader = JournalReader::open(dir, Mode::Recover)?;
         let mut records = 0u64;
         while reader.next_record()?.is_some() {

@@ -1,0 +1,378 @@
+//! Compaction torture and equivalence: the generation swap must be
+//! atomic under SIGKILL at any byte, and a compacted journal must be
+//! semantically identical to the original under latest-wins.
+//!
+//! Three layers, mirroring the crash-recovery gauntlet's design:
+//!
+//! 1. **Equivalence property** — seeded journals with a small retention
+//!    key space are compacted; the key→verdict map of the survivors
+//!    must equal the latest-wins map of the original, survivors must be
+//!    renumbered contiguously from 1 in original order, and the
+//!    compacted directory must still be a live, appendable journal.
+//! 2. **Crash torture** — this binary re-execs itself as a child
+//!    (filtered to [`compact_child`]) that compacts a baseline journal;
+//!    the parent crashes it at every named protocol point
+//!    (`LXJ_COMPACT_CRASH_POINT` deterministic aborts) and at randomized
+//!    SIGKILL times in between, then asserts the recovered directory is
+//!    **byte-identical to the old generation or the new one** — never a
+//!    splice, never an error. 100+ runs by default
+//!    (`LXJ_COMPACT_TORTURE_RUNS` tunes it down for sanitizer runs).
+//! 3. **Swap-state discipline** — while a committed manifest is
+//!    pending, `JournalReader::open` must refuse; `Journal::open` must
+//!    recover and proceed. (Manifest *corruption* coverage lives in
+//!    `corruption_fuzz.rs`.)
+
+use journal::compact::{self, Retention, SwapRecovery};
+use journal::{read_all, Journal, JournalConfig, Mode, Record, RecordData, SyncPolicy};
+use obs::TraceId;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+const DIR_ENV: &str = "LXJ_COMPACT_TORTURE_DIR";
+const RUNS_ENV: &str = "LXJ_COMPACT_TORTURE_RUNS";
+const CRASH_ENV: &str = "LXJ_COMPACT_CRASH_POINT";
+
+/// Tiny segments so both generations span many files and the swap has
+/// many renames to crash between.
+fn torture_config() -> JournalConfig {
+    JournalConfig {
+        segment_bytes: 4096,
+        queue_depth: 64,
+        sync: SyncPolicy::GroupCommit,
+    }
+}
+
+/// The deterministic record for `seq`. The retention key (and the
+/// drop/keep classification) is derivable from the record bytes alone,
+/// so parent, child, and classifier all agree without shared state.
+fn payload(seq: u64) -> RecordData {
+    let key = seq.wrapping_mul(2_654_435_761) % 37;
+    let status = match seq % 9 {
+        0 => 3, // load-shed: classifier drops it
+        1 => 4, // unclassifiable: classifier keeps it
+        _ => 0, // ok: competes under `key`, latest wins
+    };
+    RecordData {
+        trace: TraceId::from_u64(seq ^ 0xC0FF_EE00),
+        at_us: 1_700_000_000_000_000 + seq * 613,
+        status,
+        request: format!(
+            "key={key};seq={seq};pad={}",
+            "y".repeat((seq % 53) as usize)
+        )
+        .into_bytes(),
+        verdict: format!("verdict-{key}-at-{seq}").into_bytes(),
+    }
+}
+
+/// The retention policy both the child and the equivalence test use.
+fn classify(record: &Record) -> Retention {
+    match record.status {
+        3 => Retention::Drop,
+        4 => Retention::Keep,
+        _ => {
+            let text = String::from_utf8_lossy(&record.request);
+            let key = text
+                .split(';')
+                .find_map(|part| part.strip_prefix("key="))
+                .expect("payload carries its key");
+            Retention::Supersede(key.as_bytes().to_vec())
+        }
+    }
+}
+
+/// Independently computes what compaction must produce: survivors in
+/// original order, renumbered from 1.
+fn expected_survivors(records: &[Record]) -> Vec<Record> {
+    let mut latest: HashMap<Vec<u8>, u64> = HashMap::new();
+    for record in records {
+        if let Retention::Supersede(key) = classify(record) {
+            latest.insert(key, record.seq);
+        }
+    }
+    let mut out = Vec::new();
+    for record in records {
+        let survives = match classify(record) {
+            Retention::Keep => true,
+            Retention::Drop => false,
+            Retention::Supersede(key) => latest[&key] == record.seq,
+        };
+        if survives {
+            let mut renumbered = record.clone();
+            renumbered.seq = out.len() as u64 + 1;
+            out.push(renumbered);
+        }
+    }
+    out
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn temp_base(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lxj-compact-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp base");
+    dir
+}
+
+fn build_journal(dir: &Path, n: u64) {
+    let (journal, recovery) = Journal::open(dir, torture_config()).expect("open");
+    assert_eq!(recovery.next_seq, 1);
+    for seq in 1..=n {
+        assert_eq!(journal.append(payload(seq)).expect("append"), seq);
+    }
+    journal.close().expect("close");
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("copy target");
+    for entry in std::fs::read_dir(from).expect("list source") {
+        let entry = entry.expect("entry");
+        std::fs::copy(entry.path(), to.join(entry.file_name())).expect("copy file");
+    }
+}
+
+/// Latest-wins key→verdict projection of a record list (ok records
+/// only — the map the compacted journal must preserve exactly).
+fn verdict_map(records: &[Record]) -> HashMap<Vec<u8>, Vec<u8>> {
+    let mut map = HashMap::new();
+    for record in records {
+        if let Retention::Supersede(key) = classify(record) {
+            map.insert(key, record.verdict.clone());
+        }
+    }
+    map
+}
+
+/// Equivalence: compaction preserves the latest-wins verdict map, keeps
+/// survivors in order renumbered from 1, leaves a live journal, and is
+/// idempotent.
+#[test]
+fn compaction_preserves_latest_wins_verdict_map() {
+    if std::env::var(DIR_ENV).is_ok() {
+        return; // torture child process: only compact_child acts
+    }
+    let base = temp_base("equiv");
+    let mut rng = 0x00E9_01D4_2012_u64;
+    for round in 0..6u32 {
+        let n = 200 + splitmix(&mut rng) % 1000;
+        let dir = base.join(format!("round-{round}"));
+        build_journal(&dir, n);
+        let (original, _) = read_all(&dir, Mode::Strict).expect("clean original");
+        let want = expected_survivors(&original);
+
+        let report = compact::compact(&dir, torture_config(), classify)
+            .unwrap_or_else(|e| panic!("round {round}: compact: {e}"));
+        assert_eq!(report.prior, SwapRecovery::Clean, "round {round}");
+        assert_eq!(report.input_records, n, "round {round}");
+        assert_eq!(report.surviving_records, want.len() as u64, "round {round}");
+        assert_eq!(
+            report.input_records,
+            report.surviving_records + report.superseded + report.discarded,
+            "round {round}: report does not account for every record"
+        );
+        assert!(
+            report.bytes_after < report.bytes_before,
+            "round {round}: a heavily superseding workload must shrink \
+             ({} -> {} bytes)",
+            report.bytes_before,
+            report.bytes_after
+        );
+
+        let (compacted, trunc) = read_all(&dir, Mode::Strict).expect("clean compacted");
+        assert!(trunc.is_none(), "round {round}");
+        assert_eq!(compacted, want, "round {round}: survivors diverge");
+        assert_eq!(
+            verdict_map(&compacted),
+            verdict_map(&original),
+            "round {round}: latest-wins verdict map not preserved"
+        );
+
+        // Still a live journal: reopen resumes after the last survivor.
+        let (journal, recovery) = Journal::open(&dir, torture_config()).expect("reopen");
+        assert_eq!(recovery.next_seq, want.len() as u64 + 1, "round {round}");
+        journal
+            .append_durable(payload(recovery.next_seq))
+            .expect("live append");
+        journal.close().expect("close");
+
+        // Idempotence: compacting the compacted journal drops only the
+        // records the policy would drop from any journal of this shape.
+        let again = compact::compact(&dir, torture_config(), classify)
+            .unwrap_or_else(|e| panic!("round {round}: recompact: {e}"));
+        assert_eq!(again.prior, SwapRecovery::Clean, "round {round}");
+        read_all(&dir, Mode::Strict).expect("clean after recompact");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// The child half of the torture gauntlet: compacts the directory the
+/// parent names, honoring whatever crash point the parent injected.
+/// A no-op pass in ordinary test runs.
+#[test]
+fn compact_child() {
+    let Ok(dir) = std::env::var(DIR_ENV) else {
+        return;
+    };
+    compact::compact(Path::new(&dir), torture_config(), classify).expect("child compact");
+}
+
+fn spawn_child(dir: &Path, crash_point: Option<&str>) -> std::process::Child {
+    let mut cmd = Command::new(std::env::current_exe().expect("own path"));
+    cmd.arg("compact_child")
+        .arg("--exact")
+        .env(DIR_ENV, dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    match crash_point {
+        Some(point) => cmd.env(CRASH_ENV, point),
+        None => cmd.env_remove(CRASH_ENV),
+    };
+    cmd.spawn().expect("spawn compact child")
+}
+
+fn runs_from_env() -> u64 {
+    std::env::var(RUNS_ENV)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100)
+}
+
+/// The gauntlet: kill a compaction at every named protocol point and at
+/// randomized SIGKILL times, then prove the directory recovers to
+/// exactly the old or exactly the new generation.
+#[test]
+fn compaction_crash_gauntlet_recovers_old_or_new_never_a_splice() {
+    if std::env::var(DIR_ENV).is_ok() {
+        return; // we *are* a torture child
+    }
+    let base = temp_base("torture");
+    let baseline = base.join("baseline");
+    build_journal(&baseline, 900);
+    let (original, _) = read_all(&baseline, Mode::Strict).expect("clean baseline");
+    let want = expected_survivors(&original);
+
+    let mut rng = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .subsec_nanos() as u64
+        ^ (u64::from(std::process::id()) << 32);
+    let runs = runs_from_env();
+    println!("compaction torture seed {rng:#018x}, {runs} runs");
+
+    // Deterministic protocol points guarantee both outcomes are
+    // exercised; the randomized kills explore every byte in between.
+    const POINTS: [&str; 4] = [
+        "before-manifest",
+        "after-manifest",
+        "mid-swap",
+        "before-cleanup",
+    ];
+    let (mut saw_old, mut saw_new) = (0u64, 0u64);
+    for run in 0..runs {
+        let dir = base.join(format!("run-{run}"));
+        copy_dir(&baseline, &dir);
+
+        let point = (run as usize) < POINTS.len() * 3;
+        if point {
+            let point = POINTS[(run as usize) % POINTS.len()];
+            let mut child = spawn_child(&dir, Some(point));
+            let status = child.wait().expect("child wait");
+            assert!(
+                !status.success(),
+                "run {run}: child was told to crash at {point} but exited cleanly"
+            );
+        } else {
+            let mut child = spawn_child(&dir, None);
+            let micros = splitmix(&mut rng) % 25_000;
+            std::thread::sleep(Duration::from_micros(micros));
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+
+        // Recovery, then zero-tolerance verification: the directory is
+        // the old generation or the new one, byte for byte.
+        compact::recover(&dir).unwrap_or_else(|e| panic!("run {run}: recover: {e}"));
+        let (records, trunc) = read_all(&dir, Mode::Strict)
+            .unwrap_or_else(|e| panic!("run {run}: post-recovery strict scan: {e}"));
+        assert!(trunc.is_none(), "run {run}");
+        if records == original {
+            saw_old += 1;
+        } else if records == want {
+            saw_new += 1;
+        } else {
+            panic!(
+                "run {run}: spliced recovery — {} records, neither the original {} \
+                 nor the compacted {}",
+                records.len(),
+                original.len(),
+                want.len()
+            );
+        }
+
+        // And the recovered directory is a live journal either way.
+        let (journal, recovery) = Journal::open(&dir, torture_config())
+            .unwrap_or_else(|e| panic!("run {run}: reopen: {e}"));
+        journal
+            .append_durable(payload(recovery.next_seq))
+            .unwrap_or_else(|e| panic!("run {run}: live append: {e}"));
+        journal.close().expect("close");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        saw_old > 0 && saw_new > 0,
+        "gauntlet must land on both sides of the commit point \
+         (old {saw_old}, new {saw_new})"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Swap-state discipline: a pending manifest makes the directory
+/// unreadable until recovery completes the swap — readers must never
+/// see (and never accept) the mid-swap mix of generations.
+#[test]
+fn pending_swap_blocks_readers_until_recovered() {
+    if std::env::var(DIR_ENV).is_ok() {
+        return;
+    }
+    let base = temp_base("pending");
+    let dir = base.join("j");
+    build_journal(&dir, 300);
+    let (original, _) = read_all(&dir, Mode::Strict).expect("clean");
+    let want = expected_survivors(&original);
+
+    // Freeze a compaction at the commit point via the injection hook,
+    // in a child process (the hook aborts).
+    let mut child = spawn_child(&dir, Some("after-manifest"));
+    assert!(!child.wait().expect("wait").success());
+    assert!(compact::swap_pending(&dir), "manifest must be on disk");
+
+    // Readers refuse in both modes.
+    for mode in [Mode::Strict, Mode::Recover] {
+        match read_all(&dir, mode) {
+            Err(journal::JournalError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("compaction"), "actionable reason: {reason}");
+            }
+            other => panic!("pending swap must refuse reads, got {other:?}"),
+        }
+    }
+
+    // The writer recovers (rolls the committed swap forward) and the
+    // directory is then the new generation, readable again.
+    let (journal, recovery) = Journal::open(&dir, torture_config()).expect("open recovers");
+    assert_eq!(recovery.next_seq, want.len() as u64 + 1);
+    journal.close().expect("close");
+    assert!(!compact::swap_pending(&dir));
+    let (records, _) = read_all(&dir, Mode::Strict).expect("readable after recovery");
+    assert_eq!(records, want);
+    let _ = std::fs::remove_dir_all(&base);
+}

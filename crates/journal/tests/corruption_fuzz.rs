@@ -21,6 +21,7 @@
 //! recoveries leaves the journal a contiguous `1..=M` prefix whose
 //! payloads match what the writer accepted.
 
+use journal::compact;
 use journal::segment::{segment_file_name, HEADER_LEN, PREFIX_LEN, RECORD_FIXED};
 use journal::{read_all, Journal, JournalConfig, JournalError, Mode, RecordData, SyncPolicy};
 use obs::TraceId;
@@ -38,6 +39,7 @@ fn splitmix(state: &mut u64) -> u64 {
 fn payload(seq: u64) -> RecordData {
     RecordData {
         trace: TraceId::from_u64(seq + 7),
+        at_us: 1_700_000_000_000_000 + seq * 1_000,
         status: (seq % 6) as u8,
         request: format!("{{\"seq\":{seq},\"category\":\"device_forensics\"}}").into_bytes(),
         verdict: format!("ok [{seq}]").into_bytes(),
@@ -280,6 +282,143 @@ fn spliced_segment_chains_are_rejected() {
         read_all(&dir, Mode::Recover),
         "recover, transplanted segment",
     );
+
+    let _ = fs::remove_dir_all(&base);
+}
+
+/// Stages a committed-but-unfinished generation swap by hand: a fresh
+/// new generation under `.compact-new/` plus a CRC-valid manifest in
+/// the format `compact::recover` commits to. Returns the new
+/// generation's expected records.
+fn stage_swap(dir: &Path, new_records: u64) -> Vec<journal::Record> {
+    let scratch = dir.join(compact::NEW_GEN_DIR);
+    let (journal, _) = Journal::open(
+        &scratch,
+        JournalConfig {
+            segment_bytes: 512,
+            queue_depth: 32,
+            sync: SyncPolicy::Never,
+        },
+    )
+    .expect("scratch open");
+    for seq in 1..=new_records {
+        journal.append(payload(seq)).expect("scratch append");
+    }
+    journal.close().expect("scratch close");
+    let (expected, _) = read_all(&scratch, Mode::Strict).expect("scratch clean");
+
+    let mut names: Vec<String> = fs::read_dir(&scratch)
+        .expect("list scratch")
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .collect();
+    names.sort();
+    let mut body = format!("LXJM1\nrecords {new_records}\nsegments {}\n", names.len());
+    for name in &names {
+        body.push_str(name);
+        body.push('\n');
+    }
+    let crc = journal::crc32(body.as_bytes());
+    body.push_str(&format!("crc {crc:08x}\n"));
+    fs::write(dir.join(compact::MANIFEST_NAME), body).expect("write manifest");
+    expected
+}
+
+/// Manifest/tombstone swap fuzzing: a CRC-valid manifest rolls the swap
+/// forward to exactly the new generation; *any* single-bit flip in the
+/// manifest is detected as corruption by recovery, readers, and the
+/// writer alike — a damaged commit record can never splice generations
+/// or be silently discarded.
+#[test]
+fn manifest_corruption_is_detected_never_spliced() {
+    let base = temp_base("manifest");
+    let fixture = build_fixture(&base, 40);
+    let mut rng = 0x00AA_2012_CDC5_u64;
+
+    // Control: the un-attacked swap state. Readers refuse while the
+    // manifest is pending; recovery rolls forward to the new
+    // generation, never a mix.
+    let dir = clone_fixture(&fixture, &base, "control");
+    let expected = stage_swap(&dir, 12);
+    expect_corrupt(read_all(&dir, Mode::Strict), "strict, pending swap");
+    expect_corrupt(read_all(&dir, Mode::Recover), "recover mode, pending swap");
+    assert_eq!(
+        compact::recover(&dir).expect("roll forward"),
+        compact::SwapRecovery::RolledForward
+    );
+    let (records, trunc) = read_all(&dir, Mode::Strict).expect("clean after roll-forward");
+    assert!(trunc.is_none());
+    assert_eq!(
+        records, expected,
+        "roll-forward must yield the new generation"
+    );
+
+    // A scratch generation without a manifest is uncommitted: rollback
+    // discards it and the old generation is untouched.
+    let dir = clone_fixture(&fixture, &base, "rollback");
+    let (original, _) = read_all(&dir, Mode::Strict).expect("clean fixture");
+    let scratch = dir.join(compact::NEW_GEN_DIR);
+    let _ = stage_swap(&dir, 12);
+    fs::remove_file(dir.join(compact::MANIFEST_NAME)).expect("drop manifest");
+    assert_eq!(
+        compact::recover(&dir).expect("roll back"),
+        compact::SwapRecovery::RolledBack
+    );
+    assert!(!scratch.exists(), "scratch generation must be discarded");
+    let (records, _) = read_all(&dir, Mode::Strict).expect("old generation intact");
+    assert_eq!(records, original);
+
+    // A manifest referencing a segment that exists in neither
+    // generation is tampering, not recoverable state. (A CRC-valid
+    // manifest is forged here, listing a segment nobody ever wrote.)
+    let dir = clone_fixture(&fixture, &base, "missing-seg");
+    let _ = stage_swap(&dir, 12);
+    let manifest = dir.join(compact::MANIFEST_NAME);
+    let text = fs::read_to_string(&manifest).expect("read manifest");
+    let mut names: Vec<&str> = text.lines().filter(|l| l.starts_with("seg-")).collect();
+    let phantom = segment_file_name(9_999_999);
+    names.push(&phantom);
+    let mut body = format!("LXJM1\nrecords 12\nsegments {}\n", names.len());
+    for name in &names {
+        body.push_str(name);
+        body.push('\n');
+    }
+    let crc = journal::crc32(body.as_bytes());
+    body.push_str(&format!("crc {crc:08x}\n"));
+    fs::write(&manifest, body).expect("write forged manifest");
+    match compact::recover(&dir) {
+        Err(JournalError::Corrupt { reason, .. }) => {
+            assert!(reason.contains("neither generation"), "reason: {reason}");
+        }
+        other => panic!("phantom manifest segment must be corruption, got {other:?}"),
+    }
+
+    // Seeded single-bit flips across the manifest bytes: every one must
+    // be caught (CRC32 detects all single-bit errors), by recovery and
+    // by both scan modes, and the flip must never complete a swap.
+    for attack in 0..150 {
+        let dir = clone_fixture(&fixture, &base, "flip-scratch");
+        let _ = stage_swap(&dir, 12);
+        let manifest = dir.join(compact::MANIFEST_NAME);
+        let mut bytes = fs::read(&manifest).expect("read manifest");
+        let pos = (splitmix(&mut rng) as usize) % bytes.len();
+        let bit = 1u8 << (splitmix(&mut rng) % 8);
+        bytes[pos] ^= bit;
+        fs::write(&manifest, &bytes).expect("write flipped manifest");
+
+        let what = format!("attack {attack}: flip bit {bit:#04x} at {pos} in manifest");
+        match compact::recover(&dir) {
+            Err(JournalError::Corrupt { reason, .. }) => {
+                assert!(!reason.is_empty(), "{what}: reason must be actionable");
+            }
+            other => panic!("{what}: must be corruption, got {other:?}"),
+        }
+        expect_corrupt(read_all(&dir, Mode::Strict), &format!("strict, {what}"));
+        expect_corrupt(read_all(&dir, Mode::Recover), &format!("recover, {what}"));
+        assert!(
+            Journal::open(&dir, JournalConfig::default()).is_err(),
+            "{what}: the writer must refuse to open over a damaged commit record"
+        );
+    }
 
     let _ = fs::remove_dir_all(&base);
 }

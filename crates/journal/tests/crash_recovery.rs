@@ -54,6 +54,7 @@ fn payload(seq: u64) -> RecordData {
     let filler = "x".repeat((seq % 97) as usize);
     RecordData {
         trace: TraceId::from_u64(seq ^ 0x5DEE_CE66),
+        at_us: 1_700_000_000_000_000 + seq * 731,
         status: (seq % 6) as u8,
         request: format!("{{\"seq\":{seq},\"actor\":\"law_enforcement\",\"pad\":\"{filler}\"}}")
             .into_bytes(),

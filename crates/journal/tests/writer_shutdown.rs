@@ -60,6 +60,7 @@ fn racy_run(run: usize) -> (HashMap<u64, Vec<u8>>, usize) {
                     let request = request_for(producer, i);
                     let data = RecordData {
                         trace: TraceId::from_u64((producer * PER_PRODUCER + i + 1) as u64),
+                        at_us: (producer * PER_PRODUCER + i + 1) as u64,
                         status: 0,
                         request: request.clone(),
                         verdict: format!("v-{producer}-{i}").into_bytes(),
@@ -76,6 +77,7 @@ fn racy_run(run: usize) -> (HashMap<u64, Vec<u8>>, usize) {
                             assert!(matches!(
                                 journal.append(RecordData {
                                     trace: TraceId::UNTRACED,
+                                    at_us: 0,
                                     status: 0,
                                     request: Vec::new(),
                                     verdict: Vec::new(),
@@ -170,6 +172,7 @@ fn closed_journal_reopens_and_resumes() {
     let _ = std::fs::remove_dir_all(&dir);
     let sample = |seq: u64| RecordData {
         trace: TraceId::from_u64(seq),
+        at_us: seq * 17,
         status: 0,
         request: format!("req-{seq}").into_bytes(),
         verdict: format!("v-{seq}").into_bytes(),

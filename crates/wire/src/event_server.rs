@@ -135,6 +135,7 @@ impl EvShared {
         if let Some(journal) = &self.journal {
             let _ = journal.append(RecordData {
                 trace,
+                at_us: journal::now_us(),
                 status: status.as_byte(),
                 request,
                 verdict,

@@ -31,6 +31,11 @@
 //! * [`client`] — [`WireClient`]: a thread-safe
 //!   pipelining client (submit returns a [`PendingCall`];
 //!   a reader thread routes responses back by id).
+//! * [`load`] — the load-generation core: one driver thread sustaining
+//!   thousands of pipelined in-flight requests across many connections
+//!   (epoll on Linux, thread-per-connection elsewhere), pulling work
+//!   from a [`LoadSource`] with optional microsecond pacing. Shared by
+//!   the `wire_load` bench sweep and journal replay.
 //! * [`metrics`] — connection-level counters and a wire-latency
 //!   histogram in the same snapshot/JSON model as the service metrics.
 //!
@@ -68,6 +73,7 @@ pub(crate) mod conn;
 #[cfg(target_os = "linux")]
 pub mod event_server;
 pub mod frame;
+pub mod load;
 pub mod metrics;
 pub mod server;
 #[cfg(target_os = "linux")]
@@ -80,6 +86,7 @@ pub use frame::{
     Frame, FrameError, PlanRequest, PlanResponse, Request, Response, Status, StreamDecoder,
     MAX_FRAME,
 };
+pub use load::{LoadRequest, LoadSource};
 pub use metrics::{WireMetrics, WireMetricsSnapshot};
 pub use server::{ExplainSink, WireConfig, WireServer};
 
@@ -91,6 +98,7 @@ pub mod prelude {
     pub use crate::frame::{
         Frame, FrameError, PlanRequest, PlanResponse, Request, Response, Status,
     };
+    pub use crate::load::{LoadRequest, LoadSource};
     pub use crate::metrics::WireMetricsSnapshot;
     pub use crate::server::{ExplainSink, WireConfig, WireServer};
 }

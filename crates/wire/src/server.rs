@@ -231,6 +231,7 @@ impl Shared {
         if let Some(journal) = &self.journal {
             let _ = journal.append(RecordData {
                 trace,
+                at_us: journal::now_us(),
                 status: status.as_byte(),
                 request,
                 verdict,
@@ -684,6 +685,7 @@ fn handle_request(shared: &Arc<Shared>, conn: &Arc<Conn>, request: frame::Reques
                 // the journal writer (and durable once it drains).
                 let _ = journal.append(RecordData {
                     trace: response.trace,
+                    at_us: journal::now_us(),
                     status: status.as_byte(),
                     request: journal_request.unwrap_or_default(),
                     verdict: payload.clone(),

@@ -12,7 +12,9 @@
 //! $ lexforensica cite katz
 //! ```
 
-use lexforensica::journal::{Journal, JournalConfig, JournalReader, Mode, Record, RecordData};
+use lexforensica::journal::{
+    Journal, JournalConfig, JournalReader, Mode, Record, RecordData, Retention, SwapRecovery,
+};
 use lexforensica::law::batch::BatchAssessor;
 use lexforensica::law::casebook::{all_citations, lookup};
 use lexforensica::law::prelude::*;
@@ -108,6 +110,13 @@ fn usage() -> ExitCode {
       response) and reported on stderr; the exit code is then nonzero.
       Reopening an existing DIR recovers it (truncating a torn tail)
       and appends at the next sequence number.
+  lexforensica journal compact <DIR>
+      rewrite the journal keeping only the latest verdict per distinct
+      action (by engine fact-key, so respellings dedupe) and the latest
+      diagnostic per distinct malformed request; load-dependent records
+      (timeout/shed/rejected) are dropped. The swap is crash-safe:
+      kill -9 at any instant leaves the old or the new generation,
+      never a mix, and the next open completes the swap.
   lexforensica replay <DIR> [--verify] [--threads N]
       re-run a journaled session through the engine and diff it
       byte-for-byte — the regression oracle: every ok record must
@@ -118,6 +127,21 @@ fn usage() -> ExitCode {
       is noted and the clean prefix replayed. --verify scans strictly
       instead (any defect, torn tail included, fails). Exit is nonzero
       on divergence or corruption.
+  lexforensica replay <DIR> --serve ADDR [OPTIONS]
+      refire the journaled session over TCP against a live
+      \"serve --tcp\" server instead of assessing in-process: ok
+      records must come back ok with the exact journaled verdict
+      bytes, bad-request records must still be refused; timeouts,
+      sheds and rejections are skipped. Requests are paced by the
+      journaled capture timestamps:
+        --speed N             pacing multiplier (default 1 = recorded
+                              rhythm; 2 = twice as fast; 0 = as fast
+                              as the window allows)
+        --conns N             client connections (default 8)
+        --pipeline N          in-flight requests per connection
+                              (default 32)
+      divergences print as \"record N (trace T): ...\" rows on stdout
+      and the exit code is nonzero.
   lexforensica plan <file.jsonl | -> [--threads N]
       search the lawful-process space of a JSONL planning problem for
       the cheapest sequence of process applications and evidence
@@ -404,9 +428,89 @@ fn open_journal(dir: &str) -> Result<Journal, ExitCode> {
     }
 }
 
+/// `journal compact DIR`: rewrite the journal keeping only the latest
+/// verdict per distinct action (and the latest diagnostic per distinct
+/// malformed request), dropping load-dependent records entirely. The
+/// swap is crash-safe: SIGKILL at any instant leaves the old or the new
+/// generation, never a splice, and the next open completes the swap.
+fn cmd_journal_compact(args: &Args) -> ExitCode {
+    let Some(dir) = args.positional(1) else {
+        return usage();
+    };
+    let classify = |record: &Record| -> Retention {
+        match Status::from_byte(record.status) {
+            // A verdict supersedes earlier verdicts for the same
+            // engine-visible facts: the FactKey projection, not the
+            // request bytes, is the identity (two spellings of one
+            // action compact to one record).
+            Some(Status::Ok) => match parse_action(&record.request) {
+                Ok(action) => {
+                    let mut key = Vec::with_capacity(9);
+                    key.push(0x01);
+                    key.extend_from_slice(&FactKey::of(&action).bits().to_be_bytes());
+                    Retention::Supersede(key)
+                }
+                // Journaled ok but no longer parseable: preserve the
+                // evidence for `replay` to flag rather than guess.
+                Err(_) => Retention::Keep,
+            },
+            // Malformed requests dedupe by their raw bytes.
+            Some(Status::BadRequest) => {
+                let mut key = Vec::with_capacity(1 + record.request.len());
+                key.push(0x02);
+                key.extend_from_slice(&record.request);
+                Retention::Supersede(key)
+            }
+            // Timeouts, sheds, rejections: facts about a past run's
+            // load, not about the law. Compaction retires them.
+            _ => Retention::Drop,
+        }
+    };
+    match lexforensica::journal::compact::compact(
+        Path::new(dir),
+        JournalConfig::default(),
+        classify,
+    ) {
+        Ok(report) => {
+            match report.prior {
+                SwapRecovery::Clean => {}
+                SwapRecovery::RolledForward => {
+                    eprintln!("journal: completed an interrupted compaction swap (rolled forward)")
+                }
+                SwapRecovery::RolledBack => {
+                    eprintln!("journal: discarded an uncommitted compaction (rolled back)")
+                }
+            }
+            eprintln!(
+                "compacted {dir}: {} of {} records survive ({} superseded, {} dropped), \
+                 {} -> {} segments, {} -> {} bytes ({:.2}x)",
+                report.surviving_records,
+                report.input_records,
+                report.superseded,
+                report.discarded,
+                report.segments_before,
+                report.segments_after,
+                report.bytes_before,
+                report.bytes_after,
+                report.ratio()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot compact journal {dir}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `journal FILE DIR`: assess a JSONL batch and record every row —
 /// verdicts and malformed lines alike — in the durable request journal.
+/// `journal compact DIR` instead rewrites an existing journal down to
+/// its latest-wins survivors.
 fn cmd_journal(args: Args) -> ExitCode {
+    if args.positional(0) == Some("compact") {
+        return cmd_journal_compact(&args);
+    }
     let (Some(path), Some(dir)) = (args.positional(0), args.positional(1)) else {
         return usage();
     };
@@ -471,6 +575,7 @@ fn cmd_journal(args: Args) -> ExitCode {
             // Trace ids are minted here, per row in line order — the
             // same convention as assess-batch --explain.
             trace: obs::TraceId::mint(),
+            at_us: lexforensica::journal::now_us(),
             status: status.as_byte(),
             request,
             verdict,
@@ -499,27 +604,27 @@ fn cmd_journal(args: Args) -> ExitCode {
     }
 }
 
-/// `replay DIR`: the regression oracle. Re-runs every journaled request
-/// through the engine and diffs the outcome byte-for-byte against what
-/// the journal recorded.
-fn cmd_replay(args: Args) -> ExitCode {
-    let Some(dir) = args.positional(0) else {
-        return usage();
-    };
-    let verify = args.get("verify").is_some();
-    let threads = args.usize_flag(
-        "threads",
-        std::thread::available_parallelism().map_or(1, |p| p.get()),
-    );
-    let mode = if verify { Mode::Strict } else { Mode::Recover };
+/// Parses a journaled request payload back into an action (the same
+/// path the server took when it first answered it).
+fn parse_action(payload: &[u8]) -> Result<InvestigativeAction, String> {
+    std::str::from_utf8(payload)
+        .map_err(|e| format!("payload is not UTF-8: {e}"))
+        .and_then(|line| {
+            ActionSpec::from_json_line(line)
+                .and_then(|spec| spec.to_action())
+                .map_err(|e| e.to_string())
+        })
+}
 
-    // The scan is read-only: corruption is *reported* (uniformly, via
-    // the shared located-error shape), never repaired here.
+/// Scans the whole journal at `dir` into memory. Read-only: corruption
+/// is *reported* (uniformly, via the shared located-error shape), never
+/// repaired here. Shared by offline replay and `replay --serve`.
+fn scan_journal(dir: &str, mode: Mode) -> Result<Vec<Record>, ExitCode> {
     let mut reader = match JournalReader::open(Path::new(dir), mode) {
         Ok(reader) => reader,
         Err(e) => {
             eprintln!("cannot open journal {dir}: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
     };
     let mut records: Vec<Record> = Vec::new();
@@ -539,11 +644,11 @@ fn cmd_replay(args: Args) -> ExitCode {
                         reason
                     )
                 );
-                return ExitCode::FAILURE;
+                return Err(ExitCode::FAILURE);
             }
             Err(e) => {
                 eprintln!("journal read failed: {e}");
-                return ExitCode::FAILURE;
+                return Err(ExitCode::FAILURE);
             }
         }
     }
@@ -556,35 +661,52 @@ fn cmd_replay(args: Args) -> ExitCode {
             t.reason
         );
     }
+    Ok(records)
+}
+
+/// `replay DIR`: the regression oracle. Re-runs every journaled request
+/// through the engine and diffs the outcome byte-for-byte against what
+/// the journal recorded. With `--serve ADDR` the session is instead
+/// *refired* over TCP against a live server, paced by the journaled
+/// timestamps.
+fn cmd_replay(args: Args) -> ExitCode {
+    let Some(dir) = args.positional(0) else {
+        return usage();
+    };
+    let verify = args.get("verify").is_some();
+    let threads = args.usize_flag(
+        "threads",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+    let mode = if verify { Mode::Strict } else { Mode::Recover };
+
+    let records = match scan_journal(dir, mode) {
+        Ok(records) => records,
+        Err(code) => return code,
+    };
+    if let Some(addr) = args.get("serve") {
+        return cmd_replay_serve(&args, addr, &records);
+    }
 
     // Partition by journaled disposition. Only records that carried a
     // deterministic outcome are re-checked: verdicts must reproduce
     // exactly, bad requests must still fail to parse. Load-dependent
     // dispositions (timeout, shed, rejected) are facts about the
     // recorded run, not claims about the engine.
-    let parse = |payload: &[u8]| -> Result<InvestigativeAction, String> {
-        std::str::from_utf8(payload)
-            .map_err(|e| format!("payload is not UTF-8: {e}"))
-            .and_then(|line| {
-                ActionSpec::from_json_line(line)
-                    .and_then(|spec| spec.to_action())
-                    .map_err(|e| e.to_string())
-            })
-    };
     let mut divergences: Vec<LocatedError> = Vec::new();
     let mut to_assess: Vec<(u64, Vec<u8>, InvestigativeAction)> = Vec::new();
     let mut bad_confirmed = 0u64;
     let mut skipped = 0u64;
     for record in &records {
         match Status::from_byte(record.status) {
-            Some(Status::Ok) => match parse(&record.request) {
+            Some(Status::Ok) => match parse_action(&record.request) {
                 Ok(action) => to_assess.push((record.seq, record.verdict.clone(), action)),
                 Err(e) => divergences.push(LocatedError::new(
                     format_args!("record {}", record.seq),
                     format_args!("journaled ok but the payload no longer parses: {e}"),
                 )),
             },
-            Some(Status::BadRequest) => match parse(&record.request) {
+            Some(Status::BadRequest) => match parse_action(&record.request) {
                 Err(_) => bad_confirmed += 1,
                 Ok(_) => divergences.push(LocatedError::new(
                     format_args!("record {}", record.seq),
@@ -626,6 +748,204 @@ fn cmd_replay(args: Args) -> ExitCode {
     );
     eprintln!("{report}");
     if divergences.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The live-refire half of `replay`: every deterministic record (ok and
+/// bad-request) goes back on the wire against a `serve --tcp` server
+/// through the shared [`wire::load`] core — one epoll driver thread on
+/// Linux, whatever `--conns` says — paced by the journaled capture
+/// times, and every response is diffed against the journaled
+/// disposition. Load-dependent records (timeout, shed, rejected) are
+/// facts about the recorded run, not requests to repeat, and are
+/// skipped.
+fn cmd_replay_serve(args: &Args, addr: &str, records: &[Record]) -> ExitCode {
+    use lexforensica::wire::load::{self, LoadRequest, LoadSource};
+    use std::collections::HashMap;
+    use std::net::ToSocketAddrs as _;
+
+    let pipeline = args.usize_flag("pipeline", 32).max(1);
+    let speed: f64 = match args.get("speed").map(str::parse).transpose() {
+        Ok(speed) => speed.unwrap_or(1.0),
+        Err(_) => {
+            eprintln!("--speed must be a number (0 = as fast as possible)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !speed.is_finite() || speed < 0.0 {
+        eprintln!("--speed must be a finite non-negative number");
+        return ExitCode::FAILURE;
+    }
+    let addr = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(addr) => addr,
+        None => {
+            eprintln!("--serve {addr}: not a resolvable HOST:PORT");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    /// What the journal promises about one refired request.
+    enum Expect {
+        Verdict(Vec<u8>),
+        BadRequest,
+    }
+    struct Refire {
+        seq: u64,
+        payload: Vec<u8>,
+        due_us: u64,
+    }
+
+    // Pacing: capture-time deltas from the first refired record, scaled
+    // by `--speed`. `at_us` carries no ordering authority (walls clocks
+    // jump), so due times are clamped monotone — the journal's seq
+    // order is the schedule, the timestamps only space it out.
+    let mut expected: HashMap<u64, (String, Expect)> = HashMap::new();
+    let mut refires: Vec<Refire> = Vec::new();
+    let mut verdicts = 0u64;
+    let mut bad = 0u64;
+    let mut skipped = 0u64;
+    let mut base_at_us: Option<u64> = None;
+    let mut last_due = 0u64;
+    for record in records {
+        let expect = match Status::from_byte(record.status) {
+            Some(Status::Ok) => {
+                verdicts += 1;
+                Expect::Verdict(record.verdict.clone())
+            }
+            Some(Status::BadRequest) => {
+                bad += 1;
+                Expect::BadRequest
+            }
+            _ => {
+                skipped += 1;
+                continue;
+            }
+        };
+        let base = *base_at_us.get_or_insert(record.at_us);
+        let due_us = if speed == 0.0 {
+            0
+        } else {
+            let elapsed = record.at_us.saturating_sub(base) as f64 / speed;
+            last_due.max(elapsed.min(u64::MAX as f64) as u64)
+        };
+        last_due = due_us;
+        expected.insert(record.seq, (record.trace.to_string(), expect));
+        refires.push(Refire {
+            seq: record.seq,
+            payload: record.request.clone(),
+            due_us,
+        });
+    }
+    let total = refires.len() as u64;
+    let connections = args.usize_flag("conns", 8).max(1).min(refires.len().max(1));
+
+    // Round-robin sharding keeps each connection's due times
+    // nondecreasing (the global schedule already is).
+    let mut shards: Vec<VecDeque<Refire>> = (0..connections).map(|_| VecDeque::new()).collect();
+    for (i, refire) in refires.into_iter().enumerate() {
+        shards[i % connections].push_back(refire);
+    }
+
+    struct ReplaySource {
+        shards: Vec<VecDeque<Refire>>,
+        expected: HashMap<u64, (String, Expect)>,
+        divergences: Vec<LocatedError>,
+        done: u64,
+    }
+    impl LoadSource for ReplaySource {
+        fn next(&mut self, conn: usize) -> Option<LoadRequest> {
+            self.shards[conn].pop_front().map(|refire| LoadRequest {
+                id: refire.seq,
+                payload: refire.payload,
+                due_us: refire.due_us,
+            })
+        }
+
+        fn complete(
+            &mut self,
+            _conn: usize,
+            id: u64,
+            status: Status,
+            payload: &[u8],
+            _rtt: Duration,
+        ) {
+            self.done += 1;
+            let (trace, expect) = self
+                .expected
+                .remove(&id)
+                .expect("response for a record never refired");
+            match expect {
+                Expect::Verdict(journaled) => {
+                    if status != Status::Ok {
+                        self.divergences.push(LocatedError::new(
+                            format_args!("record {id} (trace {trace})"),
+                            format_args!(
+                                "status diverged: journal says ok, live server says {status}"
+                            ),
+                        ));
+                    } else if payload != journaled.as_slice() {
+                        self.divergences.push(LocatedError::new(
+                            format_args!("record {id} (trace {trace})"),
+                            format_args!(
+                                "verdict diverged: journal says {:?}, live server says {:?}",
+                                String::from_utf8_lossy(&journaled),
+                                String::from_utf8_lossy(payload)
+                            ),
+                        ));
+                    }
+                }
+                Expect::BadRequest => {
+                    if status != Status::BadRequest {
+                        self.divergences.push(LocatedError::new(
+                            format_args!("record {id} (trace {trace})"),
+                            format_args!(
+                                "status diverged: journal says bad-request, live server says {status}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut source = ReplaySource {
+        shards,
+        expected,
+        divergences: Vec::new(),
+        done: 0,
+    };
+    let wall = match load::drive(addr, connections, pipeline, &mut source) {
+        Ok(wall) => wall,
+        Err(e) => {
+            for divergence in &source.divergences {
+                println!("{divergence}");
+            }
+            eprintln!("replay --serve failed after {} responses: {e}", source.done);
+            return ExitCode::FAILURE;
+        }
+    };
+    assert_eq!(source.done, total, "driver returned with responses missing");
+
+    for divergence in &source.divergences {
+        println!("{divergence}");
+    }
+    let pacing = if speed == 0.0 {
+        "max pacing".to_string()
+    } else {
+        format!("{speed}x recorded pacing")
+    };
+    eprintln!(
+        "refired {total} records ({verdicts} verdicts, {bad} bad-requests) against {addr} \
+         over {connections} connection(s) in {:.3}s ({:.0} rec/s, {pacing}); \
+         {skipped} skipped (load-dependent status); {} divergence(s)",
+        wall.as_secs_f64(),
+        total as f64 / wall.as_secs_f64().max(1e-9),
+        source.divergences.len()
+    );
+    if source.divergences.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
